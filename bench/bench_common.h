@@ -1,0 +1,43 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench prints (a) the experiment id + setup, (b) the paper's
+// reported values where it states them, and (c) our simulated/measured
+// values, so EXPERIMENTS.md can be filled by running the binary.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/table.h"
+#include "models/model_zoo.h"
+#include "sim/pipeline.h"
+
+namespace acps::bench {
+
+inline void Header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+// Paper defaults: 32 workers, 10GbE, 25MB buffer.
+inline sim::SimConfig PaperConfig(sim::Method method, int batch,
+                                  int64_t rank) {
+  sim::SimConfig cfg;
+  cfg.method = method;
+  cfg.batch_size = batch;
+  cfg.rank = rank;
+  return cfg;
+}
+
+inline double IterMs(const models::ModelSpec& model,
+                     const sim::SimConfig& cfg) {
+  return sim::SimulateIterationAvg(model, cfg).total_ms();
+}
+
+}  // namespace acps::bench

@@ -1,0 +1,51 @@
+// Extension bench: node-aware (hierarchical) all-reduce vs the flat ring
+// on the paper's 8x4 topology — the BlueConnect-style optimization the
+// paper cites ([40]) as the way to scale further on heterogeneous links.
+#include "bench_common.h"
+
+#include "comm/topology.h"
+
+using namespace acps;
+
+int main() {
+  bench::Header("Extension", "Hierarchical vs flat all-reduce "
+                             "(8 nodes x 4 GPUs, 10GbE + PCIe)");
+  bench::Note("Two-level all-reduce crosses the slow network once per node "
+              "instead of once per GPU: ~4x on both the latency-bound and "
+              "bandwidth-bound ends for the paper topology.");
+
+  comm::HierarchicalCostModel model(comm::ClusterTopology::Paper32());
+  metrics::Table table({"Payload", "Flat (ms)", "Hierarchical (ms)",
+                        "Speedup"});
+  for (double mb : {0.01, 0.1, 1.0, 10.0, 100.0, 440.0, 1345.0}) {
+    const double bytes = mb * 1e6;
+    table.AddRow({metrics::Table::Num(mb, 2) + " MB",
+                  metrics::Table::Num(model.FlatAllReduce(bytes) * 1e3, 2),
+                  metrics::Table::Num(
+                      model.HierarchicalAllReduce(bytes) * 1e3, 2),
+                  metrics::Table::Num(model.Speedup(bytes), 2) + "x"});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\nWhat this would buy each method on BERT-Base "
+              "(per-iteration aggregate volume / flat-vs-hier time):\n");
+  const auto bb = models::BertBase();
+  const struct {
+    const char* name;
+    double bytes;
+  } payloads[] = {
+      {"S-SGD (dense grads)", static_cast<double>(bb.total_bytes())},
+      {"Power-SGD r32 (P+Q)",
+       static_cast<double>(bb.FootprintAtRank(32).p_elements +
+                           bb.FootprintAtRank(32).q_elements) * 4.0},
+      {"ACP-SGD r32 (one factor)",
+       static_cast<double>(bb.FootprintAtRank(32).p_elements +
+                           bb.FootprintAtRank(32).q_elements) * 2.0},
+  };
+  for (const auto& p : payloads) {
+    std::printf("  %-26s %7.1f MB: %7.1f ms -> %6.1f ms\n", p.name,
+                p.bytes / 1e6, model.FlatAllReduce(p.bytes) * 1e3,
+                model.HierarchicalAllReduce(p.bytes) * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Extension bench: per-tensor compression policy (ByteComp-lite, paper
+// ref [37]) — when does low-rank compression pay off per tensor, across
+// networks?
+#include "bench_common.h"
+
+#include "core/policy.h"
+
+using namespace acps;
+
+int main() {
+  bench::Header("Extension", "Per-tensor compression policy (ByteComp-lite)");
+  bench::Note("Decision rule: compress a tensor iff its exposure-weighted "
+              "communication saving beats its compression compute cost. "
+              "Slow networks -> compress everything; fast networks -> "
+              "mostly dense; in between, only the big tensors.");
+
+  const sim::GpuModel gpu(sim::GpuSpec{}, 32);
+  const struct {
+    comm::NetworkSpec net;
+    double exposure;
+  } settings[] = {
+      {comm::NetworkSpec::Ethernet1G(), 1.0},
+      {comm::NetworkSpec::Ethernet10G(), 0.8},
+      {comm::NetworkSpec::Infiniband100G(), 0.1},
+  };
+
+  for (const auto& em : models::PaperEvalSet()) {
+    const auto model = models::ByName(em.name);
+    std::printf("\n%s (rank %ld):\n", em.name.c_str(),
+                static_cast<long>(em.powersgd_rank));
+    metrics::Table table({"Network", "lowrank tensors", "overhead: policy",
+                          "all-dense", "all-lowrank"});
+    for (const auto& s : settings) {
+      comm::CostModel net(s.net, 32);
+      core::PolicyConfig cfg;
+      cfg.rank = em.powersgd_rank;
+      cfg.exposure = s.exposure;
+      const auto policy = core::DecidePolicy(model, net, gpu, cfg);
+      const auto all_lr = core::AllLowRank(model, em.powersgd_rank);
+      auto ms = [&](const core::CompressionPolicy& p) {
+        return core::EvaluatePolicy(model, p, net, gpu, cfg).exposed_s * 1e3;
+      };
+      table.AddRow(
+          {s.net.name,
+           std::to_string(policy.num_lowrank()) + "/" +
+               std::to_string(all_lr.num_lowrank()),
+           metrics::Table::Num(ms(policy), 1) + " ms",
+           metrics::Table::Num(
+               ms(core::AllDense(model, em.powersgd_rank)), 1) + " ms",
+           metrics::Table::Num(ms(all_lr), 1) + " ms"});
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+  return 0;
+}

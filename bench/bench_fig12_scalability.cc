@@ -1,0 +1,48 @@
+// Fig 12: scalability — iteration time from 8 to 64 GPUs (10GbE).
+#include "bench_common.h"
+
+using namespace acps;
+
+int main() {
+  bench::Header("Fig 12", "Effect of the number of GPUs (10GbE)");
+  bench::Note("Paper shape: ring-based methods scale almost flat — only "
+              "+10% (S-SGD), +24% (Power-SGD), +8% (ACP-SGD) average "
+              "increase from 8 to 64 GPUs.");
+
+  for (const auto& em : models::PaperEvalSet()) {
+    const auto model = models::ByName(em.name);
+    std::printf("\n%s:\n", em.name.c_str());
+    metrics::Table table({"GPUs", "S-SGD (ms)", "Power-SGD (ms)",
+                          "ACP-SGD (ms)"});
+    for (int gpus : {8, 16, 32, 64}) {
+      std::vector<std::string> row{std::to_string(gpus)};
+      for (sim::Method m : {sim::Method::kSSGD, sim::Method::kPowerSGDStar,
+                            sim::Method::kACPSGD}) {
+        sim::SimConfig cfg =
+            bench::PaperConfig(m, em.batch_size, em.powersgd_rank);
+        cfg.world_size = gpus;
+        row.push_back(metrics::Table::Num(bench::IterMs(model, cfg), 0));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+
+  // Average relative increase 8 -> 64 GPUs across models.
+  for (sim::Method m : {sim::Method::kSSGD, sim::Method::kPowerSGDStar,
+                        sim::Method::kACPSGD}) {
+    double acc = 0.0;
+    for (const auto& em : models::PaperEvalSet()) {
+      const auto model = models::ByName(em.name);
+      sim::SimConfig c8 =
+          bench::PaperConfig(m, em.batch_size, em.powersgd_rank);
+      c8.world_size = 8;
+      sim::SimConfig c64 = c8;
+      c64.world_size = 64;
+      acc += bench::IterMs(model, c64) / bench::IterMs(model, c8) - 1.0;
+    }
+    std::printf("%-12s average increase 8->64 GPUs: +%.0f%%\n",
+                sim::MethodName(m).c_str(), acc / 4.0 * 100.0);
+  }
+  return 0;
+}

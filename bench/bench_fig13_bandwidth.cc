@@ -1,0 +1,39 @@
+// Fig 13: effect of network bandwidth (1GbE / 10GbE / 100Gb InfiniBand) on
+// 32 GPUs.
+#include "bench_common.h"
+
+using namespace acps;
+
+int main() {
+  bench::Header("Fig 13", "Effect of network bandwidth (32 GPUs)");
+  bench::Note("Paper shape: on 1GbE compression dominates (ResNet-50: "
+              "Power-SGD 5.7x, ACP-SGD 7.1x over S-SGD; BERT-Base: 11.2x "
+              "and 23.9x); on 100GbIB the gap shrinks but ACP-SGD still "
+              "wins ~40% on BERT-Base.");
+
+  const comm::NetworkSpec nets[] = {comm::NetworkSpec::Ethernet1G(),
+                                    comm::NetworkSpec::Ethernet10G(),
+                                    comm::NetworkSpec::Infiniband100G()};
+  for (const auto& em : models::PaperEvalSet()) {
+    const auto model = models::ByName(em.name);
+    std::printf("\n%s:\n", em.name.c_str());
+    metrics::Table table({"Network", "S-SGD (ms)", "Power-SGD (ms)",
+                          "ACP-SGD (ms)", "ACP vs S-SGD"});
+    for (const auto& net : nets) {
+      std::vector<double> t;
+      for (sim::Method m : {sim::Method::kSSGD, sim::Method::kPowerSGDStar,
+                            sim::Method::kACPSGD}) {
+        sim::SimConfig cfg =
+            bench::PaperConfig(m, em.batch_size, em.powersgd_rank);
+        cfg.net = net;
+        t.push_back(bench::IterMs(model, cfg));
+      }
+      table.AddRow({net.name, metrics::Table::Num(t[0], 0),
+                    metrics::Table::Num(t[1], 0),
+                    metrics::Table::Num(t[2], 0),
+                    metrics::Table::Num(t[0] / t[2], 1) + "x"});
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig 2: average iteration time of S-SGD vs Sign-SGD / Top-k SGD /
+// Power-SGD on 32 GPUs / 10GbE for the four paper models.
+#include "bench_common.h"
+
+using namespace acps;
+
+int main() {
+  bench::Header("Fig 2", "Characterization: iteration time of gradient "
+                         "compression methods (32 GPUs, 10GbE)");
+  bench::Note("Paper shape: Sign-SGD and Top-k SGD usually LOSE to "
+              "well-optimized S-SGD (1.70x/1.66x slower on ResNet-50); "
+              "Power-SGD wins only on the BERTs.");
+
+  metrics::Table table({"Model", "S-SGD (ms)", "Sign-SGD (ms)",
+                        "Top-k (ms)", "Power-SGD (ms)", "fastest"});
+  for (const auto& em : models::PaperEvalSet()) {
+    const auto model = models::ByName(em.name);
+    std::vector<std::pair<std::string, double>> rows;
+    for (sim::Method m : {sim::Method::kSSGD, sim::Method::kSignSGD,
+                          sim::Method::kTopkSGD, sim::Method::kPowerSGD}) {
+      rows.emplace_back(sim::MethodName(m),
+                        bench::IterMs(model, bench::PaperConfig(
+                                                 m, em.batch_size,
+                                                 em.powersgd_rank)));
+    }
+    std::string best = rows[0].first;
+    double best_t = rows[0].second;
+    for (const auto& [name, t] : rows) {
+      if (t < best_t) {
+        best_t = t;
+        best = name;
+      }
+    }
+    table.AddRow({em.name, metrics::Table::Num(rows[0].second, 0),
+                  metrics::Table::Num(rows[1].second, 0),
+                  metrics::Table::Num(rows[2].second, 0),
+                  metrics::Table::Num(rows[3].second, 0), best});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // Bar rendering (one block per model).
+  for (const auto& em : models::PaperEvalSet()) {
+    const auto model = models::ByName(em.name);
+    std::printf("\n%s:\n", em.name.c_str());
+    double max_t = 0;
+    std::vector<std::pair<std::string, double>> rows;
+    for (sim::Method m : {sim::Method::kSSGD, sim::Method::kSignSGD,
+                          sim::Method::kTopkSGD, sim::Method::kPowerSGD}) {
+      const double t = bench::IterMs(
+          model, bench::PaperConfig(m, em.batch_size, em.powersgd_rank));
+      rows.emplace_back(sim::MethodName(m), t);
+      max_t = std::max(max_t, t);
+    }
+    for (const auto& [name, t] : rows)
+      std::printf("  %-10s %7.0f ms %s\n", name.c_str(), t,
+                  metrics::Bar(t, max_t).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig 3: time breakdown (FF&BP / compression / non-overlapped
+// communication) of the characterized methods on ResNet-50 and BERT-Base.
+#include "bench_common.h"
+
+using namespace acps;
+
+int main() {
+  bench::Header("Fig 3", "Time breakdowns on ResNet-50 and BERT-Base");
+  bench::Note("Paper shape: Sign-SGD's all-gather costs MORE than S-SGD's "
+              "all-reduce despite 32x compression; Top-k is compute-bound "
+              "(~4x Sign's compression time); Power-SGD keeps both "
+              "overheads mild.");
+
+  for (const char* name : {"resnet50", "bert-base"}) {
+    const auto model = models::ByName(name);
+    int batch = 0;
+    int64_t rank = 4;
+    for (const auto& em : models::PaperEvalSet()) {
+      if (em.name == name) {
+        batch = em.batch_size;
+        rank = em.powersgd_rank;
+      }
+    }
+    std::printf("\n%s (batch %d, rank %ld):\n", name, batch,
+                static_cast<long>(rank));
+    metrics::Table table(
+        {"Method", "FF&BP (ms)", "Compress (ms)", "Comm (ms)", "Total (ms)"});
+    for (sim::Method m : {sim::Method::kSSGD, sim::Method::kSignSGD,
+                          sim::Method::kTopkSGD, sim::Method::kPowerSGD}) {
+      const sim::Breakdown b = sim::SimulateIterationAvg(
+          model, bench::PaperConfig(m, batch, rank));
+      table.AddRow({sim::MethodName(m),
+                    metrics::Table::Num(b.fwdbwd_s * 1e3, 0),
+                    metrics::Table::Num(b.compress_s * 1e3, 0),
+                    metrics::Table::Num(b.comm_exposed_s * 1e3, 0),
+                    metrics::Table::Num(b.total_ms(), 0)});
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+  return 0;
+}

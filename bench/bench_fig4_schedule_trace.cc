@@ -1,0 +1,62 @@
+// Fig 4: schedule illustration — how Power-SGD's blocking structure wastes
+// the WFBP opportunity while ACP-SGD overlaps its single all-reduce, shown
+// as an actual simulated task trace on a small model.
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace acps;
+
+namespace {
+
+void PrintTrace(const std::vector<sim::TraceEvent>& trace, int max_rows) {
+  auto sorted = trace;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const sim::TraceEvent& a, const sim::TraceEvent& b) {
+              return a.start_s < b.start_s;
+            });
+  const double t_end = sorted.empty() ? 1.0 : sorted.back().end_s;
+  int shown = 0;
+  for (const auto& e : sorted) {
+    if (shown++ >= max_rows) break;
+    const int width = 56;
+    const int b = static_cast<int>(e.start_s / t_end * width);
+    const int len = std::max(
+        1, static_cast<int>((e.end_s - e.start_s) / t_end * width));
+    std::printf("  %-7s |%*s%s%*s| %-14s %.2f-%.2f ms\n", e.resource.c_str(),
+                b, "", std::string(static_cast<size_t>(len), '#').c_str(),
+                std::max(0, width - b - len), "", e.name.c_str(),
+                e.start_s * 1e3, e.end_s * 1e3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Fig 4", "WFBP schedule trace: ACP-SGD overlaps compute and "
+                         "communication");
+  bench::Note("Paper shape: ACP-SGD's per-layer all-reduce (AP_i) runs on "
+              "the comm stream while later layers' backward (M_j) and "
+              "compression (P_j) proceed on the compute stream.");
+
+  const auto model = models::ResNet18();
+  sim::SimConfig cfg = bench::PaperConfig(sim::Method::kACPSGD, 32, 4);
+  std::vector<sim::TraceEvent> trace;
+  cfg.trace = &trace;
+  const sim::Breakdown acp = sim::SimulateIteration(model, cfg);
+  std::printf("\nACP-SGD on ResNet-18 (first 40 scheduled intervals):\n");
+  PrintTrace(trace, 40);
+  std::printf("  ... total %.1f ms, exposed comm %.1f ms\n", acp.total_ms(),
+              acp.comm_exposed_s * 1e3);
+
+  // Contrast with the blocking alternatives (totals only).
+  for (sim::Method m :
+       {sim::Method::kPowerSGD, sim::Method::kPowerSGDStar}) {
+    const sim::Breakdown b =
+        sim::SimulateIteration(model, bench::PaperConfig(m, 32, 4));
+    std::printf("%-12s total %.1f ms, exposed comm %.1f ms\n",
+                sim::MethodName(m).c_str(), b.total_ms(),
+                b.comm_exposed_s * 1e3);
+  }
+  return 0;
+}

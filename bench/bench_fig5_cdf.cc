@@ -1,0 +1,61 @@
+// Fig 5: CDF of tensor sizes before (M) and after (P, Q) low-rank
+// compression for ResNet-50 (r=4) and BERT-Base (r=32).
+#include "bench_common.h"
+
+#include "compress/powersgd.h"
+#include "metrics/cdf.h"
+
+using namespace acps;
+
+int main() {
+  bench::Header("Fig 5", "CDF of tensor parameter counts: M vs P/Q");
+  bench::Note("Paper shape: after decomposition ~30% more tensors fall "
+              "below 1e4 (ResNet-50) / 1e5 (BERT-Base) parameters — why "
+              "tensor fusion matters so much more for ACP-SGD.");
+
+  const struct {
+    const char* name;
+    int64_t rank;
+    double threshold;
+  } cases[] = {{"resnet50", 4, 1e4}, {"bert-base", 32, 1e5}};
+
+  for (const auto& c : cases) {
+    const auto model = models::ByName(c.name);
+    metrics::Cdf m_cdf, p_cdf, q_cdf;
+    for (const auto& l : model.layers) {
+      m_cdf.Add(static_cast<double>(l.numel()));
+      if (l.compressible &&
+          compress::LowRankWorthwhile({l.matrix_rows, l.matrix_cols},
+                                      c.rank)) {
+        const int64_t r =
+            compress::EffectiveRank(l.matrix_rows, l.matrix_cols, c.rank);
+        p_cdf.Add(static_cast<double>(l.matrix_rows * r));
+        q_cdf.Add(static_cast<double>(l.matrix_cols * r));
+      } else {
+        p_cdf.Add(static_cast<double>(l.numel()));
+        q_cdf.Add(static_cast<double>(l.numel()));
+      }
+    }
+    std::printf("\n%s (rank %ld):\n", c.name, static_cast<long>(c.rank));
+    metrics::Table table({"#params <=", "CDF(M)", "CDF(P)", "CDF(Q)"});
+    for (double x : {1e2, 1e3, 1e4, 1e5, 1e6, 1e7}) {
+      table.AddRow({metrics::Table::Num(x, 0),
+                    metrics::Table::Num(m_cdf.FractionAtOrBelow(x), 2),
+                    metrics::Table::Num(p_cdf.FractionAtOrBelow(x), 2),
+                    metrics::Table::Num(q_cdf.FractionAtOrBelow(x), 2)});
+    }
+    std::printf("%s", table.Render().c_str());
+    const double gain =
+        p_cdf.FractionAtOrBelow(c.threshold) - m_cdf.FractionAtOrBelow(c.threshold);
+    std::printf("small-tensor (<= %.0e) share increase after compression "
+                "(P): +%.0f%% (paper: ~+30%%)\n",
+                c.threshold, gain * 100.0);
+
+    const auto fp = model.FootprintAtRank(c.rank);
+    std::printf("factor footprints: P %.2f MB, Q %.2f MB, dense %.2f MB "
+                "(paper ResNet-50: P 0.63MB, Q 1.04MB)\n",
+                fp.p_elements * 4.0 / 1e6, fp.q_elements * 4.0 / 1e6,
+                fp.dense_elements * 4.0 / 1e6);
+  }
+  return 0;
+}

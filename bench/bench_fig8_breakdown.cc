@@ -1,0 +1,41 @@
+// Fig 8: time breakdowns of the Table III methods on ResNet-50 and
+// BERT-Base.
+#include "bench_common.h"
+
+using namespace acps;
+
+int main() {
+  bench::Header("Fig 8", "Time breakdowns: S-SGD / Power-SGD / Power-SGD* / "
+                         "ACP-SGD");
+  bench::Note("Paper shape: ACP-SGD has very low compression AND "
+              "communication overheads; S-SGD hides comm on ResNet-50 but "
+              "not on BERT-Base.");
+
+  for (const char* name : {"resnet50", "bert-base"}) {
+    const auto model = models::ByName(name);
+    int batch = 0;
+    int64_t rank = 4;
+    for (const auto& em : models::PaperEvalSet()) {
+      if (em.name == name) {
+        batch = em.batch_size;
+        rank = em.powersgd_rank;
+      }
+    }
+    std::printf("\n%s:\n", name);
+    metrics::Table table(
+        {"Method", "FF&BP (ms)", "Compress (ms)", "Comm (ms)", "Total (ms)"});
+    for (sim::Method m :
+         {sim::Method::kSSGD, sim::Method::kPowerSGD,
+          sim::Method::kPowerSGDStar, sim::Method::kACPSGD}) {
+      const sim::Breakdown b = sim::SimulateIterationAvg(
+          model, bench::PaperConfig(m, batch, rank));
+      table.AddRow({sim::MethodName(m),
+                    metrics::Table::Num(b.fwdbwd_s * 1e3, 0),
+                    metrics::Table::Num(b.compress_s * 1e3, 0),
+                    metrics::Table::Num(b.comm_exposed_s * 1e3, 0),
+                    metrics::Table::Num(b.total_ms(), 0)});
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig 9: benefits of system optimizations — Naive vs +WFBP vs +WFBP+TF for
+// S-SGD, Power-SGD (hook) and ACP-SGD on ResNet-152 and BERT-Large.
+#include "bench_common.h"
+
+using namespace acps;
+
+int main() {
+  bench::Header("Fig 9", "System-optimization ablation: Naive / WFBP / "
+                         "WFBP+TF");
+  bench::Note("Paper shape: WFBP gives S-SGD and ACP-SGD ~12%; WFBP HURTS "
+              "Power-SGD (~13% slower, resource interference); TF then "
+              "speeds up WFBP by 1.28x/2.16x/1.56x (S-SGD/Power-SGD/"
+              "ACP-SGD); ACP-SGD gains up to 2.14x total.");
+
+  for (const char* name : {"resnet152", "bert-large"}) {
+    const auto model = models::ByName(name);
+    int batch = 0;
+    int64_t rank = 4;
+    for (const auto& em : models::PaperEvalSet()) {
+      if (em.name == name) {
+        batch = em.batch_size;
+        rank = em.powersgd_rank;
+      }
+    }
+    std::printf("\n%s:\n", name);
+    metrics::Table table({"Method", "Naive (ms)", "WFBP (ms)",
+                          "WFBP+TF (ms)", "TF gain", "total gain"});
+    for (sim::Method m : {sim::Method::kSSGD, sim::Method::kPowerSGDStar,
+                          sim::Method::kACPSGD}) {
+      std::vector<double> t;
+      for (sim::SysOptLevel level :
+           {sim::SysOptLevel::kNaive, sim::SysOptLevel::kWfbp,
+            sim::SysOptLevel::kWfbpTf}) {
+        sim::SimConfig cfg = bench::PaperConfig(m, batch, rank);
+        cfg.sysopt = level;
+        t.push_back(bench::IterMs(model, cfg));
+      }
+      const std::string label =
+          m == sim::Method::kPowerSGDStar ? "Power-SGD" : sim::MethodName(m);
+      table.AddRow({label, metrics::Table::Num(t[0], 0),
+                    metrics::Table::Num(t[1], 0),
+                    metrics::Table::Num(t[2], 0),
+                    metrics::Table::Num(t[1] / t[2], 2) + "x",
+                    metrics::Table::Num(t[0] / t[2], 2) + "x"});
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Microbenchmarks of the real in-process collectives (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "comm/communicator.h"
+
+using namespace acps;
+
+namespace {
+
+void BM_RingAllReduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto n = static_cast<size_t>(state.range(1));
+  comm::ThreadGroup group(p);
+  for (auto _ : state) {
+    group.Run([&](comm::Communicator& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      c.all_reduce(v);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * p * 4);
+}
+BENCHMARK(BM_RingAllReduce)
+    ->Args({2, 1 << 12})
+    ->Args({4, 1 << 12})
+    ->Args({4, 1 << 16})
+    ->Args({8, 1 << 12});
+
+void BM_NaiveAllReduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto n = static_cast<size_t>(state.range(1));
+  comm::ThreadGroup group(p);
+  for (auto _ : state) {
+    group.Run([&](comm::Communicator& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      c.all_reduce_naive(v);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+}
+BENCHMARK(BM_NaiveAllReduce)->Args({4, 1 << 12})->Args({4, 1 << 16});
+
+void BM_AllGather(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto n = static_cast<size_t>(state.range(1));
+  comm::ThreadGroup group(p);
+  for (auto _ : state) {
+    group.Run([&](comm::Communicator& c) {
+      std::vector<float> send(n, 1.0f), recv(n * static_cast<size_t>(p));
+      c.all_gather(send, recv);
+      benchmark::DoNotOptimize(recv.data());
+    });
+  }
+}
+BENCHMARK(BM_AllGather)->Args({4, 1 << 12})->Args({8, 1 << 12});
+
+void BM_Broadcast(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto n = static_cast<size_t>(state.range(1));
+  comm::ThreadGroup group(p);
+  for (auto _ : state) {
+    group.Run([&](comm::Communicator& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      c.broadcast(v, 0);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+}
+BENCHMARK(BM_Broadcast)->Args({4, 1 << 14});
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Scenario: capacity planning. Given a model, a cluster size and a network,
+// predict the per-iteration time and breakdown of every aggregation method
+// before renting the machines — the simulator as a user-facing tool.
+//
+// Usage: cluster_planner [model] [gpus] [network] [rank]
+//   model   = resnet50 | resnet152 | bert-base | bert-large | vgg16 | resnet18
+//   gpus    = e.g. 32
+//   network = 1gbe | 10gbe | 100gbib
+//   rank    = Power-SGD/ACP-SGD rank, e.g. 4
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "metrics/table.h"
+#include "models/model_zoo.h"
+#include "sim/pipeline.h"
+
+using namespace acps;
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "bert-base";
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 32;
+  const std::string net_name = argc > 3 ? argv[3] : "10gbe";
+  const int64_t rank = argc > 4 ? std::atoll(argv[4]) : 32;
+
+  comm::NetworkSpec net = comm::NetworkSpec::Ethernet10G();
+  if (net_name == "1gbe") net = comm::NetworkSpec::Ethernet1G();
+  if (net_name == "100gbib") net = comm::NetworkSpec::Infiniband100G();
+
+  const models::ModelSpec model = models::ByName(model_name);
+  std::printf("Cluster plan: %s (%.1fM params, batch %d/GPU) on %d GPUs, "
+              "%s, rank %ld\n\n",
+              model.name.c_str(), model.total_params() / 1e6,
+              model.default_batch_size, gpus, net.name.c_str(),
+              static_cast<long>(rank));
+
+  metrics::Table table({"Method", "iter (ms)", "FF&BP", "compress",
+                        "exposed comm", "throughput (samples/s)"});
+  for (sim::Method m :
+       {sim::Method::kSSGD, sim::Method::kSignSGD, sim::Method::kTopkSGD,
+        sim::Method::kPowerSGD, sim::Method::kPowerSGDStar,
+        sim::Method::kACPSGD}) {
+    sim::SimConfig cfg;
+    cfg.method = m;
+    cfg.world_size = gpus;
+    cfg.net = net;
+    cfg.rank = rank;
+    const sim::Breakdown b = sim::SimulateIterationAvg(model, cfg);
+    const double tput =
+        model.default_batch_size * gpus / b.total_s;
+    table.AddRow({sim::MethodName(m), metrics::Table::Num(b.total_ms(), 0),
+                  metrics::Table::Num(b.fwdbwd_s * 1e3, 0),
+                  metrics::Table::Num(b.compress_s * 1e3, 0),
+                  metrics::Table::Num(b.comm_exposed_s * 1e3, 0),
+                  metrics::Table::Num(tput, 0)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nTip: rerun with a different network (e.g. `cluster_planner "
+              "%s %d 1gbe %ld`) to see when compression pays off.\n",
+              model_name.c_str(), gpus, static_cast<long>(rank));
+  return 0;
+}

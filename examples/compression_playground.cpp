@@ -1,0 +1,106 @@
+// Scenario: pick a compressor. Runs every compressor in the library over
+// the same synthetic gradient and reports wire size vs reconstruction
+// error, plus the Power-SGD/ACP-SGD rank sweep.
+#include <cmath>
+#include <cstdio>
+
+#include "compress/acpsgd.h"
+#include "compress/fp16.h"
+#include "compress/powersgd.h"
+#include "compress/qsgd.h"
+#include "compress/randomk.h"
+#include "compress/sign.h"
+#include "compress/terngrad.h"
+#include "compress/topk.h"
+#include "metrics/table.h"
+#include "tensor/rng.h"
+
+using namespace acps;
+
+namespace {
+
+double RelError(std::span<const float> a, std::span<const float> b) {
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    num += double(a[i] - b[i]) * (a[i] - b[i]);
+    den += double(a[i]) * a[i];
+  }
+  return std::sqrt(num / den);
+}
+
+}  // namespace
+
+int main() {
+  // A gradient with realistic structure: low-rank signal + heavy noise.
+  const int64_t n = 256, m = 512;
+  Rng rng(2024);
+  Tensor u({n, 8}), v({m, 8});
+  rng.fill_normal(u);
+  rng.fill_normal(v);
+  Tensor grad({n, m});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < m; ++j) {
+      float s = 0.0f;
+      for (int64_t k = 0; k < 8; ++k) s += u.at(i, k) * v.at(j, k);
+      grad.at(i, j) = s + 0.5f * rng.normal();
+    }
+
+  std::printf("Compression playground: %ldx%ld gradient (%.1f KB)\n\n",
+              static_cast<long>(n), static_cast<long>(m),
+              grad.numel() * 4.0 / 1024.0);
+
+  metrics::Table table({"Compressor", "wire KB", "ratio", "rel. error"});
+  const auto numel = static_cast<size_t>(grad.numel());
+  std::vector<std::unique_ptr<compress::Compressor>> compressors;
+  compressors.push_back(std::make_unique<compress::Fp16Compressor>());
+  compressors.push_back(std::make_unique<compress::SignCompressor>());
+  compressors.push_back(std::make_unique<compress::QsgdCompressor>(16));
+  compressors.push_back(std::make_unique<compress::TernGradCompressor>());
+  compressors.push_back(std::make_unique<compress::TopkCompressor>(0.01));
+  compressors.push_back(std::make_unique<compress::TopkCompressor>(
+      0.001, compress::TopkSelection::kSampledThreshold));
+  compressors.push_back(std::make_unique<compress::RandomkCompressor>(0.01));
+  std::vector<float> out(numel);
+  for (const auto& c : compressors) {
+    const auto blob = c->Encode(grad.data());
+    c->Decode(blob, out);
+    table.AddRow({c->name(), metrics::Table::Num(blob.size() / 1024.0, 1),
+                  metrics::Table::Num(c->CompressionRatio(numel), 0) + "x",
+                  metrics::Table::Num(RelError(grad.data(), out), 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // Low-rank: one-shot error by rank (after a few reuse steps so the
+  // carried factor has converged), ACP vs Power-SGD.
+  std::printf("\nLow-rank (after 8 warm-up steps, error feedback off):\n");
+  metrics::Table lr({"rank", "Power-SGD err", "ACP-SGD err",
+                     "Power wire KB", "ACP wire KB (avg)"});
+  const compress::AllReduceMeanFn id = [](std::span<float>) {};
+  for (int64_t r : {1, 2, 4, 8, 16}) {
+    compress::PowerSgdConfig pc;
+    pc.rank = r;
+    pc.error_feedback = false;
+    compress::PowerSgd power(pc);
+    compress::AcpSgdConfig ac;
+    ac.rank = r;
+    ac.error_feedback = false;
+    compress::AcpSgd acp(ac);
+    Tensor pout, aout;
+    for (int t = 0; t < 8; ++t) {
+      pout = grad.clone();
+      power.Step(0, pout, id);
+      aout = grad.clone();
+      acp.Step(0, aout, id);
+    }
+    lr.AddRow({std::to_string(r),
+               metrics::Table::Num(RelError(grad.data(), pout.data()), 3),
+               metrics::Table::Num(RelError(grad.data(), aout.data()), 3),
+               metrics::Table::Num(r * (n + m) * 4.0 / 1024.0, 1),
+               metrics::Table::Num(r * (n + m) / 2.0 * 4.0 / 1024.0, 1)});
+  }
+  std::printf("%s", lr.Render().c_str());
+  std::printf("\nACP-SGD halves the wire cost at equal rank, at a small "
+              "one-shot-error premium the reuse + EF machinery absorbs "
+              "during training.\n");
+  return 0;
+}

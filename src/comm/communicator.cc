@@ -1,0 +1,376 @@
+#include "comm/communicator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace acps::comm {
+namespace detail {
+
+// Shared state of one worker group: a sense-reversing barrier, one mailbox
+// per worker (the shared-memory analogue of a point-to-point channel), and a
+// size-exchange board for variable-size collectives.
+struct GroupState {
+  explicit GroupState(int p, int64_t timeout_ms)
+      : world_size(p), barrier_timeout_ms(timeout_ms),
+        mailbox(static_cast<size_t>(p)), sizes(static_cast<size_t>(p), 0) {}
+
+  int world_size;
+  int64_t barrier_timeout_ms;
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  bool sense = false;
+  bool aborted = false;
+
+  std::vector<std::vector<std::byte>> mailbox;
+  std::vector<size_t> sizes;
+
+  // First exception thrown by any worker during Run.
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  void Barrier() {
+    std::unique_lock lock(mu);
+    if (aborted) throw Error("communicator group aborted");
+    if (++arrived == world_size) {
+      arrived = 0;
+      sense = !sense;
+      cv.notify_all();
+    } else {
+      const bool my_sense = sense;
+      const auto pred = [&] { return sense != my_sense || aborted; };
+      if (barrier_timeout_ms > 0) {
+        if (!cv.wait_for(lock, std::chrono::milliseconds(barrier_timeout_ms),
+                         pred)) {
+          // Some worker never arrived: collective mismatch. Abort the
+          // whole group so every waiter unblocks with an error.
+          aborted = true;
+          cv.notify_all();
+          throw Error("barrier timeout: a worker never reached the "
+                      "collective (mismatched collective sequence?)");
+        }
+      } else {
+        cv.wait(lock, pred);
+      }
+      if (aborted) throw Error("communicator group aborted");
+    }
+  }
+
+  void Abort() {
+    std::lock_guard lock(mu);
+    aborted = true;
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+int Mod(int x, int p) { return ((x % p) + p) % p; }
+
+void ReduceInto(std::span<float> dst, std::span<const float> src,
+                ReduceOp op) {
+  ACPS_CHECK(dst.size() == src.size());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+      return;
+    case ReduceOp::kMax:
+      for (size_t i = 0; i < dst.size(); ++i) dst[i] = std::max(dst[i], src[i]);
+      return;
+  }
+  ACPS_CHECK_MSG(false, "unknown ReduceOp");
+}
+
+std::span<const std::byte> AsBytes(std::span<const float> v) {
+  return {reinterpret_cast<const std::byte*>(v.data()),
+          v.size() * sizeof(float)};
+}
+
+std::span<const float> AsFloats(std::span<const std::byte> v) {
+  ACPS_CHECK(v.size() % sizeof(float) == 0);
+  return {reinterpret_cast<const float*>(v.data()), v.size() / sizeof(float)};
+}
+
+}  // namespace
+
+ChunkRange GetChunkRange(int64_t n, int p, int chunk) {
+  ACPS_CHECK_MSG(p >= 1 && chunk >= 0 && chunk < p, "bad chunk index");
+  const int64_t base = n / p;
+  const int64_t rem = n % p;
+  const int64_t extra = std::min<int64_t>(chunk, rem);
+  const int64_t begin = base * chunk + extra;
+  const int64_t size = base + (chunk < rem ? 1 : 0);
+  return ChunkRange{begin, begin + size};
+}
+
+void Communicator::barrier() { state_->Barrier(); }
+
+// Publishes `payload` to this worker's mailbox and accounts the traffic.
+// Callers must barrier() before a peer reads and again before the next write.
+namespace {
+void Send(detail::GroupState* st, int rank, TrafficStats& stats,
+          std::span<const std::byte> payload) {
+  auto& box = st->mailbox[static_cast<size_t>(rank)];
+  box.assign(payload.begin(), payload.end());
+  stats.bytes_sent += payload.size();
+  stats.messages_sent += 1;
+}
+}  // namespace
+
+void Communicator::all_reduce(std::span<float> data, ReduceOp op) {
+  ++stats_.collectives;
+  const int p = world_size_;
+  if (p == 1 || data.empty()) return;
+  const int64_t n = static_cast<int64_t>(data.size());
+
+  // --- Phase 1: ring reduce-scatter. After p-1 steps worker i owns the
+  // fully reduced chunk i.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_idx = Mod(rank_ - s - 1, p);
+    const int recv_idx = Mod(rank_ - s - 2, p);
+    const ChunkRange sc = GetChunkRange(n, p, send_idx);
+    Send(state_, rank_, stats_,
+         AsBytes(data.subspan(static_cast<size_t>(sc.begin),
+                              static_cast<size_t>(sc.size()))));
+    state_->Barrier();
+    const ChunkRange rc = GetChunkRange(n, p, recv_idx);
+    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
+    ReduceInto(data.subspan(static_cast<size_t>(rc.begin),
+                            static_cast<size_t>(rc.size())),
+               AsFloats({box.data(), box.size()}), op);
+    state_->Barrier();
+  }
+
+  // --- Phase 2: ring all-gather of the reduced chunks.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_idx = Mod(rank_ - s, p);
+    const int recv_idx = Mod(rank_ - s - 1, p);
+    const ChunkRange sc = GetChunkRange(n, p, send_idx);
+    Send(state_, rank_, stats_,
+         AsBytes(data.subspan(static_cast<size_t>(sc.begin),
+                              static_cast<size_t>(sc.size()))));
+    state_->Barrier();
+    const ChunkRange rc = GetChunkRange(n, p, recv_idx);
+    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
+    const auto incoming = AsFloats({box.data(), box.size()});
+    ACPS_CHECK(static_cast<int64_t>(incoming.size()) == rc.size());
+    std::copy(incoming.begin(), incoming.end(),
+              data.begin() + static_cast<size_t>(rc.begin));
+    state_->Barrier();
+  }
+}
+
+void Communicator::all_reduce_naive(std::span<float> data, ReduceOp op) {
+  ++stats_.collectives;
+  const int p = world_size_;
+  if (p == 1 || data.empty()) return;
+
+  // Everyone publishes; rank 0 reduces; rank 0 publishes the result;
+  // everyone copies. This is the flat O(p·N) reference algorithm.
+  Send(state_, rank_, stats_, AsBytes(data));
+  state_->Barrier();
+  if (rank_ == 0) {
+    for (int r = 1; r < p; ++r) {
+      const auto& box = state_->mailbox[static_cast<size_t>(r)];
+      ReduceInto(data, AsFloats({box.data(), box.size()}), op);
+    }
+  }
+  state_->Barrier();
+  if (rank_ == 0) Send(state_, rank_, stats_, AsBytes(data));
+  state_->Barrier();
+  if (rank_ != 0) {
+    const auto& box = state_->mailbox[0];
+    const auto result = AsFloats({box.data(), box.size()});
+    ACPS_CHECK(result.size() == data.size());
+    std::copy(result.begin(), result.end(), data.begin());
+  }
+  state_->Barrier();
+}
+
+void Communicator::all_gather(std::span<const float> send,
+                              std::span<float> recv) {
+  ACPS_CHECK_MSG(recv.size() == send.size() * static_cast<size_t>(world_size_),
+                 "all_gather recv size must be p * send size");
+  // Place own block, then run the byte-wise ring over the recv buffer.
+  std::copy(send.begin(), send.end(),
+            recv.begin() + static_cast<size_t>(rank_) * send.size());
+  auto recv_bytes =
+      std::span<std::byte>(reinterpret_cast<std::byte*>(recv.data()),
+                           recv.size() * sizeof(float));
+  RingAllGatherBlocks(recv_bytes, send.size() * sizeof(float));
+}
+
+void Communicator::all_gather_bytes(std::span<const std::byte> send,
+                                    std::span<std::byte> recv) {
+  ACPS_CHECK_MSG(recv.size() == send.size() * static_cast<size_t>(world_size_),
+                 "all_gather_bytes recv size must be p * send size");
+  std::copy(send.begin(), send.end(),
+            recv.begin() + static_cast<size_t>(rank_) * send.size());
+  RingAllGatherBlocks(recv, send.size());
+}
+
+// Ring all-gather over `buf` viewed as p equal blocks of `block_bytes`;
+// block `rank` must already hold this worker's contribution.
+void Communicator::RingAllGatherBlocks(std::span<std::byte> buf,
+                                       size_t block_bytes) {
+  ++stats_.collectives;
+  const int p = world_size_;
+  if (p == 1 || block_bytes == 0) return;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_idx = Mod(rank_ - s, p);
+    const int recv_idx = Mod(rank_ - s - 1, p);
+    Send(state_, rank_, stats_,
+         buf.subspan(static_cast<size_t>(send_idx) * block_bytes,
+                     block_bytes));
+    state_->Barrier();
+    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
+    ACPS_CHECK(box.size() == block_bytes);
+    std::memcpy(buf.data() + static_cast<size_t>(recv_idx) * block_bytes,
+                box.data(), block_bytes);
+    state_->Barrier();
+  }
+}
+
+void Communicator::all_gather_v(std::span<const std::byte> send,
+                                std::vector<std::byte>& recv,
+                                std::vector<size_t>& offsets) {
+  ++stats_.collectives;
+  const int p = world_size_;
+  // Exchange sizes through the board.
+  state_->sizes[static_cast<size_t>(rank_)] = send.size();
+  state_->Barrier();
+  offsets.assign(static_cast<size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r)
+    offsets[static_cast<size_t>(r) + 1] =
+        offsets[static_cast<size_t>(r)] + state_->sizes[static_cast<size_t>(r)];
+  recv.assign(offsets.back(), std::byte{0});
+  state_->Barrier();
+
+  if (p == 1) {
+    std::copy(send.begin(), send.end(), recv.begin());
+    return;
+  }
+
+  // Ring with variable block sizes: block r = worker r's contribution.
+  std::copy(send.begin(), send.end(),
+            recv.begin() + static_cast<ptrdiff_t>(offsets[static_cast<size_t>(rank_)]));
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_idx = Mod(rank_ - s, p);
+    const int recv_idx = Mod(rank_ - s - 1, p);
+    Send(state_, rank_, stats_,
+         std::span<const std::byte>(
+             recv.data() + offsets[static_cast<size_t>(send_idx)],
+             state_->sizes[static_cast<size_t>(send_idx)]));
+    state_->Barrier();
+    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
+    ACPS_CHECK(box.size() == state_->sizes[static_cast<size_t>(recv_idx)]);
+    std::memcpy(recv.data() + offsets[static_cast<size_t>(recv_idx)],
+                box.data(), box.size());
+    state_->Barrier();
+  }
+}
+
+void Communicator::reduce_scatter(std::span<float> data, ReduceOp op) {
+  ++stats_.collectives;
+  const int p = world_size_;
+  if (p == 1 || data.empty()) return;
+  const int64_t n = static_cast<int64_t>(data.size());
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_idx = Mod(rank_ - s - 1, p);
+    const int recv_idx = Mod(rank_ - s - 2, p);
+    const ChunkRange sc = GetChunkRange(n, p, send_idx);
+    Send(state_, rank_, stats_,
+         AsBytes(std::span<const float>(data).subspan(
+             static_cast<size_t>(sc.begin), static_cast<size_t>(sc.size()))));
+    state_->Barrier();
+    const ChunkRange rc = GetChunkRange(n, p, recv_idx);
+    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
+    ReduceInto(data.subspan(static_cast<size_t>(rc.begin),
+                            static_cast<size_t>(rc.size())),
+               AsFloats({box.data(), box.size()}), op);
+    state_->Barrier();
+  }
+}
+
+void Communicator::broadcast(std::span<float> data, int root) {
+  ++stats_.collectives;
+  const int p = world_size_;
+  ACPS_CHECK_MSG(root >= 0 && root < p, "broadcast root out of range");
+  if (p == 1 || data.empty()) return;
+  if (rank_ == root) {
+    // Account flat point-to-point cost: root sends (p-1) copies.
+    auto& box = state_->mailbox[static_cast<size_t>(rank_)];
+    const auto payload = AsBytes(data);
+    box.assign(payload.begin(), payload.end());
+    stats_.bytes_sent += payload.size() * static_cast<size_t>(p - 1);
+    stats_.messages_sent += static_cast<uint64_t>(p - 1);
+  }
+  state_->Barrier();
+  if (rank_ != root) {
+    const auto& box = state_->mailbox[static_cast<size_t>(root)];
+    const auto incoming = AsFloats({box.data(), box.size()});
+    ACPS_CHECK(incoming.size() == data.size());
+    std::copy(incoming.begin(), incoming.end(), data.begin());
+  }
+  state_->Barrier();
+}
+
+ThreadGroup::ThreadGroup(int world_size, int64_t barrier_timeout_ms)
+    : world_size_(world_size),
+      state_(std::make_unique<detail::GroupState>(world_size,
+                                                  barrier_timeout_ms)) {
+  ACPS_CHECK_MSG(world_size >= 1, "world_size must be >= 1");
+}
+
+ThreadGroup::~ThreadGroup() = default;
+
+void ThreadGroup::Run(const std::function<void(Communicator&)>& fn) {
+  last_run_stats_.assign(static_cast<size_t>(world_size_), TrafficStats{});
+  // Reset barrier and error state: an aborted previous Run may have left
+  // the sense-reversing barrier mid-flip (workers that threw never finish
+  // their barrier round).
+  state_->aborted = false;
+  state_->arrived = 0;
+  state_->sense = false;
+  state_->first_error = nullptr;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    threads.emplace_back([this, r, &fn] {
+      Communicator comm(state_.get(), r, world_size_);
+      try {
+        fn(comm);
+      } catch (...) {
+        {
+          std::lock_guard lock(state_->err_mu);
+          if (!state_->first_error)
+            state_->first_error = std::current_exception();
+        }
+        state_->Abort();
+      }
+      last_run_stats_[static_cast<size_t>(r)] = comm.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (state_->first_error) std::rethrow_exception(state_->first_error);
+}
+
+TrafficStats ThreadGroup::total_stats() const {
+  TrafficStats total;
+  for (const auto& s : last_run_stats_) {
+    total.bytes_sent += s.bytes_sent;
+    total.messages_sent += s.messages_sent;
+    total.collectives += s.collectives;
+  }
+  return total;
+}
+
+}  // namespace acps::comm

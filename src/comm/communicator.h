@@ -1,0 +1,146 @@
+// In-process multi-worker communicator with real ring collectives.
+//
+// This is the NCCL stand-in (DESIGN.md §2): a ThreadGroup hosts `p` workers
+// (one std::thread each); every collective moves data through per-worker
+// mailboxes with a barrier per ring step, so the *algorithm* — chunking,
+// neighbor exchange, reduction order, and per-worker traffic — matches the
+// ring implementations used on real clusters. Per-worker traffic counters
+// let tests assert the Table II communication-volume formulas exactly.
+//
+// Concurrency model: collectives are rendezvous-synchronous. Every worker of
+// the group must call the same sequence of collectives with matching sizes
+// (mismatch throws). This mirrors NCCL's usage contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace acps::comm {
+
+// Reduction operator for all_reduce / reduce_scatter.
+enum class ReduceOp { kSum, kMax };
+
+// Per-worker traffic statistics, in "wire" units. One mailbox write of B
+// bytes counts as one message of B bytes sent (the shared-memory analogue of
+// one point-to-point send on the ring).
+struct TrafficStats {
+  uint64_t bytes_sent = 0;
+  uint64_t messages_sent = 0;
+  uint64_t collectives = 0;
+
+  void reset() { *this = TrafficStats{}; }
+};
+
+namespace detail {
+struct GroupState;  // defined in communicator.cc
+}
+
+class ThreadGroup;
+
+// Per-worker handle. Obtained inside ThreadGroup::Run; not movable across
+// workers.
+class Communicator {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+
+  // Blocks until every worker reaches the barrier.
+  void barrier();
+
+  // Ring all-reduce (reduce-scatter + all-gather), in place over `data`.
+  // Per-worker traffic: 2*(p-1)/p * N elements.
+  void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::kSum);
+
+  // Baseline all-reduce: reduce to rank 0, then broadcast. Used by the
+  // "naive" configurations and by tests as a reference implementation.
+  void all_reduce_naive(std::span<float> data, ReduceOp op = ReduceOp::kSum);
+
+  // Ring all-gather: worker i contributes `send`; `recv` (size p*|send|)
+  // receives all contributions in rank order. All workers must pass equal
+  // |send|. Per-worker traffic: (p-1) * |send| elements.
+  void all_gather(std::span<const float> send, std::span<float> recv);
+
+  // Byte-wise ring all-gather for packed/compressed payloads (e.g. sign
+  // bits, top-k index+value records). Equal |send| across workers.
+  void all_gather_bytes(std::span<const std::byte> send,
+                        std::span<std::byte> recv);
+
+  // Variable-size all-gather: contributions may differ per worker; sizes are
+  // first exchanged, then payloads. `recv` is resized to the concatenation
+  // in rank order; `offsets[i]` gives the start of worker i's block.
+  void all_gather_v(std::span<const std::byte> send,
+                    std::vector<std::byte>& recv,
+                    std::vector<size_t>& offsets);
+
+  // Ring reduce-scatter: in-place partial reduction; on return, worker i
+  // owns the fully reduced chunk i of `data` (other chunks are garbage).
+  // Chunk boundaries follow ChunkRange below.
+  void reduce_scatter(std::span<float> data, ReduceOp op = ReduceOp::kSum);
+
+  // Binomial-tree broadcast from `root`.
+  void broadcast(std::span<float> data, int root);
+
+  // Traffic counters for this worker.
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+ private:
+  friend class ThreadGroup;
+  Communicator(detail::GroupState* state, int rank, int world_size)
+      : state_(state), rank_(rank), world_size_(world_size) {}
+
+  // Ring all-gather over `buf` viewed as p equal blocks of `block_bytes`;
+  // block `rank` must already hold this worker's contribution.
+  void RingAllGatherBlocks(std::span<std::byte> buf, size_t block_bytes);
+
+  detail::GroupState* state_;
+  int rank_;
+  int world_size_;
+  TrafficStats stats_;
+};
+
+// Owns the shared state for one group of workers and runs worker bodies.
+class ThreadGroup {
+ public:
+  // `barrier_timeout_ms` bounds how long any worker may wait at a barrier
+  // before the group aborts with an error — turns collective-mismatch bugs
+  // (one worker skipping a collective) into a diagnosable exception instead
+  // of a deadlock. <= 0 disables the watchdog.
+  explicit ThreadGroup(int world_size, int64_t barrier_timeout_ms = 60000);
+  ~ThreadGroup();
+
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+
+  // Spawns one thread per worker, each invoking fn(comm). Blocks until all
+  // return. Exceptions thrown by any worker are rethrown (first one wins)
+  // after all workers have been joined.
+  void Run(const std::function<void(Communicator&)>& fn);
+
+  // Aggregate traffic across workers from the most recent Run.
+  [[nodiscard]] TrafficStats total_stats() const;
+
+ private:
+  int world_size_;
+  std::unique_ptr<detail::GroupState> state_;
+  std::vector<TrafficStats> last_run_stats_;
+};
+
+// The contiguous range [begin, end) of chunk `chunk` when splitting `n`
+// elements into `p` chunks (first n%p chunks get one extra element).
+struct ChunkRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+  [[nodiscard]] int64_t size() const noexcept { return end - begin; }
+};
+[[nodiscard]] ChunkRange GetChunkRange(int64_t n, int p, int chunk);
+
+}  // namespace acps::comm

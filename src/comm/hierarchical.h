@@ -1,0 +1,23 @@
+// Real two-level (node-aware) all-reduce over the thread cluster.
+//
+// Partitions the `world_size` workers into contiguous "nodes" of
+// `gpus_per_node` ranks. Phase 1 reduces each node's data onto its leader
+// (rank % gpus_per_node == 0); phase 2 ring-all-reduces across leaders;
+// phase 3 broadcasts back within each node. Numerically equivalent to a
+// flat all-reduce (same sum, different reduction order), verified by tests.
+//
+// On real clusters this shape moves 1/gpus_per_node of the bytes across the
+// slow inter-node links (see comm/topology.h for the analytic model); on
+// the in-process cluster it demonstrates and tests the algorithm.
+#pragma once
+
+#include "comm/communicator.h"
+
+namespace acps::comm {
+
+// In-place hierarchical all-reduce (sum). `gpus_per_node` must divide the
+// world size. All workers of the group must call it collectively.
+void HierarchicalAllReduce(Communicator& comm, std::span<float> data,
+                           int gpus_per_node);
+
+}  // namespace acps::comm

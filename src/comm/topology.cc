@@ -1,0 +1,42 @@
+#include "comm/topology.h"
+
+#include "tensor/check.h"
+
+namespace acps::comm {
+
+ClusterTopology ClusterTopology::Paper32() { return ClusterTopology{}; }
+
+HierarchicalCostModel::HierarchicalCostModel(ClusterTopology topo)
+    : topo_(topo),
+      flat_(topo.inter_node, topo.world_size()),
+      intra_(topo.intra_node, topo.gpus_per_node),
+      inter_(topo.inter_node, topo.nodes) {
+  ACPS_CHECK_MSG(topo.nodes >= 1 && topo.gpus_per_node >= 1,
+                 "invalid topology");
+}
+
+double HierarchicalCostModel::FlatAllReduce(double bytes) const {
+  return flat_.AllReduce(bytes);
+}
+
+double HierarchicalCostModel::HierarchicalAllReduce(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  // Phase 1: reduce-scatter within each node (fast links).
+  const double phase1 = intra_.ReduceScatter(bytes);
+  // Phase 2: each of the gpus_per_node leaders-of-a-shard all-reduces its
+  // 1/gpus_per_node shard across nodes; shards move in parallel over each
+  // node's NIC, so the wall-clock is one shard's all-reduce.
+  const double phase2 =
+      inter_.AllReduce(bytes / topo_.gpus_per_node);
+  // Phase 3: all-gather within each node.
+  const double phase3 = intra_.AllGather(bytes / topo_.gpus_per_node);
+  return phase1 + phase2 + phase3;
+}
+
+double HierarchicalCostModel::Speedup(double bytes) const {
+  const double h = HierarchicalAllReduce(bytes);
+  ACPS_CHECK(h > 0);
+  return FlatAllReduce(bytes) / h;
+}
+
+}  // namespace acps::comm

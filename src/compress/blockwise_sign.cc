@@ -1,0 +1,66 @@
+#include "compress/blockwise_sign.h"
+
+#include <cmath>
+
+namespace acps::compress {
+
+namespace {
+constexpr size_t kHeaderBytes = 2 * sizeof(uint64_t);  // numel, block size
+}
+
+BlockwiseSignCompressor::BlockwiseSignCompressor(size_t block_size)
+    : block_size_(block_size) {
+  ACPS_CHECK_MSG(block_size >= 1, "block size must be >= 1");
+}
+
+size_t BlockwiseSignCompressor::EncodedBytes(size_t numel) const {
+  return kHeaderBytes + NumBlocks(numel) * sizeof(float) + (numel + 7) / 8;
+}
+
+std::vector<std::byte> BlockwiseSignCompressor::Encode(
+    std::span<const float> grad) {
+  const size_t n = grad.size();
+  const size_t blocks = NumBlocks(n);
+  std::vector<std::byte> blob;
+  blob.reserve(EncodedBytes(n));
+  wire::Append(blob, static_cast<uint64_t>(n));
+  wire::Append(blob, static_cast<uint64_t>(block_size_));
+
+  // Per-block mean magnitude scales.
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t begin = b * block_size_;
+    const size_t end = std::min(n, begin + block_size_);
+    double abs_sum = 0.0;
+    for (size_t i = begin; i < end; ++i) abs_sum += std::abs(grad[i]);
+    wire::Append(blob, static_cast<float>(abs_sum / double(end - begin)));
+  }
+
+  blob.resize(kHeaderBytes + blocks * sizeof(float) + (n + 7) / 8,
+              std::byte{0});
+  std::byte* bits = blob.data() + kHeaderBytes + blocks * sizeof(float);
+  for (size_t i = 0; i < n; ++i) {
+    if (grad[i] < 0.0f)
+      bits[i / 8] |= static_cast<std::byte>(1u << (i % 8));
+  }
+  return blob;
+}
+
+void BlockwiseSignCompressor::Decode(std::span<const std::byte> blob,
+                                     std::span<float> out) const {
+  const auto n = wire::Read<uint64_t>(blob, 0);
+  const auto bs = wire::Read<uint64_t>(blob, sizeof(uint64_t));
+  ACPS_CHECK_MSG(out.size() == n, "blockwise-sign decode size mismatch");
+  ACPS_CHECK_MSG(bs == block_size_, "blob encoded with different block size");
+  const size_t blocks = NumBlocks(n);
+  ACPS_CHECK(blob.size() == kHeaderBytes + blocks * sizeof(float) + (n + 7) / 8);
+  const std::byte* bits = blob.data() + kHeaderBytes + blocks * sizeof(float);
+  for (size_t i = 0; i < n; ++i) {
+    const float scale =
+        wire::Read<float>(blob, kHeaderBytes + (i / block_size_) * sizeof(float));
+    const bool neg =
+        (bits[i / 8] & static_cast<std::byte>(1u << (i % 8))) != std::byte{0};
+    out[i] = neg ? -scale : scale;
+  }
+}
+
+}  // namespace acps::compress

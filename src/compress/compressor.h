@@ -1,0 +1,70 @@
+// One-shot (stateless) gradient compressor interface.
+//
+// Covers the quantization / sparsification families from the paper's §II-B:
+// Sign-SGD, Top-k, Random-k, plus the QSGD / TernGrad / FP16 extensions.
+// Low-rank methods (Power-SGD, ACP-SGD) are stateful per-tensor algorithms
+// and live in powersgd.h / acpsgd.h instead.
+//
+// Encode/Decode are lossy: Decode(Encode(g)) approximates g. Aggregation
+// semantics (all-gather + majority vote / scatter-add) are implemented by
+// the core runtime on top of these primitives.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace acps::compress {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Encodes `grad` into a self-contained byte blob.
+  [[nodiscard]] virtual std::vector<std::byte> Encode(
+      std::span<const float> grad) = 0;
+
+  // Decodes `blob` into `out` (must be the original element count),
+  // overwriting all elements.
+  virtual void Decode(std::span<const std::byte> blob,
+                      std::span<float> out) const = 0;
+
+  // Encoded size in bytes for a gradient of `numel` elements (exact for all
+  // implementations in this library).
+  [[nodiscard]] virtual size_t EncodedBytes(size_t numel) const = 0;
+
+  // Compression ratio = uncompressed bytes / encoded bytes.
+  [[nodiscard]] double CompressionRatio(size_t numel) const {
+    const size_t enc = EncodedBytes(numel);
+    ACPS_CHECK(enc > 0);
+    return static_cast<double>(numel * sizeof(float)) /
+           static_cast<double>(enc);
+  }
+};
+
+// Little-endian scalar (de)serialization helpers shared by the encoders.
+namespace wire {
+
+template <typename T>
+void Append(std::vector<std::byte>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T Read(std::span<const std::byte> blob, size_t offset) {
+  ACPS_CHECK_MSG(offset + sizeof(T) <= blob.size(), "wire read out of range");
+  T value;
+  std::memcpy(&value, blob.data() + offset, sizeof(T));
+  return value;
+}
+
+}  // namespace wire
+}  // namespace acps::compress

@@ -1,0 +1,34 @@
+#include "compress/error_feedback.h"
+
+namespace acps::compress {
+
+Tensor& ErrorFeedback::residual(int64_t tensor_id, const Shape& shape) {
+  auto it = residuals_.find(tensor_id);
+  if (it == residuals_.end()) {
+    it = residuals_.emplace(tensor_id, Tensor::Zeros(shape)).first;
+  }
+  ACPS_CHECK_MSG(it->second.shape() == shape,
+                 "residual shape changed for tensor " << tensor_id << ": "
+                     << ShapeToString(it->second.shape()) << " vs "
+                     << ShapeToString(shape));
+  return it->second;
+}
+
+void ErrorFeedback::AddInto(int64_t tensor_id, Tensor& grad) {
+  grad.add_(residual(tensor_id, grad.shape()));
+}
+
+void ErrorFeedback::Update(int64_t tensor_id, const Tensor& compressed_input,
+                           const Tensor& reconstruction) {
+  Tensor& e = residual(tensor_id, compressed_input.shape());
+  e.copy_from(compressed_input);
+  e.sub_(reconstruction);
+}
+
+int64_t ErrorFeedback::total_elements() const noexcept {
+  int64_t total = 0;
+  for (const auto& [id, t] : residuals_) total += t.numel();
+  return total;
+}
+
+}  // namespace acps::compress

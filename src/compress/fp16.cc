@@ -1,0 +1,81 @@
+#include "compress/fp16.h"
+
+#include <bit>
+#include <cmath>
+
+namespace acps::compress {
+
+uint16_t FloatToHalf(float f) {
+  const uint32_t bits = std::bit_cast<uint32_t>(f);
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  uint32_t exp = (bits >> 23) & 0xFFu;
+  uint32_t mant = bits & 0x7FFFFFu;
+
+  if (exp == 0xFFu) {  // inf / nan
+    return static_cast<uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  // Re-bias exponent 127 -> 15.
+  const int new_exp = static_cast<int>(exp) - 127 + 15;
+  if (new_exp >= 0x1F) {  // overflow -> inf
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (new_exp <= 0) {  // subnormal or zero
+    if (new_exp < -10) return static_cast<uint16_t>(sign);
+    mant |= 0x800000u;  // implicit leading 1
+    const int shift = 14 - new_exp;
+    uint32_t half_mant = mant >> shift;
+    // Round to nearest even.
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u)))
+      ++half_mant;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  // Normal: round mantissa 23 -> 10 bits, nearest even.
+  uint32_t half = sign | (static_cast<uint32_t>(new_exp) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // may carry
+  return static_cast<uint16_t>(half);
+}
+
+float HalfToFloat(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t mant = h & 0x3FFu;
+
+  if (exp == 0x1Fu) {  // inf / nan
+    return std::bit_cast<float>(sign | 0x7F800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return std::bit_cast<float>(sign);  // ±0
+    // Subnormal: normalize.
+    int e = -1;
+    do {
+      mant <<= 1;
+      ++e;
+    } while ((mant & 0x400u) == 0);
+    mant &= 0x3FFu;
+    return std::bit_cast<float>(sign | ((112u - e) << 23) | (mant << 13));
+  }
+  return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+std::vector<std::byte> Fp16Compressor::Encode(std::span<const float> grad) {
+  std::vector<std::byte> blob;
+  blob.reserve(EncodedBytes(grad.size()));
+  wire::Append(blob, static_cast<uint64_t>(grad.size()));
+  for (float v : grad) wire::Append(blob, FloatToHalf(v));
+  return blob;
+}
+
+void Fp16Compressor::Decode(std::span<const std::byte> blob,
+                            std::span<float> out) const {
+  const auto n = wire::Read<uint64_t>(blob, 0);
+  ACPS_CHECK_MSG(out.size() == n, "fp16 decode size mismatch");
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = HalfToFloat(
+        wire::Read<uint16_t>(blob, sizeof(uint64_t) + i * sizeof(uint16_t)));
+  }
+}
+
+}  // namespace acps::compress

@@ -1,0 +1,58 @@
+#include "compress/qsgd.h"
+
+#include <cmath>
+
+namespace acps::compress {
+
+namespace {
+constexpr size_t kHeaderBytes = sizeof(float) + sizeof(uint64_t);
+}
+
+QsgdCompressor::QsgdCompressor(int levels, uint64_t seed)
+    : levels_(levels), rng_(seed) {
+  ACPS_CHECK_MSG(levels >= 1 && levels <= 127,
+                 "QSGD levels must be in [1, 127], got " << levels);
+}
+
+std::vector<std::byte> QsgdCompressor::Encode(std::span<const float> grad) {
+  const size_t n = grad.size();
+  double norm_sq = 0.0;
+  for (float v : grad) norm_sq += double(v) * v;
+  const float norm = static_cast<float>(std::sqrt(norm_sq));
+
+  std::vector<std::byte> blob;
+  blob.reserve(EncodedBytes(n));
+  wire::Append(blob, norm);
+  wire::Append(blob, static_cast<uint64_t>(n));
+
+  for (size_t i = 0; i < n; ++i) {
+    int8_t q = 0;
+    if (norm > 0.0f) {
+      const float a = std::abs(grad[i]) / norm * static_cast<float>(levels_);
+      const auto floor_a = std::floor(a);
+      // Stochastic rounding: round up with probability (a - floor(a)).
+      const float frac = a - floor_a;
+      float level = floor_a;
+      if (static_cast<float>(rng_.next_double()) < frac) level += 1.0f;
+      level = std::min(level, static_cast<float>(levels_));
+      q = static_cast<int8_t>(grad[i] < 0.0f ? -level : level);
+    }
+    wire::Append(blob, q);
+  }
+  return blob;
+}
+
+void QsgdCompressor::Decode(std::span<const std::byte> blob,
+                            std::span<float> out) const {
+  const auto norm = wire::Read<float>(blob, 0);
+  const auto n = wire::Read<uint64_t>(blob, sizeof(float));
+  ACPS_CHECK_MSG(out.size() == n, "QSGD decode size mismatch");
+  ACPS_CHECK(blob.size() == kHeaderBytes + n);
+  const float unit = norm / static_cast<float>(levels_);
+  for (size_t i = 0; i < n; ++i) {
+    const auto q = wire::Read<int8_t>(blob, kHeaderBytes + i);
+    out[i] = unit * static_cast<float>(q);
+  }
+}
+
+}  // namespace acps::compress

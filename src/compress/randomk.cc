@@ -1,0 +1,104 @@
+#include "compress/randomk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace acps::compress {
+
+namespace {
+constexpr size_t kHeaderBytes = 3 * sizeof(uint64_t);  // seed, k, numel
+
+// Samples k distinct indices in [0, n) via a partial Fisher–Yates walk,
+// deterministic in `seed`.
+std::vector<uint32_t> SampleIndices(uint64_t seed, size_t k, size_t n) {
+  ACPS_CHECK(k <= n);
+  Rng rng(seed);
+  std::vector<uint32_t> pool(n);
+  for (size_t i = 0; i < n; ++i) pool[i] = static_cast<uint32_t>(i);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + static_cast<size_t>(rng.next_below(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace
+
+RandomkCompressor::RandomkCompressor(double ratio, uint64_t seed)
+    : ratio_(ratio), seed_(seed) {
+  ACPS_CHECK_MSG(ratio > 0.0 && ratio <= 1.0,
+                 "random-k ratio must be in (0, 1], got " << ratio);
+}
+
+size_t RandomkCompressor::KeptCount(size_t numel) const {
+  if (numel == 0) return 0;
+  return std::max<size_t>(
+      1, static_cast<size_t>(std::llround(ratio_ * double(numel))));
+}
+
+size_t RandomkCompressor::EncodedBytes(size_t numel) const {
+  return kHeaderBytes + KeptCount(numel) * sizeof(float);
+}
+
+std::vector<std::byte> RandomkCompressor::Encode(std::span<const float> grad) {
+  const size_t n = grad.size();
+  const size_t k = KeptCount(n);
+  const uint64_t step_seed = seed_ ^ (0x9E3779B97F4A7C15ull * (step_ + 1));
+  ++step_;
+
+  std::vector<std::byte> blob;
+  blob.reserve(EncodedBytes(n));
+  wire::Append(blob, step_seed);
+  wire::Append(blob, static_cast<uint64_t>(k));
+  wire::Append(blob, static_cast<uint64_t>(n));
+  if (n == 0) return blob;
+
+  const auto idx = SampleIndices(step_seed, k, n);
+  for (uint32_t i : idx) wire::Append(blob, grad[i]);
+  return blob;
+}
+
+std::vector<uint32_t> RandomkCompressor::IndicesOf(
+    std::span<const std::byte> blob) {
+  const auto seed = wire::Read<uint64_t>(blob, 0);
+  const auto k = wire::Read<uint64_t>(blob, sizeof(uint64_t));
+  const auto n = wire::Read<uint64_t>(blob, 2 * sizeof(uint64_t));
+  if (n == 0) return {};
+  return SampleIndices(seed, k, n);
+}
+
+void RandomkCompressor::Decode(std::span<const std::byte> blob,
+                               std::span<float> out) const {
+  const auto k = wire::Read<uint64_t>(blob, sizeof(uint64_t));
+  const auto n = wire::Read<uint64_t>(blob, 2 * sizeof(uint64_t));
+  ACPS_CHECK_MSG(out.size() == n, "Randomk decode size mismatch");
+  std::fill(out.begin(), out.end(), 0.0f);
+  if (n == 0) return;
+  const auto idx = IndicesOf(blob);
+  for (size_t j = 0; j < k; ++j) {
+    out[idx[j]] =
+        wire::Read<float>(blob, kHeaderBytes + j * sizeof(float));
+  }
+}
+
+std::vector<std::byte> RandomkCompressor::Add(std::span<const std::byte> a,
+                                              std::span<const std::byte> b) {
+  ACPS_CHECK_MSG(a.size() == b.size(), "Randomk::Add blob size mismatch");
+  for (size_t off = 0; off < kHeaderBytes; off += sizeof(uint64_t)) {
+    ACPS_CHECK_MSG(wire::Read<uint64_t>(a, off) == wire::Read<uint64_t>(b, off),
+                   "Randomk::Add requires identical (seed, k, numel)");
+  }
+  std::vector<std::byte> out(a.begin(), a.end());
+  const auto k = wire::Read<uint64_t>(a, sizeof(uint64_t));
+  for (size_t j = 0; j < k; ++j) {
+    const size_t off = kHeaderBytes + j * sizeof(float);
+    const float sum = wire::Read<float>(a, off) + wire::Read<float>(b, off);
+    std::memcpy(out.data() + off, &sum, sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace acps::compress

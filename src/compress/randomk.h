@@ -1,0 +1,48 @@
+// Random-k sparsification (Stich et al., NeurIPS'18).
+//
+// Keeps k uniformly chosen coordinates. When all workers share the seed for
+// a given (tensor, step), the selected coordinates coincide, which — unlike
+// Top-k — makes the compressed vectors additive and therefore all-reduce
+// compatible. Encode stores only [seed][k][numel][values...]: the index set
+// is re-derived from the seed on decode.
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace acps::compress {
+
+class RandomkCompressor final : public Compressor {
+ public:
+  explicit RandomkCompressor(double ratio, uint64_t seed = 0x5EEDull);
+
+  [[nodiscard]] std::string name() const override { return "randomk"; }
+
+  // Advances the internal step counter; workers that construct the
+  // compressor with the same seed and call Encode in lockstep select
+  // identical coordinates.
+  [[nodiscard]] std::vector<std::byte> Encode(
+      std::span<const float> grad) override;
+
+  void Decode(std::span<const std::byte> blob,
+              std::span<float> out) const override;
+
+  [[nodiscard]] size_t EncodedBytes(size_t numel) const override;
+
+  [[nodiscard]] size_t KeptCount(size_t numel) const;
+
+  // Recomputes the index set encoded by `blob` (seed-derived).
+  [[nodiscard]] static std::vector<uint32_t> IndicesOf(
+      std::span<const std::byte> blob);
+
+  // Sums the value payloads of two blobs with identical (seed, k, numel);
+  // the additive property that enables all-reduce.
+  [[nodiscard]] static std::vector<std::byte> Add(
+      std::span<const std::byte> a, std::span<const std::byte> b);
+
+ private:
+  double ratio_;
+  uint64_t seed_;
+  uint64_t step_ = 0;
+};
+
+}  // namespace acps::compress

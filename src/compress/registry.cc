@@ -1,0 +1,81 @@
+#include "compress/registry.h"
+
+#include <cstdlib>
+
+#include "compress/blockwise_sign.h"
+#include "compress/fp16.h"
+#include "compress/qsgd.h"
+#include "compress/randomk.h"
+#include "compress/sign.h"
+#include "compress/terngrad.h"
+#include "compress/topk.h"
+
+namespace acps::compress {
+namespace {
+
+struct Spec {
+  std::string name;
+  std::string param;  // empty if absent
+};
+
+Spec Parse(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, ""};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+double ParamAsDouble(const Spec& s, double fallback) {
+  if (s.param.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s.param.c_str(), &end);
+  ACPS_CHECK_MSG(end != nullptr && *end == '\0',
+                 "bad numeric parameter '" << s.param << "' for compressor "
+                                           << s.name);
+  return v;
+}
+
+}  // namespace
+
+std::unique_ptr<Compressor> MakeCompressor(const std::string& spec) {
+  const Spec s = Parse(spec);
+  if (s.name == "sign") {
+    ACPS_CHECK_MSG(s.param.empty(), "sign takes no parameter");
+    return std::make_unique<SignCompressor>();
+  }
+  if (s.name == "blockwise-sign") {
+    const auto block = static_cast<size_t>(ParamAsDouble(s, 1024));
+    return std::make_unique<BlockwiseSignCompressor>(block);
+  }
+  if (s.name == "topk") {
+    return std::make_unique<TopkCompressor>(ParamAsDouble(s, 0.001),
+                                            TopkSelection::kExact);
+  }
+  if (s.name == "topk-sampled") {
+    return std::make_unique<TopkCompressor>(ParamAsDouble(s, 0.001),
+                                            TopkSelection::kSampledThreshold);
+  }
+  if (s.name == "randomk") {
+    return std::make_unique<RandomkCompressor>(ParamAsDouble(s, 0.01));
+  }
+  if (s.name == "qsgd") {
+    return std::make_unique<QsgdCompressor>(
+        static_cast<int>(ParamAsDouble(s, 16)));
+  }
+  if (s.name == "terngrad") {
+    ACPS_CHECK_MSG(s.param.empty(), "terngrad takes no parameter");
+    return std::make_unique<TernGradCompressor>();
+  }
+  if (s.name == "fp16") {
+    ACPS_CHECK_MSG(s.param.empty(), "fp16 takes no parameter");
+    return std::make_unique<Fp16Compressor>();
+  }
+  ACPS_CHECK_MSG(false, "unknown compressor spec '" << spec << "'");
+}
+
+std::vector<std::string> KnownCompressors() {
+  return {"sign",          "blockwise-sign:1024", "topk:0.001",
+          "topk-sampled:0.001", "randomk:0.01",   "qsgd:16",
+          "terngrad",      "fp16"};
+}
+
+}  // namespace acps::compress

@@ -1,0 +1,25 @@
+// Name-based compressor factory: builds any one-shot compressor from a
+// spec string, e.g. "sign", "blockwise-sign:2048", "topk:0.001",
+// "topk-sampled:0.01", "randomk:0.01", "qsgd:8", "terngrad", "fp16".
+//
+// Used by the examples/CLI surface so users can switch compressors without
+// recompiling, and by tests to sweep the whole family uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace acps::compress {
+
+// Parses `spec` ("name" or "name:param") and constructs the compressor.
+// Throws acps::Error for unknown names or invalid parameters.
+[[nodiscard]] std::unique_ptr<Compressor> MakeCompressor(
+    const std::string& spec);
+
+// All spec names accepted by MakeCompressor (with their default params).
+[[nodiscard]] std::vector<std::string> KnownCompressors();
+
+}  // namespace acps::compress

@@ -1,0 +1,80 @@
+#include "compress/sign.h"
+
+#include <cmath>
+
+namespace acps::compress {
+
+namespace {
+constexpr size_t kHeaderBytes = sizeof(float) + sizeof(uint64_t);
+}
+
+std::vector<std::byte> SignCompressor::Encode(std::span<const float> grad) {
+  const size_t n = grad.size();
+  std::vector<std::byte> blob;
+  blob.reserve(EncodedBytes(n));
+
+  double abs_sum = 0.0;
+  for (float v : grad) abs_sum += std::abs(v);
+  const float scale = n > 0 ? static_cast<float>(abs_sum / double(n)) : 0.0f;
+
+  wire::Append(blob, scale);
+  wire::Append(blob, static_cast<uint64_t>(n));
+
+  blob.resize(kHeaderBytes + (n + 7) / 8, std::byte{0});
+  std::byte* bits = blob.data() + kHeaderBytes;
+  for (size_t i = 0; i < n; ++i) {
+    if (grad[i] < 0.0f)  // sign(0) = +1 convention
+      bits[i / 8] |= static_cast<std::byte>(1u << (i % 8));
+  }
+  return blob;
+}
+
+void SignCompressor::Decode(std::span<const std::byte> blob,
+                            std::span<float> out) const {
+  const auto scale = wire::Read<float>(blob, 0);
+  const auto n = wire::Read<uint64_t>(blob, sizeof(float));
+  ACPS_CHECK_MSG(out.size() == n, "Sign decode size mismatch");
+  ACPS_CHECK(blob.size() == kHeaderBytes + (n + 7) / 8);
+  const std::byte* bits = blob.data() + kHeaderBytes;
+  for (size_t i = 0; i < n; ++i) {
+    const bool neg =
+        (bits[i / 8] & static_cast<std::byte>(1u << (i % 8))) != std::byte{0};
+    out[i] = neg ? -scale : scale;
+  }
+}
+
+bool SignCompressor::SignBit(std::span<const std::byte> blob, size_t i) {
+  const auto n = wire::Read<uint64_t>(blob, sizeof(float));
+  ACPS_CHECK_MSG(i < n, "SignBit index out of range");
+  const std::byte* bits = blob.data() + kHeaderBytes;
+  return (bits[i / 8] & static_cast<std::byte>(1u << (i % 8))) !=
+         std::byte{0};
+}
+
+void SignCompressor::MajorityVote(
+    std::span<const std::vector<std::byte>> blobs, std::span<float> out) {
+  ACPS_CHECK_MSG(!blobs.empty(), "MajorityVote needs at least one blob");
+  const auto n = wire::Read<uint64_t>(blobs[0], sizeof(float));
+  ACPS_CHECK_MSG(out.size() == n, "MajorityVote size mismatch");
+
+  double scale_sum = 0.0;
+  for (const auto& b : blobs) {
+    ACPS_CHECK_MSG(wire::Read<uint64_t>(b, sizeof(float)) == n,
+                   "MajorityVote blobs disagree on element count");
+    scale_sum += wire::Read<float>(b, 0);
+  }
+  const float scale = static_cast<float>(scale_sum / double(blobs.size()));
+
+  for (size_t i = 0; i < n; ++i) {
+    int vote = 0;
+    for (const auto& b : blobs) {
+      const std::byte* bits = b.data() + kHeaderBytes;
+      const bool neg = (bits[i / 8] &
+                        static_cast<std::byte>(1u << (i % 8))) != std::byte{0};
+      vote += neg ? -1 : 1;
+    }
+    out[i] = (vote >= 0) ? scale : -scale;  // tie => +1
+  }
+}
+
+}  // namespace acps::compress

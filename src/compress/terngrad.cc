@@ -1,0 +1,55 @@
+#include "compress/terngrad.h"
+
+#include <cmath>
+
+namespace acps::compress {
+
+namespace {
+constexpr size_t kHeaderBytes = sizeof(float) + sizeof(uint64_t);
+// 2-bit codes: 0 => 0, 1 => +1, 2 => -1.
+constexpr uint8_t kZero = 0, kPos = 1, kNeg = 2;
+}  // namespace
+
+TernGradCompressor::TernGradCompressor(uint64_t seed) : rng_(seed) {}
+
+std::vector<std::byte> TernGradCompressor::Encode(
+    std::span<const float> grad) {
+  const size_t n = grad.size();
+  float smax = 0.0f;
+  for (float v : grad) smax = std::max(smax, std::abs(v));
+
+  std::vector<std::byte> blob;
+  blob.reserve(EncodedBytes(n));
+  wire::Append(blob, smax);
+  wire::Append(blob, static_cast<uint64_t>(n));
+  blob.resize(kHeaderBytes + (n + 3) / 4, std::byte{0});
+
+  std::byte* codes = blob.data() + kHeaderBytes;
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t code = kZero;
+    if (smax > 0.0f) {
+      // P(|q| = 1) = |g| / max|g|  => unbiased after scaling by max.
+      const float prob = std::abs(grad[i]) / smax;
+      if (static_cast<float>(rng_.next_double()) < prob)
+        code = grad[i] < 0.0f ? kNeg : kPos;
+    }
+    codes[i / 4] |= static_cast<std::byte>(code << (2 * (i % 4)));
+  }
+  return blob;
+}
+
+void TernGradCompressor::Decode(std::span<const std::byte> blob,
+                                std::span<float> out) const {
+  const auto smax = wire::Read<float>(blob, 0);
+  const auto n = wire::Read<uint64_t>(blob, sizeof(float));
+  ACPS_CHECK_MSG(out.size() == n, "TernGrad decode size mismatch");
+  ACPS_CHECK(blob.size() == kHeaderBytes + (n + 3) / 4);
+  const std::byte* codes = blob.data() + kHeaderBytes;
+  for (size_t i = 0; i < n; ++i) {
+    const auto code =
+        (static_cast<uint8_t>(codes[i / 4]) >> (2 * (i % 4))) & 0x3u;
+    out[i] = code == kPos ? smax : (code == kNeg ? -smax : 0.0f);
+  }
+}
+
+}  // namespace acps::compress

@@ -1,0 +1,157 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace acps::compress {
+
+namespace {
+constexpr size_t kHeaderBytes = 2 * sizeof(uint64_t);
+constexpr size_t kRecordBytes = sizeof(uint32_t) + sizeof(float);
+}  // namespace
+
+TopkCompressor::TopkCompressor(double ratio, TopkSelection selection)
+    : ratio_(ratio), selection_(selection) {
+  ACPS_CHECK_MSG(ratio > 0.0 && ratio <= 1.0,
+                 "top-k ratio must be in (0, 1], got " << ratio);
+}
+
+std::string TopkCompressor::name() const {
+  return selection_ == TopkSelection::kExact ? "topk-exact" : "topk-sampled";
+}
+
+size_t TopkCompressor::KeptCount(size_t numel) const {
+  if (numel == 0) return 0;
+  return std::max<size_t>(1, static_cast<size_t>(
+                                 std::llround(ratio_ * double(numel))));
+}
+
+size_t TopkCompressor::EncodedBytes(size_t numel) const {
+  return kHeaderBytes + KeptCount(numel) * kRecordBytes;
+}
+
+std::vector<uint32_t> TopkCompressor::SelectExact(std::span<const float> grad,
+                                                  size_t k) const {
+  std::vector<uint32_t> idx(grad.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::nth_element(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k),
+                   idx.end(), [&](uint32_t a, uint32_t b) {
+                     return std::abs(grad[a]) > std::abs(grad[b]);
+                   });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<uint32_t> TopkCompressor::SelectSampled(
+    std::span<const float> grad, size_t k) {
+  // Binary-search a magnitude threshold t so that |{i : |g_i| > t}| ≈ k.
+  // Each probe is a full counting pass — this is what makes sampled Top-k a
+  // multi-pass (compute-heavy) kernel, the behaviour the paper measures.
+  const size_t n = grad.size();
+  float lo = 0.0f, hi = 0.0f;
+  for (float v : grad) hi = std::max(hi, std::abs(v));
+  last_threshold_passes_ = 1;  // the max pass
+
+  float threshold = 0.0f;
+  size_t above = n;
+  for (int pass = 0; pass < 24 && hi - lo > 1e-12f * hi + 1e-30f; ++pass) {
+    const float mid = 0.5f * (lo + hi);
+    size_t count = 0;
+    for (float v : grad)
+      if (std::abs(v) > mid) ++count;
+    ++last_threshold_passes_;
+    if (count >= k) {
+      lo = mid;
+      threshold = mid;
+      above = count;
+    } else {
+      hi = mid;
+    }
+    // Accept once we are within 1% of k (the "close top-k threshold" the
+    // paper's footnote describes).
+    if (count >= k && count <= k + std::max<size_t>(1, k / 100)) {
+      threshold = mid;
+      above = count;
+      break;
+    }
+  }
+
+  // Gather indices above the threshold, trim to exactly k by magnitude
+  // order of the overflow, pad from the remaining largest if short.
+  std::vector<uint32_t> idx;
+  idx.reserve(above);
+  for (uint32_t i = 0; i < n; ++i)
+    if (std::abs(grad[i]) > threshold) idx.push_back(i);
+
+  if (idx.size() > k) {
+    std::nth_element(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k),
+                     idx.end(), [&](uint32_t a, uint32_t b) {
+                       return std::abs(grad[a]) > std::abs(grad[b]);
+                     });
+    idx.resize(k);
+  } else if (idx.size() < k) {
+    // Threshold cut too deep (ties / tight distributions): fall back to an
+    // exact pass over the remainder to fill up.
+    std::vector<uint32_t> rest;
+    rest.reserve(n - idx.size());
+    for (uint32_t i = 0; i < n; ++i)
+      if (std::abs(grad[i]) <= threshold) rest.push_back(i);
+    const size_t need = k - idx.size();
+    std::nth_element(rest.begin(), rest.begin() + static_cast<ptrdiff_t>(need),
+                     rest.end(), [&](uint32_t a, uint32_t b) {
+                       return std::abs(grad[a]) > std::abs(grad[b]);
+                     });
+    idx.insert(idx.end(), rest.begin(),
+               rest.begin() + static_cast<ptrdiff_t>(need));
+  }
+  return idx;
+}
+
+std::vector<std::byte> TopkCompressor::Encode(std::span<const float> grad) {
+  const size_t n = grad.size();
+  const size_t k = KeptCount(n);
+  std::vector<std::byte> blob;
+  blob.reserve(EncodedBytes(n));
+  wire::Append(blob, static_cast<uint64_t>(k));
+  wire::Append(blob, static_cast<uint64_t>(n));
+  if (n == 0) return blob;
+
+  const std::vector<uint32_t> idx = selection_ == TopkSelection::kExact
+                                        ? SelectExact(grad, k)
+                                        : SelectSampled(grad, k);
+  ACPS_CHECK(idx.size() == k);
+  for (uint32_t i : idx) {
+    wire::Append(blob, i);
+    wire::Append(blob, grad[i]);
+  }
+  return blob;
+}
+
+void TopkCompressor::Decode(std::span<const std::byte> blob,
+                            std::span<float> out) const {
+  const auto n = wire::Read<uint64_t>(blob, sizeof(uint64_t));
+  ACPS_CHECK_MSG(out.size() == n, "Topk decode size mismatch");
+  std::fill(out.begin(), out.end(), 0.0f);
+  AccumulateInto(blob, out, /*num_workers=*/1);
+}
+
+void TopkCompressor::AccumulateInto(std::span<const std::byte> blob,
+                                    std::span<float> out, int num_workers) {
+  ACPS_CHECK(num_workers >= 1);
+  const auto k = wire::Read<uint64_t>(blob, 0);
+  const auto n = wire::Read<uint64_t>(blob, sizeof(uint64_t));
+  ACPS_CHECK_MSG(out.size() == n, "Topk accumulate size mismatch");
+  ACPS_CHECK(blob.size() == kHeaderBytes + k * kRecordBytes);
+  const float inv = 1.0f / static_cast<float>(num_workers);
+  size_t off = kHeaderBytes;
+  for (uint64_t j = 0; j < k; ++j) {
+    const auto i = wire::Read<uint32_t>(blob, off);
+    const auto v = wire::Read<float>(blob, off + sizeof(uint32_t));
+    ACPS_CHECK_MSG(i < n, "Topk index out of range");
+    out[i] += v * inv;
+    off += kRecordBytes;
+  }
+}
+
+}  // namespace acps::compress

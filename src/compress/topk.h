@@ -1,0 +1,66 @@
+// Top-k sparsification (Lin et al. DGC; Shi et al. MLSys'21 variant).
+//
+// Two selection schemes:
+//  * kExact — true top-k by magnitude (nth_element); the paper notes this is
+//    what you want semantically but is slow on GPUs.
+//  * kSampledThreshold — the paper's "multiple sampling" scheme: binary-search
+//    a magnitude threshold using repeated counting passes until the number of
+//    surviving elements is close to k, then take elements above it (trimming
+//    or padding to exactly k so encoded size stays fixed).
+//
+// Encode: [k][numel][(index, value) × k]. Selected values are the raw
+// gradient entries; aggregation is all-gather + scatter-add-average (Top-k
+// results from different workers have different coordinates, so they are not
+// additive — the paper's §III-C incompatibility).
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace acps::compress {
+
+enum class TopkSelection {
+  kExact,
+  kSampledThreshold,
+};
+
+class TopkCompressor final : public Compressor {
+ public:
+  // `ratio` is the kept fraction (the paper uses 0.001); at least one
+  // element is always kept for non-empty inputs.
+  explicit TopkCompressor(double ratio,
+                          TopkSelection selection = TopkSelection::kExact);
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::vector<std::byte> Encode(
+      std::span<const float> grad) override;
+
+  void Decode(std::span<const std::byte> blob,
+              std::span<float> out) const override;
+
+  [[nodiscard]] size_t EncodedBytes(size_t numel) const override;
+
+  [[nodiscard]] size_t KeptCount(size_t numel) const;
+
+  // Scatter-adds `blob / num_workers` into `out` (without zeroing `out`):
+  // the aggregation step run after all-gather.
+  static void AccumulateInto(std::span<const std::byte> blob,
+                             std::span<float> out, int num_workers);
+
+  // Statistics of the last Encode for tests / benches.
+  [[nodiscard]] int last_threshold_passes() const noexcept {
+    return last_threshold_passes_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<uint32_t> SelectExact(std::span<const float> grad,
+                                                  size_t k) const;
+  [[nodiscard]] std::vector<uint32_t> SelectSampled(std::span<const float> grad,
+                                                    size_t k);
+
+  double ratio_;
+  TopkSelection selection_;
+  int last_threshold_passes_ = 0;
+};
+
+}  // namespace acps::compress

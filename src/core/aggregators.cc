@@ -1,0 +1,302 @@
+#include "core/aggregators.h"
+
+#include <algorithm>
+
+#include "fusion/fusion_buffer.h"
+
+namespace acps::core {
+namespace {
+
+// Params in gradient-ready (reverse) order.
+std::vector<dnn::Param*> ReverseOrder(const std::vector<dnn::Param*>& params) {
+  return {params.rbegin(), params.rend()};
+}
+
+// Flattens all gradients into one tensor (reverse order) — the "packed"
+// layout Sign/Top-k use (§III-A).
+Tensor PackGrads(const std::vector<dnn::Param*>& rev) {
+  int64_t total = 0;
+  for (auto* p : rev) total += p->grad.numel();
+  Tensor flat({total});
+  auto dst = flat.data();
+  int64_t off = 0;
+  for (auto* p : rev) {
+    const auto src = p->grad.data();
+    std::copy(src.begin(), src.end(), dst.begin() + off);
+    off += p->grad.numel();
+  }
+  return flat;
+}
+
+void UnpackGrads(const Tensor& flat, const std::vector<dnn::Param*>& rev) {
+  const auto src = flat.data();
+  int64_t off = 0;
+  for (auto* p : rev) {
+    auto dst = p->grad.data();
+    std::copy(src.begin() + off, src.begin() + off + p->grad.numel(),
+              dst.begin());
+    off += p->grad.numel();
+  }
+  ACPS_CHECK(off == flat.numel());
+}
+
+// Bucketed mean all-reduce over a list of float spans (in order).
+void BucketedAllReduceMean(const std::vector<std::span<float>>& spans,
+                           int64_t buffer_bytes, comm::Communicator& comm) {
+  std::vector<int64_t> bytes;
+  bytes.reserve(spans.size());
+  for (const auto& s : spans)
+    bytes.push_back(static_cast<int64_t>(s.size() * sizeof(float)));
+  const auto buckets = fusion::AssignBuckets(bytes, buffer_bytes);
+  const float inv = 1.0f / static_cast<float>(comm.world_size());
+  fusion::FusionBuffer buf;
+  for (const auto& bucket : buckets) {
+    buf.Reset();
+    for (int i : bucket)
+      (void)buf.AddSlot(static_cast<int64_t>(spans[static_cast<size_t>(i)].size()));
+    for (size_t j = 0; j < bucket.size(); ++j)
+      buf.Pack(static_cast<int>(j), spans[static_cast<size_t>(bucket[j])]);
+    auto flat = buf.flat();
+    comm.all_reduce(flat);
+    for (float& v : flat) v *= inv;
+    for (size_t j = 0; j < bucket.size(); ++j) {
+      auto dst = spans[static_cast<size_t>(bucket[j])];
+      buf.Unpack(static_cast<int>(j), dst);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+void AllReduceAggregator::Aggregate(const std::vector<dnn::Param*>& params,
+                                    comm::Communicator& comm) {
+  const auto rev = ReverseOrder(params);
+  std::vector<std::span<float>> spans;
+  spans.reserve(rev.size());
+  for (auto* p : rev) spans.push_back(p->grad.data());
+  BucketedAllReduceMean(spans, buffer_bytes_, comm);
+}
+
+// ---------------------------------------------------------------------------
+
+void SignAggregator::Aggregate(const std::vector<dnn::Param*>& params,
+                               comm::Communicator& comm) {
+  const auto rev = ReverseOrder(params);
+  Tensor flat = PackGrads(rev);
+  if (error_feedback_) ef_.AddInto(/*tensor_id=*/0, flat);
+
+  const auto blob = compressor_.Encode(flat.data());
+  std::vector<std::byte> gathered(blob.size() *
+                                  static_cast<size_t>(comm.world_size()));
+  comm.all_gather_bytes(blob, gathered);
+
+  // Majority vote over the per-worker blobs.
+  std::vector<std::vector<std::byte>> blobs;
+  blobs.reserve(static_cast<size_t>(comm.world_size()));
+  for (int r = 0; r < comm.world_size(); ++r) {
+    blobs.emplace_back(gathered.begin() + static_cast<ptrdiff_t>(
+                                              blob.size() * static_cast<size_t>(r)),
+                       gathered.begin() + static_cast<ptrdiff_t>(
+                                              blob.size() *
+                                              static_cast<size_t>(r + 1)));
+  }
+  Tensor voted({flat.numel()});
+  compress::SignCompressor::MajorityVote(blobs, voted.data());
+
+  if (error_feedback_) {
+    // Residual against the *locally* compressed gradient, the standard
+    // EF-SignSGD formulation.
+    Tensor local({flat.numel()});
+    compressor_.Decode(blob, local.data());
+    ef_.Update(0, flat, local);
+  }
+  UnpackGrads(voted, rev);
+}
+
+// ---------------------------------------------------------------------------
+
+void TopkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
+                               comm::Communicator& comm) {
+  const auto rev = ReverseOrder(params);
+  Tensor flat = PackGrads(rev);
+  if (error_feedback_) ef_.AddInto(0, flat);
+
+  const auto blob = compressor_.Encode(flat.data());
+  std::vector<std::byte> gathered(blob.size() *
+                                  static_cast<size_t>(comm.world_size()));
+  comm.all_gather_bytes(blob, gathered);
+
+  if (error_feedback_) {
+    Tensor local({flat.numel()});
+    compressor_.Decode(blob, local.data());
+    ef_.Update(0, flat, local);
+  }
+
+  Tensor merged({flat.numel()});
+  merged.zero();
+  for (int r = 0; r < comm.world_size(); ++r) {
+    const std::span<const std::byte> wblob(
+        gathered.data() + blob.size() * static_cast<size_t>(r), blob.size());
+    compress::TopkCompressor::AccumulateInto(wblob, merged.data(),
+                                             comm.world_size());
+  }
+  UnpackGrads(merged, rev);
+}
+
+// ---------------------------------------------------------------------------
+
+void RandomkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
+                                  comm::Communicator& comm) {
+  const auto rev = ReverseOrder(params);
+  Tensor flat = PackGrads(rev);
+  if (error_feedback_) ef_.AddInto(0, flat);
+
+  // All workers share the compressor seed and step counter, so this blob's
+  // coordinate set is identical everywhere: the VALUE payload is additive
+  // and rides a plain ring all-reduce — no all-gather needed.
+  auto blob = compressor_.Encode(flat.data());
+  const auto indices = compress::RandomkCompressor::IndicesOf(blob);
+  constexpr size_t kHeader = 3 * sizeof(uint64_t);  // seed, k, numel
+  auto values = std::span<float>(
+      reinterpret_cast<float*>(blob.data() + kHeader), indices.size());
+  comm.all_reduce(values);
+  const float inv = 1.0f / static_cast<float>(comm.world_size());
+  for (float& v : values) v *= inv;
+
+  if (error_feedback_) {
+    // Residual against the locally kept coordinates (standard EF).
+    Tensor local({flat.numel()});
+    local.zero();
+    for (size_t j = 0; j < indices.size(); ++j)
+      local.at(indices[j]) = flat.at(indices[j]);
+    ef_.Update(0, flat, local);
+  }
+
+  Tensor merged({flat.numel()});
+  compressor_.Decode(blob, merged.data());
+  UnpackGrads(merged, rev);
+}
+
+// ---------------------------------------------------------------------------
+
+void PowerSgdAggregator::Aggregate(const std::vector<dnn::Param*>& params,
+                                   comm::Communicator& comm) {
+  const auto rev = ReverseOrder(params);
+  const float inv = 1.0f / static_cast<float>(comm.world_size());
+  const compress::AllReduceMeanFn mean = [&](std::span<float> v) {
+    comm.all_reduce(v);
+    for (float& x : v) x *= inv;
+  };
+
+  std::vector<std::span<float>> dense;
+  for (size_t i = 0; i < rev.size(); ++i) {
+    dnn::Param* p = rev[i];
+    if (p->is_matrix() &&
+        compress::LowRankWorthwhile({p->matrix_rows, p->matrix_cols},
+                                    powersgd_.config().rank)) {
+      // NOTE the structure the paper criticizes: each matrix runs
+      // compute-P -> all-reduce -> orthogonalize -> compute-Q -> all-reduce
+      // inline, blocking everything behind it. State is keyed by the
+      // FORWARD param index (shared convention with GradReducer).
+      powersgd_.Step(static_cast<int64_t>(rev.size() - 1 - i), p->grad, mean);
+    } else {
+      dense.push_back(p->grad.data());
+    }
+  }
+  BucketedAllReduceMean(dense, buffer_bytes_, comm);
+}
+
+// ---------------------------------------------------------------------------
+
+void AcpSgdAggregator::Aggregate(const std::vector<dnn::Param*>& params,
+                                 comm::Communicator& comm) {
+  const auto rev = ReverseOrder(params);
+  const float inv = 1.0f / static_cast<float>(comm.world_size());
+
+  // Phase 1 (per tensor, gradient-ready order): all local compute — the
+  // non-blocking property means every factor is known before any collective
+  // has to finish.
+  std::vector<int> lowrank_ids;
+  std::vector<std::span<float>> factors;
+  std::vector<int64_t> factor_bytes;
+  std::vector<std::span<float>> dense;
+  int64_t factor_total = 0, grad_total = 0;
+  for (size_t i = 0; i < rev.size(); ++i) {
+    dnn::Param* p = rev[i];
+    grad_total += p->grad.numel() * static_cast<int64_t>(sizeof(float));
+    if (p->is_matrix() &&
+        compress::LowRankWorthwhile({p->matrix_rows, p->matrix_cols},
+                                    acp_.config().rank)) {
+      // State keyed by the FORWARD param index (same convention as
+      // GradReducer, so both runtimes are interchangeable).
+      auto factor =
+          acp_.LocalStep(static_cast<int64_t>(rev.size() - 1 - i), p->grad);
+      lowrank_ids.push_back(static_cast<int>(i));
+      factors.push_back(factor);
+      factor_bytes.push_back(
+          static_cast<int64_t>(factor.size() * sizeof(float)));
+      factor_total += factor_bytes.back();
+    } else {
+      dense.push_back(p->grad.data());
+    }
+  }
+
+  // Phase 2: one fused all-reduce per factor bucket, bucket budget scaled
+  // by the compression rate (paper §IV-B).
+  const int64_t factor_budget =
+      fusion::ScaledBufferBytes(buffer_bytes_, factor_total, grad_total);
+  const auto buckets = fusion::AssignBuckets(factor_bytes, factor_budget);
+  fusion::FusionBuffer buf;
+  for (const auto& bucket : buckets) {
+    buf.Reset();
+    for (int j : bucket)
+      (void)buf.AddSlot(
+          static_cast<int64_t>(factors[static_cast<size_t>(j)].size()));
+    for (size_t s = 0; s < bucket.size(); ++s)
+      buf.Pack(static_cast<int>(s), factors[static_cast<size_t>(bucket[s])]);
+    auto flat = buf.flat();
+    comm.all_reduce(flat);
+    for (float& v : flat) v *= inv;
+    for (size_t s = 0; s < bucket.size(); ++s)
+      buf.Unpack(static_cast<int>(s), factors[static_cast<size_t>(bucket[s])]);
+    // Phase 3: decompress the tensors of this bucket.
+    for (int j : bucket) {
+      const int rev_idx = lowrank_ids[static_cast<size_t>(j)];
+      acp_.Finish(static_cast<int64_t>(rev.size() - 1 -
+                                       static_cast<size_t>(rev_idx)),
+                  rev[static_cast<size_t>(rev_idx)]->grad);
+    }
+  }
+
+  // Dense (vector-shaped) params ride plain bucketed all-reduce.
+  BucketedAllReduceMean(dense, buffer_bytes_, comm);
+}
+
+// ---------------------------------------------------------------------------
+
+AggregatorFactory MakeSsgdFactory() {
+  return [](int, int) { return std::make_unique<AllReduceAggregator>(); };
+}
+
+AggregatorFactory MakePowerSgdFactory(int64_t rank) {
+  return [rank](int, int) {
+    compress::PowerSgdConfig cfg;
+    cfg.rank = rank;
+    return std::make_unique<PowerSgdAggregator>(cfg);
+  };
+}
+
+AggregatorFactory MakeAcpSgdFactory(int64_t rank, bool error_feedback,
+                                    bool reuse) {
+  return [rank, error_feedback, reuse](int, int) {
+    compress::AcpSgdConfig cfg;
+    cfg.rank = rank;
+    cfg.error_feedback = error_feedback;
+    cfg.reuse = reuse;
+    return std::make_unique<AcpSgdAggregator>(cfg);
+  };
+}
+
+}  // namespace acps::core

@@ -1,0 +1,152 @@
+// Gradient aggregators: the per-worker runtime that turns local gradients
+// into globally averaged gradients, one implementation per method studied in
+// the paper. All run against the real in-process collectives (acps::comm),
+// so the math — bucketing, majority voting, factor aggregation, error
+// feedback — is executed end to end, not simulated.
+//
+// Contract: Aggregate() is collective — every worker of the group must call
+// it with structurally identical parameter lists (same order, shapes), and
+// afterwards every param.grad holds the aggregated (mean) gradient the
+// optimizer should apply. Params are processed in REVERSE list order,
+// mirroring the gradient-ready order of back-propagation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "comm/communicator.h"
+#include "compress/acpsgd.h"
+#include "compress/error_feedback.h"
+#include "compress/powersgd.h"
+#include "compress/randomk.h"
+#include "compress/sign.h"
+#include "compress/topk.h"
+#include "dnn/layer.h"
+#include "fusion/bucket_assigner.h"
+
+namespace acps::core {
+
+class GradientAggregator {
+ public:
+  virtual ~GradientAggregator() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void Aggregate(const std::vector<dnn::Param*>& params,
+                         comm::Communicator& comm) = 0;
+};
+
+// One aggregator per worker; the factory is invoked inside each worker
+// thread so per-worker state (EF residuals, low-rank factors) stays private.
+using AggregatorFactory =
+    std::function<std::unique_ptr<GradientAggregator>(int rank, int world)>;
+
+// --- S-SGD: bucketed ring all-reduce (the well-optimized baseline). -------
+class AllReduceAggregator final : public GradientAggregator {
+ public:
+  explicit AllReduceAggregator(
+      int64_t buffer_bytes = fusion::kDefaultBufferBytes)
+      : buffer_bytes_(buffer_bytes) {}
+  [[nodiscard]] std::string name() const override { return "ssgd"; }
+  void Aggregate(const std::vector<dnn::Param*>& params,
+                 comm::Communicator& comm) override;
+
+ private:
+  int64_t buffer_bytes_;
+};
+
+// --- Sign-SGD with majority vote over all-gather. --------------------------
+class SignAggregator final : public GradientAggregator {
+ public:
+  explicit SignAggregator(bool error_feedback = true)
+      : error_feedback_(error_feedback) {}
+  [[nodiscard]] std::string name() const override { return "signsgd"; }
+  void Aggregate(const std::vector<dnn::Param*>& params,
+                 comm::Communicator& comm) override;
+
+ private:
+  bool error_feedback_;
+  compress::SignCompressor compressor_;
+  compress::ErrorFeedback ef_;
+};
+
+// --- Top-k SGD over all-gather + scatter-add. ------------------------------
+class TopkAggregator final : public GradientAggregator {
+ public:
+  explicit TopkAggregator(double ratio = 0.001, bool error_feedback = true,
+                          compress::TopkSelection selection =
+                              compress::TopkSelection::kSampledThreshold)
+      : error_feedback_(error_feedback), compressor_(ratio, selection) {}
+  [[nodiscard]] std::string name() const override { return "topk"; }
+  void Aggregate(const std::vector<dnn::Param*>& params,
+                 comm::Communicator& comm) override;
+
+ private:
+  bool error_feedback_;
+  compress::TopkCompressor compressor_;
+  compress::ErrorFeedback ef_;
+};
+
+// --- Random-k: the additive sparsifier. ------------------------------------
+// With a shared per-step seed, every worker selects the SAME coordinates,
+// so the compressed value vectors are additive and can ride a ring
+// all-reduce — the paper's §III-C "additive communication" property that
+// Top-k lacks. The flip side (why the paper prefers Top-k for accuracy):
+// random coordinates carry less of the gradient energy.
+class RandomkAggregator final : public GradientAggregator {
+ public:
+  explicit RandomkAggregator(double ratio = 0.01, bool error_feedback = true,
+                             uint64_t seed = 0x5EEDull)
+      : error_feedback_(error_feedback), compressor_(ratio, seed) {}
+  [[nodiscard]] std::string name() const override { return "randomk"; }
+  void Aggregate(const std::vector<dnn::Param*>& params,
+                 comm::Communicator& comm) override;
+
+ private:
+  bool error_feedback_;
+  compress::RandomkCompressor compressor_;
+  compress::ErrorFeedback ef_;
+};
+
+// --- Power-SGD (Algorithm 1): blocking two-phase low-rank aggregation. -----
+class PowerSgdAggregator final : public GradientAggregator {
+ public:
+  explicit PowerSgdAggregator(compress::PowerSgdConfig config,
+                              int64_t buffer_bytes = fusion::kDefaultBufferBytes)
+      : powersgd_(config), buffer_bytes_(buffer_bytes) {}
+  [[nodiscard]] std::string name() const override { return "powersgd"; }
+  void Aggregate(const std::vector<dnn::Param*>& params,
+                 comm::Communicator& comm) override;
+
+ private:
+  compress::PowerSgd powersgd_;
+  int64_t buffer_bytes_;
+};
+
+// --- ACP-SGD (Algorithm 2): the paper's contribution. ----------------------
+// Per step: one local compression per matrix (non-blocking), factors fused
+// into buckets sized by the paper's scaled-buffer rule, ONE all-reduce per
+// bucket, then decompression. Vector params ride dense buckets like S-SGD.
+class AcpSgdAggregator final : public GradientAggregator {
+ public:
+  explicit AcpSgdAggregator(compress::AcpSgdConfig config,
+                            int64_t buffer_bytes = fusion::kDefaultBufferBytes)
+      : acp_(config), buffer_bytes_(buffer_bytes) {}
+  [[nodiscard]] std::string name() const override { return "acpsgd"; }
+  void Aggregate(const std::vector<dnn::Param*>& params,
+                 comm::Communicator& comm) override;
+
+  [[nodiscard]] const compress::AcpSgd& algorithm() const { return acp_; }
+
+ private:
+  compress::AcpSgd acp_;
+  int64_t buffer_bytes_;
+};
+
+// Ready-made factories for the methods compared in Fig 6/7.
+[[nodiscard]] AggregatorFactory MakeSsgdFactory();
+[[nodiscard]] AggregatorFactory MakePowerSgdFactory(int64_t rank);
+[[nodiscard]] AggregatorFactory MakeAcpSgdFactory(int64_t rank,
+                                                  bool error_feedback = true,
+                                                  bool reuse = true);
+
+}  // namespace acps::core

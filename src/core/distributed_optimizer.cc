@@ -1,0 +1,20 @@
+#include "core/distributed_optimizer.h"
+
+namespace acps::core {
+
+DistributedOptimizer::DistributedOptimizer(
+    std::vector<dnn::Param*> params,
+    std::unique_ptr<GradientAggregator> aggregator, dnn::LrSchedule schedule,
+    float momentum, float weight_decay)
+    : params_(std::move(params)),
+      aggregator_(std::move(aggregator)),
+      sgd_(params_, schedule, momentum, weight_decay) {
+  ACPS_CHECK_MSG(aggregator_ != nullptr, "aggregator must not be null");
+}
+
+void DistributedOptimizer::Step(comm::Communicator& comm, double epoch) {
+  aggregator_->Aggregate(params_, comm);
+  sgd_.Step(epoch);
+}
+
+}  // namespace acps::core

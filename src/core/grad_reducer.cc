@@ -1,0 +1,173 @@
+#include "core/grad_reducer.h"
+
+#include "compress/powersgd.h"
+
+namespace acps::core {
+
+GradReducer::GradReducer(std::vector<dnn::Param*> params,
+                         compress::AcpSgdConfig config,
+                         comm::Communicator* comm, int64_t buffer_bytes)
+    : params_(std::move(params)),
+      acp_(config),
+      comm_(comm),
+      buffer_bytes_(buffer_bytes) {
+  ACPS_CHECK_MSG(comm_ != nullptr, "communicator must not be null");
+  lowrank_index_.assign(params_.size(), -1);
+  dense_index_.assign(params_.size(), -1);
+
+  // Classify in backward (gradient-ready) order so bucket plans follow the
+  // order hooks fire in.
+  int64_t grad_total = 0;
+  std::vector<int64_t> dense_bytes;
+  std::vector<int64_t> factor_bytes[2];  // [parity]
+  for (size_t r = 0; r < params_.size(); ++r) {
+    const size_t i = params_.size() - 1 - r;
+    dnn::Param* p = params_[i];
+    grad_total += p->grad.numel() * static_cast<int64_t>(sizeof(float));
+    if (p->is_matrix() &&
+        compress::LowRankWorthwhile({p->matrix_rows, p->matrix_cols},
+                                    acp_.config().rank)) {
+      lowrank_index_[i] = static_cast<int>(lowrank_of_.size());
+      lowrank_of_.push_back(i);
+      const int64_t rank = compress::EffectiveRank(
+          p->matrix_rows, p->matrix_cols, acp_.config().rank);
+      factor_bytes[1].push_back(p->matrix_rows * rank * 4);  // P step
+      factor_bytes[0].push_back(p->matrix_cols * rank * 4);  // Q step
+    } else {
+      dense_index_[i] = static_cast<int>(dense_of_.size());
+      dense_of_.push_back(i);
+      dense_bytes.push_back(p->grad.numel() *
+                            static_cast<int64_t>(sizeof(float)));
+    }
+  }
+
+  // Bucket plans: scaled budget per parity (paper §IV-B), default budget
+  // for dense tensors.
+  factor_plans_.resize(2);
+  for (int parity = 0; parity < 2; ++parity) {
+    int64_t factor_total = 0;
+    for (int64_t b : factor_bytes[parity]) factor_total += b;
+    const int64_t budget = fusion::ScaledBufferBytes(
+        buffer_bytes_, factor_total, grad_total);
+    const auto buckets =
+        fusion::AssignBuckets(factor_bytes[parity], budget);
+    lowrank_bucket_of_[parity].assign(lowrank_of_.size(), -1);
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      BucketPlan plan;
+      plan.members = buckets[b];
+      for (int m : buckets[b])
+        lowrank_bucket_of_[parity][static_cast<size_t>(m)] =
+            static_cast<int>(b);
+      factor_plans_[static_cast<size_t>(parity)].push_back(std::move(plan));
+    }
+  }
+  const auto dense_buckets = fusion::AssignBuckets(dense_bytes, buffer_bytes_);
+  dense_bucket_of_.assign(dense_of_.size(), -1);
+  for (size_t b = 0; b < dense_buckets.size(); ++b) {
+    BucketPlan plan;
+    plan.members = dense_buckets[b];
+    for (int m : dense_buckets[b])
+      dense_bucket_of_[static_cast<size_t>(m)] = static_cast<int>(b);
+    dense_plan_.push_back(std::move(plan));
+  }
+
+  factors_.resize(lowrank_of_.size());
+  ready_.assign(params_.size(), false);
+}
+
+void GradReducer::BeginStep() {
+  ACPS_CHECK_MSG(!in_step_, "BeginStep called twice without FinishStep");
+  in_step_ = true;
+  remaining_ = params_.size();
+  std::fill(ready_.begin(), ready_.end(), false);
+  for (auto& f : factors_) f.reset();
+  const int parity = static_cast<int>((steps_ + 1) % 2);
+  for (auto& plan : factor_plans_[static_cast<size_t>(parity)])
+    plan.pending = static_cast<int>(plan.members.size());
+  for (auto& plan : dense_plan_)
+    plan.pending = static_cast<int>(plan.members.size());
+}
+
+void GradReducer::OnGradReady(size_t param_index) {
+  ACPS_CHECK_MSG(in_step_, "OnGradReady outside BeginStep/FinishStep");
+  ACPS_CHECK_MSG(param_index < params_.size(), "param index out of range");
+  ACPS_CHECK_MSG(!ready_[param_index],
+                 "OnGradReady called twice for param " << param_index);
+  ready_[param_index] = true;
+  --remaining_;
+
+  const int parity = static_cast<int>((steps_ + 1) % 2);
+  if (const int li = lowrank_index_[param_index]; li >= 0) {
+    // Compress now (local, non-blocking); communicate when the bucket
+    // completes.
+    factors_[static_cast<size_t>(li)] = acp_.LocalStep(
+        static_cast<int64_t>(param_index), params_[param_index]->grad);
+    const int bucket = lowrank_bucket_of_[parity][static_cast<size_t>(li)];
+    BucketPlan& plan =
+        factor_plans_[static_cast<size_t>(parity)][static_cast<size_t>(bucket)];
+    if (--plan.pending == 0) IssueLowRankBucket(bucket);
+  } else {
+    const int di = dense_index_[param_index];
+    const int bucket = dense_bucket_of_[static_cast<size_t>(di)];
+    BucketPlan& plan = dense_plan_[static_cast<size_t>(bucket)];
+    if (--plan.pending == 0) IssueDenseBucket(bucket);
+  }
+}
+
+void GradReducer::IssueLowRankBucket(int bucket) {
+  const int parity = static_cast<int>((steps_ + 1) % 2);
+  const BucketPlan& plan =
+      factor_plans_[static_cast<size_t>(parity)][static_cast<size_t>(bucket)];
+  const float inv = 1.0f / static_cast<float>(comm_->world_size());
+  fusion::FusionBuffer buf;
+  for (int m : plan.members)
+    (void)buf.AddSlot(
+        static_cast<int64_t>(factors_[static_cast<size_t>(m)]->size()));
+  for (size_t s = 0; s < plan.members.size(); ++s)
+    buf.Pack(static_cast<int>(s),
+             *factors_[static_cast<size_t>(plan.members[s])]);
+  auto flat = buf.flat();
+  comm_->all_reduce(flat);
+  for (float& v : flat) v *= inv;
+  for (size_t s = 0; s < plan.members.size(); ++s) {
+    const int m = plan.members[s];
+    buf.Unpack(static_cast<int>(s), *factors_[static_cast<size_t>(m)]);
+    const size_t param_index = lowrank_of_[static_cast<size_t>(m)];
+    acp_.Finish(static_cast<int64_t>(param_index),
+                params_[param_index]->grad);
+  }
+}
+
+void GradReducer::IssueDenseBucket(int bucket) {
+  const BucketPlan& plan = dense_plan_[static_cast<size_t>(bucket)];
+  const float inv = 1.0f / static_cast<float>(comm_->world_size());
+  fusion::FusionBuffer buf;
+  for (int m : plan.members) {
+    const size_t param_index = dense_of_[static_cast<size_t>(m)];
+    (void)buf.AddSlot(params_[param_index]->grad.numel());
+  }
+  for (size_t s = 0; s < plan.members.size(); ++s) {
+    const size_t param_index =
+        dense_of_[static_cast<size_t>(plan.members[s])];
+    buf.Pack(static_cast<int>(s), params_[param_index]->grad.data());
+  }
+  auto flat = buf.flat();
+  comm_->all_reduce(flat);
+  for (float& v : flat) v *= inv;
+  for (size_t s = 0; s < plan.members.size(); ++s) {
+    const size_t param_index =
+        dense_of_[static_cast<size_t>(plan.members[s])];
+    buf.Unpack(static_cast<int>(s), params_[param_index]->grad.data());
+  }
+}
+
+void GradReducer::FinishStep() {
+  ACPS_CHECK_MSG(in_step_, "FinishStep without BeginStep");
+  ACPS_CHECK_MSG(remaining_ == 0, remaining_
+                                      << " params never reported ready — "
+                                         "did every hook fire?");
+  in_step_ = false;
+  ++steps_;
+}
+
+}  // namespace acps::core

@@ -1,0 +1,106 @@
+#include "core/policy.h"
+
+#include "compress/powersgd.h"
+
+namespace acps::core {
+namespace {
+
+// ACP-SGD per-step wire bytes for one tensor under low-rank: the average
+// of the P and Q parities.
+int64_t FactorBytes(const models::LayerSpec& l, int64_t rank) {
+  const int64_t r = compress::EffectiveRank(l.matrix_rows, l.matrix_cols,
+                                            rank);
+  return (l.matrix_rows + l.matrix_cols) * r * 4 / 2;
+}
+
+// Per-tensor ACP compression compute (compress + reconstruct).
+double CompressSeconds(const models::LayerSpec& l, int64_t rank,
+                       const sim::GpuModel& gpu) {
+  const int64_t r = compress::EffectiveRank(l.matrix_rows, l.matrix_cols,
+                                            rank);
+  return gpu.AcpCompressCost(l.matrix_rows, l.matrix_cols, r).total() +
+         gpu.ReconstructCost(l.matrix_rows, l.matrix_cols, r).total();
+}
+
+bool Eligible(const models::LayerSpec& l, int64_t rank) {
+  return l.compressible &&
+         compress::LowRankWorthwhile({l.matrix_rows, l.matrix_cols}, rank);
+}
+
+}  // namespace
+
+PolicyCost EvaluatePolicy(const models::ModelSpec& model,
+                          const CompressionPolicy& policy,
+                          const comm::CostModel& net,
+                          const sim::GpuModel& gpu, const PolicyConfig& cfg) {
+  ACPS_CHECK_MSG(policy.per_tensor.size() == model.layers.size(),
+                 "policy size mismatch: " << policy.per_tensor.size()
+                                          << " vs " << model.layers.size());
+  PolicyCost cost;
+  int64_t wire_bytes = 0;
+  for (size_t i = 0; i < model.layers.size(); ++i) {
+    const auto& l = model.layers[i];
+    if (policy.per_tensor[i] == TensorMethod::kLowRank) {
+      ACPS_CHECK_MSG(Eligible(l, policy.rank),
+                     "policy marks non-compressible tensor " << l.name
+                                                             << " low-rank");
+      wire_bytes += FactorBytes(l, policy.rank);
+      cost.compress_s += CompressSeconds(l, policy.rank, gpu);
+    } else {
+      wire_bytes += l.bytes();
+    }
+  }
+  // One α per bucket + the β term over the total volume.
+  cost.comm_s =
+      cfg.num_buckets * net.AllReduceStartup() +
+      (net.AllReduce(static_cast<double>(wire_bytes)) - net.AllReduceStartup());
+  cost.exposed_s = cost.compress_s + cfg.exposure * cost.comm_s;
+  return cost;
+}
+
+CompressionPolicy DecidePolicy(const models::ModelSpec& model,
+                               const comm::CostModel& net,
+                               const sim::GpuModel& gpu,
+                               const PolicyConfig& cfg) {
+  CompressionPolicy policy;
+  policy.rank = cfg.rank;
+  policy.per_tensor.assign(model.layers.size(), TensorMethod::kDense);
+
+  // Marginal per-byte wire cost of the ring all-reduce (the β term).
+  const double p = net.world_size();
+  const double rate =
+      p <= 1 ? 0.0
+             : 2.0 * (p - 1.0) / p / net.net().beta_bytes_per_s;
+
+  for (size_t i = 0; i < model.layers.size(); ++i) {
+    const auto& l = model.layers[i];
+    if (!Eligible(l, cfg.rank)) continue;
+    const double delta_bytes =
+        static_cast<double>(l.bytes() - FactorBytes(l, cfg.rank));
+    const double comm_saving = cfg.exposure * delta_bytes * rate;
+    const double compute_cost = CompressSeconds(l, cfg.rank, gpu);
+    if (comm_saving > compute_cost)
+      policy.per_tensor[i] = TensorMethod::kLowRank;
+  }
+  return policy;
+}
+
+CompressionPolicy AllDense(const models::ModelSpec& model, int64_t rank) {
+  CompressionPolicy policy;
+  policy.rank = rank;
+  policy.per_tensor.assign(model.layers.size(), TensorMethod::kDense);
+  return policy;
+}
+
+CompressionPolicy AllLowRank(const models::ModelSpec& model, int64_t rank) {
+  CompressionPolicy policy;
+  policy.rank = rank;
+  policy.per_tensor.assign(model.layers.size(), TensorMethod::kDense);
+  for (size_t i = 0; i < model.layers.size(); ++i) {
+    if (Eligible(model.layers[i], rank))
+      policy.per_tensor[i] = TensorMethod::kLowRank;
+  }
+  return policy;
+}
+
+}  // namespace acps::core

@@ -1,0 +1,80 @@
+// Per-tensor compression policy selection (ByteComp-lite; paper ref [37]).
+//
+// The paper's related work notes that whether compression pays off depends
+// on the tensor and the hardware: ByteComp searches a per-tensor strategy.
+// This module implements the decision analytically for the ACP-SGD family:
+// for each tensor, low-rank compression is chosen iff its marginal
+// communication saving (α-β model, discounted by how much of the
+// communication is actually exposed) exceeds its compression compute cost:
+//
+//   choose LOW-RANK  iff  exposure · Δbytes · rate  >  t_compress(tensor)
+//
+// where Δbytes = dense wire bytes − factor wire bytes, rate = the ring
+// all-reduce per-byte cost 2(p−1)/(p·β), and exposure ∈ [0,1] models how
+// much communication WFBP fails to hide (1 = fully exposed, e.g. 1GbE
+// with a fat model; ~0 = fully hidden, e.g. 100Gb InfiniBand).
+//
+// The rule recovers the paper's global observations as special cases: on
+// slow networks everything compressible flips to low-rank; on fast
+// networks compression is mostly skipped.
+#pragma once
+
+#include <vector>
+
+#include "comm/cost_model.h"
+#include "models/layer_spec.h"
+#include "sim/gpu_model.h"
+
+namespace acps::core {
+
+enum class TensorMethod { kDense, kLowRank };
+
+struct CompressionPolicy {
+  // One entry per model layer (forward order).
+  std::vector<TensorMethod> per_tensor;
+  int64_t rank = 4;
+
+  [[nodiscard]] size_t num_lowrank() const {
+    size_t n = 0;
+    for (TensorMethod m : per_tensor)
+      if (m == TensorMethod::kLowRank) ++n;
+    return n;
+  }
+};
+
+struct PolicyCost {
+  double compress_s = 0.0;   // total compression + decompression compute
+  double comm_s = 0.0;       // total wire time (α amortized over buckets)
+  double exposed_s = 0.0;    // exposure-weighted comm + compress overhead
+};
+
+struct PolicyConfig {
+  int64_t rank = 4;
+  // Fraction of communication time that back-propagation cannot hide.
+  double exposure = 1.0;
+  // Approximate number of fused buckets (amortizes the α term).
+  int num_buckets = 4;
+};
+
+// Analytic cost of running `policy` for one iteration (overheads only; the
+// FF&BP time is policy-independent).
+[[nodiscard]] PolicyCost EvaluatePolicy(const models::ModelSpec& model,
+                                        const CompressionPolicy& policy,
+                                        const comm::CostModel& net,
+                                        const sim::GpuModel& gpu,
+                                        const PolicyConfig& cfg);
+
+// The per-tensor decision rule above, applied to every layer. Vector
+// params and non-worthwhile matrices always stay dense.
+[[nodiscard]] CompressionPolicy DecidePolicy(const models::ModelSpec& model,
+                                             const comm::CostModel& net,
+                                             const sim::GpuModel& gpu,
+                                             const PolicyConfig& cfg);
+
+// Uniform policies for comparison.
+[[nodiscard]] CompressionPolicy AllDense(const models::ModelSpec& model,
+                                         int64_t rank);
+[[nodiscard]] CompressionPolicy AllLowRank(const models::ModelSpec& model,
+                                           int64_t rank);
+
+}  // namespace acps::core

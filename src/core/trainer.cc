@@ -1,0 +1,130 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+
+#include "dnn/loss.h"
+#include "dnn/mini_models.h"
+#include "metrics/csv.h"
+
+namespace acps::core {
+
+TrainResult TrainDistributed(comm::ThreadGroup& group,
+                             const TrainConfig& config,
+                             const AggregatorFactory& factory) {
+  ACPS_CHECK_MSG(config.train_samples %
+                         (static_cast<int64_t>(group.world_size()) *
+                          config.batch_per_worker) ==
+                     0,
+                 "train_samples must divide evenly into world*batch");
+
+  TrainResult result;
+  std::mutex result_mu;
+
+  group.Run([&](comm::Communicator& comm) {
+    const int rank = comm.rank();
+    const int world = comm.world_size();
+
+    // Identical replicas + deterministic data on every worker.
+    dnn::MiniModelSpec mspec;
+    mspec.channels = config.data.channels;
+    mspec.height = config.data.height;
+    mspec.width = config.data.width;
+    mspec.num_classes = config.data.num_classes;
+    dnn::Network net = dnn::MiniByName(config.model, mspec);
+    net.Init(config.model_seed);
+
+    const dnn::Dataset train =
+        dnn::MakeSynthetic(config.data, config.train_samples, /*salt=*/1);
+    const dnn::Dataset test =
+        dnn::MakeSynthetic(config.data, config.test_samples, /*salt=*/2);
+    const dnn::Shard shard = dnn::ShardFor(train, rank, world);
+
+    auto aggregator = factory(rank, world);
+    dnn::SgdOptimizer opt(net.params(), config.lr, config.momentum,
+                          config.weight_decay);
+
+    const int64_t iters_per_epoch = shard.count / config.batch_per_worker;
+    std::vector<int64_t> order(static_cast<size_t>(shard.count));
+    std::iota(order.begin(), order.end(), shard.begin);
+
+    Tensor batch_x;
+    std::vector<int> batch_y;
+    Tensor one_x({1, train.features});
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      // Epoch-local shuffle of this worker's shard (deterministic).
+      Rng shuffle = Rng(config.shuffle_seed)
+                        .split(static_cast<uint64_t>(epoch) * 131 +
+                               static_cast<uint64_t>(rank));
+      for (size_t i = order.size(); i > 1; --i) {
+        const size_t j = static_cast<size_t>(shuffle.next_below(i));
+        std::swap(order[i - 1], order[j]);
+      }
+
+      double loss_acc = 0.0;
+      for (int64_t it = 0; it < iters_per_epoch; ++it) {
+        // Assemble the batch from the shuffled shard.
+        batch_x = Tensor({config.batch_per_worker, train.features});
+        batch_y.assign(static_cast<size_t>(config.batch_per_worker), 0);
+        for (int64_t b = 0; b < config.batch_per_worker; ++b) {
+          const int64_t src = order[static_cast<size_t>(
+              it * config.batch_per_worker + b)];
+          std::vector<int> one_y;
+          train.Slice(src, 1, one_x, one_y);
+          std::copy(one_x.data().begin(), one_x.data().end(),
+                    batch_x.data().begin() + b * train.features);
+          batch_y[static_cast<size_t>(b)] = one_y[0];
+        }
+
+        net.ZeroGrads();
+        const Tensor logits = net.Forward(batch_x);
+        const dnn::LossResult loss = dnn::SoftmaxCrossEntropy(logits, batch_y);
+        loss_acc += loss.loss;
+        (void)net.Backward(loss.grad_logits);
+
+        auto params = net.params();
+        aggregator->Aggregate(params, comm);
+
+        const double frac_epoch =
+            epoch + static_cast<double>(it) / std::max<int64_t>(1, iters_per_epoch);
+        opt.Step(frac_epoch);
+      }
+
+      // Rank 0 evaluates; everyone synchronizes so replicas stay aligned.
+      if (rank == 0) {
+        Tensor test_x;
+        std::vector<int> test_y;
+        test.Slice(0, test.size(), test_x, test_y);
+        const Tensor logits = net.Forward(test_x);
+        EpochStat stat;
+        stat.epoch = epoch;
+        stat.train_loss = loss_acc / std::max<int64_t>(1, iters_per_epoch);
+        stat.test_acc = dnn::Accuracy(logits, test_y);
+        std::lock_guard lock(result_mu);
+        result.history.push_back(stat);
+      }
+      comm.barrier();
+    }
+  });
+
+  if (!result.history.empty()) {
+    result.final_test_acc = result.history.back().test_acc;
+    for (const auto& s : result.history)
+      result.best_test_acc = std::max(result.best_test_acc, s.test_acc);
+  }
+  if (!config.history_csv_path.empty()) {
+    metrics::CsvWriter csv({"epoch", "train_loss", "test_acc"});
+    for (const auto& s : result.history) {
+      csv.AddRow({std::to_string(s.epoch), std::to_string(s.train_loss),
+                  std::to_string(s.test_acc)});
+    }
+    ACPS_CHECK_MSG(csv.WriteFile(config.history_csv_path),
+                   "failed to write history CSV to "
+                       << config.history_csv_path);
+  }
+  return result;
+}
+
+}  // namespace acps::core

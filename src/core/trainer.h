@@ -1,0 +1,56 @@
+// Data-parallel trainer: the Fig 6/7 convergence harness.
+//
+// Each worker thread builds an identical model replica (same seed), streams
+// its shard of the synthetic dataset, computes gradients, aggregates them
+// through the chosen GradientAggregator (real collectives), and applies
+// momentum SGD with the paper's warmup + step-decay schedule. Rank 0
+// evaluates test accuracy after every epoch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "core/aggregators.h"
+#include "dnn/dataset.h"
+#include "dnn/optimizer.h"
+
+namespace acps::core {
+
+struct TrainConfig {
+  std::string model = "vgg-mini";  // "vgg-mini" | "res-mini"
+  dnn::SyntheticSpec data;
+  int64_t train_samples = 2048;  // must be divisible by world*batch
+  int64_t test_samples = 512;
+  int epochs = 30;
+  int batch_per_worker = 32;
+  dnn::LrSchedule lr{0.1f, /*warmup_epochs=*/3, /*decay_epochs=*/{15, 23},
+                     /*decay_factor=*/0.1f};
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  uint64_t model_seed = 42;
+  uint64_t shuffle_seed = 7;
+  // If non-empty, the per-epoch history (epoch, train_loss, test_acc) is
+  // written there as CSV when training finishes.
+  std::string history_csv_path;
+};
+
+struct EpochStat {
+  int epoch = 0;
+  double train_loss = 0.0;  // rank-0 mean loss over the epoch
+  double test_acc = 0.0;    // rank-0 full-test accuracy
+};
+
+struct TrainResult {
+  std::vector<EpochStat> history;
+  double final_test_acc = 0.0;
+  double best_test_acc = 0.0;
+};
+
+// Runs the experiment on `group` (one worker per communicator rank).
+// The factory is called once per worker, inside that worker's thread.
+[[nodiscard]] TrainResult TrainDistributed(comm::ThreadGroup& group,
+                                           const TrainConfig& config,
+                                           const AggregatorFactory& factory);
+
+}  // namespace acps::core

@@ -1,0 +1,52 @@
+#include "dnn/adam.h"
+
+#include <cmath>
+
+namespace acps::dnn {
+
+AdamOptimizer::AdamOptimizer(std::vector<Param*> params, LrSchedule schedule,
+                             float beta1, float beta2, float eps,
+                             float weight_decay)
+    : params_(std::move(params)),
+      schedule_(schedule),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  ACPS_CHECK_MSG(beta1 >= 0.0f && beta1 < 1.0f && beta2 >= 0.0f &&
+                     beta2 < 1.0f && eps > 0.0f,
+                 "invalid Adam hyperparameters");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.push_back(Tensor::Zeros(p->value.shape()));
+    v_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void AdamOptimizer::Step(double epoch) {
+  const float lr = schedule_.LrAt(epoch);
+  last_lr_ = lr;
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(t_));  // bias corrections
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    auto md = m_[i].data();
+    auto vd = v_[i].data();
+    auto gd = p->grad.data();
+    auto wd = p->value.data();
+    for (size_t j = 0; j < md.size(); ++j) {
+      float g = gd[j];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * wd[j];
+      md[j] = beta1_ * md[j] + (1.0f - beta1_) * g;
+      vd[j] = beta2_ * vd[j] + (1.0f - beta2_) * g * g;
+      const float mhat = md[j] / bc1;
+      const float vhat = vd[j] / bc2;
+      wd[j] -= lr * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace acps::dnn

@@ -1,0 +1,32 @@
+// Adam optimizer (Kingma & Ba) with bias correction — the optimizer behind
+// the BERT results the paper benchmarks, and the base of 1-bit Adam (paper
+// ref [5]). Drop-in alternative to SgdOptimizer; shares LrSchedule.
+#pragma once
+
+#include "dnn/optimizer.h"
+
+namespace acps::dnn {
+
+class AdamOptimizer {
+ public:
+  AdamOptimizer(std::vector<Param*> params, LrSchedule schedule,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+                float weight_decay = 0.0f);
+
+  // Applies one update using the gradients currently in the params.
+  void Step(double epoch);
+
+  [[nodiscard]] float last_lr() const noexcept { return last_lr_; }
+  [[nodiscard]] int64_t step_count() const noexcept { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_;  // first moment
+  std::vector<Tensor> v_;  // second moment
+  LrSchedule schedule_;
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  float last_lr_ = 0.0f;
+};
+
+}  // namespace acps::dnn

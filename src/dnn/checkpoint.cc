@@ -1,0 +1,90 @@
+#include "dnn/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace acps::dnn {
+namespace {
+
+constexpr uint32_t kMagic = 0x41435053;  // "ACPS"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void Write(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T Read(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  ACPS_CHECK_MSG(static_cast<bool>(in), "checkpoint truncated");
+  return v;
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  Write(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::ifstream& in) {
+  const auto len = Read<uint32_t>(in);
+  ACPS_CHECK_MSG(len < (1u << 20), "implausible string length in checkpoint");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  ACPS_CHECK_MSG(static_cast<bool>(in), "checkpoint truncated");
+  return s;
+}
+
+}  // namespace
+
+bool SaveCheckpoint(Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const auto params = net.params();
+  Write(out, kMagic);
+  Write(out, kVersion);
+  Write(out, static_cast<uint64_t>(params.size()));
+  for (const Param* p : params) {
+    WriteString(out, p->name);
+    Write(out, static_cast<uint32_t>(p->value.shape().size()));
+    for (int64_t d : p->value.shape()) Write(out, d);
+    const auto data = p->value.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadCheckpoint(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  ACPS_CHECK_MSG(Read<uint32_t>(in) == kMagic, "not an acps checkpoint");
+  ACPS_CHECK_MSG(Read<uint32_t>(in) == kVersion,
+                 "unsupported checkpoint version");
+  const auto params = net.params();
+  const auto count = Read<uint64_t>(in);
+  ACPS_CHECK_MSG(count == params.size(),
+                 "checkpoint has " << count << " tensors, network has "
+                                   << params.size());
+  for (Param* p : params) {
+    const std::string name = ReadString(in);
+    ACPS_CHECK_MSG(name == p->name, "checkpoint tensor '"
+                                        << name << "' does not match '"
+                                        << p->name << "'");
+    const auto ndim = Read<uint32_t>(in);
+    Shape shape(ndim);
+    for (auto& d : shape) d = Read<int64_t>(in);
+    ACPS_CHECK_MSG(shape == p->value.shape(),
+                   "shape mismatch for " << name << ": "
+                       << ShapeToString(shape) << " vs "
+                       << ShapeToString(p->value.shape()));
+    auto data = p->value.data();
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    ACPS_CHECK_MSG(static_cast<bool>(in), "checkpoint truncated in " << name);
+  }
+  return true;
+}
+
+}  // namespace acps::dnn

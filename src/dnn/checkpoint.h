@@ -1,0 +1,24 @@
+// Binary checkpointing for networks: save/restore all parameter values so
+// long training runs (and the convergence benches) can resume, and so users
+// can export trained weights. Format: a small header (magic, version,
+// tensor count) followed by per-tensor records (name, shape, data),
+// validated exhaustively on load.
+#pragma once
+
+#include <string>
+
+#include "dnn/network.h"
+
+namespace acps::dnn {
+
+// Serializes all parameter values of `net` to `path`.
+// Returns false on I/O failure (contents unspecified on failure).
+[[nodiscard]] bool SaveCheckpoint(Network& net, const std::string& path);
+
+// Restores parameter values saved by SaveCheckpoint into `net`. The
+// network must have identical structure (names, shapes, order); any
+// mismatch or corruption throws acps::Error. Returns false if the file
+// cannot be opened.
+[[nodiscard]] bool LoadCheckpoint(Network& net, const std::string& path);
+
+}  // namespace acps::dnn

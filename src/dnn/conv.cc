@@ -1,0 +1,194 @@
+#include "dnn/conv.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/matrix_ops.h"
+
+namespace acps::dnn {
+
+Conv2d::Conv2d(std::string name, int64_t cin, int64_t cout, int64_t h,
+               int64_t w)
+    : name_(std::move(name)), cin_(cin), cout_(cout), h_(h), w_(w) {
+  ACPS_CHECK_MSG(cin >= 1 && cout >= 1 && h >= 1 && w >= 1, "bad Conv2d dims");
+  weight_.name = name_ + ".weight";
+  weight_.value = Tensor({cout, cin * 9});
+  weight_.grad = Tensor({cout, cin * 9});
+  weight_.matrix_rows = cout;
+  weight_.matrix_cols = cin * 9;
+  bias_.name = name_ + ".bias";
+  bias_.value = Tensor({cout});
+  bias_.grad = Tensor({cout});
+}
+
+void Conv2d::Init(Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(cin_ * 9));
+  rng.fill_uniform(weight_.value, -bound, bound);
+  bias_.value.zero();
+}
+
+void Conv2d::Im2Col(std::span<const float> img, Tensor& col) const {
+  // col[(c*9 + ky*3 + kx), y*w + x] = img[c, y+ky-1, x+kx-1] (0 outside).
+  auto cd = col.data();
+  const int64_t hw = h_ * w_;
+  for (int64_t c = 0; c < cin_; ++c) {
+    for (int64_t ky = 0; ky < 3; ++ky) {
+      for (int64_t kx = 0; kx < 3; ++kx) {
+        float* row = cd.data() + (c * 9 + ky * 3 + kx) * hw;
+        for (int64_t y = 0; y < h_; ++y) {
+          const int64_t sy = y + ky - 1;
+          for (int64_t x = 0; x < w_; ++x) {
+            const int64_t sx = x + kx - 1;
+            row[y * w_ + x] =
+                (sy >= 0 && sy < h_ && sx >= 0 && sx < w_)
+                    ? img[static_cast<size_t>(c * hw + sy * w_ + sx)]
+                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::Col2Im(const Tensor& col, std::span<float> img) const {
+  auto cd = col.data();
+  const int64_t hw = h_ * w_;
+  for (int64_t c = 0; c < cin_; ++c) {
+    for (int64_t ky = 0; ky < 3; ++ky) {
+      for (int64_t kx = 0; kx < 3; ++kx) {
+        const float* row = cd.data() + (c * 9 + ky * 3 + kx) * hw;
+        for (int64_t y = 0; y < h_; ++y) {
+          const int64_t sy = y + ky - 1;
+          if (sy < 0 || sy >= h_) continue;
+          for (int64_t x = 0; x < w_; ++x) {
+            const int64_t sx = x + kx - 1;
+            if (sx < 0 || sx >= w_) continue;
+            img[static_cast<size_t>(c * hw + sy * w_ + sx)] +=
+                row[y * w_ + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::Forward(const Tensor& x) {
+  const int64_t in_feat = cin_ * h_ * w_;
+  ACPS_CHECK_MSG(x.ndim() == 2 && x.cols() == in_feat,
+                 name_ << ": input " << ShapeToString(x.shape())
+                       << " != " << in_feat);
+  input_ = x.clone();
+  const int64_t batch = x.rows();
+  const int64_t hw = h_ * w_;
+  Tensor y({batch, cout_ * hw});
+  Tensor col({cin_ * 9, hw});
+  Tensor out({cout_, hw});
+  for (int64_t b = 0; b < batch; ++b) {
+    Im2Col(x.data().subspan(static_cast<size_t>(b * in_feat),
+                            static_cast<size_t>(in_feat)),
+           col);
+    Gemm(weight_.value.data(), col.data(), out.data(), cout_, cin_ * 9, hw);
+    auto yd = y.data().subspan(static_cast<size_t>(b * cout_ * hw),
+                               static_cast<size_t>(cout_ * hw));
+    for (int64_t c = 0; c < cout_; ++c) {
+      const float bv = bias_.value.at(c);
+      for (int64_t i = 0; i < hw; ++i) yd[static_cast<size_t>(c * hw + i)] =
+          out.at(c, i) + bv;
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  const int64_t in_feat = cin_ * h_ * w_;
+  const int64_t hw = h_ * w_;
+  const int64_t batch = input_.rows();
+  ACPS_CHECK_MSG(grad_out.ndim() == 2 && grad_out.rows() == batch &&
+                     grad_out.cols() == cout_ * hw,
+                 name_ << ": bad grad_out");
+  Tensor gx({batch, in_feat});
+  Tensor col({cin_ * 9, hw});
+  Tensor gcol({cin_ * 9, hw});
+  for (int64_t b = 0; b < batch; ++b) {
+    const auto gy = grad_out.data().subspan(
+        static_cast<size_t>(b * cout_ * hw), static_cast<size_t>(cout_ * hw));
+    // dW += gy[cout,hw] · colᵀ[hw, cin*9]
+    Im2Col(input_.data().subspan(static_cast<size_t>(b * in_feat),
+                                 static_cast<size_t>(in_feat)),
+           col);
+    GemmTransB(gy, col.data(), weight_.grad.data(), cout_, hw, cin_ * 9,
+               1.0f, 1.0f);
+    // db += row sums of gy.
+    for (int64_t c = 0; c < cout_; ++c) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < hw; ++i)
+        acc += gy[static_cast<size_t>(c * hw + i)];
+      bias_.grad.at(c) += static_cast<float>(acc);
+    }
+    // gcol = Wᵀ[cin*9, cout] · gy[cout, hw]; scatter back to image layout.
+    GemmTransA(weight_.value.data(), gy, gcol.data(), cin_ * 9, cout_, hw);
+    Col2Im(gcol, gx.data().subspan(static_cast<size_t>(b * in_feat),
+                                   static_cast<size_t>(in_feat)));
+  }
+  return gx;
+}
+
+MaxPool2d::MaxPool2d(std::string name, int64_t c, int64_t h, int64_t w)
+    : name_(std::move(name)), c_(c), h_(h), w_(w) {
+  ACPS_CHECK_MSG(h % 2 == 0 && w % 2 == 0,
+                 name_ << ": pooling needs even spatial dims");
+}
+
+Tensor MaxPool2d::Forward(const Tensor& x) {
+  const int64_t in_feat = c_ * h_ * w_;
+  ACPS_CHECK_MSG(x.ndim() == 2 && x.cols() == in_feat,
+                 name_ << ": input mismatch");
+  batch_ = x.rows();
+  const int64_t oh = h_ / 2, ow = w_ / 2;
+  Tensor y({batch_, c_ * oh * ow});
+  argmax_.assign(static_cast<size_t>(batch_ * c_ * oh * ow), 0);
+  const auto xd = x.data();
+  auto yd = y.data();
+  for (int64_t b = 0; b < batch_; ++b) {
+    for (int64_t c = 0; c < c_; ++c) {
+      for (int64_t y2 = 0; y2 < oh; ++y2) {
+        for (int64_t x2 = 0; x2 < ow; ++x2) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t dy = 0; dy < 2; ++dy) {
+            for (int64_t dx = 0; dx < 2; ++dx) {
+              const int64_t idx =
+                  b * c_ * h_ * w_ + c * h_ * w_ + (2 * y2 + dy) * w_ +
+                  (2 * x2 + dx);
+              const float v = xd[static_cast<size_t>(idx)];
+              if (v > best) {
+                best = v;
+                best_idx = idx;
+              }
+            }
+          }
+          const int64_t oidx =
+              b * c_ * oh * ow + c * oh * ow + y2 * ow + x2;
+          yd[static_cast<size_t>(oidx)] = best;
+          argmax_[static_cast<size_t>(oidx)] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_out) {
+  const int64_t oh = h_ / 2, ow = w_ / 2;
+  ACPS_CHECK_MSG(grad_out.ndim() == 2 && grad_out.rows() == batch_ &&
+                     grad_out.cols() == c_ * oh * ow,
+                 name_ << ": bad grad_out");
+  Tensor gx({batch_, c_ * h_ * w_});
+  auto gxd = gx.data();
+  const auto gyd = grad_out.data();
+  for (size_t i = 0; i < argmax_.size(); ++i)
+    gxd[static_cast<size_t>(argmax_[i])] += gyd[i];
+  return gx;
+}
+
+}  // namespace acps::dnn

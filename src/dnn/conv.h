@@ -1,0 +1,54 @@
+// Naive 2-D convolution and max-pool layers (im2col formulation).
+//
+// Geometry is fixed per layer: input [batch, Cin*H*W] row-major with
+// channel-major pixel layout (c, y, x). Convolutions are 3x3, stride 1,
+// padding 1 (the CIFAR-style VGG/ResNet block shape); pooling is 2x2/2.
+#pragma once
+
+#include "dnn/layer.h"
+
+namespace acps::dnn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::string name, int64_t cin, int64_t cout, int64_t h, int64_t w);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  void Init(Rng& rng) override;
+
+  [[nodiscard]] int64_t out_features() const { return cout_ * h_ * w_; }
+
+ private:
+  // Builds the [Cin*9, H*W] im2col matrix of one sample.
+  void Im2Col(std::span<const float> img, Tensor& col) const;
+  // Scatters a [Cin*9, H*W] gradient matrix back to image layout.
+  void Col2Im(const Tensor& col, std::span<float> img) const;
+
+  std::string name_;
+  int64_t cin_, cout_, h_, w_;
+  Param weight_;  // [cout, cin*9]
+  Param bias_;    // [cout]
+  Tensor input_;
+};
+
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::string name, int64_t c, int64_t h, int64_t w);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+
+  [[nodiscard]] int64_t out_features() const { return c_ * (h_ / 2) * (w_ / 2); }
+
+ private:
+  std::string name_;
+  int64_t c_, h_, w_;
+  std::vector<int64_t> argmax_;  // flat input index per output element
+  int64_t batch_ = 0;
+};
+
+}  // namespace acps::dnn

@@ -1,0 +1,123 @@
+#include "dnn/dataset.h"
+
+#include <array>
+#include <cmath>
+
+namespace acps::dnn {
+namespace {
+
+// 3x3 box blur over each channel to make prototypes smooth (image-like
+// local correlation).
+void Smooth(Tensor& img, int64_t c, int64_t h, int64_t w) {
+  Tensor out(img.shape());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        double acc = 0.0;
+        int cnt = 0;
+        for (int64_t dy = -1; dy <= 1; ++dy) {
+          for (int64_t dx = -1; dx <= 1; ++dx) {
+            const int64_t sy = y + dy, sx = x + dx;
+            if (sy < 0 || sy >= h || sx < 0 || sx >= w) continue;
+            acc += img.at(ch * h * w + sy * w + sx);
+            ++cnt;
+          }
+        }
+        out.at(ch * h * w + y * w + x) =
+            static_cast<float>(acc / std::max(1, cnt));
+      }
+    }
+  }
+  img = std::move(out);
+}
+
+}  // namespace
+
+void Dataset::Slice(int64_t begin, int64_t count, Tensor& batch_x,
+                    std::vector<int>& batch_y) const {
+  ACPS_CHECK_MSG(begin >= 0 && count >= 0 && begin + count <= size(),
+                 "bad dataset slice [" << begin << ", " << begin + count
+                                       << ") of " << size());
+  batch_x = Tensor({count, features});
+  batch_y.assign(static_cast<size_t>(count), 0);
+  const auto src = xs.data();
+  auto dst = batch_x.data();
+  std::copy(src.begin() + static_cast<ptrdiff_t>(begin * features),
+            src.begin() + static_cast<ptrdiff_t>((begin + count) * features),
+            dst.begin());
+  for (int64_t i = 0; i < count; ++i)
+    batch_y[static_cast<size_t>(i)] = labels[static_cast<size_t>(begin + i)];
+}
+
+Dataset MakeSynthetic(const SyntheticSpec& spec, int64_t n,
+                      uint64_t split_salt) {
+  const int64_t features = spec.channels * spec.height * spec.width;
+  ACPS_CHECK_MSG(n >= spec.num_classes, "need at least one sample per class");
+
+  // Class prototypes and the shared mixing matrix depend only on the seed,
+  // never the split, so train and test come from the same distribution.
+  Rng proto_rng = Rng(spec.seed).split(1);
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(static_cast<size_t>(spec.num_classes));
+  for (int c = 0; c < spec.num_classes; ++c) {
+    Tensor p({features});
+    proto_rng.fill_normal(p);
+    Smooth(p, spec.channels, spec.height, spec.width);
+    p.scale_(2.0f / std::max(1e-6f, p.norm2() /
+                                        std::sqrt(static_cast<float>(features))));
+    prototypes.push_back(std::move(p));
+  }
+  // Sparse random mixing: each output feature blends 4 input features.
+  Rng mix_rng = Rng(spec.seed).split(2);
+  std::vector<std::array<int64_t, 4>> mix_idx(static_cast<size_t>(features));
+  std::vector<std::array<float, 4>> mix_w(static_cast<size_t>(features));
+  for (int64_t f = 0; f < features; ++f) {
+    for (int k = 0; k < 4; ++k) {
+      mix_idx[static_cast<size_t>(f)][static_cast<size_t>(k)] =
+          static_cast<int64_t>(mix_rng.next_below(static_cast<uint64_t>(features)));
+      mix_w[static_cast<size_t>(f)][static_cast<size_t>(k)] =
+          mix_rng.normal(0.0f, 0.5f);
+    }
+  }
+
+  Dataset ds;
+  ds.features = features;
+  ds.num_classes = spec.num_classes;
+  ds.xs = Tensor({n, features});
+  ds.labels.assign(static_cast<size_t>(n), 0);
+
+  Rng sample_rng = Rng(spec.seed).split(0x5A17 + split_salt);
+  Tensor raw({features});
+  for (int64_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % spec.num_classes);
+    ds.labels[static_cast<size_t>(i)] = label;
+    const Tensor& proto = prototypes[static_cast<size_t>(label)];
+    for (int64_t f = 0; f < features; ++f) {
+      const float jitter = 1.0f + 0.3f * sample_rng.normal();
+      raw.at(f) = proto.at(f) * jitter + spec.noise * sample_rng.normal();
+    }
+    // Nonlinear mixing: x_f = tanh(raw_f + Σ_k w_k · raw_{idx_k}).
+    for (int64_t f = 0; f < features; ++f) {
+      float v = raw.at(f);
+      for (int k = 0; k < 4; ++k)
+        v += mix_w[static_cast<size_t>(f)][static_cast<size_t>(k)] *
+             raw.at(mix_idx[static_cast<size_t>(f)][static_cast<size_t>(k)]);
+      ds.xs.at(i * features + f) = std::tanh(v);
+    }
+  }
+  return ds;
+}
+
+Shard ShardFor(const Dataset& ds, int rank, int world) {
+  ACPS_CHECK_MSG(world >= 1 && rank >= 0 && rank < world, "bad shard rank");
+  const int64_t n = ds.size();
+  const int64_t base = n / world;
+  const int64_t rem = n % world;
+  const int64_t extra = std::min<int64_t>(rank, rem);
+  Shard s;
+  s.begin = base * rank + extra;
+  s.count = base + (rank < rem ? 1 : 0);
+  return s;
+}
+
+}  // namespace acps::dnn

@@ -1,0 +1,51 @@
+// Synthetic 10-class image dataset — the CIFAR-10 stand-in (DESIGN.md §2).
+//
+// Each class has a random smooth prototype image; a sample is its class
+// prototype under multiplicative jitter plus additive Gaussian noise, passed
+// through a fixed random mixing layer (tanh(M·x)) so the task is not
+// linearly separable. Class difficulty is controlled by the noise scale.
+// Everything is deterministic in the seed, so all data-parallel workers can
+// regenerate the dataset locally and shard it by rank.
+#pragma once
+
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace acps::dnn {
+
+struct Dataset {
+  Tensor xs;               // [n, features]
+  std::vector<int> labels;  // n entries in [0, classes)
+  int64_t features = 0;
+  int num_classes = 0;
+
+  [[nodiscard]] int64_t size() const { return xs.ndim() == 2 ? xs.rows() : 0; }
+
+  // Copies sample rows [begin, begin+count) into a batch tensor + labels.
+  void Slice(int64_t begin, int64_t count, Tensor& batch_x,
+             std::vector<int>& batch_y) const;
+};
+
+struct SyntheticSpec {
+  int num_classes = 10;
+  int64_t channels = 3;
+  int64_t height = 8;
+  int64_t width = 8;
+  float noise = 0.8f;
+  uint64_t seed = 0xDA7Aull;
+};
+
+// Generates train and test splits from the same class prototypes.
+[[nodiscard]] Dataset MakeSynthetic(const SyntheticSpec& spec, int64_t n,
+                                    uint64_t split_salt);
+
+// The contiguous shard of `ds` owned by `rank` out of `world` workers.
+struct Shard {
+  int64_t begin = 0;
+  int64_t count = 0;
+};
+[[nodiscard]] Shard ShardFor(const Dataset& ds, int rank, int world);
+
+}  // namespace acps::dnn

@@ -1,0 +1,62 @@
+// Minimal trainable neural-network substrate for the convergence
+// experiments (paper §V-B, Fig 6/7).
+//
+// The paper trains VGG-16 / ResNet-18 on CIFAR-10 for 300 epochs on 4 GPUs;
+// here (no GPUs, no datasets offline) miniaturized versions of the same
+// architectures train on a synthetic 10-class image task (DESIGN.md §2).
+// What matters for the reproduction is the *optimizer algebra* — that
+// ACP-SGD with error feedback + reuse matches S-SGD / Power-SGD accuracy
+// and that the ablations degrade — which this substrate exercises end to
+// end through the real collectives.
+//
+// Conventions: activations are dense row-major [batch, features]; image
+// layers (conv/pool) know their own C×H×W geometry. Forward caches whatever
+// Backward needs; Backward ACCUMULATES into param.grad (callers zero grads
+// between steps) and returns the gradient w.r.t. the layer input.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace acps::dnn {
+
+// One learnable tensor. `matrix_rows/cols` give the 2-D view used by
+// low-rank compression (0 for vector-shaped parameters such as biases).
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  int64_t matrix_rows = 0;
+  int64_t matrix_cols = 0;
+
+  [[nodiscard]] bool is_matrix() const {
+    return matrix_rows > 1 && matrix_cols > 1;
+  }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // x: [batch, in_features] -> [batch, out_features].
+  virtual Tensor Forward(const Tensor& x) = 0;
+
+  // grad_out: [batch, out_features] -> gradient w.r.t. input; accumulates
+  // parameter gradients. Must be called after Forward on the same batch.
+  virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  // Learnable parameters (empty by default). Pointers remain valid for the
+  // layer's lifetime.
+  virtual std::vector<Param*> params() { return {}; }
+
+  // (Re)initialize parameters from `rng`; layers without params ignore it.
+  virtual void Init(Rng& rng) { (void)rng; }
+};
+
+}  // namespace acps::dnn

@@ -1,0 +1,130 @@
+#include "dnn/layers.h"
+
+#include <cmath>
+
+#include "tensor/matrix_ops.h"
+
+namespace acps::dnn {
+
+Linear::Linear(std::string name, int64_t in, int64_t out)
+    : name_(std::move(name)), in_(in), out_(out) {
+  ACPS_CHECK_MSG(in >= 1 && out >= 1, "bad Linear dims");
+  weight_.name = name_ + ".weight";
+  weight_.value = Tensor({out, in});
+  weight_.grad = Tensor({out, in});
+  weight_.matrix_rows = out;
+  weight_.matrix_cols = in;
+  bias_.name = name_ + ".bias";
+  bias_.value = Tensor({out});
+  bias_.grad = Tensor({out});
+}
+
+void Linear::Init(Rng& rng) {
+  // Kaiming-uniform for ReLU nets: U(-b, b), b = sqrt(6 / fan_in).
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_));
+  rng.fill_uniform(weight_.value, -bound, bound);
+  bias_.value.zero();
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  ACPS_CHECK_MSG(x.ndim() == 2 && x.cols() == in_,
+                 name_ << ": input " << ShapeToString(x.shape())
+                       << " != in_features " << in_);
+  input_ = x.clone();
+  Tensor y = MatMulTB(x, weight_.value);  // [B,in]·[out,in]ᵀ = [B,out]
+  for (int64_t b = 0; b < y.rows(); ++b)
+    for (int64_t j = 0; j < out_; ++j) y.at(b, j) += bias_.value.at(j);
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& grad_out) {
+  ACPS_CHECK_MSG(grad_out.ndim() == 2 && grad_out.cols() == out_ &&
+                     grad_out.rows() == input_.rows(),
+                 name_ << ": bad grad_out " << ShapeToString(grad_out.shape()));
+  // dW += gyᵀ·x ; db += Σ_b gy ; dx = gy·W.
+  Tensor dw = MatMulTA(grad_out, input_);  // [out,B]·[B,in]
+  weight_.grad.add_(dw);
+  for (int64_t b = 0; b < grad_out.rows(); ++b)
+    for (int64_t j = 0; j < out_; ++j)
+      bias_.grad.at(j) += grad_out.at(b, j);
+  return MatMul(grad_out, weight_.value);  // [B,out]·[out,in]
+}
+
+Tensor ReLU::Forward(const Tensor& x) {
+  mask_ = Tensor(x.shape());
+  Tensor y = x.clone();
+  auto m = mask_.data();
+  auto yd = y.data();
+  for (size_t i = 0; i < yd.size(); ++i) {
+    if (yd[i] > 0.0f) {
+      m[i] = 1.0f;
+    } else {
+      yd[i] = 0.0f;
+      m[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_out) {
+  ACPS_CHECK_MSG(grad_out.shape() == mask_.shape(),
+                 name_ << ": grad shape mismatch");
+  Tensor gx = grad_out.clone();
+  auto g = gx.data();
+  auto m = mask_.data();
+  for (size_t i = 0; i < g.size(); ++i) g[i] *= m[i];
+  return gx;
+}
+
+Residual::Residual(std::string name,
+                   std::vector<std::unique_ptr<Layer>> inner)
+    : name_(std::move(name)), inner_(std::move(inner)) {
+  ACPS_CHECK_MSG(!inner_.empty(), "Residual needs inner layers");
+}
+
+std::vector<Param*> Residual::params() {
+  std::vector<Param*> all;
+  for (auto& l : inner_)
+    for (Param* p : l->params()) all.push_back(p);
+  return all;
+}
+
+void Residual::Init(Rng& rng) {
+  for (auto& l : inner_) l->Init(rng);
+}
+
+Tensor Residual::Forward(const Tensor& x) {
+  Tensor h = x.clone();
+  for (auto& l : inner_) h = l->Forward(h);
+  ACPS_CHECK_MSG(h.shape() == x.shape(),
+                 name_ << ": inner stack must preserve shape");
+  h.add_(x);
+  // Final ReLU with cached mask.
+  mask_ = Tensor(h.shape());
+  auto m = mask_.data();
+  auto hd = h.data();
+  for (size_t i = 0; i < hd.size(); ++i) {
+    if (hd[i] > 0.0f) {
+      m[i] = 1.0f;
+    } else {
+      hd[i] = 0.0f;
+      m[i] = 0.0f;
+    }
+  }
+  return h;
+}
+
+Tensor Residual::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out.clone();
+  auto gd = g.data();
+  auto m = mask_.data();
+  for (size_t i = 0; i < gd.size(); ++i) gd[i] *= m[i];
+  // Branch gradient through the inner stack; skip path adds g directly.
+  Tensor gb = g.clone();
+  for (auto it = inner_.rbegin(); it != inner_.rend(); ++it)
+    gb = (*it)->Backward(gb);
+  gb.add_(g);
+  return gb;
+}
+
+}  // namespace acps::dnn

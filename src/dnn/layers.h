@@ -1,0 +1,59 @@
+// Linear, ReLU and residual-wrapper layers.
+#pragma once
+
+#include "dnn/layer.h"
+
+namespace acps::dnn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::string name, int64_t in, int64_t out);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  void Init(Rng& rng) override;  // Kaiming-uniform
+
+  [[nodiscard]] int64_t in_features() const { return in_; }
+  [[nodiscard]] int64_t out_features() const { return out_; }
+
+ private:
+  std::string name_;
+  int64_t in_, out_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor input_;  // cached for backward
+};
+
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name) : name_(std::move(name)) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  Tensor mask_;  // 1 where x > 0
+};
+
+// y = ReLU(inner(x) + x): the identity-shortcut residual wrapper used by
+// the ResMini architecture. The inner stack must preserve feature count.
+class Residual final : public Layer {
+ public:
+  Residual(std::string name, std::vector<std::unique_ptr<Layer>> inner);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void Init(Rng& rng) override;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> inner_;
+  Tensor mask_;  // ReLU mask of the output
+};
+
+}  // namespace acps::dnn

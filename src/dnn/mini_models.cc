@@ -1,0 +1,57 @@
+#include "dnn/mini_models.h"
+
+#include "dnn/conv.h"
+#include "dnn/layers.h"
+#include "tensor/check.h"
+
+namespace acps::dnn {
+
+Network VggMini(const MiniModelSpec& spec) {
+  Network net;
+  const int64_t h = spec.height, w = spec.width;
+  net.Add(std::make_unique<Conv2d>("conv1", spec.channels, 16, h, w));
+  net.Add(std::make_unique<ReLU>("relu1"));
+  net.Add(std::make_unique<Conv2d>("conv2", 16, 16, h, w));
+  net.Add(std::make_unique<ReLU>("relu2"));
+  net.Add(std::make_unique<MaxPool2d>("pool1", 16, h, w));
+  net.Add(std::make_unique<Conv2d>("conv3", 16, 32, h / 2, w / 2));
+  net.Add(std::make_unique<ReLU>("relu3"));
+  net.Add(std::make_unique<MaxPool2d>("pool2", 32, h / 2, w / 2));
+  const int64_t flat = 32 * (h / 4) * (w / 4);
+  net.Add(std::make_unique<Linear>("fc1", flat, 64));
+  net.Add(std::make_unique<ReLU>("relu4"));
+  net.Add(std::make_unique<Linear>("fc2", 64, spec.num_classes));
+  return net;
+}
+
+Network ResMini(const MiniModelSpec& spec) {
+  Network net;
+  const int64_t h = spec.height, w = spec.width;
+  net.Add(std::make_unique<Conv2d>("stem", spec.channels, 16, h, w));
+  net.Add(std::make_unique<ReLU>("stem.relu"));
+
+  auto block = [&](const std::string& name, int64_t c, int64_t bh,
+                   int64_t bw) {
+    std::vector<std::unique_ptr<Layer>> inner;
+    inner.push_back(std::make_unique<Conv2d>(name + ".conv1", c, c, bh, bw));
+    inner.push_back(std::make_unique<ReLU>(name + ".relu"));
+    inner.push_back(std::make_unique<Conv2d>(name + ".conv2", c, c, bh, bw));
+    return std::make_unique<Residual>(name, std::move(inner));
+  };
+
+  net.Add(block("block1", 16, h, w));
+  net.Add(std::make_unique<MaxPool2d>("pool1", 16, h, w));
+  net.Add(block("block2", 16, h / 2, w / 2));
+  net.Add(std::make_unique<MaxPool2d>("pool2", 16, h / 2, w / 2));
+  const int64_t flat = 16 * (h / 4) * (w / 4);
+  net.Add(std::make_unique<Linear>("fc", flat, spec.num_classes));
+  return net;
+}
+
+Network MiniByName(const std::string& name, const MiniModelSpec& spec) {
+  if (name == "vgg-mini") return VggMini(spec);
+  if (name == "res-mini") return ResMini(spec);
+  ACPS_CHECK_MSG(false, "unknown mini model '" << name << "'");
+}
+
+}  // namespace acps::dnn

@@ -1,0 +1,28 @@
+// Miniaturized VGG-16 / ResNet-18 stand-ins for the convergence study
+// (Fig 6/7). Both consume the synthetic 3×8×8 image task.
+//
+//  * VggMini — a plain (no skip connections) conv stack with a 2-layer MLP
+//    head: the structural analogue of VGG-16.
+//  * ResMini — a conv stem followed by identity-shortcut residual blocks:
+//    the structural analogue of ResNet-18.
+#pragma once
+
+#include "dnn/network.h"
+
+namespace acps::dnn {
+
+struct MiniModelSpec {
+  int64_t channels = 3;
+  int64_t height = 8;
+  int64_t width = 8;
+  int num_classes = 10;
+};
+
+[[nodiscard]] Network VggMini(const MiniModelSpec& spec = {});
+[[nodiscard]] Network ResMini(const MiniModelSpec& spec = {});
+
+// Lookup by name ("vgg-mini" | "res-mini"); throws on unknown.
+[[nodiscard]] Network MiniByName(const std::string& name,
+                                 const MiniModelSpec& spec = {});
+
+}  // namespace acps::dnn

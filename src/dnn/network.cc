@@ -1,0 +1,59 @@
+#include "dnn/network.h"
+
+namespace acps::dnn {
+
+void Network::Init(uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Rng layer_rng = rng.split(i + 1);
+    layers_[i]->Init(layer_rng);
+  }
+}
+
+Tensor Network::Forward(const Tensor& x) {
+  Tensor h = x.clone();
+  for (auto& l : layers_) h = l->Forward(h);
+  return h;
+}
+
+Tensor Network::Backward(const Tensor& grad_out, const GradReadyHook& hook) {
+  // Global param index of each layer's first param (forward order).
+  std::vector<size_t> offsets;
+  if (hook) {
+    offsets.reserve(layers_.size());
+    size_t off = 0;
+    for (auto& l : layers_) {
+      offsets.push_back(off);
+      off += l->params().size();
+    }
+  }
+  Tensor g = grad_out.clone();
+  for (size_t r = 0; r < layers_.size(); ++r) {
+    const size_t i = layers_.size() - 1 - r;
+    g = layers_[i]->Backward(g);
+    if (hook) {
+      const size_t count = layers_[i]->params().size();
+      for (size_t k = 0; k < count; ++k) hook(offsets[i] + k);
+    }
+  }
+  return g;
+}
+
+std::vector<Param*> Network::params() {
+  std::vector<Param*> all;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) all.push_back(p);
+  return all;
+}
+
+void Network::ZeroGrads() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+int64_t Network::total_params() {
+  int64_t total = 0;
+  for (Param* p : params()) total += p->value.numel();
+  return total;
+}
+
+}  // namespace acps::dnn

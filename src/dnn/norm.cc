@@ -1,0 +1,184 @@
+#include "dnn/norm.h"
+
+#include <cmath>
+
+namespace acps::dnn {
+
+BatchNorm1d::BatchNorm1d(std::string name, int64_t features, float momentum,
+                         float eps)
+    : name_(std::move(name)), features_(features), momentum_(momentum),
+      eps_(eps) {
+  ACPS_CHECK_MSG(features >= 1, "bad BatchNorm1d feature count");
+  gamma_.name = name_ + ".weight";
+  gamma_.value = Tensor::Full({features}, 1.0f);
+  gamma_.grad = Tensor({features});
+  beta_.name = name_ + ".bias";
+  beta_.value = Tensor({features});
+  beta_.grad = Tensor({features});
+  running_mean_ = Tensor({features});
+  running_var_ = Tensor::Full({features}, 1.0f);
+}
+
+void BatchNorm1d::Init(Rng& rng) {
+  (void)rng;
+  gamma_.value.fill(1.0f);
+  beta_.value.zero();
+  running_mean_.zero();
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm1d::Forward(const Tensor& x) {
+  ACPS_CHECK_MSG(x.ndim() == 2 && x.cols() == features_,
+                 name_ << ": input mismatch");
+  const int64_t batch = x.rows();
+  Tensor mean({features_}), var({features_});
+  if (training_) {
+    ACPS_CHECK_MSG(batch >= 2, name_ << ": training BN needs batch >= 2");
+    for (int64_t j = 0; j < features_; ++j) {
+      double m = 0.0;
+      for (int64_t b = 0; b < batch; ++b) m += x.at(b, j);
+      m /= batch;
+      double v = 0.0;
+      for (int64_t b = 0; b < batch; ++b) {
+        const double d = x.at(b, j) - m;
+        v += d * d;
+      }
+      v /= batch;  // biased, as in PyTorch's normalization path
+      mean.at(j) = static_cast<float>(m);
+      var.at(j) = static_cast<float>(v);
+      running_mean_.at(j) = (1.0f - momentum_) * running_mean_.at(j) +
+                            momentum_ * static_cast<float>(m);
+      running_var_.at(j) = (1.0f - momentum_) * running_var_.at(j) +
+                           momentum_ * static_cast<float>(v);
+    }
+  } else {
+    mean.copy_from(running_mean_);
+    var.copy_from(running_var_);
+  }
+
+  inv_std_ = Tensor({features_});
+  for (int64_t j = 0; j < features_; ++j)
+    inv_std_.at(j) = 1.0f / std::sqrt(var.at(j) + eps_);
+
+  xhat_ = Tensor({batch, features_});
+  Tensor y({batch, features_});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t j = 0; j < features_; ++j) {
+      const float xh = (x.at(b, j) - mean.at(j)) * inv_std_.at(j);
+      xhat_.at(b, j) = xh;
+      y.at(b, j) = gamma_.value.at(j) * xh + beta_.value.at(j);
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm1d::Backward(const Tensor& grad_out) {
+  const int64_t batch = xhat_.rows();
+  ACPS_CHECK_MSG(grad_out.shape() == xhat_.shape(), name_ << ": bad grad");
+  Tensor gx({batch, features_});
+  for (int64_t j = 0; j < features_; ++j) {
+    // dgamma, dbeta and the batch-stat terms.
+    double dgamma = 0.0, dbeta = 0.0, dxhat_sum = 0.0, dxhat_xhat_sum = 0.0;
+    for (int64_t b = 0; b < batch; ++b) {
+      const double gy = grad_out.at(b, j);
+      dgamma += gy * xhat_.at(b, j);
+      dbeta += gy;
+      const double dxhat = gy * gamma_.value.at(j);
+      dxhat_sum += dxhat;
+      dxhat_xhat_sum += dxhat * xhat_.at(b, j);
+    }
+    gamma_.grad.at(j) += static_cast<float>(dgamma);
+    beta_.grad.at(j) += static_cast<float>(dbeta);
+    if (training_) {
+      for (int64_t b = 0; b < batch; ++b) {
+        const double dxhat = double(grad_out.at(b, j)) * gamma_.value.at(j);
+        gx.at(b, j) = static_cast<float>(
+            inv_std_.at(j) / batch *
+            (batch * dxhat - dxhat_sum - xhat_.at(b, j) * dxhat_xhat_sum));
+      }
+    } else {
+      for (int64_t b = 0; b < batch; ++b) {
+        gx.at(b, j) = static_cast<float>(double(grad_out.at(b, j)) *
+                                         gamma_.value.at(j) * inv_std_.at(j));
+      }
+    }
+  }
+  return gx;
+}
+
+LayerNorm::LayerNorm(std::string name, int64_t features, float eps)
+    : name_(std::move(name)), features_(features), eps_(eps) {
+  ACPS_CHECK_MSG(features >= 2, "LayerNorm needs >= 2 features");
+  gamma_.name = name_ + ".weight";
+  gamma_.value = Tensor::Full({features}, 1.0f);
+  gamma_.grad = Tensor({features});
+  beta_.name = name_ + ".bias";
+  beta_.value = Tensor({features});
+  beta_.grad = Tensor({features});
+}
+
+void LayerNorm::Init(Rng& rng) {
+  (void)rng;
+  gamma_.value.fill(1.0f);
+  beta_.value.zero();
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  ACPS_CHECK_MSG(x.ndim() == 2 && x.cols() == features_,
+                 name_ << ": input mismatch");
+  const int64_t batch = x.rows();
+  xhat_ = Tensor({batch, features_});
+  inv_std_ = Tensor({batch});
+  Tensor y({batch, features_});
+  for (int64_t b = 0; b < batch; ++b) {
+    double m = 0.0;
+    for (int64_t j = 0; j < features_; ++j) m += x.at(b, j);
+    m /= features_;
+    double v = 0.0;
+    for (int64_t j = 0; j < features_; ++j) {
+      const double d = x.at(b, j) - m;
+      v += d * d;
+    }
+    v /= features_;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(v) + eps_);
+    inv_std_.at(b) = inv;
+    for (int64_t j = 0; j < features_; ++j) {
+      const float xh = (x.at(b, j) - static_cast<float>(m)) * inv;
+      xhat_.at(b, j) = xh;
+      y.at(b, j) = gamma_.value.at(j) * xh + beta_.value.at(j);
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::Backward(const Tensor& grad_out) {
+  const int64_t batch = xhat_.rows();
+  ACPS_CHECK_MSG(grad_out.shape() == xhat_.shape(), name_ << ": bad grad");
+  Tensor gx({batch, features_});
+  for (int64_t j = 0; j < features_; ++j) {
+    double dgamma = 0.0, dbeta = 0.0;
+    for (int64_t b = 0; b < batch; ++b) {
+      dgamma += double(grad_out.at(b, j)) * xhat_.at(b, j);
+      dbeta += grad_out.at(b, j);
+    }
+    gamma_.grad.at(j) += static_cast<float>(dgamma);
+    beta_.grad.at(j) += static_cast<float>(dbeta);
+  }
+  for (int64_t b = 0; b < batch; ++b) {
+    double dxhat_sum = 0.0, dxhat_xhat_sum = 0.0;
+    for (int64_t j = 0; j < features_; ++j) {
+      const double dxhat = double(grad_out.at(b, j)) * gamma_.value.at(j);
+      dxhat_sum += dxhat;
+      dxhat_xhat_sum += dxhat * xhat_.at(b, j);
+    }
+    for (int64_t j = 0; j < features_; ++j) {
+      const double dxhat = double(grad_out.at(b, j)) * gamma_.value.at(j);
+      gx.at(b, j) = static_cast<float>(
+          inv_std_.at(b) / features_ *
+          (features_ * dxhat - dxhat_sum - xhat_.at(b, j) * dxhat_xhat_sum));
+    }
+  }
+  return gx;
+}
+
+}  // namespace acps::dnn

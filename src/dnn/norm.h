@@ -1,0 +1,65 @@
+// Normalization layers: BatchNorm1d (per-feature batch statistics with
+// running estimates for eval) and LayerNorm (per-sample). The real VGG-16 /
+// ResNet-18 and BERT use these; the miniature convergence models keep them
+// optional, but the library provides them as first-class layers with exact
+// backward passes (gradient-checked in tests).
+#pragma once
+
+#include "dnn/layer.h"
+
+namespace acps::dnn {
+
+class BatchNorm1d final : public Layer {
+ public:
+  BatchNorm1d(std::string name, int64_t features, float momentum = 0.1f,
+              float eps = 1e-5f);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  void Init(Rng& rng) override;
+
+  // Training mode uses batch statistics and updates the running estimates;
+  // eval mode uses the running estimates. Default: training.
+  void set_training(bool training) { training_ = training; }
+  [[nodiscard]] bool training() const { return training_; }
+
+  [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::string name_;
+  int64_t features_;
+  float momentum_;
+  float eps_;
+  bool training_ = true;
+  Param gamma_;  // scale [features]
+  Param beta_;   // shift [features]
+  Tensor running_mean_, running_var_;
+  // Backward caches.
+  Tensor xhat_;      // normalized input
+  Tensor inv_std_;   // [features]
+};
+
+class LayerNorm final : public Layer {
+ public:
+  LayerNorm(std::string name, int64_t features, float eps = 1e-5f);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  void Init(Rng& rng) override;
+
+ private:
+  std::string name_;
+  int64_t features_;
+  float eps_;
+  Param gamma_;
+  Param beta_;
+  Tensor xhat_;
+  Tensor inv_std_;  // [batch]
+};
+
+}  // namespace acps::dnn

@@ -1,0 +1,46 @@
+#include "dnn/optimizer.h"
+
+namespace acps::dnn {
+
+float LrSchedule::LrAt(double epoch) const {
+  float lr = base_lr;
+  if (warmup_epochs > 0 && epoch < warmup_epochs) {
+    // Linear warmup starting at base_lr / warmup_epochs (Goyal et al.).
+    const double frac = (epoch + 1.0) / static_cast<double>(warmup_epochs);
+    lr = base_lr * static_cast<float>(std::min(1.0, frac));
+  }
+  for (int milestone : decay_epochs) {
+    if (epoch >= milestone) lr *= decay_factor;
+  }
+  return lr;
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<Param*> params, LrSchedule schedule,
+                           float momentum, float weight_decay)
+    : params_(std::move(params)),
+      schedule_(schedule),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.push_back(Tensor::Zeros(p->value.shape()));
+}
+
+void SgdOptimizer::Step(double epoch) {
+  const float lr = schedule_.LrAt(epoch);
+  last_lr_ = lr;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    Tensor& v = velocity_[i];
+    auto vd = v.data();
+    auto gd = p->grad.data();
+    auto wd = p->value.data();
+    for (size_t j = 0; j < vd.size(); ++j) {
+      float g = gd[j];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * wd[j];
+      vd[j] = momentum_ * vd[j] + g;
+      wd[j] -= lr * vd[j];
+    }
+  }
+}
+
+}  // namespace acps::dnn

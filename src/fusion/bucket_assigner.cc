@@ -1,0 +1,59 @@
+#include "fusion/bucket_assigner.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace acps::fusion {
+
+std::vector<std::vector<int>> AssignBuckets(
+    const std::vector<int64_t>& tensor_bytes, int64_t buffer_bytes) {
+  std::vector<std::vector<int>> buckets;
+  std::vector<int> current;
+  int64_t current_bytes = 0;
+  for (int i = 0; i < static_cast<int>(tensor_bytes.size()); ++i) {
+    const int64_t b = tensor_bytes[static_cast<size_t>(i)];
+    ACPS_CHECK_MSG(b >= 0, "negative tensor size");
+    if (buffer_bytes <= 0) {  // fusion disabled
+      buckets.push_back({i});
+      continue;
+    }
+    if (!current.empty() && current_bytes + b > buffer_bytes) {
+      buckets.push_back(std::move(current));
+      current.clear();
+      current_bytes = 0;
+    }
+    current.push_back(i);
+    current_bytes += b;
+  }
+  if (!current.empty()) buckets.push_back(std::move(current));
+  return buckets;
+}
+
+int64_t ScaledBufferBytes(int64_t default_bytes, int64_t compressed_total_bytes,
+                          int64_t uncompressed_total_bytes) {
+  ACPS_CHECK_MSG(default_bytes >= 0 && compressed_total_bytes >= 0 &&
+                     uncompressed_total_bytes >= 0,
+                 "negative byte counts");
+  if (default_bytes == 0) return 0;  // fusion disabled stays disabled
+  if (uncompressed_total_bytes == 0) return std::max<int64_t>(1, default_bytes);
+  // Use double to avoid overflow; rate <= 1 in all sane configurations but
+  // we do not assume it.
+  const double rate = static_cast<double>(compressed_total_bytes) /
+                      static_cast<double>(uncompressed_total_bytes);
+  const auto scaled = static_cast<int64_t>(
+      static_cast<double>(default_bytes) * rate);
+  return std::max<int64_t>(1, scaled);
+}
+
+int64_t BucketBytes(const std::vector<int>& bucket,
+                    const std::vector<int64_t>& tensor_bytes) {
+  int64_t total = 0;
+  for (int i : bucket) {
+    ACPS_CHECK(i >= 0 && i < static_cast<int>(tensor_bytes.size()));
+    total += tensor_bytes[static_cast<size_t>(i)];
+  }
+  return total;
+}
+
+}  // namespace acps::fusion

@@ -1,0 +1,42 @@
+// Tensor-fusion bucket assignment (paper §IV-B, "Buffer Size").
+//
+// Tensors are bucketed greedily in *ready order* (the order gradients become
+// available during back-propagation): a bucket closes when adding the next
+// tensor would exceed the byte budget. This is the PyTorch-DDP/Horovod
+// scheme with the 25MB default.
+//
+// The paper's key twist for ACP-SGD: compressed factors are far smaller than
+// gradients, so the budget for the P (or Q) buckets is the default budget
+// scaled by that factor's compression rate — ScaledBufferBytes. This keeps
+// the *number* of buckets (and hence the WFBP/TF trade-off) comparable to
+// S-SGD at any rank, which is what makes the 25MB default robust in Fig. 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace acps::fusion {
+
+inline constexpr int64_t kDefaultBufferBytes = 25LL * 1024 * 1024;  // 25MB
+
+// Greedy in-order bucketing. `tensor_bytes[i]` is the wire size of tensor i
+// (in ready order). Buckets are returned as index lists; every tensor lands
+// in exactly one bucket, order preserved. A budget <= 0 means "no fusion"
+// (one bucket per tensor). A tensor larger than the budget gets its own
+// bucket.
+[[nodiscard]] std::vector<std::vector<int>> AssignBuckets(
+    const std::vector<int64_t>& tensor_bytes, int64_t buffer_bytes);
+
+// The paper's compressed-buffer-size rule: scale the default budget by the
+// compression rate (compressed bytes / uncompressed bytes of the tensors
+// this bucket set covers). Returns at least 1 byte so bucketing stays
+// well-defined.
+[[nodiscard]] int64_t ScaledBufferBytes(int64_t default_bytes,
+                                        int64_t compressed_total_bytes,
+                                        int64_t uncompressed_total_bytes);
+
+// Total bytes of a bucket.
+[[nodiscard]] int64_t BucketBytes(const std::vector<int>& bucket,
+                                  const std::vector<int64_t>& tensor_bytes);
+
+}  // namespace acps::fusion

@@ -1,0 +1,51 @@
+// Flat fusion buffer: packs a set of tensors contiguously so one collective
+// moves them all (amortizing the 2(p−1)·α startup), then unpacks.
+//
+// This is the runtime counterpart of BucketAssigner: the core GradReducer
+// copies ready compressed factors into a FusionBuffer, all-reduces
+// buffer.data() once, and scatters the results back.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace acps::fusion {
+
+class FusionBuffer {
+ public:
+  // Registers a slot of `numel` elements; returns the slot id. Must happen
+  // before Pack. Layout is registration order.
+  int AddSlot(int64_t numel);
+
+  [[nodiscard]] int64_t total_elements() const noexcept { return total_; }
+  [[nodiscard]] size_t num_slots() const noexcept { return slots_.size(); }
+
+  // Copies `src` into slot `slot` (sizes must match).
+  void Pack(int slot, std::span<const float> src);
+
+  // Copies slot `slot` out into `dst`.
+  void Unpack(int slot, std::span<float> dst) const;
+
+  // The contiguous storage (allocated lazily on first Pack); the collective
+  // target.
+  [[nodiscard]] std::span<float> flat();
+  [[nodiscard]] std::span<const float> flat() const;
+
+  // Drops all slots and storage for reuse with a new layout.
+  void Reset();
+
+ private:
+  struct Slot {
+    int64_t offset;
+    int64_t numel;
+  };
+  void EnsureStorage();
+
+  std::vector<Slot> slots_;
+  int64_t total_ = 0;
+  std::vector<float> storage_;
+};
+
+}  // namespace acps::fusion

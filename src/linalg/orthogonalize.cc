@@ -1,0 +1,91 @@
+#include "linalg/orthogonalize.h"
+
+#include <cmath>
+
+#include "linalg/qr.h"
+#include "tensor/rng.h"
+
+namespace acps {
+namespace {
+
+// Re-seed a (near-)zero column deterministically from its index so that
+// orthogonalization always yields a full-rank basis. Seeding from the column
+// index keeps all workers' bases identical, which the Power-SGD family
+// requires (every worker must use the same Q).
+void ReseedColumn(Tensor& a, int64_t col) {
+  Rng rng(0xC01DBEEFull + static_cast<uint64_t>(col));
+  for (int64_t i = 0; i < a.rows(); ++i) a.at(i, col) = rng.normal();
+}
+
+}  // namespace
+
+void Orthogonalize(Tensor& a, OrthoScheme scheme) {
+  switch (scheme) {
+    case OrthoScheme::kQr:
+      OrthogonalizeQr(a);
+      return;
+    case OrthoScheme::kGramSchmidt:
+      OrthogonalizeGramSchmidt(a);
+      return;
+  }
+  ACPS_CHECK_MSG(false, "unknown orthogonalization scheme");
+}
+
+void OrthogonalizeQr(Tensor& a) {
+  ACPS_CHECK_MSG(a.ndim() == 2 && a.rows() >= a.cols(),
+                 "OrthogonalizeQr needs n >= r, got "
+                     << ShapeToString(a.shape()));
+  QrResult qr = ReducedQr(a);
+  // Guard against rank deficiency: QR of a zero column produces a zero
+  // column in Q (tau == 0 path); re-orthogonalize after reseeding if needed.
+  bool deficient = false;
+  for (int64_t j = 0; j < qr.q.cols(); ++j) {
+    double norm_sq = 0.0;
+    for (int64_t i = 0; i < qr.q.rows(); ++i)
+      norm_sq += double(qr.q.at(i, j)) * qr.q.at(i, j);
+    if (norm_sq < 0.5) {  // orthonormal column has norm 1
+      ReseedColumn(qr.q, j);
+      deficient = true;
+    }
+  }
+  if (deficient) {
+    OrthogonalizeGramSchmidt(qr.q);
+  }
+  a = std::move(qr.q);
+}
+
+void OrthogonalizeGramSchmidt(Tensor& a) {
+  ACPS_CHECK_MSG(a.ndim() == 2 && a.rows() >= a.cols(),
+                 "OrthogonalizeGramSchmidt needs n >= r, got "
+                     << ShapeToString(a.shape()));
+  const int64_t n = a.rows(), r = a.cols();
+  for (int64_t j = 0; j < r; ++j) {
+    // Pre-projection norm: the degeneracy threshold must be relative, or a
+    // duplicated column leaves a tiny numerical residual that would be
+    // normalized into garbage.
+    double orig_norm_sq = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+      orig_norm_sq += double(a.at(i, j)) * a.at(i, j);
+    // Subtract projections onto previous columns (modified Gram–Schmidt).
+    for (int64_t k = 0; k < j; ++k) {
+      double dot = 0.0;
+      for (int64_t i = 0; i < n; ++i)
+        dot += double(a.at(i, k)) * a.at(i, j);
+      for (int64_t i = 0; i < n; ++i)
+        a.at(i, j) = static_cast<float>(a.at(i, j) - dot * a.at(i, k));
+    }
+    double norm_sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) norm_sq += double(a.at(i, j)) * a.at(i, j);
+    if (norm_sq < 1e-10 * std::max(orig_norm_sq, 1.0)) {
+      // Degenerate column: replace with a deterministic random direction and
+      // redo this column.
+      ReseedColumn(a, j);
+      --j;
+      continue;
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (int64_t i = 0; i < n; ++i) a.at(i, j) *= inv;
+  }
+}
+
+}  // namespace acps

@@ -1,0 +1,28 @@
+// Column orthogonalization used by the Power-SGD family.
+//
+// Two implementations:
+//  * OrthogonalizeQr — reduced QR (matches the paper's torch.linalg.qr path);
+//    robust for any rank.
+//  * OrthogonalizeGramSchmidt — modified Gram–Schmidt, the cheaper scheme the
+//    original Power-SGD paper uses for small ranks.
+// Both replace the columns of `a` (in place) with an orthonormal basis of its
+// column span; rank-deficient columns are re-seeded deterministically so the
+// result always has full column rank.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace acps {
+
+enum class OrthoScheme {
+  kQr,           // Householder reduced QR (default, matches the paper)
+  kGramSchmidt,  // modified Gram–Schmidt
+};
+
+// In-place orthogonalization of the columns of a[n×r] (n >= r).
+void Orthogonalize(Tensor& a, OrthoScheme scheme = OrthoScheme::kQr);
+
+void OrthogonalizeQr(Tensor& a);
+void OrthogonalizeGramSchmidt(Tensor& a);
+
+}  // namespace acps

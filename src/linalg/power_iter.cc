@@ -1,0 +1,50 @@
+#include "linalg/power_iter.h"
+
+#include "linalg/orthogonalize.h"
+#include "tensor/matrix_ops.h"
+
+namespace acps {
+
+LowRankFactors PowerIteration(const Tensor& m, int64_t rank, int iters,
+                              Rng& rng) {
+  ACPS_CHECK_MSG(m.ndim() == 2, "PowerIteration needs a matrix");
+  const int64_t n = m.rows(), mm = m.cols();
+  ACPS_CHECK_MSG(rank >= 1 && rank <= std::min(n, mm),
+                 "rank " << rank << " invalid for " << n << "x" << mm);
+  ACPS_CHECK_MSG(iters >= 1, "iters must be >= 1");
+
+  Tensor q({mm, rank});
+  rng.fill_normal(q);
+  Tensor p({n, rank});
+  for (int it = 0; it < iters; ++it) {
+    Orthogonalize(q);
+    p = MatMul(m, q);          // P = M·Q
+    Orthogonalize(p);
+    q = MatMulTA(m, p);        // Q = Mᵀ·P
+  }
+  // Final convention (matches Power-SGD): P orthonormal, Q carries scale.
+  return LowRankFactors{std::move(p), std::move(q)};
+}
+
+Tensor Reconstruct(const LowRankFactors& f) { return MatMulTB(f.p, f.q); }
+
+float RelativeError(const Tensor& m, const LowRankFactors& f) {
+  const float norm = m.norm2();
+  if (norm == 0.0f) return 0.0f;
+  Tensor diff = Reconstruct(f);
+  diff.scale_(-1.0f);
+  diff.add_(m);
+  return diff.norm2() / norm;
+}
+
+float BestRankError(const Tensor& m, int64_t rank, Rng& rng) {
+  // 30 power iterations converge to (near) the optimal subspace for the
+  // matrix sizes used in tests.
+  const LowRankFactors f = PowerIteration(m, rank, 30, rng);
+  Tensor diff = Reconstruct(f);
+  diff.scale_(-1.0f);
+  diff.add_(m);
+  return diff.norm2();
+}
+
+}  // namespace acps

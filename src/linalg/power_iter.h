@@ -1,0 +1,32 @@
+// Power-iteration helpers and low-rank approximation metrics.
+//
+// Used by tests (approximation-quality invariants) and by the
+// compression_playground example to show how rank controls fidelity.
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace acps {
+
+struct LowRankFactors {
+  Tensor p;  // [n×r]
+  Tensor q;  // [m×r]
+};
+
+// Runs `iters` steps of subspace power iteration on m[n×m] starting from a
+// random Q (seeded by rng), returning factors with  m ≈ P·Qᵀ.
+[[nodiscard]] LowRankFactors PowerIteration(const Tensor& m, int64_t rank,
+                                            int iters, Rng& rng);
+
+// Reconstruction P·Qᵀ.
+[[nodiscard]] Tensor Reconstruct(const LowRankFactors& f);
+
+// Relative Frobenius error ‖m − P·Qᵀ‖ / ‖m‖ (0 for zero m).
+[[nodiscard]] float RelativeError(const Tensor& m, const LowRankFactors& f);
+
+// Frobenius norm of the best rank-r approximation error, estimated by
+// running many power iterations; used as a reference in property tests.
+[[nodiscard]] float BestRankError(const Tensor& m, int64_t rank, Rng& rng);
+
+}  // namespace acps

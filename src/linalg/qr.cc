@@ -1,0 +1,94 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/matrix_ops.h"
+
+namespace acps {
+
+QrResult ReducedQr(const Tensor& a) {
+  ACPS_CHECK_MSG(a.ndim() == 2, "ReducedQr needs a matrix, got "
+                                    << ShapeToString(a.shape()));
+  const int64_t n = a.rows(), r = a.cols();
+  ACPS_CHECK_MSG(n >= r && r >= 1,
+                 "ReducedQr needs n >= r >= 1, got " << n << "x" << r);
+
+  // Work on a copy; accumulate Householder vectors in-place below the
+  // diagonal, R above it, then form Q explicitly by back-accumulation.
+  Tensor work = a.clone();
+  std::vector<float> tau(static_cast<size_t>(r), 0.0f);
+
+  for (int64_t k = 0; k < r; ++k) {
+    // Compute the Householder reflector for column k, rows k..n-1.
+    double norm_sq = 0.0;
+    for (int64_t i = k; i < n; ++i) {
+      const double v = work.at(i, k);
+      norm_sq += v * v;
+    }
+    const double norm = std::sqrt(norm_sq);
+    const double akk = work.at(k, k);
+    if (norm < 1e-30) {
+      tau[static_cast<size_t>(k)] = 0.0f;  // zero column: skip reflection
+      continue;
+    }
+    const double alpha = (akk >= 0.0) ? -norm : norm;
+    // v = x - alpha*e1, normalized so v[k] = 1.
+    const double vkk = akk - alpha;
+    for (int64_t i = k + 1; i < n; ++i)
+      work.at(i, k) = static_cast<float>(work.at(i, k) / vkk);
+    tau[static_cast<size_t>(k)] =
+        static_cast<float>((alpha - akk) / alpha);  // = -vkk/alpha
+    work.at(k, k) = static_cast<float>(alpha);
+
+    // Apply the reflector to remaining columns: A <- (I - tau v vᵀ) A.
+    for (int64_t j = k + 1; j < r; ++j) {
+      double dot = work.at(k, j);
+      for (int64_t i = k + 1; i < n; ++i)
+        dot += double(work.at(i, k)) * work.at(i, j);
+      const double t = tau[static_cast<size_t>(k)] * dot;
+      work.at(k, j) = static_cast<float>(work.at(k, j) - t);
+      for (int64_t i = k + 1; i < n; ++i)
+        work.at(i, j) =
+            static_cast<float>(work.at(i, j) - t * work.at(i, k));
+    }
+  }
+
+  // Extract R.
+  Tensor rmat({r, r});
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = i; j < r; ++j) rmat.at(i, j) = work.at(i, j);
+
+  // Form Q = H_0 H_1 ... H_{r-1} · [I_r; 0] by applying reflectors backwards.
+  Tensor q({n, r});
+  for (int64_t j = 0; j < r; ++j) q.at(j, j) = 1.0f;
+  for (int64_t k = r - 1; k >= 0; --k) {
+    const float tk = tau[static_cast<size_t>(k)];
+    if (tk == 0.0f) continue;
+    for (int64_t j = 0; j < r; ++j) {
+      double dot = q.at(k, j);
+      for (int64_t i = k + 1; i < n; ++i)
+        dot += double(work.at(i, k)) * q.at(i, j);
+      const double t = tk * dot;
+      q.at(k, j) = static_cast<float>(q.at(k, j) - t);
+      for (int64_t i = k + 1; i < n; ++i)
+        q.at(i, j) = static_cast<float>(q.at(i, j) - t * work.at(i, k));
+    }
+  }
+
+  return QrResult{std::move(q), std::move(rmat)};
+}
+
+float OrthonormalityError(const Tensor& q) {
+  ACPS_CHECK(q.ndim() == 2);
+  const Tensor gram = MatMulTA(q, q);
+  float err = 0.0f;
+  for (int64_t i = 0; i < gram.rows(); ++i)
+    for (int64_t j = 0; j < gram.cols(); ++j) {
+      const float target = (i == j) ? 1.0f : 0.0f;
+      err = std::max(err, std::abs(gram.at(i, j) - target));
+    }
+  return err;
+}
+
+}  // namespace acps

@@ -1,0 +1,23 @@
+// Reduced QR decomposition via Householder reflections.
+//
+// Power-SGD and ACP-SGD orthogonalize their low-rank factor with a reduced QR
+// (the paper uses torch.linalg.qr). For an input A[n×r] with n >= r we return
+// Q[n×r] with orthonormal columns and R[r×r] upper triangular, A = Q·R.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace acps {
+
+struct QrResult {
+  Tensor q;  // [n×r], orthonormal columns
+  Tensor r;  // [r×r], upper triangular
+};
+
+// Reduced QR of a[n×r], n >= r >= 1. Throws acps::Error on bad shapes.
+[[nodiscard]] QrResult ReducedQr(const Tensor& a);
+
+// Returns max |QᵀQ - I| — used by tests and as a debugging aid.
+[[nodiscard]] float OrthonormalityError(const Tensor& q);
+
+}  // namespace acps

@@ -1,0 +1,37 @@
+#include "metrics/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace acps::metrics {
+
+void Cdf::Sort() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::FractionAtOrBelow(double x) const {
+  if (values_.empty()) return 0.0;
+  Sort();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double Cdf::Quantile(double q) const {
+  ACPS_CHECK_MSG(!values_.empty(), "Quantile of empty CDF");
+  ACPS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  Sort();
+  if (values_.size() == 1) return values_[0];
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace acps::metrics

@@ -1,0 +1,36 @@
+// Empirical CDF helper — regenerates the paper's Fig. 5 (distribution of
+// tensor sizes before/after low-rank compression).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace acps::metrics {
+
+class Cdf {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void AddAll(const std::vector<double>& xs) {
+    values_.insert(values_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+  }
+
+  [[nodiscard]] size_t count() const noexcept { return values_.size(); }
+
+  // Fraction of samples <= x (0 for empty).
+  [[nodiscard]] double FractionAtOrBelow(double x) const;
+
+  // q-quantile (0 <= q <= 1) by linear interpolation; requires samples.
+  [[nodiscard]] double Quantile(double q) const;
+
+ private:
+  void Sort() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace acps::metrics

@@ -1,0 +1,55 @@
+#include "metrics/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace acps::metrics {
+namespace {
+
+std::string Field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  ACPS_CHECK_MSG(cells.size() == headers_.size(),
+                 "CSV row has " << cells.size() << " cells, expected "
+                                << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::Render() const {
+  std::ostringstream oss;
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) oss << ",";
+      oss << Field(cells[i]);
+    }
+    oss << "\n";
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+  return oss.str();
+}
+
+bool CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << Render();
+  return static_cast<bool>(out);
+}
+
+}  // namespace acps::metrics

@@ -1,0 +1,27 @@
+// Tiny CSV writer so bench harnesses can dump machine-readable results
+// next to the printed tables (plotting, regression tracking).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acps::metrics {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // RFC-4180-style rendering (quotes fields containing , " or newline).
+  [[nodiscard]] std::string Render() const;
+
+  // Writes to `path`; returns false on I/O failure.
+  [[nodiscard]] bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acps::metrics

@@ -1,0 +1,32 @@
+// Streaming statistics accumulators used by benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace acps::metrics {
+
+// Welford online mean/variance.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+
+  [[nodiscard]] int64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  // Sample variance / stddev (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void Reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace acps::metrics

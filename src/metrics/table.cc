@@ -1,0 +1,62 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace acps::metrics {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  ACPS_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream oss;
+  auto rule = [&] {
+    oss << "+";
+    for (size_t w : widths) oss << std::string(w + 2, '-') << "+";
+    oss << "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    oss << "|";
+    for (size_t c = 0; c < cells.size(); ++c)
+      oss << " " << std::left << std::setw(static_cast<int>(widths[c]))
+          << cells[c] << " |";
+    oss << "\n";
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return oss.str();
+}
+
+std::string Bar(double value, double max_value, int width) {
+  if (max_value <= 0 || value < 0) return "";
+  const int n = std::min(
+      width, static_cast<int>(value / max_value * width + 0.5));
+  return std::string(static_cast<size_t>(std::max(0, n)), '#');
+}
+
+}  // namespace acps::metrics

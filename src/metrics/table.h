@@ -1,0 +1,30 @@
+// ASCII table / bar-series renderer shared by all bench harnesses so every
+// reproduced table and figure prints in one consistent format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acps::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders one horizontal ASCII bar scaled against `max_value` — used to
+// print "figures" (bar charts) in the terminal.
+[[nodiscard]] std::string Bar(double value, double max_value, int width = 40);
+
+}  // namespace acps::metrics

@@ -1,0 +1,109 @@
+// BERT generators (Devlin et al., NAACL'19).
+//
+// Transformer arithmetic with the paper's sequence length (64). Per-token
+// GEMM FLOPs are attributed to their weight matrices; attention-score
+// FLOPs (QKᵀ and attention×V, which have no parameters) are attributed to
+// the output projection so total compute is accurate for the simulator.
+#include <sstream>
+
+#include "models/model_zoo.h"
+
+namespace acps::models {
+namespace {
+
+constexpr int64_t kVocab = 30522;
+constexpr int64_t kMaxPos = 512;
+constexpr int64_t kTypeVocab = 2;
+
+struct BertCfg {
+  std::string name;
+  int64_t hidden;
+  int64_t ffn;
+  int64_t layers;
+  int default_batch;
+};
+
+void Matrix(ModelSpec& spec, const std::string& name, int64_t rows,
+            int64_t cols, double fwd_flops, bool compressible = true) {
+  LayerSpec l;
+  l.name = name;
+  l.shape = {rows, cols};
+  l.matrix_rows = rows;
+  l.matrix_cols = cols;
+  l.compressible = compressible;
+  l.fwd_flops_per_sample = fwd_flops;
+  l.op_class = OpClass::kGemm;
+  spec.layers.push_back(std::move(l));
+}
+
+void Vector(ModelSpec& spec, const std::string& name, int64_t n) {
+  LayerSpec l;
+  l.name = name;
+  l.shape = {n};
+  l.op_class = OpClass::kElementwise;
+  l.fwd_flops_per_sample = static_cast<double>(n);
+  spec.layers.push_back(std::move(l));
+}
+
+ModelSpec Bert(const BertCfg& cfg, int64_t seq) {
+  ModelSpec spec;
+  spec.name = cfg.name;
+  spec.default_batch_size = cfg.default_batch;
+  const int64_t h = cfg.hidden;
+  const auto s = static_cast<double>(seq);
+
+  // Embeddings. Lookups are memory ops, not FLOPs; the word embedding is a
+  // large matrix and is compressible like any other (paper §IV-C reshapes
+  // all non-vector parameters).
+  Matrix(spec, "embeddings.word", kVocab, h, 0.0);
+  Matrix(spec, "embeddings.position", kMaxPos, h, 0.0);
+  Matrix(spec, "embeddings.token_type", kTypeVocab, h, 0.0,
+         /*compressible=*/false);  // 2 rows: low-rank never pays off
+  Vector(spec, "embeddings.ln.weight", h);
+  Vector(spec, "embeddings.ln.bias", h);
+
+  const double proj_flops = 2.0 * s * static_cast<double>(h * h);
+  // Parameter-free attention math (scores + weighted sum): 4·S²·h per
+  // sample, attributed to the output projection.
+  const double attn_extra = 4.0 * s * s * static_cast<double>(h);
+
+  for (int64_t i = 0; i < cfg.layers; ++i) {
+    std::ostringstream pre;
+    pre << "encoder.layer." << i << ".";
+    const std::string base = pre.str();
+    for (const char* head : {"attention.q", "attention.k", "attention.v"}) {
+      Matrix(spec, base + head + ".weight", h, h, proj_flops);
+      Vector(spec, base + head + ".bias", h);
+    }
+    Matrix(spec, base + "attention.output.weight", h, h,
+           proj_flops + attn_extra);
+    Vector(spec, base + "attention.output.bias", h);
+    Vector(spec, base + "attention.ln.weight", h);
+    Vector(spec, base + "attention.ln.bias", h);
+
+    Matrix(spec, base + "ffn.intermediate.weight", cfg.ffn, h,
+           2.0 * s * static_cast<double>(h * cfg.ffn));
+    Vector(spec, base + "ffn.intermediate.bias", cfg.ffn);
+    Matrix(spec, base + "ffn.output.weight", h, cfg.ffn,
+           2.0 * s * static_cast<double>(h * cfg.ffn));
+    Vector(spec, base + "ffn.output.bias", h);
+    Vector(spec, base + "ffn.ln.weight", h);
+    Vector(spec, base + "ffn.ln.bias", h);
+  }
+
+  Matrix(spec, "pooler.weight", h, h, 2.0 * static_cast<double>(h * h));
+  Vector(spec, "pooler.bias", h);
+  return spec;
+}
+
+}  // namespace
+
+ModelSpec BertBase(int seq_len) {
+  return Bert({"bert-base", 768, 3072, 12, /*default_batch=*/32}, seq_len);
+}
+
+ModelSpec BertLarge(int seq_len) {
+  return Bert({"bert-large", 1024, 4096, 24, /*default_batch=*/8}, seq_len);
+}
+
+}  // namespace acps::models

@@ -1,0 +1,91 @@
+// GPT-2-style decoder-only transformer specs — zoo breadth beyond the
+// paper's four models. Useful with the simulator/planner to ask "would
+// ACP-SGD help my GPT-scale job?" Parameter counts match the published
+// GPT-2 family (124M / 350M) up to the tied LM head.
+#include <sstream>
+
+#include "models/model_zoo.h"
+
+namespace acps::models {
+namespace {
+
+struct Gpt2Cfg {
+  std::string name;
+  int64_t hidden;
+  int64_t layers;
+  int default_batch;
+};
+
+void Matrix(ModelSpec& spec, const std::string& name, int64_t rows,
+            int64_t cols, double fwd_flops) {
+  LayerSpec l;
+  l.name = name;
+  l.shape = {rows, cols};
+  l.matrix_rows = rows;
+  l.matrix_cols = cols;
+  l.compressible = true;
+  l.fwd_flops_per_sample = fwd_flops;
+  l.op_class = OpClass::kGemm;
+  spec.layers.push_back(std::move(l));
+}
+
+void Vector(ModelSpec& spec, const std::string& name, int64_t n) {
+  LayerSpec l;
+  l.name = name;
+  l.shape = {n};
+  l.op_class = OpClass::kElementwise;
+  l.fwd_flops_per_sample = static_cast<double>(n);
+  spec.layers.push_back(std::move(l));
+}
+
+ModelSpec Gpt2(const Gpt2Cfg& cfg, int64_t seq) {
+  constexpr int64_t kVocab = 50257;
+  constexpr int64_t kMaxPos = 1024;
+  ModelSpec spec;
+  spec.name = cfg.name;
+  spec.default_batch_size = cfg.default_batch;
+  const int64_t h = cfg.hidden;
+  const auto s = static_cast<double>(seq);
+
+  Matrix(spec, "wte", kVocab, h, 0.0);  // token embedding (tied LM head)
+  Matrix(spec, "wpe", kMaxPos, h, 0.0);
+
+  const double attn_extra = 4.0 * s * s * static_cast<double>(h);
+  for (int64_t i = 0; i < cfg.layers; ++i) {
+    std::ostringstream pre;
+    pre << "h." << i << ".";
+    const std::string base = pre.str();
+    Vector(spec, base + "ln_1.weight", h);
+    Vector(spec, base + "ln_1.bias", h);
+    // Fused QKV projection (GPT-2 layout) + output projection.
+    Matrix(spec, base + "attn.c_attn.weight", 3 * h, h,
+           2.0 * s * static_cast<double>(3 * h * h));
+    Vector(spec, base + "attn.c_attn.bias", 3 * h);
+    Matrix(spec, base + "attn.c_proj.weight", h, h,
+           2.0 * s * static_cast<double>(h * h) + attn_extra);
+    Vector(spec, base + "attn.c_proj.bias", h);
+    Vector(spec, base + "ln_2.weight", h);
+    Vector(spec, base + "ln_2.bias", h);
+    Matrix(spec, base + "mlp.c_fc.weight", 4 * h, h,
+           2.0 * s * static_cast<double>(4 * h * h));
+    Vector(spec, base + "mlp.c_fc.bias", 4 * h);
+    Matrix(spec, base + "mlp.c_proj.weight", h, 4 * h,
+           2.0 * s * static_cast<double>(4 * h * h));
+    Vector(spec, base + "mlp.c_proj.bias", h);
+  }
+  Vector(spec, "ln_f.weight", h);
+  Vector(spec, "ln_f.bias", h);
+  return spec;
+}
+
+}  // namespace
+
+ModelSpec Gpt2Small(int seq_len) {
+  return Gpt2({"gpt2-small", 768, 12, /*default_batch=*/8}, seq_len);
+}
+
+ModelSpec Gpt2Medium(int seq_len) {
+  return Gpt2({"gpt2-medium", 1024, 24, /*default_batch=*/4}, seq_len);
+}
+
+}  // namespace acps::models

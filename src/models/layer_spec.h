@@ -1,0 +1,73 @@
+// Model descriptions for the performance experiments.
+//
+// Performance (unlike convergence) depends only on *shapes*: the list of
+// parameter tensors in back-propagation order, their sizes, the matrix view
+// used for low-rank compression, and the compute cost of producing each
+// gradient. ModelSpec captures exactly that; generators in resnet/vgg/bert
+// build the paper's four models with parameter counts matching Table I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace acps::models {
+
+// Which GPU pipeline executes the op that owns this parameter — different
+// classes achieve different effective FLOP rates (conv vs GEMM kernels).
+enum class OpClass { kConv, kGemm, kElementwise };
+
+struct LayerSpec {
+  std::string name;
+  Shape shape;          // parameter tensor as stored (e.g. [out,in,kh,kw])
+  int64_t matrix_rows = 0;  // matrix view for low-rank compression
+  int64_t matrix_cols = 0;  // (0,0) for vector-shaped params
+  bool compressible = false;
+  double fwd_flops_per_sample = 0.0;  // forward FLOPs attributable to this op
+  OpClass op_class = OpClass::kElementwise;
+
+  [[nodiscard]] int64_t numel() const { return NumElements(shape); }
+  [[nodiscard]] int64_t bytes() const {
+    return numel() * static_cast<int64_t>(sizeof(float));
+  }
+};
+
+struct ModelSpec {
+  std::string name;
+  // Parameters in FORWARD order; gradients become ready in reverse.
+  std::vector<LayerSpec> layers;
+  int default_batch_size = 32;  // the per-GPU batch the paper uses
+
+  [[nodiscard]] int64_t total_params() const;
+  [[nodiscard]] int64_t total_bytes() const {
+    return total_params() * static_cast<int64_t>(sizeof(float));
+  }
+  [[nodiscard]] double total_fwd_flops_per_sample() const;
+  [[nodiscard]] size_t num_tensors() const { return layers.size(); }
+
+  // Layers in gradient-ready (backward) order.
+  [[nodiscard]] std::vector<const LayerSpec*> backward_order() const;
+
+  // Elements of the low-rank factors at `rank`, honoring per-tensor
+  // effective rank and leaving non-compressible tensors dense.
+  struct LowRankFootprint {
+    int64_t p_elements = 0;        // Σ n·r over compressible matrices
+    int64_t q_elements = 0;        // Σ m·r
+    int64_t dense_elements = 0;    // non-compressible tensors, sent as-is
+  };
+  [[nodiscard]] LowRankFootprint FootprintAtRank(int64_t rank) const;
+
+  // Overall compression ratio of the Power-SGD family at `rank`
+  // (uncompressed bytes / (P+Q+dense bytes)) — the Table I numbers.
+  [[nodiscard]] double LowRankCompressionRatio(int64_t rank) const;
+
+  // Per-iteration communication ratio of ACP-SGD at `rank`: only ONE factor
+  // (averaging P and Q across parities) is communicated per step, roughly
+  // doubling the Power-SGD ratio. The paper's §V-D "rank 256 = 5.4x
+  // compression" on BERT-Large is this quantity.
+  [[nodiscard]] double AcpCompressionRatio(int64_t rank) const;
+};
+
+}  // namespace acps::models

@@ -1,0 +1,167 @@
+// ResNet generators (He et al., CVPR'16) — ImageNet arithmetic.
+//
+// The generator tracks spatial resolution through the network so each conv's
+// forward FLOPs (2·k²·C_in·C_out·H_out·W_out per sample) are exact. BatchNorm
+// scale/shift parameters are emitted as vector-shaped (non-compressible)
+// tensors, matching the paper's rule that only matrix-shaped parameters go
+// through low-rank compression.
+#include <sstream>
+
+#include "models/model_zoo.h"
+
+namespace acps::models {
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(ModelSpec* spec) : spec_(spec) {}
+
+  // 2-D convolution parameter + its BN pair. Updates spatial size.
+  void Conv(const std::string& name, int64_t cin, int64_t cout, int64_t k,
+            int64_t stride, bool with_bn = true) {
+    h_ = (h_ + 2 * (k / 2) - k) / stride + 1;  // same-ish padding k/2
+    w_ = h_;
+    LayerSpec conv;
+    conv.name = name;
+    conv.shape = {cout, cin, k, k};
+    conv.matrix_rows = cout;
+    conv.matrix_cols = cin * k * k;
+    conv.compressible = true;
+    conv.fwd_flops_per_sample =
+        2.0 * static_cast<double>(k * k * cin * cout) *
+        static_cast<double>(h_ * w_);
+    conv.op_class = OpClass::kConv;
+    spec_->layers.push_back(std::move(conv));
+    if (with_bn) {
+      Vector(name + ".bn.weight", cout);
+      Vector(name + ".bn.bias", cout);
+    }
+  }
+
+  void Vector(const std::string& name, int64_t n) {
+    LayerSpec v;
+    v.name = name;
+    v.shape = {n};
+    v.compressible = false;
+    v.fwd_flops_per_sample = static_cast<double>(n);  // negligible
+    v.op_class = OpClass::kElementwise;
+    spec_->layers.push_back(std::move(v));
+  }
+
+  void Linear(const std::string& name, int64_t in, int64_t out) {
+    LayerSpec fc;
+    fc.name = name;
+    fc.shape = {out, in};
+    fc.matrix_rows = out;
+    fc.matrix_cols = in;
+    fc.compressible = true;
+    fc.fwd_flops_per_sample = 2.0 * static_cast<double>(in * out);
+    fc.op_class = OpClass::kGemm;
+    spec_->layers.push_back(std::move(fc));
+    Vector(name + ".bias", out);
+  }
+
+  void MaxPool(int64_t k, int64_t stride) {
+    h_ = (h_ + 2 * (k / 2) - k) / stride + 1;
+    w_ = h_;
+  }
+
+  void GlobalPool() { h_ = w_ = 1; }
+
+  [[nodiscard]] int64_t h() const { return h_; }
+
+ private:
+  ModelSpec* spec_;
+  int64_t h_ = 224;
+  int64_t w_ = 224;
+};
+
+// Bottleneck residual block: 1x1 (cin→cmid), 3x3 (cmid→cmid, stride), 1x1
+// (cmid→cout), plus a 1x1 projection when shape changes.
+void Bottleneck(Builder& b, const std::string& name, int64_t cin,
+                int64_t cmid, int64_t cout, int64_t stride) {
+  b.Conv(name + ".conv1", cin, cmid, 1, 1);
+  b.Conv(name + ".conv2", cmid, cmid, 3, stride);
+  b.Conv(name + ".conv3", cmid, cout, 1, 1);
+  if (stride != 1 || cin != cout) {
+    // Projection shortcut runs at the block's output resolution; emit it
+    // after conv2 has already applied the stride so FLOPs use H_out.
+    b.Conv(name + ".downsample", cin, cout, 1, 1);
+  }
+}
+
+// Basic residual block (ResNet-18/34): two 3x3 convs.
+void BasicBlock(Builder& b, const std::string& name, int64_t cin,
+                int64_t cout, int64_t stride) {
+  b.Conv(name + ".conv1", cin, cout, 3, stride);
+  b.Conv(name + ".conv2", cout, cout, 3, 1);
+  if (stride != 1 || cin != cout) {
+    b.Conv(name + ".downsample", cin, cout, 1, 1);
+  }
+}
+
+ModelSpec BottleneckResNet(const std::string& name,
+                           const std::vector<int>& blocks, int num_classes,
+                           int default_batch) {
+  ModelSpec spec;
+  spec.name = name;
+  spec.default_batch_size = default_batch;
+  Builder b(&spec);
+
+  b.Conv("conv1", 3, 64, 7, 2);
+  b.MaxPool(3, 2);
+
+  const int64_t mids[4] = {64, 128, 256, 512};
+  int64_t cin = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int64_t cmid = mids[stage];
+    const int64_t cout = cmid * 4;
+    for (int i = 0; i < blocks[static_cast<size_t>(stage)]; ++i) {
+      const int64_t stride = (i == 0 && stage > 0) ? 2 : 1;
+      std::ostringstream oss;
+      oss << "layer" << (stage + 1) << "." << i;
+      Bottleneck(b, oss.str(), cin, cmid, cout, stride);
+      cin = cout;
+    }
+  }
+  b.GlobalPool();
+  b.Linear("fc", cin, num_classes);
+  return spec;
+}
+
+}  // namespace
+
+ModelSpec ResNet18(int num_classes) {
+  ModelSpec spec;
+  spec.name = "resnet18";
+  spec.default_batch_size = 128;  // convergence experiments use 128 (§V-A)
+  Builder b(&spec);
+  b.Conv("conv1", 3, 64, 7, 2);
+  b.MaxPool(3, 2);
+  const int64_t chans[4] = {64, 128, 256, 512};
+  int64_t cin = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int i = 0; i < 2; ++i) {
+      const int64_t stride = (i == 0 && stage > 0) ? 2 : 1;
+      std::ostringstream oss;
+      oss << "layer" << (stage + 1) << "." << i;
+      BasicBlock(b, oss.str(), cin, chans[stage], stride);
+      cin = chans[stage];
+    }
+  }
+  b.GlobalPool();
+  b.Linear("fc", cin, num_classes);
+  return spec;
+}
+
+ModelSpec ResNet50(int num_classes) {
+  return BottleneckResNet("resnet50", {3, 4, 6, 3}, num_classes,
+                          /*default_batch=*/64);
+}
+
+ModelSpec ResNet152(int num_classes) {
+  return BottleneckResNet("resnet152", {3, 8, 36, 3}, num_classes,
+                          /*default_batch=*/32);
+}
+
+}  // namespace acps::models

@@ -1,0 +1,73 @@
+// VGG-16 generator (Simonyan & Zisserman, ICLR'15) — configuration D with
+// the ImageNet classifier head. Used by the convergence experiments
+// (miniaturized in acps::dnn) and available in the zoo for completeness.
+#include <sstream>
+
+#include "models/model_zoo.h"
+
+namespace acps::models {
+
+ModelSpec Vgg16(int num_classes) {
+  ModelSpec spec;
+  spec.name = "vgg16";
+  spec.default_batch_size = 128;
+
+  int64_t h = 224;
+  int64_t cin = 3;
+  int conv_idx = 0;
+  // Configuration D: channel counts with 'M' = 2x2 max-pool.
+  const int64_t cfg[] = {64, 64, -1, 128, 128, -1, 256, 256, 256, -1,
+                         512, 512, 512, -1, 512, 512, 512, -1};
+  for (int64_t c : cfg) {
+    if (c == -1) {
+      h /= 2;
+      continue;
+    }
+    std::ostringstream oss;
+    oss << "features." << conv_idx++;
+    LayerSpec conv;
+    conv.name = oss.str();
+    conv.shape = {c, cin, 3, 3};
+    conv.matrix_rows = c;
+    conv.matrix_cols = cin * 9;
+    conv.compressible = true;
+    conv.fwd_flops_per_sample =
+        2.0 * 9.0 * static_cast<double>(cin * c) * static_cast<double>(h * h);
+    conv.op_class = OpClass::kConv;
+    spec.layers.push_back(std::move(conv));
+
+    LayerSpec bias;
+    bias.name = oss.str() + ".bias";
+    bias.shape = {c};
+    bias.op_class = OpClass::kElementwise;
+    bias.fwd_flops_per_sample = static_cast<double>(c);
+    spec.layers.push_back(std::move(bias));
+    cin = c;
+  }
+
+  // Classifier: 512*7*7 -> 4096 -> 4096 -> classes.
+  const int64_t dims[] = {cin * h * h, 4096, 4096, num_classes};
+  for (int i = 0; i < 3; ++i) {
+    std::ostringstream oss;
+    oss << "classifier." << i;
+    LayerSpec fc;
+    fc.name = oss.str();
+    fc.shape = {dims[i + 1], dims[i]};
+    fc.matrix_rows = dims[i + 1];
+    fc.matrix_cols = dims[i];
+    fc.compressible = true;
+    fc.fwd_flops_per_sample = 2.0 * static_cast<double>(dims[i] * dims[i + 1]);
+    fc.op_class = OpClass::kGemm;
+    spec.layers.push_back(std::move(fc));
+
+    LayerSpec bias;
+    bias.name = oss.str() + ".bias";
+    bias.shape = {dims[i + 1]};
+    bias.op_class = OpClass::kElementwise;
+    bias.fwd_flops_per_sample = static_cast<double>(dims[i + 1]);
+    spec.layers.push_back(std::move(bias));
+  }
+  return spec;
+}
+
+}  // namespace acps::models

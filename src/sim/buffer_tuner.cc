@@ -1,0 +1,64 @@
+#include "sim/buffer_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace acps::sim {
+
+TuneResult TuneBufferSize(const models::ModelSpec& model,
+                          const SimConfig& cfg, int64_t min_bytes,
+                          int64_t max_bytes, int coarse_points,
+                          int refine_rounds) {
+  ACPS_CHECK_MSG(min_bytes >= 1 && max_bytes > min_bytes,
+                 "invalid tuning range");
+  ACPS_CHECK_MSG(coarse_points >= 3, "need at least 3 coarse points");
+
+  auto eval = [&](int64_t buffer) {
+    SimConfig c = cfg;
+    c.buffer_bytes = buffer;
+    return SimulateIterationAvg(model, c).total_s;
+  };
+
+  TuneResult result;
+  result.default_iter_s = eval(cfg.buffer_bytes);
+
+  // Coarse log-spaced scan.
+  const double log_lo = std::log(static_cast<double>(min_bytes));
+  const double log_hi = std::log(static_cast<double>(max_bytes));
+  int64_t best = min_bytes;
+  double best_t = 1e300;
+  auto consider = [&](int64_t buffer) {
+    buffer = std::clamp(buffer, min_bytes, max_bytes);
+    const double t = eval(buffer);
+    if (t < best_t) {
+      best_t = t;
+      best = buffer;
+    }
+  };
+  for (int i = 0; i < coarse_points; ++i) {
+    const double frac = static_cast<double>(i) / (coarse_points - 1);
+    consider(static_cast<int64_t>(
+        std::exp(log_lo + frac * (log_hi - log_lo))));
+  }
+
+  // Refine geometrically around the incumbent.
+  double span = 2.0;  // search [best/2, best*2], then tighten
+  for (int round = 0; round < refine_rounds; ++round) {
+    const int64_t center = best;
+    for (int i = -3; i <= 3; ++i) {
+      if (i == 0) continue;
+      consider(static_cast<int64_t>(
+          static_cast<double>(center) *
+          std::pow(span, static_cast<double>(i) / 3.0)));
+    }
+    span = std::sqrt(span);
+  }
+
+  result.best_buffer_bytes = best;
+  result.best_iter_s = best_t;
+  return result;
+}
+
+}  // namespace acps::sim

@@ -1,0 +1,36 @@
+// Automatic buffer-size tuning (the paper's §IV-B notes the budget could
+// be tuned with e.g. Bayesian optimization [43] but uses the 25MB default;
+// this extension implements the tuner so the claim "the default is nearly
+// optimal" — Fig 10 — can be checked quantitatively).
+//
+// Deterministic coarse-to-fine search over the simulated iteration time as
+// a function of the fusion-buffer budget. The objective is piecewise
+// constant in the bucket boundaries, so golden-section alone can stall; we
+// grid-scan log-spaced candidates and refine around the best.
+#pragma once
+
+#include "models/layer_spec.h"
+#include "sim/pipeline.h"
+
+namespace acps::sim {
+
+struct TuneResult {
+  int64_t best_buffer_bytes = 0;
+  double best_iter_s = 0.0;
+  double default_iter_s = 0.0;  // at cfg.buffer_bytes (usually 25MB)
+  // default_iter_s / best_iter_s — how much tuning buys over the default.
+  [[nodiscard]] double gain() const {
+    return best_iter_s > 0 ? default_iter_s / best_iter_s : 1.0;
+  }
+};
+
+// Searches buffer budgets in [min_bytes, max_bytes] (log-spaced, then
+// refined) for the configuration in `cfg` (method, rank, cluster...).
+[[nodiscard]] TuneResult TuneBufferSize(const models::ModelSpec& model,
+                                        const SimConfig& cfg,
+                                        int64_t min_bytes = 64 * 1024,
+                                        int64_t max_bytes = 2LL << 30,
+                                        int coarse_points = 24,
+                                        int refine_rounds = 2);
+
+}  // namespace acps::sim

@@ -1,0 +1,111 @@
+#include "sim/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace acps::sim {
+
+GpuModel::GpuModel(GpuSpec spec, int batch_size)
+    : spec_(spec), batch_(batch_size) {
+  ACPS_CHECK_MSG(batch_ >= 1, "batch size must be >= 1");
+}
+
+double GpuModel::BatchEfficiency() const {
+  const double ratio = static_cast<double>(batch_) / spec_.batch_knee;
+  return std::min(1.0, std::pow(ratio, spec_.batch_eff_exp));
+}
+
+double GpuModel::Throughput(models::OpClass op) const {
+  switch (op) {
+    case models::OpClass::kConv:
+      return spec_.conv_tflops * 1e12;
+    case models::OpClass::kGemm:
+      return spec_.gemm_tflops * 1e12;
+    case models::OpClass::kElementwise:
+      return spec_.mem_gbps * 1e9 / 4.0;  // one float read per "flop"
+  }
+  ACPS_CHECK_MSG(false, "unknown op class");
+}
+
+double GpuModel::GemmSeconds(double flops) const {
+  return flops / (spec_.lowrank_tflops * 1e12);
+}
+
+double GpuModel::MemSeconds(double bytes) const {
+  return bytes / (spec_.mem_gbps * 1e9);
+}
+
+double GpuModel::ForwardTime(const models::ModelSpec& model) const {
+  const double eff = BatchEfficiency();
+  double total = 0.0;
+  for (const auto& l : model.layers) {
+    total += spec_.kernel_launch_s +
+             l.fwd_flops_per_sample * batch_ / (Throughput(l.op_class) * eff);
+  }
+  return total;
+}
+
+double GpuModel::BackwardTime(const models::LayerSpec& layer) const {
+  // Backward computes both the input gradient and the weight gradient:
+  // ~2x the forward FLOPs.
+  const double eff = BatchEfficiency();
+  return spec_.kernel_launch_s +
+         2.0 * layer.fwd_flops_per_sample * batch_ /
+             (Throughput(layer.op_class) * eff);
+}
+
+LowRankKernelCost GpuModel::PowerSgdPhasePCost(int64_t n, int64_t m,
+                                               int64_t r) const {
+  // EF-add (one pass over the n×m residual) + P-GEMM.
+  LowRankKernelCost c;
+  const double nm = static_cast<double>(n) * static_cast<double>(m);
+  c.interferable_s = GemmSeconds(2.0 * nm * static_cast<double>(r)) +
+                     MemSeconds(2.0 * 4.0 * nm);
+  c.launch_s = 2.0 * spec_.kernel_launch_s;
+  return c;
+}
+
+LowRankKernelCost GpuModel::PowerSgdPhaseQCost(int64_t n, int64_t m,
+                                               int64_t r) const {
+  // Orthogonalize the aggregated P + Q-GEMM.
+  LowRankKernelCost c;
+  const double nm = static_cast<double>(n) * static_cast<double>(m);
+  const double orth_flops = 2.0 * static_cast<double>(n) *
+                            static_cast<double>(r) * static_cast<double>(r);
+  c.interferable_s =
+      GemmSeconds(2.0 * nm * static_cast<double>(r) + orth_flops) +
+      MemSeconds(4.0 * nm);
+  c.launch_s = 2.0 * spec_.kernel_launch_s + spec_.orth_extra_s;
+  return c;
+}
+
+LowRankKernelCost GpuModel::AcpCompressCost(int64_t n, int64_t m,
+                                            int64_t r) const {
+  // Orthogonalize carried factor + single factor GEMM + fused EF update
+  // (local reconstruct + subtract): the halved compression of §IV-A.
+  LowRankKernelCost c;
+  const double nm = static_cast<double>(n) * static_cast<double>(m);
+  const double avg_dim = 0.5 * static_cast<double>(n + m);
+  const double orth_flops =
+      2.0 * avg_dim * static_cast<double>(r) * static_cast<double>(r);
+  c.interferable_s =
+      GemmSeconds(2.0 * nm * static_cast<double>(r) + orth_flops) +
+      MemSeconds(2.0 * 4.0 * nm);
+  c.launch_s = 2.0 * spec_.kernel_launch_s + spec_.orth_extra_s;
+  return c;
+}
+
+LowRankKernelCost GpuModel::ReconstructCost(int64_t n, int64_t m,
+                                            int64_t r) const {
+  // M̂ = P·Qᵀ GEMM + EF residual update pass.
+  LowRankKernelCost c;
+  const double nm = static_cast<double>(n) * static_cast<double>(m);
+  c.interferable_s = GemmSeconds(2.0 * nm * static_cast<double>(r)) +
+                     MemSeconds(2.0 * 4.0 * nm);
+  c.launch_s = 2.0 * spec_.kernel_launch_s;
+  return c;
+}
+
+}  // namespace acps::sim

@@ -1,0 +1,70 @@
+// GPU execution-time model: prices forward/backward layers and the
+// compression kernels of every method on the calibrated GpuSpec.
+#pragma once
+
+#include "models/layer_spec.h"
+#include "sim/calibration.h"
+
+namespace acps::sim {
+
+// Cost of one compression kernel chain for a single matrix tensor, split by
+// what the work contends for:
+//  * interferable_s — FLOP- and memory-bound work; when executed on a side
+//    CUDA stream concurrently with back-propagation (Power-SGD*), it
+//    competes for SMs/bandwidth and is inflated by the interference factor;
+//  * launch_s — kernel-launch / framework-dispatch overhead, which does not
+//    contend with BP compute.
+struct LowRankKernelCost {
+  double interferable_s = 0.0;
+  double launch_s = 0.0;
+  [[nodiscard]] double total() const { return interferable_s + launch_s; }
+
+  LowRankKernelCost& operator+=(const LowRankKernelCost& o) {
+    interferable_s += o.interferable_s;
+    launch_s += o.launch_s;
+    return *this;
+  }
+};
+
+class GpuModel {
+ public:
+  GpuModel(GpuSpec spec, int batch_size);
+
+  [[nodiscard]] const GpuSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int batch() const noexcept { return batch_; }
+
+  // Small-batch efficiency multiplier.
+  [[nodiscard]] double BatchEfficiency() const;
+
+  // Forward time of the whole model (one kernel per parameterized op).
+  [[nodiscard]] double ForwardTime(const models::ModelSpec& model) const;
+
+  // Backward time of one layer (≈ 2x forward FLOPs).
+  [[nodiscard]] double BackwardTime(const models::LayerSpec& layer) const;
+
+  // --- Low-rank compression kernels (per matrix tensor, rank r) ---------
+  // Power-SGD phase P: EF-add + P-GEMM.
+  [[nodiscard]] LowRankKernelCost PowerSgdPhasePCost(int64_t n, int64_t m,
+                                                     int64_t r) const;
+  // Power-SGD phase Q: orthogonalize aggregated P + Q-GEMM.
+  [[nodiscard]] LowRankKernelCost PowerSgdPhaseQCost(int64_t n, int64_t m,
+                                                     int64_t r) const;
+  // ACP-SGD per-step compression: orthogonalize carried factor + single
+  // factor GEMM + fused local-reconstruct EF update (§IV-A's halved cost).
+  [[nodiscard]] LowRankKernelCost AcpCompressCost(int64_t n, int64_t m,
+                                                  int64_t r) const;
+  // Decompression M̂ = P·Qᵀ plus the EF residual update pass.
+  [[nodiscard]] LowRankKernelCost ReconstructCost(int64_t n, int64_t m,
+                                                  int64_t r) const;
+
+  [[nodiscard]] double MemSeconds(double bytes) const;
+
+ private:
+  [[nodiscard]] double Throughput(models::OpClass op) const;
+  [[nodiscard]] double GemmSeconds(double flops) const;  // low-rank GEMMs
+
+  GpuSpec spec_;
+  int batch_;
+};
+
+}  // namespace acps::sim

@@ -1,0 +1,89 @@
+// Iteration-time simulator: prices one training iteration of each method
+// (S-SGD, Sign-SGD, Top-k SGD, Power-SGD, Power-SGD*, ACP-SGD) under each
+// system-optimization level (naive / WFBP / WFBP+TF) on a configurable
+// cluster — the engine behind every timing table and figure (Fig 2, 3, 4,
+// 8-13, Table III).
+//
+// Model: two resources per worker — a COMPUTE stream (back-propagation and
+// compression kernels) and a COMM stream (collectives, priced by the α-β
+// CostModel). WFBP issues a tensor/bucket's collective the moment its
+// compute finishes; tensor fusion groups tensors into byte-budgeted buckets
+// (paper's 25MB default; ACP-SGD scales the budget by the compression rate).
+// Power-SGD* compression runs on a side stream concurrently with BP and its
+// FLOP-bound part is inflated by the calibrated interference factor —
+// reproducing the paper's "WFBP harms Power-SGD" observation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/cost_model.h"
+#include "fusion/bucket_assigner.h"
+#include "models/layer_spec.h"
+#include "sim/calibration.h"
+
+namespace acps::sim {
+
+enum class Method {
+  kSSGD,
+  kSignSGD,
+  kTopkSGD,
+  kPowerSGD,      // original: compress+communicate packed after BP
+  kPowerSGDStar,  // Power-SGD on the WFBP+TF communication hook
+  kACPSGD,
+};
+
+[[nodiscard]] std::string MethodName(Method m);
+
+enum class SysOptLevel {
+  kNaive,   // aggregate after BP, one collective per tensor, no overlap
+  kWfbp,    // per-tensor collectives overlapped with remaining BP
+  kWfbpTf,  // WFBP + tensor fusion (byte-budgeted buckets)
+};
+
+[[nodiscard]] std::string SysOptName(SysOptLevel level);
+
+// One scheduled interval, for Fig. 4-style schedule traces.
+struct TraceEvent {
+  std::string name;
+  std::string resource;  // "compute" | "comm"
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct SimConfig {
+  Method method = Method::kSSGD;
+  SysOptLevel sysopt = SysOptLevel::kWfbpTf;
+  int world_size = 32;
+  comm::NetworkSpec net = comm::NetworkSpec::Ethernet10G();
+  Calibration calib = Calibration::Default();
+  int batch_size = 0;  // 0 => the model's default (paper settings)
+  int64_t rank = 4;    // low-rank methods
+  double topk_ratio = 0.001;
+  int64_t buffer_bytes = fusion::kDefaultBufferBytes;
+  // ACP-SGD step parity: 1 => P step (communicate [n×r]), 0 => Q step.
+  // Benches average both parities, as a real run alternates them.
+  int acp_parity = 1;
+  std::vector<TraceEvent>* trace = nullptr;  // optional schedule recording
+};
+
+struct Breakdown {
+  double fwdbwd_s = 0.0;        // pure FF&BP busy time
+  double compress_s = 0.0;      // compression + decompression busy time
+  double comm_exposed_s = 0.0;  // non-overlapped communication
+  double total_s = 0.0;
+
+  [[nodiscard]] double total_ms() const { return total_s * 1e3; }
+};
+
+// Simulates one iteration. For ACP-SGD this simulates the parity in
+// `config.acp_parity`; use SimulateIterationAvg for the steady-state mean.
+[[nodiscard]] Breakdown SimulateIteration(const models::ModelSpec& model,
+                                          const SimConfig& config);
+
+// Mean of the two ACP parities (identical to SimulateIteration for other
+// methods).
+[[nodiscard]] Breakdown SimulateIterationAvg(const models::ModelSpec& model,
+                                             const SimConfig& config);
+
+}  // namespace acps::sim

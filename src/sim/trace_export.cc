@@ -1,0 +1,44 @@
+#include "sim/trace_export.h"
+
+#include <sstream>
+
+namespace acps::sim {
+namespace {
+
+// Minimal JSON string escaping (names are library-generated but be safe).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToChromeTracingJson(const std::vector<TraceEvent>& trace) {
+  std::ostringstream oss;
+  oss << "[";
+  bool first = true;
+  for (const auto& e : trace) {
+    if (!first) oss << ",";
+    first = false;
+    const double us = e.start_s * 1e6;
+    const double dur = (e.end_s - e.start_s) * 1e6;
+    // pid 1; one tid per resource (compute=1, comm=2, others=3).
+    const int tid = e.resource == "compute" ? 1 : (e.resource == "comm" ? 2 : 3);
+    oss << "\n  {\"name\": \"" << Escape(e.name) << "\", \"cat\": \""
+        << Escape(e.resource) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << tid << ", \"ts\": " << us << ", \"dur\": " << dur << "}";
+  }
+  oss << "\n]\n";
+  return oss.str();
+}
+
+}  // namespace acps::sim

@@ -1,0 +1,18 @@
+// Chrome-tracing (about://tracing, Perfetto) export of simulated schedule
+// traces — turns a Fig 4-style schedule into a timeline a user can inspect
+// visually.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/pipeline.h"
+
+namespace acps::sim {
+
+// Serializes trace events as a Chrome Trace Event JSON array ("X" complete
+// events; one row per resource). Timestamps in microseconds.
+[[nodiscard]] std::string ToChromeTracingJson(
+    const std::vector<TraceEvent>& trace);
+
+}  // namespace acps::sim

@@ -1,0 +1,46 @@
+// Lightweight runtime-check macros shared across the acps libraries.
+//
+// We prefer throwing over aborting: every precondition violation is reported
+// as acps::Error with a formatted message, so tests can assert on failures
+// and long-running harnesses fail loudly instead of corrupting state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acps {
+
+// Error thrown on any violated precondition/invariant inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* file, int line, const char* expr,
+                              const std::string& msg) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace detail
+}  // namespace acps
+
+// ACPS_CHECK(cond) / ACPS_CHECK_MSG(cond, streamed-message)
+#define ACPS_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) ::acps::detail::fail(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+#define ACPS_CHECK_MSG(cond, msg)                            \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      std::ostringstream oss_;                               \
+      oss_ << msg;                                           \
+      ::acps::detail::fail(__FILE__, __LINE__, #cond, oss_.str()); \
+    }                                                        \
+  } while (0)

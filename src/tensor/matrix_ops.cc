@@ -1,0 +1,140 @@
+#include "tensor/matrix_ops.h"
+
+#include <algorithm>
+
+namespace acps {
+namespace {
+
+void CheckGemmSizes(size_t a, size_t b, size_t c, int64_t n, int64_t k,
+                    int64_t m) {
+  ACPS_CHECK_MSG(n >= 0 && k >= 0 && m >= 0, "negative gemm dims");
+  ACPS_CHECK_MSG(static_cast<int64_t>(a) == n * k, "A size mismatch");
+  ACPS_CHECK_MSG(static_cast<int64_t>(b) == k * m, "B size mismatch");
+  ACPS_CHECK_MSG(static_cast<int64_t>(c) == n * m, "C size mismatch");
+}
+
+}  // namespace
+
+void Gemm(std::span<const float> a, std::span<const float> b,
+          std::span<float> c, int64_t n, int64_t k, int64_t m, float alpha,
+          float beta) {
+  CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
+  // i-k-j loop order: streams B and C rows, good locality for row-major.
+  for (int64_t i = 0; i < n; ++i) {
+    float* ci = c.data() + i * m;
+    if (beta == 0.0f) {
+      std::fill(ci, ci + m, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < m; ++j) ci[j] *= beta;
+    }
+    const float* ai = a.data() + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = alpha * ai[kk];
+      if (aik == 0.0f) continue;
+      const float* bk = b.data() + kk * m;
+      for (int64_t j = 0; j < m; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void GemmTransA(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, int64_t n, int64_t k, int64_t m,
+                float alpha, float beta) {
+  CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
+  for (int64_t i = 0; i < n; ++i) {
+    float* ci = c.data() + i * m;
+    if (beta == 0.0f) {
+      std::fill(ci, ci + m, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < m; ++j) ci[j] *= beta;
+    }
+  }
+  // A stored [k×n]: visit A row-wise to stay sequential.
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* ak = a.data() + kk * n;
+    const float* bk = b.data() + kk * m;
+    for (int64_t i = 0; i < n; ++i) {
+      const float aik = alpha * ak[i];
+      if (aik == 0.0f) continue;
+      float* ci = c.data() + i * m;
+      for (int64_t j = 0; j < m; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void GemmTransB(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, int64_t n, int64_t k, int64_t m,
+                float alpha, float beta) {
+  CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
+  // B stored [m×k]; dot products of A rows with B rows.
+  for (int64_t i = 0; i < n; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const float* bj = b.data() + j * k;
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += double(ai[kk]) * bj[kk];
+      ci[j] = alpha * static_cast<float>(acc) + beta * (beta == 0.0f ? 0.0f : ci[j]);
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ACPS_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2 && a.cols() == b.rows(),
+                 "MatMul shape mismatch: " << ShapeToString(a.shape()) << " x "
+                                           << ShapeToString(b.shape()));
+  Tensor c({a.rows(), b.cols()});
+  Gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  return c;
+}
+
+Tensor MatMulTA(const Tensor& a, const Tensor& b) {
+  ACPS_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2 && a.rows() == b.rows(),
+                 "MatMulTA shape mismatch: " << ShapeToString(a.shape())
+                                             << "ᵀ x "
+                                             << ShapeToString(b.shape()));
+  Tensor c({a.cols(), b.cols()});
+  GemmTransA(a.data(), b.data(), c.data(), a.cols(), a.rows(), b.cols());
+  return c;
+}
+
+Tensor MatMulTB(const Tensor& a, const Tensor& b) {
+  ACPS_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2 && a.cols() == b.cols(),
+                 "MatMulTB shape mismatch: " << ShapeToString(a.shape())
+                                             << " x "
+                                             << ShapeToString(b.shape())
+                                             << "ᵀ");
+  Tensor c({a.rows(), b.rows()});
+  GemmTransB(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.rows());
+  return c;
+}
+
+Tensor Transpose(const Tensor& in) {
+  ACPS_CHECK_MSG(in.ndim() == 2, "Transpose needs a matrix");
+  const int64_t r = in.rows(), c = in.cols();
+  Tensor out({c, r});
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = 0; j < c; ++j) out.at(j, i) = in.at(i, j);
+  return out;
+}
+
+void Gemv(std::span<const float> a, std::span<const float> x,
+          std::span<float> y, int64_t n, int64_t m) {
+  ACPS_CHECK_MSG(static_cast<int64_t>(a.size()) == n * m &&
+                     static_cast<int64_t>(x.size()) == m &&
+                     static_cast<int64_t>(y.size()) == n,
+                 "Gemv size mismatch");
+  for (int64_t i = 0; i < n; ++i) {
+    const float* ai = a.data() + i * m;
+    double acc = 0.0;
+    for (int64_t j = 0; j < m; ++j) acc += double(ai[j]) * x[j];
+    y[i] = static_cast<float>(acc);
+  }
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  ACPS_CHECK_MSG(x.size() == y.size(), "Axpy size mismatch");
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace acps

@@ -1,0 +1,45 @@
+// Row-major BLAS-like matrix kernels on raw spans and Tensors.
+//
+// These are the compute primitives behind Power-SGD / ACP-SGD compression
+// (M·Q, Mᵀ·P), the DNN substrate (linear layers), and the linalg module.
+// They are deliberately simple, cache-blocked loops — correctness and
+// determinism over peak throughput (perf *measurement* happens in acps::sim).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace acps {
+
+// C[n×m] = alpha * A[n×k] · B[k×m] + beta * C. Row-major, no aliasing.
+void Gemm(std::span<const float> a, std::span<const float> b,
+          std::span<float> c, int64_t n, int64_t k, int64_t m,
+          float alpha = 1.0f, float beta = 0.0f);
+
+// C[n×m] = alpha * Aᵀ[n×k] · B[k×m] + beta * C, where A is stored as [k×n].
+void GemmTransA(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, int64_t n, int64_t k, int64_t m,
+                float alpha = 1.0f, float beta = 0.0f);
+
+// C[n×m] = alpha * A[n×k] · Bᵀ[k×m] + beta * C, where B is stored as [m×k].
+void GemmTransB(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, int64_t n, int64_t k, int64_t m,
+                float alpha = 1.0f, float beta = 0.0f);
+
+// Tensor conveniences (shapes checked). Result is freshly allocated.
+[[nodiscard]] Tensor MatMul(const Tensor& a, const Tensor& b);      // A·B
+[[nodiscard]] Tensor MatMulTA(const Tensor& a, const Tensor& b);    // Aᵀ·B
+[[nodiscard]] Tensor MatMulTB(const Tensor& a, const Tensor& b);    // A·Bᵀ
+
+// out[r×c] = inᵀ where in is [c×r].
+[[nodiscard]] Tensor Transpose(const Tensor& in);
+
+// y[n] = A[n×m]·x[m]  (row-major).
+void Gemv(std::span<const float> a, std::span<const float> x,
+          std::span<float> y, int64_t n, int64_t m);
+
+// y += alpha * x (sizes must match).
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+}  // namespace acps

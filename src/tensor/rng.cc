@@ -1,0 +1,89 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace acps {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+Rng Rng::split(uint64_t stream_id) const {
+  // Mix the current state with the stream id through SplitMix64 to derive an
+  // uncorrelated child stream.
+  uint64_t x = s_[0] ^ Rotl(s_[2], 17) ^ (stream_id * 0xD1B54A32D192ED03ull);
+  Rng child(0);
+  for (auto& s : child.s_) s = SplitMix64(x);
+  return child;
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t n) {
+  ACPS_CHECK_MSG(n > 0, "next_below(0)");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) {
+  return lo + (hi - lo) * static_cast<float>(next_double());
+}
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; guard u1 away from zero.
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = static_cast<float>(radius * std::sin(theta));
+  has_cached_normal_ = true;
+  return static_cast<float>(radius * std::cos(theta));
+}
+
+void Rng::fill_normal(Tensor& t, float mean, float stddev) {
+  for (float& v : t.data()) v = normal(mean, stddev);
+}
+
+void Rng::fill_uniform(Tensor& t, float lo, float hi) {
+  for (float& v : t.data()) v = uniform(lo, hi);
+}
+
+}  // namespace acps

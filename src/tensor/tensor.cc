@@ -1,0 +1,174 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace acps {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    ACPS_CHECK_MSG(d >= 0, "negative dimension in shape " << ShapeToString(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) oss << ", ";
+    oss << shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(NumElements(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  ACPS_CHECK_MSG(NumElements(shape_) == static_cast<int64_t>(data_.size()),
+                 "shape " << ShapeToString(shape_) << " does not match "
+                          << data_.size() << " values");
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::FromSpan(Shape shape, std::span<const float> v) {
+  return Tensor(std::move(shape), std::vector<float>(v.begin(), v.end()));
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  ACPS_CHECK_MSG(i >= 0 && i < ndim(),
+                 "dim " << i << " out of range for " << ShapeToString(shape_));
+  return shape_[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::rows() const {
+  ACPS_CHECK_MSG(ndim() == 2, "rows() on non-matrix " << ShapeToString(shape_));
+  return shape_[0];
+}
+
+int64_t Tensor::cols() const {
+  ACPS_CHECK_MSG(ndim() == 2, "cols() on non-matrix " << ShapeToString(shape_));
+  return shape_[1];
+}
+
+float& Tensor::at(int64_t i) {
+  ACPS_CHECK_MSG(i >= 0 && i < numel(), "index " << i << " out of range");
+  return data_[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i) const {
+  ACPS_CHECK_MSG(i >= 0 && i < numel(), "index " << i << " out of range");
+  return data_[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t r, int64_t c) {
+  ACPS_CHECK_MSG(ndim() == 2 && r >= 0 && r < rows() && c >= 0 && c < cols(),
+                 "(" << r << ", " << c << ") out of range for "
+                     << ShapeToString(shape_));
+  return data_[static_cast<size_t>(r * cols() + c)];
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+void Tensor::reshape(Shape new_shape) {
+  ACPS_CHECK_MSG(NumElements(new_shape) == numel(),
+                 "reshape " << ShapeToString(shape_) << " -> "
+                            << ShapeToString(new_shape));
+  shape_ = std::move(new_shape);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = clone();
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_(const Tensor& other) { axpy_(1.0f, other); }
+
+void Tensor::sub_(const Tensor& other) { axpy_(-1.0f, other); }
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  ACPS_CHECK_MSG(numel() == other.numel(),
+                 "axpy size mismatch: " << numel() << " vs " << other.numel());
+  const float* src = other.data_.data();
+  float* dst = data_.data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::scale_(float alpha) noexcept {
+  for (float& v : data_) v *= alpha;
+}
+
+void Tensor::copy_from(const Tensor& other) {
+  ACPS_CHECK_MSG(numel() == other.numel(), "copy_from size mismatch: "
+                                               << numel() << " vs "
+                                               << other.numel());
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+float Tensor::sum() const noexcept {
+  // Pairwise-ish summation via double accumulator for stability.
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::dot(const Tensor& other) const {
+  ACPS_CHECK_MSG(numel() == other.numel(),
+                 "dot size mismatch: " << numel() << " vs " << other.numel());
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    acc += static_cast<double>(data_[i]) * other.data_[i];
+  return static_cast<float>(acc);
+}
+
+float Tensor::norm2() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Tensor::abs_max() const noexcept {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+bool Tensor::all_close(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace acps

@@ -1,0 +1,110 @@
+// Dense row-major float tensor used throughout the library.
+//
+// Design notes (see DESIGN.md §3):
+//  * Owning, shape-checked, value-semantic. Copies are explicit via clone()
+//    to avoid accidental O(N) copies in hot paths; moves are cheap.
+//  * Gradient-compression code views tensors as 2-D matrices; `Tensor`
+//    supports reshape without copying (row-major invariant).
+//  * Element type is float (fp32), matching the paper's gradients.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace acps {
+
+// Shape of a tensor; empty shape denotes a scalar with one element.
+using Shape = std::vector<int64_t>;
+
+// Returns the number of elements implied by a shape (product of dims).
+[[nodiscard]] int64_t NumElements(const Shape& shape);
+
+// Human-readable "[a, b, c]" rendering of a shape.
+[[nodiscard]] std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  // An empty (0-element, shapeless) tensor.
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // Tensor of the given shape adopting `values` (size must match).
+  Tensor(Shape shape, std::vector<float> values);
+
+  Tensor(const Tensor&) = delete;             // use clone(): copies are O(N)
+  Tensor& operator=(const Tensor&) = delete;  // and should be explicit
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  // Deep copy.
+  [[nodiscard]] Tensor clone() const;
+
+  // Factory helpers.
+  [[nodiscard]] static Tensor Zeros(Shape shape);
+  [[nodiscard]] static Tensor Full(Shape shape, float value);
+  [[nodiscard]] static Tensor FromSpan(Shape shape, std::span<const float> v);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] int64_t numel() const noexcept {
+    return static_cast<int64_t>(data_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  // Dimension accessors; `dim(i)` checks bounds.
+  [[nodiscard]] int64_t ndim() const noexcept {
+    return static_cast<int64_t>(shape_.size());
+  }
+  [[nodiscard]] int64_t dim(int64_t i) const;
+
+  // Rows/cols of a 2-D tensor (checked).
+  [[nodiscard]] int64_t rows() const;
+  [[nodiscard]] int64_t cols() const;
+
+  // Raw element access.
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  // 1-D indexed access (checked).
+  [[nodiscard]] float& at(int64_t i);
+  [[nodiscard]] float at(int64_t i) const;
+
+  // 2-D indexed access for matrices (checked).
+  [[nodiscard]] float& at(int64_t r, int64_t c);
+  [[nodiscard]] float at(int64_t r, int64_t c) const;
+
+  // Reinterprets the tensor with a new shape of equal element count.
+  // No data movement (row-major).
+  void reshape(Shape new_shape);
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  // In-place arithmetic (shapes must match for tensor operands).
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+  void add_(const Tensor& other);                  // this += other
+  void sub_(const Tensor& other);                  // this -= other
+  void axpy_(float alpha, const Tensor& other);    // this += alpha * other
+  void scale_(float alpha) noexcept;               // this *= alpha
+  void copy_from(const Tensor& other);             // this = other (same numel)
+
+  // Reductions.
+  [[nodiscard]] float sum() const noexcept;
+  [[nodiscard]] float dot(const Tensor& other) const;
+  [[nodiscard]] float norm2() const noexcept;      // Frobenius / L2 norm
+  [[nodiscard]] float abs_max() const noexcept;
+
+  // True iff shapes are identical and all elements differ by <= tol.
+  [[nodiscard]] bool all_close(const Tensor& other, float tol = 1e-5f) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace acps

@@ -1,0 +1,113 @@
+// Tests for the Adam optimizer and the GPT-2 zoo entries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/adam.h"
+#include "dnn/layers.h"
+#include "dnn/loss.h"
+#include "dnn/mini_models.h"
+#include "models/model_zoo.h"
+#include "sim/pipeline.h"
+#include "tensor/rng.h"
+
+namespace acps {
+namespace {
+
+TEST(Adam, FirstStepIsSignedLr) {
+  // With bias correction, the very first Adam step is ~lr * sign(g).
+  dnn::Param p;
+  p.value = Tensor({2}, {0.0f, 0.0f});
+  p.grad = Tensor({2}, {0.3f, -7.0f});
+  dnn::AdamOptimizer opt({&p}, dnn::LrSchedule{0.01f, 0, {}, 1.0f});
+  opt.Step(0);
+  EXPECT_NEAR(p.value.at(0), -0.01f, 1e-4f);
+  EXPECT_NEAR(p.value.at(1), 0.01f, 1e-4f);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(Adam, AdaptsPerCoordinateScale) {
+  // Two coordinates with very different gradient magnitudes move at
+  // comparable speed (unlike SGD).
+  dnn::Param p;
+  p.value = Tensor({2});
+  p.grad = Tensor({2});
+  dnn::AdamOptimizer opt({&p}, dnn::LrSchedule{0.01f, 0, {}, 1.0f});
+  for (int t = 0; t < 50; ++t) {
+    p.grad.at(0) = 100.0f;
+    p.grad.at(1) = 0.01f;
+    opt.Step(0);
+  }
+  EXPECT_NEAR(p.value.at(0), p.value.at(1), 0.1f);
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  dnn::Param p;
+  p.value = Tensor({1}, {5.0f});
+  p.grad = Tensor({1}, {0.0f});
+  dnn::AdamOptimizer opt({&p}, dnn::LrSchedule{0.1f, 0, {}, 1.0f}, 0.9f,
+                         0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int t = 0; t < 20; ++t) opt.Step(0);
+  EXPECT_LT(p.value.at(0), 5.0f);
+  EXPECT_GT(p.value.at(0), 0.0f);
+}
+
+TEST(Adam, RejectsBadHyperparameters) {
+  dnn::Param p;
+  p.value = Tensor({1});
+  p.grad = Tensor({1});
+  EXPECT_THROW(dnn::AdamOptimizer({&p}, dnn::LrSchedule{}, 1.0f), Error);
+  EXPECT_THROW(
+      dnn::AdamOptimizer({&p}, dnn::LrSchedule{}, 0.9f, 0.999f, 0.0f), Error);
+}
+
+TEST(Adam, TrainsAMiniModel) {
+  dnn::Network net = dnn::VggMini();
+  net.Init(17);
+  dnn::AdamOptimizer opt(net.params(), dnn::LrSchedule{0.003f, 0, {}, 1.0f});
+  Rng rng(18);
+  Tensor x({32, 3 * 8 * 8});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  std::vector<int> y(32);
+  for (size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 10);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 40; ++step) {
+    net.ZeroGrads();
+    const Tensor logits = net.Forward(x);
+    const auto loss = dnn::SoftmaxCrossEntropy(logits, y);
+    if (step == 0) first = loss.loss;
+    last = loss.loss;
+    (void)net.Backward(loss.grad_logits);
+    opt.Step(0);
+  }
+  EXPECT_LT(last, 0.3f * first);
+}
+
+TEST(Gpt2, ParamCountsMatchPublished) {
+  // GPT-2 small = 124M, medium = 355M (we model the tied-LM-head variant).
+  EXPECT_NEAR(models::Gpt2Small().total_params() / 1e6, 124.0, 3.0);
+  EXPECT_NEAR(models::Gpt2Medium().total_params() / 1e6, 355.0, 10.0);
+}
+
+TEST(Gpt2, InZooAndSimulable) {
+  const auto model = models::ByName("gpt2-small");
+  EXPECT_GT(model.num_tensors(), 100u);
+  sim::SimConfig cfg;
+  cfg.method = sim::Method::kACPSGD;
+  cfg.rank = 32;
+  const auto acp = sim::SimulateIterationAvg(model, cfg);
+  cfg.method = sim::Method::kSSGD;
+  const auto ssgd = sim::SimulateIterationAvg(model, cfg);
+  EXPECT_GT(acp.total_s, 0.0);
+  // A 124M-param model on 10GbE: compression should win clearly.
+  EXPECT_LT(acp.total_s, ssgd.total_s);
+}
+
+TEST(Gpt2, MostParamsCompressible) {
+  const auto fp = models::Gpt2Small().FootprintAtRank(32);
+  const auto model = models::Gpt2Small();
+  EXPECT_LT(fp.dense_elements, model.total_params() / 100);
+}
+
+}  // namespace
+}  // namespace acps

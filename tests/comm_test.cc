@@ -1,0 +1,344 @@
+#include "comm/communicator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace acps::comm {
+namespace {
+
+// Fills a per-rank test vector with a deterministic pattern.
+std::vector<float> PatternFor(int rank, size_t n) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i)
+    v[i] = static_cast<float>((rank + 1) * 100 + static_cast<int>(i % 17));
+  return v;
+}
+
+std::vector<float> ExpectedSum(int world, size_t n) {
+  std::vector<float> sum(n, 0.0f);
+  for (int r = 0; r < world; ++r) {
+    const auto v = PatternFor(r, n);
+    for (size_t i = 0; i < n; ++i) sum[i] += v[i];
+  }
+  return sum;
+}
+
+TEST(ChunkRange, PartitionsExactly) {
+  for (int64_t n : {0, 1, 5, 7, 32, 100, 101}) {
+    for (int p : {1, 2, 3, 4, 7, 8}) {
+      int64_t covered = 0;
+      int64_t prev_end = 0;
+      for (int c = 0; c < p; ++c) {
+        const ChunkRange r = GetChunkRange(n, p, c);
+        EXPECT_EQ(r.begin, prev_end);
+        EXPECT_GE(r.size(), 0);
+        covered += r.size();
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+  EXPECT_THROW((void)GetChunkRange(10, 2, 2), Error);
+}
+
+struct WorldSize {
+  int p;
+  size_t n;
+};
+
+class AllReduceTest
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(AllReduceTest, RingSumsAcrossWorkers) {
+  const auto [p, n] = GetParam();
+  ThreadGroup group(p);
+  std::atomic<int> failures{0};
+  group.Run([&](Communicator& comm) {
+    auto data = PatternFor(comm.rank(), n);
+    comm.all_reduce(data);
+    const auto expected = ExpectedSum(comm.world_size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      if (std::abs(data[i] - expected[i]) > 1e-2f) {
+        ++failures;
+        break;
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(AllReduceTest, NaiveMatchesRing) {
+  const auto [p, n] = GetParam();
+  ThreadGroup group(p);
+  std::atomic<int> failures{0};
+  group.Run([&](Communicator& comm) {
+    auto ring = PatternFor(comm.rank(), n);
+    auto naive = PatternFor(comm.rank(), n);
+    comm.all_reduce(ring);
+    comm.all_reduce_naive(naive);
+    for (size_t i = 0; i < n; ++i) {
+      if (std::abs(ring[i] - naive[i]) > 1e-2f) {
+        ++failures;
+        break;
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllReduceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8),
+                       ::testing::Values<size_t>(0, 1, 3, 16, 257, 1024)));
+
+TEST(AllReduce, MaxOp) {
+  ThreadGroup group(4);
+  std::atomic<int> failures{0};
+  group.Run([&](Communicator& comm) {
+    std::vector<float> v{static_cast<float>(comm.rank()),
+                         static_cast<float>(-comm.rank())};
+    comm.all_reduce(v, ReduceOp::kMax);
+    if (v[0] != 3.0f || v[1] != 0.0f) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(AllGather, CollectsInRankOrder) {
+  const int p = 4;
+  const size_t n = 10;
+  ThreadGroup group(p);
+  std::atomic<int> failures{0};
+  group.Run([&](Communicator& comm) {
+    const auto mine = PatternFor(comm.rank(), n);
+    std::vector<float> all(n * p);
+    comm.all_gather(mine, all);
+    for (int r = 0; r < p; ++r) {
+      const auto expect = PatternFor(r, n);
+      for (size_t i = 0; i < n; ++i) {
+        if (all[static_cast<size_t>(r) * n + i] != expect[i]) ++failures;
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(AllGather, SizeMismatchThrows) {
+  ThreadGroup group(2);
+  EXPECT_THROW(group.Run([&](Communicator& comm) {
+    std::vector<float> send(4), recv(7);  // 7 != 2*4
+    comm.all_gather(send, recv);
+  }),
+               Error);
+}
+
+TEST(AllGatherBytes, RoundTrips) {
+  const int p = 3;
+  ThreadGroup group(p);
+  std::atomic<int> failures{0};
+  group.Run([&](Communicator& comm) {
+    std::vector<std::byte> mine(5, static_cast<std::byte>(comm.rank() + 65));
+    std::vector<std::byte> all(15);
+    comm.all_gather_bytes(mine, all);
+    for (int r = 0; r < p; ++r)
+      for (int i = 0; i < 5; ++i)
+        if (all[static_cast<size_t>(r * 5 + i)] !=
+            static_cast<std::byte>(r + 65))
+          ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(AllGatherV, VariableSizes) {
+  const int p = 4;
+  ThreadGroup group(p);
+  std::atomic<int> failures{0};
+  group.Run([&](Communicator& comm) {
+    // Worker r contributes r+1 bytes of value (r+1).
+    std::vector<std::byte> mine(static_cast<size_t>(comm.rank() + 1),
+                                static_cast<std::byte>(comm.rank() + 1));
+    std::vector<std::byte> recv;
+    std::vector<size_t> offsets;
+    comm.all_gather_v(mine, recv, offsets);
+    if (recv.size() != 1 + 2 + 3 + 4) ++failures;
+    for (int r = 0; r < p; ++r) {
+      if (offsets[static_cast<size_t>(r + 1)] -
+              offsets[static_cast<size_t>(r)] !=
+          static_cast<size_t>(r + 1))
+        ++failures;
+      for (size_t i = offsets[static_cast<size_t>(r)];
+           i < offsets[static_cast<size_t>(r + 1)]; ++i)
+        if (recv[i] != static_cast<std::byte>(r + 1)) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ReduceScatter, EachWorkerOwnsItsChunk) {
+  const int p = 4;
+  const size_t n = 21;  // deliberately not divisible by p
+  ThreadGroup group(p);
+  std::atomic<int> failures{0};
+  group.Run([&](Communicator& comm) {
+    auto data = PatternFor(comm.rank(), n);
+    comm.reduce_scatter(data);
+    const auto expected = ExpectedSum(p, n);
+    const ChunkRange c = GetChunkRange(static_cast<int64_t>(n), p, comm.rank());
+    for (int64_t i = c.begin; i < c.end; ++i) {
+      if (std::abs(data[static_cast<size_t>(i)] -
+                   expected[static_cast<size_t>(i)]) > 1e-2f)
+        ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Broadcast, FromEachRoot) {
+  const int p = 4;
+  for (int root = 0; root < p; ++root) {
+    ThreadGroup group(p);
+    std::atomic<int> failures{0};
+    group.Run([&](Communicator& comm) {
+      std::vector<float> v(8, comm.rank() == root ? 42.0f : -1.0f);
+      comm.broadcast(v, root);
+      for (float x : v)
+        if (x != 42.0f) ++failures;
+    });
+    EXPECT_EQ(failures.load(), 0) << "root=" << root;
+  }
+}
+
+TEST(Broadcast, BadRootThrows) {
+  ThreadGroup group(2);
+  EXPECT_THROW(group.Run([&](Communicator& comm) {
+    std::vector<float> v(1);
+    comm.broadcast(v, 5);
+  }),
+               Error);
+}
+
+// Communication-volume properties from Table II: ring all-reduce moves
+// 2(p-1)/p * N elements per worker; ring all-gather (p-1) * N_send.
+TEST(TrafficStats, RingAllReduceVolumeMatchesTableII) {
+  const int p = 4;
+  const size_t n = 64;  // divisible by p so chunking is exact
+  ThreadGroup group(p);
+  group.Run([&](Communicator& comm) {
+    auto data = PatternFor(comm.rank(), n);
+    comm.all_reduce(data);
+    const uint64_t expect_bytes =
+        2ull * (p - 1) * (n / p) * sizeof(float);
+    EXPECT_EQ(comm.stats().bytes_sent, expect_bytes);
+    EXPECT_EQ(comm.stats().messages_sent, 2ull * (p - 1));
+    EXPECT_EQ(comm.stats().collectives, 1u);
+  });
+}
+
+TEST(TrafficStats, AllGatherVolumeMatchesTableII) {
+  const int p = 4;
+  const size_t n = 32;
+  ThreadGroup group(p);
+  group.Run([&](Communicator& comm) {
+    const auto mine = PatternFor(comm.rank(), n);
+    std::vector<float> all(n * p);
+    comm.all_gather(mine, all);
+    EXPECT_EQ(comm.stats().bytes_sent, (p - 1) * n * sizeof(float));
+    EXPECT_EQ(comm.stats().messages_sent, static_cast<uint64_t>(p - 1));
+  });
+}
+
+TEST(TrafficStats, NaiveAllReduceIsLinearInP) {
+  const int p = 4;
+  const size_t n = 16;
+  ThreadGroup group(p);
+  group.Run([&](Communicator& comm) {
+    auto data = PatternFor(comm.rank(), n);
+    comm.all_reduce_naive(data);
+  });
+  // Total traffic: p workers send N floats + root broadcasts N.
+  const TrafficStats total = group.total_stats();
+  EXPECT_EQ(total.bytes_sent, (p + 1) * n * sizeof(float));
+}
+
+TEST(ThreadGroup, WorkerExceptionPropagates) {
+  ThreadGroup group(3);
+  EXPECT_THROW(group.Run([&](Communicator& comm) {
+    if (comm.rank() == 1) throw Error("boom");
+    // Other workers block on a barrier; the abort must release them.
+    comm.barrier();
+    comm.barrier();
+  }),
+               Error);
+  // The group is reusable after an aborted run.
+  std::atomic<int> ok{0};
+  group.Run([&](Communicator& comm) {
+    comm.barrier();
+    ++ok;
+  });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(ThreadGroup, SequentialCollectivesStayConsistent) {
+  // A chain of different collectives: any rendezvous skew would corrupt
+  // results or deadlock.
+  ThreadGroup group(4);
+  std::atomic<int> failures{0};
+  group.Run([&](Communicator& comm) {
+    for (int round = 0; round < 20; ++round) {
+      auto v = PatternFor(comm.rank() + round, 33);
+      comm.all_reduce(v);
+      comm.barrier();
+      std::vector<float> g(33 * 4);
+      comm.all_gather(std::span<const float>(v).subspan(0, 33), g);
+      std::vector<float> b(5, comm.rank() == round % 4 ? 1.0f : 0.0f);
+      comm.broadcast(b, round % 4);
+      if (b[0] != 1.0f) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadGroup, WorldSizeOne) {
+  ThreadGroup group(1);
+  group.Run([&](Communicator& comm) {
+    auto v = PatternFor(0, 7);
+    const auto before = v;
+    comm.all_reduce(v);
+    EXPECT_EQ(v, before);  // no-op with p=1
+    std::vector<float> g(7);
+    comm.all_gather(v, g);
+    EXPECT_EQ(g, before);
+  });
+}
+
+TEST(ThreadGroup, RejectsBadWorldSize) {
+  EXPECT_THROW(ThreadGroup(0), Error);
+}
+
+
+TEST(ThreadGroup, BarrierTimeoutDetectsMismatchedCollectives) {
+  // Worker 1 skips the collective entirely: without the watchdog the
+  // others would deadlock; with it the group aborts with an error.
+  ThreadGroup group(3, /*barrier_timeout_ms=*/200);
+  EXPECT_THROW(group.Run([&](Communicator& comm) {
+    if (comm.rank() == 1) return;  // never reaches the barrier
+    std::vector<float> v(8, 1.0f);
+    comm.all_reduce(v);
+  }),
+               Error);
+}
+
+TEST(ThreadGroup, TimeoutDoesNotFireOnHealthyRuns) {
+  ThreadGroup group(4, /*barrier_timeout_ms=*/5000);
+  std::atomic<int> ok{0};
+  group.Run([&](Communicator& comm) {
+    std::vector<float> v(128, static_cast<float>(comm.rank()));
+    for (int i = 0; i < 10; ++i) comm.all_reduce(v);
+    ++ok;
+  });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+}  // namespace
+}  // namespace acps::comm

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "linalg/orthogonalize.h"
+#include "linalg/power_iter.h"
+#include "linalg/qr.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/rng.h"
+
+namespace acps {
+namespace {
+
+struct QrDims {
+  int64_t n, r;
+};
+
+class QrTest : public ::testing::TestWithParam<QrDims> {};
+
+TEST_P(QrTest, Decomposes) {
+  const auto [n, r] = GetParam();
+  Rng rng(n * 31 + r);
+  Tensor a({n, r});
+  rng.fill_normal(a);
+  const Tensor original = a.clone();
+  const QrResult qr = ReducedQr(a);
+
+  // Q has orthonormal columns.
+  EXPECT_LT(OrthonormalityError(qr.q), 1e-4f);
+  // R is upper triangular.
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = 0; j < i; ++j) EXPECT_EQ(qr.r.at(i, j), 0.0f);
+  // A = Q R.
+  const Tensor recon = MatMul(qr.q, qr.r);
+  EXPECT_TRUE(recon.all_close(original, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, QrTest,
+                         ::testing::Values(QrDims{1, 1}, QrDims{4, 4},
+                                           QrDims{8, 3}, QrDims{100, 4},
+                                           QrDims{64, 32}, QrDims{257, 16}));
+
+TEST(Qr, RejectsBadShapes) {
+  EXPECT_THROW((void)ReducedQr(Tensor({4})), Error);
+  EXPECT_THROW((void)ReducedQr(Tensor({2, 4})), Error);  // n < r
+}
+
+TEST(Qr, ZeroColumnHandled) {
+  Tensor a({5, 2});
+  a.at(0, 0) = 1.0f;  // second column all zero
+  EXPECT_NO_THROW((void)ReducedQr(a));
+}
+
+class OrthoSchemeTest : public ::testing::TestWithParam<OrthoScheme> {};
+
+TEST_P(OrthoSchemeTest, ProducesOrthonormalColumns) {
+  Rng rng(55);
+  Tensor a({40, 6});
+  rng.fill_normal(a);
+  Orthogonalize(a, GetParam());
+  EXPECT_LT(OrthonormalityError(a), 1e-4f);
+}
+
+TEST_P(OrthoSchemeTest, PreservesColumnSpan) {
+  Rng rng(66);
+  Tensor a({20, 3});
+  rng.fill_normal(a);
+  const Tensor original = a.clone();
+  Orthogonalize(a, GetParam());
+  // Projecting the original columns onto span(Q) must reproduce them:
+  // original = Q (Qᵀ original).
+  const Tensor coeffs = MatMulTA(a, original);
+  const Tensor recon = MatMul(a, coeffs);
+  EXPECT_TRUE(recon.all_close(original, 1e-3f));
+}
+
+TEST_P(OrthoSchemeTest, RankDeficientInputRecovers) {
+  // Two identical columns: orthogonalization must still return a full-rank
+  // orthonormal basis (via the deterministic reseed path).
+  Tensor a({10, 2});
+  for (int64_t i = 0; i < 10; ++i) {
+    a.at(i, 0) = static_cast<float>(i + 1);
+    a.at(i, 1) = static_cast<float>(i + 1);
+  }
+  Orthogonalize(a, GetParam());
+  EXPECT_LT(OrthonormalityError(a), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, OrthoSchemeTest,
+                         ::testing::Values(OrthoScheme::kQr,
+                                           OrthoScheme::kGramSchmidt));
+
+TEST(Orthogonalize, DeterministicAcrossCalls) {
+  // Power-SGD requires all workers to produce the identical basis.
+  Rng rng(77);
+  Tensor a({30, 4});
+  rng.fill_normal(a);
+  Tensor b = a.clone();
+  Orthogonalize(a);
+  Orthogonalize(b);
+  EXPECT_TRUE(a.all_close(b, 0.0f));
+}
+
+TEST(PowerIteration, ExactForLowRankMatrix) {
+  // Build an exactly rank-2 matrix; rank-2 power iteration must recover it.
+  Rng rng(88);
+  Tensor u({16, 2});
+  Tensor v({12, 2});
+  rng.fill_normal(u);
+  rng.fill_normal(v);
+  const Tensor m = MatMulTB(u, v);
+  Rng seed(1);
+  const LowRankFactors f = PowerIteration(m, 2, 10, seed);
+  EXPECT_LT(RelativeError(m, f), 1e-3f);
+}
+
+TEST(PowerIteration, ErrorDecreasesWithRank) {
+  Rng rng(99);
+  Tensor m({24, 24});
+  rng.fill_normal(m);
+  double prev = 1e9;
+  for (int64_t r : {1, 4, 8, 16, 24}) {
+    Rng seed(2);
+    const LowRankFactors f = PowerIteration(m, r, 15, seed);
+    const double err = RelativeError(m, f);
+    EXPECT_LE(err, prev + 1e-4);
+    prev = err;
+  }
+  // Full rank reconstructs exactly (up to float noise).
+  Rng seed(2);
+  EXPECT_LT(RelativeError(m, PowerIteration(m, 24, 25, seed)), 1e-2f);
+}
+
+TEST(PowerIteration, MoreItersNoWorse) {
+  Rng rng(111);
+  Tensor m({20, 30});
+  rng.fill_normal(m);
+  Rng s1(3), s2(3);
+  const double e1 = RelativeError(m, PowerIteration(m, 3, 1, s1));
+  const double e20 = RelativeError(m, PowerIteration(m, 3, 20, s2));
+  EXPECT_LE(e20, e1 + 1e-4);
+}
+
+TEST(PowerIteration, RejectsBadArgs) {
+  Tensor m({4, 4});
+  Rng rng(1);
+  EXPECT_THROW((void)PowerIteration(m, 0, 1, rng), Error);
+  EXPECT_THROW((void)PowerIteration(m, 5, 1, rng), Error);
+  EXPECT_THROW((void)PowerIteration(m, 2, 0, rng), Error);
+}
+
+TEST(PowerIteration, ZeroMatrix) {
+  Tensor m({6, 6});
+  Rng rng(4);
+  const LowRankFactors f = PowerIteration(m, 2, 3, rng);
+  EXPECT_EQ(RelativeError(m, f), 0.0f);
+  EXPECT_LT(Reconstruct(f).norm2(), 1e-5f);
+}
+
+}  // namespace
+}  // namespace acps

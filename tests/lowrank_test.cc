@@ -1,0 +1,300 @@
+// Tests for the stateful low-rank algorithms: Power-SGD and ACP-SGD.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "comm/communicator.h"
+#include "compress/acpsgd.h"
+#include "compress/powersgd.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/rng.h"
+
+namespace acps::compress {
+namespace {
+
+const AllReduceMeanFn kIdentity = [](std::span<float>) {};
+
+Tensor RandomMatrix(int64_t n, int64_t m, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({n, m});
+  rng.fill_normal(t);
+  return t;
+}
+
+float RelErr(const Tensor& approx, const Tensor& target) {
+  Tensor d = approx.clone();
+  d.sub_(target);
+  return d.norm2() / target.norm2();
+}
+
+// ------------------------------------------------------------ helpers -----
+
+TEST(LowRankWorthwhile, Logic) {
+  EXPECT_TRUE(LowRankWorthwhile({64, 128}, 4));
+  EXPECT_FALSE(LowRankWorthwhile({64}, 4));          // vector
+  EXPECT_FALSE(LowRankWorthwhile({1, 128}, 4));      // degenerate
+  EXPECT_FALSE(LowRankWorthwhile({2, 2}, 4));        // r(n+m) >= nm
+  EXPECT_FALSE(LowRankWorthwhile({8, 8}, 8));        // no savings at full rank
+}
+
+TEST(EffectiveRank, Clamped) {
+  EXPECT_EQ(EffectiveRank(100, 200, 4), 4);
+  EXPECT_EQ(EffectiveRank(3, 200, 4), 3);
+  EXPECT_EQ(EffectiveRank(100, 2, 4), 2);
+}
+
+// ------------------------------------------------------------ PowerSGD ----
+
+TEST(PowerSgd, ExactOnLowRankMatrix) {
+  Tensor u = RandomMatrix(20, 3, 1);
+  Tensor v = RandomMatrix(15, 3, 2);
+  const Tensor target = MatMulTB(u, v);  // rank 3
+
+  PowerSgdConfig cfg;
+  cfg.rank = 3;
+  cfg.error_feedback = false;
+  PowerSgd psgd(cfg);
+  // Repeated steps on the same matrix converge to it (power iteration).
+  Tensor m = target.clone();
+  for (int t = 0; t < 6; ++t) {
+    m = target.clone();
+    psgd.Step(0, m, kIdentity);
+  }
+  EXPECT_LT(RelErr(m, target), 1e-2f);
+}
+
+TEST(PowerSgd, QueryReuseImprovesApproximation) {
+  const Tensor target = RandomMatrix(32, 32, 3);
+  PowerSgdConfig cfg;
+  cfg.rank = 4;
+  cfg.error_feedback = false;
+  PowerSgd psgd(cfg);
+  Tensor first = target.clone();
+  psgd.Step(0, first, kIdentity);
+  const float err_first = RelErr(first, target);
+  for (int t = 0; t < 10; ++t) {
+    Tensor m = target.clone();
+    psgd.Step(0, m, kIdentity);
+    if (t == 9) EXPECT_LT(RelErr(m, target), err_first);
+  }
+}
+
+TEST(PowerSgd, ErrorFeedbackAveragesToTrueGradient) {
+  const Tensor target = RandomMatrix(24, 24, 4);
+  PowerSgdConfig cfg;
+  cfg.rank = 2;
+  cfg.error_feedback = true;
+  PowerSgd psgd(cfg);
+  Tensor sum({24, 24});
+  const int steps = 60;
+  for (int t = 0; t < steps; ++t) {
+    Tensor m = target.clone();
+    psgd.Step(0, m, kIdentity);
+    sum.add_(m);
+  }
+  sum.scale_(1.0f / steps);
+  EXPECT_LT(RelErr(sum, target), 0.15f);
+}
+
+TEST(PowerSgd, ShapeChangeThrows) {
+  PowerSgd psgd(PowerSgdConfig{});
+  Tensor a = RandomMatrix(8, 8, 5);
+  psgd.Step(0, a, kIdentity);
+  Tensor b = RandomMatrix(9, 8, 6);
+  EXPECT_THROW(psgd.Step(0, b, kIdentity), Error);
+}
+
+TEST(PowerSgd, CommElements) {
+  PowerSgdConfig cfg;
+  cfg.rank = 4;
+  PowerSgd psgd(cfg);
+  EXPECT_EQ(psgd.CommElements(100, 50), 4 * 150);
+  EXPECT_EQ(psgd.CommElements(2, 50), 2 * 52);  // clamped rank
+}
+
+// -------------------------------------------------------------- ACP-SGD ---
+
+TEST(AcpSgd, AlternatesParityAndHalvesTraffic) {
+  AcpSgdConfig cfg;
+  cfg.rank = 4;
+  AcpSgd acp(cfg);
+  // Odd step communicates P (n*r), even step Q (m*r).
+  EXPECT_EQ(acp.CommElements(100, 60, 1), 400);
+  EXPECT_EQ(acp.CommElements(100, 60, 2), 240);
+  const Tensor m = RandomMatrix(100, 60, 7);
+  Tensor g = m.clone();
+  EXPECT_EQ(acp.step_of(0), 0u);
+  auto f1 = acp.LocalStep(0, g);
+  EXPECT_EQ(static_cast<int64_t>(f1.size()), 100 * 4);  // P step
+  acp.Finish(0, g);
+  EXPECT_EQ(acp.step_of(0), 1u);
+  auto f2 = acp.LocalStep(0, g);
+  EXPECT_EQ(static_cast<int64_t>(f2.size()), 60 * 4);  // Q step
+  acp.Finish(0, g);
+
+  // Average traffic is half of Power-SGD's r(n+m).
+  const int64_t avg2 =
+      acp.CommElements(100, 60, 1) + acp.CommElements(100, 60, 2);
+  EXPECT_EQ(avg2, 4 * 160);
+}
+
+TEST(AcpSgd, DoubleLocalStepThrows) {
+  AcpSgd acp(AcpSgdConfig{});
+  Tensor g = RandomMatrix(10, 10, 8);
+  (void)acp.LocalStep(0, g);
+  EXPECT_THROW((void)acp.LocalStep(0, g), Error);
+}
+
+TEST(AcpSgd, FinishWithoutLocalStepThrows) {
+  AcpSgd acp(AcpSgdConfig{});
+  Tensor g = RandomMatrix(10, 10, 8);
+  EXPECT_THROW(acp.Finish(0, g), Error);
+}
+
+TEST(AcpSgd, ConvergesToLowRankMatrix) {
+  Tensor u = RandomMatrix(20, 2, 11);
+  Tensor v = RandomMatrix(16, 2, 12);
+  const Tensor target = MatMulTB(u, v);  // rank 2
+  AcpSgdConfig cfg;
+  cfg.rank = 2;
+  cfg.error_feedback = false;
+  AcpSgd acp(cfg);
+  Tensor m;
+  for (int t = 0; t < 10; ++t) {
+    m = target.clone();
+    acp.Step(0, m, kIdentity);
+  }
+  EXPECT_LT(RelErr(m, target), 1e-2f);
+}
+
+TEST(AcpSgd, ErrorFeedbackAveragesToTrueGradient) {
+  const Tensor target = RandomMatrix(24, 18, 13);
+  AcpSgdConfig cfg;
+  cfg.rank = 4;
+  AcpSgd acp(cfg);
+  Tensor sum({24, 18});
+  const int steps = 80;
+  for (int t = 0; t < steps; ++t) {
+    Tensor m = target.clone();
+    acp.Step(0, m, kIdentity);
+    sum.add_(m);
+  }
+  sum.scale_(1.0f / steps);
+  EXPECT_LT(RelErr(sum, target), 0.2f);
+}
+
+TEST(AcpSgd, WithoutErrorFeedbackIsBiased) {
+  // Without EF the long-run average keeps missing the out-of-subspace
+  // component — Fig 7's premise.
+  const Tensor target = RandomMatrix(24, 18, 14);
+  AcpSgdConfig with_cfg, without_cfg;
+  with_cfg.rank = without_cfg.rank = 2;
+  without_cfg.error_feedback = false;
+  AcpSgd with_ef(with_cfg), without_ef(without_cfg);
+  Tensor sum_with({24, 18}), sum_without({24, 18});
+  const int steps = 80;
+  for (int t = 0; t < steps; ++t) {
+    Tensor a = target.clone();
+    with_ef.Step(0, a, kIdentity);
+    sum_with.add_(a);
+    Tensor b = target.clone();
+    without_ef.Step(0, b, kIdentity);
+    sum_without.add_(b);
+  }
+  sum_with.scale_(1.0f / steps);
+  sum_without.scale_(1.0f / steps);
+  EXPECT_LT(RelErr(sum_with, target), RelErr(sum_without, target));
+}
+
+TEST(AcpSgd, ReuseBeatsFreshRandomBasis) {
+  const Tensor target = RandomMatrix(32, 32, 15);
+  AcpSgdConfig reuse_cfg, fresh_cfg;
+  reuse_cfg.rank = fresh_cfg.rank = 4;
+  reuse_cfg.error_feedback = fresh_cfg.error_feedback = false;
+  fresh_cfg.reuse = false;
+  AcpSgd reuse(reuse_cfg), fresh(fresh_cfg);
+  float err_reuse = 0.0f, err_fresh = 0.0f;
+  for (int t = 0; t < 12; ++t) {
+    Tensor a = target.clone();
+    reuse.Step(0, a, kIdentity);
+    err_reuse = RelErr(a, target);
+    Tensor b = target.clone();
+    fresh.Step(0, b, kIdentity);
+    err_fresh = RelErr(b, target);
+  }
+  EXPECT_LT(err_reuse, err_fresh);
+}
+
+TEST(AcpSgd, WorkersStayConsistent) {
+  // All workers must produce bit-identical aggregated gradients: identical
+  // seeds for the factors, mean-all-reduce for the rest.
+  const int p = 4;
+  comm::ThreadGroup group(p);
+  std::vector<Tensor> results(static_cast<size_t>(p));
+  group.Run([&](comm::Communicator& comm) {
+    AcpSgdConfig cfg;
+    cfg.rank = 3;
+    AcpSgd acp(cfg);
+    const AllReduceMeanFn mean = [&](std::span<float> v) {
+      comm.all_reduce(v);
+      for (float& x : v) x /= static_cast<float>(p);
+    };
+    // Each worker has a different gradient (different seed).
+    for (int t = 0; t < 5; ++t) {
+      Tensor g =
+          RandomMatrix(16, 12, 100 + static_cast<uint64_t>(comm.rank()) + t);
+      acp.Step(0, g, mean);
+      if (t == 4) results[static_cast<size_t>(comm.rank())] = std::move(g);
+    }
+  });
+  for (int r = 1; r < p; ++r)
+    EXPECT_TRUE(results[static_cast<size_t>(r)].all_close(results[0], 1e-6f))
+        << "worker " << r;
+}
+
+TEST(AcpSgd, AggregatedEqualsCompressedMeanGradient) {
+  // With identical per-worker state, the aggregated output must equal the
+  // single-process compression of the mean gradient.
+  const int p = 4;
+  const int64_t n = 12, m = 10;
+  std::vector<Tensor> grads;
+  Tensor mean_grad({n, m});
+  for (int r = 0; r < p; ++r) {
+    grads.push_back(RandomMatrix(n, m, 200 + static_cast<uint64_t>(r)));
+    mean_grad.add_(grads.back());
+  }
+  mean_grad.scale_(1.0f / p);
+
+  // Reference: single process compressing the mean gradient directly,
+  // with EF disabled (EF state differs per worker by construction).
+  AcpSgdConfig cfg;
+  cfg.rank = 2;
+  cfg.error_feedback = false;
+  AcpSgd ref(cfg);
+  Tensor expect = mean_grad.clone();
+  ref.Step(0, expect, kIdentity);
+
+  comm::ThreadGroup group(p);
+  std::vector<Tensor> results(static_cast<size_t>(p));
+  group.Run([&](comm::Communicator& comm) {
+    AcpSgd acp(cfg);
+    const AllReduceMeanFn mean = [&](std::span<float> v) {
+      comm.all_reduce(v);
+      for (float& x : v) x /= static_cast<float>(p);
+    };
+    Tensor g = grads[static_cast<size_t>(comm.rank())].clone();
+    acp.Step(0, g, mean);
+    results[static_cast<size_t>(comm.rank())] = std::move(g);
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_TRUE(results[static_cast<size_t>(r)].all_close(expect, 1e-3f));
+}
+
+TEST(AcpSgd, RejectsNonMatrix) {
+  AcpSgd acp(AcpSgdConfig{});
+  Tensor v({16});
+  EXPECT_THROW((void)acp.LocalStep(0, v), Error);
+}
+
+}  // namespace
+}  // namespace acps::compress

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "metrics/cdf.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+#include "tensor/check.h"
+
+namespace acps::metrics {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, DegenerateCases) {
+  RunningStats s;
+  EXPECT_EQ(s.variance(), 0.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(Cdf, FractionAtOrBelow) {
+  Cdf cdf;
+  cdf.AddAll({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(100.0), 1.0);
+  Cdf empty;
+  EXPECT_EQ(empty.FractionAtOrBelow(1.0), 0.0);
+}
+
+TEST(Cdf, Quantiles) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.Add(i);
+  EXPECT_NEAR(cdf.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(cdf.Quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(cdf.Quantile(0.5), 50.5, 1e-9);
+  Cdf empty;
+  EXPECT_THROW((void)empty.Quantile(0.5), Error);
+  EXPECT_THROW((void)cdf.Quantile(1.5), Error);
+}
+
+TEST(Cdf, InterleavedAddAndQuery) {
+  Cdf cdf;
+  cdf.Add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(5.0), 1.0);
+  cdf.Add(1.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1.0), 0.5);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"bb", "22222"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| bb    | 22222 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), Error);
+}
+
+TEST(Table, NumFormat) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(BarRender, Scales) {
+  EXPECT_EQ(Bar(10, 10, 10).size(), 10u);
+  EXPECT_EQ(Bar(5, 10, 10).size(), 5u);
+  EXPECT_EQ(Bar(0, 10, 10).size(), 0u);
+  EXPECT_TRUE(Bar(1, 0, 10).empty());
+  EXPECT_LE(Bar(20, 10, 10).size(), 10u);  // clamped
+}
+
+}  // namespace
+}  // namespace acps::metrics

@@ -1,0 +1,169 @@
+// Gradient checks and semantics tests for BatchNorm1d / LayerNorm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/norm.h"
+#include "tensor/rng.h"
+
+namespace acps::dnn {
+namespace {
+
+float Objective(const Tensor& y) { return 0.5f * y.dot(y); }
+
+// Finite-difference check of param and input gradients for a norm layer.
+template <typename LayerT>
+void NormGradCheck(LayerT& layer, Tensor& x, float tol = 3e-2f) {
+  for (Param* p : layer.params()) p->grad.zero();
+  const Tensor y = layer.Forward(x);
+  const Tensor gx = layer.Backward(y.clone());
+
+  const float eps = 1e-2f;
+  for (Param* p : layer.params()) {
+    for (int64_t i = 0; i < p->value.numel();
+         i += std::max<int64_t>(1, p->value.numel() / 5)) {
+      const float orig = p->value.at(i);
+      p->value.at(i) = orig + eps;
+      const float fp = Objective(layer.Forward(x));
+      p->value.at(i) = orig - eps;
+      const float fm = Objective(layer.Forward(x));
+      p->value.at(i) = orig;
+      const float numeric = (fp - fm) / (2.0f * eps);
+      EXPECT_NEAR(p->grad.at(i), numeric, tol * (std::abs(numeric) + 1.0f))
+          << p->name << "[" << i << "]";
+    }
+  }
+  (void)layer.Forward(x);
+  for (int64_t i = 0; i < x.numel(); i += std::max<int64_t>(1, x.numel() / 6)) {
+    const float orig = x.at(i);
+    x.at(i) = orig + eps;
+    const float fp = Objective(layer.Forward(x));
+    x.at(i) = orig - eps;
+    const float fm = Objective(layer.Forward(x));
+    x.at(i) = orig;
+    const float numeric = (fp - fm) / (2.0f * eps);
+    EXPECT_NEAR(gx.at(i), numeric, tol * (std::abs(numeric) + 1.0f)) << i;
+  }
+}
+
+Tensor RandomInput(int64_t batch, int64_t features, uint64_t seed) {
+  Rng rng(seed);
+  Tensor x({batch, features});
+  rng.fill_uniform(x, -2.0f, 2.0f);
+  return x;
+}
+
+TEST(BatchNorm, GradCheckTraining) {
+  BatchNorm1d bn("bn", 5);
+  Rng rng(1);
+  bn.Init(rng);
+  // Nudge gamma/beta off their identity init so gradients are generic.
+  rng.fill_uniform(bn.params()[0]->value, 0.5f, 1.5f);
+  rng.fill_uniform(bn.params()[1]->value, -0.5f, 0.5f);
+  Tensor x = RandomInput(6, 5, 2);
+  NormGradCheck(bn, x);
+}
+
+TEST(BatchNorm, NormalizesBatch) {
+  BatchNorm1d bn("bn", 3);
+  Rng rng(3);
+  bn.Init(rng);
+  Tensor x = RandomInput(64, 3, 4);
+  x.scale_(3.0f);
+  const Tensor y = bn.Forward(x);
+  for (int64_t j = 0; j < 3; ++j) {
+    double m = 0.0, v = 0.0;
+    for (int64_t b = 0; b < 64; ++b) m += y.at(b, j);
+    m /= 64;
+    for (int64_t b = 0; b < 64; ++b) {
+      const double d = y.at(b, j) - m;
+      v += d * d;
+    }
+    v /= 64;
+    EXPECT_NEAR(m, 0.0, 1e-4);
+    EXPECT_NEAR(v, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeAndDriveEval) {
+  BatchNorm1d bn("bn", 2, /*momentum=*/0.5f);
+  Rng rng(5);
+  bn.Init(rng);
+  // Feed batches with mean ~ (10, -10).
+  Tensor x({32, 2});
+  for (int step = 0; step < 30; ++step) {
+    for (int64_t b = 0; b < 32; ++b) {
+      x.at(b, 0) = 10.0f + rng.normal();
+      x.at(b, 1) = -10.0f + rng.normal();
+    }
+    (void)bn.Forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean().at(0), 10.0f, 0.5f);
+  EXPECT_NEAR(bn.running_mean().at(1), -10.0f, 0.5f);
+  // Eval mode uses them: a sample at the running mean normalizes to ~beta.
+  bn.set_training(false);
+  Tensor probe({2, 2});
+  probe.at(0, 0) = 10.0f;
+  probe.at(0, 1) = -10.0f;
+  probe.at(1, 0) = 10.0f;
+  probe.at(1, 1) = -10.0f;
+  const Tensor y = bn.Forward(probe);
+  EXPECT_NEAR(y.at(0, 0), 0.0f, 0.3f);
+  EXPECT_NEAR(y.at(0, 1), 0.0f, 0.3f);
+}
+
+TEST(BatchNorm, TrainingNeedsBatchOfTwo) {
+  BatchNorm1d bn("bn", 2);
+  Tensor x({1, 2});
+  EXPECT_THROW((void)bn.Forward(x), Error);
+  bn.set_training(false);
+  EXPECT_NO_THROW((void)bn.Forward(x));
+}
+
+TEST(LayerNorm, GradCheck) {
+  LayerNorm ln("ln", 7);
+  Rng rng(6);
+  ln.Init(rng);
+  rng.fill_uniform(ln.params()[0]->value, 0.5f, 1.5f);
+  rng.fill_uniform(ln.params()[1]->value, -0.5f, 0.5f);
+  Tensor x = RandomInput(4, 7, 7);
+  NormGradCheck(ln, x);
+}
+
+TEST(LayerNorm, NormalizesEachRow) {
+  LayerNorm ln("ln", 16);
+  Rng rng(8);
+  ln.Init(rng);
+  Tensor x = RandomInput(5, 16, 9);
+  x.scale_(4.0f);
+  const Tensor y = ln.Forward(x);
+  for (int64_t b = 0; b < 5; ++b) {
+    double m = 0.0, v = 0.0;
+    for (int64_t j = 0; j < 16; ++j) m += y.at(b, j);
+    m /= 16;
+    for (int64_t j = 0; j < 16; ++j) {
+      const double d = y.at(b, j) - m;
+      v += d * d;
+    }
+    v /= 16;
+    EXPECT_NEAR(m, 0.0, 1e-4);
+    EXPECT_NEAR(v, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, ScaleInvariance) {
+  // LayerNorm(c·x) == LayerNorm(x) for c > 0 (a property tests can rely
+  // on for BERT-style stability).
+  LayerNorm ln("ln", 8);
+  Rng rng(10);
+  ln.Init(rng);
+  Tensor x = RandomInput(3, 8, 11);
+  const Tensor y1 = ln.Forward(x);
+  Tensor scaled = x.clone();
+  scaled.scale_(7.5f);
+  const Tensor y2 = ln.Forward(scaled);
+  EXPECT_TRUE(y1.all_close(y2, 1e-3f));
+}
+
+}  // namespace
+}  // namespace acps::dnn

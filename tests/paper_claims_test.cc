@@ -1,0 +1,162 @@
+// The paper-claims ledger: one test per quantitative claim the paper makes
+// in its abstract/intro/conclusion, each checked against this
+// reproduction. Where the claim is about their testbed's absolute numbers
+// we check the shape (ordering / ratio band) instead — see EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "sim/pipeline.h"
+
+namespace acps {
+namespace {
+
+double PaperIterMs(const char* model_name, sim::Method method) {
+  const auto model = models::ByName(model_name);
+  int batch = 0;
+  int64_t rank = 4;
+  for (const auto& em : models::PaperEvalSet()) {
+    if (em.name == model_name) {
+      batch = em.batch_size;
+      rank = em.powersgd_rank;
+    }
+  }
+  sim::SimConfig cfg;
+  cfg.method = method;
+  cfg.batch_size = batch;
+  cfg.rank = rank;
+  return sim::SimulateIterationAvg(model, cfg).total_ms();
+}
+
+// "ACP-SGD achieves an average of 4.06x and 1.43x speedups over S-SGD and
+// Power-SGD, respectively" (abstract). We require >3x and >1.25x.
+TEST(PaperClaims, AverageSpeedups) {
+  double vs_ssgd = 0.0, vs_power = 0.0;
+  for (const auto& em : models::PaperEvalSet()) {
+    const double acp = PaperIterMs(em.name.c_str(), sim::Method::kACPSGD);
+    vs_ssgd += PaperIterMs(em.name.c_str(), sim::Method::kSSGD) / acp;
+    // Abstract's "Power-SGD" baseline: the better of the two variants
+    // (the paper averages across both comparisons; we take the stricter).
+    const double power =
+        std::min(PaperIterMs(em.name.c_str(), sim::Method::kPowerSGD),
+                 PaperIterMs(em.name.c_str(), sim::Method::kPowerSGDStar));
+    vs_power += power / acp;
+  }
+  EXPECT_GT(vs_ssgd / 4.0, 3.0);
+  EXPECT_GT(vs_power / 4.0, 1.25);
+}
+
+// "up to 9.42x ... over S-SGD" (on BERT-Large). We require > 6x.
+TEST(PaperClaims, MaxSpeedupOnBertLarge) {
+  const double ratio = PaperIterMs("bert-large", sim::Method::kSSGD) /
+                       PaperIterMs("bert-large", sim::Method::kACPSGD);
+  EXPECT_GT(ratio, 6.0);
+}
+
+// "it consistently outperforms other baselines across different setups"
+// (abstract) — ACP-SGD is the fastest method for every eval model.
+TEST(PaperClaims, AcpWinsEverywhere) {
+  for (const auto& em : models::PaperEvalSet()) {
+    const double acp = PaperIterMs(em.name.c_str(), sim::Method::kACPSGD);
+    for (sim::Method m :
+         {sim::Method::kSSGD, sim::Method::kSignSGD, sim::Method::kTopkSGD,
+          sim::Method::kPowerSGD, sim::Method::kPowerSGDStar}) {
+      EXPECT_LE(acp, PaperIterMs(em.name.c_str(), m) + 1e-9)
+          << em.name << " vs " << sim::MethodName(m);
+    }
+  }
+}
+
+// "S-SGD runs 21%-70% faster than compression counterparts in training
+// ResNet-50" (§I, about Sign/Top-k). We require >= 20% on both.
+TEST(PaperClaims, SsgdBeatsSignAndTopkOnResNet50) {
+  const double ssgd = PaperIterMs("resnet50", sim::Method::kSSGD);
+  EXPECT_GT(PaperIterMs("resnet50", sim::Method::kSignSGD) / ssgd, 1.2);
+  EXPECT_GT(PaperIterMs("resnet50", sim::Method::kTopkSGD) / ssgd, 1.2);
+}
+
+// "the optimized S-SGD (with WFBP and tensor fusion) can achieve almost
+// 73% performance improvement over the naive implementation when training
+// ResNet-152" (§I / Fig 9). We require >= 50% (i.e., naive/opt >= 1.5).
+TEST(PaperClaims, SysOptsGiveSsgdLargeGainOnResNet152) {
+  const auto model = models::ResNet152();
+  sim::SimConfig naive;
+  naive.method = sim::Method::kSSGD;
+  naive.sysopt = sim::SysOptLevel::kNaive;
+  sim::SimConfig opt = naive;
+  opt.sysopt = sim::SysOptLevel::kWfbpTf;
+  const double gain = sim::SimulateIterationAvg(model, naive).total_s /
+                      sim::SimulateIterationAvg(model, opt).total_s;
+  EXPECT_GT(gain, 1.5);
+}
+
+// "system optimization techniques integrated in ACP-SGD help achieve
+// 2.14x performance improvement over the naive implementation" (§I).
+// We require >= 1.7x on BERT-Large.
+TEST(PaperClaims, SysOptsGiveAcpLargeGain) {
+  const auto model = models::BertLarge();
+  sim::SimConfig naive;
+  naive.method = sim::Method::kACPSGD;
+  naive.rank = 32;
+  naive.sysopt = sim::SysOptLevel::kNaive;
+  sim::SimConfig opt = naive;
+  opt.sysopt = sim::SysOptLevel::kWfbpTf;
+  const double gain = sim::SimulateIterationAvg(model, naive).total_s /
+                      sim::SimulateIterationAvg(model, opt).total_s;
+  EXPECT_GT(gain, 1.7);
+}
+
+// "Power-SGD with WFBP causes an overall of 13% slowdown than Power-SGD
+// without WFBP" (§III-C): WFBP alone must hurt Power-SGD.
+TEST(PaperClaims, WfbpAloneHurtsPowerSgd) {
+  for (const char* name : {"resnet152", "bert-large"}) {
+    const auto model = models::ByName(name);
+    sim::SimConfig naive;
+    naive.method = sim::Method::kPowerSGDStar;
+    naive.rank = name == std::string("resnet152") ? 4 : 32;
+    naive.sysopt = sim::SysOptLevel::kNaive;
+    sim::SimConfig wfbp = naive;
+    wfbp.sysopt = sim::SysOptLevel::kWfbp;
+    EXPECT_GT(sim::SimulateIterationAvg(model, wfbp).total_s,
+              sim::SimulateIterationAvg(model, naive).total_s)
+        << name;
+  }
+}
+
+// "ACP-SGD ... halve the gradient compression and communication costs
+// compared to Power-SGD" (§IV-A): per-step communicated elements of ACP
+// are exactly half of Power-SGD's r(n+m) on average.
+TEST(PaperClaims, AcpHalvesCommunication) {
+  for (const auto& em : models::PaperEvalSet()) {
+    const auto model = models::ByName(em.name);
+    const double power_ratio =
+        model.LowRankCompressionRatio(em.powersgd_rank);
+    const double acp_ratio = model.AcpCompressionRatio(em.powersgd_rank);
+    // Dense (vector) tensors dilute the exact factor of 2 slightly.
+    EXPECT_GT(acp_ratio / power_ratio, 1.6) << em.name;
+    EXPECT_LE(acp_ratio / power_ratio, 2.0 + 1e-9) << em.name;
+  }
+}
+
+// Fig 13 / §V-F: "Power-SGD and ACP-SGD achieve 5.7x and 7.1x speedups
+// over S-SGD [ResNet-50, 1GbE] ... up to 11.2x and 23.9x in BERT-Base".
+TEST(PaperClaims, OneGbESpeedups) {
+  auto at_1gbe = [](const char* name, sim::Method m, int64_t rank) {
+    const auto model = models::ByName(name);
+    sim::SimConfig cfg;
+    cfg.method = m;
+    cfg.rank = rank;
+    cfg.net = comm::NetworkSpec::Ethernet1G();
+    return sim::SimulateIterationAvg(model, cfg).total_ms();
+  };
+  const double r50 = at_1gbe("resnet50", sim::Method::kSSGD, 4) /
+                     at_1gbe("resnet50", sim::Method::kACPSGD, 4);
+  EXPECT_GT(r50, 4.0);   // paper 7.1x; ours 6.8x
+  EXPECT_LT(r50, 12.0);
+  const double bb = at_1gbe("bert-base", sim::Method::kSSGD, 32) /
+                    at_1gbe("bert-base", sim::Method::kACPSGD, 32);
+  EXPECT_GT(bb, 15.0);  // paper 23.9x; ours 22.2x
+  EXPECT_LT(bb, 35.0);
+}
+
+}  // namespace
+}  // namespace acps

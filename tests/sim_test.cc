@@ -1,0 +1,333 @@
+// Invariants of the performance simulator — each mirrors a qualitative
+// claim of the paper that the benches then quantify.
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "sim/pipeline.h"
+
+namespace acps::sim {
+namespace {
+
+SimConfig Base(Method m) {
+  SimConfig cfg;
+  cfg.method = m;
+  return cfg;
+}
+
+double TotalMs(const models::ModelSpec& model, const SimConfig& cfg) {
+  return SimulateIterationAvg(model, cfg).total_ms();
+}
+
+TEST(Sim, BreakdownSumsToTotal) {
+  const auto model = models::ResNet50();
+  for (Method m : {Method::kSSGD, Method::kSignSGD, Method::kTopkSGD,
+                   Method::kPowerSGD, Method::kPowerSGDStar, Method::kACPSGD}) {
+    const Breakdown b = SimulateIterationAvg(model, Base(m));
+    EXPECT_GT(b.total_s, 0.0) << MethodName(m);
+    EXPECT_GE(b.comm_exposed_s, 0.0) << MethodName(m);
+    EXPECT_NEAR(b.total_s, b.fwdbwd_s + b.compress_s + b.comm_exposed_s,
+                b.total_s * 0.35)
+        << MethodName(m);
+  }
+}
+
+TEST(Sim, WfbpNeverSlowerThanNaiveForSSGD) {
+  for (const char* name : {"resnet50", "resnet152", "bert-base"}) {
+    const auto model = models::ByName(name);
+    SimConfig naive = Base(Method::kSSGD);
+    naive.sysopt = SysOptLevel::kNaive;
+    SimConfig wfbp = Base(Method::kSSGD);
+    wfbp.sysopt = SysOptLevel::kWfbp;
+    EXPECT_LE(TotalMs(model, wfbp), TotalMs(model, naive) + 1e-6) << name;
+  }
+}
+
+TEST(Sim, TensorFusionHelpsOnTopOfWfbp) {
+  // Per-tensor all-reduce pays the startup cost hundreds of times.
+  for (const char* name : {"resnet152", "bert-large"}) {
+    const auto model = models::ByName(name);
+    SimConfig wfbp = Base(Method::kSSGD);
+    wfbp.sysopt = SysOptLevel::kWfbp;
+    SimConfig tf = Base(Method::kSSGD);
+    tf.sysopt = SysOptLevel::kWfbpTf;
+    EXPECT_LT(TotalMs(model, tf), TotalMs(model, wfbp)) << name;
+  }
+}
+
+TEST(Sim, SysOptsGiveAcpLargeGains) {
+  // Paper: WFBP+TF gives ACP-SGD up to 2.14x over its naive version.
+  const auto model = models::BertLarge();
+  SimConfig naive = Base(Method::kACPSGD);
+  naive.rank = 32;
+  naive.sysopt = SysOptLevel::kNaive;
+  SimConfig opt = naive;
+  opt.sysopt = SysOptLevel::kWfbpTf;
+  const double speedup = TotalMs(model, naive) / TotalMs(model, opt);
+  EXPECT_GT(speedup, 1.3);
+}
+
+TEST(Sim, WfbpHurtsPowerSgdStar) {
+  // Paper §III-C: overlapping compression with BP causes interference;
+  // Power-SGD* with WFBP (no TF) is slower than running it naively.
+  const auto model = models::ResNet50();
+  SimConfig naive = Base(Method::kPowerSGDStar);
+  naive.sysopt = SysOptLevel::kNaive;
+  SimConfig wfbp = Base(Method::kPowerSGDStar);
+  wfbp.sysopt = SysOptLevel::kWfbp;
+  EXPECT_GT(SimulateIteration(model, wfbp).compress_s,
+            SimulateIteration(model, naive).compress_s);
+}
+
+TEST(Sim, TableIIIOrderings) {
+  // The per-model method orderings of Table III.
+  auto t = [&](const char* name, Method m, int64_t rank) {
+    auto model = models::ByName(name);
+    SimConfig cfg = Base(m);
+    cfg.rank = rank;
+    return TotalMs(model, cfg);
+  };
+  // ResNet-50: ACP < S-SGD < Power-SGD* < Power-SGD.
+  EXPECT_LT(t("resnet50", Method::kACPSGD, 4), t("resnet50", Method::kSSGD, 4));
+  EXPECT_LT(t("resnet50", Method::kSSGD, 4),
+            t("resnet50", Method::kPowerSGDStar, 4));
+  EXPECT_LT(t("resnet50", Method::kPowerSGDStar, 4),
+            t("resnet50", Method::kPowerSGD, 4));
+  // ResNet-152: ACP < Power-SGD* < Power-SGD < S-SGD.
+  EXPECT_LT(t("resnet152", Method::kACPSGD, 4),
+            t("resnet152", Method::kPowerSGDStar, 4));
+  EXPECT_LT(t("resnet152", Method::kPowerSGDStar, 4),
+            t("resnet152", Method::kPowerSGD, 4));
+  EXPECT_LT(t("resnet152", Method::kPowerSGD, 4),
+            t("resnet152", Method::kSSGD, 4));
+  // BERTs: ACP < Power-SGD < Power-SGD* < S-SGD.
+  for (const char* name : {"bert-base", "bert-large"}) {
+    EXPECT_LT(t(name, Method::kACPSGD, 32), t(name, Method::kPowerSGD, 32))
+        << name;
+    EXPECT_LT(t(name, Method::kPowerSGD, 32),
+              t(name, Method::kPowerSGDStar, 32))
+        << name;
+    EXPECT_LT(t(name, Method::kPowerSGDStar, 32), t(name, Method::kSSGD, 32))
+        << name;
+  }
+}
+
+TEST(Sim, SignAndTopkLoseOnResNet50) {
+  // Fig 2: on ResNet-50 at 10GbE, Sign-SGD and Top-k SGD are slower than
+  // well-optimized S-SGD despite 32x/1000x compression.
+  const auto model = models::ResNet50();
+  const double ssgd = TotalMs(model, Base(Method::kSSGD));
+  EXPECT_GT(TotalMs(model, Base(Method::kSignSGD)), 1.2 * ssgd);
+  EXPECT_GT(TotalMs(model, Base(Method::kTopkSGD)), 1.1 * ssgd);
+}
+
+TEST(Sim, TopkBeatsSsgdOnBertLarge) {
+  // Fig 2: on BERT-Large, Top-k SGD runs faster than S-SGD.
+  const auto model = models::BertLarge();
+  EXPECT_LT(TotalMs(model, Base(Method::kTopkSGD)),
+            TotalMs(model, Base(Method::kSSGD)));
+}
+
+TEST(Sim, SignCommExceedsSsgdCommOnBertBase) {
+  // §III-C: Sign-SGD's all-gather communication is *more* expensive than
+  // S-SGD's overlapped all-reduce despite 32x compression.
+  const auto model = models::BertBase();
+  const Breakdown sign = SimulateIteration(model, Base(Method::kSignSGD));
+  const Breakdown ssgd = SimulateIteration(model, Base(Method::kSSGD));
+  EXPECT_GT(sign.comm_exposed_s, ssgd.comm_exposed_s);
+}
+
+TEST(Sim, AcpScalesAcrossWorkerCounts) {
+  // Fig 12: 8 -> 64 GPUs costs ring-based methods only a small increase.
+  const auto model = models::ResNet152();
+  for (Method m : {Method::kSSGD, Method::kACPSGD}) {
+    SimConfig c8 = Base(m);
+    c8.world_size = 8;
+    SimConfig c64 = Base(m);
+    c64.world_size = 64;
+    const double inc = TotalMs(model, c64) / TotalMs(model, c8);
+    EXPECT_LT(inc, 1.5) << MethodName(m);
+    EXPECT_GE(inc, 1.0) << MethodName(m);
+  }
+}
+
+TEST(Sim, SignScalesWorseThanAcp) {
+  const auto model = models::BertBase();
+  auto growth = [&](Method m) {
+    SimConfig c8 = Base(m);
+    c8.world_size = 8;
+    SimConfig c64 = Base(m);
+    c64.world_size = 64;
+    return TotalMs(model, c64) / TotalMs(model, c8);
+  };
+  EXPECT_GT(growth(Method::kSignSGD), growth(Method::kACPSGD));
+}
+
+TEST(Sim, BandwidthSweepMonotone) {
+  // Fig 13: faster networks, faster iterations — and the compression
+  // advantage shrinks as bandwidth grows.
+  const auto model = models::BertBase();
+  double prev_ssgd = 1e18, prev_ratio = 1e18;
+  for (const auto& net :
+       {comm::NetworkSpec::Ethernet1G(), comm::NetworkSpec::Ethernet10G(),
+        comm::NetworkSpec::Infiniband100G()}) {
+    SimConfig ssgd = Base(Method::kSSGD);
+    ssgd.net = net;
+    SimConfig acp = Base(Method::kACPSGD);
+    acp.net = net;
+    acp.rank = 32;
+    const double ts = TotalMs(model, ssgd);
+    const double ratio = ts / TotalMs(model, acp);
+    EXPECT_LT(ts, prev_ssgd) << net.name;
+    EXPECT_LT(ratio, prev_ratio) << net.name;
+    // ACP wins clearly on slow networks; at 100Gb our model overlaps
+    // S-SGD's communication more aggressively than the paper's testbed
+    // (which reported ACP still 1.4x ahead), so we only require parity.
+    EXPECT_GE(ratio, 0.95) << net.name;
+    prev_ssgd = ts;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(Sim, AcpBeatsSsgdByLargeFactorOn1GbE) {
+  // Fig 13: BERT-Base on 1GbE, ACP-SGD >> S-SGD (paper: 23.9x).
+  const auto model = models::BertBase();
+  SimConfig ssgd = Base(Method::kSSGD);
+  ssgd.net = comm::NetworkSpec::Ethernet1G();
+  SimConfig acp = Base(Method::kACPSGD);
+  acp.net = comm::NetworkSpec::Ethernet1G();
+  acp.rank = 32;
+  EXPECT_GT(TotalMs(model, ssgd) / TotalMs(model, acp), 8.0);
+}
+
+TEST(Sim, BufferSizeUShapeForAcpAtRank256) {
+  // Fig 10: at rank 256 the default 25MB budget beats both extremes
+  // (0 => no fusion, 1500MB => no overlap).
+  const auto model = models::BertLarge();
+  auto run = [&](int64_t buffer) {
+    SimConfig cfg = Base(Method::kACPSGD);
+    cfg.rank = 256;
+    cfg.buffer_bytes = buffer;
+    return TotalMs(model, cfg);
+  };
+  const double none = run(0);
+  const double mid = run(25LL << 20);
+  const double full = run(1500LL << 20);
+  EXPECT_LT(mid, none);
+  EXPECT_LT(mid, full);
+}
+
+TEST(Sim, AcpRobustToBufferSizePowerSgdIsNot) {
+  // Fig 10: ACP-SGD stays flat across buffer sizes thanks to the scaled
+  // compressed budget; Power-SGD* varies much more.
+  const auto model = models::BertLarge();
+  auto spread = [&](Method m) {
+    double lo = 1e18, hi = 0.0;
+    for (int64_t mb : {1, 25, 100, 400}) {
+      SimConfig cfg = Base(m);
+      cfg.rank = 32;
+      cfg.buffer_bytes = mb << 20;
+      const double t = TotalMs(model, cfg);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    return hi / lo;
+  };
+  EXPECT_LT(spread(Method::kACPSGD), spread(Method::kPowerSGDStar));
+}
+
+TEST(Sim, LargerBatchImprovesThroughput) {
+  // Fig 11a: throughput (samples/s) grows with batch size for all methods.
+  const auto model = models::ResNet152();
+  for (Method m : {Method::kSSGD, Method::kPowerSGDStar, Method::kACPSGD}) {
+    SimConfig b16 = Base(m);
+    b16.batch_size = 16;
+    SimConfig b32 = Base(m);
+    b32.batch_size = 32;
+    const double tput16 = 16.0 / TotalMs(model, b16);
+    const double tput32 = 32.0 / TotalMs(model, b32);
+    EXPECT_GT(tput32, tput16) << MethodName(m);
+  }
+}
+
+TEST(Sim, HigherRankCostsMore) {
+  // Fig 11b: rank 32 -> 256 increases iteration time for both low-rank
+  // methods, and ACP keeps a large (>1.5x) advantage at every rank. (The
+  // paper additionally reports the advantage *growing* with rank — 1.9x at
+  // 32 to 2.7x at 256; our model keeps it roughly flat around 2x.)
+  const auto model = models::BertLarge();
+  double prev_acp = 0.0, prev_power = 0.0;
+  for (int64_t rank : {32, 64, 128, 256}) {
+    SimConfig acp = Base(Method::kACPSGD);
+    acp.rank = rank;
+    SimConfig power = Base(Method::kPowerSGDStar);
+    power.rank = rank;
+    const double ta = TotalMs(model, acp);
+    const double tp = TotalMs(model, power);
+    EXPECT_GT(ta, prev_acp);
+    EXPECT_GT(tp, prev_power);
+    EXPECT_GT(tp / ta, 1.5) << rank;
+    prev_acp = ta;
+    prev_power = tp;
+  }
+}
+
+TEST(Sim, AcpExposesLessCommThanPowerSgdAtHighRank) {
+  // Paper §V-E reports a 7.3x non-overlapped-communication reduction at
+  // rank 256 on BERT-Large; with pure α-β arithmetic the rank-256 factors
+  // (244MB/step) cannot hide behind ~200ms of compute, so our model shows
+  // a smaller but still directional gap (EXPERIMENTS.md, Fig 11b note).
+  const auto model = models::BertLarge();
+  SimConfig acp = Base(Method::kACPSGD);
+  acp.rank = 256;
+  SimConfig power = Base(Method::kPowerSGDStar);
+  power.rank = 256;
+  const double acp_exposed =
+      SimulateIterationAvg(model, acp).comm_exposed_s;
+  const double power_exposed =
+      SimulateIterationAvg(model, power).comm_exposed_s;
+  EXPECT_LT(acp_exposed * 1.2, power_exposed + 1e-6);
+}
+
+TEST(Sim, AcpParityAveraging) {
+  const auto model = models::BertBase();
+  SimConfig odd = Base(Method::kACPSGD);
+  odd.rank = 32;
+  odd.acp_parity = 1;
+  SimConfig even = odd;
+  even.acp_parity = 0;
+  const double to = SimulateIteration(model, odd).total_s;
+  const double te = SimulateIteration(model, even).total_s;
+  const double avg = SimulateIterationAvg(model, odd).total_s;
+  EXPECT_NEAR(avg, 0.5 * (to + te), 1e-9);
+}
+
+TEST(Sim, TraceRecordsSchedule) {
+  const auto model = models::ResNet18();
+  std::vector<TraceEvent> trace;
+  SimConfig cfg = Base(Method::kACPSGD);
+  cfg.trace = &trace;
+  (void)SimulateIteration(model, cfg);
+  EXPECT_GT(trace.size(), 10u);
+  bool has_compute = false, has_comm = false;
+  for (const auto& e : trace) {
+    EXPECT_LE(e.start_s, e.end_s);
+    if (e.resource == "compute") has_compute = true;
+    if (e.resource == "comm") has_comm = true;
+  }
+  EXPECT_TRUE(has_compute);
+  EXPECT_TRUE(has_comm);
+}
+
+TEST(Sim, NamesRender) {
+  EXPECT_EQ(MethodName(Method::kACPSGD), "ACP-SGD");
+  EXPECT_EQ(SysOptName(SysOptLevel::kWfbpTf), "WFBP+TF");
+}
+
+TEST(Sim, RejectsBadWorldSize) {
+  SimConfig cfg;
+  cfg.world_size = 0;
+  EXPECT_THROW((void)SimulateIteration(models::ResNet18(), cfg), Error);
+}
+
+}  // namespace
+}  // namespace acps::sim

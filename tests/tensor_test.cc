@@ -1,0 +1,154 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acps {
+namespace {
+
+TEST(Shape, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);  // scalar
+  EXPECT_EQ(NumElements({0}), 0);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+}
+
+TEST(Shape, NegativeDimThrows) {
+  EXPECT_THROW(NumElements({2, -1}), Error);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FromValuesChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b = a.clone();
+  b.at(0) = 99.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+  EXPECT_EQ(b.at(0), 99.0f);
+}
+
+TEST(Tensor, FullAndFromSpan) {
+  Tensor f = Tensor::Full({3}, 2.5f);
+  EXPECT_EQ(f.at(2), 2.5f);
+  const std::vector<float> v{1, 2, 3, 4};
+  Tensor s = Tensor::FromSpan({2, 2}, v);
+  EXPECT_EQ(s.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, MatrixAccessors) {
+  Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.at(0, 2), 3.0f);
+  EXPECT_EQ(m.at(1, 0), 4.0f);
+  m.at(1, 2) = 7.0f;
+  EXPECT_EQ(m.at(5), 7.0f);
+}
+
+TEST(Tensor, AccessorBoundsChecked) {
+  Tensor m({2, 2});
+  EXPECT_THROW((void)m.at(4), Error);
+  EXPECT_THROW((void)m.at(-1), Error);
+  EXPECT_THROW((void)m.at(2, 0), Error);
+  EXPECT_THROW((void)m.at(0, 2), Error);
+  Tensor v({4});
+  EXPECT_THROW((void)v.rows(), Error);  // not a matrix
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0f);  // row-major preserved
+  EXPECT_THROW(t.reshape({4, 2}), Error);
+  const Tensor r = t.reshaped({6});
+  EXPECT_EQ(r.ndim(), 1);
+  EXPECT_EQ(t.ndim(), 2);  // original untouched
+}
+
+TEST(Tensor, Arithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a.at(2), 33.0f);
+  a.sub_(b);
+  EXPECT_EQ(a.at(2), 3.0f);
+  a.axpy_(0.5f, b);
+  EXPECT_EQ(a.at(0), 6.0f);
+  a.scale_(2.0f);
+  EXPECT_EQ(a.at(0), 12.0f);
+  a.fill(7.0f);
+  EXPECT_EQ(a.at(1), 7.0f);
+  a.zero();
+  EXPECT_EQ(a.sum(), 0.0f);
+}
+
+TEST(Tensor, ArithmeticShapeMismatch) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a.add_(b), Error);
+  EXPECT_THROW(a.copy_from(b), Error);
+  EXPECT_THROW((void)a.dot(b), Error);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor a({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(a.sum(), -2.0f);
+  EXPECT_FLOAT_EQ(a.abs_max(), 4.0f);
+  EXPECT_FLOAT_EQ(a.norm2(), std::sqrt(30.0f));
+  Tensor b({4}, {1, 1, 1, 1});
+  EXPECT_FLOAT_EQ(a.dot(b), -2.0f);
+}
+
+TEST(Tensor, CopyFrom) {
+  Tensor a({2, 2});
+  Tensor b({4}, {1, 2, 3, 4});  // same numel, different shape is allowed
+  a.copy_from(b);
+  EXPECT_EQ(a.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, AllClose) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 5e-6f, 2.0f});
+  EXPECT_TRUE(a.all_close(b));
+  EXPECT_FALSE(a.all_close(b, 1e-7f));
+  Tensor c({1, 2}, {1.0f, 2.0f});
+  EXPECT_FALSE(a.all_close(c));  // shape matters
+}
+
+class TensorSizeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TensorSizeTest, SumMatchesLoop) {
+  const int64_t n = GetParam();
+  Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) t.at(i) = static_cast<float>(i % 7) - 3.0f;
+  double expect = 0.0;
+  for (int64_t i = 0; i < n; ++i) expect += static_cast<float>(i % 7) - 3.0f;
+  EXPECT_NEAR(t.sum(), expect, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TensorSizeTest,
+                         ::testing::Values(0, 1, 2, 7, 64, 1000, 4097));
+
+}  // namespace
+}  // namespace acps

@@ -1,0 +1,93 @@
+// End-to-end distributed-training smoke tests (small versions of Fig 6/7).
+#include <gtest/gtest.h>
+
+#include "core/distributed_optimizer.h"
+#include "core/trainer.h"
+#include "dnn/loss.h"
+#include "dnn/mini_models.h"
+
+namespace acps::core {
+namespace {
+
+TrainConfig SmallConfig() {
+  TrainConfig cfg;
+  cfg.model = "vgg-mini";
+  cfg.train_samples = 512;
+  cfg.test_samples = 128;
+  cfg.epochs = 4;
+  cfg.batch_per_worker = 32;
+  cfg.lr = dnn::LrSchedule{0.05f, 1, {3}, 0.1f};
+  cfg.data.noise = 0.5f;
+  return cfg;
+}
+
+TEST(Trainer, SsgdLossDecreases) {
+  comm::ThreadGroup group(4);
+  const TrainResult r = TrainDistributed(group, SmallConfig(), MakeSsgdFactory());
+  ASSERT_EQ(r.history.size(), 4u);
+  EXPECT_LT(r.history.back().train_loss, 0.7 * r.history.front().train_loss);
+  EXPECT_GT(r.final_test_acc, 0.5);
+}
+
+TEST(Trainer, AcpSgdLearns) {
+  comm::ThreadGroup group(4);
+  TrainConfig cfg = SmallConfig();
+  cfg.epochs = 6;
+  cfg.lr.decay_epochs = {4};
+  const TrainResult r = TrainDistributed(group, cfg, MakeAcpSgdFactory(4));
+  EXPECT_LT(r.history.back().train_loss, r.history.front().train_loss);
+  EXPECT_GT(r.best_test_acc, 0.4);
+}
+
+TEST(Trainer, WorldSizeOneMatchesSingleProcess) {
+  comm::ThreadGroup group(1);
+  TrainConfig cfg = SmallConfig();
+  cfg.batch_per_worker = 64;
+  const TrainResult r = TrainDistributed(group, cfg, MakeSsgdFactory());
+  EXPECT_GT(r.final_test_acc, 0.5);
+}
+
+TEST(Trainer, RejectsNonDivisibleSamples) {
+  comm::ThreadGroup group(3);
+  TrainConfig cfg = SmallConfig();  // 512 not divisible by 3*32
+  EXPECT_THROW((void)TrainDistributed(group, cfg, MakeSsgdFactory()), Error);
+}
+
+TEST(Trainer, HistoryIsOrdered) {
+  comm::ThreadGroup group(2);
+  const TrainResult r = TrainDistributed(group, SmallConfig(), MakeSsgdFactory());
+  for (size_t i = 0; i < r.history.size(); ++i)
+    EXPECT_EQ(r.history[i].epoch, static_cast<int>(i));
+}
+
+TEST(DistributedOptimizer, StepAggregatesAndUpdates) {
+  comm::ThreadGroup group(2);
+  std::vector<float> first_weights(2);
+  group.Run([&](comm::Communicator& comm) {
+    dnn::Network net = dnn::VggMini();
+    net.Init(5);
+    DistributedOptimizer opt(net.params(),
+                             std::make_unique<AllReduceAggregator>(),
+                             dnn::LrSchedule{0.1f, 0, {}, 1.0f});
+    // Different per-worker gradients.
+    Rng rng(10 + static_cast<uint64_t>(comm.rank()));
+    for (auto* p : net.params()) rng.fill_normal(p->grad);
+    opt.Step(comm, 0.0);
+    EXPECT_GT(opt.last_lr(), 0.0f);
+    first_weights[static_cast<size_t>(comm.rank())] =
+        net.params()[0]->value.at(0);
+  });
+  // After an aggregated step, replicas must have identical weights.
+  EXPECT_FLOAT_EQ(first_weights[0], first_weights[1]);
+}
+
+TEST(DistributedOptimizer, RejectsNullAggregator) {
+  dnn::Network net = dnn::VggMini();
+  net.Init(1);
+  EXPECT_THROW(DistributedOptimizer(net.params(), nullptr,
+                                    dnn::LrSchedule{}),
+               Error);
+}
+
+}  // namespace
+}  // namespace acps::core
