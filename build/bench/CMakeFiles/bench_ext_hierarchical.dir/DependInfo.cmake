@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_hierarchical.cc" "bench/CMakeFiles/bench_ext_hierarchical.dir/bench_ext_hierarchical.cc.o" "gcc" "bench/CMakeFiles/bench_ext_hierarchical.dir/bench_ext_hierarchical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/acps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/acps_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/acps_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/acps_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/acps_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/acps_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/acps_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/acps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/acps_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

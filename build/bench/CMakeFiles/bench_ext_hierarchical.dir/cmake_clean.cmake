@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hierarchical.dir/bench_ext_hierarchical.cc.o"
+  "CMakeFiles/bench_ext_hierarchical.dir/bench_ext_hierarchical.cc.o.d"
+  "bench_ext_hierarchical"
+  "bench_ext_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

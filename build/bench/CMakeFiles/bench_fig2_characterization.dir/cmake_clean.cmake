@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_characterization.dir/bench_fig2_characterization.cc.o"
+  "CMakeFiles/bench_fig2_characterization.dir/bench_fig2_characterization.cc.o.d"
+  "bench_fig2_characterization"
+  "bench_fig2_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

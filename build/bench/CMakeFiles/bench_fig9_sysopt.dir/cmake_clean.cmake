@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sysopt.dir/bench_fig9_sysopt.cc.o"
+  "CMakeFiles/bench_fig9_sysopt.dir/bench_fig9_sysopt.cc.o.d"
+  "bench_fig9_sysopt"
+  "bench_fig9_sysopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sysopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

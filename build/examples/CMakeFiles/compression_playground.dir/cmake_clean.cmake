@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_playground.dir/compression_playground.cpp.o"
+  "CMakeFiles/compression_playground.dir/compression_playground.cpp.o.d"
+  "compression_playground"
+  "compression_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cc" "src/comm/CMakeFiles/acps_comm.dir/communicator.cc.o" "gcc" "src/comm/CMakeFiles/acps_comm.dir/communicator.cc.o.d"
+  "/root/repo/src/comm/cost_model.cc" "src/comm/CMakeFiles/acps_comm.dir/cost_model.cc.o" "gcc" "src/comm/CMakeFiles/acps_comm.dir/cost_model.cc.o.d"
+  "/root/repo/src/comm/hierarchical.cc" "src/comm/CMakeFiles/acps_comm.dir/hierarchical.cc.o" "gcc" "src/comm/CMakeFiles/acps_comm.dir/hierarchical.cc.o.d"
+  "/root/repo/src/comm/topology.cc" "src/comm/CMakeFiles/acps_comm.dir/topology.cc.o" "gcc" "src/comm/CMakeFiles/acps_comm.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/acps_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_comm.dir/communicator.cc.o"
+  "CMakeFiles/acps_comm.dir/communicator.cc.o.d"
+  "CMakeFiles/acps_comm.dir/cost_model.cc.o"
+  "CMakeFiles/acps_comm.dir/cost_model.cc.o.d"
+  "CMakeFiles/acps_comm.dir/hierarchical.cc.o"
+  "CMakeFiles/acps_comm.dir/hierarchical.cc.o.d"
+  "CMakeFiles/acps_comm.dir/topology.cc.o"
+  "CMakeFiles/acps_comm.dir/topology.cc.o.d"
+  "libacps_comm.a"
+  "libacps_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

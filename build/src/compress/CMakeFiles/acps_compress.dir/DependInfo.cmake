@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/acpsgd.cc" "src/compress/CMakeFiles/acps_compress.dir/acpsgd.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/acpsgd.cc.o.d"
+  "/root/repo/src/compress/blockwise_sign.cc" "src/compress/CMakeFiles/acps_compress.dir/blockwise_sign.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/blockwise_sign.cc.o.d"
+  "/root/repo/src/compress/error_feedback.cc" "src/compress/CMakeFiles/acps_compress.dir/error_feedback.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/error_feedback.cc.o.d"
+  "/root/repo/src/compress/fp16.cc" "src/compress/CMakeFiles/acps_compress.dir/fp16.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/fp16.cc.o.d"
+  "/root/repo/src/compress/powersgd.cc" "src/compress/CMakeFiles/acps_compress.dir/powersgd.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/powersgd.cc.o.d"
+  "/root/repo/src/compress/qsgd.cc" "src/compress/CMakeFiles/acps_compress.dir/qsgd.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/qsgd.cc.o.d"
+  "/root/repo/src/compress/randomk.cc" "src/compress/CMakeFiles/acps_compress.dir/randomk.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/randomk.cc.o.d"
+  "/root/repo/src/compress/registry.cc" "src/compress/CMakeFiles/acps_compress.dir/registry.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/registry.cc.o.d"
+  "/root/repo/src/compress/sign.cc" "src/compress/CMakeFiles/acps_compress.dir/sign.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/sign.cc.o.d"
+  "/root/repo/src/compress/terngrad.cc" "src/compress/CMakeFiles/acps_compress.dir/terngrad.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/terngrad.cc.o.d"
+  "/root/repo/src/compress/topk.cc" "src/compress/CMakeFiles/acps_compress.dir/topk.cc.o" "gcc" "src/compress/CMakeFiles/acps_compress.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/acps_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/acps_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_compress.dir/acpsgd.cc.o"
+  "CMakeFiles/acps_compress.dir/acpsgd.cc.o.d"
+  "CMakeFiles/acps_compress.dir/blockwise_sign.cc.o"
+  "CMakeFiles/acps_compress.dir/blockwise_sign.cc.o.d"
+  "CMakeFiles/acps_compress.dir/error_feedback.cc.o"
+  "CMakeFiles/acps_compress.dir/error_feedback.cc.o.d"
+  "CMakeFiles/acps_compress.dir/fp16.cc.o"
+  "CMakeFiles/acps_compress.dir/fp16.cc.o.d"
+  "CMakeFiles/acps_compress.dir/powersgd.cc.o"
+  "CMakeFiles/acps_compress.dir/powersgd.cc.o.d"
+  "CMakeFiles/acps_compress.dir/qsgd.cc.o"
+  "CMakeFiles/acps_compress.dir/qsgd.cc.o.d"
+  "CMakeFiles/acps_compress.dir/randomk.cc.o"
+  "CMakeFiles/acps_compress.dir/randomk.cc.o.d"
+  "CMakeFiles/acps_compress.dir/registry.cc.o"
+  "CMakeFiles/acps_compress.dir/registry.cc.o.d"
+  "CMakeFiles/acps_compress.dir/sign.cc.o"
+  "CMakeFiles/acps_compress.dir/sign.cc.o.d"
+  "CMakeFiles/acps_compress.dir/terngrad.cc.o"
+  "CMakeFiles/acps_compress.dir/terngrad.cc.o.d"
+  "CMakeFiles/acps_compress.dir/topk.cc.o"
+  "CMakeFiles/acps_compress.dir/topk.cc.o.d"
+  "libacps_compress.a"
+  "libacps_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

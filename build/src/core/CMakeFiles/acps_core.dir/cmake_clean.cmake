@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_core.dir/aggregators.cc.o"
+  "CMakeFiles/acps_core.dir/aggregators.cc.o.d"
+  "CMakeFiles/acps_core.dir/distributed_optimizer.cc.o"
+  "CMakeFiles/acps_core.dir/distributed_optimizer.cc.o.d"
+  "CMakeFiles/acps_core.dir/grad_reducer.cc.o"
+  "CMakeFiles/acps_core.dir/grad_reducer.cc.o.d"
+  "CMakeFiles/acps_core.dir/policy.cc.o"
+  "CMakeFiles/acps_core.dir/policy.cc.o.d"
+  "CMakeFiles/acps_core.dir/trainer.cc.o"
+  "CMakeFiles/acps_core.dir/trainer.cc.o.d"
+  "libacps_core.a"
+  "libacps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/adam.cc" "src/dnn/CMakeFiles/acps_dnn.dir/adam.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/adam.cc.o.d"
+  "/root/repo/src/dnn/checkpoint.cc" "src/dnn/CMakeFiles/acps_dnn.dir/checkpoint.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/dnn/conv.cc" "src/dnn/CMakeFiles/acps_dnn.dir/conv.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/conv.cc.o.d"
+  "/root/repo/src/dnn/dataset.cc" "src/dnn/CMakeFiles/acps_dnn.dir/dataset.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/dataset.cc.o.d"
+  "/root/repo/src/dnn/layers.cc" "src/dnn/CMakeFiles/acps_dnn.dir/layers.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/layers.cc.o.d"
+  "/root/repo/src/dnn/loss.cc" "src/dnn/CMakeFiles/acps_dnn.dir/loss.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/loss.cc.o.d"
+  "/root/repo/src/dnn/mini_models.cc" "src/dnn/CMakeFiles/acps_dnn.dir/mini_models.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/mini_models.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "src/dnn/CMakeFiles/acps_dnn.dir/network.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/network.cc.o.d"
+  "/root/repo/src/dnn/norm.cc" "src/dnn/CMakeFiles/acps_dnn.dir/norm.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/norm.cc.o.d"
+  "/root/repo/src/dnn/optimizer.cc" "src/dnn/CMakeFiles/acps_dnn.dir/optimizer.cc.o" "gcc" "src/dnn/CMakeFiles/acps_dnn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/acps_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/acps_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

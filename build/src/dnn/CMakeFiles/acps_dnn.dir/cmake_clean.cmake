@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_dnn.dir/adam.cc.o"
+  "CMakeFiles/acps_dnn.dir/adam.cc.o.d"
+  "CMakeFiles/acps_dnn.dir/checkpoint.cc.o"
+  "CMakeFiles/acps_dnn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/acps_dnn.dir/conv.cc.o"
+  "CMakeFiles/acps_dnn.dir/conv.cc.o.d"
+  "CMakeFiles/acps_dnn.dir/dataset.cc.o"
+  "CMakeFiles/acps_dnn.dir/dataset.cc.o.d"
+  "CMakeFiles/acps_dnn.dir/layers.cc.o"
+  "CMakeFiles/acps_dnn.dir/layers.cc.o.d"
+  "CMakeFiles/acps_dnn.dir/loss.cc.o"
+  "CMakeFiles/acps_dnn.dir/loss.cc.o.d"
+  "CMakeFiles/acps_dnn.dir/mini_models.cc.o"
+  "CMakeFiles/acps_dnn.dir/mini_models.cc.o.d"
+  "CMakeFiles/acps_dnn.dir/network.cc.o"
+  "CMakeFiles/acps_dnn.dir/network.cc.o.d"
+  "CMakeFiles/acps_dnn.dir/norm.cc.o"
+  "CMakeFiles/acps_dnn.dir/norm.cc.o.d"
+  "CMakeFiles/acps_dnn.dir/optimizer.cc.o"
+  "CMakeFiles/acps_dnn.dir/optimizer.cc.o.d"
+  "libacps_dnn.a"
+  "libacps_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/bucket_assigner.cc" "src/fusion/CMakeFiles/acps_fusion.dir/bucket_assigner.cc.o" "gcc" "src/fusion/CMakeFiles/acps_fusion.dir/bucket_assigner.cc.o.d"
+  "/root/repo/src/fusion/fusion_buffer.cc" "src/fusion/CMakeFiles/acps_fusion.dir/fusion_buffer.cc.o" "gcc" "src/fusion/CMakeFiles/acps_fusion.dir/fusion_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/acps_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_fusion.dir/bucket_assigner.cc.o"
+  "CMakeFiles/acps_fusion.dir/bucket_assigner.cc.o.d"
+  "CMakeFiles/acps_fusion.dir/fusion_buffer.cc.o"
+  "CMakeFiles/acps_fusion.dir/fusion_buffer.cc.o.d"
+  "libacps_fusion.a"
+  "libacps_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/orthogonalize.cc" "src/linalg/CMakeFiles/acps_linalg.dir/orthogonalize.cc.o" "gcc" "src/linalg/CMakeFiles/acps_linalg.dir/orthogonalize.cc.o.d"
+  "/root/repo/src/linalg/power_iter.cc" "src/linalg/CMakeFiles/acps_linalg.dir/power_iter.cc.o" "gcc" "src/linalg/CMakeFiles/acps_linalg.dir/power_iter.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/linalg/CMakeFiles/acps_linalg.dir/qr.cc.o" "gcc" "src/linalg/CMakeFiles/acps_linalg.dir/qr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/acps_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_linalg.dir/orthogonalize.cc.o"
+  "CMakeFiles/acps_linalg.dir/orthogonalize.cc.o.d"
+  "CMakeFiles/acps_linalg.dir/power_iter.cc.o"
+  "CMakeFiles/acps_linalg.dir/power_iter.cc.o.d"
+  "CMakeFiles/acps_linalg.dir/qr.cc.o"
+  "CMakeFiles/acps_linalg.dir/qr.cc.o.d"
+  "libacps_linalg.a"
+  "libacps_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

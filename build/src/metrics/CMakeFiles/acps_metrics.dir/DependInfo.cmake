@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cdf.cc" "src/metrics/CMakeFiles/acps_metrics.dir/cdf.cc.o" "gcc" "src/metrics/CMakeFiles/acps_metrics.dir/cdf.cc.o.d"
+  "/root/repo/src/metrics/csv.cc" "src/metrics/CMakeFiles/acps_metrics.dir/csv.cc.o" "gcc" "src/metrics/CMakeFiles/acps_metrics.dir/csv.cc.o.d"
+  "/root/repo/src/metrics/stats.cc" "src/metrics/CMakeFiles/acps_metrics.dir/stats.cc.o" "gcc" "src/metrics/CMakeFiles/acps_metrics.dir/stats.cc.o.d"
+  "/root/repo/src/metrics/table.cc" "src/metrics/CMakeFiles/acps_metrics.dir/table.cc.o" "gcc" "src/metrics/CMakeFiles/acps_metrics.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/acps_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

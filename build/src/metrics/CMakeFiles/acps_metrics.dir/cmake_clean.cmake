@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_metrics.dir/cdf.cc.o"
+  "CMakeFiles/acps_metrics.dir/cdf.cc.o.d"
+  "CMakeFiles/acps_metrics.dir/csv.cc.o"
+  "CMakeFiles/acps_metrics.dir/csv.cc.o.d"
+  "CMakeFiles/acps_metrics.dir/stats.cc.o"
+  "CMakeFiles/acps_metrics.dir/stats.cc.o.d"
+  "CMakeFiles/acps_metrics.dir/table.cc.o"
+  "CMakeFiles/acps_metrics.dir/table.cc.o.d"
+  "libacps_metrics.a"
+  "libacps_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

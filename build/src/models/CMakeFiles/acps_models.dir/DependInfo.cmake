@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bert.cc" "src/models/CMakeFiles/acps_models.dir/bert.cc.o" "gcc" "src/models/CMakeFiles/acps_models.dir/bert.cc.o.d"
+  "/root/repo/src/models/gpt2.cc" "src/models/CMakeFiles/acps_models.dir/gpt2.cc.o" "gcc" "src/models/CMakeFiles/acps_models.dir/gpt2.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/models/CMakeFiles/acps_models.dir/model_zoo.cc.o" "gcc" "src/models/CMakeFiles/acps_models.dir/model_zoo.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/models/CMakeFiles/acps_models.dir/resnet.cc.o" "gcc" "src/models/CMakeFiles/acps_models.dir/resnet.cc.o.d"
+  "/root/repo/src/models/vgg.cc" "src/models/CMakeFiles/acps_models.dir/vgg.cc.o" "gcc" "src/models/CMakeFiles/acps_models.dir/vgg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/acps_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/acps_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/acps_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_models.dir/bert.cc.o"
+  "CMakeFiles/acps_models.dir/bert.cc.o.d"
+  "CMakeFiles/acps_models.dir/gpt2.cc.o"
+  "CMakeFiles/acps_models.dir/gpt2.cc.o.d"
+  "CMakeFiles/acps_models.dir/model_zoo.cc.o"
+  "CMakeFiles/acps_models.dir/model_zoo.cc.o.d"
+  "CMakeFiles/acps_models.dir/resnet.cc.o"
+  "CMakeFiles/acps_models.dir/resnet.cc.o.d"
+  "CMakeFiles/acps_models.dir/vgg.cc.o"
+  "CMakeFiles/acps_models.dir/vgg.cc.o.d"
+  "libacps_models.a"
+  "libacps_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacps_models.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/buffer_tuner.cc" "src/sim/CMakeFiles/acps_sim.dir/buffer_tuner.cc.o" "gcc" "src/sim/CMakeFiles/acps_sim.dir/buffer_tuner.cc.o.d"
+  "/root/repo/src/sim/gpu_model.cc" "src/sim/CMakeFiles/acps_sim.dir/gpu_model.cc.o" "gcc" "src/sim/CMakeFiles/acps_sim.dir/gpu_model.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/sim/CMakeFiles/acps_sim.dir/pipeline.cc.o" "gcc" "src/sim/CMakeFiles/acps_sim.dir/pipeline.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "src/sim/CMakeFiles/acps_sim.dir/trace_export.cc.o" "gcc" "src/sim/CMakeFiles/acps_sim.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/acps_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/acps_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/acps_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/acps_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/acps_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/acps_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

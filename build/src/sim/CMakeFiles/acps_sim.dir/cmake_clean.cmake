@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_sim.dir/buffer_tuner.cc.o"
+  "CMakeFiles/acps_sim.dir/buffer_tuner.cc.o.d"
+  "CMakeFiles/acps_sim.dir/gpu_model.cc.o"
+  "CMakeFiles/acps_sim.dir/gpu_model.cc.o.d"
+  "CMakeFiles/acps_sim.dir/pipeline.cc.o"
+  "CMakeFiles/acps_sim.dir/pipeline.cc.o.d"
+  "CMakeFiles/acps_sim.dir/trace_export.cc.o"
+  "CMakeFiles/acps_sim.dir/trace_export.cc.o.d"
+  "libacps_sim.a"
+  "libacps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

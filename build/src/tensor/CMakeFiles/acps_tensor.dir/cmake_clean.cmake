@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acps_tensor.dir/matrix_ops.cc.o"
+  "CMakeFiles/acps_tensor.dir/matrix_ops.cc.o.d"
+  "CMakeFiles/acps_tensor.dir/rng.cc.o"
+  "CMakeFiles/acps_tensor.dir/rng.cc.o.d"
+  "CMakeFiles/acps_tensor.dir/tensor.cc.o"
+  "CMakeFiles/acps_tensor.dir/tensor.cc.o.d"
+  "libacps_tensor.a"
+  "libacps_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acps_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacps_tensor.a"
+)

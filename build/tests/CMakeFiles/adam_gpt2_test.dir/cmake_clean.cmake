@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam_gpt2_test.dir/adam_gpt2_test.cc.o"
+  "CMakeFiles/adam_gpt2_test.dir/adam_gpt2_test.cc.o.d"
+  "adam_gpt2_test"
+  "adam_gpt2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam_gpt2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

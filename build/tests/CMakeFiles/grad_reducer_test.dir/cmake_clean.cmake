@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grad_reducer_test.dir/grad_reducer_test.cc.o"
+  "CMakeFiles/grad_reducer_test.dir/grad_reducer_test.cc.o.d"
+  "grad_reducer_test"
+  "grad_reducer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grad_reducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

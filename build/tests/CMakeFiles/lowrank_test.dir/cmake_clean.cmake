@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowrank_test.dir/lowrank_test.cc.o"
+  "CMakeFiles/lowrank_test.dir/lowrank_test.cc.o.d"
+  "lowrank_test"
+  "lowrank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowrank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
