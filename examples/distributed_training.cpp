@@ -4,14 +4,28 @@
 //
 // Uses the high-level trainer plus the communicator's traffic counters to
 // report bytes-on-the-wire per method.
+//
+// With --trace-out=PATH the ACP-SGD run records every collective, hook and
+// step as obs::Tracer spans and writes Chrome-trace JSON there (open in
+// Perfetto, one row per worker); a metrics dump (step/bucket counters and
+// latency quantiles) is printed after the table.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/trainer.h"
 #include "metrics/table.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 
 using namespace acps;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) trace_out = argv[i] + 12;
+  }
+
   core::TrainConfig cfg;
   cfg.model = "res-mini";
   cfg.train_samples = 1024;
@@ -30,10 +44,32 @@ int main() {
       {"Power-SGD r4", core::MakePowerSgdFactory(4)},
       {"ACP-SGD r4", core::MakeAcpSgdFactory(4)},
   };
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
   double ssgd_mb = 0.0;
   for (const auto& [name, factory] : methods) {
     comm::ThreadGroup group(4);
+    // Observe only the ACP-SGD run (spans from all methods in one file
+    // would overlap on the same worker rows).
+    const bool observe = !trace_out.empty() && std::strncmp(name, "ACP", 3) == 0;
+    if (observe) {
+      tracer.Clear();
+      tracer.Enable();
+      metrics.Enable();
+      group.set_tracer(&tracer);
+      cfg.metrics = &metrics;
+    }
     const core::TrainResult r = core::TrainDistributed(group, cfg, factory);
+    if (observe) {
+      tracer.Disable();
+      metrics.Disable();
+      cfg.metrics = nullptr;
+      if (tracer.WriteChromeTrace(trace_out))
+        std::printf("[trace] wrote %zu ACP-SGD spans to %s\n", tracer.size(),
+                    trace_out.c_str());
+      else
+        std::printf("[trace] failed to write %s\n", trace_out.c_str());
+    }
     const double mb =
         static_cast<double>(group.total_stats().bytes_sent) / 4.0 / 1e6;
     if (ssgd_mb == 0.0) ssgd_mb = mb;
@@ -45,5 +81,8 @@ int main() {
   std::printf("%s", table.Render().c_str());
   std::printf("\nSame accuracy, a fraction of the traffic — the ACP-SGD "
               "pitch in one table.\n");
+  if (!trace_out.empty()) {
+    std::printf("\nACP-SGD run metrics:\n%s", metrics.DumpText().c_str());
+  }
   return 0;
 }

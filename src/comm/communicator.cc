@@ -110,7 +110,10 @@ ChunkRange GetChunkRange(int64_t n, int p, int chunk) {
   return ChunkRange{begin, begin + size};
 }
 
-void Communicator::barrier() { state_->Barrier(); }
+void Communicator::barrier() {
+  obs::ScopedSpan span(tracer_, "barrier", obs::kCatComm, rank_);
+  state_->Barrier();
+}
 
 // Publishes `payload` to this worker's mailbox and accounts the traffic.
 // Callers must barrier() before a peer reads and again before the next write.
@@ -124,7 +127,16 @@ void Send(detail::GroupState* st, int rank, TrafficStats& stats,
 }
 }  // namespace
 
-void Communicator::all_reduce(std::span<float> data, ReduceOp op) {
+void Communicator::all_reduce(std::span<float> data, ReduceOp op,
+                              AllReduceAlgo algo) {
+  obs::ScopedSpan span(tracer_,
+                       algo == AllReduceAlgo::kRing ? "all_reduce"
+                                                    : "all_reduce_naive",
+                       obs::kCatComm, rank_, data.size() * sizeof(float));
+  if (algo == AllReduceAlgo::kNaive) {
+    AllReduceNaive(data, op);
+    return;
+  }
   ++stats_.collectives;
   const int p = world_size_;
   if (p == 1 || data.empty()) return;
@@ -167,7 +179,7 @@ void Communicator::all_reduce(std::span<float> data, ReduceOp op) {
   }
 }
 
-void Communicator::all_reduce_naive(std::span<float> data, ReduceOp op) {
+void Communicator::AllReduceNaive(std::span<float> data, ReduceOp op) {
   ++stats_.collectives;
   const int p = world_size_;
   if (p == 1 || data.empty()) return;
@@ -196,6 +208,8 @@ void Communicator::all_reduce_naive(std::span<float> data, ReduceOp op) {
 
 void Communicator::all_gather(std::span<const float> send,
                               std::span<float> recv) {
+  obs::ScopedSpan span(tracer_, "all_gather", obs::kCatComm, rank_,
+                       send.size() * sizeof(float));
   ACPS_CHECK_MSG(recv.size() == send.size() * static_cast<size_t>(world_size_),
                  "all_gather recv size must be p * send size");
   // Place own block, then run the byte-wise ring over the recv buffer.
@@ -209,6 +223,8 @@ void Communicator::all_gather(std::span<const float> send,
 
 void Communicator::all_gather_bytes(std::span<const std::byte> send,
                                     std::span<std::byte> recv) {
+  obs::ScopedSpan span(tracer_, "all_gather_bytes", obs::kCatComm, rank_,
+                       send.size());
   ACPS_CHECK_MSG(recv.size() == send.size() * static_cast<size_t>(world_size_),
                  "all_gather_bytes recv size must be p * send size");
   std::copy(send.begin(), send.end(),
@@ -241,6 +257,8 @@ void Communicator::RingAllGatherBlocks(std::span<std::byte> buf,
 void Communicator::all_gather_v(std::span<const std::byte> send,
                                 std::vector<std::byte>& recv,
                                 std::vector<size_t>& offsets) {
+  obs::ScopedSpan span(tracer_, "all_gather_v", obs::kCatComm, rank_,
+                       send.size());
   ++stats_.collectives;
   const int p = world_size_;
   // Exchange sizes through the board.
@@ -278,6 +296,8 @@ void Communicator::all_gather_v(std::span<const std::byte> send,
 }
 
 void Communicator::reduce_scatter(std::span<float> data, ReduceOp op) {
+  obs::ScopedSpan span(tracer_, "reduce_scatter", obs::kCatComm, rank_,
+                       data.size() * sizeof(float));
   ++stats_.collectives;
   const int p = world_size_;
   if (p == 1 || data.empty()) return;
@@ -300,6 +320,8 @@ void Communicator::reduce_scatter(std::span<float> data, ReduceOp op) {
 }
 
 void Communicator::broadcast(std::span<float> data, int root) {
+  obs::ScopedSpan span(tracer_, "broadcast", obs::kCatComm, rank_,
+                       data.size() * sizeof(float));
   ++stats_.collectives;
   const int p = world_size_;
   ACPS_CHECK_MSG(root >= 0 && root < p, "broadcast root out of range");
@@ -345,7 +367,7 @@ void ThreadGroup::Run(const std::function<void(Communicator&)>& fn) {
   threads.reserve(static_cast<size_t>(world_size_));
   for (int r = 0; r < world_size_; ++r) {
     threads.emplace_back([this, r, &fn] {
-      Communicator comm(state_.get(), r, world_size_);
+      Communicator comm(state_.get(), r, world_size_, tracer_);
       try {
         fn(comm);
       } catch (...) {

@@ -19,12 +19,19 @@
 #include <span>
 #include <vector>
 
+#include "obs/tracer.h"
 #include "tensor/check.h"
 
 namespace acps::comm {
 
 // Reduction operator for all_reduce / reduce_scatter.
 enum class ReduceOp { kSum, kMax };
+
+// All-reduce algorithm selection. kRing is the bandwidth-optimal default
+// (reduce-scatter + all-gather, 2*(p-1)/p * N per worker); kNaive is the
+// flat reduce-to-root + broadcast reference (O(p*N)) used by the "naive"
+// configurations and as a cross-check in tests.
+enum class AllReduceAlgo { kRing, kNaive };
 
 // Per-worker traffic statistics, in "wire" units. One mailbox write of B
 // bytes counts as one message of B bytes sent (the shared-memory analogue of
@@ -53,13 +60,16 @@ class Communicator {
   // Blocks until every worker reaches the barrier.
   void barrier();
 
-  // Ring all-reduce (reduce-scatter + all-gather), in place over `data`.
-  // Per-worker traffic: 2*(p-1)/p * N elements.
-  void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::kSum);
+  // All-reduce in place over `data` with the chosen algorithm (kRing:
+  // reduce-scatter + all-gather, 2*(p-1)/p * N elements per worker).
+  void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::kSum,
+                  AllReduceAlgo algo = AllReduceAlgo::kRing);
 
-  // Baseline all-reduce: reduce to rank 0, then broadcast. Used by the
-  // "naive" configurations and by tests as a reference implementation.
-  void all_reduce_naive(std::span<float> data, ReduceOp op = ReduceOp::kSum);
+  // Baseline all-reduce: reduce to rank 0, then broadcast.
+  [[deprecated("use all_reduce(data, op, AllReduceAlgo::kNaive)")]]
+  void all_reduce_naive(std::span<float> data, ReduceOp op = ReduceOp::kSum) {
+    all_reduce(data, op, AllReduceAlgo::kNaive);
+  }
 
   // Ring all-gather: worker i contributes `send`; `recv` (size p*|send|)
   // receives all contributions in rank order. All workers must pass equal
@@ -90,18 +100,28 @@ class Communicator {
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
 
+  // Tracer attached to the owning ThreadGroup (nullptr when tracing is
+  // off). Runtimes built on the communicator (GradReducer, trainer) emit
+  // their spans through the same tracer so all rows share a time base.
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   friend class ThreadGroup;
-  Communicator(detail::GroupState* state, int rank, int world_size)
-      : state_(state), rank_(rank), world_size_(world_size) {}
+  Communicator(detail::GroupState* state, int rank, int world_size,
+               obs::Tracer* tracer)
+      : state_(state), rank_(rank), world_size_(world_size), tracer_(tracer) {}
 
   // Ring all-gather over `buf` viewed as p equal blocks of `block_bytes`;
   // block `rank` must already hold this worker's contribution.
   void RingAllGatherBlocks(std::span<std::byte> buf, size_t block_bytes);
 
+  // Naive (reduce-to-root + broadcast) all-reduce body.
+  void AllReduceNaive(std::span<float> data, ReduceOp op);
+
   detail::GroupState* state_;
   int rank_;
   int world_size_;
+  obs::Tracer* tracer_ = nullptr;
   TrafficStats stats_;
 };
 
@@ -120,6 +140,12 @@ class ThreadGroup {
 
   [[nodiscard]] int world_size() const noexcept { return world_size_; }
 
+  // Attaches a tracer: every Communicator handed out by subsequent Run
+  // calls emits spans (collectives tagged with bytes moved) into it. Pass
+  // nullptr to detach. The tracer must outlive the runs that use it.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
   // Spawns one thread per worker, each invoking fn(comm). Blocks until all
   // return. Exceptions thrown by any worker are rethrown (first one wins)
   // after all workers have been joined.
@@ -132,6 +158,7 @@ class ThreadGroup {
   int world_size_;
   std::unique_ptr<detail::GroupState> state_;
   std::vector<TrafficStats> last_run_stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 // The contiguous range [begin, end) of chunk `chunk` when splitting `n`

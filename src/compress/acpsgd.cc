@@ -4,8 +4,21 @@
 
 namespace acps::compress {
 
+std::string AcpSgdConfig::Validate() const {
+  std::string err;
+  const auto add = [&err](const std::string& msg) {
+    if (!err.empty()) err += "; ";
+    err += msg;
+  };
+  if (rank < 1) add("rank must be >= 1, got " + std::to_string(rank));
+  if (ortho != OrthoScheme::kQr && ortho != OrthoScheme::kGramSchmidt)
+    add("unknown orthogonalization scheme");
+  return err;
+}
+
 AcpSgd::AcpSgd(AcpSgdConfig config) : config_(config) {
-  ACPS_CHECK_MSG(config_.rank >= 1, "rank must be >= 1");
+  const std::string err = config_.Validate();
+  ACPS_CHECK_MSG(err.empty(), "invalid AcpSgdConfig: " << err);
 }
 
 int64_t AcpSgd::CommElements(int64_t n, int64_t m, uint64_t step) const {

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 
 #include "compress/powersgd.h"  // AllReduceMeanFn, EffectiveRank, ...
@@ -50,6 +51,11 @@ struct AcpSgdConfig {
   bool error_feedback = true;  // Fig. 7 ablation: "w/o EF"
   bool reuse = true;           // Fig. 7 ablation: "w/o reuse"
   uint64_t seed = 0xAC9ull;    // must be identical on all workers
+
+  // Returns "" when the config is usable, otherwise one descriptive message
+  // naming every violated constraint. Checked at AcpSgd construction and at
+  // GradReducer entry so all runtimes fail with the same diagnostics.
+  [[nodiscard]] std::string Validate() const;
 };
 
 class AcpSgd {

@@ -1,5 +1,6 @@
 #include "compress/blockwise_sign.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace acps::compress {
@@ -17,14 +18,14 @@ size_t BlockwiseSignCompressor::EncodedBytes(size_t numel) const {
   return kHeaderBytes + NumBlocks(numel) * sizeof(float) + (numel + 7) / 8;
 }
 
-std::vector<std::byte> BlockwiseSignCompressor::Encode(
-    std::span<const float> grad) {
+void BlockwiseSignCompressor::EncodeInto(std::span<const float> grad,
+                                         std::span<std::byte> out) {
   const size_t n = grad.size();
   const size_t blocks = NumBlocks(n);
-  std::vector<std::byte> blob;
-  blob.reserve(EncodedBytes(n));
-  wire::Append(blob, static_cast<uint64_t>(n));
-  wire::Append(blob, static_cast<uint64_t>(block_size_));
+  ACPS_CHECK_MSG(out.size() == EncodedBytes(n),
+                 "blockwise-sign encode size mismatch");
+  wire::Write(out, 0, static_cast<uint64_t>(n));
+  wire::Write(out, sizeof(uint64_t), static_cast<uint64_t>(block_size_));
 
   // Per-block mean magnitude scales.
   for (size_t b = 0; b < blocks; ++b) {
@@ -32,17 +33,16 @@ std::vector<std::byte> BlockwiseSignCompressor::Encode(
     const size_t end = std::min(n, begin + block_size_);
     double abs_sum = 0.0;
     for (size_t i = begin; i < end; ++i) abs_sum += std::abs(grad[i]);
-    wire::Append(blob, static_cast<float>(abs_sum / double(end - begin)));
+    wire::Write(out, kHeaderBytes + b * sizeof(float),
+                static_cast<float>(abs_sum / double(end - begin)));
   }
 
-  blob.resize(kHeaderBytes + blocks * sizeof(float) + (n + 7) / 8,
-              std::byte{0});
-  std::byte* bits = blob.data() + kHeaderBytes + blocks * sizeof(float);
+  std::byte* bits = out.data() + kHeaderBytes + blocks * sizeof(float);
+  std::fill(bits, bits + (n + 7) / 8, std::byte{0});
   for (size_t i = 0; i < n; ++i) {
     if (grad[i] < 0.0f)
       bits[i / 8] |= static_cast<std::byte>(1u << (i % 8));
   }
-  return blob;
 }
 
 void BlockwiseSignCompressor::Decode(std::span<const std::byte> blob,

@@ -14,8 +14,8 @@ class BlockwiseSignCompressor final : public Compressor {
 
   [[nodiscard]] std::string name() const override { return "blockwise-sign"; }
 
-  [[nodiscard]] std::vector<std::byte> Encode(
-      std::span<const float> grad) override;
+  void EncodeInto(std::span<const float> grad,
+                  std::span<std::byte> out) override;
 
   void Decode(std::span<const std::byte> blob,
               std::span<float> out) const override;

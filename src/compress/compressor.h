@@ -8,6 +8,12 @@
 // Encode/Decode are lossy: Decode(Encode(g)) approximates g. Aggregation
 // semantics (all-gather + majority vote / scatter-add) are implemented by
 // the core runtime on top of these primitives.
+//
+// The primitive encode operation is zero-copy: EncodeInto writes the blob
+// into caller-owned storage of exactly EncodedBytes(|grad|) bytes, so hot
+// loops (aggregators encoding every step) reuse one scratch buffer instead
+// of allocating a fresh vector per tensor. Encode() is the allocating
+// convenience wrapper on top.
 #pragma once
 
 #include <cstddef>
@@ -27,9 +33,19 @@ class Compressor {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  // Encodes `grad` into a self-contained byte blob.
-  [[nodiscard]] virtual std::vector<std::byte> Encode(
-      std::span<const float> grad) = 0;
+  // Encodes `grad` into `out`, which must be exactly
+  // EncodedBytes(grad.size()) bytes (checked). Every byte of `out` is
+  // written. Stateful encoders (step counters, RNG streams) advance exactly
+  // as they would for Encode().
+  virtual void EncodeInto(std::span<const float> grad,
+                          std::span<std::byte> out) = 0;
+
+  // Allocating convenience wrapper around EncodeInto.
+  [[nodiscard]] std::vector<std::byte> Encode(std::span<const float> grad) {
+    std::vector<std::byte> blob(EncodedBytes(grad.size()));
+    EncodeInto(grad, blob);
+    return blob;
+  }
 
   // Decodes `blob` into `out` (must be the original element count),
   // overwriting all elements.
@@ -56,6 +72,14 @@ template <typename T>
 void Append(std::vector<std::byte>& out, const T& value) {
   const auto* p = reinterpret_cast<const std::byte*>(&value);
   out.insert(out.end(), p, p + sizeof(T));
+}
+
+// Fixed-position write into a preallocated blob (the EncodeInto analogue of
+// Append).
+template <typename T>
+void Write(std::span<std::byte> out, size_t offset, const T& value) {
+  ACPS_CHECK_MSG(offset + sizeof(T) <= out.size(), "wire write out of range");
+  std::memcpy(out.data() + offset, &value, sizeof(T));
 }
 
 template <typename T>

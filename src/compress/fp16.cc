@@ -60,12 +60,15 @@ float HalfToFloat(uint16_t h) {
   return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));
 }
 
-std::vector<std::byte> Fp16Compressor::Encode(std::span<const float> grad) {
-  std::vector<std::byte> blob;
-  blob.reserve(EncodedBytes(grad.size()));
-  wire::Append(blob, static_cast<uint64_t>(grad.size()));
-  for (float v : grad) wire::Append(blob, FloatToHalf(v));
-  return blob;
+void Fp16Compressor::EncodeInto(std::span<const float> grad,
+                                std::span<std::byte> out) {
+  ACPS_CHECK_MSG(out.size() == EncodedBytes(grad.size()),
+                 "fp16 encode size mismatch");
+  wire::Write(out, 0, static_cast<uint64_t>(grad.size()));
+  for (size_t i = 0; i < grad.size(); ++i) {
+    wire::Write(out, sizeof(uint64_t) + i * sizeof(uint16_t),
+                FloatToHalf(grad[i]));
+  }
 }
 
 void Fp16Compressor::Decode(std::span<const std::byte> blob,

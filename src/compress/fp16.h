@@ -16,8 +16,8 @@ class Fp16Compressor final : public Compressor {
  public:
   [[nodiscard]] std::string name() const override { return "fp16"; }
 
-  [[nodiscard]] std::vector<std::byte> Encode(
-      std::span<const float> grad) override;
+  void EncodeInto(std::span<const float> grad,
+                  std::span<std::byte> out) override;
 
   void Decode(std::span<const std::byte> blob,
               std::span<float> out) const override;

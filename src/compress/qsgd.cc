@@ -14,16 +14,16 @@ QsgdCompressor::QsgdCompressor(int levels, uint64_t seed)
                  "QSGD levels must be in [1, 127], got " << levels);
 }
 
-std::vector<std::byte> QsgdCompressor::Encode(std::span<const float> grad) {
+void QsgdCompressor::EncodeInto(std::span<const float> grad,
+                                std::span<std::byte> out) {
   const size_t n = grad.size();
+  ACPS_CHECK_MSG(out.size() == EncodedBytes(n), "QSGD encode size mismatch");
   double norm_sq = 0.0;
   for (float v : grad) norm_sq += double(v) * v;
   const float norm = static_cast<float>(std::sqrt(norm_sq));
 
-  std::vector<std::byte> blob;
-  blob.reserve(EncodedBytes(n));
-  wire::Append(blob, norm);
-  wire::Append(blob, static_cast<uint64_t>(n));
+  wire::Write(out, 0, norm);
+  wire::Write(out, sizeof(float), static_cast<uint64_t>(n));
 
   for (size_t i = 0; i < n; ++i) {
     int8_t q = 0;
@@ -37,9 +37,8 @@ std::vector<std::byte> QsgdCompressor::Encode(std::span<const float> grad) {
       level = std::min(level, static_cast<float>(levels_));
       q = static_cast<int8_t>(grad[i] < 0.0f ? -level : level);
     }
-    wire::Append(blob, q);
+    wire::Write(out, kHeaderBytes + i, q);
   }
-  return blob;
 }
 
 void QsgdCompressor::Decode(std::span<const std::byte> blob,

@@ -43,22 +43,25 @@ size_t RandomkCompressor::EncodedBytes(size_t numel) const {
   return kHeaderBytes + KeptCount(numel) * sizeof(float);
 }
 
-std::vector<std::byte> RandomkCompressor::Encode(std::span<const float> grad) {
+void RandomkCompressor::EncodeInto(std::span<const float> grad,
+                                   std::span<std::byte> out) {
   const size_t n = grad.size();
   const size_t k = KeptCount(n);
+  ACPS_CHECK_MSG(out.size() == EncodedBytes(n), "Randomk encode size mismatch");
   const uint64_t step_seed = seed_ ^ (0x9E3779B97F4A7C15ull * (step_ + 1));
   ++step_;
 
-  std::vector<std::byte> blob;
-  blob.reserve(EncodedBytes(n));
-  wire::Append(blob, step_seed);
-  wire::Append(blob, static_cast<uint64_t>(k));
-  wire::Append(blob, static_cast<uint64_t>(n));
-  if (n == 0) return blob;
+  wire::Write(out, 0, step_seed);
+  wire::Write(out, sizeof(uint64_t), static_cast<uint64_t>(k));
+  wire::Write(out, 2 * sizeof(uint64_t), static_cast<uint64_t>(n));
+  if (n == 0) return;
 
   const auto idx = SampleIndices(step_seed, k, n);
-  for (uint32_t i : idx) wire::Append(blob, grad[i]);
-  return blob;
+  size_t off = kHeaderBytes;
+  for (uint32_t i : idx) {
+    wire::Write(out, off, grad[i]);
+    off += sizeof(float);
+  }
 }
 
 std::vector<uint32_t> RandomkCompressor::IndicesOf(

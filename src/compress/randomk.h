@@ -18,10 +18,10 @@ class RandomkCompressor final : public Compressor {
   [[nodiscard]] std::string name() const override { return "randomk"; }
 
   // Advances the internal step counter; workers that construct the
-  // compressor with the same seed and call Encode in lockstep select
-  // identical coordinates.
-  [[nodiscard]] std::vector<std::byte> Encode(
-      std::span<const float> grad) override;
+  // compressor with the same seed and encode in lockstep select identical
+  // coordinates.
+  void EncodeInto(std::span<const float> grad,
+                  std::span<std::byte> out) override;
 
   void Decode(std::span<const std::byte> blob,
               std::span<float> out) const override;

@@ -1,5 +1,6 @@
 #include "compress/sign.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace acps::compress {
@@ -8,25 +9,24 @@ namespace {
 constexpr size_t kHeaderBytes = sizeof(float) + sizeof(uint64_t);
 }
 
-std::vector<std::byte> SignCompressor::Encode(std::span<const float> grad) {
+void SignCompressor::EncodeInto(std::span<const float> grad,
+                                std::span<std::byte> out) {
   const size_t n = grad.size();
-  std::vector<std::byte> blob;
-  blob.reserve(EncodedBytes(n));
+  ACPS_CHECK_MSG(out.size() == EncodedBytes(n), "Sign encode size mismatch");
 
   double abs_sum = 0.0;
   for (float v : grad) abs_sum += std::abs(v);
   const float scale = n > 0 ? static_cast<float>(abs_sum / double(n)) : 0.0f;
 
-  wire::Append(blob, scale);
-  wire::Append(blob, static_cast<uint64_t>(n));
+  wire::Write(out, 0, scale);
+  wire::Write(out, sizeof(float), static_cast<uint64_t>(n));
 
-  blob.resize(kHeaderBytes + (n + 7) / 8, std::byte{0});
-  std::byte* bits = blob.data() + kHeaderBytes;
+  std::byte* bits = out.data() + kHeaderBytes;
+  std::fill(bits, bits + (n + 7) / 8, std::byte{0});
   for (size_t i = 0; i < n; ++i) {
     if (grad[i] < 0.0f)  // sign(0) = +1 convention
       bits[i / 8] |= static_cast<std::byte>(1u << (i % 8));
   }
-  return blob;
 }
 
 void SignCompressor::Decode(std::span<const std::byte> blob,

@@ -18,8 +18,8 @@ class SignCompressor final : public Compressor {
  public:
   [[nodiscard]] std::string name() const override { return "signsgd"; }
 
-  [[nodiscard]] std::vector<std::byte> Encode(
-      std::span<const float> grad) override;
+  void EncodeInto(std::span<const float> grad,
+                  std::span<std::byte> out) override;
 
   void Decode(std::span<const std::byte> blob,
               std::span<float> out) const override;

@@ -1,5 +1,6 @@
 #include "compress/terngrad.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace acps::compress {
@@ -12,19 +13,19 @@ constexpr uint8_t kZero = 0, kPos = 1, kNeg = 2;
 
 TernGradCompressor::TernGradCompressor(uint64_t seed) : rng_(seed) {}
 
-std::vector<std::byte> TernGradCompressor::Encode(
-    std::span<const float> grad) {
+void TernGradCompressor::EncodeInto(std::span<const float> grad,
+                                    std::span<std::byte> out) {
   const size_t n = grad.size();
+  ACPS_CHECK_MSG(out.size() == EncodedBytes(n),
+                 "TernGrad encode size mismatch");
   float smax = 0.0f;
   for (float v : grad) smax = std::max(smax, std::abs(v));
 
-  std::vector<std::byte> blob;
-  blob.reserve(EncodedBytes(n));
-  wire::Append(blob, smax);
-  wire::Append(blob, static_cast<uint64_t>(n));
-  blob.resize(kHeaderBytes + (n + 3) / 4, std::byte{0});
+  wire::Write(out, 0, smax);
+  wire::Write(out, sizeof(float), static_cast<uint64_t>(n));
 
-  std::byte* codes = blob.data() + kHeaderBytes;
+  std::byte* codes = out.data() + kHeaderBytes;
+  std::fill(codes, codes + (n + 3) / 4, std::byte{0});
   for (size_t i = 0; i < n; ++i) {
     uint8_t code = kZero;
     if (smax > 0.0f) {
@@ -35,7 +36,6 @@ std::vector<std::byte> TernGradCompressor::Encode(
     }
     codes[i / 4] |= static_cast<std::byte>(code << (2 * (i % 4)));
   }
-  return blob;
 }
 
 void TernGradCompressor::Decode(std::span<const std::byte> blob,

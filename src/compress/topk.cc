@@ -108,24 +108,25 @@ std::vector<uint32_t> TopkCompressor::SelectSampled(
   return idx;
 }
 
-std::vector<std::byte> TopkCompressor::Encode(std::span<const float> grad) {
+void TopkCompressor::EncodeInto(std::span<const float> grad,
+                                std::span<std::byte> out) {
   const size_t n = grad.size();
   const size_t k = KeptCount(n);
-  std::vector<std::byte> blob;
-  blob.reserve(EncodedBytes(n));
-  wire::Append(blob, static_cast<uint64_t>(k));
-  wire::Append(blob, static_cast<uint64_t>(n));
-  if (n == 0) return blob;
+  ACPS_CHECK_MSG(out.size() == EncodedBytes(n), "Topk encode size mismatch");
+  wire::Write(out, 0, static_cast<uint64_t>(k));
+  wire::Write(out, sizeof(uint64_t), static_cast<uint64_t>(n));
+  if (n == 0) return;
 
   const std::vector<uint32_t> idx = selection_ == TopkSelection::kExact
                                         ? SelectExact(grad, k)
                                         : SelectSampled(grad, k);
   ACPS_CHECK(idx.size() == k);
+  size_t off = kHeaderBytes;
   for (uint32_t i : idx) {
-    wire::Append(blob, i);
-    wire::Append(blob, grad[i]);
+    wire::Write(out, off, i);
+    wire::Write(out, off + sizeof(uint32_t), grad[i]);
+    off += kRecordBytes;
   }
-  return blob;
 }
 
 void TopkCompressor::Decode(std::span<const std::byte> blob,

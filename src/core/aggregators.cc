@@ -87,9 +87,12 @@ void SignAggregator::Aggregate(const std::vector<dnn::Param*>& params,
   Tensor flat = PackGrads(rev);
   if (error_feedback_) ef_.AddInto(/*tensor_id=*/0, flat);
 
-  const auto blob = compressor_.Encode(flat.data());
-  std::vector<std::byte> gathered(blob.size() *
-                                  static_cast<size_t>(comm.world_size()));
+  encode_scratch_.resize(
+      compressor_.EncodedBytes(static_cast<size_t>(flat.numel())));
+  const std::span<std::byte> blob(encode_scratch_);
+  compressor_.EncodeInto(flat.data(), blob);
+  gather_scratch_.resize(blob.size() * static_cast<size_t>(comm.world_size()));
+  const std::span<std::byte> gathered(gather_scratch_);
   comm.all_gather_bytes(blob, gathered);
 
   // Majority vote over the per-worker blobs.
@@ -123,9 +126,12 @@ void TopkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
   Tensor flat = PackGrads(rev);
   if (error_feedback_) ef_.AddInto(0, flat);
 
-  const auto blob = compressor_.Encode(flat.data());
-  std::vector<std::byte> gathered(blob.size() *
-                                  static_cast<size_t>(comm.world_size()));
+  encode_scratch_.resize(
+      compressor_.EncodedBytes(static_cast<size_t>(flat.numel())));
+  const std::span<std::byte> blob(encode_scratch_);
+  compressor_.EncodeInto(flat.data(), blob);
+  gather_scratch_.resize(blob.size() * static_cast<size_t>(comm.world_size()));
+  const std::span<std::byte> gathered(gather_scratch_);
   comm.all_gather_bytes(blob, gathered);
 
   if (error_feedback_) {
@@ -156,7 +162,10 @@ void RandomkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
   // All workers share the compressor seed and step counter, so this blob's
   // coordinate set is identical everywhere: the VALUE payload is additive
   // and rides a plain ring all-reduce — no all-gather needed.
-  auto blob = compressor_.Encode(flat.data());
+  encode_scratch_.resize(
+      compressor_.EncodedBytes(static_cast<size_t>(flat.numel())));
+  const std::span<std::byte> blob(encode_scratch_);
+  compressor_.EncodeInto(flat.data(), blob);
   const auto indices = compress::RandomkCompressor::IndicesOf(blob);
   constexpr size_t kHeader = 3 * sizeof(uint64_t);  // seed, k, numel
   auto values = std::span<float>(

@@ -11,9 +11,11 @@
 // mirroring the gradient-ready order of back-propagation.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "comm/communicator.h"
 #include "compress/acpsgd.h"
@@ -67,6 +69,10 @@ class SignAggregator final : public GradientAggregator {
   bool error_feedback_;
   compress::SignCompressor compressor_;
   compress::ErrorFeedback ef_;
+  // Encode/gather scratch reused across steps (EncodeInto writes in place,
+  // so steady-state Aggregate() does no blob allocation).
+  std::vector<std::byte> encode_scratch_;
+  std::vector<std::byte> gather_scratch_;
 };
 
 // --- Top-k SGD over all-gather + scatter-add. ------------------------------
@@ -84,6 +90,8 @@ class TopkAggregator final : public GradientAggregator {
   bool error_feedback_;
   compress::TopkCompressor compressor_;
   compress::ErrorFeedback ef_;
+  std::vector<std::byte> encode_scratch_;  // reused across steps
+  std::vector<std::byte> gather_scratch_;
 };
 
 // --- Random-k: the additive sparsifier. ------------------------------------
@@ -105,6 +113,7 @@ class RandomkAggregator final : public GradientAggregator {
   bool error_feedback_;
   compress::RandomkCompressor compressor_;
   compress::ErrorFeedback ef_;
+  std::vector<std::byte> encode_scratch_;  // reused across steps
 };
 
 // --- Power-SGD (Algorithm 1): blocking two-phase low-rank aggregation. -----

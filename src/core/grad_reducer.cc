@@ -6,12 +6,16 @@ namespace acps::core {
 
 GradReducer::GradReducer(std::vector<dnn::Param*> params,
                          compress::AcpSgdConfig config,
-                         comm::Communicator* comm, int64_t buffer_bytes)
+                         comm::Communicator* comm, int64_t buffer_bytes,
+                         obs::MetricsRegistry* metrics)
     : params_(std::move(params)),
-      acp_(config),
+      acp_(config),  // AcpSgd's ctor runs AcpSgdConfig::Validate
       comm_(comm),
-      buffer_bytes_(buffer_bytes) {
+      buffer_bytes_(buffer_bytes),
+      metrics_(metrics) {
   ACPS_CHECK_MSG(comm_ != nullptr, "communicator must not be null");
+  ACPS_CHECK_MSG(buffer_bytes_ > 0,
+                 "buffer_bytes must be > 0, got " << buffer_bytes_);
   lowrank_index_.assign(params_.size(), -1);
   dense_index_.assign(params_.size(), -1);
 
@@ -96,12 +100,22 @@ void GradReducer::OnGradReady(size_t param_index) {
   ready_[param_index] = true;
   --remaining_;
 
+  obs::ScopedSpan ready_span(comm_->tracer(), "grad_ready", obs::kCatGrad,
+                             comm_->rank(), /*bytes=*/0,
+                             static_cast<int64_t>(param_index));
+
   const int parity = static_cast<int>((steps_ + 1) % 2);
   if (const int li = lowrank_index_[param_index]; li >= 0) {
     // Compress now (local, non-blocking); communicate when the bucket
     // completes.
-    factors_[static_cast<size_t>(li)] = acp_.LocalStep(
-        static_cast<int64_t>(param_index), params_[param_index]->grad);
+    {
+      obs::ScopedSpan compress_span(
+          comm_->tracer(), "compress", obs::kCatCompress, comm_->rank(),
+          params_[param_index]->grad.numel() * sizeof(float),
+          static_cast<int64_t>(param_index));
+      factors_[static_cast<size_t>(li)] = acp_.LocalStep(
+          static_cast<int64_t>(param_index), params_[param_index]->grad);
+    }
     const int bucket = lowrank_bucket_of_[parity][static_cast<size_t>(li)];
     BucketPlan& plan =
         factor_plans_[static_cast<size_t>(parity)][static_cast<size_t>(bucket)];
@@ -127,14 +141,31 @@ void GradReducer::IssueLowRankBucket(int bucket) {
     buf.Pack(static_cast<int>(s),
              *factors_[static_cast<size_t>(plan.members[s])]);
   auto flat = buf.flat();
-  comm_->all_reduce(flat);
+  const uint64_t bucket_bytes = flat.size() * sizeof(float);
+  {
+    obs::ScopedSpan issue_span(comm_->tracer(), "bucket_issue",
+                               obs::kCatBucket, comm_->rank(), bucket_bytes,
+                               bucket);
+    comm_->all_reduce(flat);
+  }
   for (float& v : flat) v *= inv;
-  for (size_t s = 0; s < plan.members.size(); ++s) {
-    const int m = plan.members[s];
-    buf.Unpack(static_cast<int>(s), *factors_[static_cast<size_t>(m)]);
-    const size_t param_index = lowrank_of_[static_cast<size_t>(m)];
-    acp_.Finish(static_cast<int64_t>(param_index),
-                params_[param_index]->grad);
+  {
+    obs::ScopedSpan decompress_span(comm_->tracer(), "decompress",
+                                    obs::kCatCompress, comm_->rank(),
+                                    bucket_bytes, bucket);
+    for (size_t s = 0; s < plan.members.size(); ++s) {
+      const int m = plan.members[s];
+      buf.Unpack(static_cast<int>(s), *factors_[static_cast<size_t>(m)]);
+      const size_t param_index = lowrank_of_[static_cast<size_t>(m)];
+      acp_.Finish(static_cast<int64_t>(param_index),
+                  params_[param_index]->grad);
+    }
+  }
+  if (metrics_) {
+    metrics_->counter("reducer.buckets_issued").Add();
+    metrics_->counter("reducer.params_reduced").Add(plan.members.size());
+    metrics_->histogram("reducer.bucket_bytes")
+        .Observe(static_cast<double>(bucket_bytes));
   }
 }
 
@@ -152,12 +183,24 @@ void GradReducer::IssueDenseBucket(int bucket) {
     buf.Pack(static_cast<int>(s), params_[param_index]->grad.data());
   }
   auto flat = buf.flat();
-  comm_->all_reduce(flat);
+  const uint64_t bucket_bytes = flat.size() * sizeof(float);
+  {
+    obs::ScopedSpan issue_span(comm_->tracer(), "bucket_issue",
+                               obs::kCatBucket, comm_->rank(), bucket_bytes,
+                               bucket);
+    comm_->all_reduce(flat);
+  }
   for (float& v : flat) v *= inv;
   for (size_t s = 0; s < plan.members.size(); ++s) {
     const size_t param_index =
         dense_of_[static_cast<size_t>(plan.members[s])];
     buf.Unpack(static_cast<int>(s), params_[param_index]->grad.data());
+  }
+  if (metrics_) {
+    metrics_->counter("reducer.buckets_issued").Add();
+    metrics_->counter("reducer.params_reduced").Add(plan.members.size());
+    metrics_->histogram("reducer.bucket_bytes")
+        .Observe(static_cast<double>(bucket_bytes));
   }
 }
 

@@ -25,6 +25,7 @@
 #include "fusion/bucket_assigner.h"
 #include "fusion/fusion_buffer.h"
 #include "dnn/layer.h"
+#include "obs/metrics_registry.h"
 
 namespace acps::core {
 
@@ -33,9 +34,15 @@ class GradReducer {
   // `params` in forward order (hooks fire in reverse during backward, but
   // any order is accepted). The communicator must outlive the reducer and
   // all workers must construct reducers with identical params/config.
+  // `config` is validated here (AcpSgdConfig::Validate) and `buffer_bytes`
+  // must be positive. If the communicator's ThreadGroup carries an enabled
+  // obs::Tracer, every hook/compress/bucket/decompress emits a span; if
+  // `metrics` is non-null (not owned), bucket counters/histograms are
+  // recorded there.
   GradReducer(std::vector<dnn::Param*> params, compress::AcpSgdConfig config,
               comm::Communicator* comm,
-              int64_t buffer_bytes = fusion::kDefaultBufferBytes);
+              int64_t buffer_bytes = fusion::kDefaultBufferBytes,
+              obs::MetricsRegistry* metrics = nullptr);
 
   // Starts a new step; all tensors become "not ready".
   void BeginStep();
@@ -65,6 +72,7 @@ class GradReducer {
   compress::AcpSgd acp_;
   comm::Communicator* comm_;
   int64_t buffer_bytes_;
+  obs::MetricsRegistry* metrics_;  // optional, not owned
 
   // Classification (fixed): per param, its index within its class or -1.
   std::vector<int> lowrank_index_;  // params_ index -> lowrank ordinal

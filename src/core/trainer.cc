@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <numeric>
 
@@ -10,14 +11,44 @@
 
 namespace acps::core {
 
+std::string TrainConfig::Validate(int world_size) const {
+  std::string err;
+  const auto add = [&err](const std::string& msg) {
+    if (!err.empty()) err += "; ";
+    err += msg;
+  };
+  if (world_size < 1)
+    add("world_size must be >= 1, got " + std::to_string(world_size));
+  if (model != "vgg-mini" && model != "res-mini")
+    add("unknown model '" + model + "' (expected vgg-mini or res-mini)");
+  if (train_samples <= 0)
+    add("train_samples must be > 0, got " + std::to_string(train_samples));
+  if (test_samples <= 0)
+    add("test_samples must be > 0, got " + std::to_string(test_samples));
+  if (epochs <= 0) add("epochs must be > 0, got " + std::to_string(epochs));
+  if (batch_per_worker <= 0)
+    add("batch_per_worker must be > 0, got " +
+        std::to_string(batch_per_worker));
+  if (world_size >= 1 && train_samples > 0 && batch_per_worker > 0 &&
+      train_samples % (static_cast<int64_t>(world_size) * batch_per_worker) !=
+          0) {
+    add("train_samples (" + std::to_string(train_samples) +
+        ") must divide evenly into world_size*batch_per_worker (" +
+        std::to_string(world_size) + "*" + std::to_string(batch_per_worker) +
+        ")");
+  }
+  if (lr.base_lr <= 0.0f) add("lr.base_lr must be > 0");
+  if (momentum < 0.0f || momentum >= 1.0f)
+    add("momentum must be in [0, 1), got " + std::to_string(momentum));
+  if (weight_decay < 0.0f) add("weight_decay must be >= 0");
+  return err;
+}
+
 TrainResult TrainDistributed(comm::ThreadGroup& group,
                              const TrainConfig& config,
                              const AggregatorFactory& factory) {
-  ACPS_CHECK_MSG(config.train_samples %
-                         (static_cast<int64_t>(group.world_size()) *
-                          config.batch_per_worker) ==
-                     0,
-                 "train_samples must divide evenly into world*batch");
+  const std::string err = config.Validate(group.world_size());
+  ACPS_CHECK_MSG(err.empty(), "invalid TrainConfig: " << err);
 
   TrainResult result;
   std::mutex result_mu;
@@ -25,6 +56,8 @@ TrainResult TrainDistributed(comm::ThreadGroup& group,
   group.Run([&](comm::Communicator& comm) {
     const int rank = comm.rank();
     const int world = comm.world_size();
+    obs::Tracer* tracer = comm.tracer();
+    obs::MetricsRegistry* metrics = config.metrics;
 
     // Identical replicas + deterministic data on every worker.
     dnn::MiniModelSpec mspec;
@@ -54,6 +87,9 @@ TrainResult TrainDistributed(comm::ThreadGroup& group,
     Tensor one_x({1, train.features});
 
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      obs::ScopedSpan epoch_span(tracer, "epoch", obs::kCatStep, rank,
+                                 /*bytes=*/0, /*arg=*/epoch);
+      const auto epoch_t0 = std::chrono::steady_clock::now();
       // Epoch-local shuffle of this worker's shard (deterministic).
       Rng shuffle = Rng(config.shuffle_seed)
                         .split(static_cast<uint64_t>(epoch) * 131 +
@@ -65,6 +101,9 @@ TrainResult TrainDistributed(comm::ThreadGroup& group,
 
       double loss_acc = 0.0;
       for (int64_t it = 0; it < iters_per_epoch; ++it) {
+        obs::ScopedSpan step_span(tracer, "step", obs::kCatStep, rank,
+                                  /*bytes=*/0, /*arg=*/it);
+        const auto step_t0 = std::chrono::steady_clock::now();
         // Assemble the batch from the shuffled shard.
         batch_x = Tensor({config.batch_per_worker, train.features});
         batch_y.assign(static_cast<size_t>(config.batch_per_worker), 0);
@@ -90,6 +129,14 @@ TrainResult TrainDistributed(comm::ThreadGroup& group,
         const double frac_epoch =
             epoch + static_cast<double>(it) / std::max<int64_t>(1, iters_per_epoch);
         opt.Step(frac_epoch);
+
+        if (metrics && rank == 0) {
+          metrics->counter("train.steps").Add();
+          metrics->histogram("train.step_us")
+              .Observe(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - step_t0)
+                           .count());
+        }
       }
 
       // Rank 0 evaluates; everyone synchronizes so replicas stay aligned.
@@ -106,6 +153,12 @@ TrainResult TrainDistributed(comm::ThreadGroup& group,
         result.history.push_back(stat);
       }
       comm.barrier();
+      if (metrics && rank == 0) {
+        metrics->histogram("train.epoch_us")
+            .Observe(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - epoch_t0)
+                         .count());
+      }
     }
   });
 

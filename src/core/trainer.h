@@ -14,6 +14,7 @@
 #include "core/aggregators.h"
 #include "dnn/dataset.h"
 #include "dnn/optimizer.h"
+#include "obs/metrics_registry.h"
 
 namespace acps::core {
 
@@ -33,6 +34,15 @@ struct TrainConfig {
   // If non-empty, the per-epoch history (epoch, train_loss, test_acc) is
   // written there as CSV when training finishes.
   std::string history_csv_path;
+  // Optional metrics sink (not owned; may be null). When set and enabled,
+  // the trainer records step_us / epoch_us histograms and a steps counter.
+  // Span tracing is configured separately, on the ThreadGroup's Tracer.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  // Returns "" when the config is trainable on `world_size` workers,
+  // otherwise one descriptive message naming every violated constraint.
+  // Called at TrainDistributed entry.
+  [[nodiscard]] std::string Validate(int world_size) const;
 };
 
 struct EpochStat {

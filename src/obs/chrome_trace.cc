@@ -1,0 +1,102 @@
+#include "obs/chrome_trace.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace acps::obs {
+namespace {
+
+// Minimal JSON string escaping (names are library-generated but be safe).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(std::span<const ChromeEvent> events,
+                              std::span<const RowLabel> rows) {
+  std::ostringstream oss;
+  oss << "[";
+  bool first = true;
+  for (const auto& r : rows) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << r.pid
+        << ", \"tid\": " << r.tid << ", \"args\": {\"name\": \""
+        << Escape(r.label) << "\"}}";
+  }
+  for (const auto& e : events) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\n  {\"name\": \"" << Escape(e.name) << "\", \"cat\": \""
+        << Escape(e.category) << "\", \"ph\": \"X\", \"pid\": " << e.pid
+        << ", \"tid\": " << e.tid << ", \"ts\": " << e.ts_us
+        << ", \"dur\": " << e.dur_us;
+    if (!e.args.empty()) {
+      oss << ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) oss << ", ";
+        first_arg = false;
+        oss << "\"" << Escape(key) << "\": " << value;
+      }
+      oss << "}";
+    }
+    oss << "}";
+  }
+  oss << "\n]\n";
+  return oss.str();
+}
+
+std::vector<ChromeEvent> SpansToChromeEvents(std::span<const SpanEvent> spans,
+                                             std::vector<RowLabel>* rows) {
+  std::vector<ChromeEvent> events;
+  events.reserve(spans.size());
+  std::set<int> workers;
+  for (const auto& s : spans) {
+    workers.insert(s.worker);
+    ChromeEvent e;
+    e.name = s.name;
+    e.category = s.category;
+    e.pid = 1;
+    e.tid = s.worker;
+    e.ts_us = static_cast<double>(s.begin_us);
+    e.dur_us = static_cast<double>(s.end_us - s.begin_us);
+    if (s.bytes > 0)
+      e.args.emplace_back("bytes", std::to_string(s.bytes));
+    if (s.arg >= 0) e.args.emplace_back("arg", std::to_string(s.arg));
+    events.push_back(std::move(e));
+  }
+  if (rows != nullptr) {
+    for (int w : workers)
+      rows->push_back(RowLabel{1, w, "worker " + std::to_string(w)});
+  }
+  return events;
+}
+
+std::string Tracer::ToChromeTracingJson() const {
+  const auto spans = Snapshot();
+  std::vector<RowLabel> rows;
+  const auto events = SpansToChromeEvents(spans, &rows);
+  return ToChromeTraceJson(events, rows);
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToChromeTracingJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace acps::obs

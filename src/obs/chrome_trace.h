@@ -1,0 +1,47 @@
+// Generalized Chrome Trace Event writer (chrome://tracing, Perfetto).
+//
+// One serializer serves every trace source in the library: the analytical
+// simulator (sim::TraceEvent, converted in sim/trace_export.cc) and real
+// obs::Tracer runs (one row per worker). Events are "X" complete events;
+// optional metadata events name the rows.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace acps::obs {
+
+// One Chrome-trace "complete" event. `args` are pre-rendered JSON values
+// keyed by name (numbers or quoted strings), kept generic so callers can
+// attach whatever detail they have (bytes, indices, labels).
+struct ChromeEvent {
+  std::string name;
+  std::string category;
+  int pid = 1;
+  int tid = 1;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Human label for a (pid, tid) row, emitted as a thread_name metadata event.
+struct RowLabel {
+  int pid = 1;
+  int tid = 1;
+  std::string label;
+};
+
+// Serializes events (plus row labels) as a Chrome Trace Event JSON array.
+[[nodiscard]] std::string ToChromeTraceJson(std::span<const ChromeEvent> events,
+                                            std::span<const RowLabel> rows = {});
+
+// Converts recorded spans to Chrome events: pid 1, tid = worker rank, with
+// "bytes" / "arg" attached as args when present. Row labels "worker N" are
+// appended to `rows` for every rank seen.
+[[nodiscard]] std::vector<ChromeEvent> SpansToChromeEvents(
+    std::span<const SpanEvent> spans, std::vector<RowLabel>* rows = nullptr);
+
+}  // namespace acps::obs

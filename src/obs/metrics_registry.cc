@@ -1,0 +1,47 @@
+#include "obs/metrics_registry.h"
+
+#include <sstream>
+
+namespace acps::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(&enabled_);
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>(&enabled_);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(&enabled_);
+  return *slot;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream oss;
+  for (const auto& [name, c] : counters_)
+    oss << "counter   " << name << " = " << c->value() << "\n";
+  for (const auto& [name, g] : gauges_)
+    oss << "gauge     " << name << " = " << g->value() << "\n";
+  for (const auto& [name, h] : histograms_) {
+    oss << "histogram " << name << " count=" << h->count();
+    if (h->count() > 0) {
+      const auto cdf = h->ToCdf();
+      oss << " p50=" << cdf.Quantile(0.5) << " p90=" << cdf.Quantile(0.9)
+          << " p99=" << cdf.Quantile(0.99);
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace acps::obs

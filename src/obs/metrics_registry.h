@@ -1,0 +1,115 @@
+// Named runtime metrics for real runs: monotonic counters, last-value
+// gauges, and sample histograms with CDF/quantile export (metrics/cdf.h).
+//
+// A registry hands out stable instrument references; instruments are safe
+// to update from any worker thread. Like the tracer, the whole registry is
+// gated on one relaxed atomic so disabled metrics cost a single load on the
+// hot path and record nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/cdf.h"
+
+namespace acps::obs {
+
+class Counter {
+ public:
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void Add(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void Set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void Observe(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    std::lock_guard lock(mu_);
+    samples_.push_back(v);
+  }
+  [[nodiscard]] size_t count() const {
+    std::lock_guard lock(mu_);
+    return samples_.size();
+  }
+  // Empirical CDF over the samples observed so far.
+  [[nodiscard]] metrics::Cdf ToCdf() const {
+    std::lock_guard lock(mu_);
+    metrics::Cdf cdf;
+    cdf.AddAll(samples_);
+    return cdf;
+  }
+  // q-quantile of the samples (throws for an empty histogram).
+  [[nodiscard]] double Quantile(double q) const { return ToCdf().Quantile(q); }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Instrument lookup creates on first use; the returned reference stays
+  // valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Plain-text dump, one line per instrument in name order; histograms show
+  // count and p50/p90/p99 from the CDF export.
+  [[nodiscard]] std::string DumpText() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace acps::obs

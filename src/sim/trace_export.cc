@@ -1,44 +1,28 @@
 #include "sim/trace_export.h"
 
-#include <sstream>
+#include "obs/chrome_trace.h"
 
 namespace acps::sim {
-namespace {
-
-// Minimal JSON string escaping (names are library-generated but be safe).
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string ToChromeTracingJson(const std::vector<TraceEvent>& trace) {
-  std::ostringstream oss;
-  oss << "[";
-  bool first = true;
+  // Simulated schedules keep the historical row layout: pid 1, one tid per
+  // resource (compute=1, comm=2, others=3).
+  std::vector<obs::ChromeEvent> events;
+  events.reserve(trace.size());
+  bool has_other = false;
   for (const auto& e : trace) {
-    if (!first) oss << ",";
-    first = false;
-    const double us = e.start_s * 1e6;
-    const double dur = (e.end_s - e.start_s) * 1e6;
-    // pid 1; one tid per resource (compute=1, comm=2, others=3).
-    const int tid = e.resource == "compute" ? 1 : (e.resource == "comm" ? 2 : 3);
-    oss << "\n  {\"name\": \"" << Escape(e.name) << "\", \"cat\": \""
-        << Escape(e.resource) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
-        << tid << ", \"ts\": " << us << ", \"dur\": " << dur << "}";
+    obs::ChromeEvent ev;
+    ev.name = e.name;
+    ev.category = e.resource;
+    ev.tid = e.resource == "compute" ? 1 : (e.resource == "comm" ? 2 : 3);
+    has_other |= ev.tid == 3;
+    ev.ts_us = e.start_s * 1e6;
+    ev.dur_us = (e.end_s - e.start_s) * 1e6;
+    events.push_back(std::move(ev));
   }
-  oss << "\n]\n";
-  return oss.str();
+  std::vector<obs::RowLabel> rows = {{1, 1, "compute"}, {1, 2, "comm"}};
+  if (has_other) rows.push_back({1, 3, "other"});
+  return obs::ToChromeTraceJson(events, rows);
 }
 
 }  // namespace acps::sim

@@ -77,7 +77,7 @@ TEST_P(AllReduceTest, NaiveMatchesRing) {
     auto ring = PatternFor(comm.rank(), n);
     auto naive = PatternFor(comm.rank(), n);
     comm.all_reduce(ring);
-    comm.all_reduce_naive(naive);
+    comm.all_reduce(naive, ReduceOp::kSum, AllReduceAlgo::kNaive);
     for (size_t i = 0; i < n; ++i) {
       if (std::abs(ring[i] - naive[i]) > 1e-2f) {
         ++failures;
@@ -254,7 +254,7 @@ TEST(TrafficStats, NaiveAllReduceIsLinearInP) {
   ThreadGroup group(p);
   group.Run([&](Communicator& comm) {
     auto data = PatternFor(comm.rank(), n);
-    comm.all_reduce_naive(data);
+    comm.all_reduce(data, ReduceOp::kSum, AllReduceAlgo::kNaive);
   });
   // Total traffic: p workers send N floats + root broadcasts N.
   const TrafficStats total = group.total_stats();

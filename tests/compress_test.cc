@@ -6,6 +6,7 @@
 
 #include "compress/error_feedback.h"
 #include "compress/fp16.h"
+#include "compress/registry.h"
 #include "compress/qsgd.h"
 #include "compress/randomk.h"
 #include "compress/sign.h"
@@ -382,6 +383,42 @@ TEST(ErrorFeedback, ShapeChangeThrows) {
   ErrorFeedback ef;
   (void)ef.residual(0, {2, 2});
   EXPECT_THROW((void)ef.residual(0, {4}), Error);
+}
+
+// ---------------------------------------------------- EncodeInto parity ----
+
+// The zero-copy EncodeInto path must be byte-identical to the allocating
+// Encode() wrapper for every registered compressor. Stochastic compressors
+// (randomk, qsgd, terngrad) advance internal state per encode, so the two
+// paths run on two identically constructed instances.
+TEST(EncodeInto, ByteIdenticalToEncodeForAllCompressors) {
+  const auto grads = {RandomGrad(1, 11), RandomGrad(257, 12),
+                      RandomGrad(4096, 13)};
+  for (const std::string& spec : KnownCompressors()) {
+    for (const auto& g : grads) {
+      auto a = MakeCompressor(spec);
+      auto b = MakeCompressor(spec);
+      const std::vector<std::byte> via_encode = a->Encode(g);
+      std::vector<std::byte> via_into(b->EncodedBytes(g.size()));
+      b->EncodeInto(g, via_into);
+      ASSERT_EQ(via_encode.size(), via_into.size()) << spec;
+      EXPECT_TRUE(via_encode == via_into) << spec << " n=" << g.size();
+      // Both blobs decode to the same vector.
+      std::vector<float> da(g.size()), db(g.size());
+      a->Decode(via_encode, da);
+      b->Decode(via_into, db);
+      EXPECT_TRUE(da == db) << spec;
+    }
+  }
+}
+
+TEST(EncodeInto, RejectsWronglySizedOutput) {
+  SignCompressor c;
+  const auto g = RandomGrad(64, 3);
+  std::vector<std::byte> small(c.EncodedBytes(g.size()) - 1);
+  EXPECT_THROW(c.EncodeInto(g, small), Error);
+  std::vector<std::byte> big(c.EncodedBytes(g.size()) + 1);
+  EXPECT_THROW(c.EncodeInto(g, big), Error);
 }
 
 // Compression ratios summary (Table I row: Sign 32x, Top-k 1000x).

@@ -126,10 +126,11 @@ TEST(TraceExport, ProducesChromeTracingJson) {
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\": \"comm\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\": \"compute\""), std::string::npos);
-  // Event count matches.
+  // Event count matches ("X" complete events; row-label metadata events
+  // from the shared obs writer are "M" and don't count).
   size_t count = 0;
-  for (size_t pos = 0; (pos = json.find("\"name\"", pos)) != std::string::npos;
-       ++pos)
+  for (size_t pos = 0;
+       (pos = json.find("\"ph\": \"X\"", pos)) != std::string::npos; ++pos)
     ++count;
   EXPECT_EQ(count, trace.size());
 }
