@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Correctness CI (DESIGN.md "Correctness tooling"): repo lint plus the
+# three-preset sanitizer build matrix.
+#
+#   ./ci.sh                 # lint + release + tsan + asan-ubsan
+#   ./ci.sh lint tsan       # any subset of: lint release tsan asan-ubsan
+#
+# Presets come from CMakePresets.json; the sanitizer test presets exclude
+# the `sanitizer-slow` ctest label (long convergence runs) and load
+# tsan.supp, so a full matrix pass means the real multi-worker collectives,
+# the GradReducer WFBP pipeline, and the obs tracer are race- and UB-clean.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+LEGS=("$@")
+if [ ${#LEGS[@]} -eq 0 ]; then
+  LEGS=(lint release tsan asan-ubsan)
+fi
+
+run_preset() {
+  local preset="$1"
+  echo
+  echo "==================== preset: $preset ===================="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  ctest --preset "$preset" -j "$JOBS"
+}
+
+for leg in "${LEGS[@]}"; do
+  case "$leg" in
+    lint)
+      echo "==================== lint ===================="
+      tools/lint.sh
+      ;;
+    release|tsan|asan-ubsan)
+      run_preset "$leg"
+      ;;
+    *)
+      echo "ci.sh: unknown leg '$leg' (expected: lint release tsan asan-ubsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "ci.sh: all legs passed (${LEGS[*]})"

@@ -3,21 +3,26 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
 namespace acps::comm {
 namespace detail {
 
 // Shared state of one worker group: a sense-reversing barrier, one mailbox
-// per worker (the shared-memory analogue of a point-to-point channel), and a
-// size-exchange board for variable-size collectives.
+// per worker (the shared-memory analogue of a point-to-point channel), a
+// size-exchange board for variable-size collectives, and the collective
+// usage-contract checker (contract.h).
 struct GroupState {
   explicit GroupState(int p, int64_t timeout_ms)
       : world_size(p), barrier_timeout_ms(timeout_ms),
-        mailbox(static_cast<size_t>(p)), sizes(static_cast<size_t>(p), 0) {}
+        mailbox(static_cast<size_t>(p)), sizes(static_cast<size_t>(p), 0) {
+    contract.Reset(p);
+  }
 
   int world_size;
   int64_t barrier_timeout_ms;
@@ -26,6 +31,14 @@ struct GroupState {
   int arrived = 0;
   bool sense = false;
   bool aborted = false;
+  // Why the group was aborted (watchdog report, contract diff); folded into
+  // the "group aborted" errors seen by the other workers so every thrown
+  // exception names the culprit, not just the first one.
+  std::string abort_reason;
+
+  // Fingerprint rendezvous on/off (watchdog status tracking is always on).
+  bool contract_enabled = false;
+  ContractChecker contract;
 
   std::vector<std::vector<std::byte>> mailbox;
   std::vector<size_t> sizes;
@@ -34,9 +47,16 @@ struct GroupState {
   std::mutex err_mu;
   std::exception_ptr first_error;
 
+  // Must be called with `mu` held.
+  [[nodiscard]] std::string AbortMessage() const {
+    std::string msg = "communicator group aborted";
+    if (!abort_reason.empty()) msg += ": " + abort_reason;
+    return msg;
+  }
+
   void Barrier() {
     std::unique_lock lock(mu);
-    if (aborted) throw Error("communicator group aborted");
+    if (aborted) throw Error(AbortMessage());
     if (++arrived == world_size) {
       arrived = 0;
       sense = !sense;
@@ -47,17 +67,25 @@ struct GroupState {
       if (barrier_timeout_ms > 0) {
         if (!cv.wait_for(lock, std::chrono::milliseconds(barrier_timeout_ms),
                          pred)) {
-          // Some worker never arrived: collective mismatch. Abort the
-          // whole group so every waiter unblocks with an error.
+          // Some worker never arrived: collective mismatch or a hung
+          // worker. Compose the watchdog report (who is blocked in which
+          // collective), abort the whole group so every waiter unblocks,
+          // and surface the report through every thrown error.
+          std::string report =
+              "collective watchdog: barrier timeout after " +
+              std::to_string(barrier_timeout_ms) +
+              " ms — a worker never reached the collective (mismatched "
+              "collective sequence or hung worker)\n" +
+              contract.BlockedReport();
           aborted = true;
+          abort_reason = report;
           cv.notify_all();
-          throw Error("barrier timeout: a worker never reached the "
-                      "collective (mismatched collective sequence?)");
+          throw Error(report);
         }
       } else {
         cv.wait(lock, pred);
       }
-      if (aborted) throw Error("communicator group aborted");
+      if (aborted) throw Error(AbortMessage());
     }
   }
 
@@ -65,6 +93,19 @@ struct GroupState {
     std::lock_guard lock(mu);
     aborted = true;
     cv.notify_all();
+  }
+
+  // Fingerprint rendezvous run at every collective entry in checked mode:
+  //   deposit -> barrier -> validate -> barrier.
+  // On divergence every rank computes the same per-rank diff and throws, so
+  // the group unwinds in lockstep instead of deadlocking in the collective
+  // body or silently mis-reducing.
+  void CheckedRendezvous(int rank, const CollectiveFingerprint& fp) {
+    if (!contract_enabled) return;
+    contract.Deposit(rank, fp);
+    Barrier();
+    if (auto diff = contract.Validate()) throw Error(*diff);
+    Barrier();
   }
 };
 
@@ -110,11 +151,6 @@ ChunkRange GetChunkRange(int64_t n, int p, int chunk) {
   return ChunkRange{begin, begin + size};
 }
 
-void Communicator::barrier() {
-  obs::ScopedSpan span(tracer_, "barrier", obs::kCatComm, rank_);
-  state_->Barrier();
-}
-
 // Publishes `payload` to this worker's mailbox and accounts the traffic.
 // Callers must barrier() before a peer reads and again before the next write.
 namespace {
@@ -125,7 +161,39 @@ void Send(detail::GroupState* st, int rank, TrafficStats& stats,
   stats.bytes_sent += payload.size();
   stats.messages_sent += 1;
 }
+
+// RAII wrapper around one collective call: registers the rank as "inside
+// `fp`" for the watchdog, runs the contract rendezvous (no-op unless the
+// group has contract checking enabled), and clears the watchdog status on
+// exit. If the rendezvous throws (contract violation / abort) the status
+// intentionally stays set — the group is dead and the stale entry only
+// feeds post-mortem reports; the next Run resets the checker.
+class ContractScope {
+ public:
+  ContractScope(detail::GroupState* st, int rank,
+                const CollectiveFingerprint& fp)
+      : st_(st), rank_(rank) {
+    st_->contract.Enter(rank_, fp);
+    st_->CheckedRendezvous(rank_, fp);
+  }
+
+  ContractScope(const ContractScope&) = delete;
+  ContractScope& operator=(const ContractScope&) = delete;
+
+  ~ContractScope() { st_->contract.Exit(rank_); }
+
+ private:
+  detail::GroupState* st_;
+  int rank_;
+};
 }  // namespace
+
+void Communicator::barrier() {
+  obs::ScopedSpan span(tracer_, "barrier", obs::kCatComm, rank_);
+  ContractScope contract(
+      state_, rank_, CollectiveFingerprint{.kind = CollectiveKind::kBarrier});
+  state_->Barrier();
+}
 
 void Communicator::all_reduce(std::span<float> data, ReduceOp op,
                               AllReduceAlgo algo) {
@@ -133,6 +201,12 @@ void Communicator::all_reduce(std::span<float> data, ReduceOp op,
                        algo == AllReduceAlgo::kRing ? "all_reduce"
                                                     : "all_reduce_naive",
                        obs::kCatComm, rank_, data.size() * sizeof(float));
+  ContractScope contract(
+      state_, rank_,
+      CollectiveFingerprint{.kind = CollectiveKind::kAllReduce,
+                            .bytes = data.size() * sizeof(float),
+                            .op = static_cast<int>(op),
+                            .algo = static_cast<int>(algo)});
   if (algo == AllReduceAlgo::kNaive) {
     AllReduceNaive(data, op);
     return;
@@ -210,6 +284,10 @@ void Communicator::all_gather(std::span<const float> send,
                               std::span<float> recv) {
   obs::ScopedSpan span(tracer_, "all_gather", obs::kCatComm, rank_,
                        send.size() * sizeof(float));
+  ContractScope contract(
+      state_, rank_,
+      CollectiveFingerprint{.kind = CollectiveKind::kAllGather,
+                            .bytes = send.size() * sizeof(float)});
   ACPS_CHECK_MSG(recv.size() == send.size() * static_cast<size_t>(world_size_),
                  "all_gather recv size must be p * send size");
   // Place own block, then run the byte-wise ring over the recv buffer.
@@ -225,6 +303,10 @@ void Communicator::all_gather_bytes(std::span<const std::byte> send,
                                     std::span<std::byte> recv) {
   obs::ScopedSpan span(tracer_, "all_gather_bytes", obs::kCatComm, rank_,
                        send.size());
+  ContractScope contract(
+      state_, rank_,
+      CollectiveFingerprint{.kind = CollectiveKind::kAllGatherBytes,
+                            .bytes = send.size()});
   ACPS_CHECK_MSG(recv.size() == send.size() * static_cast<size_t>(world_size_),
                  "all_gather_bytes recv size must be p * send size");
   std::copy(send.begin(), send.end(),
@@ -259,6 +341,11 @@ void Communicator::all_gather_v(std::span<const std::byte> send,
                                 std::vector<size_t>& offsets) {
   obs::ScopedSpan span(tracer_, "all_gather_v", obs::kCatComm, rank_,
                        send.size());
+  ContractScope contract(
+      state_, rank_,
+      CollectiveFingerprint{.kind = CollectiveKind::kAllGatherV,
+                            .bytes = send.size(),
+                            .variable_size = true});
   ++stats_.collectives;
   const int p = world_size_;
   // Exchange sizes through the board.
@@ -298,6 +385,11 @@ void Communicator::all_gather_v(std::span<const std::byte> send,
 void Communicator::reduce_scatter(std::span<float> data, ReduceOp op) {
   obs::ScopedSpan span(tracer_, "reduce_scatter", obs::kCatComm, rank_,
                        data.size() * sizeof(float));
+  ContractScope contract(
+      state_, rank_,
+      CollectiveFingerprint{.kind = CollectiveKind::kReduceScatter,
+                            .bytes = data.size() * sizeof(float),
+                            .op = static_cast<int>(op)});
   ++stats_.collectives;
   const int p = world_size_;
   if (p == 1 || data.empty()) return;
@@ -322,6 +414,11 @@ void Communicator::reduce_scatter(std::span<float> data, ReduceOp op) {
 void Communicator::broadcast(std::span<float> data, int root) {
   obs::ScopedSpan span(tracer_, "broadcast", obs::kCatComm, rank_,
                        data.size() * sizeof(float));
+  ContractScope contract(
+      state_, rank_,
+      CollectiveFingerprint{.kind = CollectiveKind::kBroadcast,
+                            .bytes = data.size() * sizeof(float),
+                            .root = root});
   ++stats_.collectives;
   const int p = world_size_;
   ACPS_CHECK_MSG(root >= 0 && root < p, "broadcast root out of range");
@@ -344,24 +441,64 @@ void Communicator::broadcast(std::span<float> data, int root) {
   state_->Barrier();
 }
 
+namespace {
+
+// ACPS_COLLECTIVE_TIMEOUT_MS resolution for the kCollectiveTimeoutFromEnv
+// default: unset/unparsable -> 60000, <= 0 -> watchdog disabled.
+int64_t ResolveBarrierTimeout(int64_t requested) {
+  if (requested != kCollectiveTimeoutFromEnv) return requested;
+  if (const char* env = std::getenv("ACPS_COLLECTIVE_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<int64_t>(v);
+  }
+  return 60000;
+}
+
+// Contract checking defaults on in sanitizer builds (the cmake presets
+// define ACPS_SANITIZE_BUILD) and off otherwise; ACPS_COLLECTIVE_CONTRACT
+// (0/1) overrides either way.
+bool ResolveContractDefault() {
+  if (const char* env = std::getenv("ACPS_COLLECTIVE_CONTRACT"))
+    return env[0] != '\0' && env[0] != '0';
+#ifdef ACPS_SANITIZE_BUILD
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
 ThreadGroup::ThreadGroup(int world_size, int64_t barrier_timeout_ms)
     : world_size_(world_size),
-      state_(std::make_unique<detail::GroupState>(world_size,
-                                                  barrier_timeout_ms)) {
+      state_(std::make_unique<detail::GroupState>(
+          world_size, ResolveBarrierTimeout(barrier_timeout_ms))) {
   ACPS_CHECK_MSG(world_size >= 1, "world_size must be >= 1");
+  state_->contract_enabled = ResolveContractDefault();
 }
 
 ThreadGroup::~ThreadGroup() = default;
 
+void ThreadGroup::set_contract_checking(bool on) noexcept {
+  state_->contract_enabled = on;
+}
+
+bool ThreadGroup::contract_checking() const noexcept {
+  return state_->contract_enabled;
+}
+
 void ThreadGroup::Run(const std::function<void(Communicator&)>& fn) {
   last_run_stats_.assign(static_cast<size_t>(world_size_), TrafficStats{});
-  // Reset barrier and error state: an aborted previous Run may have left
-  // the sense-reversing barrier mid-flip (workers that threw never finish
-  // their barrier round).
+  // Reset barrier, error, and contract state: an aborted previous Run may
+  // have left the sense-reversing barrier mid-flip (workers that threw
+  // never finish their barrier round) and the contract checker mid-deposit.
   state_->aborted = false;
   state_->arrived = 0;
   state_->sense = false;
   state_->first_error = nullptr;
+  state_->abort_reason.clear();
+  state_->contract.Reset(world_size_);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(world_size_));

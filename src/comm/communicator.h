@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/contract.h"
 #include "obs/tracer.h"
 #include "tensor/check.h"
 
@@ -61,15 +62,10 @@ class Communicator {
   void barrier();
 
   // All-reduce in place over `data` with the chosen algorithm (kRing:
-  // reduce-scatter + all-gather, 2*(p-1)/p * N elements per worker).
+  // reduce-scatter + all-gather, 2*(p-1)/p * N elements per worker; kNaive:
+  // flat reduce-to-root + broadcast, the O(p*N) reference).
   void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::kSum,
                   AllReduceAlgo algo = AllReduceAlgo::kRing);
-
-  // Baseline all-reduce: reduce to rank 0, then broadcast.
-  [[deprecated("use all_reduce(data, op, AllReduceAlgo::kNaive)")]]
-  void all_reduce_naive(std::span<float> data, ReduceOp op = ReduceOp::kSum) {
-    all_reduce(data, op, AllReduceAlgo::kNaive);
-  }
 
   // Ring all-gather: worker i contributes `send`; `recv` (size p*|send|)
   // receives all contributions in rank order. All workers must pass equal
@@ -125,20 +121,37 @@ class Communicator {
   TrafficStats stats_;
 };
 
+// Sentinel for ThreadGroup's `barrier_timeout_ms` parameter: resolve the
+// timeout from the ACPS_COLLECTIVE_TIMEOUT_MS environment variable
+// (milliseconds; <= 0 disables the watchdog), falling back to 60000.
+inline constexpr int64_t kCollectiveTimeoutFromEnv = INT64_MIN;
+
 // Owns the shared state for one group of workers and runs worker bodies.
 class ThreadGroup {
  public:
   // `barrier_timeout_ms` bounds how long any worker may wait at a barrier
   // before the group aborts with an error — turns collective-mismatch bugs
-  // (one worker skipping a collective) into a diagnosable exception instead
-  // of a deadlock. <= 0 disables the watchdog.
-  explicit ThreadGroup(int world_size, int64_t barrier_timeout_ms = 60000);
+  // (one worker skipping a collective) into a diagnosable exception with a
+  // per-rank blocked-in-which-collective report instead of a deadlock.
+  // <= 0 disables the watchdog; the default defers to
+  // ACPS_COLLECTIVE_TIMEOUT_MS (see kCollectiveTimeoutFromEnv).
+  explicit ThreadGroup(int world_size,
+                       int64_t barrier_timeout_ms = kCollectiveTimeoutFromEnv);
   ~ThreadGroup();
 
   ThreadGroup(const ThreadGroup&) = delete;
   ThreadGroup& operator=(const ThreadGroup&) = delete;
 
   [[nodiscard]] int world_size() const noexcept { return world_size_; }
+
+  // Toggles collective-contract fingerprint checking (contract.h): when on,
+  // every collective entry is an explicit rendezvous that fails fast with a
+  // per-rank diff if workers issue mismatched collectives. Defaults to on
+  // in sanitizer builds (ACPS_SANITIZE) and off otherwise; the
+  // ACPS_COLLECTIVE_CONTRACT environment variable (0/1) overrides the
+  // build-type default. Takes effect for subsequent Run calls.
+  void set_contract_checking(bool on) noexcept;
+  [[nodiscard]] bool contract_checking() const noexcept;
 
   // Attaches a tracer: every Communicator handed out by subsequent Run
   // calls emits spans (collectives tagged with bytes moved) into it. Pass

@@ -1,0 +1,123 @@
+#include "comm/contract.h"
+
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace acps::comm {
+
+const char* ToString(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::kNone: return "none";
+    case CollectiveKind::kBarrier: return "barrier";
+    case CollectiveKind::kAllReduce: return "all_reduce";
+    case CollectiveKind::kAllGather: return "all_gather";
+    case CollectiveKind::kAllGatherBytes: return "all_gather_bytes";
+    case CollectiveKind::kAllGatherV: return "all_gather_v";
+    case CollectiveKind::kReduceScatter: return "reduce_scatter";
+    case CollectiveKind::kBroadcast: return "broadcast";
+  }
+  return "unknown";
+}
+
+bool CollectiveFingerprint::Matches(const CollectiveFingerprint& other) const {
+  if (kind != other.kind || op != other.op || algo != other.algo ||
+      root != other.root)
+    return false;
+  if (variable_size || other.variable_size) return kind == other.kind;
+  return bytes == other.bytes;
+}
+
+std::string CollectiveFingerprint::Describe() const {
+  std::ostringstream oss;
+  oss << ToString(kind) << '[';
+  bool first = true;
+  const auto sep = [&]() -> std::ostringstream& {
+    if (!first) oss << ", ";
+    first = false;
+    return oss;
+  };
+  if (algo >= 0) sep() << (algo == 0 ? "ring" : "naive");
+  if (op >= 0) sep() << (op == 0 ? "sum" : "max");
+  if (root >= 0) sep() << "root=" << root;
+  if (variable_size)
+    sep() << "variable size";
+  else if (kind != CollectiveKind::kBarrier)
+    sep() << bytes << " B";
+  oss << ']';
+  return oss.str();
+}
+
+void ContractChecker::Reset(int world_size) {
+  ACPS_CHECK_MSG(world_size >= 1, "world_size must be >= 1");
+  std::lock_guard lock(mu_);
+  deposits_.assign(static_cast<size_t>(world_size), CollectiveFingerprint{});
+  status_.assign(static_cast<size_t>(world_size), RankStatus{});
+}
+
+void ContractChecker::Deposit(int rank, const CollectiveFingerprint& fp) {
+  std::lock_guard lock(mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(deposits_.size()),
+                 "rank out of range");
+  deposits_[static_cast<size_t>(rank)] = fp;
+}
+
+std::optional<std::string> ContractChecker::Validate() const {
+  std::lock_guard lock(mu_);
+  bool diverged = false;
+  for (size_t r = 1; r < deposits_.size(); ++r) {
+    if (!deposits_[0].Matches(deposits_[r])) {
+      diverged = true;
+      break;
+    }
+  }
+  if (!diverged) return std::nullopt;
+
+  std::ostringstream oss;
+  oss << "collective contract violation: workers issued mismatched "
+         "collectives\n";
+  for (size_t r = 0; r < deposits_.size(); ++r) {
+    oss << "  rank " << r << ": " << deposits_[r].Describe();
+    if (!deposits_[0].Matches(deposits_[r])) oss << "   <-- differs from rank 0";
+    oss << '\n';
+  }
+  oss << "every worker of a group must issue the same sequence of "
+         "collectives with matching sizes (DESIGN.md, NCCL usage contract)";
+  return oss.str();
+}
+
+void ContractChecker::Enter(int rank, const CollectiveFingerprint& fp) {
+  std::lock_guard lock(mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  auto& st = status_[static_cast<size_t>(rank)];
+  st.current = fp;
+  st.active = true;
+  ++st.seq;
+}
+
+void ContractChecker::Exit(int rank) {
+  std::lock_guard lock(mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  status_[static_cast<size_t>(rank)].active = false;
+}
+
+std::string ContractChecker::BlockedReport() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream oss;
+  oss << "per-rank collective status:\n";
+  for (size_t r = 0; r < status_.size(); ++r) {
+    const auto& st = status_[r];
+    oss << "  rank " << r << ": ";
+    if (st.active)
+      oss << "blocked in " << st.current.Describe() << " (collective #"
+          << st.seq << ')';
+    else
+      oss << "idle (completed " << st.seq << " collectives)";
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace acps::comm

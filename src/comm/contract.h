@@ -1,0 +1,102 @@
+// Collective usage-contract checking for the in-process communicator.
+//
+// NCCL-style collectives have an implicit contract: every worker of a group
+// must issue the same sequence of collectives with matching shapes. Break it
+// and a real cluster deadlocks or silently mis-reduces. In checked builds
+// (sanitizer presets, or ACPS_COLLECTIVE_CONTRACT=1) every collective entry
+// becomes an explicit rendezvous: each rank deposits a fingerprint of the
+// call it is about to make — (op kind, byte size, ReduceOp, algorithm,
+// root) — and the group fails fast with a per-rank diff when the
+// fingerprints diverge, instead of hanging until the watchdog or corrupting
+// the reduction.
+//
+// Independently of fingerprint checking, the checker tracks which collective
+// each rank is currently inside (always on — one small mutex-guarded write
+// per collective). When the barrier watchdog fires it renders that table, so
+// a timeout reports "rank 2 blocked in all_reduce[ring] seq=17, rank 1 idle
+// after seq=16" rather than a bare "timeout".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace acps::comm {
+
+// Which collective a rank is issuing. kNone means "not in a collective".
+enum class CollectiveKind {
+  kNone,
+  kBarrier,
+  kAllReduce,
+  kAllGather,
+  kAllGatherBytes,
+  kAllGatherV,
+  kReduceScatter,
+  kBroadcast,
+};
+
+[[nodiscard]] const char* ToString(CollectiveKind kind) noexcept;
+
+// Everything that must match across ranks for one collective call.
+struct CollectiveFingerprint {
+  CollectiveKind kind = CollectiveKind::kNone;
+  uint64_t bytes = 0;  // payload bytes this rank contributes
+  int op = -1;         // static_cast<int>(ReduceOp), -1 when not applicable
+  int algo = -1;       // static_cast<int>(AllReduceAlgo), -1 when n/a
+  int root = -1;       // broadcast root, -1 when n/a
+  // all_gather_v legitimately sends different byte counts per rank; its
+  // fingerprint matches on kind alone.
+  bool variable_size = false;
+
+  // Contract equality: kind/op/algo/root always compared, bytes only for
+  // fixed-size collectives.
+  [[nodiscard]] bool Matches(const CollectiveFingerprint& other) const;
+
+  // "all_reduce[ring, sum, 4096 B]" — the form used in diffs and reports.
+  [[nodiscard]] std::string Describe() const;
+};
+
+// Shared per-group contract state. Thread-safe; one instance lives in the
+// group's shared state next to the barrier.
+class ContractChecker {
+ public:
+  // (Re)arms the checker for a group of `world_size` ranks.
+  void Reset(int world_size);
+
+  // --- Fingerprint rendezvous (checked builds) -----------------------------
+  // Protocol, driven by the caller around its own barrier:
+  //   Deposit(rank, fp);  barrier();  Validate();  barrier();
+  // The first barrier makes all deposits visible, Validate() compares them,
+  // and the trailing barrier keeps fast ranks from overwriting the slots
+  // while slow ranks are still reading.
+  void Deposit(int rank, const CollectiveFingerprint& fp);
+
+  // Returns the per-rank diff when deposited fingerprints diverge, nullopt
+  // when the group agrees. Every rank computes the same report.
+  [[nodiscard]] std::optional<std::string> Validate() const;
+
+  // --- Watchdog bookkeeping (always on) ------------------------------------
+  // Marks `rank` as inside `fp` / back out of it. Each Enter bumps the
+  // rank's collective sequence number.
+  void Enter(int rank, const CollectiveFingerprint& fp);
+  void Exit(int rank);
+
+  // One line per rank: the collective it is blocked in (with its sequence
+  // number) or "idle". Rendered into barrier-timeout errors.
+  [[nodiscard]] std::string BlockedReport() const;
+
+ private:
+  struct RankStatus {
+    CollectiveFingerprint current;
+    bool active = false;
+    uint64_t seq = 0;  // collectives entered so far
+  };
+
+  mutable std::mutex mu_;
+  std::vector<CollectiveFingerprint> deposits_;
+  std::vector<RankStatus> status_;
+};
+
+}  // namespace acps::comm

@@ -93,6 +93,11 @@ void SignAggregator::Aggregate(const std::vector<dnn::Param*>& params,
   compressor_.EncodeInto(flat.data(), blob);
   gather_scratch_.resize(blob.size() * static_cast<size_t>(comm.world_size()));
   const std::span<std::byte> gathered(gather_scratch_);
+  ACPS_CHECK_MSG(gathered.size() ==
+                     blob.size() * static_cast<size_t>(comm.world_size()),
+                 "Sign gather scratch under-sized: " << gathered.size()
+                     << " B for " << comm.world_size() << " blobs of "
+                     << blob.size() << " B");
   comm.all_gather_bytes(blob, gathered);
 
   // Majority vote over the per-worker blobs.
@@ -143,6 +148,10 @@ void TopkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
   Tensor merged({flat.numel()});
   merged.zero();
   for (int r = 0; r < comm.world_size(); ++r) {
+    ACPS_CHECK_MSG(blob.size() * static_cast<size_t>(r + 1) <=
+                       gathered.size(),
+                   "Top-k gather scratch under-sized: worker " << r
+                       << "'s blob ends past " << gathered.size() << " B");
     const std::span<const std::byte> wblob(
         gathered.data() + blob.size() * static_cast<size_t>(r), blob.size());
     compress::TopkCompressor::AccumulateInto(wblob, merged.data(),
@@ -168,6 +177,13 @@ void RandomkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
   compressor_.EncodeInto(flat.data(), blob);
   const auto indices = compress::RandomkCompressor::IndicesOf(blob);
   constexpr size_t kHeader = 3 * sizeof(uint64_t);  // seed, k, numel
+  // The value payload is aliased in place inside the encode scratch and
+  // handed straight to the ring all-reduce; an under-sized blob would let
+  // the reduction scribble past the buffer instead of failing loudly.
+  ACPS_CHECK_MSG(kHeader + indices.size() * sizeof(float) <= blob.size(),
+                 "Random-k blob under-sized: " << blob.size()
+                     << " B cannot hold k=" << indices.size()
+                     << " values after the " << kHeader << " B header");
   auto values = std::span<float>(
       reinterpret_cast<float*>(blob.data() + kHeader), indices.size());
   comm.all_reduce(values);

@@ -134,9 +134,13 @@ void GradReducer::IssueLowRankBucket(int bucket) {
       factor_plans_[static_cast<size_t>(parity)][static_cast<size_t>(bucket)];
   const float inv = 1.0f / static_cast<float>(comm_->world_size());
   fusion::FusionBuffer buf;
-  for (int m : plan.members)
+  for (int m : plan.members) {
+    ACPS_CHECK_MSG(factors_[static_cast<size_t>(m)].has_value(),
+                   "bucket " << bucket << " issued before factor " << m
+                             << " was compressed — WFBP ordering bug");
     (void)buf.AddSlot(
         static_cast<int64_t>(factors_[static_cast<size_t>(m)]->size()));
+  }
   for (size_t s = 0; s < plan.members.size(); ++s)
     buf.Pack(static_cast<int>(s),
              *factors_[static_cast<size_t>(plan.members[s])]);

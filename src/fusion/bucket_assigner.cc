@@ -27,6 +27,20 @@ std::vector<std::vector<int>> AssignBuckets(
     current_bytes += b;
   }
   if (!current.empty()) buckets.push_back(std::move(current));
+  // Postcondition: no multi-tensor bucket exceeds the byte budget (a single
+  // tensor larger than the budget legitimately rides alone). An over-full
+  // bucket here means the fused all-reduce buffer downstream would be
+  // under-sized relative to the plan — abort with context instead.
+  if (buffer_bytes > 0) {
+    for (const auto& bucket : buckets) {
+      if (bucket.size() <= 1) continue;
+      ACPS_CHECK_MSG(BucketBytes(bucket, tensor_bytes) <= buffer_bytes,
+                     "bucket of " << bucket.size() << " tensors ("
+                                  << BucketBytes(bucket, tensor_bytes)
+                                  << " B) exceeds the " << buffer_bytes
+                                  << " B fusion budget");
+    }
+  }
   return buckets;
 }
 

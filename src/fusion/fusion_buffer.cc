@@ -17,6 +17,14 @@ int FusionBuffer::AddSlot(int64_t numel) {
 void FusionBuffer::EnsureStorage() {
   if (storage_.empty() && total_ > 0)
     storage_.assign(static_cast<size_t>(total_), 0.0f);
+  // Storage must cover the declared layout exactly; anything else means a
+  // Pack/Unpack below would read or write out of bounds of the fused
+  // buffer (the zero-copy all-reduce path aliases it via flat()).
+  ACPS_CHECK_MSG(static_cast<int64_t>(storage_.size()) == total_ ||
+                     (storage_.empty() && total_ == 0),
+                 "fusion buffer storage holds " << storage_.size()
+                                                << " floats but the layout "
+                                                   "declares " << total_);
 }
 
 void FusionBuffer::Pack(int slot, std::span<const float> src) {

@@ -1,0 +1,222 @@
+// Collective-contract checker + deadlock-watchdog coverage (contract.h).
+//
+// Every scenario here is a usage-contract violation that on a real NCCL
+// cluster deadlocks or silently corrupts the reduction; the checker must
+// turn each into a fast, named failure instead.
+#include "comm/contract.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.h"
+
+namespace acps::comm {
+namespace {
+
+// Runs `fn` on `group`, expecting an Error whose message contains all of
+// `needles`; returns the message for extra assertions.
+template <typename Fn>
+std::string ExpectErrorContaining(ThreadGroup& group, Fn fn,
+                                  const std::vector<std::string>& needles) {
+  std::string message;
+  try {
+    group.Run(fn);
+    ADD_FAILURE() << "expected the run to throw acps::Error";
+  } catch (const Error& e) {
+    message = e.what();
+  }
+  for (const auto& needle : needles) {
+    EXPECT_NE(message.find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in:\n" << message;
+  }
+  return message;
+}
+
+TEST(CollectiveFingerprint, DescribeAndMatches) {
+  const CollectiveFingerprint ring{.kind = CollectiveKind::kAllReduce,
+                                   .bytes = 4096,
+                                   .op = 0,
+                                   .algo = 0};
+  EXPECT_EQ(ring.Describe(), "all_reduce[ring, sum, 4096 B]");
+  EXPECT_TRUE(ring.Matches(ring));
+
+  CollectiveFingerprint other = ring;
+  other.bytes = 1024;
+  EXPECT_FALSE(ring.Matches(other));
+  other = ring;
+  other.algo = 1;
+  EXPECT_FALSE(ring.Matches(other));
+  other = ring;
+  other.op = 1;
+  EXPECT_FALSE(ring.Matches(other));
+
+  // Variable-size collectives match on kind alone.
+  const CollectiveFingerprint v1{.kind = CollectiveKind::kAllGatherV,
+                                 .bytes = 10,
+                                 .variable_size = true};
+  const CollectiveFingerprint v2{.kind = CollectiveKind::kAllGatherV,
+                                 .bytes = 99,
+                                 .variable_size = true};
+  EXPECT_TRUE(v1.Matches(v2));
+  EXPECT_EQ(v2.Describe(), "all_gather_v[variable size]");
+
+  const CollectiveFingerprint b{.kind = CollectiveKind::kBarrier};
+  EXPECT_EQ(b.Describe(), "barrier[]");
+  EXPECT_FALSE(b.Matches(v1));
+}
+
+TEST(ContractChecker, HealthyCollectivesPassWithCheckingOn) {
+  ThreadGroup group(4);
+  group.set_contract_checking(true);
+  ASSERT_TRUE(group.contract_checking());
+  std::atomic<int> ok{0};
+  group.Run([&](Communicator& comm) {
+    std::vector<float> v(64, static_cast<float>(comm.rank()));
+    comm.all_reduce(v);
+    comm.barrier();
+    std::vector<float> g(64 * 4);
+    comm.all_gather(std::span<const float>(v).subspan(0, 64), g);
+    // Variable sizes across ranks are legal for all_gather_v.
+    std::vector<std::byte> mine(static_cast<size_t>(comm.rank() + 1),
+                                std::byte{7});
+    std::vector<std::byte> recv;
+    std::vector<size_t> offsets;
+    comm.all_gather_v(mine, recv, offsets);
+    comm.broadcast(v, 2);
+    comm.reduce_scatter(v);
+    ++ok;
+  });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+// Scenario (a): a size-mismatched all_reduce must produce the per-rank
+// diagnostic, not a hang or a garbage reduction.
+TEST(ContractChecker, SizeMismatchedAllReduceDiagnosed) {
+  ThreadGroup group(3, /*barrier_timeout_ms=*/30000);
+  group.set_contract_checking(true);
+  const auto msg = ExpectErrorContaining(
+      group,
+      [&](Communicator& comm) {
+        // Rank 1 brings a differently-sized tensor to the same collective.
+        std::vector<float> v(comm.rank() == 1 ? 8 : 16, 1.0f);
+        comm.all_reduce(v);
+      },
+      {"collective contract violation", "rank 0: all_reduce[ring, sum, 64 B]",
+       "rank 1: all_reduce[ring, sum, 32 B]", "differs from rank 0"});
+  // Rank 2 agrees with rank 0 and must not be flagged.
+  EXPECT_EQ(msg.find("rank 2: all_reduce[ring, sum, 64 B]   <--"),
+            std::string::npos)
+      << msg;
+}
+
+// Scenario (b): a divergent collective *sequence* — one rank calls barrier
+// while the others call all_gather — is detected at the rendezvous.
+TEST(ContractChecker, DivergentSequenceDetected) {
+  ThreadGroup group(3, /*barrier_timeout_ms=*/30000);
+  group.set_contract_checking(true);
+  ExpectErrorContaining(
+      group,
+      [&](Communicator& comm) {
+        if (comm.rank() == 0) {
+          comm.barrier();
+        } else {
+          std::vector<float> mine(4, 1.0f);
+          std::vector<float> all(12);
+          comm.all_gather(mine, all);
+        }
+      },
+      {"collective contract violation", "rank 0: barrier[]",
+       "rank 1: all_gather[16 B]"});
+}
+
+TEST(ContractChecker, MismatchedReduceOpDetected) {
+  ThreadGroup group(2, /*barrier_timeout_ms=*/30000);
+  group.set_contract_checking(true);
+  ExpectErrorContaining(
+      group,
+      [&](Communicator& comm) {
+        std::vector<float> v(4, 1.0f);
+        comm.all_reduce(v, comm.rank() == 0 ? ReduceOp::kSum : ReduceOp::kMax);
+      },
+      {"collective contract violation", "sum", "max"});
+}
+
+TEST(ContractChecker, MismatchedAlgoDetected) {
+  ThreadGroup group(2, /*barrier_timeout_ms=*/30000);
+  group.set_contract_checking(true);
+  ExpectErrorContaining(
+      group,
+      [&](Communicator& comm) {
+        std::vector<float> v(4, 1.0f);
+        comm.all_reduce(v, ReduceOp::kSum,
+                        comm.rank() == 0 ? AllReduceAlgo::kRing
+                                         : AllReduceAlgo::kNaive);
+      },
+      {"collective contract violation", "ring", "naive"});
+}
+
+// Scenario (c): the watchdog fires on a rank that never shows up and the
+// error names which ranks are blocked in which collective.
+TEST(CollectiveWatchdog, FiresAndNamesBlockedRanks) {
+  ThreadGroup group(3, /*barrier_timeout_ms=*/300);
+  const auto start = std::chrono::steady_clock::now();
+  const auto msg = ExpectErrorContaining(
+      group,
+      [&](Communicator& comm) {
+        if (comm.rank() == 1) return;  // never joins the collective
+        std::vector<float> v(16, 1.0f);
+        comm.all_reduce(v);
+      },
+      {"collective watchdog", "per-rank collective status",
+       "rank 0: blocked in all_reduce", "rank 1: idle",
+       "rank 2: blocked in all_reduce"});
+  // Fast-fail, not the 60 s default.
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(30)) << msg;
+}
+
+TEST(CollectiveWatchdog, TimeoutConfigurableViaEnvironment) {
+  // kCollectiveTimeoutFromEnv (the default ctor argument) must pick up
+  // ACPS_COLLECTIVE_TIMEOUT_MS; the run would otherwise stall for the
+  // 60-second fallback, so this test passing quickly is itself the check.
+  ASSERT_EQ(setenv("ACPS_COLLECTIVE_TIMEOUT_MS", "300", /*overwrite=*/1), 0);
+  ThreadGroup group(2);
+  unsetenv("ACPS_COLLECTIVE_TIMEOUT_MS");
+  const auto start = std::chrono::steady_clock::now();
+  ExpectErrorContaining(
+      group,
+      [&](Communicator& comm) {
+        if (comm.rank() == 0) comm.barrier();
+      },
+      {"collective watchdog", "rank 0: blocked in barrier", "rank 1: idle"});
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(30));
+}
+
+TEST(CollectiveWatchdog, GroupReusableAfterContractViolation) {
+  ThreadGroup group(2, /*barrier_timeout_ms=*/30000);
+  group.set_contract_checking(true);
+  ExpectErrorContaining(
+      group,
+      [&](Communicator& comm) {
+        std::vector<float> v(comm.rank() == 0 ? 2 : 4, 1.0f);
+        comm.all_reduce(v);
+      },
+      {"collective contract violation"});
+  // The checker is re-armed by the next Run; healthy collectives pass.
+  std::atomic<int> ok{0};
+  group.Run([&](Communicator& comm) {
+    std::vector<float> v(8, static_cast<float>(comm.rank()));
+    comm.all_reduce(v);
+    ++ok;
+  });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+}  // namespace
+}  // namespace acps::comm

@@ -101,8 +101,11 @@ TEST_P(TopkSelectionTest, SelectsLargestMagnitudes) {
     if (out[static_cast<size_t>(i * 10)] > 1.0f) ++found;
   EXPECT_EQ(found, 10);
   // Everything else zero.
-  for (size_t i = 0; i < g.size(); ++i)
-    if (i % 10 != 0) EXPECT_EQ(out[i], 0.0f);
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (i % 10 != 0) {
+      EXPECT_EQ(out[i], 0.0f);
+    }
+  }
 }
 
 TEST_P(TopkSelectionTest, ExactlyKRecords) {

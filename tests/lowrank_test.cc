@@ -75,7 +75,9 @@ TEST(PowerSgd, QueryReuseImprovesApproximation) {
   for (int t = 0; t < 10; ++t) {
     Tensor m = target.clone();
     psgd.Step(0, m, kIdentity);
-    if (t == 9) EXPECT_LT(RelErr(m, target), err_first);
+    if (t == 9) {
+      EXPECT_LT(RelErr(m, target), err_first);
+    }
   }
 }
 

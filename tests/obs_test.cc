@@ -444,7 +444,9 @@ TEST(GradReducerTrace, WfbpOverlapVisibleInParsedJson) {
       EXPECT_EQ(p.cat, "bucket");
       saw_bucket = true;
     }
-    if (p.name == "grad_ready") EXPECT_EQ(p.cat, "grad");
+    if (p.name == "grad_ready") {
+      EXPECT_EQ(p.cat, "grad");
+    }
   }
   EXPECT_TRUE(saw_bucket);
 }

@@ -15,7 +15,7 @@ TEST(Shape, NumElements) {
 }
 
 TEST(Shape, NegativeDimThrows) {
-  EXPECT_THROW(NumElements({2, -1}), Error);
+  EXPECT_THROW((void)NumElements({2, -1}), Error);
 }
 
 TEST(Shape, ToString) {

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Repo lint runner (DESIGN.md "Correctness tooling").
+#
+#   tools/lint.sh [build-dir]
+#
+# Two layers:
+#   1. Banned-pattern greps — fast, zero-dependency checks for idioms this
+#      codebase forbids (see BANNED PATTERNS below). Always run.
+#   2. clang-tidy over the compilation database (.clang-tidy at the repo
+#      root) when clang-tidy is installed; skipped with a notice otherwise,
+#      so the script works in minimal containers.
+#
+# Exit status: 0 clean, 1 violations found, 2 usage/setup error.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-}"
+cd "$ROOT" || exit 2
+
+FAILURES=0
+
+note() { printf '\n== %s\n' "$*"; }
+
+# ---------------------------------------------------------------------------
+# BANNED PATTERNS
+#
+# Each check greps tracked sources only (src/, tests/, bench/, examples/),
+# and prints offending lines. A line may opt out with an explanatory
+# `lint:allow(<check>)` comment — grep-visible and reviewable.
+# ---------------------------------------------------------------------------
+
+# Pattern matcher: $1 = check name, $2 = pattern (ERE), rest = paths.
+# Line comments are stripped before matching so prose like "reuse with a
+# new layout" stays legal; `lint:allow(<check>)` anywhere on the line (i.e.
+# in a trailing comment) exempts it.
+ban() {
+  local check="$1" pattern="$2"
+  shift 2
+  local hits
+  hits=$(find "$@" -type f \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) \
+      -print0 2>/dev/null | sort -z | xargs -0 -r awk -v pat="$pattern" -v check="$check" '
+    {
+      code = $0
+      sub(/\/\/.*/, "", code)
+      if (code ~ pat && index($0, "lint:allow(" check ")") == 0)
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+    }')
+  if [ -n "$hits" ]; then
+    note "BANNED PATTERN: $check"
+    printf '%s\n' "$hits"
+    FAILURES=1
+  fi
+}
+
+# Naked new/delete: ownership must go through containers or
+# make_unique/make_shared (placement/operator-new overloads excluded by the
+# pattern requiring a following identifier or type).
+ban naked-new '(^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:<]' \
+    src tests bench examples
+ban naked-delete '(^|[^_[:alnum:]])delete(\[\])?[[:space:]]+[[:alnum:]_]' \
+    src tests bench examples
+
+# Threads are the communicator's job: everything above acps::comm must stay
+# thread-agnostic and express concurrency through ThreadGroup::Run. Test
+# code is exempt (obs_test spawns raw threads precisely to hammer the
+# tracer's thread safety).
+ban raw-thread 'std::(thread|jthread)' \
+    src/tensor src/linalg src/metrics src/obs src/compress src/fusion \
+    src/models src/sim src/dnn src/core bench examples
+
+# Unseeded libc RNG: all randomness must flow through tensor/rng.h so runs
+# stay reproducible worker-by-worker.
+ban libc-rand '(^|[^_[:alnum:]])s?rand(om)?\(' src tests bench examples
+
+# abort()/exit() in library code: invariants throw acps::Error (check.h) so
+# harnesses fail loudly but recoverably.
+ban abort-exit '(^|[^_[:alnum:]])(abort|exit)\([^)]*\)' src
+
+if [ "$FAILURES" -eq 0 ]; then
+  note "banned-pattern checks: clean"
+fi
+
+# ---------------------------------------------------------------------------
+# clang-tidy layer
+# ---------------------------------------------------------------------------
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  note "clang-tidy not installed — skipping static-analysis layer"
+else
+  if [ -z "$BUILD_DIR" ]; then
+    for d in build-release build build-tsan build-asan-ubsan; do
+      if [ -f "$d/compile_commands.json" ]; then BUILD_DIR="$d"; break; fi
+    done
+  fi
+  if [ -z "$BUILD_DIR" ] || [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    note "no compile_commands.json found (configure with a preset first:" \
+         "cmake --preset release) — skipping clang-tidy"
+  else
+    note "clang-tidy ($BUILD_DIR/compile_commands.json)"
+    mapfile -t sources < <(find src -name '*.cc' | sort)
+    if ! clang-tidy -p "$BUILD_DIR" --quiet "${sources[@]}"; then
+      FAILURES=1
+    fi
+  fi
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  note "lint: FAILED"
+  exit 1
+fi
+note "lint: OK"
