@@ -1,21 +1,33 @@
 #!/usr/bin/env bash
-# Correctness CI (DESIGN.md "Correctness tooling"): repo lint plus the
-# three-preset sanitizer build matrix.
+# Correctness CI (DESIGN.md "Correctness tooling" + §6d "Model checker"):
+# repo lint, the three-preset sanitizer build matrix, the schedule-
+# exploration model checker, and the coverage gate.
 #
-#   ./ci.sh                 # lint + release + tsan + asan-ubsan
-#   ./ci.sh lint tsan       # any subset of: lint release tsan asan-ubsan
+#   ./ci.sh                 # lint + release + tsan + asan-ubsan + modelcheck
+#   ./ci.sh lint tsan       # any subset of:
+#                           #   lint release tsan asan-ubsan modelcheck coverage
 #
 # Presets come from CMakePresets.json; the sanitizer test presets exclude
 # the `sanitizer-slow` ctest label (long convergence runs) and load
 # tsan.supp, so a full matrix pass means the real multi-worker collectives,
 # the GradReducer WFBP pipeline, and the obs tracer are race- and UB-clean.
+#
+# The `coverage` leg (opt-in: slow, -O0 rebuild) runs the suite gcov-
+# instrumented and fails if combined src/comm + src/compress line coverage
+# drops below the merge-time value recorded here.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Merge-time combined line coverage of src/comm + src/compress (see
+# tools/coverage_report.sh). Measured 95.7% at the introduction of the
+# coverage gate; raise when coverage improves, never lower to paper over
+# a drop.
+ACPS_COV_MIN_COMM_COMPRESS=95.0
 
 JOBS="${JOBS:-$(nproc)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(lint release tsan asan-ubsan)
+  LEGS=(lint release tsan asan-ubsan modelcheck)
 fi
 
 run_preset() {
@@ -36,8 +48,24 @@ for leg in "${LEGS[@]}"; do
     release|tsan|asan-ubsan)
       run_preset "$leg"
       ;;
+    modelcheck)
+      echo
+      echo "==================== modelcheck ===================="
+      cmake --preset release
+      cmake --build --preset release -j "$JOBS"
+      ctest --preset modelcheck -j "$JOBS"
+      ;;
+    coverage)
+      echo
+      echo "==================== coverage ===================="
+      cmake --preset coverage
+      cmake --build --preset coverage -j "$JOBS"
+      ctest --preset coverage -j "$JOBS"
+      tools/coverage_report.sh build-coverage "$ACPS_COV_MIN_COMM_COMPRESS"
+      ;;
     *)
-      echo "ci.sh: unknown leg '$leg' (expected: lint release tsan asan-ubsan)" >&2
+      echo "ci.sh: unknown leg '$leg' (expected: lint release tsan" \
+           "asan-ubsan modelcheck coverage)" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,289 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "comm/communicator.h"
+#include "compress/error_feedback.h"
+#include "compress/registry.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace acps::check {
+namespace {
+
+// Deterministic per-(seed, shape, rank, step) gradient data.
+std::vector<float> GradData(uint64_t seed, int64_t numel, int rank, int step) {
+  Rng rng(seed + static_cast<uint64_t>(numel) * 1000003ull +
+          static_cast<uint64_t>(rank) * 7919ull +
+          static_cast<uint64_t>(step) * 104729ull);
+  std::vector<float> g(static_cast<size_t>(numel));
+  for (float& v : g) v = rng.normal();
+  return g;
+}
+
+float MaxAbs(std::span<const float> v) {
+  float m = 0.0f;
+  for (float x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::string BaseName(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  return colon == std::string::npos ? spec : spec.substr(0, colon);
+}
+
+void AddFailure(OracleReport& report, const std::string& spec,
+                const std::string& property, int64_t numel, uint64_t seed,
+                std::string detail) {
+  report.failures.push_back(
+      OracleFailure{spec, property, numel, seed, std::move(detail)});
+}
+
+// --- Oracle 1: EncodeInto writes exactly what Encode returns. --------------
+void CheckEncodeIntoParity(const std::string& spec, int64_t numel,
+                           const OracleOptions& opt, OracleReport& report) {
+  // Two fresh instances: stateful encoders (RNG streams, step counters)
+  // advance per call, so comparing two encodes of ONE instance would test
+  // the wrong thing.
+  auto via_encode = compress::MakeCompressor(spec);
+  auto via_into = compress::MakeCompressor(spec);
+  const auto g = GradData(opt.seed, numel, /*rank=*/0, /*step=*/0);
+  const auto blob = via_encode->Encode(g);
+  std::vector<std::byte> into(via_into->EncodedBytes(g.size()));
+  via_into->EncodeInto(g, into);
+  ++report.checks_run;
+  if (blob != into) {
+    size_t i = 0;
+    while (i < blob.size() && i < into.size() && blob[i] == into[i]) ++i;
+    AddFailure(report, spec, "encode-into-parity", numel, opt.seed,
+               "Encode and EncodeInto blobs differ at byte " +
+                   std::to_string(i) + " (sizes " + std::to_string(blob.size()) +
+                   " / " + std::to_string(into.size()) + ")");
+  }
+}
+
+// --- Oracle 2: Decode is a pure function of the blob. ----------------------
+void CheckDecodeDeterminism(const std::string& spec, int64_t numel,
+                            const OracleOptions& opt, OracleReport& report) {
+  auto encoder = compress::MakeCompressor(spec);
+  const auto g = GradData(opt.seed, numel, 0, 1);
+  const auto blob = encoder->Encode(g);
+  std::vector<float> d1(g.size());
+  std::vector<float> d2(g.size());
+  std::vector<float> d3(g.size());
+  encoder->Decode(blob, d1);
+  encoder->Decode(blob, d2);
+  compress::MakeCompressor(spec)->Decode(blob, d3);
+  ++report.checks_run;
+  if (std::memcmp(d1.data(), d2.data(), d1.size() * sizeof(float)) != 0 ||
+      std::memcmp(d1.data(), d3.data(), d1.size() * sizeof(float)) != 0) {
+    AddFailure(report, spec, "decode-determinism", numel, opt.seed,
+               "two decodes of the same blob produced different bits");
+  }
+}
+
+// --- Oracle 3: EF residual + decoded gradient conserves the input. ---------
+void CheckEfConservation(const std::string& spec, int64_t numel,
+                         const OracleOptions& opt, OracleReport& report) {
+  auto compressor = compress::MakeCompressor(spec);
+  compress::ErrorFeedback ef;
+  const int64_t id = 7;
+  const Shape shape({numel});
+  const double tol = EfTolerance(spec);
+  for (int step = 0; step < 3; ++step) {
+    Tensor grad = Tensor::FromSpan(shape, GradData(opt.seed, numel, 0, step));
+    ef.AddInto(id, grad);  // grad is now the compressor input
+    const auto blob = compressor->Encode(grad.data());
+    Tensor recon(shape);
+    compressor->Decode(blob, recon.data());
+    ef.Update(id, grad, recon);
+    const Tensor& residual = ef.residual(id, shape);
+    const float scale =
+        1.0f + MaxAbs(grad.data()) + MaxAbs(recon.data());
+    const double bound = tol * static_cast<double>(scale);
+    ++report.checks_run;
+    for (int64_t i = 0; i < numel; ++i) {
+      const double recovered =
+          static_cast<double>(residual.data()[static_cast<size_t>(i)]) +
+          static_cast<double>(recon.data()[static_cast<size_t>(i)]);
+      const double want = static_cast<double>(grad.data()[static_cast<size_t>(i)]);
+      if (std::abs(recovered - want) > bound) {
+        std::ostringstream oss;
+        oss << "step " << step << " element " << i << ": residual+decoded = "
+            << recovered << " vs input " << want << " (|diff| "
+            << std::abs(recovered - want) << " > tol " << bound << ")";
+        AddFailure(report, spec, "ef-conservation", numel, opt.seed, oss.str());
+        return;
+      }
+    }
+  }
+}
+
+// --- Oracle 4: compressed all-reduce is bitwise rank-invariant. ------------
+//
+// The generic compressed aggregation path: every rank encodes its own
+// gradient, blobs travel a ring all-gather, every rank decodes all p blobs
+// and averages them in rank order. Inputs, the encode, and the fixed-order
+// average are deterministic, so every rank must end bit-identical to a
+// single-threaded reference — no matter how the schedule explorer perturbs
+// the ring.
+void CheckRankInvariance(const std::string& spec, int64_t numel,
+                         const OracleOptions& opt, OracleReport& report) {
+  const int p = opt.world_size;
+
+  // Single-threaded reference.
+  std::vector<float> reference(static_cast<size_t>(numel), 0.0f);
+  {
+    std::vector<float> decoded(static_cast<size_t>(numel));
+    for (int r = 0; r < p; ++r) {
+      auto compressor = compress::MakeCompressor(spec);
+      const auto g = GradData(opt.seed, numel, r, 0);
+      const auto blob = compressor->Encode(g);
+      compressor->Decode(blob, decoded);
+      for (int64_t i = 0; i < numel; ++i)
+        reference[static_cast<size_t>(i)] += decoded[static_cast<size_t>(i)];
+    }
+    const float inv = 1.0f / static_cast<float>(p);
+    for (float& v : reference) v *= inv;
+  }
+
+  const auto run_once = [&](ScheduleController* controller,
+                            uint64_t seed) -> bool {
+    std::vector<std::vector<float>> results(static_cast<size_t>(p));
+    std::string error;
+    {
+      comm::ThreadGroup group(p);
+      group.set_contract_checking(true);
+      ScopedSchedListener install(controller);
+      try {
+        group.Run([&](comm::Communicator& comm) {
+          const int r = comm.rank();
+          auto compressor = compress::MakeCompressor(spec);
+          const auto g = GradData(opt.seed, numel, r, 0);
+          std::vector<std::byte> blob(compressor->EncodedBytes(g.size()));
+          compressor->EncodeInto(g, blob);
+          std::vector<std::byte> gathered(blob.size() *
+                                          static_cast<size_t>(p));
+          comm.all_gather_bytes(blob, gathered);
+          std::vector<float> acc(static_cast<size_t>(numel), 0.0f);
+          std::vector<float> decoded(static_cast<size_t>(numel));
+          for (int s = 0; s < p; ++s) {
+            compressor->Decode(
+                std::span<const std::byte>(gathered)
+                    .subspan(static_cast<size_t>(s) * blob.size(), blob.size()),
+                decoded);
+            for (int64_t i = 0; i < numel; ++i)
+              acc[static_cast<size_t>(i)] += decoded[static_cast<size_t>(i)];
+          }
+          const float inv = 1.0f / static_cast<float>(p);
+          for (float& v : acc) v *= inv;
+          results[static_cast<size_t>(r)] = std::move(acc);
+        });
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+    }
+    ++report.checks_run;
+    if (!error.empty()) {
+      AddFailure(report, spec, "rank-invariance", numel, seed,
+                 "compressed all-reduce threw: " + error);
+      return false;
+    }
+    for (int r = 0; r < p; ++r) {
+      const auto& got = results[static_cast<size_t>(r)];
+      if (std::memcmp(got.data(), reference.data(),
+                      reference.size() * sizeof(float)) != 0) {
+        int64_t i = 0;
+        while (i < numel &&
+               got[static_cast<size_t>(i)] == reference[static_cast<size_t>(i)])
+          ++i;
+        std::ostringstream oss;
+        oss << "rank " << r << " diverged from reference at element " << i
+            << " (got " << got[static_cast<size_t>(i)] << ", want "
+            << reference[static_cast<size_t>(i)] << ")";
+        AddFailure(report, spec, "rank-invariance", numel, seed, oss.str());
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!run_once(nullptr, 0)) return;  // clean run first
+  for (int i = 0; i < opt.perturbed_runs; ++i) {
+    const uint64_t seed = opt.seed + 1 + static_cast<uint64_t>(i);
+    ScheduleConfig cfg;
+    cfg.seed = seed;
+    cfg.world_size = p;
+    cfg.perturb_prob = opt.perturb_prob;
+    ScheduleController controller(cfg);
+    if (!run_once(&controller, seed)) return;
+  }
+}
+
+}  // namespace
+
+std::string OracleFailure::Describe() const {
+  std::ostringstream oss;
+  oss << "oracle FAILED: compressor=" << compressor << " property=" << property
+      << " shape=[" << numel << "] seed=" << seed << " — " << detail;
+  return oss.str();
+}
+
+std::string OracleReport::Summary() const {
+  std::ostringstream oss;
+  oss << checks_run << " oracle checks";
+  if (failures.empty()) {
+    oss << ", all passed";
+  } else {
+    oss << ", " << failures.size() << " FAILURE(S):";
+    for (const auto& f : failures) oss << "\n  " << f.Describe();
+  }
+  return oss.str();
+}
+
+double EfTolerance(const std::string& spec) {
+  // Sparsifiers copy kept values verbatim (residual is exactly the dropped
+  // mass) and fp16's round-trip subtraction is exact by Sterbenz's lemma, so
+  // those conserve bit-exactly. Quantizers reconstruct at magnitudes up to
+  // ‖g‖, where the fp32 residual arithmetic rounds; their tolerance is a
+  // small multiple of machine epsilon on the (1 + max|g| + max|recon|) scale.
+  const std::string name = BaseName(spec);
+  if (name == "topk" || name == "topk-sampled" || name == "randomk" ||
+      name == "fp16") {
+    return 0.0;
+  }
+  return 1e-6;  // sign, blockwise-sign, qsgd, terngrad
+}
+
+OracleReport CheckCompressorInvariants(const std::string& spec,
+                                       const OracleOptions& opt) {
+  OracleReport report;
+  for (int64_t numel : opt.numels) {
+    CheckEncodeIntoParity(spec, numel, opt, report);
+    CheckDecodeDeterminism(spec, numel, opt, report);
+    CheckEfConservation(spec, numel, opt, report);
+  }
+  // Rank-invariance is the expensive oracle (real ThreadGroup runs under the
+  // explorer); run it on a representative small and large shape.
+  const std::vector<int64_t> comm_numels = {opt.numels.front(),
+                                            opt.numels.back()};
+  for (int64_t numel : comm_numels)
+    CheckRankInvariance(spec, numel, opt, report);
+  return report;
+}
+
+OracleReport CheckAllRegisteredCompressors(const OracleOptions& opt) {
+  OracleReport total;
+  for (const std::string& spec : compress::KnownCompressors()) {
+    OracleReport r = CheckCompressorInvariants(spec, opt);
+    total.checks_run += r.checks_run;
+    total.failures.insert(total.failures.end(), r.failures.begin(),
+                          r.failures.end());
+  }
+  return total;
+}
+
+}  // namespace acps::check

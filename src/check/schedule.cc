@@ -1,0 +1,213 @@
+#include "check/schedule.h"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "tensor/check.h"
+
+namespace acps::check {
+namespace {
+
+// SplitMix64 — the same mixer tensor/rng.h seeds with; good enough to turn
+// (seed, window, rank, kind) into an independent decision stream without
+// dragging a stateful generator through the hot hook path.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int Factorial(int p) {
+  ACPS_CHECK_MSG(p >= 0 && p <= 8, "Factorial: p out of supported range");
+  int f = 1;
+  for (int i = 2; i <= p; ++i) f *= i;
+  return f;
+}
+
+std::vector<int> NthPermutation(int p, int digit) {
+  ACPS_CHECK_MSG(digit >= 0 && digit < Factorial(p),
+                 "permutation index " << digit << " out of range for p=" << p);
+  std::vector<int> pool;
+  pool.reserve(static_cast<size_t>(p));
+  for (int i = 0; i < p; ++i) pool.push_back(i);
+  std::vector<int> perm;
+  perm.reserve(static_cast<size_t>(p));
+  int radix = Factorial(p);
+  for (int i = p; i >= 1; --i) {
+    radix /= i;
+    const int idx = digit / radix;
+    digit %= radix;
+    perm.push_back(pool[static_cast<size_t>(idx)]);
+    pool.erase(pool.begin() + idx);
+  }
+  return perm;
+}
+
+ScheduleController::ScheduleController(ScheduleConfig cfg)
+    : config_(std::move(cfg)) {
+  ACPS_CHECK_MSG(config_.world_size >= 1,
+                 "ScheduleController needs the group's world_size");
+  trace_.reserve(config_.trace_capacity);
+}
+
+std::vector<int> ScheduleController::PermForWindow(int w) const {
+  const int digit =
+      w < static_cast<int>(config_.order_digits.size())
+          ? config_.order_digits[static_cast<size_t>(w)]
+          : 0;
+  return NthPermutation(config_.world_size, digit);
+}
+
+void ScheduleController::Record(PointKind kind, int rank, const char* note) {
+  if (config_.trace_capacity == 0) return;
+  std::ostringstream oss;
+  oss << "w" << window_ << " " << ToString(kind) << " r" << rank;
+  if (note[0] != '\0') oss << " " << note;
+  if (trace_.size() < config_.trace_capacity) {
+    trace_.push_back(oss.str());
+  } else {
+    trace_[trace_next_] = oss.str();
+    trace_next_ = (trace_next_ + 1) % config_.trace_capacity;
+  }
+}
+
+void ScheduleController::Perturb(PointKind kind, int rank) {
+  // Decision input: hand-off points are keyed by (window, rank, kind) so a
+  // seed replays the same decision at the same logical point regardless of
+  // thread timing; rank-less points (barrier entry) fall back to a global
+  // arrival counter, which perturbs well but is only statistically
+  // reproducible — the deterministic detectors (order enforcement, fault
+  // injection) never depend on it.
+  uint64_t key;
+  if (rank >= 0 && (kind == PointKind::kHandoffSend ||
+                    kind == PointKind::kHandoffPublished)) {
+    uint64_t w;
+    {
+      std::lock_guard lock(mu_);
+      w = static_cast<uint64_t>(window_);
+    }
+    key = (w << 16) ^ (static_cast<uint64_t>(rank) << 8) ^
+          static_cast<uint64_t>(kind);
+  } else {
+    key = 0xB000000000000000ull ^
+          point_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint64_t h = Mix(config_.seed ^ Mix(key));
+  const double gate = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (gate >= config_.perturb_prob) return;
+  switch ((h >> 3) % 8) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+      std::this_thread::yield();
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.yields;
+      }
+      break;
+    case 4:
+    case 5:
+    case 6:
+      std::this_thread::yield();
+      std::this_thread::yield();
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.yields;
+      }
+      break;
+    default: {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(1 + (h >> 13) % 40));
+      std::lock_guard lock(mu_);
+      ++stats_.sleeps;
+      break;
+    }
+  }
+}
+
+void ScheduleController::OnSchedPoint(PointKind kind, int rank,
+                                      std::span<std::byte> payload) {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.points;
+  }
+
+  if (kind == PointKind::kHandoffSend && config_.enforce_order) {
+    std::unique_lock lock(mu_);
+    const int w = window_;
+    const std::vector<int> perm = PermForWindow(w);
+    const auto my_turn = [&] {
+      return window_ != w ||
+             perm[static_cast<size_t>(published_in_window_)] == rank;
+    };
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(config_.order_wait_ms),
+                      my_turn)) {
+      // Participation was not uniform (or another group shares the
+      // listener): degrade to perturbation rather than stall the group.
+      ++stats_.enforcement_misses;
+      Record(kind, rank, "MISS");
+    } else {
+      Record(kind, rank, "");
+    }
+    lock.unlock();
+    return;  // the wait itself is the perturbation
+  }
+
+  if (kind == PointKind::kHandoffPublished) {
+    std::unique_lock lock(mu_);
+    if (config_.fault && window_ == config_.fault->window &&
+        rank == config_.fault->rank && payload.size() >= 2) {
+      // "Reorder one hand-off": rotate the published chunk by one float
+      // (one byte for sub-float payloads). Readers past the next barrier
+      // see a chunk whose elements arrive in the wrong order.
+      const size_t unit = payload.size() >= 2 * sizeof(float)
+                              ? sizeof(float)
+                              : size_t{1};
+      std::vector<std::byte> head(payload.begin(),
+                                  payload.begin() + static_cast<ptrdiff_t>(unit));
+      std::memmove(payload.data(), payload.data() + unit,
+                   payload.size() - unit);
+      std::memcpy(payload.data() + (payload.size() - unit), head.data(), unit);
+      ++stats_.faults_injected;
+      Record(kind, rank, "FAULT");
+    } else {
+      Record(kind, rank, "");
+    }
+    if (++published_in_window_ == config_.world_size) {
+      published_in_window_ = 0;
+      ++window_;
+      ++stats_.windows;
+    }
+    lock.unlock();
+    cv_.notify_all();
+    Perturb(kind, rank);
+    return;
+  }
+
+  Perturb(kind, rank);
+}
+
+ScheduleController::Stats ScheduleController::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::string ScheduleController::Trace() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream oss;
+  const size_t n = trace_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx =
+        n < config_.trace_capacity ? i : (trace_next_ + i) % n;
+    oss << trace_[idx] << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace acps::check

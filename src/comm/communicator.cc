@@ -1,6 +1,8 @@
 #include "comm/communicator.h"
 
 #include <algorithm>
+
+#include "check/sched_point.h"
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -55,6 +57,10 @@ struct GroupState {
   }
 
   void Barrier() {
+    // Barrier entry is rank-agnostic here (GroupState does not know which
+    // worker is calling), so the hook reports rank -1; the schedule
+    // controller treats it as a pure perturbation point.
+    check::SchedPoint(check::PointKind::kBarrierEnter, /*rank=*/-1);
     std::unique_lock lock(mu);
     if (aborted) throw Error(AbortMessage());
     if (++arrived == world_size) {
@@ -126,7 +132,7 @@ void ReduceInto(std::span<float> dst, std::span<const float> src,
       for (size_t i = 0; i < dst.size(); ++i) dst[i] = std::max(dst[i], src[i]);
       return;
   }
-  ACPS_CHECK_MSG(false, "unknown ReduceOp");
+  ACPS_FAIL_MSG("unknown ReduceOp");
 }
 
 std::span<const std::byte> AsBytes(std::span<const float> v) {
@@ -153,13 +159,29 @@ ChunkRange GetChunkRange(int64_t n, int p, int chunk) {
 
 // Publishes `payload` to this worker's mailbox and accounts the traffic.
 // Callers must barrier() before a peer reads and again before the next write.
+//
+// Schedule-exploration hooks (check/sched_point.h): a uniform hand-off —
+// one where every rank publishes exactly once between group barriers, i.e.
+// every ring step — raises kHandoffSend before the publish (the controller
+// may delay the caller to force a publish order) and kHandoffPublished,
+// carrying the mailbox bytes, after it (the controller may corrupt them in
+// fault-injection mode). Publishes that only a subset of ranks perform
+// (broadcast root, the naive all-reduce result) pass kRootPublish instead
+// so they never enter the controller's per-window accounting.
 namespace {
 void Send(detail::GroupState* st, int rank, TrafficStats& stats,
-          std::span<const std::byte> payload) {
+          std::span<const std::byte> payload,
+          check::PointKind kind = check::PointKind::kHandoffSend) {
+  if (kind == check::PointKind::kHandoffSend)
+    check::SchedPoint(check::PointKind::kHandoffSend, rank);
   auto& box = st->mailbox[static_cast<size_t>(rank)];
   box.assign(payload.begin(), payload.end());
   stats.bytes_sent += payload.size();
   stats.messages_sent += 1;
+  check::SchedPoint(kind == check::PointKind::kHandoffSend
+                        ? check::PointKind::kHandoffPublished
+                        : check::PointKind::kRootPublish,
+                    rank, std::span<std::byte>(box.data(), box.size()));
 }
 
 // RAII wrapper around one collective call: registers the rank as "inside
@@ -269,7 +291,9 @@ void Communicator::AllReduceNaive(std::span<float> data, ReduceOp op) {
     }
   }
   state_->Barrier();
-  if (rank_ == 0) Send(state_, rank_, stats_, AsBytes(data));
+  if (rank_ == 0)
+    Send(state_, rank_, stats_, AsBytes(data),
+         check::PointKind::kRootPublish);
   state_->Barrier();
   if (rank_ != 0) {
     const auto& box = state_->mailbox[0];
@@ -430,6 +454,8 @@ void Communicator::broadcast(std::span<float> data, int root) {
     box.assign(payload.begin(), payload.end());
     stats_.bytes_sent += payload.size() * static_cast<size_t>(p - 1);
     stats_.messages_sent += static_cast<uint64_t>(p - 1);
+    check::SchedPoint(check::PointKind::kRootPublish, rank_,
+                      std::span<std::byte>(box.data(), box.size()));
   }
   state_->Barrier();
   if (rank_ != root) {

@@ -1,5 +1,6 @@
 #include "core/grad_reducer.h"
 
+#include "check/sched_point.h"
 #include "compress/powersgd.h"
 
 namespace acps::core {
@@ -100,6 +101,10 @@ void GradReducer::OnGradReady(size_t param_index) {
   ready_[param_index] = true;
   --remaining_;
 
+  // WFBP hook-arrival point: lets the schedule explorer perturb the timing
+  // between a gradient becoming ready and its bucket filling up.
+  check::SchedPoint(check::PointKind::kWfbpReady, comm_->rank());
+
   obs::ScopedSpan ready_span(comm_->tracer(), "grad_ready", obs::kCatGrad,
                              comm_->rank(), /*bytes=*/0,
                              static_cast<int64_t>(param_index));
@@ -129,6 +134,7 @@ void GradReducer::OnGradReady(size_t param_index) {
 }
 
 void GradReducer::IssueLowRankBucket(int bucket) {
+  check::SchedPoint(check::PointKind::kBucketIssue, comm_->rank());
   const int parity = static_cast<int>((steps_ + 1) % 2);
   const BucketPlan& plan =
       factor_plans_[static_cast<size_t>(parity)][static_cast<size_t>(bucket)];
@@ -174,6 +180,7 @@ void GradReducer::IssueLowRankBucket(int bucket) {
 }
 
 void GradReducer::IssueDenseBucket(int bucket) {
+  check::SchedPoint(check::PointKind::kBucketIssue, comm_->rank());
   const BucketPlan& plan = dense_plan_[static_cast<size_t>(bucket)];
   const float inv = 1.0f / static_cast<float>(comm_->world_size());
   fusion::FusionBuffer buf;

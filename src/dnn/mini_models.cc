@@ -51,7 +51,7 @@ Network ResMini(const MiniModelSpec& spec) {
 Network MiniByName(const std::string& name, const MiniModelSpec& spec) {
   if (name == "vgg-mini") return VggMini(spec);
   if (name == "res-mini") return ResMini(spec);
-  ACPS_CHECK_MSG(false, "unknown mini model '" << name << "'");
+  ACPS_FAIL_MSG("unknown mini model '" << name << "'");
 }
 
 }  // namespace acps::dnn

@@ -28,7 +28,7 @@ void Orthogonalize(Tensor& a, OrthoScheme scheme) {
       OrthogonalizeGramSchmidt(a);
       return;
   }
-  ACPS_CHECK_MSG(false, "unknown orthogonalization scheme");
+  ACPS_FAIL_MSG("unknown orthogonalization scheme");
 }
 
 void OrthogonalizeQr(Tensor& a) {

@@ -68,7 +68,7 @@ ModelSpec ByName(const std::string& name) {
   if (name == "bert-large") return BertLarge();
   if (name == "gpt2-small") return Gpt2Small();
   if (name == "gpt2-medium") return Gpt2Medium();
-  ACPS_CHECK_MSG(false, "unknown model '" << name << "'");
+  ACPS_FAIL_MSG("unknown model '" << name << "'");
 }
 
 std::vector<EvalModel> PaperEvalSet() {

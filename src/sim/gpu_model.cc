@@ -26,7 +26,7 @@ double GpuModel::Throughput(models::OpClass op) const {
     case models::OpClass::kElementwise:
       return spec_.mem_gbps * 1e9 / 4.0;  // one float read per "flop"
   }
-  ACPS_CHECK_MSG(false, "unknown op class");
+  ACPS_FAIL_MSG("unknown op class");
 }
 
 double GpuModel::GemmSeconds(double flops) const {

@@ -558,7 +558,7 @@ Breakdown SimulateIteration(const ModelSpec& model, const SimConfig& config) {
     case Method::kPowerSGDStar: return SimulatePowerSgdStar(ctx);
     case Method::kACPSGD: return SimulateAcp(ctx);
   }
-  ACPS_CHECK_MSG(false, "unknown method");
+  ACPS_FAIL_MSG("unknown method");
 }
 
 Breakdown SimulateIterationAvg(const ModelSpec& model,

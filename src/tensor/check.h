@@ -44,3 +44,14 @@ namespace detail {
       ::acps::detail::fail(__FILE__, __LINE__, #cond, oss_.str()); \
     }                                                        \
   } while (0)
+
+// Unconditional failure for unreachable terminators (exhausted switches,
+// unknown-enum tails). Unlike ACPS_CHECK_MSG(false, ...), the [[noreturn]]
+// call is not hidden behind a branch, so -Wreturn-type stays satisfied in
+// unoptimized (-O0 / coverage) builds too.
+#define ACPS_FAIL_MSG(msg)                                          \
+  do {                                                              \
+    std::ostringstream oss_;                                        \
+    oss_ << msg;                                                    \
+    ::acps::detail::fail(__FILE__, __LINE__, "unreachable", oss_.str()); \
+  } while (0)

@@ -18,12 +18,18 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
-Rng::Rng(uint64_t seed) {
+Rng::Rng(uint64_t seed) { this->seed(seed); }
+
+void Rng::seed(uint64_t seed) {
   uint64_t x = seed;
   for (auto& s : s_) s = SplitMix64(x);
+  seeded_ = true;
+  has_cached_normal_ = false;
 }
 
 Rng Rng::split(uint64_t stream_id) const {
+  ACPS_CHECK_MSG(seeded_, "Rng::split on an unseeded generator — every "
+                          "stream must derive from an explicit seed");
   // Mix the current state with the stream id through SplitMix64 to derive an
   // uncorrelated child stream.
   uint64_t x = s_[0] ^ Rotl(s_[2], 17) ^ (stream_id * 0xD1B54A32D192ED03ull);
@@ -33,6 +39,8 @@ Rng Rng::split(uint64_t stream_id) const {
 }
 
 uint64_t Rng::next_u64() {
+  ACPS_CHECK_MSG(seeded_, "Rng draw on an unseeded generator — seed it "
+                          "explicitly (reproducibility contract)");
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];

@@ -15,7 +15,18 @@ namespace acps {
 
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+  // An unseeded generator: every draw (and split()) fails with ACPS_CHECK
+  // until seed() is called. Reproducibility depends on every stream having a
+  // deliberately chosen seed, so "forgot to seed" is an error, not a silent
+  // fallback to some default stream shared by unrelated call sites.
+  Rng() = default;
+
+  explicit Rng(uint64_t seed);
+
+  // (Re-)seeds the generator; after this, draws are allowed.
+  void seed(uint64_t seed);
+
+  [[nodiscard]] bool seeded() const noexcept { return seeded_; }
 
   // Derives an independent stream; used to give each worker/tensor its own
   // generator from one experiment seed.
@@ -38,7 +49,8 @@ class Rng {
   void fill_uniform(Tensor& t, float lo, float hi);
 
  private:
-  uint64_t s_[4];
+  uint64_t s_[4] = {0, 0, 0, 0};
+  bool seeded_ = false;
   bool has_cached_normal_ = false;
   float cached_normal_ = 0.0f;
 };

@@ -89,6 +89,20 @@ TEST(Rng, NormalWithParams) {
   EXPECT_NEAR(sum / n, 5.0, 0.01);
 }
 
+TEST(Rng, UnseededDrawIsAnError) {
+  // Reproducibility contract: no stream may come from an implicit default
+  // seed. A default-constructed Rng must refuse to produce anything until
+  // it is explicitly seeded.
+  Rng rng;
+  EXPECT_FALSE(rng.seeded());
+  EXPECT_THROW((void)rng.next_u64(), Error);
+  EXPECT_THROW((void)rng.normal(), Error);
+  EXPECT_THROW((void)rng.split(1), Error);
+  rng.seed(42);
+  EXPECT_TRUE(rng.seeded());
+  EXPECT_EQ(rng.next_u64(), Rng(42).next_u64());
+}
+
 TEST(Rng, FillTensors) {
   Rng rng(8);
   Tensor t({1000});

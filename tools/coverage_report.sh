@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Per-directory line-coverage report from a gcov-instrumented build
+# (DESIGN.md §6d; cmake --preset coverage).
+#
+#   tools/coverage_report.sh [build-dir] [min-comm-compress-percent]
+#
+# Runs plain `gcov` over every library .gcda under <build-dir>/src (no
+# gcovr/lcov dependency), aggregates executable/covered line counts per
+# source directory, prints a table, and — when a minimum is given — fails
+# with exit 1 if the combined src/comm + src/compress line coverage falls
+# below it. Only *.cc.gcov outputs are aggregated: each .cc belongs to
+# exactly one translation unit, whereas header .gcov files are re-emitted by
+# every includer and would clobber each other.
+#
+# Exit status: 0 ok, 1 below threshold, 2 usage/setup error.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build-coverage}"
+MIN_COMM_COMPRESS="${2:-}"
+
+if ! command -v gcov >/dev/null 2>&1; then
+  echo "coverage_report: gcov not found" >&2
+  exit 2
+fi
+if [ ! -d "$ROOT/$BUILD_DIR/src" ]; then
+  echo "coverage_report: $BUILD_DIR/src not found — build and run tests with" \
+       "the coverage preset first (cmake --preset coverage && " \
+       "cmake --build --preset coverage && ctest --preset coverage)" >&2
+  exit 2
+fi
+
+GCDA_COUNT=$(find "$ROOT/$BUILD_DIR/src" -name '*.gcda' | wc -l)
+if [ "$GCDA_COUNT" -eq 0 ]; then
+  echo "coverage_report: no .gcda files under $BUILD_DIR/src — did the" \
+       "tests run?" >&2
+  exit 2
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+# -p preserves the path in the output name (src#comm#communicator.cc.gcov),
+# -r -s limits output to sources under the repo root.
+find "$ROOT/$BUILD_DIR/src" -name '*.gcda' | sort | while read -r gcda; do
+  gcov -p -r -s "$ROOT" -o "$(dirname "$gcda")" "$gcda" >/dev/null 2>&1 || true
+done
+
+shopt -s nullglob
+CC_GCOV=(*.cc.gcov)
+if [ ${#CC_GCOV[@]} -eq 0 ]; then
+  echo "coverage_report: gcov produced no *.cc.gcov outputs" >&2
+  exit 2
+fi
+
+awk -F: -v min="${MIN_COMM_COMPRESS:-}" '
+  FNR == 1 {
+    src = FILENAME
+    sub(/\.gcov$/, "", src)
+    gsub(/#/, "/", src)
+    dir = src
+    sub(/\/[^\/]*$/, "", dir)
+  }
+  {
+    count = $1
+    gsub(/[ \t]/, "", count)
+    lineno = $2 + 0
+    if (lineno == 0 || count == "-") next  # metadata / non-executable
+    total[dir]++
+    if (count != "#####" && count != "=====") covered[dir]++
+  }
+  END {
+    printf "%-24s %10s %10s %8s\n", "directory", "covered", "lines", "pct"
+    n = 0
+    for (d in total) dirs[++n] = d
+    for (i = 2; i <= n; i++) {  # insertion sort: asorti is gawk-only
+      v = dirs[i]
+      for (j = i - 1; j >= 1 && dirs[j] > v; j--) dirs[j + 1] = dirs[j]
+      dirs[j + 1] = v
+    }
+    gt = 0; gc = 0
+    for (i = 1; i <= n; i++) {
+      d = dirs[i]
+      c = covered[d] + 0
+      t = total[d]
+      gt += t; gc += c
+      printf "%-24s %10d %10d %7.1f%%\n", d, c, t, 100.0 * c / t
+    }
+    printf "%-24s %10d %10d %7.1f%%\n", "TOTAL", gc, gt, 100.0 * gc / gt
+    cct = total["src/comm"] + total["src/compress"]
+    ccc = covered["src/comm"] + covered["src/compress"]
+    if (cct == 0) {
+      print "coverage_report: no lines attributed to src/comm or src/compress" > "/dev/stderr"
+      exit 2
+    }
+    pct = 100.0 * ccc / cct
+    printf "\nsrc/comm + src/compress combined: %.1f%% (%d/%d lines)\n", pct, ccc, cct
+    if (min != "") {
+      if (pct < min + 0) {
+        printf "coverage_report: FAIL — combined comm+compress coverage %.1f%% is below the gate %.1f%%\n", pct, min + 0 > "/dev/stderr"
+        exit 1
+      }
+      printf "coverage gate: OK (>= %.1f%%)\n", min + 0
+    }
+  }
+' "${CC_GCOV[@]}"

@@ -81,6 +81,52 @@ if [ "$FAILURES" -eq 0 ]; then
 fi
 
 # ---------------------------------------------------------------------------
+# LAYERING
+#
+# Include-graph rules, checked from the raw `#include "..."` lines:
+#
+#   1. The compute layers — src/tensor, src/linalg, src/dnn — sit strictly
+#      below the communication/runtime layers. An include of comm/ or core/
+#      headers from them is an inverted dependency (it would, e.g., let a
+#      layer block on a collective), so it fails the lint.
+#   2. The model checker's instrumentation header (src/check/sched_point.*)
+#      must stay dependency-free: acps_comm/acps_core link it, so if it ever
+#      includes another module the dependency arrow flips into a cycle.
+# ---------------------------------------------------------------------------
+
+# $1 = check name, $2 = ERE matched against the include target, $3 = exact
+# include target exempted (empty for none), rest = paths.
+layer_check() {
+  local check="$1" pattern="$2" exempt="$3"
+  shift 3
+  local hits
+  hits=$(find "$@" -type f \( -name '*.cc' -o -name '*.h' \) -print0 \
+      2>/dev/null | sort -z | xargs -0 -r awk \
+      -v pat="$pattern" -v check="$check" -v exempt="$exempt" '
+    /^[[:space:]]*#[[:space:]]*include[[:space:]]*"/ {
+      target = $0
+      sub(/^[[:space:]]*#[[:space:]]*include[[:space:]]*"/, "", target)
+      sub(/".*$/, "", target)
+      if (target ~ pat && target != exempt &&
+          index($0, "lint:allow(" check ")") == 0)
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+    }')
+  if [ -n "$hits" ]; then
+    note "LAYERING VIOLATION: $check"
+    printf '%s\n' "$hits"
+    FAILURES=1
+  fi
+}
+
+layer_check compute-below-runtime '^(comm|core)/' '' \
+    src/tensor src/linalg src/dnn
+layer_check sched-point-no-deps '\.h$' 'check/sched_point.h' \
+    src/check/sched_point.h src/check/sched_point.cc
+if [ "$FAILURES" -eq 0 ]; then
+  note "layering checks: clean"
+fi
+
+# ---------------------------------------------------------------------------
 # clang-tidy layer
 # ---------------------------------------------------------------------------
 if ! command -v clang-tidy >/dev/null 2>&1; then
