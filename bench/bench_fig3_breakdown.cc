@@ -1,10 +1,15 @@
 // Fig 3: time breakdown (FF&BP / compression / non-overlapped
 // communication) of the characterized methods on ResNet-50 and BERT-Base.
 #include "bench_common.h"
+#include "obs/kernel_metrics.h"
+#include "par/kernel_stats.h"
 
 using namespace acps;
 
 int main() {
+  // Per-kernel wall time / FLOP rate of the real compute under the
+  // simulated iterations (gemm, top-k selection, QR, ...).
+  par::SetKernelStatsEnabled(true);
   bench::Header("Fig 3", "Time breakdowns on ResNet-50 and BERT-Base");
   bench::Note("Paper shape: Sign-SGD's all-gather costs MORE than S-SGD's "
               "all-reduce despite 32x compression; Top-k is compute-bound "
@@ -37,5 +42,7 @@ int main() {
     }
     std::printf("%s", table.Render().c_str());
   }
+  std::printf("\nCompute-kernel breakdown (all models, all methods):\n%s",
+              obs::KernelStatsTable().c_str());
   return 0;
 }

@@ -1,10 +1,15 @@
 // Fig 8: time breakdowns of the Table III methods on ResNet-50 and
 // BERT-Base.
 #include "bench_common.h"
+#include "obs/kernel_metrics.h"
+#include "par/kernel_stats.h"
 
 using namespace acps;
 
 int main() {
+  // Per-kernel wall time / FLOP rate of the real compute under the
+  // simulated iterations (gemm, top-k selection, QR, ...).
+  par::SetKernelStatsEnabled(true);
   bench::Header("Fig 8", "Time breakdowns: S-SGD / Power-SGD / Power-SGD* / "
                          "ACP-SGD");
   bench::Note("Paper shape: ACP-SGD has very low compression AND "
@@ -37,5 +42,7 @@ int main() {
     }
     std::printf("%s", table.Render().c_str());
   }
+  std::printf("\nCompute-kernel breakdown (all models, all methods):\n%s",
+              obs::KernelStatsTable().c_str());
   return 0;
 }

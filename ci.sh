@@ -4,8 +4,10 @@
 # exploration model checker, and the coverage gate.
 #
 #   ./ci.sh                 # lint + release + tsan + asan-ubsan + modelcheck
+#                           #   + perf-smoke
 #   ./ci.sh lint tsan       # any subset of:
-#                           #   lint release tsan asan-ubsan modelcheck coverage
+#                           #   lint release tsan asan-ubsan modelcheck
+#                           #   perf-smoke coverage
 #
 # Presets come from CMakePresets.json; the sanitizer test presets exclude
 # the `sanitizer-slow` ctest label (long convergence runs) and load
@@ -23,11 +25,14 @@ cd "$(dirname "$0")"
 # coverage gate; raise when coverage improves, never lower to paper over
 # a drop.
 ACPS_COV_MIN_COMM_COMPRESS=95.0
+# Line-coverage floor for the deterministic parallel layer (src/par): the
+# pool is the substrate every kernel trusts, so its machinery stays >= 90%.
+ACPS_COV_MIN_PAR=90.0
 
 JOBS="${JOBS:-$(nproc)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(lint release tsan asan-ubsan modelcheck)
+  LEGS=(lint release tsan asan-ubsan modelcheck perf-smoke)
 fi
 
 run_preset() {
@@ -55,17 +60,28 @@ for leg in "${LEGS[@]}"; do
       cmake --build --preset release -j "$JOBS"
       ctest --preset modelcheck -j "$JOBS"
       ;;
+    perf-smoke)
+      # Quick kernel-bench pass gated against the committed baseline
+      # (BENCH_kernels.json): fails on a >25% speedup-over-naive regression
+      # or when an acceptance kernel drops under 3x. See DESIGN.md §6e.
+      echo
+      echo "==================== perf-smoke ===================="
+      cmake --preset release
+      cmake --build --preset release -j "$JOBS" --target bench_kernels
+      BUILD_DIR=build-release tools/bench_baseline.sh --check
+      ;;
     coverage)
       echo
       echo "==================== coverage ===================="
       cmake --preset coverage
       cmake --build --preset coverage -j "$JOBS"
       ctest --preset coverage -j "$JOBS"
-      tools/coverage_report.sh build-coverage "$ACPS_COV_MIN_COMM_COMPRESS"
+      tools/coverage_report.sh build-coverage "$ACPS_COV_MIN_COMM_COMPRESS" \
+          "$ACPS_COV_MIN_PAR"
       ;;
     *)
       echo "ci.sh: unknown leg '$leg' (expected: lint release tsan" \
-           "asan-ubsan modelcheck coverage)" >&2
+           "asan-ubsan modelcheck perf-smoke coverage)" >&2
       exit 2
       ;;
   esac

@@ -8,6 +8,10 @@
 #include "comm/communicator.h"
 #include "compress/error_feedback.h"
 #include "compress/registry.h"
+#include "compress/sign.h"
+#include "compress/topk.h"
+#include "par/thread_pool.h"
+#include "tensor/matrix_ops.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 
@@ -272,6 +276,171 @@ OracleReport CheckCompressorInvariants(const std::string& spec,
                                             opt.numels.back()};
   for (int64_t numel : comm_numels)
     CheckRankInvariance(spec, numel, opt, report);
+  return report;
+}
+
+namespace {
+
+// One full pass of every parallel kernel at the CURRENT thread budget.
+// Returns all outputs concatenated into one float vector so the caller can
+// compare runs bitwise with a single memcmp-style equality.
+std::vector<float> RunKernelSuite(uint64_t seed) {
+  std::vector<float> out;
+  const auto emit = [&out](std::span<const float> v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+
+  // Shapes: odd sizes exercise the edge tiles, the (n, r)-style shapes match
+  // the paper's low-rank factors.
+  struct GemmShape {
+    int64_t n, k, m;
+  };
+  for (const GemmShape s : {GemmShape{33, 17, 8}, GemmShape{64, 64, 32},
+                            GemmShape{1000, 4, 4}}) {
+    Rng rng(seed ^ (static_cast<uint64_t>(s.n) << 20));
+    std::vector<float> a(static_cast<size_t>(s.n * s.k));
+    std::vector<float> b(static_cast<size_t>(s.k * s.m));
+    std::vector<float> c(static_cast<size_t>(s.n * s.m));
+    for (float& v : a) v = rng.normal();
+    for (float& v : b) v = rng.normal();
+    for (float& v : c) v = rng.normal();
+
+    std::vector<float> c1 = c;
+    Gemm(a, b, c1, s.n, s.k, s.m, 1.25f, 0.5f);
+    emit(c1);
+    // A stored [k×n] for TransA: reuse `a` reinterpreted (size matches).
+    std::vector<float> c2 = c;
+    GemmTransA(a, b, c2, s.n, s.k, s.m, 1.0f, 0.0f);
+    emit(c2);
+    // B stored [m×k] for TransB: sizes match b.
+    std::vector<float> c3 = c;
+    GemmTransB(a, b, c3, s.n, s.k, s.m, -0.75f, 1.0f);
+    emit(c3);
+
+    std::vector<float> x(static_cast<size_t>(s.k));
+    std::vector<float> y(static_cast<size_t>(s.n));
+    for (float& v : x) v = rng.normal();
+    Gemv(a, x, y, s.n, s.k);
+    emit(y);
+  }
+
+  // Vector kernels + deterministic reductions on a size that spans several
+  // grain blocks and a ragged tail.
+  const int64_t n = 100003;
+  Rng rng(seed ^ 0xFEEDull);
+  Tensor t({n}), u({n});
+  for (int64_t i = 0; i < n; ++i) t.at(i) = rng.normal();
+  for (int64_t i = 0; i < n; ++i) u.at(i) = rng.normal();
+  Axpy(0.37f, u.data(), t.data());
+  Scal(1.1f, t.data());
+  emit(t.data());
+  const float red[4] = {t.sum(), t.dot(u), t.norm2(), t.abs_max()};
+  emit(std::span<const float>(red, 4));
+
+  Tensor mat = Tensor::FromSpan(
+      {149, 67}, std::span<const float>(t.data().data(), 149 * 67));
+  emit(Transpose(mat).data());
+
+  // Compressor kernels: blobs reinterpreted as floats for the comparison
+  // (bit patterns are what must match).
+  compress::SignCompressor sign;
+  const auto sign_blob = sign.Encode(t.data());
+  std::vector<float> sign_dec(static_cast<size_t>(n));
+  sign.Decode(sign_blob, sign_dec);
+  emit(sign_dec);
+
+  compress::TopkCompressor topk(0.01, compress::TopkSelection::kSampledThreshold);
+  const auto topk_blob = topk.Encode(t.data());
+  std::vector<float> topk_dec(static_cast<size_t>(n));
+  topk.Decode(topk_blob, topk_dec);
+  emit(topk_dec);
+
+  return out;
+}
+
+// Bitwise comparison (float == would treat -0.0f == 0.0f and NaN != NaN).
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b,
+                  size_t* first_diff) {
+  if (a.size() != b.size()) {
+    *first_diff = std::min(a.size(), b.size());
+    return false;
+  }
+  if (a.empty() ||
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0)
+    return true;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) {
+      *first_diff = i;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+OracleReport CheckKernelThreadInvariance(const OracleOptions& opt) {
+  OracleReport report;
+  const int saved = par::NumThreads();
+
+  par::SetNumThreads(1);
+  const std::vector<float> baseline = RunKernelSuite(opt.seed);
+
+  // GEMM-family naive parity at 1 thread: the production kernels implement
+  // the documented accumulation policy exactly.
+  {
+    Rng rng(opt.seed ^ 0xBEEFull);
+    const int64_t n = 61, k = 37, m = 33;
+    std::vector<float> a(static_cast<size_t>(n * k));
+    std::vector<float> b(static_cast<size_t>(k * m));
+    std::vector<float> c(static_cast<size_t>(n * m));
+    for (float& v : a) v = rng.normal();
+    for (float& v : b) v = rng.normal();
+    for (float& v : c) v = rng.normal();
+    struct Variant {
+      const char* name;
+      void (*kernel)(std::span<const float>, std::span<const float>,
+                     std::span<float>, int64_t, int64_t, int64_t, float,
+                     float);
+      void (*naive)(std::span<const float>, std::span<const float>,
+                    std::span<float>, int64_t, int64_t, int64_t, float, float);
+    };
+    for (const Variant v :
+         {Variant{"gemm", &Gemm, &GemmNaive},
+          Variant{"gemm_ta", &GemmTransA, &GemmTransANaive},
+          Variant{"gemm_tb", &GemmTransB, &GemmTransBNaive}}) {
+      for (const float beta : {0.0f, 1.0f, 0.5f}) {
+        std::vector<float> got = c, want = c;
+        v.kernel(a, b, got, n, k, m, 1.5f, beta);
+        v.naive(a, b, want, n, k, m, 1.5f, beta);
+        ++report.checks_run;
+        size_t diff = 0;
+        if (!BitwiseEqual(got, want, &diff)) {
+          std::ostringstream oss;
+          oss << v.name << " (beta=" << beta
+              << ") diverges from its naive reference at element " << diff;
+          AddFailure(report, "par-kernels", "naive-parity", n * m, opt.seed,
+                     oss.str());
+        }
+      }
+    }
+  }
+
+  for (const int threads : {2, 4, 8}) {
+    par::SetNumThreads(threads);
+    const std::vector<float> got = RunKernelSuite(opt.seed);
+    ++report.checks_run;
+    size_t diff = 0;
+    if (!BitwiseEqual(got, baseline, &diff)) {
+      std::ostringstream oss;
+      oss << "kernel suite at " << threads
+          << " threads diverges from 1 thread at output element " << diff;
+      AddFailure(report, "par-kernels", "thread-invariance",
+                 static_cast<int64_t>(baseline.size()), opt.seed, oss.str());
+    }
+  }
+
+  par::SetNumThreads(saved);
   return report;
 }
 

@@ -1,5 +1,7 @@
 #include "compress/error_feedback.h"
 
+#include "par/parallel.h"
+
 namespace acps::compress {
 
 Tensor& ErrorFeedback::residual(int64_t tensor_id, const Shape& shape) {
@@ -21,8 +23,18 @@ void ErrorFeedback::AddInto(int64_t tensor_id, Tensor& grad) {
 void ErrorFeedback::Update(int64_t tensor_id, const Tensor& compressed_input,
                            const Tensor& reconstruction) {
   Tensor& e = residual(tensor_id, compressed_input.shape());
-  e.copy_from(compressed_input);
-  e.sub_(reconstruction);
+  ACPS_CHECK_MSG(compressed_input.numel() == reconstruction.numel(),
+                 "ErrorFeedback::Update size mismatch");
+  // Fused e = input − reconstruction: one pass over the three buffers
+  // instead of a copy pass followed by a subtract pass.
+  float* ed = e.data().data();
+  const float* in = compressed_input.data().data();
+  const float* rec = reconstruction.data().data();
+  par::ParallelFor(par::kDefaultGrain, e.numel(),
+                   [&](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i)
+                       ed[i] = in[i] - rec[i];
+                   });
 }
 
 int64_t ErrorFeedback::total_elements() const noexcept {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/kernel_stats.h"
+#include "par/parallel.h"
+
 namespace acps::compress {
 
 namespace {
@@ -13,20 +16,38 @@ void SignCompressor::EncodeInto(std::span<const float> grad,
                                 std::span<std::byte> out) {
   const size_t n = grad.size();
   ACPS_CHECK_MSG(out.size() == EncodedBytes(n), "Sign encode size mismatch");
+  par::KernelTimer timer("sign_encode", static_cast<uint64_t>(n));
 
-  double abs_sum = 0.0;
-  for (float v : grad) abs_sum += std::abs(v);
+  // Deterministic fixed-chunk tree (par/parallel.h): same scale for every
+  // thread count.
+  const double abs_sum = par::ParallelReduce(
+      int64_t{1} << 15, static_cast<int64_t>(n), 0.0,
+      [&](int64_t begin, int64_t end) {
+        double acc = 0.0;
+        for (int64_t i = begin; i < end; ++i)
+          acc += std::abs(grad[static_cast<size_t>(i)]);
+        return acc;
+      },
+      [](double x, double y) { return x + y; });
   const float scale = n > 0 ? static_cast<float>(abs_sum / double(n)) : 0.0f;
 
   wire::Write(out, 0, scale);
   wire::Write(out, sizeof(float), static_cast<uint64_t>(n));
 
   std::byte* bits = out.data() + kHeaderBytes;
-  std::fill(bits, bits + (n + 7) / 8, std::byte{0});
-  for (size_t i = 0; i < n; ++i) {
-    if (grad[i] < 0.0f)  // sign(0) = +1 convention
-      bits[i / 8] |= static_cast<std::byte>(1u << (i % 8));
-  }
+  // Block boundaries aligned to 8 elements: each block owns whole bytes, so
+  // blocks zero and set their bytes without sharing.
+  par::ParallelForBlocks(
+      par::kDefaultGrain, static_cast<int64_t>(n), /*align=*/8,
+      [&](int64_t, int64_t begin, int64_t end) {
+        std::byte* first = bits + begin / 8;
+        std::byte* last = bits + (end + 7) / 8;
+        std::fill(first, last, std::byte{0});
+        for (int64_t i = begin; i < end; ++i) {
+          if (grad[static_cast<size_t>(i)] < 0.0f)  // sign(0) = +1 convention
+            bits[i / 8] |= static_cast<std::byte>(1u << (i % 8));
+        }
+      });
 }
 
 void SignCompressor::Decode(std::span<const std::byte> blob,
@@ -35,12 +56,18 @@ void SignCompressor::Decode(std::span<const std::byte> blob,
   const auto n = wire::Read<uint64_t>(blob, sizeof(float));
   ACPS_CHECK_MSG(out.size() == n, "Sign decode size mismatch");
   ACPS_CHECK(blob.size() == kHeaderBytes + (n + 7) / 8);
+  par::KernelTimer timer("sign_decode", n);
   const std::byte* bits = blob.data() + kHeaderBytes;
-  for (size_t i = 0; i < n; ++i) {
-    const bool neg =
-        (bits[i / 8] & static_cast<std::byte>(1u << (i % 8))) != std::byte{0};
-    out[i] = neg ? -scale : scale;
-  }
+  par::ParallelFor(par::kDefaultGrain, static_cast<int64_t>(n),
+                   [&](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       const bool neg =
+                           (bits[i / 8] &
+                            static_cast<std::byte>(1u << (i % 8))) !=
+                           std::byte{0};
+                       out[static_cast<size_t>(i)] = neg ? -scale : scale;
+                     }
+                   });
 }
 
 bool SignCompressor::SignBit(std::span<const std::byte> blob, size_t i) {
@@ -56,6 +83,7 @@ void SignCompressor::MajorityVote(
   ACPS_CHECK_MSG(!blobs.empty(), "MajorityVote needs at least one blob");
   const auto n = wire::Read<uint64_t>(blobs[0], sizeof(float));
   ACPS_CHECK_MSG(out.size() == n, "MajorityVote size mismatch");
+  par::KernelTimer timer("sign_vote", n * blobs.size());
 
   double scale_sum = 0.0;
   for (const auto& b : blobs) {
@@ -65,16 +93,21 @@ void SignCompressor::MajorityVote(
   }
   const float scale = static_cast<float>(scale_sum / double(blobs.size()));
 
-  for (size_t i = 0; i < n; ++i) {
-    int vote = 0;
-    for (const auto& b : blobs) {
-      const std::byte* bits = b.data() + kHeaderBytes;
-      const bool neg = (bits[i / 8] &
-                        static_cast<std::byte>(1u << (i % 8))) != std::byte{0};
-      vote += neg ? -1 : 1;
-    }
-    out[i] = (vote >= 0) ? scale : -scale;  // tie => +1
-  }
+  par::ParallelFor(
+      par::kDefaultGrain, static_cast<int64_t>(n),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          int vote = 0;
+          for (const auto& b : blobs) {
+            const std::byte* bits = b.data() + kHeaderBytes;
+            const bool neg =
+                (bits[i / 8] & static_cast<std::byte>(1u << (i % 8))) !=
+                std::byte{0};
+            vote += neg ? -1 : 1;
+          }
+          out[static_cast<size_t>(i)] = (vote >= 0) ? scale : -scale;  // tie => +1
+        }
+      });
 }
 
 }  // namespace acps::compress

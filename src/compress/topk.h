@@ -3,10 +3,13 @@
 // Two selection schemes:
 //  * kExact — true top-k by magnitude (nth_element); the paper notes this is
 //    what you want semantically but is slow on GPUs.
-//  * kSampledThreshold — the paper's "multiple sampling" scheme: binary-search
-//    a magnitude threshold using repeated counting passes until the number of
-//    surviving elements is close to k, then take elements above it (trimming
-//    or padding to exactly k so encoded size stays fixed).
+//  * kSampledThreshold — the paper's "multiple sampling" scheme: pick a
+//    magnitude threshold that keeps ≈ k elements, then take elements above it
+//    (trimming or padding to exactly k so encoded size stays fixed). The
+//    production path finds the threshold with one 4096-bucket histogram that
+//    buckets |g| directly by IEEE bit pattern — no max/range pass needed, so
+//    selection is 2 data passes total (histogram + gather); the original
+//    ~25-pass binary search is kept as SelectSampledBinarySearch for A/B runs.
 //
 // Encode: [k][numel][(index, value) × k]. Selected values are the raw
 // gradient entries; aggregation is all-gather + scatter-add-average (Top-k
@@ -47,14 +50,24 @@ class TopkCompressor final : public Compressor {
   static void AccumulateInto(std::span<const std::byte> blob,
                              std::span<float> out, int num_workers);
 
-  // Statistics of the last Encode for tests / benches.
+  // Data passes over the gradient made by the last EncodeInto's threshold
+  // selection (reset to 0 each call; stays 0 for the exact scheme).
   [[nodiscard]] int last_threshold_passes() const noexcept {
     return last_threshold_passes_;
   }
 
- private:
+  // The pre-histogram multi-pass scheme (one counting pass per binary-search
+  // probe). Public so bench_kernels can measure histogram vs binary search.
+  [[nodiscard]] std::vector<uint32_t> SelectSampledBinarySearch(
+      std::span<const float> grad, size_t k);
+
+  // The definitional reference: true top-k by magnitude via nth_element over
+  // all n candidates. Public as the naive baseline of bench_kernels' topk
+  // case (the paper's premise is that exact selection is too slow at scale).
   [[nodiscard]] std::vector<uint32_t> SelectExact(std::span<const float> grad,
                                                   size_t k) const;
+
+ private:
   [[nodiscard]] std::vector<uint32_t> SelectSampled(std::span<const float> grad,
                                                     size_t k);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "fusion/fusion_buffer.h"
+#include "par/parallel.h"
+#include "tensor/matrix_ops.h"
 
 namespace acps::core {
 namespace {
@@ -22,7 +24,11 @@ Tensor PackGrads(const std::vector<dnn::Param*>& rev) {
   int64_t off = 0;
   for (auto* p : rev) {
     const auto src = p->grad.data();
-    std::copy(src.begin(), src.end(), dst.begin() + off);
+    par::ParallelFor(par::kDefaultGrain, p->grad.numel(),
+                     [&](int64_t begin, int64_t end) {
+                       std::copy(src.begin() + begin, src.begin() + end,
+                                 dst.begin() + off + begin);
+                     });
     off += p->grad.numel();
   }
   return flat;
@@ -33,8 +39,11 @@ void UnpackGrads(const Tensor& flat, const std::vector<dnn::Param*>& rev) {
   int64_t off = 0;
   for (auto* p : rev) {
     auto dst = p->grad.data();
-    std::copy(src.begin() + off, src.begin() + off + p->grad.numel(),
-              dst.begin());
+    par::ParallelFor(par::kDefaultGrain, p->grad.numel(),
+                     [&](int64_t begin, int64_t end) {
+                       std::copy(src.begin() + off + begin,
+                                 src.begin() + off + end, dst.begin() + begin);
+                     });
     off += p->grad.numel();
   }
   ACPS_CHECK(off == flat.numel());
@@ -58,7 +67,7 @@ void BucketedAllReduceMean(const std::vector<std::span<float>>& spans,
       buf.Pack(static_cast<int>(j), spans[static_cast<size_t>(bucket[j])]);
     auto flat = buf.flat();
     comm.all_reduce(flat);
-    for (float& v : flat) v *= inv;
+    Scal(inv, flat);
     for (size_t j = 0; j < bucket.size(); ++j) {
       auto dst = spans[static_cast<size_t>(bucket[j])];
       buf.Unpack(static_cast<int>(j), dst);
@@ -188,7 +197,7 @@ void RandomkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
       reinterpret_cast<float*>(blob.data() + kHeader), indices.size());
   comm.all_reduce(values);
   const float inv = 1.0f / static_cast<float>(comm.world_size());
-  for (float& v : values) v *= inv;
+  Scal(inv, values);
 
   if (error_feedback_) {
     // Residual against the locally kept coordinates (standard EF).
@@ -212,7 +221,7 @@ void PowerSgdAggregator::Aggregate(const std::vector<dnn::Param*>& params,
   const float inv = 1.0f / static_cast<float>(comm.world_size());
   const compress::AllReduceMeanFn mean = [&](std::span<float> v) {
     comm.all_reduce(v);
-    for (float& x : v) x *= inv;
+    Scal(inv, v);
   };
 
   std::vector<std::span<float>> dense;
@@ -283,7 +292,7 @@ void AcpSgdAggregator::Aggregate(const std::vector<dnn::Param*>& params,
       buf.Pack(static_cast<int>(s), factors[static_cast<size_t>(bucket[s])]);
     auto flat = buf.flat();
     comm.all_reduce(flat);
-    for (float& v : flat) v *= inv;
+    Scal(inv, flat);
     for (size_t s = 0; s < bucket.size(); ++s)
       buf.Unpack(static_cast<int>(s), factors[static_cast<size_t>(bucket[s])]);
     // Phase 3: decompress the tensors of this bucket.

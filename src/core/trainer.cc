@@ -8,6 +8,7 @@
 #include "dnn/loss.h"
 #include "dnn/mini_models.h"
 #include "metrics/csv.h"
+#include "par/thread_pool.h"
 
 namespace acps::core {
 
@@ -41,6 +42,9 @@ std::string TrainConfig::Validate(int world_size) const {
   if (momentum < 0.0f || momentum >= 1.0f)
     add("momentum must be in [0, 1), got " + std::to_string(momentum));
   if (weight_decay < 0.0f) add("weight_decay must be >= 0");
+  if (compute_threads < 0 || compute_threads > par::kMaxThreads)
+    add("compute_threads must be in [0, " + std::to_string(par::kMaxThreads) +
+        "], got " + std::to_string(compute_threads));
   return err;
 }
 
@@ -49,6 +53,12 @@ TrainResult TrainDistributed(comm::ThreadGroup& group,
                              const AggregatorFactory& factory) {
   const std::string err = config.Validate(group.world_size());
   ACPS_CHECK_MSG(err.empty(), "invalid TrainConfig: " << err);
+
+  // Size the kernel pool before any worker touches it: the ring workers all
+  // share the global pool (busy callers fall back to inline execution), so
+  // the budget is divided across them unless explicitly requested.
+  par::SetNumThreads(
+      par::WorkerThreadBudget(config.compute_threads, group.world_size()));
 
   TrainResult result;
   std::mutex result_mu;

@@ -31,6 +31,12 @@ struct TrainConfig {
   float weight_decay = 0.0f;
   uint64_t model_seed = 42;
   uint64_t shuffle_seed = 7;
+  // Compute-thread budget for the kernel pool (acps::par), applied at
+  // TrainDistributed entry via par::SetNumThreads. 0 = auto: the current
+  // par::NumThreads() budget divided across the simulated ring workers so
+  // pool + ThreadGroup never oversubscribe the machine (WorkerThreadBudget).
+  // Kernels are bitwise deterministic for any value (DESIGN.md §6e).
+  int compute_threads = 0;
   // If non-empty, the per-epoch history (epoch, train_loss, test_acc) is
   // written there as CSV when training finishes.
   std::string history_csv_path;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "linalg/qr.h"
+#include "par/kernel_stats.h"
+#include "par/parallel.h"
 #include "tensor/rng.h"
 
 namespace acps {
@@ -15,6 +17,21 @@ namespace {
 void ReseedColumn(Tensor& a, int64_t col) {
   Rng rng(0xC01DBEEFull + static_cast<uint64_t>(col));
   for (int64_t i = 0; i < a.rows(); ++i) a.at(i, col) = rng.normal();
+}
+
+// Strided column dot over rows [0, n): deterministic fixed-chunk tree, so
+// the value is thread-count invariant (par/parallel.h).
+double ColumnDot(const float* a, int64_t n, int64_t stride, int64_t col_x,
+                 int64_t col_y) {
+  return par::ParallelReduce(
+      int64_t{1} << 15, n, 0.0,
+      [&](int64_t begin, int64_t end) {
+        double acc = 0.0;
+        for (int64_t i = begin; i < end; ++i)
+          acc += double(a[i * stride + col_x]) * a[i * stride + col_y];
+        return acc;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 }  // namespace
@@ -38,11 +55,11 @@ void OrthogonalizeQr(Tensor& a) {
   QrResult qr = ReducedQr(a);
   // Guard against rank deficiency: QR of a zero column produces a zero
   // column in Q (tau == 0 path); re-orthogonalize after reseeding if needed.
+  const float* qd = qr.q.data().data();
+  const int64_t stride = qr.q.cols();
   bool deficient = false;
   for (int64_t j = 0; j < qr.q.cols(); ++j) {
-    double norm_sq = 0.0;
-    for (int64_t i = 0; i < qr.q.rows(); ++i)
-      norm_sq += double(qr.q.at(i, j)) * qr.q.at(i, j);
+    const double norm_sq = ColumnDot(qd, qr.q.rows(), stride, j, j);
     if (norm_sq < 0.5) {  // orthonormal column has norm 1
       ReseedColumn(qr.q, j);
       deficient = true;
@@ -59,23 +76,24 @@ void OrthogonalizeGramSchmidt(Tensor& a) {
                  "OrthogonalizeGramSchmidt needs n >= r, got "
                      << ShapeToString(a.shape()));
   const int64_t n = a.rows(), r = a.cols();
+  par::KernelTimer timer("gram_schmidt",
+                         static_cast<uint64_t>(2 * n * r * r));
+  float* ad = a.data().data();
   for (int64_t j = 0; j < r; ++j) {
     // Pre-projection norm: the degeneracy threshold must be relative, or a
     // duplicated column leaves a tiny numerical residual that would be
     // normalized into garbage.
-    double orig_norm_sq = 0.0;
-    for (int64_t i = 0; i < n; ++i)
-      orig_norm_sq += double(a.at(i, j)) * a.at(i, j);
+    const double orig_norm_sq = ColumnDot(ad, n, r, j, j);
     // Subtract projections onto previous columns (modified Gram–Schmidt).
     for (int64_t k = 0; k < j; ++k) {
-      double dot = 0.0;
-      for (int64_t i = 0; i < n; ++i)
-        dot += double(a.at(i, k)) * a.at(i, j);
-      for (int64_t i = 0; i < n; ++i)
-        a.at(i, j) = static_cast<float>(a.at(i, j) - dot * a.at(i, k));
+      const double dot = ColumnDot(ad, n, r, k, j);
+      par::ParallelFor(par::kDefaultGrain, n, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i)
+          ad[i * r + j] =
+              static_cast<float>(ad[i * r + j] - dot * ad[i * r + k]);
+      });
     }
-    double norm_sq = 0.0;
-    for (int64_t i = 0; i < n; ++i) norm_sq += double(a.at(i, j)) * a.at(i, j);
+    const double norm_sq = ColumnDot(ad, n, r, j, j);
     if (norm_sq < 1e-10 * std::max(orig_norm_sq, 1.0)) {
       // Degenerate column: replace with a deterministic random direction and
       // redo this column.
@@ -84,7 +102,9 @@ void OrthogonalizeGramSchmidt(Tensor& a) {
       continue;
     }
     const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
-    for (int64_t i = 0; i < n; ++i) a.at(i, j) *= inv;
+    par::ParallelFor(par::kDefaultGrain, n, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) ad[i * r + j] *= inv;
+    });
   }
 }
 

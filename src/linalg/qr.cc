@@ -1,11 +1,27 @@
 #include "linalg/qr.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
+#include "par/kernel_stats.h"
+#include "par/parallel.h"
 #include "tensor/matrix_ops.h"
 
 namespace acps {
+namespace {
+
+// Column-panel parallelism: the trailing-update and back-accumulation loops
+// apply one reflector to many independent columns. Each column is processed
+// serially by exactly one task, so any column partition is bitwise equal to
+// the serial loop. The grain keeps small panels (short columns or few of
+// them) inline on the caller.
+int64_t ColumnGrain(int64_t col_len) {
+  return std::max<int64_t>(1, par::kDefaultGrain /
+                                  std::max<int64_t>(1, col_len));
+}
+
+}  // namespace
 
 QrResult ReducedQr(const Tensor& a) {
   ACPS_CHECK_MSG(a.ndim() == 2, "ReducedQr needs a matrix, got "
@@ -13,21 +29,24 @@ QrResult ReducedQr(const Tensor& a) {
   const int64_t n = a.rows(), r = a.cols();
   ACPS_CHECK_MSG(n >= r && r >= 1,
                  "ReducedQr needs n >= r >= 1, got " << n << "x" << r);
+  par::KernelTimer timer(
+      "qr", static_cast<uint64_t>(4 * n * r * r));  // ~2nr² factor + 2nr² Q
 
   // Work on a copy; accumulate Householder vectors in-place below the
   // diagonal, R above it, then form Q explicitly by back-accumulation.
   Tensor work = a.clone();
+  float* w = work.data().data();
   std::vector<float> tau(static_cast<size_t>(r), 0.0f);
 
   for (int64_t k = 0; k < r; ++k) {
     // Compute the Householder reflector for column k, rows k..n-1.
     double norm_sq = 0.0;
     for (int64_t i = k; i < n; ++i) {
-      const double v = work.at(i, k);
+      const double v = w[i * r + k];
       norm_sq += v * v;
     }
     const double norm = std::sqrt(norm_sq);
-    const double akk = work.at(k, k);
+    const double akk = w[k * r + k];
     if (norm < 1e-30) {
       tau[static_cast<size_t>(k)] = 0.0f;  // zero column: skip reflection
       continue;
@@ -36,22 +55,25 @@ QrResult ReducedQr(const Tensor& a) {
     // v = x - alpha*e1, normalized so v[k] = 1.
     const double vkk = akk - alpha;
     for (int64_t i = k + 1; i < n; ++i)
-      work.at(i, k) = static_cast<float>(work.at(i, k) / vkk);
+      w[i * r + k] = static_cast<float>(w[i * r + k] / vkk);
     tau[static_cast<size_t>(k)] =
         static_cast<float>((alpha - akk) / alpha);  // = -vkk/alpha
-    work.at(k, k) = static_cast<float>(alpha);
+    w[k * r + k] = static_cast<float>(alpha);
 
     // Apply the reflector to remaining columns: A <- (I - tau v vᵀ) A.
-    for (int64_t j = k + 1; j < r; ++j) {
-      double dot = work.at(k, j);
-      for (int64_t i = k + 1; i < n; ++i)
-        dot += double(work.at(i, k)) * work.at(i, j);
-      const double t = tau[static_cast<size_t>(k)] * dot;
-      work.at(k, j) = static_cast<float>(work.at(k, j) - t);
-      for (int64_t i = k + 1; i < n; ++i)
-        work.at(i, j) =
-            static_cast<float>(work.at(i, j) - t * work.at(i, k));
-    }
+    // Columns are independent; each runs serially on one task.
+    const double tau_k = tau[static_cast<size_t>(k)];
+    par::ParallelFor(ColumnGrain(n - k), r - (k + 1), [&](int64_t b, int64_t e) {
+      for (int64_t j = k + 1 + b; j < k + 1 + e; ++j) {
+        double dot = w[k * r + j];
+        for (int64_t i = k + 1; i < n; ++i)
+          dot += double(w[i * r + k]) * w[i * r + j];
+        const double t = tau_k * dot;
+        w[k * r + j] = static_cast<float>(w[k * r + j] - t);
+        for (int64_t i = k + 1; i < n; ++i)
+          w[i * r + j] = static_cast<float>(w[i * r + j] - t * w[i * r + k]);
+      }
+    });
   }
 
   // Extract R.
@@ -61,19 +83,22 @@ QrResult ReducedQr(const Tensor& a) {
 
   // Form Q = H_0 H_1 ... H_{r-1} · [I_r; 0] by applying reflectors backwards.
   Tensor q({n, r});
-  for (int64_t j = 0; j < r; ++j) q.at(j, j) = 1.0f;
+  float* qd = q.data().data();
+  for (int64_t j = 0; j < r; ++j) qd[j * r + j] = 1.0f;
   for (int64_t k = r - 1; k >= 0; --k) {
     const float tk = tau[static_cast<size_t>(k)];
     if (tk == 0.0f) continue;
-    for (int64_t j = 0; j < r; ++j) {
-      double dot = q.at(k, j);
-      for (int64_t i = k + 1; i < n; ++i)
-        dot += double(work.at(i, k)) * q.at(i, j);
-      const double t = tk * dot;
-      q.at(k, j) = static_cast<float>(q.at(k, j) - t);
-      for (int64_t i = k + 1; i < n; ++i)
-        q.at(i, j) = static_cast<float>(q.at(i, j) - t * work.at(i, k));
-    }
+    par::ParallelFor(ColumnGrain(n - k), r, [&](int64_t b, int64_t e) {
+      for (int64_t j = b; j < e; ++j) {
+        double dot = qd[k * r + j];
+        for (int64_t i = k + 1; i < n; ++i)
+          dot += double(w[i * r + k]) * qd[i * r + j];
+        const double t = tk * dot;
+        qd[k * r + j] = static_cast<float>(qd[k * r + j] - t);
+        for (int64_t i = k + 1; i < n; ++i)
+          qd[i * r + j] = static_cast<float>(qd[i * r + j] - t * w[i * r + k]);
+      }
+    });
   }
 
   return QrResult{std::move(q), std::move(rmat)};

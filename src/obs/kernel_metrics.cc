@@ -1,0 +1,27 @@
+#include "obs/kernel_metrics.h"
+
+#include "metrics/table.h"
+#include "par/kernel_stats.h"
+
+namespace acps::obs {
+
+void ExportKernelStats(MetricsRegistry& registry) {
+  for (const auto& [name, stat] : par::KernelStatsSnapshot()) {
+    registry.counter("kernel." + name + ".calls").Add(stat.calls);
+    registry.gauge("kernel." + name + ".ms")
+        .Set(static_cast<double>(stat.ns) / 1e6);
+    registry.gauge("kernel." + name + ".gflops").Set(stat.gflops());
+  }
+}
+
+std::string KernelStatsTable() {
+  metrics::Table table({"kernel", "calls", "total ms", "GFLOP/s"});
+  for (const auto& [name, stat] : par::KernelStatsSnapshot()) {
+    table.AddRow({name, std::to_string(stat.calls),
+                  metrics::Table::Num(static_cast<double>(stat.ns) / 1e6),
+                  metrics::Table::Num(stat.gflops())});
+  }
+  return table.Render();
+}
+
+}  // namespace acps::obs

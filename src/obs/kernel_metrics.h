@@ -1,0 +1,25 @@
+// Export of the par::KernelStats table (per-kernel calls / wall time /
+// FLOP rate) into the obs metrics registry and the shared ASCII table
+// renderer. Collection lives in par/kernel_stats.h so tensor/linalg never
+// depend on obs; this is the reporting side used by the Fig 3/8 breakdown
+// benches and bench_kernels.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace acps::obs {
+
+// Writes each recorded kernel into `registry` as
+//   kernel.<name>.calls   (counter)  total invocations
+//   kernel.<name>.ms      (gauge)    accumulated wall milliseconds
+//   kernel.<name>.gflops  (gauge)    achieved GFLOP/s over that window
+// The registry must be enabled for the instruments to take values.
+void ExportKernelStats(MetricsRegistry& registry);
+
+// ASCII table of the snapshot (kernel, calls, total ms, GFLOP/s), sorted by
+// name; empty-table render when nothing was recorded.
+[[nodiscard]] std::string KernelStatsTable();
+
+}  // namespace acps::obs

@@ -1,0 +1,65 @@
+#include "par/kernel_stats.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace acps::par {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_mu;
+std::map<std::string, KernelStat>& Table() {
+  static std::map<std::string, KernelStat> table;
+  return table;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void SetKernelStatsEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool KernelStatsEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void RecordKernel(const char* name, uint64_t ns, uint64_t flops) {
+  if (!KernelStatsEnabled()) return;
+  std::lock_guard lock(g_mu);
+  KernelStat& s = Table()[name];
+  ++s.calls;
+  s.ns += ns;
+  s.flops += flops;
+}
+
+std::vector<std::pair<std::string, KernelStat>> KernelStatsSnapshot() {
+  std::lock_guard lock(g_mu);
+  return {Table().begin(), Table().end()};
+}
+
+void ResetKernelStats() {
+  std::lock_guard lock(g_mu);
+  Table().clear();
+}
+
+KernelTimer::KernelTimer(const char* name, uint64_t flops)
+    : name_(KernelStatsEnabled() ? name : nullptr),
+      flops_(flops),
+      begin_ns_(name_ != nullptr ? NowNs() : 0) {}
+
+KernelTimer::~KernelTimer() {
+  if (name_ == nullptr) return;
+  RecordKernel(name_, NowNs() - begin_ns_, flops_);
+}
+
+}  // namespace acps::par

@@ -1,0 +1,60 @@
+// Per-kernel call/time/FLOP accounting for the hot compute paths.
+//
+// The compute kernels (matrix_ops, top-k selection, QR) open a KernelTimer
+// naming themselves and their FLOP count; when accounting is enabled the
+// timer records wall time and flops into a process-wide table. Disabled
+// (the default), the constructor is one relaxed atomic load and nothing is
+// recorded — kernels stay unobserved-cost-free like the obs tracer.
+//
+// acps::obs exports this table as metrics / a FLOP-rate report
+// (obs/kernel_metrics.h); keeping the collection side here preserves the
+// layering (tensor/linalg must not depend on obs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace acps::par {
+
+struct KernelStat {
+  uint64_t calls = 0;
+  uint64_t ns = 0;     // accumulated wall time
+  uint64_t flops = 0;  // accumulated floating-point operations
+
+  // Achieved rate over the accumulated window; 0 when nothing ran.
+  [[nodiscard]] double gflops() const noexcept {
+    return ns == 0 ? 0.0 : static_cast<double>(flops) / static_cast<double>(ns);
+  }
+};
+
+void SetKernelStatsEnabled(bool enabled);
+[[nodiscard]] bool KernelStatsEnabled();
+
+// Adds one call of `ns` wall-nanoseconds and `flops` operations to `name`.
+// No-op while disabled. Thread-safe.
+void RecordKernel(const char* name, uint64_t ns, uint64_t flops);
+
+// Snapshot of all kernels recorded so far, sorted by name.
+[[nodiscard]] std::vector<std::pair<std::string, KernelStat>>
+KernelStatsSnapshot();
+
+void ResetKernelStats();
+
+// RAII recorder: stamps a clock only when accounting is enabled.
+class KernelTimer {
+ public:
+  KernelTimer(const char* name, uint64_t flops);
+  ~KernelTimer();
+
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+ private:
+  const char* name_;  // nullptr when accounting was off at construction
+  uint64_t flops_;
+  uint64_t begin_ns_;
+};
+
+}  // namespace acps::par

@@ -1,0 +1,111 @@
+// ParallelFor / ParallelReduce on top of the static thread pool.
+//
+// Determinism contract (DESIGN.md §6e):
+//  * For-style kernels write disjoint outputs, so any partition yields the
+//    same results; blocks are sized from the budget only to bound overhead.
+//  * Reduce-style kernels split the index space into FIXED chunks of exactly
+//    `chunk` elements — a function of (n, chunk) alone, never of the thread
+//    count — and combine the chunk partials pairwise in a fixed left-to-
+//    right binary tree. The floating-point result is therefore identical
+//    for 1, 2, 4, ... threads, and identical to the serial execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "par/thread_pool.h"
+
+namespace acps::par {
+
+// Default minimum elements per block; small inputs stay serial so the pool
+// never costs more than it saves.
+inline constexpr int64_t kDefaultGrain = 1 << 14;
+
+// Contiguous blocks [0, n) is split into for ParallelFor: enough to feed
+// every pool thread, but never fewer than `grain` elements per block.
+[[nodiscard]] inline int64_t NumForBlocks(int64_t grain, int64_t n) {
+  if (n <= 0) return 0;
+  if (grain < 1) grain = 1;
+  const int64_t by_grain = (n + grain - 1) / grain;
+  const int64_t threads = NumThreads();
+  return by_grain < threads ? by_grain : threads;
+}
+
+// Runs fn(block, begin, end) for every block of the NumForBlocks(grain, n)
+// partition. Block boundaries are aligned down to a multiple of `align`
+// (e.g. 8 for bit-packing kernels, so no two blocks touch the same byte).
+inline void ParallelForBlocks(
+    int64_t grain, int64_t n, int64_t align,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  const int64_t nblocks = NumForBlocks(grain, n);
+  if (nblocks <= 0) return;
+  if (nblocks == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  GlobalPool().Run(nblocks, [&](int64_t b) {
+    int64_t begin = n * b / nblocks;
+    int64_t end = n * (b + 1) / nblocks;
+    begin -= begin % align;
+    if (b + 1 < nblocks) end -= end % align;
+    if (begin < end) fn(b, begin, end);
+  });
+}
+
+// Element-range parallel loop: fn(begin, end) over a partition of [0, n).
+inline void ParallelFor(int64_t grain, int64_t n,
+                        const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelForBlocks(grain, n, /*align=*/1,
+                    [&](int64_t, int64_t begin, int64_t end) {
+                      fn(begin, end);
+                    });
+}
+
+// Deterministic tree reduction over [0, n). `map(begin, end)` produces the
+// partial for one fixed chunk; partials are combined pairwise in a fixed
+// left-to-right tree. Returns `init` for empty ranges. The chunk grid
+// depends only on (n, chunk), so the result is thread-count invariant.
+template <typename T, typename MapFn, typename CombineFn>
+[[nodiscard]] T ParallelReduce(int64_t chunk, int64_t n, T init, MapFn map,
+                               CombineFn combine) {
+  if (n <= 0) return init;
+  if (chunk < 1) chunk = 1;
+  const int64_t nchunks = (n + chunk - 1) / chunk;
+  if (nchunks == 1) return map(static_cast<int64_t>(0), n);
+
+  std::vector<T> partials(static_cast<size_t>(nchunks), init);
+  // Blocks of whole chunks keep per-task overhead bounded; the chunk grid
+  // (and therefore every partial) is unaffected by the blocking.
+  const int64_t threads = NumThreads();
+  const int64_t nblocks = nchunks < threads ? nchunks : threads;
+  GlobalPool().Run(nblocks, [&](int64_t b) {
+    const int64_t c0 = nchunks * b / nblocks;
+    const int64_t c1 = nchunks * (b + 1) / nblocks;
+    for (int64_t c = c0; c < c1; ++c) {
+      const int64_t begin = c * chunk;
+      const int64_t end = begin + chunk < n ? begin + chunk : n;
+      partials[static_cast<size_t>(c)] = map(begin, end);
+    }
+  });
+
+  // Fixed pairwise combine tree: ((p0⊕p1)⊕(p2⊕p3))⊕... independent of how
+  // the partials were computed.
+  int64_t width = nchunks;
+  while (width > 1) {
+    const int64_t half = width / 2;
+    for (int64_t i = 0; i < half; ++i) {
+      partials[static_cast<size_t>(i)] =
+          combine(partials[static_cast<size_t>(2 * i)],
+                  partials[static_cast<size_t>(2 * i + 1)]);
+    }
+    if (width % 2 == 1) {
+      partials[static_cast<size_t>(half)] =
+          partials[static_cast<size_t>(width - 1)];
+    }
+    width = half + width % 2;
+  }
+  return partials[0];
+}
+
+}  // namespace acps::par

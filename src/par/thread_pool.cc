@@ -1,0 +1,195 @@
+#include "par/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace acps::par {
+namespace {
+
+// 0 = auto (env / hardware); > 0 = fixed via SetNumThreads.
+std::mutex g_budget_mu;
+int g_fixed_threads = 0;
+int g_resolved_threads = 0;  // cache of the auto resolution
+
+int ResolveAuto() {
+  const char* env = std::getenv("ACPS_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 1) {
+      return static_cast<int>(v < kMaxThreads ? v : kMaxThreads);
+    }
+    // Malformed values fall through to the hardware default.
+  }
+  return HardwareThreads();
+}
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int NumThreads() {
+  std::lock_guard lock(g_budget_mu);
+  if (g_fixed_threads > 0) return g_fixed_threads;
+  if (g_resolved_threads == 0) g_resolved_threads = ResolveAuto();
+  return g_resolved_threads;
+}
+
+void SetNumThreads(int n) {
+  if (n < 0 || n > kMaxThreads) {
+    throw std::invalid_argument("SetNumThreads: budget out of [0, " +
+                                std::to_string(kMaxThreads) + "]: " +
+                                std::to_string(n));
+  }
+  {
+    std::lock_guard lock(g_budget_mu);
+    g_fixed_threads = n;
+    g_resolved_threads = 0;  // re-resolve on next auto lookup
+  }
+  GlobalPool().Resize(NumThreads());
+}
+
+int WorkerThreadBudget(int requested, int world_size) {
+  if (requested > 0) return requested < kMaxThreads ? requested : kMaxThreads;
+  const int world = world_size > 1 ? world_size : 1;
+  const int per_worker = NumThreads() / world;
+  return per_worker > 1 ? per_worker : 1;
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(threads > 1 ? threads : 1) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int w = 0; w < threads_ - 1; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Resize(int threads) {
+  const int target = threads > 1 ? threads : 1;
+  std::lock_guard region(region_mu_);  // no region may be in flight
+  if (target == threads_) return;
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = false;
+    threads_ = target;
+    // Respawned workers start at seen_generation 0; the counter must start
+    // there too or they would instantly "see" the previous (stale, dangling)
+    // job and run it.
+    generation_ = 0;
+    job_fn_ = nullptr;
+    workers_finished_ = 0;
+  }
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int w = 0; w < threads_ - 1; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+void ThreadPool::RunBlockRange(int participant,
+                               const std::function<void(int64_t)>& fn,
+                               int64_t nblocks, int participants) {
+  // Static partition: participant t owns [t*n/T, (t+1)*n/T).
+  const int64_t begin = nblocks * participant / participants;
+  const int64_t end = nblocks * (participant + 1) / participants;
+  for (int64_t b = begin; b < end; ++b) fn(b);
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t nblocks = 0;
+    int participants = 0;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = job_fn_;
+      nblocks = job_nblocks_;
+      participants = job_participants_;
+    }
+    if (fn == nullptr) continue;  // no job in flight (post-resize wake)
+    std::exception_ptr error;
+    try {
+      // The caller is participant 0; worker w is participant w + 1.
+      RunBlockRange(worker_index + 1, *fn, nblocks, participants);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      ++workers_finished_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::Run(int64_t nblocks, const std::function<void(int64_t)>& fn) {
+  if (nblocks <= 0) return;
+  std::unique_lock region(region_mu_, std::try_to_lock);
+  // threads_ may only be read under region_mu_ (Resize holds it to write).
+  if (!region.owns_lock() || threads_ == 1 || nblocks == 1) {
+    // Busy (nested / concurrent callers) or nothing to fan out: the serial
+    // path is bitwise identical because blocks never share state.
+    for (int64_t b = 0; b < nblocks; ++b) fn(b);
+    return;
+  }
+  const int participants = threads_;
+  {
+    std::lock_guard lock(mu_);
+    job_fn_ = &fn;
+    job_nblocks_ = nblocks;
+    job_participants_ = participants;
+    workers_finished_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    RunBlockRange(/*participant=*/0, fn, nblocks, participants);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [&] { return workers_finished_ == participants - 1; });
+  const std::exception_ptr worker_error = first_error_;
+  first_error_ = nullptr;
+  job_fn_ = nullptr;  // the reference dies with this region
+  lock.unlock();
+
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+}
+
+ThreadPool& GlobalPool() {
+  static ThreadPool pool(NumThreads());
+  return pool;
+}
+
+}  // namespace acps::par

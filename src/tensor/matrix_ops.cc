@@ -1,9 +1,26 @@
 #include "tensor/matrix_ops.h"
 
 #include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "par/kernel_stats.h"
+#include "par/parallel.h"
 
 namespace acps {
 namespace {
+
+// Micro-tile shape for the register-blocked GEMM family: kMr C rows × kNj C
+// columns of fp32 accumulators live in registers across the whole k loop, so
+// C is touched once per tile instead of once per k step. Measured on
+// AVX2/GCC-12 at the paper's Power-SGD shape (4096×4096×32): 6×32 is the
+// fastest sweep point (52 GFLOP/s vs 47 for 8×32 and 46 for 4×32). kNj = 32
+// is load-bearing — GCC vectorizes the 32-wide jj loop into clean 4-ymm FMA
+// blocks, while 16- or 8-wide tiles fall out of the vectorizer's profitable
+// range and collapse ~20× (2–4 GFLOP/s). Don't shrink kNj without re-running
+// bench/bench_kernels.
+constexpr int64_t kMr = 6;
+constexpr int64_t kNj = 32;
 
 void CheckGemmSizes(size_t a, size_t b, size_t c, int64_t n, int64_t k,
                     int64_t m) {
@@ -13,70 +30,183 @@ void CheckGemmSizes(size_t a, size_t b, size_t c, int64_t n, int64_t k,
   ACPS_CHECK_MSG(static_cast<int64_t>(c) == n * m, "C size mismatch");
 }
 
+// Row grain: ~kDefaultGrain multiply-adds per block, but never splitting a
+// micro-tile. Depends only on the problem shape, not the thread count.
+int64_t GemmRowGrain(int64_t k, int64_t m) {
+  const int64_t per_row = std::max<int64_t>(1, k * m);
+  return std::max<int64_t>(kMr, 8 * par::kDefaultGrain / per_row);
+}
+
+uint64_t GemmFlops(int64_t n, int64_t k, int64_t m) {
+  return 2ull * static_cast<uint64_t>(n) * static_cast<uint64_t>(k) *
+         static_cast<uint64_t>(m);
+}
+
+// FMA-contraction barrier for the beta != 0 writeback. Under the default
+// -ffp-contract=fast, textually identical `alpha_term + beta * c` expressions
+// may compile to different mul/fma splits in different functions (observed:
+// GemmTransBRows vs GemmTransBNaive diverging in the last bit for
+// non-power-of-two alpha). Production and naive writebacks both call this
+// exact non-inlined function, so the compiler makes the choice once.
+[[gnu::noinline]] float BetaBlend(float alpha_term, float beta, float c_old) {
+  return alpha_term + beta * c_old;
+}
+
+// Saxpy-form rows [i0, i1) of C = alpha·op(A)·B + beta·C. TransA selects the
+// element layout of A ([k×n] instead of [n×k]); the accumulation chain —
+// fp32 accumulator from 0, each contribution folded in with an explicit
+// std::fmaf (single rounding — never left to -ffp-contract's discretion),
+// ascending k, beta applied at writeback — is identical either way and
+// identical to the naive references.
+template <bool TransA>
+void GemmRows(const float* a, const float* b, float* c, int64_t i0_begin,
+              int64_t i0_end, int64_t n, int64_t k, int64_t m, float alpha,
+              float beta) {
+  for (int64_t i0 = i0_begin; i0 < i0_end; i0 += kMr) {
+    const int64_t ib = std::min<int64_t>(kMr, i0_end - i0);
+    for (int64_t j0 = 0; j0 < m; j0 += kNj) {
+      const int64_t jb = std::min<int64_t>(kNj, m - j0);
+      if (ib == kMr && jb == kNj) {
+        // Full tile: all kMr×kNj accumulators stay in registers.
+        float acc[kMr][kNj] = {};
+        const float* __restrict__ arow[kMr] = {};
+        if constexpr (!TransA) {
+          for (int64_t r = 0; r < kMr; ++r) arow[r] = a + (i0 + r) * k;
+        }
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* __restrict__ bk = b + kk * m + j0;
+          float av[kMr];
+          if constexpr (TransA) {
+            const float* __restrict__ acol = a + kk * n + i0;
+            for (int64_t r = 0; r < kMr; ++r) av[r] = acol[r];
+          } else {
+            for (int64_t r = 0; r < kMr; ++r) av[r] = arow[r][kk];
+          }
+          for (int64_t r = 0; r < kMr; ++r) {
+            const float aik = alpha * av[r];
+            for (int64_t jj = 0; jj < kNj; ++jj)
+              acc[r][jj] = std::fmaf(aik, bk[jj], acc[r][jj]);
+          }
+        }
+        for (int64_t r = 0; r < kMr; ++r) {
+          float* __restrict__ ci = c + (i0 + r) * m + j0;
+          if (beta == 0.0f) {
+            for (int64_t jj = 0; jj < kNj; ++jj) ci[jj] = acc[r][jj];
+          } else {
+            for (int64_t jj = 0; jj < kNj; ++jj)
+              ci[jj] = BetaBlend(acc[r][jj], beta, ci[jj]);
+          }
+        }
+      } else if (jb == 1) {
+        // Width-1 tile (rank-1 Power-SGD factors, odd tail columns): keep
+        // the single accumulator in a register. The general edge path's
+        // runtime-bound jj loop forces its accumulators onto the stack,
+        // which halves rank-1 throughput.
+        for (int64_t i = i0; i < i0 + ib; ++i) {
+          float acc = 0.0f;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float aik = alpha * (TransA ? a[kk * n + i] : a[i * k + kk]);
+            acc = std::fmaf(aik, b[kk * m + j0], acc);
+          }
+          float* ci = c + i * m + j0;
+          ci[0] = beta == 0.0f ? acc : BetaBlend(acc, beta, ci[0]);
+        }
+      } else {
+        // Edge tile: same per-element chain, one row at a time.
+        float accv[kNj] = {};
+        for (int64_t i = i0; i < i0 + ib; ++i) {
+          std::fill(accv, accv + jb, 0.0f);
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float aik = alpha * (TransA ? a[kk * n + i] : a[i * k + kk]);
+            const float* __restrict__ bk = b + kk * m + j0;
+            for (int64_t jj = 0; jj < jb; ++jj)
+              accv[jj] = std::fmaf(aik, bk[jj], accv[jj]);
+          }
+          float* __restrict__ ci = c + i * m + j0;
+          if (beta == 0.0f) {
+            for (int64_t jj = 0; jj < jb; ++jj) ci[jj] = accv[jj];
+          } else {
+            for (int64_t jj = 0; jj < jb; ++jj)
+              ci[jj] = BetaBlend(accv[jj], beta, ci[jj]);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <bool TransA>
+void GemmImpl(std::span<const float> a, std::span<const float> b,
+              std::span<float> c, int64_t n, int64_t k, int64_t m, float alpha,
+              float beta, const char* stat_name) {
+  CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
+  if (n == 0 || m == 0) return;
+  par::KernelTimer timer(stat_name, GemmFlops(n, k, m));
+  par::ParallelForBlocks(GemmRowGrain(k, m), n, /*align=*/kMr,
+                         [&](int64_t, int64_t begin, int64_t end) {
+                           GemmRows<TransA>(a.data(), b.data(), c.data(),
+                                            begin, end, n, k, m, alpha, beta);
+                         });
+}
+
+// Fixed 8-lane interleaved fp32 dot product (lane l takes k ≡ l mod 8),
+// lanes combined in a fixed pairwise tree. The interleaving is part of the
+// accumulation policy: production and naive code both use it, so results
+// match bitwise and are independent of any row partition.
+float Dot8(const float* __restrict__ x, const float* __restrict__ y,
+           int64_t k) {
+  float lane[8] = {};
+  int64_t kk = 0;
+  for (; kk + 8 <= k; kk += 8) {
+    for (int64_t l = 0; l < 8; ++l) lane[l] += x[kk + l] * y[kk + l];
+  }
+  for (; kk < k; ++kk) lane[kk % 8] += x[kk] * y[kk];
+  const float s0 = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  const float s1 = (lane[4] + lane[5]) + (lane[6] + lane[7]);
+  return s0 + s1;
+}
+
+void GemmTransBRows(const float* a, const float* b, float* c, int64_t i_begin,
+                    int64_t i_end, int64_t k, int64_t m, float alpha,
+                    float beta) {
+  for (int64_t i = i_begin; i < i_end; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const float dot = Dot8(ai, b + j * k, k);
+      if (beta == 0.0f) {
+        ci[j] = alpha * dot;
+      } else {
+        ci[j] = BetaBlend(alpha * dot, beta, ci[j]);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void Gemm(std::span<const float> a, std::span<const float> b,
           std::span<float> c, int64_t n, int64_t k, int64_t m, float alpha,
           float beta) {
-  CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
-  // i-k-j loop order: streams B and C rows, good locality for row-major.
-  for (int64_t i = 0; i < n; ++i) {
-    float* ci = c.data() + i * m;
-    if (beta == 0.0f) {
-      std::fill(ci, ci + m, 0.0f);
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < m; ++j) ci[j] *= beta;
-    }
-    const float* ai = a.data() + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = alpha * ai[kk];
-      if (aik == 0.0f) continue;
-      const float* bk = b.data() + kk * m;
-      for (int64_t j = 0; j < m; ++j) ci[j] += aik * bk[j];
-    }
-  }
+  GemmImpl<false>(a, b, c, n, k, m, alpha, beta, "gemm");
 }
 
 void GemmTransA(std::span<const float> a, std::span<const float> b,
                 std::span<float> c, int64_t n, int64_t k, int64_t m,
                 float alpha, float beta) {
-  CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
-  for (int64_t i = 0; i < n; ++i) {
-    float* ci = c.data() + i * m;
-    if (beta == 0.0f) {
-      std::fill(ci, ci + m, 0.0f);
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < m; ++j) ci[j] *= beta;
-    }
-  }
-  // A stored [k×n]: visit A row-wise to stay sequential.
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* ak = a.data() + kk * n;
-    const float* bk = b.data() + kk * m;
-    for (int64_t i = 0; i < n; ++i) {
-      const float aik = alpha * ak[i];
-      if (aik == 0.0f) continue;
-      float* ci = c.data() + i * m;
-      for (int64_t j = 0; j < m; ++j) ci[j] += aik * bk[j];
-    }
-  }
+  GemmImpl<true>(a, b, c, n, k, m, alpha, beta, "gemm_ta");
 }
 
 void GemmTransB(std::span<const float> a, std::span<const float> b,
                 std::span<float> c, int64_t n, int64_t k, int64_t m,
                 float alpha, float beta) {
   CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
-  // B stored [m×k]; dot products of A rows with B rows.
-  for (int64_t i = 0; i < n; ++i) {
-    const float* ai = a.data() + i * k;
-    float* ci = c.data() + i * m;
-    for (int64_t j = 0; j < m; ++j) {
-      const float* bj = b.data() + j * k;
-      double acc = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) acc += double(ai[kk]) * bj[kk];
-      ci[j] = alpha * static_cast<float>(acc) + beta * (beta == 0.0f ? 0.0f : ci[j]);
-    }
-  }
+  if (n == 0 || m == 0) return;
+  par::KernelTimer timer("gemm_tb", GemmFlops(n, k, m));
+  par::ParallelFor(GemmRowGrain(k, m), n, [&](int64_t begin, int64_t end) {
+    GemmTransBRows(a.data(), b.data(), c.data(), begin, end, k, m, alpha,
+                   beta);
+  });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -113,8 +243,24 @@ Tensor Transpose(const Tensor& in) {
   ACPS_CHECK_MSG(in.ndim() == 2, "Transpose needs a matrix");
   const int64_t r = in.rows(), c = in.cols();
   Tensor out({c, r});
-  for (int64_t i = 0; i < r; ++i)
-    for (int64_t j = 0; j < c; ++j) out.at(j, i) = in.at(i, j);
+  par::KernelTimer timer("transpose", 0);
+  // 64×64 blocks: both the input rows and the output rows of a block stay
+  // cache-resident. Pure data movement — any partition is exact.
+  constexpr int64_t kBlk = 64;
+  const float* src = in.data().data();
+  float* dst = out.data().data();
+  const int64_t row_grain = std::max<int64_t>(
+      kBlk, par::kDefaultGrain / std::max<int64_t>(1, c));
+  par::ParallelFor(row_grain, r, [&](int64_t begin, int64_t end) {
+    for (int64_t ib = begin; ib < end; ib += kBlk) {
+      const int64_t ie = std::min(ib + kBlk, end);
+      for (int64_t jb = 0; jb < c; jb += kBlk) {
+        const int64_t je = std::min(jb + kBlk, c);
+        for (int64_t i = ib; i < ie; ++i)
+          for (int64_t j = jb; j < je; ++j) dst[j * r + i] = src[i * c + j];
+      }
+    }
+  });
   return out;
 }
 
@@ -124,15 +270,131 @@ void Gemv(std::span<const float> a, std::span<const float> x,
                      static_cast<int64_t>(x.size()) == m &&
                      static_cast<int64_t>(y.size()) == n,
                  "Gemv size mismatch");
-  for (int64_t i = 0; i < n; ++i) {
-    const float* ai = a.data() + i * m;
-    double acc = 0.0;
-    for (int64_t j = 0; j < m; ++j) acc += double(ai[j]) * x[j];
-    y[i] = static_cast<float>(acc);
-  }
+  par::KernelTimer timer("gemv", 2ull * static_cast<uint64_t>(n) *
+                                     static_cast<uint64_t>(m));
+  const int64_t grain =
+      std::max<int64_t>(1, par::kDefaultGrain / std::max<int64_t>(1, m));
+  par::ParallelFor(grain, n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i)
+      y[i] = Dot8(a.data() + i * m, x.data(), m);
+  });
 }
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  ACPS_CHECK_MSG(x.size() == y.size(), "Axpy size mismatch");
+  const int64_t n = static_cast<int64_t>(x.size());
+  par::KernelTimer timer("axpy", 2ull * static_cast<uint64_t>(n));
+  par::ParallelFor(par::kDefaultGrain, n, [&](int64_t begin, int64_t end) {
+    const float* __restrict__ xs = x.data();
+    float* __restrict__ ys = y.data();
+    for (int64_t i = begin; i < end; ++i) ys[i] += alpha * xs[i];
+  });
+}
+
+void Scal(float alpha, std::span<float> x) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  par::KernelTimer timer("scal", static_cast<uint64_t>(n));
+  par::ParallelFor(par::kDefaultGrain, n, [&](int64_t begin, int64_t end) {
+    float* __restrict__ xs = x.data();
+    for (int64_t i = begin; i < end; ++i) xs[i] *= alpha;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Naive references. The definitional loop nest — one output element at a
+// time, its accumulator walked in ascending k with the same explicit
+// std::fmaf as production — single-threaded, no blocking or reuse. The
+// saxpy-form pair is additionally pinned to scalar code
+// (`no-tree-vectorize`): GCC's -O3 loop interchange otherwise rewrites the
+// nest into a blocked vector kernel, which both defeats the point of a
+// reference baseline and (observed) splits the fma into a separate
+// mul + add, breaking bitwise parity with production.
+// ---------------------------------------------------------------------------
+
+__attribute__((optimize("no-tree-vectorize"))) void GemmNaive(
+    std::span<const float> a, std::span<const float> b, std::span<float> c,
+    int64_t n, int64_t k, int64_t m, float alpha, float beta) {
+  CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = alpha * ai[kk];
+        acc = std::fmaf(aik, b[kk * m + j], acc);
+      }
+      ci[j] = beta == 0.0f ? acc : BetaBlend(acc, beta, ci[j]);
+    }
+  }
+}
+
+__attribute__((optimize("no-tree-vectorize"))) void GemmTransANaive(
+    std::span<const float> a, std::span<const float> b, std::span<float> c,
+    int64_t n, int64_t k, int64_t m, float alpha, float beta) {
+  CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
+  for (int64_t i = 0; i < n; ++i) {
+    float* ci = c.data() + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = alpha * a[kk * n + i];
+        acc = std::fmaf(aik, b[kk * m + j], acc);
+      }
+      ci[j] = beta == 0.0f ? acc : BetaBlend(acc, beta, ci[j]);
+    }
+  }
+}
+
+void GemmTransBNaive(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, int64_t n, int64_t k, int64_t m,
+                     float alpha, float beta) {
+  CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const float* bj = b.data() + j * k;
+      float lane[8] = {};
+      for (int64_t kk = 0; kk < k; ++kk) lane[kk % 8] += ai[kk] * bj[kk];
+      const float s0 = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+      const float s1 = (lane[4] + lane[5]) + (lane[6] + lane[7]);
+      const float dot = s0 + s1;
+      if (beta == 0.0f) {
+        ci[j] = alpha * dot;
+      } else {
+        ci[j] = BetaBlend(alpha * dot, beta, ci[j]);
+      }
+    }
+  }
+}
+
+Tensor TransposeNaive(const Tensor& in) {
+  ACPS_CHECK_MSG(in.ndim() == 2, "Transpose needs a matrix");
+  const int64_t r = in.rows(), c = in.cols();
+  Tensor out({c, r});
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = 0; j < c; ++j) out.at(j, i) = in.at(i, j);
+  return out;
+}
+
+void GemvNaive(std::span<const float> a, std::span<const float> x,
+               std::span<float> y, int64_t n, int64_t m) {
+  ACPS_CHECK_MSG(static_cast<int64_t>(a.size()) == n * m &&
+                     static_cast<int64_t>(x.size()) == m &&
+                     static_cast<int64_t>(y.size()) == n,
+                 "Gemv size mismatch");
+  for (int64_t i = 0; i < n; ++i) {
+    const float* ai = a.data() + i * m;
+    float lane[8] = {};
+    for (int64_t j = 0; j < m; ++j) lane[j % 8] += ai[j] * x[j];
+    const float s0 = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+    const float s1 = (lane[4] + lane[5]) + (lane[6] + lane[7]);
+    y[i] = s0 + s1;
+  }
+}
+
+void AxpyNaive(float alpha, std::span<const float> x, std::span<float> y) {
   ACPS_CHECK_MSG(x.size() == y.size(), "Axpy size mismatch");
   for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }

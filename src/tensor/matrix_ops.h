@@ -2,8 +2,33 @@
 //
 // These are the compute primitives behind Power-SGD / ACP-SGD compression
 // (M·Q, Mᵀ·P), the DNN substrate (linear layers), and the linalg module.
-// They are deliberately simple, cache-blocked loops — correctness and
-// determinism over peak throughput (perf *measurement* happens in acps::sim).
+// The production kernels are tiled, register-blocked, and multi-threaded on
+// the deterministic pool (par/parallel.h); each also has a `*Naive`
+// reference — a plain loop nest implementing the identical accumulation
+// policy — retained for the bitwise parity tests (tests/kernel_parity_test)
+// and as the speedup baseline of bench/bench_kernels.
+//
+// ACCUMULATION POLICY (uniform across the GEMM family, DESIGN.md §6e):
+//  * All accumulation is fp32. Every output element is produced by exactly
+//    one task, so results are bitwise identical for any thread count.
+//  * beta handling: the result is written as `beta_term + alpha_term`,
+//    where beta_term is 0 when beta == 0 (the old C contents — even NaN or
+//    garbage — are overwritten) and beta * c_old otherwise. The beta != 0
+//    blend goes through one shared non-inlined helper (BetaBlend in the
+//    .cc) so FMA contraction cannot split the expression differently in
+//    the production vs naive bodies.
+//  * saxpy-form kernels (Gemm, GemmTransA) accumulate contributions
+//    (alpha * a_ik) * b_kj into a single per-element fp32 accumulator that
+//    starts at 0, in ascending k order, each contribution folded in with an
+//    explicit std::fmaf (single rounding). The fma is spelled out rather
+//    than left to -ffp-contract because GCC contracts the production tile
+//    but not the interchanged naive nest, which silently breaks parity.
+//  * dot-form kernels (GemmTransB, Gemv) accumulate a_ik * b_jk into 8
+//    fixed interleaved fp32 lanes (lane l takes k ≡ l mod 8), combine the
+//    lanes in a fixed pairwise tree, and apply alpha once to the combined
+//    dot product.
+// Tiling and row-partitioning never reorder any element's accumulation
+// chain, which is what makes kernel == naive bitwise at every thread count.
 #pragma once
 
 #include <span>
@@ -41,5 +66,29 @@ void Gemv(std::span<const float> a, std::span<const float> x,
 
 // y += alpha * x (sizes must match).
 void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+// x *= alpha.
+void Scal(float alpha, std::span<float> x);
+
+// ---------------------------------------------------------------------------
+// Naive references: single-threaded definitional loop nests (one output
+// element at a time, pinned to scalar code — see the .cc) implementing the
+// exact accumulation policy above. The production kernels must match them
+// bitwise (enforced by tests/kernel_parity_test at thread counts 1/2/4/8);
+// the bench harness reports production/naive speedups against them.
+// ---------------------------------------------------------------------------
+void GemmNaive(std::span<const float> a, std::span<const float> b,
+               std::span<float> c, int64_t n, int64_t k, int64_t m,
+               float alpha = 1.0f, float beta = 0.0f);
+void GemmTransANaive(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, int64_t n, int64_t k, int64_t m,
+                     float alpha = 1.0f, float beta = 0.0f);
+void GemmTransBNaive(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, int64_t n, int64_t k, int64_t m,
+                     float alpha = 1.0f, float beta = 0.0f);
+[[nodiscard]] Tensor TransposeNaive(const Tensor& in);
+void GemvNaive(std::span<const float> a, std::span<const float> x,
+               std::span<float> y, int64_t n, int64_t m);
+void AxpyNaive(float alpha, std::span<const float> x, std::span<float> y);
 
 }  // namespace acps

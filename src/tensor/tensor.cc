@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "par/parallel.h"
+
 namespace acps {
 
 int64_t NumElements(const Shape& shape) {
@@ -108,7 +110,11 @@ Tensor Tensor::reshaped(Shape new_shape) const {
 }
 
 void Tensor::fill(float value) noexcept {
-  std::fill(data_.begin(), data_.end(), value);
+  float* dst = data_.data();
+  par::ParallelFor(par::kDefaultGrain, static_cast<int64_t>(data_.size()),
+                   [&](int64_t begin, int64_t end) {
+                     std::fill(dst + begin, dst + end, value);
+                   });
 }
 
 void Tensor::add_(const Tensor& other) { axpy_(1.0f, other); }
@@ -120,47 +126,96 @@ void Tensor::axpy_(float alpha, const Tensor& other) {
                  "axpy size mismatch: " << numel() << " vs " << other.numel());
   const float* src = other.data_.data();
   float* dst = data_.data();
-  const size_t n = data_.size();
-  for (size_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+  par::ParallelFor(par::kDefaultGrain, static_cast<int64_t>(data_.size()),
+                   [&](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i)
+                       dst[i] += alpha * src[i];
+                   });
 }
 
 void Tensor::scale_(float alpha) noexcept {
-  for (float& v : data_) v *= alpha;
+  float* dst = data_.data();
+  par::ParallelFor(par::kDefaultGrain, static_cast<int64_t>(data_.size()),
+                   [&](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) dst[i] *= alpha;
+                   });
 }
 
 void Tensor::copy_from(const Tensor& other) {
   ACPS_CHECK_MSG(numel() == other.numel(), "copy_from size mismatch: "
                                                << numel() << " vs "
                                                << other.numel());
-  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  const float* src = other.data_.data();
+  float* dst = data_.data();
+  par::ParallelFor(par::kDefaultGrain, static_cast<int64_t>(data_.size()),
+                   [&](int64_t begin, int64_t end) {
+                     std::copy(src + begin, src + end, dst + begin);
+                   });
 }
 
+// Reductions use the deterministic fixed-chunk tree (par/parallel.h):
+// double partials over chunks of kReduceChunk elements, combined pairwise.
+// The chunk grid depends only on numel, so the value is identical for every
+// thread count within a build.
+namespace {
+constexpr int64_t kReduceChunk = 1 << 15;
+}  // namespace
+
 float Tensor::sum() const noexcept {
-  // Pairwise-ish summation via double accumulator for stability.
-  double acc = 0.0;
-  for (float v : data_) acc += v;
+  const float* src = data_.data();
+  const double acc = par::ParallelReduce(
+      kReduceChunk, static_cast<int64_t>(data_.size()), 0.0,
+      [&](int64_t begin, int64_t end) {
+        double a = 0.0;
+        for (int64_t i = begin; i < end; ++i) a += src[i];
+        return a;
+      },
+      [](double x, double y) { return x + y; });
   return static_cast<float>(acc);
 }
 
 float Tensor::dot(const Tensor& other) const {
   ACPS_CHECK_MSG(numel() == other.numel(),
                  "dot size mismatch: " << numel() << " vs " << other.numel());
-  double acc = 0.0;
-  for (size_t i = 0; i < data_.size(); ++i)
-    acc += static_cast<double>(data_[i]) * other.data_[i];
+  const float* xs = data_.data();
+  const float* ys = other.data_.data();
+  const double acc = par::ParallelReduce(
+      kReduceChunk, static_cast<int64_t>(data_.size()), 0.0,
+      [&](int64_t begin, int64_t end) {
+        double a = 0.0;
+        for (int64_t i = begin; i < end; ++i)
+          a += static_cast<double>(xs[i]) * ys[i];
+        return a;
+      },
+      [](double x, double y) { return x + y; });
   return static_cast<float>(acc);
 }
 
 float Tensor::norm2() const noexcept {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  const float* src = data_.data();
+  const double acc = par::ParallelReduce(
+      kReduceChunk, static_cast<int64_t>(data_.size()), 0.0,
+      [&](int64_t begin, int64_t end) {
+        double a = 0.0;
+        for (int64_t i = begin; i < end; ++i)
+          a += static_cast<double>(src[i]) * src[i];
+        return a;
+      },
+      [](double x, double y) { return x + y; });
   return static_cast<float>(std::sqrt(acc));
 }
 
 float Tensor::abs_max() const noexcept {
-  float m = 0.0f;
-  for (float v : data_) m = std::max(m, std::abs(v));
-  return m;
+  const float* src = data_.data();
+  // max is exact, so the tree combine is bitwise equal to the serial scan.
+  return par::ParallelReduce(
+      kReduceChunk, static_cast<int64_t>(data_.size()), 0.0f,
+      [&](int64_t begin, int64_t end) {
+        float m = 0.0f;
+        for (int64_t i = begin; i < end; ++i) m = std::max(m, std::abs(src[i]));
+        return m;
+      },
+      [](float x, float y) { return std::max(x, y); });
 }
 
 bool Tensor::all_close(const Tensor& other, float tol) const {

@@ -225,6 +225,14 @@ TEST(OracleTest, AllRegisteredCompressorsSatisfyInvariants) {
   EXPECT_TRUE(report.ok()) << report.Summary();
 }
 
+TEST(OracleTest, KernelsAreThreadCountInvariant) {
+  // DESIGN.md §6e: the acps::par kernels produce bitwise identical results
+  // at 1/2/4/8 threads and match their naive references at 1 thread.
+  const OracleReport report = CheckKernelThreadInvariance(OracleOptions{});
+  EXPECT_GT(report.checks_run, 0);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
 TEST(OracleTest, SparsifiersConserveExactlyQuantizersToRounding) {
   EXPECT_EQ(EfTolerance("topk:0.001"), 0.0);
   EXPECT_EQ(EfTolerance("randomk:0.01"), 0.0);

@@ -140,11 +140,43 @@ TEST(Topk, SampledMatchesExactEnergyClosely) {
   EXPECT_GT(es, 0.97 * ee);
 }
 
-TEST(Topk, ThresholdSearchIsMultiPass) {
+TEST(Topk, HistogramSelectionIsTwoPass) {
   TopkCompressor c(0.001, TopkSelection::kSampledThreshold);
   (void)c.Encode(RandomGrad(50000, 5));
-  // The paper's premise: sampled selection needs many counting passes.
+  // Histogram-assisted selection: the bit-pattern bucketing needs no
+  // max/range pass, so selection is histogram pass + gather pass.
+  EXPECT_EQ(c.last_threshold_passes(), 2);
+}
+
+TEST(Topk, BinarySearchSelectionIsMultiPass) {
+  TopkCompressor c(0.001, TopkSelection::kSampledThreshold);
+  const auto g = RandomGrad(50000, 5);
+  const auto idx = c.SelectSampledBinarySearch(g, c.KeptCount(g.size()));
+  EXPECT_EQ(idx.size(), c.KeptCount(g.size()));
+  // The paper's premise: the pre-histogram scheme needs many counting passes
+  // (one per binary-search probe). This is the bench_kernels baseline.
   EXPECT_GE(c.last_threshold_passes(), 5);
+}
+
+TEST(Topk, ThresholdPassesResetEachEncode) {
+  // Regression: the pass counter is per-call state. An exact-scheme encode
+  // after a sampled one must report 0, not the stale sampled count — and a
+  // mixed-magnitude gradient (one huge outlier 20 decades above the rest;
+  // under the old linear-scale histogram it crowded everything else into
+  // the bottom bucket) must still select exactly k.
+  TopkCompressor sampled(0.01, TopkSelection::kSampledThreshold);
+  std::vector<float> g = RandomGrad(10000, 11);
+  g[123] = 1e20f;  // outlier, alone in a top bucket
+  const auto blob = sampled.Encode(g);
+  EXPECT_EQ(blob.size(), sampled.EncodedBytes(g.size()));
+  EXPECT_EQ(sampled.last_threshold_passes(), 2);
+  std::vector<float> out(g.size());
+  sampled.Decode(blob, out);
+  EXPECT_EQ(out[123], 1e20f);  // the outlier always survives selection
+
+  TopkCompressor exact(0.01, TopkSelection::kExact);
+  (void)exact.Encode(g);
+  EXPECT_EQ(exact.last_threshold_passes(), 0);
 }
 
 TEST(Topk, AccumulateAverages) {

@@ -1,0 +1,288 @@
+// Unit tests for the deterministic parallel compute layer (src/par):
+// budget resolution, the static-partition pool (nesting, exceptions,
+// resize), ParallelFor/ParallelReduce, and the kernel-stats table.
+#include "par/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "par/kernel_stats.h"
+
+namespace acps::par {
+namespace {
+
+// Restores the auto budget (env/hardware) when a test ends, so the budget
+// fixed by one test never leaks into another.
+struct BudgetGuard {
+  ~BudgetGuard() {
+    unsetenv("ACPS_NUM_THREADS");
+    SetNumThreads(0);
+  }
+};
+
+TEST(Budget, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+TEST(Budget, EnvVariableResolution) {
+  BudgetGuard guard;
+  setenv("ACPS_NUM_THREADS", "3", 1);
+  SetNumThreads(0);  // drop any fixed value, re-resolve from env
+  EXPECT_EQ(NumThreads(), 3);
+
+  // Clamped to kMaxThreads.
+  setenv("ACPS_NUM_THREADS", "99999", 1);
+  SetNumThreads(0);
+  EXPECT_EQ(NumThreads(), kMaxThreads);
+
+  // Malformed values fall back to the hardware default.
+  for (const char* bad : {"abc", "4x", "", "-2", "0"}) {
+    setenv("ACPS_NUM_THREADS", bad, 1);
+    SetNumThreads(0);
+    EXPECT_EQ(NumThreads(), HardwareThreads()) << "env='" << bad << "'";
+  }
+}
+
+TEST(Budget, SetNumThreadsOverridesEnv) {
+  BudgetGuard guard;
+  setenv("ACPS_NUM_THREADS", "2", 1);
+  SetNumThreads(5);
+  EXPECT_EQ(NumThreads(), 5);
+  EXPECT_EQ(GlobalPool().threads(), 5);
+  SetNumThreads(0);
+  EXPECT_EQ(NumThreads(), 2);
+}
+
+TEST(Budget, SetNumThreadsRejectsOutOfRange) {
+  EXPECT_THROW(SetNumThreads(-1), std::invalid_argument);
+  EXPECT_THROW(SetNumThreads(kMaxThreads + 1), std::invalid_argument);
+}
+
+TEST(Budget, WorkerThreadBudget) {
+  BudgetGuard guard;
+  EXPECT_EQ(WorkerThreadBudget(/*requested=*/6, /*world_size=*/8), 6);
+  EXPECT_EQ(WorkerThreadBudget(kMaxThreads + 50, 1), kMaxThreads);
+  SetNumThreads(8);
+  EXPECT_EQ(WorkerThreadBudget(0, 4), 2);   // divided across ring workers
+  EXPECT_EQ(WorkerThreadBudget(0, 100), 1); // never below one
+  EXPECT_EQ(WorkerThreadBudget(0, 0), 8);   // degenerate world treated as 1
+}
+
+TEST(ThreadPool, RunsEveryBlockExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(17);
+  pool.Run(17, [&](int64_t b) { ++hits[static_cast<size_t>(b)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadAndSingleBlockRunInline) {
+  ThreadPool serial(1);
+  std::vector<int> hits(5, 0);
+  const auto caller = std::this_thread::get_id();
+  serial.Run(5, [&](int64_t b) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++hits[static_cast<size_t>(b)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+
+  ThreadPool pool(4);
+  pool.Run(1, [&](int64_t b) {
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  pool.Run(0, [&](int64_t) { FAIL() << "no blocks to run"; });
+}
+
+TEST(ThreadPool, NestedRunFallsBackToInline) {
+  ThreadPool pool(4);
+  std::atomic<int> outer{0}, inner{0};
+  pool.Run(4, [&](int64_t) {
+    ++outer;
+    // The pool is busy with the outer region: the nested call must run
+    // inline on this thread, not deadlock.
+    const auto me = std::this_thread::get_id();
+    pool.Run(3, [&](int64_t) {
+      EXPECT_EQ(std::this_thread::get_id(), me);
+      ++inner;
+    });
+  });
+  EXPECT_EQ(outer.load(), 4);
+  EXPECT_EQ(inner.load(), 12);
+}
+
+TEST(ThreadPool, ConcurrentCallersBothComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::thread other([&] {
+    pool.Run(64, [&](int64_t) { ++total; });
+  });
+  pool.Run(64, [&](int64_t) { ++total; });
+  other.join();
+  EXPECT_EQ(total.load(), 128);
+}
+
+TEST(ThreadPool, ExceptionsRethrownAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.Run(8,
+                        [&](int64_t b) {
+                          if (b == 5) throw std::runtime_error("block 5");
+                        }),
+               std::runtime_error);
+  // Pool is reusable after a throwing region.
+  std::atomic<int> ran{0};
+  pool.Run(8, [&](int64_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, Resize) {
+  ThreadPool pool(2);
+  pool.Resize(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::atomic<int> ran{0};
+  pool.Run(16, [&](int64_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 16);
+  pool.Resize(1);
+  EXPECT_EQ(pool.threads(), 1);
+  pool.Resize(1);  // no-op path
+  pool.Run(4, [&](int64_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ParallelFor, NumForBlocksBounds) {
+  BudgetGuard guard;
+  SetNumThreads(4);
+  EXPECT_EQ(NumForBlocks(/*grain=*/10, /*n=*/0), 0);
+  EXPECT_EQ(NumForBlocks(10, 5), 1);    // under one grain
+  EXPECT_EQ(NumForBlocks(10, 25), 3);   // grain-limited
+  EXPECT_EQ(NumForBlocks(10, 1000), 4); // thread-limited
+  EXPECT_EQ(NumForBlocks(0, 2), 2);     // grain clamped up to 1
+}
+
+TEST(ParallelFor, CoversRangeDisjointly) {
+  BudgetGuard guard;
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> hits(1001);
+  ParallelFor(/*grain=*/64, 1001, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, BlockBoundariesAlignDown) {
+  BudgetGuard guard;
+  SetNumThreads(4);
+  std::vector<std::pair<int64_t, int64_t>> ranges(16, {-1, -1});
+  ParallelForBlocks(/*grain=*/8, /*n=*/100, /*align=*/8,
+                    [&](int64_t b, int64_t begin, int64_t end) {
+                      ranges[static_cast<size_t>(b)] = {begin, end};
+                    });
+  int64_t covered = 0;
+  for (const auto& [begin, end] : ranges) {
+    if (begin < 0) continue;
+    EXPECT_EQ(begin % 8, 0);
+    if (end != 100) {
+      EXPECT_EQ(end % 8, 0) << "interior boundary unaligned";
+    }
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(ParallelReduce, SumsAndEdgeCases) {
+  BudgetGuard guard;
+  SetNumThreads(4);
+  const int64_t n = 100000;
+  const auto sum = ParallelReduce(
+      /*chunk=*/1 << 10, n, int64_t{0},
+      [](int64_t begin, int64_t end) {
+        int64_t acc = 0;
+        for (int64_t i = begin; i < end; ++i) acc += i;
+        return acc;
+      },
+      [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+
+  // Empty range returns init; a single chunk maps directly.
+  EXPECT_EQ(ParallelReduce(
+                8, 0, int64_t{42}, [](int64_t, int64_t) { return int64_t{7}; },
+                [](int64_t a, int64_t b) { return a + b; }),
+            42);
+  EXPECT_EQ(ParallelReduce(
+                8, 3, int64_t{0},
+                [](int64_t begin, int64_t end) { return end - begin; },
+                [](int64_t a, int64_t b) { return a + b; }),
+            3);
+}
+
+TEST(ParallelReduce, FloatResultThreadCountInvariant) {
+  // The determinism contract: an fp reduction yields the identical bits for
+  // every thread budget, because the chunk grid and combine tree are fixed.
+  std::vector<float> data(250007);
+  uint32_t state = 123456789u;
+  for (float& v : data) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<float>(state) / 4.0e9f - 0.5f;
+  }
+  const auto run = [&] {
+    return ParallelReduce(
+        int64_t{1} << 12, static_cast<int64_t>(data.size()), 0.0f,
+        [&](int64_t begin, int64_t end) {
+          float acc = 0.0f;
+          for (int64_t i = begin; i < end; ++i)
+            acc += data[static_cast<size_t>(i)];
+          return acc;
+        },
+        [](float a, float b) { return a + b; });
+  };
+  BudgetGuard guard;
+  SetNumThreads(1);
+  const float serial = run();
+  for (int threads : {2, 3, 4, 8}) {
+    SetNumThreads(threads);
+    const float parallel = run();
+    EXPECT_EQ(serial, parallel) << threads << " threads";
+  }
+}
+
+TEST(KernelStats, DisabledRecordsNothing) {
+  ResetKernelStats();
+  SetKernelStatsEnabled(false);
+  RecordKernel("gemm", 100, 200);
+  { KernelTimer t("gemm", 42); }
+  EXPECT_TRUE(KernelStatsSnapshot().empty());
+}
+
+TEST(KernelStats, RecordsAndResets) {
+  ResetKernelStats();
+  SetKernelStatsEnabled(true);
+  RecordKernel("axpy", 50, 100);
+  RecordKernel("gemm", 1000, 4000);
+  RecordKernel("gemm", 3000, 4000);
+  { KernelTimer t("axpy", 10); }
+
+  const auto snapshot = KernelStatsSnapshot();
+  SetKernelStatsEnabled(false);
+  ASSERT_EQ(snapshot.size(), 2u);  // sorted by name
+  EXPECT_EQ(snapshot[0].first, "axpy");
+  EXPECT_EQ(snapshot[0].second.calls, 2u);
+  EXPECT_EQ(snapshot[0].second.flops, 110u);
+  EXPECT_EQ(snapshot[1].first, "gemm");
+  EXPECT_EQ(snapshot[1].second.calls, 2u);
+  EXPECT_EQ(snapshot[1].second.ns, 4000u);
+  EXPECT_EQ(snapshot[1].second.flops, 8000u);
+  EXPECT_DOUBLE_EQ(snapshot[1].second.gflops(), 2.0);
+  EXPECT_EQ(KernelStat{}.gflops(), 0.0);
+
+  ResetKernelStats();
+  EXPECT_TRUE(KernelStatsSnapshot().empty());
+}
+
+}  // namespace
+}  // namespace acps::par

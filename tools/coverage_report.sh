@@ -2,13 +2,16 @@
 # Per-directory line-coverage report from a gcov-instrumented build
 # (DESIGN.md §6d; cmake --preset coverage).
 #
-#   tools/coverage_report.sh [build-dir] [min-comm-compress-percent]
+#   tools/coverage_report.sh [build-dir] [min-comm-compress-percent] \
+#       [min-par-percent]
 #
 # Runs plain `gcov` over every library .gcda under <build-dir>/src (no
 # gcovr/lcov dependency), aggregates executable/covered line counts per
 # source directory, prints a table, and — when a minimum is given — fails
 # with exit 1 if the combined src/comm + src/compress line coverage falls
-# below it. Only *.cc.gcov outputs are aggregated: each .cc belongs to
+# below it. A second minimum gates src/par the same way (the deterministic
+# pool is the substrate every kernel trusts; its templated headers are
+# exercised by par_test but only .cc lines are counted, see below). Only *.cc.gcov outputs are aggregated: each .cc belongs to
 # exactly one translation unit, whereas header .gcov files are re-emitted by
 # every includer and would clobber each other.
 #
@@ -18,6 +21,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-build-coverage}"
 MIN_COMM_COMPRESS="${2:-}"
+MIN_PAR="${3:-}"
 
 if ! command -v gcov >/dev/null 2>&1; then
   echo "coverage_report: gcov not found" >&2
@@ -54,7 +58,7 @@ if [ ${#CC_GCOV[@]} -eq 0 ]; then
   exit 2
 fi
 
-awk -F: -v min="${MIN_COMM_COMPRESS:-}" '
+awk -F: -v min="${MIN_COMM_COMPRESS:-}" -v min_par="${MIN_PAR:-}" '
   FNR == 1 {
     src = FILENAME
     sub(/\.gcov$/, "", src)
@@ -102,6 +106,21 @@ awk -F: -v min="${MIN_COMM_COMPRESS:-}" '
         exit 1
       }
       printf "coverage gate: OK (>= %.1f%%)\n", min + 0
+    }
+    if (min_par != "") {
+      pt = total["src/par"] + 0
+      pc = covered["src/par"] + 0
+      if (pt == 0) {
+        print "coverage_report: no lines attributed to src/par" > "/dev/stderr"
+        exit 2
+      }
+      ppct = 100.0 * pc / pt
+      printf "src/par: %.1f%% (%d/%d lines)\n", ppct, pc, pt
+      if (ppct < min_par + 0) {
+        printf "coverage_report: FAIL — src/par coverage %.1f%% is below the gate %.1f%%\n", ppct, min_par + 0 > "/dev/stderr"
+        exit 1
+      }
+      printf "par coverage gate: OK (>= %.1f%%)\n", min_par + 0
     }
   }
 ' "${CC_GCOV[@]}"

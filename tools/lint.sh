@@ -60,13 +60,15 @@ ban naked-new '(^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:<]' \
 ban naked-delete '(^|[^_[:alnum:]])delete(\[\])?[[:space:]]+[[:alnum:]_]' \
     src tests bench examples
 
-# Threads are the communicator's job: everything above acps::comm must stay
-# thread-agnostic and express concurrency through ThreadGroup::Run. Test
-# code is exempt (obs_test spawns raw threads precisely to hammer the
-# tracer's thread safety).
+# Raw threads live in exactly two places: the deterministic pool (src/par)
+# and the simulated ring workers (src/comm). Everything else expresses
+# concurrency through par::ParallelFor/ParallelReduce or ThreadGroup::Run,
+# so determinism and the thread budget stay centralized. Test code is
+# exempt (obs_test and par_test spawn raw threads precisely to hammer
+# thread safety from outside).
 ban raw-thread 'std::(thread|jthread)' \
     src/tensor src/linalg src/metrics src/obs src/compress src/fusion \
-    src/models src/sim src/dnn src/core bench examples
+    src/models src/sim src/dnn src/core src/check bench examples
 
 # Unseeded libc RNG: all randomness must flow through tensor/rng.h so runs
 # stay reproducible worker-by-worker.
@@ -92,6 +94,9 @@ fi
 #   2. The model checker's instrumentation header (src/check/sched_point.*)
 #      must stay dependency-free: acps_comm/acps_core link it, so if it ever
 #      includes another module the dependency arrow flips into a cycle.
+#   3. The deterministic pool (src/par) sits below every compute layer and
+#      must stay standard-library-only for the same reason — all of tensor/
+#      linalg/compress link it.
 # ---------------------------------------------------------------------------
 
 # $1 = check name, $2 = ERE matched against the include target, $3 = exact
@@ -122,6 +127,9 @@ layer_check compute-below-runtime '^(comm|core)/' '' \
     src/tensor src/linalg src/dnn
 layer_check sched-point-no-deps '\.h$' 'check/sched_point.h' \
     src/check/sched_point.h src/check/sched_point.cc
+layer_check par-no-deps \
+    '^(check|comm|compress|core|dnn|fusion|linalg|metrics|models|obs|sim|tensor)/' \
+    '' src/par
 if [ "$FAILURES" -eq 0 ]; then
   note "layering checks: clean"
 fi
