@@ -1,6 +1,7 @@
 // Microbenchmarks of the compression kernels (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "compress/acpsgd.h"
 #include "compress/powersgd.h"
 #include "compress/sign.h"
@@ -21,6 +22,7 @@ std::vector<float> Grad(size_t n) {
 }
 
 void BM_SignEncode(benchmark::State& state) {
+  bench::OracleGate("sign");
   const auto g = Grad(static_cast<size_t>(state.range(0)));
   compress::SignCompressor c;
   for (auto _ : state) {
@@ -32,6 +34,7 @@ void BM_SignEncode(benchmark::State& state) {
 BENCHMARK(BM_SignEncode)->Arg(1 << 14)->Arg(1 << 18);
 
 void BM_TopkEncodeExact(benchmark::State& state) {
+  bench::OracleGate("topk:0.001");
   const auto g = Grad(static_cast<size_t>(state.range(0)));
   compress::TopkCompressor c(0.001, compress::TopkSelection::kExact);
   for (auto _ : state) {
@@ -43,6 +46,7 @@ void BM_TopkEncodeExact(benchmark::State& state) {
 BENCHMARK(BM_TopkEncodeExact)->Arg(1 << 16);
 
 void BM_TopkEncodeSampled(benchmark::State& state) {
+  bench::OracleGate("topk-sampled:0.001");
   const auto g = Grad(static_cast<size_t>(state.range(0)));
   compress::TopkCompressor c(0.001, compress::TopkSelection::kSampledThreshold);
   for (auto _ : state) {

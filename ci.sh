@@ -4,10 +4,10 @@
 # exploration model checker, and the coverage gate.
 #
 #   ./ci.sh                 # lint + release + tsan + asan-ubsan + modelcheck
-#                           #   + perf-smoke
+#                           #   + chaos + perf-smoke
 #   ./ci.sh lint tsan       # any subset of:
 #                           #   lint release tsan asan-ubsan modelcheck
-#                           #   perf-smoke coverage
+#                           #   chaos perf-smoke coverage
 #
 # Presets come from CMakePresets.json; the sanitizer test presets exclude
 # the `sanitizer-slow` ctest label (long convergence runs) and load
@@ -28,11 +28,16 @@ ACPS_COV_MIN_COMM_COMPRESS=95.0
 # Line-coverage floor for the deterministic parallel layer (src/par): the
 # pool is the substrate every kernel trusts, so its machinery stays >= 90%.
 ACPS_COV_MIN_PAR=90.0
+# Floors for the training core (WFBP reducer + distributed optimizer) and
+# the fault-injection/recovery layer. src/fault especially must stay hot:
+# recovery code the chaos matrix never executes certifies nothing.
+ACPS_COV_MIN_CORE=80.0
+ACPS_COV_MIN_FAULT=80.0
 
 JOBS="${JOBS:-$(nproc)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(lint release tsan asan-ubsan modelcheck perf-smoke)
+  LEGS=(lint release tsan asan-ubsan modelcheck chaos perf-smoke)
 fi
 
 run_preset() {
@@ -60,6 +65,16 @@ for leg in "${LEGS[@]}"; do
       cmake --build --preset release -j "$JOBS"
       ctest --preset modelcheck -j "$JOBS"
       ;;
+    chaos)
+      # Fault-injection matrix (DESIGN.md §6f): every fault kind x
+      # collective x compressor must end recovered-or-detected; silent
+      # corruption fails the leg.
+      echo
+      echo "==================== chaos ===================="
+      cmake --preset release
+      cmake --build --preset release -j "$JOBS"
+      ctest --preset chaos -j "$JOBS"
+      ;;
     perf-smoke)
       # Quick kernel-bench pass gated against the committed baseline
       # (BENCH_kernels.json): fails on a >25% speedup-over-naive regression
@@ -77,11 +92,11 @@ for leg in "${LEGS[@]}"; do
       cmake --build --preset coverage -j "$JOBS"
       ctest --preset coverage -j "$JOBS"
       tools/coverage_report.sh build-coverage "$ACPS_COV_MIN_COMM_COMPRESS" \
-          "$ACPS_COV_MIN_PAR"
+          "$ACPS_COV_MIN_PAR" "$ACPS_COV_MIN_CORE" "$ACPS_COV_MIN_FAULT"
       ;;
     *)
       echo "ci.sh: unknown leg '$leg' (expected: lint release tsan" \
-           "asan-ubsan modelcheck perf-smoke coverage)" >&2
+           "asan-ubsan modelcheck chaos perf-smoke coverage)" >&2
       exit 2
       ;;
   esac

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "comm/communicator.h"
+#include "comm/hierarchical.h"
+#include "core/distributed_optimizer.h"
 #include "core/grad_reducer.h"
 #include "dnn/layer.h"
 #include "tensor/check.h"
@@ -88,6 +90,9 @@ RunOutcome RunWorkload(Workload w, const ExploreOptions& opt,
   comm::ThreadGroup group(p);
   group.set_contract_checking(opt.contract_checking);
   ScopedSchedListener install(controller);
+  // A reused controller must re-enforce / re-inject from window 0, not from
+  // wherever the previous run left its window counter.
+  if (controller != nullptr) controller->ResetRunState();
   try {
     group.Run([&](comm::Communicator& comm) {
       const int r = comm.rank();
@@ -165,6 +170,40 @@ RunOutcome RunWorkload(Workload w, const ExploreOptions& opt,
           reducer.FinishStep();
           for (auto* prm : fix.list()) {
             const auto bytes = FloatsToBytes(prm->grad.data());
+            slot.insert(slot.end(), bytes.begin(), bytes.end());
+          }
+          break;
+        }
+        case Workload::kHierarchical: {
+          // gpus_per_node must divide p; odd group sizes degrade to a single
+          // node (phase 1 + 3 only), even sizes exercise the leader ring too.
+          const int g = (p % 2 == 0) ? 2 : p;
+          auto data = IntInputs(r, n);
+          comm::HierarchicalAllReduce(comm, data, g);
+          slot = FloatsToBytes(data);
+          break;
+        }
+        case Workload::kOptimizerStep: {
+          WfbpFixture fix(r);
+          // Values start identical on every rank (data-parallel invariant);
+          // per-rank gradients are averaged by the aggregator, so values
+          // must stay rank-invariant after each step.
+          int64_t i = 0;
+          for (auto* prm : fix.list())
+            for (float& v : prm->value.data()) v = IntInput(0, i++) * 0.125f;
+          core::DistributedOptimizer dopt(
+              fix.list(), core::MakeAcpSgdFactory(2)(r, p),
+              dnn::LrSchedule{.base_lr = 0.125f, .warmup_epochs = 1},
+              /*momentum=*/0.5f);
+          for (int step = 0; step < 2; ++step) {
+            int64_t j = 0;
+            for (auto* prm : fix.list())
+              for (float& gr : prm->grad.data())
+                gr = IntInput(r, j++ + step * 131);
+            dopt.Step(comm, /*epoch=*/static_cast<double>(step));
+          }
+          for (auto* prm : fix.list()) {
+            const auto bytes = FloatsToBytes(prm->value.data());
             slot.insert(slot.end(), bytes.begin(), bytes.end());
           }
           break;
@@ -250,7 +289,17 @@ std::vector<std::vector<std::byte>> ReferenceOutputs(Workload w,
       for (int r = 0; r < p; ++r) ref[static_cast<size_t>(r)] = FloatsToBytes(sum);
       break;
     }
+    case Workload::kHierarchical: {
+      // Same contract as a flat all-reduce: every rank ends with the sum.
+      std::vector<float> sum(static_cast<size_t>(n), 0.0f);
+      for (int r = 0; r < p; ++r)
+        for (int64_t i = 0; i < n; ++i)
+          sum[static_cast<size_t>(i)] += IntInput(r, i);
+      for (int r = 0; r < p; ++r) ref[static_cast<size_t>(r)] = FloatsToBytes(sum);
+      break;
+    }
     case Workload::kWfbpStep:
+    case Workload::kOptimizerStep:
       ref.clear();  // no closed form; baseline comparison covers it
       break;
   }
@@ -382,6 +431,8 @@ const char* ToString(Workload w) noexcept {
     case Workload::kBroadcast: return "broadcast";
     case Workload::kBarrier: return "barrier";
     case Workload::kWfbpStep: return "wfbp_step";
+    case Workload::kHierarchical: return "hierarchical";
+    case Workload::kOptimizerStep: return "optimizer_step";
   }
   return "unknown";
 }

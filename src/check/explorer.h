@@ -42,6 +42,10 @@ enum class Workload {
   kBroadcast,
   kBarrier,    // barriers interleaved with a small all-reduce
   kWfbpStep,   // GradReducer hook-driven step (low-rank + dense buckets)
+  // Higher layers, explorable but not in AllCollectiveWorkloads() (they
+  // compose the collectives above and would double-count enumeration):
+  kHierarchical,   // two-level node-aware all-reduce (kHierPhase points)
+  kOptimizerStep,  // DistributedOptimizer::Step (kOptStep point + SGD)
 };
 
 [[nodiscard]] const char* ToString(Workload w) noexcept;

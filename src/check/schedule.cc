@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "fault/clock.h"
 #include "tensor/check.h"
 
 namespace acps::check {
@@ -122,8 +123,13 @@ void ScheduleController::Perturb(PointKind kind, int rank) {
       }
       break;
     default: {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(1 + (h >> 13) % 40));
+      // "Sleep" in virtual time: charge replayable ticks and yield a
+      // bounded, seed-derived number of times. Wall-clock sleeps are banned
+      // (tools/lint.sh raw-sleep) — they are the one perturbation a replay
+      // cannot reproduce.
+      const auto ticks = static_cast<int64_t>(1 + (h >> 13) % 40);
+      fault::VirtualClock::Advance(ticks);
+      fault::SpinYield(static_cast<int>(1 + (h >> 7) % 4));
       std::lock_guard lock(mu_);
       ++stats_.sleeps;
       break;
@@ -191,6 +197,14 @@ void ScheduleController::OnSchedPoint(PointKind kind, int rank,
   }
 
   Perturb(kind, rank);
+}
+
+void ScheduleController::ResetRunState() {
+  std::lock_guard lock(mu_);
+  window_ = 0;
+  published_in_window_ = 0;
+  trace_.clear();
+  trace_next_ = 0;
 }
 
 ScheduleController::Stats ScheduleController::stats() const {

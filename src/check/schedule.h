@@ -7,9 +7,10 @@
 //
 //  * Random perturbation — at every SchedPoint, a decision derived purely
 //    from (seed, window, rank) or a global point counter chooses to do
-//    nothing, yield, double-yield, or briefly sleep. One seed = one
-//    perturbation schedule; a violating seed is replayed by re-running with
-//    the same seed.
+//    nothing, yield, double-yield, or charge a virtual-time delay (ticks on
+//    fault::VirtualClock plus bounded yields — wall-clock sleeps are banned,
+//    see tools/lint.sh raw-sleep). One seed = one perturbation schedule; a
+//    violating seed is replayed by re-running with the same seed.
 //  * Order enforcement — for hand-off windows (the kHandoffSend /
 //    kHandoffPublished pairs where all p ranks publish one chunk between two
 //    barriers), the controller serializes publishes in a chosen permutation
@@ -84,6 +85,14 @@ class ScheduleController final : public SchedListener {
   // Human-readable tail of the observed schedule ("w3 pub r0", ...), newest
   // last; rendered into violation reports.
   [[nodiscard]] std::string Trace() const;
+
+  // Rearms per-run state (window counter, in-window publish count, trace)
+  // so a controller reused across ThreadGroup::Run calls re-injects and
+  // re-enforces from window 0. Without this, the window counter kept
+  // monotonically increasing across runs, so a FaultSpec aimed at window w
+  // only ever fired on the first run that passed it — reused controllers
+  // silently stopped injecting. Cumulative stats are preserved.
+  void ResetRunState();
 
   [[nodiscard]] const ScheduleConfig& config() const { return config_; }
 

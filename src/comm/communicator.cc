@@ -1,28 +1,55 @@
 #include "comm/communicator.h"
 
 #include <algorithm>
-
-#include "check/sched_point.h"
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
+
+#include "check/sched_point.h"
+#include "fault/clock.h"
+#include "fault/injector.h"
 
 namespace acps::comm {
 namespace detail {
 
-// Shared state of one worker group: a sense-reversing barrier, one mailbox
-// per worker (the shared-memory analogue of a point-to-point channel), a
-// size-exchange board for variable-size collectives, and the collective
-// usage-contract checker (contract.h).
+// Absent sequence number: a mailbox slot that has never been published.
+inline constexpr uint64_t kNoSeq = ~uint64_t{0};
+
+// One published message with its delivery envelope. `seq` identifies the
+// (collective, phase, ring step) the message belongs to; `checksum` seals the
+// payload bytes, so readers can tell apart every recoverable wire fault:
+// a lost publish or replayed/stale message fails the seq check, corruption
+// fails the checksum.
+struct Message {
+  std::vector<std::byte> bytes;
+  uint64_t seq = kNoSeq;
+  uint32_t checksum = 0;
+};
+
+// Per-worker channel. `prev` keeps the previously published message — the
+// source the injector serves for duplicate/replay and stale-read faults.
+struct Mailbox {
+  Message cur;
+  Message prev;
+};
+
+// Shared state of one worker group: a sense-reversing barrier over the
+// *alive* membership, one envelope mailbox per worker (the shared-memory
+// analogue of a point-to-point channel), a size-exchange board for
+// variable-size collectives, retry flags for the reliable-delivery protocol,
+// and the collective usage-contract checker (contract.h).
 struct GroupState {
   explicit GroupState(int p, int64_t timeout_ms)
       : world_size(p), barrier_timeout_ms(timeout_ms),
-        mailbox(static_cast<size_t>(p)), sizes(static_cast<size_t>(p), 0) {
+        mailbox(static_cast<size_t>(p)), sizes(static_cast<size_t>(p), 0),
+        retry_flag(static_cast<size_t>(p), 0),
+        alive(static_cast<size_t>(p), 1), alive_count(p) {
     contract.Reset(p);
   }
 
@@ -42,8 +69,21 @@ struct GroupState {
   bool contract_enabled = false;
   ContractChecker contract;
 
-  std::vector<std::vector<std::byte>> mailbox;
+  std::vector<Mailbox> mailbox;
   std::vector<size_t> sizes;
+
+  // Reliable-delivery retry flags: worker r sets retry_flag[r] between the
+  // two barriers of an exchange step (1 = one of its reads failed
+  // validation). Stable for readers from the step's second barrier until the
+  // writer's next first barrier, so the post-barrier scan is race-free.
+  std::vector<uint8_t> retry_flag;
+
+  // Fail-stop membership. alive[r] flips to 0 exactly once, at the crashed
+  // rank's collective entry (before any survivor passes the entry barrier),
+  // so every surviving rank samples an identical view per collective.
+  std::vector<uint8_t> alive;
+  int alive_count;
+  std::vector<int> crashed;  // in crash order
 
   // First exception thrown by any worker during Run.
   std::mutex err_mu;
@@ -63,7 +103,7 @@ struct GroupState {
     check::SchedPoint(check::PointKind::kBarrierEnter, /*rank=*/-1);
     std::unique_lock lock(mu);
     if (aborted) throw Error(AbortMessage());
-    if (++arrived == world_size) {
+    if (++arrived >= alive_count) {
       arrived = 0;
       sense = !sense;
       cv.notify_all();
@@ -101,6 +141,25 @@ struct GroupState {
     cv.notify_all();
   }
 
+  // Fail-stop for `rank`: remove it from the barrier membership. If the
+  // current barrier round was only waiting on the dying rank, complete the
+  // round so the survivors unblock. arrived can only reach alive_count when
+  // every survivor has arrived, so a round never completes early.
+  void MarkDead(int rank) {
+    std::lock_guard lock(mu);
+    auto& a = alive[static_cast<size_t>(rank)];
+    if (a == 0) return;
+    a = 0;
+    --alive_count;
+    crashed.push_back(rank);
+    contract.SetDead(rank);
+    if (alive_count > 0 && arrived >= alive_count) {
+      arrived = 0;
+      sense = !sense;
+    }
+    cv.notify_all();
+  }
+
   // Fingerprint rendezvous run at every collective entry in checked mode:
   //   deposit -> barrier -> validate -> barrier.
   // On divergence every rank computes the same per-rank diff and throws, so
@@ -119,7 +178,25 @@ struct GroupState {
 
 namespace {
 
+// Bounded retry budget for one exchange step. Exhausting it means the fault
+// is not transient (a hostile injector, or the only publisher is dead):
+// every rank then throws fault::DetectedError in lockstep.
+constexpr int kMaxDeliveryAttempts = 8;
+
 int Mod(int x, int p) { return ((x % p) + p) % p; }
+
+// FNV-1a over the payload, seeded with the sequence number so a stale
+// message whose bytes happen to match still fails validation if its seq was
+// forged.
+uint32_t EnvelopeChecksum(std::span<const std::byte> bytes,
+                          uint64_t seq) noexcept {
+  uint32_t h = 2166136261u ^ static_cast<uint32_t>(seq * 2654435761ULL);
+  for (const std::byte b : bytes) {
+    h ^= static_cast<uint32_t>(b);
+    h *= 16777619u;
+  }
+  return h;
+}
 
 void ReduceInto(std::span<float> dst, std::span<const float> src,
                 ReduceOp op) {
@@ -143,45 +220,6 @@ std::span<const std::byte> AsBytes(std::span<const float> v) {
 std::span<const float> AsFloats(std::span<const std::byte> v) {
   ACPS_CHECK(v.size() % sizeof(float) == 0);
   return {reinterpret_cast<const float*>(v.data()), v.size() / sizeof(float)};
-}
-
-}  // namespace
-
-ChunkRange GetChunkRange(int64_t n, int p, int chunk) {
-  ACPS_CHECK_MSG(p >= 1 && chunk >= 0 && chunk < p, "bad chunk index");
-  const int64_t base = n / p;
-  const int64_t rem = n % p;
-  const int64_t extra = std::min<int64_t>(chunk, rem);
-  const int64_t begin = base * chunk + extra;
-  const int64_t size = base + (chunk < rem ? 1 : 0);
-  return ChunkRange{begin, begin + size};
-}
-
-// Publishes `payload` to this worker's mailbox and accounts the traffic.
-// Callers must barrier() before a peer reads and again before the next write.
-//
-// Schedule-exploration hooks (check/sched_point.h): a uniform hand-off —
-// one where every rank publishes exactly once between group barriers, i.e.
-// every ring step — raises kHandoffSend before the publish (the controller
-// may delay the caller to force a publish order) and kHandoffPublished,
-// carrying the mailbox bytes, after it (the controller may corrupt them in
-// fault-injection mode). Publishes that only a subset of ranks perform
-// (broadcast root, the naive all-reduce result) pass kRootPublish instead
-// so they never enter the controller's per-window accounting.
-namespace {
-void Send(detail::GroupState* st, int rank, TrafficStats& stats,
-          std::span<const std::byte> payload,
-          check::PointKind kind = check::PointKind::kHandoffSend) {
-  if (kind == check::PointKind::kHandoffSend)
-    check::SchedPoint(check::PointKind::kHandoffSend, rank);
-  auto& box = st->mailbox[static_cast<size_t>(rank)];
-  box.assign(payload.begin(), payload.end());
-  stats.bytes_sent += payload.size();
-  stats.messages_sent += 1;
-  check::SchedPoint(kind == check::PointKind::kHandoffSend
-                        ? check::PointKind::kHandoffPublished
-                        : check::PointKind::kRootPublish,
-                    rank, std::span<std::byte>(box.data(), box.size()));
 }
 
 // RAII wrapper around one collective call: registers the rank as "inside
@@ -208,10 +246,225 @@ class ContractScope {
   detail::GroupState* st_;
   int rank_;
 };
+
 }  // namespace
+
+ChunkRange GetChunkRange(int64_t n, int p, int chunk) {
+  ACPS_CHECK_MSG(p >= 1 && chunk >= 0 && chunk < p, "bad chunk index");
+  const int64_t base = n / p;
+  const int64_t rem = n % p;
+  const int64_t extra = std::min<int64_t>(chunk, rem);
+  const int64_t begin = base * chunk + extra;
+  const int64_t size = base + (chunk < rem ? 1 : 0);
+  return ChunkRange{begin, begin + size};
+}
+
+Communicator::Communicator(detail::GroupState* state, int rank, int world_size,
+                           obs::Tracer* tracer, obs::MetricsRegistry* metrics)
+    : state_(state), rank_(rank), world_size_(world_size), tracer_(tracer),
+      metrics_(metrics) {
+  RefreshView();
+}
+
+void Communicator::RefreshView() {
+  std::lock_guard lock(state_->mu);
+  view_.clear();
+  view_alive_.assign(static_cast<size_t>(world_size_), 0);
+  for (int r = 0; r < world_size_; ++r) {
+    if (state_->alive[static_cast<size_t>(r)] != 0) {
+      view_.push_back(r);
+      view_alive_[static_cast<size_t>(r)] = 1;
+    }
+  }
+}
+
+int Communicator::ViewIndex() const {
+  const auto it = std::lower_bound(view_.begin(), view_.end(), rank_);
+  ACPS_CHECK_MSG(it != view_.end() && *it == rank_,
+                 "rank not in alive view");
+  return static_cast<int>(it - view_.begin());
+}
+
+uint64_t Communicator::StepSeq(int phase, int step) const {
+  ACPS_CHECK(phase >= 0 && phase < 16 && step >= 0 && step < (1 << 16));
+  return (collective_seq_ << 20) | (static_cast<uint64_t>(phase) << 16) |
+         static_cast<uint64_t>(step);
+}
+
+void Communicator::EnterCollective() {
+  // Collectives are rendezvous-synchronous, so every rank's counter stays in
+  // lockstep and StepSeq values agree group-wide without communication.
+  ++collective_seq_;
+  if (fault::InstalledFaultInjector() == nullptr) return;
+
+  // Injected runs only: entry fault site, then a membership-stabilization
+  // barrier so every survivor samples the same alive view for this
+  // collective. Crash decisions always precede the barrier, and the barrier
+  // cannot complete until every survivor arrives, so the view is identical
+  // (and thus view-derived scales are deterministic) across ranks.
+  const fault::EntryDecision decision =
+      fault::OnCollectiveEntry(rank_, collective_seq_);
+  if (decision.kind == fault::FaultKind::kCrash) {
+    if (metrics_ != nullptr) metrics_->counter("fault.crash.ranks").Add();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      const int64_t now = tracer_->NowUs();
+      tracer_->Record(obs::SpanEvent{"fault_crash", obs::kCatFault, rank_, now,
+                                     now, 0,
+                                     static_cast<int64_t>(collective_seq_)});
+    }
+    state_->MarkDead(rank_);
+    throw fault::RankCrashed{rank_, collective_seq_};
+  }
+  if (decision.kind == fault::FaultKind::kStraggler) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("fault.straggler.events").Add();
+      metrics_->counter("fault.straggler.ticks")
+          .Add(static_cast<uint64_t>(decision.ticks));
+    }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      const int64_t now = tracer_->NowUs();
+      tracer_->Record(obs::SpanEvent{"fault_straggler", obs::kCatFault, rank_,
+                                     now, now, 0, decision.ticks});
+    }
+    // Straggler latency is virtual: charge ticks to the replayable clock and
+    // yield a bounded number of times; the entry barrier below is what
+    // actually absorbs the (virtual) delay, so results stay bitwise equal.
+    fault::VirtualClock::Advance(decision.ticks);
+    state_->contract.NoteStraggler(rank_, decision.ticks);
+    fault::SpinYield(2);
+  }
+  state_->Barrier();
+  RefreshView();
+}
+
+void Communicator::ReliableStep(uint64_t seq, bool publish,
+                                std::span<const std::byte> payload,
+                                check::PointKind kind, int fanout,
+                                std::span<const int> read_from,
+                                const ConsumeFn& consume) {
+  ACPS_CHECK_MSG(read_from.size() <= 64,
+                 "reliable step supports at most 64 sources");
+  uint64_t consumed = 0;  // bit i: read_from[i] validated and consumed
+  for (int attempt = 0;; ++attempt) {
+    if (publish) {
+      const fault::FaultKind fk = fault::OnPublish(rank_, seq, attempt);
+      // Wire cost is charged even for dropped or retried publishes — the
+      // bytes were put on the wire either way. Fault-free this is exactly
+      // one message of |payload| bytes (times `fanout` for one-to-many
+      // publishes), byte-identical to the pre-envelope transport.
+      stats_.bytes_sent += payload.size() * static_cast<size_t>(fanout);
+      stats_.messages_sent += static_cast<uint64_t>(fanout);
+      if (fk != fault::FaultKind::kDrop) {
+        auto& box = state_->mailbox[static_cast<size_t>(rank_)];
+        const bool fresh = box.cur.seq != seq;
+        // Schedule points fire only on the first attempt: retries replay
+        // data movement, not the explored schedule, so the controller's
+        // per-window publish accounting is unaffected by recovery.
+        if (attempt == 0 && fresh && kind == check::PointKind::kHandoffSend)
+          check::SchedPoint(check::PointKind::kHandoffSend, rank_);
+        if (fresh) {
+          box.prev = std::move(box.cur);
+          box.cur = detail::Message{};
+        }
+        box.cur.bytes.assign(payload.begin(), payload.end());
+        if (attempt == 0) {
+          // The controller may mutate the payload here (fault-injection
+          // mode); the checksum below is computed afterwards, sealing the
+          // mutation in. Model-checker corruption is therefore *delivered*
+          // (and caught by the check-layer oracles), while injector
+          // corruption — applied after the seal — is *detected* and retried.
+          check::SchedPoint(kind == check::PointKind::kHandoffSend
+                                ? check::PointKind::kHandoffPublished
+                                : check::PointKind::kRootPublish,
+                            rank_,
+                            std::span<std::byte>(box.cur.bytes.data(),
+                                                 box.cur.bytes.size()));
+        }
+        box.cur.seq = seq;
+        box.cur.checksum = EnvelopeChecksum(
+            {box.cur.bytes.data(), box.cur.bytes.size()}, seq);
+        if (fk == fault::FaultKind::kDuplicate) {
+          // Replay: the previous message overwrites this publish.
+          box.cur = box.prev;
+        } else if (fk == fault::FaultKind::kCorrupt) {
+          // Wire corruption after the checksum seal: rotate each byte's
+          // bits so validation fails deterministically.
+          for (std::byte& b : box.cur.bytes) {
+            const auto u = static_cast<uint8_t>(b);
+            b = static_cast<std::byte>(
+                static_cast<uint8_t>((u << 1) | (u >> 7)));
+          }
+        }
+      }
+    }
+    state_->Barrier();
+
+    bool ok = true;
+    std::string why;
+    int why_from = -1;
+    for (size_t i = 0; i < read_from.size(); ++i) {
+      if ((consumed & (uint64_t{1} << i)) != 0) continue;
+      const int from = read_from[i];
+      const fault::FaultKind fk = fault::OnRead(rank_, seq, attempt);
+      const auto& box = state_->mailbox[static_cast<size_t>(from)];
+      const detail::Message& m =
+          fk == fault::FaultKind::kStaleRead ? box.prev : box.cur;
+      const char* fail = nullptr;
+      if (m.seq != seq)
+        fail = "sequence mismatch (lost, replayed or stale chunk)";
+      else if (EnvelopeChecksum({m.bytes.data(), m.bytes.size()}, m.seq) !=
+               m.checksum)
+        fail = "checksum mismatch (corrupted chunk)";
+      if (fail == nullptr) {
+        consume(from, std::span<const std::byte>(m.bytes.data(),
+                                                 m.bytes.size()));
+        consumed |= uint64_t{1} << i;
+      } else {
+        ok = false;
+        why = fail;
+        why_from = from;
+      }
+    }
+    state_->retry_flag[static_cast<size_t>(rank_)] = ok ? 0 : 1;
+    state_->Barrier();
+
+    // Flags are stable here: no rank can overwrite its flag before the next
+    // first barrier, which needs every rank to finish this scan first. All
+    // ranks therefore compute the same verdict and retry (or throw) in
+    // lockstep — no rank is ever left waiting at a barrier.
+    bool again = false;
+    for (const int r : view_)
+      again = again || state_->retry_flag[static_cast<size_t>(r)] != 0;
+    if (!again) return;
+
+    if (metrics_ != nullptr) metrics_->counter("fault.retry.attempts").Add();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      const int64_t now = tracer_->NowUs();
+      tracer_->Record(obs::SpanEvent{"fault_retry", obs::kCatFault, rank_, now,
+                                     now, payload.size(), attempt});
+    }
+    if (attempt + 1 >= kMaxDeliveryAttempts) {
+      if (metrics_ != nullptr) metrics_->counter("fault.detected").Add();
+      std::ostringstream os;
+      os << "fault detected: chunk delivery failed after "
+         << kMaxDeliveryAttempts << " attempts (rank " << rank_
+         << ", collective #" << collective_seq_ << ", seq=0x" << std::hex
+         << seq << std::dec << ")";
+      if (why_from >= 0)
+        os << ": " << why << " reading from rank " << why_from;
+      else
+        os << ": a peer reported undeliverable chunks";
+      if (fault::FaultInjector* inj = fault::InstalledFaultInjector())
+        os << "; replay with " << inj->Describe();
+      throw fault::DetectedError(os.str());
+    }
+    fault::ConsumeBackoff(attempt);
+  }
+}
 
 void Communicator::barrier() {
   obs::ScopedSpan span(tracer_, "barrier", obs::kCatComm, rank_);
+  EnterCollective();
   ContractScope contract(
       state_, rank_, CollectiveFingerprint{.kind = CollectiveKind::kBarrier});
   state_->Barrier();
@@ -223,6 +476,7 @@ void Communicator::all_reduce(std::span<float> data, ReduceOp op,
                        algo == AllReduceAlgo::kRing ? "all_reduce"
                                                     : "all_reduce_naive",
                        obs::kCatComm, rank_, data.size() * sizeof(float));
+  EnterCollective();
   ContractScope contract(
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kAllReduce,
@@ -234,80 +488,86 @@ void Communicator::all_reduce(std::span<float> data, ReduceOp op,
     return;
   }
   ++stats_.collectives;
-  const int p = world_size_;
-  if (p == 1 || data.empty()) return;
+  const int pa = alive_world_size();
+  if (pa == 1 || data.empty()) return;
   const int64_t n = static_cast<int64_t>(data.size());
+  const int vi = ViewIndex();
+  const int pred[] = {view_[static_cast<size_t>(Mod(vi - 1, pa))]};
 
-  // --- Phase 1: ring reduce-scatter. After p-1 steps worker i owns the
-  // fully reduced chunk i.
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_idx = Mod(rank_ - s - 1, p);
-    const int recv_idx = Mod(rank_ - s - 2, p);
-    const ChunkRange sc = GetChunkRange(n, p, send_idx);
-    Send(state_, rank_, stats_,
-         AsBytes(data.subspan(static_cast<size_t>(sc.begin),
-                              static_cast<size_t>(sc.size()))));
-    state_->Barrier();
-    const ChunkRange rc = GetChunkRange(n, p, recv_idx);
-    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
-    ReduceInto(data.subspan(static_cast<size_t>(rc.begin),
-                            static_cast<size_t>(rc.size())),
-               AsFloats({box.data(), box.size()}), op);
-    state_->Barrier();
+  // --- Phase 0: ring reduce-scatter over the alive view. After pa-1 steps
+  // the worker at view position i owns the fully reduced chunk i.
+  for (int s = 0; s < pa - 1; ++s) {
+    const ChunkRange sc = GetChunkRange(n, pa, Mod(vi - s - 1, pa));
+    const ChunkRange rc = GetChunkRange(n, pa, Mod(vi - s - 2, pa));
+    ReliableStep(
+        StepSeq(0, s), /*publish=*/true,
+        AsBytes(data.subspan(static_cast<size_t>(sc.begin),
+                             static_cast<size_t>(sc.size()))),
+        check::PointKind::kHandoffSend, /*fanout=*/1, pred,
+        [&](int, std::span<const std::byte> bytes) {
+          ReduceInto(data.subspan(static_cast<size_t>(rc.begin),
+                                  static_cast<size_t>(rc.size())),
+                     AsFloats(bytes), op);
+        });
   }
 
-  // --- Phase 2: ring all-gather of the reduced chunks.
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_idx = Mod(rank_ - s, p);
-    const int recv_idx = Mod(rank_ - s - 1, p);
-    const ChunkRange sc = GetChunkRange(n, p, send_idx);
-    Send(state_, rank_, stats_,
-         AsBytes(data.subspan(static_cast<size_t>(sc.begin),
-                              static_cast<size_t>(sc.size()))));
-    state_->Barrier();
-    const ChunkRange rc = GetChunkRange(n, p, recv_idx);
-    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
-    const auto incoming = AsFloats({box.data(), box.size()});
-    ACPS_CHECK(static_cast<int64_t>(incoming.size()) == rc.size());
-    std::copy(incoming.begin(), incoming.end(),
-              data.begin() + static_cast<size_t>(rc.begin));
-    state_->Barrier();
+  // --- Phase 1: ring all-gather of the reduced chunks.
+  for (int s = 0; s < pa - 1; ++s) {
+    const ChunkRange sc = GetChunkRange(n, pa, Mod(vi - s, pa));
+    const ChunkRange rc = GetChunkRange(n, pa, Mod(vi - s - 1, pa));
+    ReliableStep(
+        StepSeq(1, s), /*publish=*/true,
+        AsBytes(data.subspan(static_cast<size_t>(sc.begin),
+                             static_cast<size_t>(sc.size()))),
+        check::PointKind::kHandoffSend, /*fanout=*/1, pred,
+        [&](int, std::span<const std::byte> bytes) {
+          const auto incoming = AsFloats(bytes);
+          ACPS_CHECK(static_cast<int64_t>(incoming.size()) == rc.size());
+          std::copy(incoming.begin(), incoming.end(),
+                    data.begin() + static_cast<size_t>(rc.begin));
+        });
   }
 }
 
 void Communicator::AllReduceNaive(std::span<float> data, ReduceOp op) {
   ++stats_.collectives;
-  const int p = world_size_;
-  if (p == 1 || data.empty()) return;
+  const int pa = alive_world_size();
+  if (pa == 1 || data.empty()) return;
+  const int root = view_[0];
 
-  // Everyone publishes; rank 0 reduces; rank 0 publishes the result;
-  // everyone copies. This is the flat O(p·N) reference algorithm.
-  Send(state_, rank_, stats_, AsBytes(data));
-  state_->Barrier();
-  if (rank_ == 0) {
-    for (int r = 1; r < p; ++r) {
-      const auto& box = state_->mailbox[static_cast<size_t>(r)];
-      ReduceInto(data, AsFloats({box.data(), box.size()}), op);
-    }
+  // Everyone publishes; the root (first alive rank) reduces; the root
+  // publishes the result; everyone copies. This is the flat O(p·N)
+  // reference algorithm. The root's phase-0 mailbox is never read, so
+  // retried steps may safely republish its partially reduced buffer.
+  std::vector<int> others;
+  if (rank_ == root) {
+    others.reserve(static_cast<size_t>(pa - 1));
+    for (const int r : view_)
+      if (r != root) others.push_back(r);
   }
-  state_->Barrier();
-  if (rank_ == 0)
-    Send(state_, rank_, stats_, AsBytes(data),
-         check::PointKind::kRootPublish);
-  state_->Barrier();
-  if (rank_ != 0) {
-    const auto& box = state_->mailbox[0];
-    const auto result = AsFloats({box.data(), box.size()});
-    ACPS_CHECK(result.size() == data.size());
-    std::copy(result.begin(), result.end(), data.begin());
-  }
-  state_->Barrier();
+  ReliableStep(StepSeq(0, 0), /*publish=*/true, AsBytes(data),
+               check::PointKind::kHandoffSend, /*fanout=*/1, others,
+               [&](int, std::span<const std::byte> bytes) {
+                 ReduceInto(data, AsFloats(bytes), op);
+               });
+
+  const int root_src[] = {root};
+  ReliableStep(StepSeq(1, 0), /*publish=*/rank_ == root, AsBytes(data),
+               check::PointKind::kRootPublish, /*fanout=*/1,
+               rank_ == root ? std::span<const int>{}
+                             : std::span<const int>(root_src),
+               [&](int, std::span<const std::byte> bytes) {
+                 const auto result = AsFloats(bytes);
+                 ACPS_CHECK(result.size() == data.size());
+                 std::copy(result.begin(), result.end(), data.begin());
+               });
 }
 
 void Communicator::all_gather(std::span<const float> send,
                               std::span<float> recv) {
   obs::ScopedSpan span(tracer_, "all_gather", obs::kCatComm, rank_,
                        send.size() * sizeof(float));
+  EnterCollective();
   ContractScope contract(
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kAllGather,
@@ -320,13 +580,14 @@ void Communicator::all_gather(std::span<const float> send,
   auto recv_bytes =
       std::span<std::byte>(reinterpret_cast<std::byte*>(recv.data()),
                            recv.size() * sizeof(float));
-  RingAllGatherBlocks(recv_bytes, send.size() * sizeof(float));
+  RingAllGatherBlocks(recv_bytes, send.size() * sizeof(float), /*phase=*/0);
 }
 
 void Communicator::all_gather_bytes(std::span<const std::byte> send,
                                     std::span<std::byte> recv) {
   obs::ScopedSpan span(tracer_, "all_gather_bytes", obs::kCatComm, rank_,
                        send.size());
+  EnterCollective();
   ContractScope contract(
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kAllGatherBytes,
@@ -335,28 +596,41 @@ void Communicator::all_gather_bytes(std::span<const std::byte> send,
                  "all_gather_bytes recv size must be p * send size");
   std::copy(send.begin(), send.end(),
             recv.begin() + static_cast<size_t>(rank_) * send.size());
-  RingAllGatherBlocks(recv, send.size());
+  RingAllGatherBlocks(recv, send.size(), /*phase=*/0);
 }
 
-// Ring all-gather over `buf` viewed as p equal blocks of `block_bytes`;
-// block `rank` must already hold this worker's contribution.
 void Communicator::RingAllGatherBlocks(std::span<std::byte> buf,
-                                       size_t block_bytes) {
+                                       size_t block_bytes, int phase) {
   ++stats_.collectives;
-  const int p = world_size_;
-  if (p == 1 || block_bytes == 0) return;
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_idx = Mod(rank_ - s, p);
-    const int recv_idx = Mod(rank_ - s - 1, p);
-    Send(state_, rank_, stats_,
-         buf.subspan(static_cast<size_t>(send_idx) * block_bytes,
-                     block_bytes));
-    state_->Barrier();
-    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
-    ACPS_CHECK(box.size() == block_bytes);
-    std::memcpy(buf.data() + static_cast<size_t>(recv_idx) * block_bytes,
-                box.data(), block_bytes);
-    state_->Barrier();
+  const int pa = alive_world_size();
+  if (block_bytes == 0) return;
+  // Degraded membership: crashed ranks contribute all-zero blocks, so the
+  // gathered buffer stays deterministic and consumers can skip dead blocks
+  // by rank.
+  if (pa != world_size_) {
+    for (int r = 0; r < world_size_; ++r) {
+      if (!is_alive(r))
+        std::memset(buf.data() + static_cast<size_t>(r) * block_bytes, 0,
+                    block_bytes);
+    }
+  }
+  if (pa == 1) return;
+  const int vi = ViewIndex();
+  const int pred[] = {view_[static_cast<size_t>(Mod(vi - 1, pa))]};
+  // Blocks are indexed by *real* rank; the ring circulates the alive blocks
+  // through the alive view.
+  for (int s = 0; s < pa - 1; ++s) {
+    const int send_rank = view_[static_cast<size_t>(Mod(vi - s, pa))];
+    const int recv_rank = view_[static_cast<size_t>(Mod(vi - s - 1, pa))];
+    ReliableStep(
+        StepSeq(phase, s), /*publish=*/true,
+        buf.subspan(static_cast<size_t>(send_rank) * block_bytes, block_bytes),
+        check::PointKind::kHandoffSend, /*fanout=*/1, pred,
+        [&](int, std::span<const std::byte> bytes) {
+          ACPS_CHECK(bytes.size() == block_bytes);
+          std::memcpy(buf.data() + static_cast<size_t>(recv_rank) * block_bytes,
+                      bytes.data(), block_bytes);
+        });
   }
 }
 
@@ -365,6 +639,7 @@ void Communicator::all_gather_v(std::span<const std::byte> send,
                                 std::vector<size_t>& offsets) {
   obs::ScopedSpan span(tracer_, "all_gather_v", obs::kCatComm, rank_,
                        send.size());
+  EnterCollective();
   ContractScope contract(
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kAllGatherV,
@@ -372,99 +647,119 @@ void Communicator::all_gather_v(std::span<const std::byte> send,
                             .variable_size = true});
   ++stats_.collectives;
   const int p = world_size_;
-  // Exchange sizes through the board.
+  const int pa = alive_world_size();
+  // Exchange sizes through the board. Crashed ranks' slots may hold stale
+  // values; readers treat dead slots as zero-length contributions.
   state_->sizes[static_cast<size_t>(rank_)] = send.size();
   state_->Barrier();
+  const auto size_of = [&](int r) -> size_t {
+    return is_alive(r) ? state_->sizes[static_cast<size_t>(r)] : 0;
+  };
   offsets.assign(static_cast<size_t>(p) + 1, 0);
   for (int r = 0; r < p; ++r)
     offsets[static_cast<size_t>(r) + 1] =
-        offsets[static_cast<size_t>(r)] + state_->sizes[static_cast<size_t>(r)];
+        offsets[static_cast<size_t>(r)] + size_of(r);
   recv.assign(offsets.back(), std::byte{0});
   state_->Barrier();
 
-  if (p == 1) {
-    std::copy(send.begin(), send.end(), recv.begin());
+  if (pa == 1) {
+    std::copy(send.begin(), send.end(),
+              recv.begin() +
+                  static_cast<ptrdiff_t>(offsets[static_cast<size_t>(rank_)]));
     return;
   }
 
   // Ring with variable block sizes: block r = worker r's contribution.
   std::copy(send.begin(), send.end(),
-            recv.begin() + static_cast<ptrdiff_t>(offsets[static_cast<size_t>(rank_)]));
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_idx = Mod(rank_ - s, p);
-    const int recv_idx = Mod(rank_ - s - 1, p);
-    Send(state_, rank_, stats_,
-         std::span<const std::byte>(
-             recv.data() + offsets[static_cast<size_t>(send_idx)],
-             state_->sizes[static_cast<size_t>(send_idx)]));
-    state_->Barrier();
-    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
-    ACPS_CHECK(box.size() == state_->sizes[static_cast<size_t>(recv_idx)]);
-    std::memcpy(recv.data() + offsets[static_cast<size_t>(recv_idx)],
-                box.data(), box.size());
-    state_->Barrier();
+            recv.begin() +
+                static_cast<ptrdiff_t>(offsets[static_cast<size_t>(rank_)]));
+  const int vi = ViewIndex();
+  const int pred[] = {view_[static_cast<size_t>(Mod(vi - 1, pa))]};
+  for (int s = 0; s < pa - 1; ++s) {
+    const int send_rank = view_[static_cast<size_t>(Mod(vi - s, pa))];
+    const int recv_rank = view_[static_cast<size_t>(Mod(vi - s - 1, pa))];
+    const size_t recv_size = size_of(recv_rank);
+    ReliableStep(
+        StepSeq(0, s), /*publish=*/true,
+        std::span<const std::byte>(
+            recv.data() + offsets[static_cast<size_t>(send_rank)],
+            size_of(send_rank)),
+        check::PointKind::kHandoffSend, /*fanout=*/1, pred,
+        [&](int, std::span<const std::byte> bytes) {
+          ACPS_CHECK(bytes.size() == recv_size);
+          std::memcpy(recv.data() + offsets[static_cast<size_t>(recv_rank)],
+                      bytes.data(), bytes.size());
+        });
   }
 }
 
 void Communicator::reduce_scatter(std::span<float> data, ReduceOp op) {
   obs::ScopedSpan span(tracer_, "reduce_scatter", obs::kCatComm, rank_,
                        data.size() * sizeof(float));
+  EnterCollective();
   ContractScope contract(
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kReduceScatter,
                             .bytes = data.size() * sizeof(float),
                             .op = static_cast<int>(op)});
   ++stats_.collectives;
-  const int p = world_size_;
-  if (p == 1 || data.empty()) return;
+  const int pa = alive_world_size();
+  if (pa == 1 || data.empty()) return;
   const int64_t n = static_cast<int64_t>(data.size());
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_idx = Mod(rank_ - s - 1, p);
-    const int recv_idx = Mod(rank_ - s - 2, p);
-    const ChunkRange sc = GetChunkRange(n, p, send_idx);
-    Send(state_, rank_, stats_,
-         AsBytes(std::span<const float>(data).subspan(
-             static_cast<size_t>(sc.begin), static_cast<size_t>(sc.size()))));
-    state_->Barrier();
-    const ChunkRange rc = GetChunkRange(n, p, recv_idx);
-    const auto& box = state_->mailbox[static_cast<size_t>(Mod(rank_ - 1, p))];
-    ReduceInto(data.subspan(static_cast<size_t>(rc.begin),
-                            static_cast<size_t>(rc.size())),
-               AsFloats({box.data(), box.size()}), op);
-    state_->Barrier();
+  const int vi = ViewIndex();
+  const int pred[] = {view_[static_cast<size_t>(Mod(vi - 1, pa))]};
+  for (int s = 0; s < pa - 1; ++s) {
+    const ChunkRange sc = GetChunkRange(n, pa, Mod(vi - s - 1, pa));
+    const ChunkRange rc = GetChunkRange(n, pa, Mod(vi - s - 2, pa));
+    ReliableStep(
+        StepSeq(0, s), /*publish=*/true,
+        AsBytes(std::span<const float>(data).subspan(
+            static_cast<size_t>(sc.begin), static_cast<size_t>(sc.size()))),
+        check::PointKind::kHandoffSend, /*fanout=*/1, pred,
+        [&](int, std::span<const std::byte> bytes) {
+          ReduceInto(data.subspan(static_cast<size_t>(rc.begin),
+                                  static_cast<size_t>(rc.size())),
+                     AsFloats(bytes), op);
+        });
   }
 }
 
 void Communicator::broadcast(std::span<float> data, int root) {
   obs::ScopedSpan span(tracer_, "broadcast", obs::kCatComm, rank_,
                        data.size() * sizeof(float));
+  EnterCollective();
   ContractScope contract(
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kBroadcast,
                             .bytes = data.size() * sizeof(float),
                             .root = root});
   ++stats_.collectives;
-  const int p = world_size_;
-  ACPS_CHECK_MSG(root >= 0 && root < p, "broadcast root out of range");
-  if (p == 1 || data.empty()) return;
-  if (rank_ == root) {
-    // Account flat point-to-point cost: root sends (p-1) copies.
-    auto& box = state_->mailbox[static_cast<size_t>(rank_)];
-    const auto payload = AsBytes(data);
-    box.assign(payload.begin(), payload.end());
-    stats_.bytes_sent += payload.size() * static_cast<size_t>(p - 1);
-    stats_.messages_sent += static_cast<uint64_t>(p - 1);
-    check::SchedPoint(check::PointKind::kRootPublish, rank_,
-                      std::span<std::byte>(box.data(), box.size()));
+  ACPS_CHECK_MSG(root >= 0 && root < world_size_,
+                 "broadcast root out of range");
+  const int pa = alive_world_size();
+  if (!is_alive(root)) {
+    // The only publisher is dead: unsatisfiable, but *detected* — every
+    // surviving rank computed the same view, so all throw in lockstep.
+    if (metrics_ != nullptr) metrics_->counter("fault.detected").Add();
+    std::ostringstream os;
+    os << "fault detected: broadcast root rank " << root
+       << " has crashed (fail-stop); collective #" << collective_seq_
+       << " cannot be satisfied";
+    if (fault::FaultInjector* inj = fault::InstalledFaultInjector())
+      os << "; replay with " << inj->Describe();
+    throw fault::DetectedError(os.str());
   }
-  state_->Barrier();
-  if (rank_ != root) {
-    const auto& box = state_->mailbox[static_cast<size_t>(root)];
-    const auto incoming = AsFloats({box.data(), box.size()});
-    ACPS_CHECK(incoming.size() == data.size());
-    std::copy(incoming.begin(), incoming.end(), data.begin());
-  }
-  state_->Barrier();
+  if (pa == 1 || data.empty()) return;
+  const int root_src[] = {root};
+  ReliableStep(StepSeq(0, 0), /*publish=*/rank_ == root, AsBytes(data),
+               check::PointKind::kRootPublish, /*fanout=*/pa - 1,
+               rank_ == root ? std::span<const int>{}
+                             : std::span<const int>(root_src),
+               [&](int, std::span<const std::byte> bytes) {
+                 const auto incoming = AsFloats(bytes);
+                 ACPS_CHECK(incoming.size() == data.size());
+                 std::copy(incoming.begin(), incoming.end(), data.begin());
+               });
 }
 
 namespace {
@@ -516,23 +811,32 @@ bool ThreadGroup::contract_checking() const noexcept {
 
 void ThreadGroup::Run(const std::function<void(Communicator&)>& fn) {
   last_run_stats_.assign(static_cast<size_t>(world_size_), TrafficStats{});
-  // Reset barrier, error, and contract state: an aborted previous Run may
-  // have left the sense-reversing barrier mid-flip (workers that threw
-  // never finish their barrier round) and the contract checker mid-deposit.
+  // Reset barrier, error, membership, mailbox, and contract state: an
+  // aborted or degraded previous Run may have left the sense-reversing
+  // barrier mid-flip, ranks marked dead, and mailboxes holding old
+  // envelopes.
   state_->aborted = false;
   state_->arrived = 0;
   state_->sense = false;
   state_->first_error = nullptr;
   state_->abort_reason.clear();
   state_->contract.Reset(world_size_);
+  state_->mailbox.assign(static_cast<size_t>(world_size_), detail::Mailbox{});
+  state_->retry_flag.assign(static_cast<size_t>(world_size_), 0);
+  state_->alive.assign(static_cast<size_t>(world_size_), 1);
+  state_->alive_count = world_size_;
+  state_->crashed.clear();
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(world_size_));
   for (int r = 0; r < world_size_; ++r) {
     threads.emplace_back([this, r, &fn] {
-      Communicator comm(state_.get(), r, world_size_, tracer_);
+      Communicator comm(state_.get(), r, world_size_, tracer_, metrics_);
       try {
         fn(comm);
+      } catch (const fault::RankCrashed&) {
+        // Fail-stop: the rank already marked itself dead at its collective
+        // entry; the surviving ranks reconfigure and finish the run.
       } catch (...) {
         {
           std::lock_guard lock(state_->err_mu);
@@ -546,6 +850,10 @@ void ThreadGroup::Run(const std::function<void(Communicator&)>& fn) {
   }
   for (auto& t : threads) t.join();
   if (state_->first_error) std::rethrow_exception(state_->first_error);
+}
+
+const std::vector<int>& ThreadGroup::crashed_ranks() const noexcept {
+  return state_->crashed;
 }
 
 TrafficStats ThreadGroup::total_stats() const {

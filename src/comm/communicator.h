@@ -10,6 +10,16 @@
 // Concurrency model: collectives are rendezvous-synchronous. Every worker of
 // the group must call the same sequence of collectives with matching sizes
 // (mismatch throws). This mirrors NCCL's usage contract.
+//
+// Resilience (DESIGN.md §6f): every mailbox publish carries a sequence
+// number + checksum envelope. Readers validate both; a failed validation
+// (dropped, replayed, stale, or corrupted chunk — injectable via
+// fault/injector.h) triggers a bounded, deterministic group retry with
+// virtual-time backoff, so recoverable wire faults are absorbed with
+// bitwise-identical results. A rank that fail-stops at a collective entry is
+// removed from the membership view: subsequent collectives run over the
+// surviving ranks (ring reconfigured, chunking over the alive count, dead
+// all-gather blocks zeroed) and callers rescale by alive_world_size().
 #pragma once
 
 #include <cstddef>
@@ -19,7 +29,9 @@
 #include <span>
 #include <vector>
 
+#include "check/sched_point.h"
 #include "comm/contract.h"
+#include "obs/metrics_registry.h"
 #include "obs/tracer.h"
 #include "tensor/check.h"
 
@@ -36,7 +48,8 @@ enum class AllReduceAlgo { kRing, kNaive };
 
 // Per-worker traffic statistics, in "wire" units. One mailbox write of B
 // bytes counts as one message of B bytes sent (the shared-memory analogue of
-// one point-to-point send on the ring).
+// one point-to-point send on the ring). Retransmissions during fault
+// recovery are charged like first sends — the wire cost was paid.
 struct TrafficStats {
   uint64_t bytes_sent = 0;
   uint64_t messages_sent = 0;
@@ -58,18 +71,38 @@ class Communicator {
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int world_size() const noexcept { return world_size_; }
 
-  // Blocks until every worker reaches the barrier.
+  // --- Membership (fault tolerance) ----------------------------------------
+  // The alive view as sampled at this worker's most recent collective entry.
+  // Without fault injection it is always the full group. Membership only
+  // shrinks at collective entries, and every surviving rank samples the same
+  // view at the same entry, so view-derived values (e.g. the 1/p mean scale)
+  // are deterministic and identical across ranks.
+  [[nodiscard]] int alive_world_size() const noexcept {
+    return static_cast<int>(view_.size());
+  }
+  [[nodiscard]] bool is_alive(int r) const {
+    return view_alive_[static_cast<size_t>(r)] != 0;
+  }
+  // Alive ranks in ascending order.
+  [[nodiscard]] const std::vector<int>& alive_ranks() const noexcept {
+    return view_;
+  }
+
+  // Blocks until every (alive) worker reaches the barrier.
   void barrier();
 
   // All-reduce in place over `data` with the chosen algorithm (kRing:
   // reduce-scatter + all-gather, 2*(p-1)/p * N elements per worker; kNaive:
-  // flat reduce-to-root + broadcast, the O(p*N) reference).
+  // flat reduce-to-root + broadcast, the O(p*N) reference). After a rank
+  // crash the reduction covers the surviving ranks only — divide by
+  // alive_world_size() for a mean.
   void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::kSum,
                   AllReduceAlgo algo = AllReduceAlgo::kRing);
 
   // Ring all-gather: worker i contributes `send`; `recv` (size p*|send|)
   // receives all contributions in rank order. All workers must pass equal
-  // |send|. Per-worker traffic: (p-1) * |send| elements.
+  // |send|. Per-worker traffic: (p-1) * |send| elements. Blocks of crashed
+  // ranks are zero-filled.
   void all_gather(std::span<const float> send, std::span<float> recv);
 
   // Byte-wise ring all-gather for packed/compressed payloads (e.g. sign
@@ -79,17 +112,21 @@ class Communicator {
 
   // Variable-size all-gather: contributions may differ per worker; sizes are
   // first exchanged, then payloads. `recv` is resized to the concatenation
-  // in rank order; `offsets[i]` gives the start of worker i's block.
+  // in rank order; `offsets[i]` gives the start of worker i's block. Crashed
+  // ranks contribute zero-length blocks.
   void all_gather_v(std::span<const std::byte> send,
                     std::vector<std::byte>& recv,
                     std::vector<size_t>& offsets);
 
-  // Ring reduce-scatter: in-place partial reduction; on return, worker i
-  // owns the fully reduced chunk i of `data` (other chunks are garbage).
-  // Chunk boundaries follow ChunkRange below.
+  // Ring reduce-scatter: in-place partial reduction; on return, the worker
+  // with the i-th position in alive_ranks() owns the fully reduced chunk i
+  // of `data` split into alive_world_size() chunks (other chunks are
+  // garbage). With full membership this is chunk `rank` of `world_size`
+  // chunks, per GetChunkRange below.
   void reduce_scatter(std::span<float> data, ReduceOp op = ReduceOp::kSum);
 
-  // Binomial-tree broadcast from `root`.
+  // Broadcast from `root`. Throws fault::DetectedError on every surviving
+  // rank (in lockstep) if the root has crashed.
   void broadcast(std::span<float> data, int root);
 
   // Traffic counters for this worker.
@@ -104,12 +141,36 @@ class Communicator {
  private:
   friend class ThreadGroup;
   Communicator(detail::GroupState* state, int rank, int world_size,
-               obs::Tracer* tracer)
-      : state_(state), rank_(rank), world_size_(world_size), tracer_(tracer) {}
+               obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  // Per-collective entry hook: bumps the collective sequence number, runs
+  // the fault-injection entry site (crash / straggler) when an injector is
+  // installed, and resamples the membership view behind an entry barrier so
+  // all survivors agree on it before the collective body runs.
+  void EnterCollective();
+  void RefreshView();
+  // Position of this rank in the alive view.
+  [[nodiscard]] int ViewIndex() const;
+  // Sequence number for step `step` of phase `phase` of the current
+  // collective — identical on every rank (collectives are lockstep).
+  [[nodiscard]] uint64_t StepSeq(int phase, int step) const;
+
+  // One reliable exchange step: optional publish (seq/checksum envelope)
+  // plus validated reads from `read_from`, with bounded deterministic group
+  // retry on validation failure. Exactly two barriers on the fault-free
+  // path — identical to the pre-envelope transport. `consume` is invoked at
+  // most once per source rank, only with a validated payload.
+  using ConsumeFn = std::function<void(int from, std::span<const std::byte>)>;
+  void ReliableStep(uint64_t seq, bool publish,
+                    std::span<const std::byte> payload, check::PointKind kind,
+                    int fanout, std::span<const int> read_from,
+                    const ConsumeFn& consume);
 
   // Ring all-gather over `buf` viewed as p equal blocks of `block_bytes`;
-  // block `rank` must already hold this worker's contribution.
-  void RingAllGatherBlocks(std::span<std::byte> buf, size_t block_bytes);
+  // block `rank` must already hold this worker's contribution. `phase`
+  // disambiguates the step sequence numbers within the collective.
+  void RingAllGatherBlocks(std::span<std::byte> buf, size_t block_bytes,
+                           int phase);
 
   // Naive (reduce-to-root + broadcast) all-reduce body.
   void AllReduceNaive(std::span<float> data, ReduceOp op);
@@ -118,7 +179,11 @@ class Communicator {
   int rank_;
   int world_size_;
   obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   TrafficStats stats_;
+  uint64_t collective_seq_ = 0;
+  std::vector<int> view_;           // alive ranks, ascending
+  std::vector<uint8_t> view_alive_; // indexed by rank
 };
 
 // Sentinel for ThreadGroup's `barrier_timeout_ms` parameter: resolve the
@@ -159,10 +224,24 @@ class ThreadGroup {
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
 
+  // Attaches a metrics registry: transports record fault/retry/degradation
+  // counters (fault.*) into it. Same lifetime contract as the tracer.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+
   // Spawns one thread per worker, each invoking fn(comm). Blocks until all
   // return. Exceptions thrown by any worker are rethrown (first one wins)
-  // after all workers have been joined.
+  // after all workers have been joined — except fault::RankCrashed, which
+  // marks the rank dead (see crashed_ranks) and lets the survivors finish.
   void Run(const std::function<void(Communicator&)>& fn);
+
+  // Ranks that fail-stopped (injected crash) during the most recent Run,
+  // in crash order.
+  [[nodiscard]] const std::vector<int>& crashed_ranks() const noexcept;
 
   // Aggregate traffic across workers from the most recent Run.
   [[nodiscard]] TrafficStats total_stats() const;
@@ -172,6 +251,7 @@ class ThreadGroup {
   std::unique_ptr<detail::GroupState> state_;
   std::vector<TrafficStats> last_run_stats_;
   obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 // The contiguous range [begin, end) of chunk `chunk` when splitting `n`

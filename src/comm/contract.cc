@@ -64,9 +64,20 @@ void ContractChecker::Deposit(int rank, const CollectiveFingerprint& fp) {
 
 std::optional<std::string> ContractChecker::Validate() const {
   std::lock_guard lock(mu_);
+  // Baseline = first alive rank; crashed ranks' deposits are stale by
+  // definition and excluded from the comparison.
+  int base = -1;
+  for (size_t r = 0; r < deposits_.size(); ++r) {
+    if (!status_[r].dead) {
+      base = static_cast<int>(r);
+      break;
+    }
+  }
+  if (base < 0) return std::nullopt;
   bool diverged = false;
-  for (size_t r = 1; r < deposits_.size(); ++r) {
-    if (!deposits_[0].Matches(deposits_[r])) {
+  for (size_t r = static_cast<size_t>(base) + 1; r < deposits_.size(); ++r) {
+    if (status_[r].dead) continue;
+    if (!deposits_[static_cast<size_t>(base)].Matches(deposits_[r])) {
       diverged = true;
       break;
     }
@@ -77,13 +88,42 @@ std::optional<std::string> ContractChecker::Validate() const {
   oss << "collective contract violation: workers issued mismatched "
          "collectives\n";
   for (size_t r = 0; r < deposits_.size(); ++r) {
-    oss << "  rank " << r << ": " << deposits_[r].Describe();
-    if (!deposits_[0].Matches(deposits_[r])) oss << "   <-- differs from rank 0";
+    oss << "  rank " << r << ": ";
+    if (status_[r].dead) {
+      oss << "CRASHED (fail-stop, excluded)\n";
+      continue;
+    }
+    oss << deposits_[r].Describe();
+    if (!deposits_[static_cast<size_t>(base)].Matches(deposits_[r]))
+      oss << "   <-- differs from rank " << base;
     oss << '\n';
   }
   oss << "every worker of a group must issue the same sequence of "
          "collectives with matching sizes (DESIGN.md, NCCL usage contract)";
   return oss.str();
+}
+
+void ContractChecker::SetDead(int rank) {
+  std::lock_guard lock(mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  auto& st = status_[static_cast<size_t>(rank)];
+  st.dead = true;
+  st.active = false;
+}
+
+void ContractChecker::NoteStraggler(int rank, int64_t ticks) {
+  std::lock_guard lock(mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  status_[static_cast<size_t>(rank)].straggler_ticks += ticks;
+}
+
+int64_t ContractChecker::straggler_ticks(int rank) const {
+  std::lock_guard lock(mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  return status_[static_cast<size_t>(rank)].straggler_ticks;
 }
 
 void ContractChecker::Enter(int rank, const CollectiveFingerprint& fp) {
@@ -110,11 +150,15 @@ std::string ContractChecker::BlockedReport() const {
   for (size_t r = 0; r < status_.size(); ++r) {
     const auto& st = status_[r];
     oss << "  rank " << r << ": ";
-    if (st.active)
+    if (st.dead)
+      oss << "CRASHED (fail-stop after " << st.seq << " collectives)";
+    else if (st.active)
       oss << "blocked in " << st.current.Describe() << " (collective #"
           << st.seq << ')';
     else
       oss << "idle (completed " << st.seq << " collectives)";
+    if (st.straggler_ticks > 0)
+      oss << ", straggler delay " << st.straggler_ticks << " ticks";
     oss << '\n';
   }
   return oss.str();

@@ -74,8 +74,22 @@ class ContractChecker {
   void Deposit(int rank, const CollectiveFingerprint& fp);
 
   // Returns the per-rank diff when deposited fingerprints diverge, nullopt
-  // when the group agrees. Every rank computes the same report.
+  // when the group agrees. Crashed ranks are skipped (their slots hold the
+  // fingerprint of whatever collective they died before); the comparison
+  // baseline is the first alive rank. Every rank computes the same report.
   [[nodiscard]] std::optional<std::string> Validate() const;
+
+  // --- Fault-tolerance bookkeeping (DESIGN.md §6f) -------------------------
+  // Marks `rank` as fail-stopped: excluded from fingerprint validation and
+  // annotated CRASHED in watchdog reports. Cleared by Reset.
+  void SetDead(int rank);
+
+  // Accumulates `ticks` of virtual straggler delay charged to `rank` at a
+  // collective entry — the watchdog escalation path: a straggling rank shows
+  // its accumulated delay in BlockedReport, so a timeout report
+  // distinguishes "slow" from "gone".
+  void NoteStraggler(int rank, int64_t ticks);
+  [[nodiscard]] int64_t straggler_ticks(int rank) const;
 
   // --- Watchdog bookkeeping (always on) ------------------------------------
   // Marks `rank` as inside `fp` / back out of it. Each Enter bumps the
@@ -91,7 +105,9 @@ class ContractChecker {
   struct RankStatus {
     CollectiveFingerprint current;
     bool active = false;
-    uint64_t seq = 0;  // collectives entered so far
+    bool dead = false;  // fail-stopped (SetDead)
+    uint64_t seq = 0;   // collectives entered so far
+    int64_t straggler_ticks = 0;  // cumulative virtual delay charged
   };
 
   mutable std::mutex mu_;

@@ -1,8 +1,23 @@
 #include "comm/hierarchical.h"
 
 #include <cstring>
+#include <vector>
+
+#include "check/sched_point.h"
 
 namespace acps::comm {
+
+namespace {
+
+// First alive rank of `node`'s range, or -1 when the whole node crashed.
+int NodeLeader(const Communicator& comm, int node, int gpus_per_node) {
+  for (int r = node * gpus_per_node; r < (node + 1) * gpus_per_node; ++r) {
+    if (comm.is_alive(r)) return r;
+  }
+  return -1;
+}
+
+}  // namespace
 
 void HierarchicalAllReduce(Communicator& comm, std::span<float> data,
                            int gpus_per_node) {
@@ -13,25 +28,35 @@ void HierarchicalAllReduce(Communicator& comm, std::span<float> data,
   if (p == 1 || data.empty()) return;
   const int nodes = p / gpus_per_node;
   const int node = comm.rank() / gpus_per_node;
-  const int local = comm.rank() % gpus_per_node;
-  const int leader = node * gpus_per_node;
 
   if (gpus_per_node == 1) {
     comm.all_reduce(data);
     return;
   }
 
+  // Leadership follows the alive view: the node leader is its first alive
+  // rank, so a crashed leader's duties fail over deterministically. The
+  // view is resampled at every nested collective entry; `leader` below is
+  // recomputed per phase from the view the phase's collective produced.
+  //
+  // Each phase boundary is a schedule point (kHierPhase): the model checker
+  // perturbs here to explore phase interleavings, and entry-kind faults
+  // (crash/straggler) fire at the nested collectives these points precede.
+
   // Phase 1: intra-node reduction onto the leader. Non-leaders publish
   // their data; leaders accumulate their node members' contributions.
   // (Uses the mailbox/barrier fabric via all_gather of node-tagged data —
   // implemented with the generic gather then local sum to keep the
   // communicator surface small.)
+  check::SchedPoint(check::PointKind::kHierPhase, comm.rank());
   std::vector<float> gathered(data.size() * static_cast<size_t>(p));
   comm.all_gather(data, gathered);
-  if (local == 0) {
-    // Leader sums its node's block range.
-    for (int r = leader; r < leader + gpus_per_node; ++r) {
-      if (r == comm.rank()) continue;
+  int leader = NodeLeader(comm, node, gpus_per_node);
+  if (comm.rank() == leader) {
+    // Leader sums its node's alive block range (dead blocks are zeroed by
+    // all_gather, but skipping them keeps the arithmetic order exact).
+    for (int r = node * gpus_per_node; r < (node + 1) * gpus_per_node; ++r) {
+      if (r == comm.rank() || !comm.is_alive(r)) continue;
       const float* src = gathered.data() + static_cast<size_t>(r) * data.size();
       for (size_t i = 0; i < data.size(); ++i) data[i] += src[i];
     }
@@ -41,12 +66,14 @@ void HierarchicalAllReduce(Communicator& comm, std::span<float> data,
   // collective: every worker participates in the all_gather (rendezvous
   // requirement) but only leader contributions are summed.
   if (nodes > 1) {
+    check::SchedPoint(check::PointKind::kHierPhase, comm.rank());
     std::vector<float> leader_gather(data.size() * static_cast<size_t>(p));
     comm.all_gather(data, leader_gather);
-    if (local == 0) {
+    leader = NodeLeader(comm, node, gpus_per_node);
+    if (comm.rank() == leader) {
       for (int n = 0; n < nodes; ++n) {
-        const int r = n * gpus_per_node;
-        if (r == comm.rank()) continue;
+        const int r = NodeLeader(comm, n, gpus_per_node);
+        if (r < 0 || r == comm.rank()) continue;
         const float* src =
             leader_gather.data() + static_cast<size_t>(r) * data.size();
         for (size_t i = 0; i < data.size(); ++i) data[i] += src[i];
@@ -55,9 +82,11 @@ void HierarchicalAllReduce(Communicator& comm, std::span<float> data,
   }
 
   // Phase 3: intra-node broadcast from the leader.
+  check::SchedPoint(check::PointKind::kHierPhase, comm.rank());
   std::vector<float> final_gather(data.size() * static_cast<size_t>(p));
   comm.all_gather(data, final_gather);
-  if (local != 0) {
+  leader = NodeLeader(comm, node, gpus_per_node);
+  if (comm.rank() != leader && leader >= 0) {
     const float* src =
         final_gather.data() + static_cast<size_t>(leader) * data.size();
     std::memcpy(data.data(), src, data.size() * sizeof(float));

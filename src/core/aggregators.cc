@@ -57,7 +57,6 @@ void BucketedAllReduceMean(const std::vector<std::span<float>>& spans,
   for (const auto& s : spans)
     bytes.push_back(static_cast<int64_t>(s.size() * sizeof(float)));
   const auto buckets = fusion::AssignBuckets(bytes, buffer_bytes);
-  const float inv = 1.0f / static_cast<float>(comm.world_size());
   fusion::FusionBuffer buf;
   for (const auto& bucket : buckets) {
     buf.Reset();
@@ -67,7 +66,9 @@ void BucketedAllReduceMean(const std::vector<std::span<float>>& spans,
       buf.Pack(static_cast<int>(j), spans[static_cast<size_t>(bucket[j])]);
     auto flat = buf.flat();
     comm.all_reduce(flat);
-    Scal(inv, flat);
+    // Mean over the ranks that actually contributed: sampled *after* the
+    // all-reduce so a rank crash at its entry rescales this very bucket.
+    Scal(1.0f / static_cast<float>(comm.alive_world_size()), flat);
     for (size_t j = 0; j < bucket.size(); ++j) {
       auto dst = spans[static_cast<size_t>(bucket[j])];
       buf.Unpack(static_cast<int>(j), dst);
@@ -109,10 +110,13 @@ void SignAggregator::Aggregate(const std::vector<dnn::Param*>& params,
                      << blob.size() << " B");
   comm.all_gather_bytes(blob, gathered);
 
-  // Majority vote over the per-worker blobs.
+  // Majority vote over the per-worker blobs. Crashed ranks' blocks are
+  // zero-filled by the degraded all-gather; skip them so the vote is over
+  // actual contributions only.
   std::vector<std::vector<std::byte>> blobs;
-  blobs.reserve(static_cast<size_t>(comm.world_size()));
+  blobs.reserve(static_cast<size_t>(comm.alive_world_size()));
   for (int r = 0; r < comm.world_size(); ++r) {
+    if (!comm.is_alive(r)) continue;
     blobs.emplace_back(gathered.begin() + static_cast<ptrdiff_t>(
                                               blob.size() * static_cast<size_t>(r)),
                        gathered.begin() + static_cast<ptrdiff_t>(
@@ -157,6 +161,7 @@ void TopkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
   Tensor merged({flat.numel()});
   merged.zero();
   for (int r = 0; r < comm.world_size(); ++r) {
+    if (!comm.is_alive(r)) continue;  // crashed ranks gathered as zeros
     ACPS_CHECK_MSG(blob.size() * static_cast<size_t>(r + 1) <=
                        gathered.size(),
                    "Top-k gather scratch under-sized: worker " << r
@@ -164,7 +169,7 @@ void TopkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
     const std::span<const std::byte> wblob(
         gathered.data() + blob.size() * static_cast<size_t>(r), blob.size());
     compress::TopkCompressor::AccumulateInto(wblob, merged.data(),
-                                             comm.world_size());
+                                             comm.alive_world_size());
   }
   UnpackGrads(merged, rev);
 }
@@ -196,8 +201,7 @@ void RandomkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
   auto values = std::span<float>(
       reinterpret_cast<float*>(blob.data() + kHeader), indices.size());
   comm.all_reduce(values);
-  const float inv = 1.0f / static_cast<float>(comm.world_size());
-  Scal(inv, values);
+  Scal(1.0f / static_cast<float>(comm.alive_world_size()), values);
 
   if (error_feedback_) {
     // Residual against the locally kept coordinates (standard EF).
@@ -218,10 +222,10 @@ void RandomkAggregator::Aggregate(const std::vector<dnn::Param*>& params,
 void PowerSgdAggregator::Aggregate(const std::vector<dnn::Param*>& params,
                                    comm::Communicator& comm) {
   const auto rev = ReverseOrder(params);
-  const float inv = 1.0f / static_cast<float>(comm.world_size());
   const compress::AllReduceMeanFn mean = [&](std::span<float> v) {
     comm.all_reduce(v);
-    Scal(inv, v);
+    // Alive count sampled after the collective (crash-at-entry rescales).
+    Scal(1.0f / static_cast<float>(comm.alive_world_size()), v);
   };
 
   std::vector<std::span<float>> dense;
@@ -247,7 +251,6 @@ void PowerSgdAggregator::Aggregate(const std::vector<dnn::Param*>& params,
 void AcpSgdAggregator::Aggregate(const std::vector<dnn::Param*>& params,
                                  comm::Communicator& comm) {
   const auto rev = ReverseOrder(params);
-  const float inv = 1.0f / static_cast<float>(comm.world_size());
 
   // Phase 1 (per tensor, gradient-ready order): all local compute — the
   // non-blocking property means every factor is known before any collective
@@ -292,7 +295,7 @@ void AcpSgdAggregator::Aggregate(const std::vector<dnn::Param*>& params,
       buf.Pack(static_cast<int>(s), factors[static_cast<size_t>(bucket[s])]);
     auto flat = buf.flat();
     comm.all_reduce(flat);
-    Scal(inv, flat);
+    Scal(1.0f / static_cast<float>(comm.alive_world_size()), flat);
     for (size_t s = 0; s < bucket.size(); ++s)
       buf.Unpack(static_cast<int>(s), factors[static_cast<size_t>(bucket[s])]);
     // Phase 3: decompress the tensors of this bucket.

@@ -1,5 +1,7 @@
 #include "core/distributed_optimizer.h"
 
+#include "check/sched_point.h"
+
 namespace acps::core {
 
 DistributedOptimizer::DistributedOptimizer(
@@ -13,6 +15,9 @@ DistributedOptimizer::DistributedOptimizer(
 }
 
 void DistributedOptimizer::Step(comm::Communicator& comm, double epoch) {
+  // Step boundary: schedule-explorable (the model checker perturbs here to
+  // interleave whole training steps) and the step-granular fault site.
+  check::SchedPoint(check::PointKind::kOptStep, comm.rank());
   aggregator_->Aggregate(params_, comm);
   sgd_.Step(epoch);
 }

@@ -138,7 +138,6 @@ void GradReducer::IssueLowRankBucket(int bucket) {
   const int parity = static_cast<int>((steps_ + 1) % 2);
   const BucketPlan& plan =
       factor_plans_[static_cast<size_t>(parity)][static_cast<size_t>(bucket)];
-  const float inv = 1.0f / static_cast<float>(comm_->world_size());
   fusion::FusionBuffer buf;
   for (int m : plan.members) {
     ACPS_CHECK_MSG(factors_[static_cast<size_t>(m)].has_value(),
@@ -158,6 +157,9 @@ void GradReducer::IssueLowRankBucket(int bucket) {
                                bucket);
     comm_->all_reduce(flat);
   }
+  // Mean over the contributing ranks, sampled after the collective so a
+  // crash at this bucket's all-reduce entry rescales it immediately.
+  const float inv = 1.0f / static_cast<float>(comm_->alive_world_size());
   for (float& v : flat) v *= inv;
   {
     obs::ScopedSpan decompress_span(comm_->tracer(), "decompress",
@@ -182,7 +184,6 @@ void GradReducer::IssueLowRankBucket(int bucket) {
 void GradReducer::IssueDenseBucket(int bucket) {
   check::SchedPoint(check::PointKind::kBucketIssue, comm_->rank());
   const BucketPlan& plan = dense_plan_[static_cast<size_t>(bucket)];
-  const float inv = 1.0f / static_cast<float>(comm_->world_size());
   fusion::FusionBuffer buf;
   for (int m : plan.members) {
     const size_t param_index = dense_of_[static_cast<size_t>(m)];
@@ -201,6 +202,7 @@ void GradReducer::IssueDenseBucket(int bucket) {
                                bucket);
     comm_->all_reduce(flat);
   }
+  const float inv = 1.0f / static_cast<float>(comm_->alive_world_size());
   for (float& v : flat) v *= inv;
   for (size_t s = 0; s < plan.members.size(); ++s) {
     const size_t param_index =

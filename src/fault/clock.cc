@@ -1,0 +1,24 @@
+#include "fault/clock.h"
+
+#include <thread>
+
+namespace acps::fault {
+
+std::atomic<int64_t> VirtualClock::ticks_{0};
+
+int64_t BackoffTicks(int attempt) noexcept {
+  if (attempt < 0) return 0;
+  if (attempt > 16) attempt = 16;
+  return int64_t{1} << attempt;
+}
+
+void ConsumeBackoff(int attempt) noexcept {
+  VirtualClock::Advance(BackoffTicks(attempt));
+  SpinYield(attempt + 1);
+}
+
+void SpinYield(int count) noexcept {
+  for (int i = 0; i < count; ++i) std::this_thread::yield();
+}
+
+}  // namespace acps::fault

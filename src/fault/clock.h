@@ -1,0 +1,52 @@
+// Virtual time for deterministic backoff (DESIGN.md §6f).
+//
+// Real retry loops back off with wall-clock sleeps; that is banned here
+// (tools/lint.sh `raw-sleep`) because wall-clock time is the one input the
+// replay contract cannot reproduce. Instead the resilience layer keeps a
+// process-wide monotonic tick counter: "waiting" means atomically charging
+// ticks to the clock and yielding the CPU a bounded number of times so
+// sibling worker threads make progress. Two runs with the same (seed, plan)
+// therefore charge identical tick totals — the clock is part of the
+// replayable state, and tests assert on it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace acps::fault {
+
+class VirtualClock {
+ public:
+  // Current virtual time in ticks.
+  static int64_t Now() noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+  // Charges `ticks` of virtual delay (straggler latency, retry backoff).
+  static void Advance(int64_t ticks) noexcept {
+    if (ticks > 0) ticks_.fetch_add(ticks, std::memory_order_relaxed);
+  }
+
+  static void Reset() noexcept {
+    ticks_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<int64_t> ticks_;
+};
+
+// Backoff schedule for bounded retry: attempt a (0-based) charges 2^a ticks,
+// capped so a full retry budget stays small and overflow-free.
+[[nodiscard]] int64_t BackoffTicks(int attempt) noexcept;
+
+// Charges the backoff for `attempt` to the virtual clock and yields the CPU
+// a few times (bounded — no spinning on wall-clock time). The yields are a
+// scheduling courtesy to sibling simulated ranks, not a synchronization
+// mechanism; correctness comes from the barriers around the exchange.
+void ConsumeBackoff(int attempt) noexcept;
+
+// Bounded CPU-yield helper for code that must not sleep (see the raw-sleep
+// lint ban): performs exactly `count` sched yields.
+void SpinYield(int count) noexcept;
+
+}  // namespace acps::fault

@@ -1,0 +1,26 @@
+#include "fault/injector.h"
+
+namespace acps::fault {
+
+namespace detail {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace detail
+
+const char* ToString(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:      return "none";
+    case FaultKind::kDrop:      return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kStaleRead: return "stale-read";
+    case FaultKind::kCorrupt:   return "corrupt";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kCrash:     return "crash";
+  }
+  return "?";
+}
+
+FaultInjector* InstallFaultInjector(FaultInjector* injector) {
+  return detail::g_injector.exchange(injector, std::memory_order_acq_rel);
+}
+
+}  // namespace acps::fault

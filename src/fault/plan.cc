@@ -1,0 +1,84 @@
+#include "fault/plan.h"
+
+#include <sstream>
+
+namespace acps::fault {
+
+namespace {
+// Distinct site tags keep publish / read / entry decision streams
+// independent even when (seq, rank) collide.
+constexpr uint64_t kSitePublish = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kSiteRead = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kSiteEntry = 0x94d049bb133111ebULL;
+}  // namespace
+
+uint64_t Mix64(uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool FaultPlan::Fires(uint64_t seq, int rank, uint64_t site) const {
+  if (config_.rate <= 0.0) return false;
+  uint64_t h = Mix64(config_.seed ^ Mix64(seq ^ Mix64(
+                         site ^ static_cast<uint64_t>(rank))));
+  // Top 53 bits -> uniform double in [0, 1).
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < config_.rate;
+}
+
+FaultKind FaultPlan::OnPublish(int rank, uint64_t seq, int attempt) {
+  if (attempt != 0) return FaultKind::kNone;
+  switch (config_.kind) {
+    case FaultKind::kDrop:
+    case FaultKind::kDuplicate:
+    case FaultKind::kCorrupt:
+      if (Fires(seq, rank, kSitePublish)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return config_.kind;
+      }
+      return FaultKind::kNone;
+    default:
+      return FaultKind::kNone;
+  }
+}
+
+FaultKind FaultPlan::OnRead(int rank, uint64_t seq, int attempt) {
+  if (attempt != 0 || config_.kind != FaultKind::kStaleRead)
+    return FaultKind::kNone;
+  if (Fires(seq, rank, kSiteRead)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kStaleRead;
+  }
+  return FaultKind::kNone;
+}
+
+EntryDecision FaultPlan::OnCollectiveEntry(int rank,
+                                           uint64_t collective_index) {
+  if (config_.crash_rank && rank == *config_.crash_rank &&
+      collective_index == config_.crash_at_collective) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return {FaultKind::kCrash, 0};
+  }
+  if (config_.kind == FaultKind::kStraggler &&
+      Fires(collective_index, rank, kSiteEntry)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return {FaultKind::kStraggler, config_.straggler_ticks};
+  }
+  return {};
+}
+
+std::string FaultPlan::Describe() const {
+  std::ostringstream os;
+  os << "FaultPlan{seed=" << config_.seed << ", kind="
+     << ToString(config_.kind) << ", rate=" << config_.rate;
+  if (config_.crash_rank) {
+    os << ", crash_rank=" << *config_.crash_rank << "@collective "
+       << config_.crash_at_collective;
+  }
+  os << ", injected=" << injected() << "}";
+  return os.str();
+}
+
+}  // namespace acps::fault

@@ -1,0 +1,72 @@
+// Seeded, replayable fault plans (DESIGN.md §6f).
+//
+// A FaultPlan is the standard FaultInjector used by the chaos harness and
+// tests. Every decision is a pure function of (seed, event coordinates): a
+// SplitMix64-style hash of (seed, seq, rank, site) compared against the
+// configured rate. No wall-clock input, no mutable per-event state — so two
+// runs of the same plan against the same workload inject byte-identical
+// fault sequences, and a failure report's (seed, seq, rank) triple replays
+// exactly. Faults fire only on retry attempt 0: the transport's bounded
+// retry then converges deterministically instead of racing the injector.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fault/injector.h"
+
+namespace acps::fault {
+
+// Deterministic 64-bit mix (SplitMix64 finalizer). Exposed for tests.
+[[nodiscard]] uint64_t Mix64(uint64_t x) noexcept;
+
+struct FaultPlanConfig {
+  uint64_t seed = 1;
+
+  // The wire/read fault kind this plan injects (kDrop, kDuplicate,
+  // kStaleRead or kCorrupt), fired per matching event with probability
+  // `rate` (0..1). kStraggler and kCrash are driven by the entry fields
+  // below instead.
+  FaultKind kind = FaultKind::kNone;
+  double rate = 0.0;
+
+  // Straggler injection at collective entry: with probability `rate`, the
+  // entering rank is charged `straggler_ticks` of virtual delay.
+  int64_t straggler_ticks = 64;
+
+  // Fail-stop crash: `crash_rank` dies when it enters its
+  // `crash_at_collective`-th collective (1-based). Disabled when empty.
+  std::optional<int> crash_rank;
+  uint64_t crash_at_collective = 1;
+};
+
+class FaultPlan final : public FaultInjector {
+ public:
+  explicit FaultPlan(FaultPlanConfig config) : config_(config) {}
+
+  FaultKind OnPublish(int rank, uint64_t seq, int attempt) override;
+  FaultKind OnRead(int rank, uint64_t seq, int attempt) override;
+  EntryDecision OnCollectiveEntry(int rank, uint64_t collective_index) override;
+
+  // Total faults actually injected (all kinds). The chaos harness requires
+  // this to be > 0 before it will claim a fault kind "recovered" — a plan
+  // that never fired proves nothing.
+  [[nodiscard]] int64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const FaultPlanConfig& config() const { return config_; }
+
+  // Human-readable identity for seed-replayable reports.
+  [[nodiscard]] std::string Describe() const override;
+
+ private:
+  // True with probability config_.rate for the event at (seq, rank, site).
+  [[nodiscard]] bool Fires(uint64_t seq, int rank, uint64_t site) const;
+
+  FaultPlanConfig config_;
+  std::atomic<int64_t> injected_{0};
+};
+
+}  // namespace acps::fault

@@ -29,6 +29,7 @@ inline constexpr const char* kCatCompress = "compress";
 inline constexpr const char* kCatGrad = "grad";
 inline constexpr const char* kCatBucket = "bucket";
 inline constexpr const char* kCatStep = "step";
+inline constexpr const char* kCatFault = "fault";  // injection/retry/crash
 
 // One completed span. Timestamps are microseconds on the tracer's own
 // monotonic clock (origin = construction or the last Clear()), so spans

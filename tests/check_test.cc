@@ -17,6 +17,7 @@
 #include "check/oracles.h"
 #include "check/schedule.h"
 #include "check/sched_point.h"
+#include "comm/communicator.h"
 #include "compress/registry.h"
 
 namespace acps::check {
@@ -119,6 +120,31 @@ TEST(ExplorerTest, WfbpStepSurvivesPerturbation) {
   EXPECT_GT(report.windows, 0);
 }
 
+TEST(ExplorerTest, HierarchicalAllReduceSurvivesPerturbation) {
+  // The two-level all-reduce's phase boundaries (kHierPhase) are schedule
+  // points; p = 4 exercises the full three-phase shape (2 nodes x 2 GPUs)
+  // including the cross-node leader ring.
+  ExploreOptions opt;
+  opt.world_size = 4;
+  opt.runs = std::max(kRunsPerKind / 8, 5);
+  const ExploreReport report = ExplorePerturbed(Workload::kHierarchical, opt);
+  EXPECT_EQ(report.schedules_run, opt.runs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(ExplorerTest, OptimizerStepSurvivesPerturbation) {
+  // Two full DistributedOptimizer steps (kOptStep boundary + WFBP hooks +
+  // bucketed all-reduces + SGD) under the schedule sweep: params must stay
+  // bitwise rank-invariant whatever the interleaving.
+  ExploreOptions opt;
+  opt.world_size = 3;
+  opt.runs = std::max(kRunsPerKind / 16, 5);
+  const ExploreReport report =
+      ExplorePerturbed(Workload::kOptimizerStep, opt);
+  EXPECT_EQ(report.schedules_run, opt.runs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
 // --- Bounded exhaustive exploration. ---------------------------------------
 
 TEST(ExplorerTest, ExhaustiveTwoRankAllReduceCompletes) {
@@ -200,6 +226,56 @@ TEST(FaultInjectionTest, CleanRunStaysClean) {
   opt.runs = 3;
   const ExploreReport report = ExplorePerturbed(Workload::kAllReduceRing, opt);
   EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(FaultInjectionTest, ReusedControllerInjectsIdenticallyAcrossRuns) {
+  // Regression: window_ kept counting up across ThreadGroup runs, so a
+  // FaultSpec aimed at window 0 only ever fired on the FIRST run through a
+  // reused controller — later runs silently stopped injecting.
+  // ResetRunState() (called by the explorer before every run) rearms it.
+  ScheduleConfig cfg;
+  cfg.world_size = 3;
+  cfg.seed = 21;
+  cfg.perturb_prob = 0.0;
+  cfg.fault = FaultSpec{.window = 0, .rank = 0};
+  ScheduleController controller(cfg);
+
+  const auto run_once = [&controller] {
+    std::vector<std::vector<float>> out(3);
+    comm::ThreadGroup group(3);
+    ScopedSchedListener install(&controller);
+    controller.ResetRunState();
+    group.Run([&out](comm::Communicator& comm) {
+      std::vector<float> data(12, static_cast<float>(comm.rank() + 1));
+      comm.all_reduce(data);
+      out[static_cast<size_t>(comm.rank())] = data;
+    });
+    return out;
+  };
+  const auto first = run_once();
+  ASSERT_EQ(controller.stats().faults_injected, 1);
+  const auto second = run_once();
+  EXPECT_EQ(controller.stats().faults_injected, 2)
+      << "reused controller stopped injecting — run state was not rearmed";
+  EXPECT_EQ(first, second)
+      << "same seed + same fault spec must corrupt identically on replay";
+}
+
+TEST(FaultInjectionTest, ConsecutiveExploreCallsWithSameSeedAgree) {
+  // Two back-to-back Explore calls over the same seeded fault must report
+  // the identical violation (same divergence text), proving the injection
+  // state carries nothing over from the previous exploration.
+  ExploreOptions opt;
+  opt.world_size = 3;
+  opt.runs = 2;
+  opt.fault = FaultSpec{.window = 0, .rank = 0};
+  const ExploreReport a = ExplorePerturbed(Workload::kAllReduceRing, opt);
+  const ExploreReport b = ExplorePerturbed(Workload::kAllReduceRing, opt);
+  ASSERT_FALSE(a.ok());
+  ASSERT_FALSE(b.ok());
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  EXPECT_EQ(a.violations.front().seed, b.violations.front().seed);
+  EXPECT_EQ(a.violations.front().what, b.violations.front().what);
 }
 
 // --- Compressor invariant oracles. -----------------------------------------

@@ -218,5 +218,50 @@ TEST(CollectiveWatchdog, GroupReusableAfterContractViolation) {
   EXPECT_EQ(ok.load(), 2);
 }
 
+TEST(CollectiveKindTest, EveryKindHasAName) {
+  for (const CollectiveKind k :
+       {CollectiveKind::kNone, CollectiveKind::kBarrier,
+        CollectiveKind::kAllReduce, CollectiveKind::kAllGather,
+        CollectiveKind::kAllGatherBytes, CollectiveKind::kAllGatherV,
+        CollectiveKind::kReduceScatter, CollectiveKind::kBroadcast}) {
+    EXPECT_STRNE(ToString(k), "unknown");
+  }
+  EXPECT_STREQ(ToString(static_cast<CollectiveKind>(250)), "unknown");
+}
+
+// Fault-tolerance bookkeeping (DESIGN.md §6f): crashed ranks are excluded
+// from fingerprint validation but annotated in both report forms, and
+// straggler delay accumulates per rank so a watchdog report can tell
+// "slow" from "gone".
+TEST(ContractCheckerTest, CrashAndStragglerAnnotationsInReports) {
+  ContractChecker checker;
+  checker.Reset(3);
+
+  checker.NoteStraggler(1, 64);
+  checker.NoteStraggler(1, 32);
+  EXPECT_EQ(checker.straggler_ticks(1), 96);
+  EXPECT_EQ(checker.straggler_ticks(0), 0);
+
+  // Rank 2 fail-stops; ranks 0 and 1 then disagree — the diff must list
+  // rank 2 as CRASHED-and-excluded, not as a divergence.
+  checker.SetDead(2);
+  checker.Deposit(0, CollectiveFingerprint{.kind = CollectiveKind::kAllReduce,
+                                           .bytes = 64});
+  checker.Deposit(1, CollectiveFingerprint{.kind = CollectiveKind::kBarrier});
+  const auto diff = checker.Validate();
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("CRASHED (fail-stop, excluded)"), std::string::npos)
+      << *diff;
+
+  checker.Enter(0, CollectiveFingerprint{.kind = CollectiveKind::kAllReduce});
+  const std::string report = checker.BlockedReport();
+  EXPECT_NE(report.find("rank 0: blocked in all_reduce"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("straggler delay 96 ticks"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("rank 2: CRASHED (fail-stop after"), std::string::npos)
+      << report;
+}
+
 }  // namespace
 }  // namespace acps::comm

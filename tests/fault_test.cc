@@ -1,0 +1,414 @@
+// Chaos matrix (DESIGN.md §6f): every injectable fault kind crossed with
+// every collective and every compression method must end RECOVERED (bitwise
+// identical to the fault-free run, or consistently degraded after a crash)
+// or DETECTED (structured, seed-replayable fault::DetectedError). Any silent
+// corruption — a run that "succeeds" with different bits — fails the test,
+// and so does a plan that never fired (it proves nothing).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <span>
+
+#include "check/explorer.h"
+#include "check/schedule.h"
+#include "comm/communicator.h"
+#include "fault/chaos.h"
+#include "fault/clock.h"
+#include "fault/plan.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
+
+namespace acps {
+namespace {
+
+// Sanitizer builds run a reduced matrix (one method instead of four) —
+// the transport paths under test are method-independent; the full matrix
+// re-runs the same code 4x, which dominates tsan wall-clock.
+std::vector<fault::ChaosMethod> MatrixMethods() {
+#ifdef ACPS_SANITIZE_BUILD
+  return {fault::ChaosMethod::kSign};
+#else
+  return fault::AllChaosMethods();
+#endif
+}
+
+bool IsWireFault(fault::FaultKind kind) {
+  return kind == fault::FaultKind::kDrop ||
+         kind == fault::FaultKind::kDuplicate ||
+         kind == fault::FaultKind::kStaleRead ||
+         kind == fault::FaultKind::kCorrupt ||
+         kind == fault::FaultKind::kStraggler;
+}
+
+TEST(ChaosMatrixTest, EveryFaultByCollectiveByMethodRecoversOrDetects) {
+  fault::ChaosOptions opt;
+  for (const fault::FaultKind kind : fault::AllInjectableFaultKinds()) {
+    for (const fault::ChaosCollective c : fault::AllChaosCollectives()) {
+      for (const fault::ChaosMethod m : MatrixMethods()) {
+        const fault::ChaosCaseResult res =
+            fault::RunCollectiveChaos(kind, c, m, opt);
+        ASSERT_TRUE(res.ok()) << res.Summary();
+        EXPECT_GT(res.injected, 0) << res.Summary();
+        if (IsWireFault(kind)) {
+          // Recoverable kinds must be absorbed bitwise, not merely detected.
+          EXPECT_EQ(res.outcome, fault::ChaosOutcome::kRecovered)
+              << res.Summary();
+        }
+      }
+    }
+  }
+}
+
+TEST(ChaosMatrixTest, TrainingRunsAbsorbWireFaultsBitwise) {
+  fault::ChaosOptions opt;
+  opt.steps = 4;
+  for (const fault::ChaosMethod m : MatrixMethods()) {
+    for (const fault::FaultKind kind :
+         {fault::FaultKind::kDrop, fault::FaultKind::kDuplicate,
+          fault::FaultKind::kStaleRead, fault::FaultKind::kCorrupt,
+          fault::FaultKind::kStraggler}) {
+      const fault::ChaosCaseResult res =
+          fault::RunTrainingChaos(kind, m, opt);
+      EXPECT_EQ(res.outcome, fault::ChaosOutcome::kRecovered)
+          << res.Summary();
+      EXPECT_GT(res.injected, 0) << res.Summary();
+    }
+  }
+}
+
+TEST(ChaosMatrixTest, TrainingSurvivesRankCrashWithConservedErrorFeedback) {
+  fault::ChaosOptions opt;
+  opt.steps = 4;
+  for (const fault::ChaosMethod m : fault::AllChaosMethods()) {
+    const fault::ChaosCaseResult res =
+        fault::RunTrainingChaos(fault::FaultKind::kCrash, m, opt);
+    // kRecovered here certifies: the run completed with p-1 ranks, the
+    // survivors' final models are mutually bitwise identical, and (for the
+    // harness-EF methods) the telescoping EF-mass invariant held.
+    EXPECT_EQ(res.outcome, fault::ChaosOutcome::kRecovered) << res.Summary();
+    EXPECT_EQ(res.injected, 1) << res.Summary();
+  }
+}
+
+TEST(ChaosDetectionTest, BroadcastFromDeadRootRaisesStructuredReport) {
+  fault::ChaosOptions opt;
+  const fault::ChaosCaseResult res = fault::RunDeadRootBroadcast(opt);
+  EXPECT_EQ(res.outcome, fault::ChaosOutcome::kDetected) << res.Summary();
+  EXPECT_NE(res.detail.find("fault detected"), std::string::npos)
+      << res.detail;
+  EXPECT_NE(res.detail.find("root rank 0"), std::string::npos) << res.detail;
+  // The report carries the replay handle (the installed plan's identity).
+  EXPECT_NE(res.detail.find("FaultPlan{"), std::string::npos) << res.detail;
+}
+
+TEST(ChaosDetectionTest, ExhaustedRetryBudgetRaisesStructuredReport) {
+  fault::ChaosOptions opt;
+  const fault::ChaosCaseResult res = fault::RunRetryExhaustion(opt);
+  EXPECT_EQ(res.outcome, fault::ChaosOutcome::kDetected) << res.Summary();
+  EXPECT_GT(res.injected, 0);
+  EXPECT_NE(res.detail.find("attempts"), std::string::npos) << res.detail;
+  EXPECT_NE(res.detail.find("always-drop"), std::string::npos) << res.detail;
+}
+
+// The silent-corruption canary: a mutation the envelope CANNOT catch (the
+// schedule controller's hand-off fault rotates the payload before the
+// checksum is sealed) must show up as divergent bits against the fault-free
+// baseline — proving the chaos oracle actually bites. If this test fails,
+// the matrix above is vacuously green.
+TEST(ChaosOracleTest, PreSealCorruptionDivergesFromBaseline) {
+  fault::ChaosOptions opt;
+  const fault::ChaosRun baseline = fault::RunCollectiveWorkload(
+      fault::ChaosCollective::kAllReduceRing, fault::ChaosMethod::kSign, opt);
+  ASSERT_TRUE(baseline.error.empty()) << baseline.error;
+
+  check::ScheduleConfig cfg;
+  cfg.seed = 11;
+  cfg.world_size = opt.world_size;
+  cfg.perturb_prob = 0.0;
+  cfg.fault = check::FaultSpec{/*window=*/0, /*rank=*/1};
+  check::ScheduleController controller(cfg);
+  check::ScopedSchedListener install(&controller);
+  const fault::ChaosRun mutated = fault::RunCollectiveWorkload(
+      fault::ChaosCollective::kAllReduceRing, fault::ChaosMethod::kSign, opt);
+
+  ASSERT_EQ(controller.stats().faults_injected, 1);
+  ASSERT_TRUE(mutated.error.empty()) << mutated.error;
+  EXPECT_NE(mutated.outputs, baseline.outputs)
+      << "pre-seal payload mutation was not visible in the result bits — "
+         "the bitwise oracle is not actually comparing anything";
+}
+
+TEST(ChaosReplayTest, SameOptionsReproduceTheSameClassification) {
+  fault::ChaosOptions opt;
+  const fault::ChaosCaseResult a = fault::RunCollectiveChaos(
+      fault::FaultKind::kDrop, fault::ChaosCollective::kAllReduceRing,
+      fault::ChaosMethod::kTopk, opt);
+  const fault::ChaosCaseResult b = fault::RunCollectiveChaos(
+      fault::FaultKind::kDrop, fault::ChaosCollective::kAllReduceRing,
+      fault::ChaosMethod::kTopk, opt);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.seed_used, b.seed_used) << "seed-bump path is nondeterministic";
+  EXPECT_EQ(a.injected, b.injected)
+      << "the plan fired a different fault sequence on replay";
+}
+
+TEST(FaultPlanTest, DecisionsArePureFunctionsOfSeedAndCoordinates) {
+  fault::FaultPlanConfig cfg;
+  cfg.seed = 99;
+  cfg.kind = fault::FaultKind::kDrop;
+  cfg.rate = 0.5;
+  fault::FaultPlan a(cfg);
+  fault::FaultPlan b(cfg);
+  for (uint64_t seq = 0; seq < 64; ++seq) {
+    for (int rank = 0; rank < 4; ++rank) {
+      EXPECT_EQ(a.OnPublish(rank, seq, 0), b.OnPublish(rank, seq, 0));
+      // Never fires on retries, whatever the seed says.
+      EXPECT_EQ(a.OnPublish(rank, seq, 1), fault::FaultKind::kNone);
+    }
+  }
+  EXPECT_EQ(a.injected(), b.injected());
+}
+
+TEST(FaultClockTest, BackoffIsVirtualNotWallClock) {
+  fault::VirtualClock::Reset();
+  const int64_t before = fault::VirtualClock::Now();
+  fault::ConsumeBackoff(0);
+  fault::ConsumeBackoff(3);
+  EXPECT_EQ(fault::VirtualClock::Now() - before,
+            fault::BackoffTicks(0) + fault::BackoffTicks(3));
+}
+
+// Injected faults must be visible to the observability layer: the
+// transport records fault.* counters and kCatFault spans so a production
+// trace shows exactly where retries/stragglers/crashes happened.
+TEST(FaultObservabilityTest, InjectedFaultsEmitCountersAndSpans) {
+  constexpr int kWorld = 3;
+  obs::Tracer tracer;
+  tracer.Enable();
+  obs::MetricsRegistry metrics;
+  metrics.Enable();
+  comm::ThreadGroup group(kWorld);
+  group.set_tracer(&tracer);
+  group.set_metrics(&metrics);
+
+  const auto run_collectives = [](comm::Communicator& comm) {
+    std::vector<float> data(6, 1.0f);
+    comm.all_reduce(data);
+    comm.all_reduce(data);
+  };
+
+  {  // Straggler on every entry decision: events + virtual ticks counted.
+    fault::FaultPlanConfig cfg;
+    cfg.seed = 21;
+    cfg.kind = fault::FaultKind::kStraggler;
+    cfg.rate = 1.0;
+    fault::FaultPlan plan(cfg);
+    fault::ScopedFaultInjector install(&plan);
+    group.Run(run_collectives);
+    EXPECT_GT(plan.injected(), 0);
+  }
+  {  // Dropped chunks force retries.
+    fault::FaultPlanConfig cfg;
+    cfg.seed = 22;
+    cfg.kind = fault::FaultKind::kDrop;
+    cfg.rate = 1.0;
+    fault::FaultPlan plan(cfg);
+    fault::ScopedFaultInjector install(&plan);
+    group.Run(run_collectives);
+    EXPECT_GT(plan.injected(), 0);
+  }
+  {  // Fail-stop crash of rank 1.
+    fault::FaultPlanConfig cfg;
+    cfg.seed = 23;
+    cfg.crash_rank = 1;
+    cfg.crash_at_collective = 2;
+    fault::FaultPlan plan(cfg);
+    fault::ScopedFaultInjector install(&plan);
+    group.Run(run_collectives);
+    EXPECT_EQ(group.crashed_ranks(), std::vector<int>{1});
+  }
+
+  EXPECT_GT(metrics.counter("fault.straggler.events").value(), 0u);
+  EXPECT_GT(metrics.counter("fault.straggler.ticks").value(), 0u);
+  EXPECT_GT(metrics.counter("fault.retry.attempts").value(), 0u);
+  EXPECT_EQ(metrics.counter("fault.crash.ranks").value(), 1u);
+
+  std::set<std::string> span_names;
+  for (const obs::SpanEvent& ev : tracer.Snapshot())
+    if (ev.category == obs::kCatFault) span_names.insert(ev.name);
+  EXPECT_TRUE(span_names.count("fault_straggler")) << span_names.size();
+  EXPECT_TRUE(span_names.count("fault_retry")) << span_names.size();
+  EXPECT_TRUE(span_names.count("fault_crash")) << span_names.size();
+}
+
+// The contract checker's rendezvous (fingerprint agreement per collective)
+// must coexist with the retry envelope: with contract checking forced ON,
+// every collective kind still absorbs dropped chunks bitwise. This is the
+// straggler-watchdog path the chaos matrix relies on, exercised explicitly.
+TEST(FaultObservabilityTest, ContractCheckingCoexistsWithRetries) {
+  constexpr int kWorld = 3;
+  const auto workload = [](comm::Communicator& comm,
+                           std::vector<std::byte>& out) {
+    std::vector<float> data(6, static_cast<float>(comm.rank() + 1));
+    comm.all_reduce(data);
+    comm.reduce_scatter(data);
+    comm.broadcast(data, /*root=*/0);
+    std::vector<float> gathered(6 * static_cast<size_t>(comm.world_size()));
+    comm.all_gather(std::span<const float>(data), gathered);
+
+    std::vector<std::byte> packed(8, std::byte{static_cast<uint8_t>(comm.rank())});
+    std::vector<std::byte> packed_all(packed.size() *
+                                      static_cast<size_t>(comm.world_size()));
+    comm.all_gather_bytes(packed, packed_all);
+    std::vector<std::byte> var(static_cast<size_t>(comm.rank() + 1),
+                               std::byte{7});
+    std::vector<std::byte> var_all;
+    std::vector<size_t> offsets;
+    comm.all_gather_v(var, var_all, offsets);
+
+    out.clear();
+    const auto append = [&out](std::span<const std::byte> b) {
+      out.insert(out.end(), b.begin(), b.end());
+    };
+    append(std::as_bytes(std::span<const float>(gathered)));
+    append(packed_all);
+    append(var_all);
+  };
+
+  const auto run_once = [&](bool inject) {
+    std::vector<std::vector<std::byte>> outs(kWorld);
+    comm::ThreadGroup group(kWorld);
+    group.set_contract_checking(true);
+    fault::FaultPlanConfig cfg;
+    cfg.seed = 31;
+    cfg.kind = fault::FaultKind::kDrop;
+    cfg.rate = 0.5;
+    fault::FaultPlan plan(cfg);
+    std::optional<fault::ScopedFaultInjector> install;
+    if (inject) install.emplace(&plan);
+    group.Run([&](comm::Communicator& comm) {
+      workload(comm, outs[static_cast<size_t>(comm.rank())]);
+    });
+    if (inject) {
+      EXPECT_GT(plan.injected(), 0);
+    }
+    return outs;
+  };
+
+  const auto baseline = run_once(/*inject=*/false);
+  const auto faulted = run_once(/*inject=*/true);
+  EXPECT_EQ(baseline, faulted)
+      << "drops under contract checking changed the result bits";
+}
+
+// A publisher whose chunks are persistently undeliverable must not strand
+// the OTHER ranks: peers that read fine still observe the retry flags and
+// throw the same DetectedError in lockstep, reporting the failure as
+// peer-originated.
+TEST(ChaosDetectionTest, HealthyRanksReportPeerDeliveryFailure) {
+  // Drops every publish from rank 0, on every attempt — hostile, so the
+  // retry budget must exhaust. Ranks 1 and 2 read each other fine.
+  class DropRankZeroPublishes final : public fault::FaultInjector {
+   public:
+    fault::FaultKind OnPublish(int rank, uint64_t, int) override {
+      return rank == 0 ? fault::FaultKind::kDrop : fault::FaultKind::kNone;
+    }
+    fault::FaultKind OnRead(int, uint64_t, int) override {
+      return fault::FaultKind::kNone;
+    }
+    fault::EntryDecision OnCollectiveEntry(int, uint64_t) override {
+      return {};
+    }
+    [[nodiscard]] std::string Describe() const override {
+      return "drop-rank-0-publishes (hostile, fires on every attempt)";
+    }
+  };
+  DropRankZeroPublishes injector;
+  fault::ScopedFaultInjector install(&injector);
+
+  std::vector<std::string> errors(3);
+  comm::ThreadGroup group(3);
+  group.Run([&](comm::Communicator& comm) {
+    std::vector<float> data(6, 1.0f);
+    try {
+      comm.all_reduce(data);
+    } catch (const fault::DetectedError& e) {
+      errors[static_cast<size_t>(comm.rank())] = e.what();
+    }
+  });
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_NE(errors[static_cast<size_t>(r)].find("fault detected"),
+              std::string::npos)
+        << "rank " << r << " did not detect: " << errors[static_cast<size_t>(r)];
+  }
+  // Rank 2 reads from rank 0 on the 3-ring and names it; rank 0's own reads
+  // all succeeded, so its report is the peer-originated form.
+  EXPECT_NE(errors[0].find("a peer reported undeliverable chunks"),
+            std::string::npos)
+      << errors[0];
+}
+
+// Degradation floor: with every other rank fail-stopped, the variable-size
+// all-gather degenerates to a local copy and the run still completes.
+TEST(CrashRecoveryTest, SoleSurvivorAllGatherV) {
+  fault::FaultPlanConfig cfg;
+  cfg.seed = 41;
+  cfg.crash_rank = 1;
+  cfg.crash_at_collective = 1;
+  fault::FaultPlan plan(cfg);
+  fault::ScopedFaultInjector install(&plan);
+
+  std::vector<std::byte> out;
+  std::vector<size_t> offsets;
+  comm::ThreadGroup group(2);
+  group.Run([&](comm::Communicator& comm) {
+    std::vector<std::byte> send(4, std::byte{static_cast<uint8_t>(9)});
+    std::vector<std::byte> recv;
+    std::vector<size_t> offs;
+    comm.all_gather_v(send, recv, offs);
+    if (comm.rank() == 0) {
+      out = recv;
+      offsets = offs;
+    }
+  });
+  ASSERT_EQ(group.crashed_ranks(), std::vector<int>{1});
+  // Rank 1 contributes a zero-length block; rank 0's bytes survive intact.
+  ASSERT_EQ(out.size(), 4u);
+  for (const std::byte b : out) EXPECT_EQ(b, std::byte{9});
+}
+
+// Crash recovery at the transport level: after a rank fail-stops, later
+// collectives in the SAME run keep working over the survivors, and the
+// membership view agrees on every rank.
+TEST(CrashRecoveryTest, LaterCollectivesRunOverSurvivors) {
+  constexpr int kWorld = 4;
+  fault::FaultPlanConfig cfg;
+  cfg.seed = 5;
+  cfg.crash_rank = 2;
+  cfg.crash_at_collective = 2;
+  fault::FaultPlan plan(cfg);
+  fault::ScopedFaultInjector install(&plan);
+
+  std::vector<std::vector<float>> results(kWorld);
+  std::vector<int> alive_seen(kWorld, -1);
+  comm::ThreadGroup group(kWorld);
+  group.Run([&](comm::Communicator& comm) {
+    std::vector<float> data(8, static_cast<float>(comm.rank() + 1));
+    comm.all_reduce(data);  // collective #1: all four ranks participate
+    comm.all_reduce(data);  // collective #2: rank 2 dies at entry
+    results[static_cast<size_t>(comm.rank())] = data;
+    alive_seen[static_cast<size_t>(comm.rank())] = comm.alive_world_size();
+  });
+  ASSERT_EQ(group.crashed_ranks(), std::vector<int>{2});
+  // First all-reduce: 1+2+3+4 = 10 on every rank. Second: rank 2's copy of
+  // 10 is lost with it, survivors sum 10+10+10 = 30.
+  for (int r = 0; r < kWorld; ++r) {
+    if (r == 2) continue;
+    EXPECT_EQ(alive_seen[static_cast<size_t>(r)], kWorld - 1);
+    for (float v : results[static_cast<size_t>(r)]) EXPECT_EQ(v, 30.0f);
+  }
+}
+
+}  // namespace
+}  // namespace acps

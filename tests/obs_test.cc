@@ -210,7 +210,8 @@ TEST(Tracer, SpansNestAndOrderUnder8ConcurrentWorkers) {
       ScopedSpan outer(&tracer, "outer", kCatStep, w);
       for (int i = 0; i < 3; ++i) {
         ScopedSpan inner(&tracer, "inner", kCatCompress, w, /*bytes=*/64, i);
-        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        std::this_thread::sleep_for(  // lint:allow(raw-sleep): real span widths
+            std::chrono::microseconds(200));
       }
     });
   }
@@ -262,7 +263,8 @@ TEST(ChromeTrace, ExportedJsonParsesWithOneRowPerWorker) {
   for (int w = 0; w < kWorkers; ++w) {
     threads.emplace_back([&tracer, w] {
       ScopedSpan span(&tracer, "work", kCatComm, w, /*bytes=*/128, w);
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      std::this_thread::sleep_for(  // lint:allow(raw-sleep): real span widths
+          std::chrono::microseconds(100));
     });
   }
   for (auto& t : threads) t.join();
@@ -389,9 +391,11 @@ TEST(GradReducerTrace, WfbpOverlapVisibleInParsedJson) {
     core::GradReducer reducer({&w1, &w2, &bias}, cfg, &comm);
     reducer.BeginStep();
     reducer.OnGradReady(2);  // bias (dense) — backward order
-    std::this_thread::sleep_for(std::chrono::milliseconds(2 * comm.rank()));
+    std::this_thread::sleep_for(  // lint:allow(raw-sleep): staggers ranks
+        std::chrono::milliseconds(2 * comm.rank()));
     reducer.OnGradReady(1);  // w2
-    std::this_thread::sleep_for(std::chrono::milliseconds(2 * comm.rank()));
+    std::this_thread::sleep_for(  // lint:allow(raw-sleep): staggers ranks
+        std::chrono::milliseconds(2 * comm.rank()));
     reducer.OnGradReady(0);  // w1 — completes the fused low-rank bucket
     reducer.FinishStep();
   });

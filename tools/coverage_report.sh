@@ -3,15 +3,17 @@
 # (DESIGN.md §6d; cmake --preset coverage).
 #
 #   tools/coverage_report.sh [build-dir] [min-comm-compress-percent] \
-#       [min-par-percent]
+#       [min-par-percent] [min-core-percent] [min-fault-percent]
 #
 # Runs plain `gcov` over every library .gcda under <build-dir>/src (no
 # gcovr/lcov dependency), aggregates executable/covered line counts per
 # source directory, prints a table, and — when a minimum is given — fails
 # with exit 1 if the combined src/comm + src/compress line coverage falls
-# below it. A second minimum gates src/par the same way (the deterministic
-# pool is the substrate every kernel trusts; its templated headers are
-# exercised by par_test but only .cc lines are counted, see below). Only *.cc.gcov outputs are aggregated: each .cc belongs to
+# below it. Further minimums gate src/par (the deterministic pool is the
+# substrate every kernel trusts), src/core (the WFBP reducer + optimizer
+# drive every training path) and src/fault (untested fault-injection code
+# is worse than none: it certifies recovery paths it never exercised).
+# Only *.cc.gcov outputs are aggregated: each .cc belongs to
 # exactly one translation unit, whereas header .gcov files are re-emitted by
 # every includer and would clobber each other.
 #
@@ -22,6 +24,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-build-coverage}"
 MIN_COMM_COMPRESS="${2:-}"
 MIN_PAR="${3:-}"
+MIN_CORE="${4:-}"
+MIN_FAULT="${5:-}"
 
 if ! command -v gcov >/dev/null 2>&1; then
   echo "coverage_report: gcov not found" >&2
@@ -58,7 +62,26 @@ if [ ${#CC_GCOV[@]} -eq 0 ]; then
   exit 2
 fi
 
-awk -F: -v min="${MIN_COMM_COMPRESS:-}" -v min_par="${MIN_PAR:-}" '
+awk -F: -v min="${MIN_COMM_COMPRESS:-}" -v min_par="${MIN_PAR:-}" \
+    -v min_core="${MIN_CORE:-}" -v min_fault="${MIN_FAULT:-}" '
+  # Gate a single directory: prints its line and fails if below min_pct.
+  function dir_gate(d, min_pct, label,    t, c, p) {
+    t = total[d] + 0
+    c = covered[d] + 0
+    if (t == 0) {
+      printf "coverage_report: no lines attributed to %s\n", d > "/dev/stderr"
+      exit 2
+    }
+    p = 100.0 * c / t
+    printf "%s: %.1f%% (%d/%d lines)\n", d, p, c, t
+    if (min_pct != "") {
+      if (p < min_pct + 0) {
+        printf "coverage_report: FAIL — %s coverage %.1f%% is below the gate %.1f%%\n", d, p, min_pct + 0 > "/dev/stderr"
+        exit 1
+      }
+      printf "%s coverage gate: OK (>= %.1f%%)\n", label, min_pct + 0
+    }
+  }
   FNR == 1 {
     src = FILENAME
     sub(/\.gcov$/, "", src)
@@ -107,20 +130,8 @@ awk -F: -v min="${MIN_COMM_COMPRESS:-}" -v min_par="${MIN_PAR:-}" '
       }
       printf "coverage gate: OK (>= %.1f%%)\n", min + 0
     }
-    if (min_par != "") {
-      pt = total["src/par"] + 0
-      pc = covered["src/par"] + 0
-      if (pt == 0) {
-        print "coverage_report: no lines attributed to src/par" > "/dev/stderr"
-        exit 2
-      }
-      ppct = 100.0 * pc / pt
-      printf "src/par: %.1f%% (%d/%d lines)\n", ppct, pc, pt
-      if (ppct < min_par + 0) {
-        printf "coverage_report: FAIL — src/par coverage %.1f%% is below the gate %.1f%%\n", ppct, min_par + 0 > "/dev/stderr"
-        exit 1
-      }
-      printf "par coverage gate: OK (>= %.1f%%)\n", min_par + 0
-    }
+    dir_gate("src/par", min_par, "par")
+    dir_gate("src/core", min_core, "core")
+    dir_gate("src/fault", min_fault, "fault")
   }
 ' "${CC_GCOV[@]}"

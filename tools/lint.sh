@@ -70,6 +70,18 @@ ban raw-thread 'std::(thread|jthread)' \
     src/tensor src/linalg src/metrics src/obs src/compress src/fusion \
     src/models src/sim src/dnn src/core src/check bench examples
 
+# Raw sleeps: waiting is either deterministic virtual time (fault/clock.h
+# BackoffTicks/ConsumeBackoff) or the pool's own parking (src/par). A
+# wall-clock sleep anywhere else reintroduces timing nondeterminism the
+# fault layer exists to eliminate — and hides real ordering bugs behind
+# "long enough" delays. src/fault and src/par are exempt (they implement
+# the sanctioned waits); everything else needs a lint:allow(raw-sleep)
+# justification (e.g. benches that sleep on purpose to shape a trace).
+ban raw-sleep \
+    'std::this_thread::sleep_(for|until)|(^|[^_[:alnum:]])(u|nano)?sleep\(' \
+    src/check src/comm src/compress src/core src/dnn src/fusion src/linalg \
+    src/metrics src/models src/obs src/sim src/tensor tests bench examples
+
 # Unseeded libc RNG: all randomness must flow through tensor/rng.h so runs
 # stay reproducible worker-by-worker.
 ban libc-rand '(^|[^_[:alnum:]])s?rand(om)?\(' src tests bench examples
@@ -127,6 +139,13 @@ layer_check compute-below-runtime '^(comm|core)/' '' \
     src/tensor src/linalg src/dnn
 layer_check sched-point-no-deps '\.h$' 'check/sched_point.h' \
     src/check/sched_point.h src/check/sched_point.cc
+# The fault hook layer (acps_fault_points: injector, virtual clock) is
+# linked by acps_comm and acps_check, so like sched_point it may only
+# include fault/ headers and the standard library.
+layer_check fault-points-no-deps \
+    '^(check|comm|compress|core|dnn|fusion|linalg|metrics|models|obs|par|sim|tensor)/' \
+    '' src/fault/injector.h src/fault/injector.cc src/fault/clock.h \
+    src/fault/clock.cc
 layer_check par-no-deps \
     '^(check|comm|compress|core|dnn|fusion|linalg|metrics|models|obs|sim|tensor)/' \
     '' src/par
