@@ -4,10 +4,10 @@
 # exploration model checker, and the coverage gate.
 #
 #   ./ci.sh                 # lint + release + tsan + asan-ubsan + modelcheck
-#                           #   + chaos + perf-smoke
+#                           #   + chaos + tenant + perf-smoke
 #   ./ci.sh lint tsan       # any subset of:
 #                           #   lint release tsan asan-ubsan modelcheck
-#                           #   chaos perf-smoke coverage
+#                           #   chaos tenant perf-smoke coverage
 #
 # Presets come from CMakePresets.json; the sanitizer test presets exclude
 # the `sanitizer-slow` ctest label (long convergence runs) and load
@@ -37,7 +37,7 @@ ACPS_COV_MIN_FAULT=80.0
 JOBS="${JOBS:-$(nproc)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(lint release tsan asan-ubsan modelcheck chaos perf-smoke)
+  LEGS=(lint release tsan asan-ubsan modelcheck chaos tenant perf-smoke)
 fi
 
 run_preset() {
@@ -75,6 +75,19 @@ for leg in "${LEGS[@]}"; do
       cmake --build --preset release -j "$JOBS"
       ctest --preset chaos -j "$JOBS"
       ;;
+    tenant)
+      # Multi-tenant service gates (DESIGN.md §7): the >=64-job bitwise
+      # solo-parity stress and the cross-tenant fault-isolation matrix, run
+      # twice — optimized (release) and race-checked (tsan).
+      echo
+      echo "==================== tenant ===================="
+      cmake --preset release
+      cmake --build --preset release -j "$JOBS"
+      ctest --preset tenant -j "$JOBS"
+      cmake --preset tsan
+      cmake --build --preset tsan -j "$JOBS"
+      ctest --preset tenant-tsan -j "$JOBS"
+      ;;
     perf-smoke)
       # Quick kernel-bench pass gated against the committed baseline
       # (BENCH_kernels.json): fails on a >25% speedup-over-naive regression
@@ -96,7 +109,7 @@ for leg in "${LEGS[@]}"; do
       ;;
     *)
       echo "ci.sh: unknown leg '$leg' (expected: lint release tsan" \
-           "asan-ubsan modelcheck chaos perf-smoke coverage)" >&2
+           "asan-ubsan modelcheck chaos tenant perf-smoke coverage)" >&2
       exit 2
       ;;
   esac

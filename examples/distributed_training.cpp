@@ -2,8 +2,10 @@
 // Power-SGD and ACP-SGD on the same data-parallel job — the trade-off the
 // paper's introduction motivates.
 //
-// Uses the high-level trainer plus the communicator's traffic counters to
-// report bytes-on-the-wire per method.
+// Each method runs as one job of a multi-tenant core::TrainingService: the
+// session-level compressor_spec picks the aggregation method, and the
+// per-job registry record reports bytes-on-the-wire per method (no shared
+// counters to reset between runs).
 //
 // With --trace-out=PATH the ACP-SGD run records every collective, hook and
 // step as obs::Tracer spans and writes Chrome-trace JSON there (open in
@@ -13,7 +15,7 @@
 #include <cstring>
 #include <string>
 
-#include "core/trainer.h"
+#include "core/training_service.h"
 #include "metrics/table.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
@@ -37,32 +39,41 @@ int main(int argc, char** argv) {
   std::printf("Distributed training comparison: res-mini, 4 workers, "
               "%d epochs\n\n", cfg.epochs);
 
-  metrics::Table table({"Method", "final acc", "final loss",
-                        "wire MB/worker", "vs S-SGD"});
-  const std::pair<const char*, core::AggregatorFactory> methods[] = {
-      {"S-SGD", core::MakeSsgdFactory()},
-      {"Power-SGD r4", core::MakePowerSgdFactory(4)},
-      {"ACP-SGD r4", core::MakeAcpSgdFactory(4)},
-  };
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
+
+  core::TrainingService service;
+
+  metrics::Table table({"Method", "final acc", "final loss",
+                        "wire MB/worker", "vs S-SGD"});
+  const std::pair<const char*, const char*> methods[] = {
+      {"S-SGD", "ssgd"},
+      {"Power-SGD r4", "powersgd:4"},
+      {"ACP-SGD r4", "acpsgd:4"},
+  };
   double ssgd_mb = 0.0;
-  for (const auto& [name, factory] : methods) {
-    comm::ThreadGroup group(4);
+  for (const auto& [name, spec_str] : methods) {
+    core::JobSpec spec;
+    spec.name = spec_str;
+    spec.world_size = 4;
+    spec.session.compressor_spec = spec_str;
+
     // Observe only the ACP-SGD run (spans from all methods in one file
     // would overlap on the same worker rows).
-    const bool observe = !trace_out.empty() && std::strncmp(name, "ACP", 3) == 0;
+    const bool observe =
+        !trace_out.empty() && std::strncmp(name, "ACP", 3) == 0;
     if (observe) {
       tracer.Clear();
       tracer.Enable();
       metrics.Enable();
-      group.set_tracer(&tracer);
+      service.transport().set_tracer(&tracer);
       cfg.metrics = &metrics;
     }
-    const core::TrainResult r = core::TrainDistributed(group, cfg, factory);
+    const core::TrainResult r = service.Train(spec, cfg);
     if (observe) {
       tracer.Disable();
       metrics.Disable();
+      service.transport().set_tracer(nullptr);
       cfg.metrics = nullptr;
       if (tracer.WriteChromeTrace(trace_out))
         std::printf("[trace] wrote %zu ACP-SGD spans to %s\n", tracer.size(),
@@ -70,8 +81,10 @@ int main(int argc, char** argv) {
       else
         std::printf("[trace] failed to write %s\n", trace_out.c_str());
     }
+    // The job registry keeps each run's traffic totals under its own key.
+    const core::JobRecord record = service.job(service.submitted());
     const double mb =
-        static_cast<double>(group.total_stats().bytes_sent) / 4.0 / 1e6;
+        static_cast<double>(record.traffic.bytes_sent) / 4.0 / 1e6;
     if (ssgd_mb == 0.0) ssgd_mb = mb;
     table.AddRow({name, metrics::Table::Num(r.final_test_acc, 3),
                   metrics::Table::Num(r.history.back().train_loss, 3),

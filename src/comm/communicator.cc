@@ -1,181 +1,17 @@
 #include "comm/communicator.h"
 
 #include <algorithm>
-#include <chrono>
-#include <condition_variable>
-#include <cstdlib>
 #include <cstring>
-#include <exception>
-#include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 
 #include "check/sched_point.h"
 #include "fault/clock.h"
 #include "fault/injector.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 
 namespace acps::comm {
-namespace detail {
-
-// Absent sequence number: a mailbox slot that has never been published.
-inline constexpr uint64_t kNoSeq = ~uint64_t{0};
-
-// One published message with its delivery envelope. `seq` identifies the
-// (collective, phase, ring step) the message belongs to; `checksum` seals the
-// payload bytes, so readers can tell apart every recoverable wire fault:
-// a lost publish or replayed/stale message fails the seq check, corruption
-// fails the checksum.
-struct Message {
-  std::vector<std::byte> bytes;
-  uint64_t seq = kNoSeq;
-  uint32_t checksum = 0;
-};
-
-// Per-worker channel. `prev` keeps the previously published message — the
-// source the injector serves for duplicate/replay and stale-read faults.
-struct Mailbox {
-  Message cur;
-  Message prev;
-};
-
-// Shared state of one worker group: a sense-reversing barrier over the
-// *alive* membership, one envelope mailbox per worker (the shared-memory
-// analogue of a point-to-point channel), a size-exchange board for
-// variable-size collectives, retry flags for the reliable-delivery protocol,
-// and the collective usage-contract checker (contract.h).
-struct GroupState {
-  explicit GroupState(int p, int64_t timeout_ms)
-      : world_size(p), barrier_timeout_ms(timeout_ms),
-        mailbox(static_cast<size_t>(p)), sizes(static_cast<size_t>(p), 0),
-        retry_flag(static_cast<size_t>(p), 0),
-        alive(static_cast<size_t>(p), 1), alive_count(p) {
-    contract.Reset(p);
-  }
-
-  int world_size;
-  int64_t barrier_timeout_ms;
-  std::mutex mu;
-  std::condition_variable cv;
-  int arrived = 0;
-  bool sense = false;
-  bool aborted = false;
-  // Why the group was aborted (watchdog report, contract diff); folded into
-  // the "group aborted" errors seen by the other workers so every thrown
-  // exception names the culprit, not just the first one.
-  std::string abort_reason;
-
-  // Fingerprint rendezvous on/off (watchdog status tracking is always on).
-  bool contract_enabled = false;
-  ContractChecker contract;
-
-  std::vector<Mailbox> mailbox;
-  std::vector<size_t> sizes;
-
-  // Reliable-delivery retry flags: worker r sets retry_flag[r] between the
-  // two barriers of an exchange step (1 = one of its reads failed
-  // validation). Stable for readers from the step's second barrier until the
-  // writer's next first barrier, so the post-barrier scan is race-free.
-  std::vector<uint8_t> retry_flag;
-
-  // Fail-stop membership. alive[r] flips to 0 exactly once, at the crashed
-  // rank's collective entry (before any survivor passes the entry barrier),
-  // so every surviving rank samples an identical view per collective.
-  std::vector<uint8_t> alive;
-  int alive_count;
-  std::vector<int> crashed;  // in crash order
-
-  // First exception thrown by any worker during Run.
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-
-  // Must be called with `mu` held.
-  [[nodiscard]] std::string AbortMessage() const {
-    std::string msg = "communicator group aborted";
-    if (!abort_reason.empty()) msg += ": " + abort_reason;
-    return msg;
-  }
-
-  void Barrier() {
-    // Barrier entry is rank-agnostic here (GroupState does not know which
-    // worker is calling), so the hook reports rank -1; the schedule
-    // controller treats it as a pure perturbation point.
-    check::SchedPoint(check::PointKind::kBarrierEnter, /*rank=*/-1);
-    std::unique_lock lock(mu);
-    if (aborted) throw Error(AbortMessage());
-    if (++arrived >= alive_count) {
-      arrived = 0;
-      sense = !sense;
-      cv.notify_all();
-    } else {
-      const bool my_sense = sense;
-      const auto pred = [&] { return sense != my_sense || aborted; };
-      if (barrier_timeout_ms > 0) {
-        if (!cv.wait_for(lock, std::chrono::milliseconds(barrier_timeout_ms),
-                         pred)) {
-          // Some worker never arrived: collective mismatch or a hung
-          // worker. Compose the watchdog report (who is blocked in which
-          // collective), abort the whole group so every waiter unblocks,
-          // and surface the report through every thrown error.
-          std::string report =
-              "collective watchdog: barrier timeout after " +
-              std::to_string(barrier_timeout_ms) +
-              " ms — a worker never reached the collective (mismatched "
-              "collective sequence or hung worker)\n" +
-              contract.BlockedReport();
-          aborted = true;
-          abort_reason = report;
-          cv.notify_all();
-          throw Error(report);
-        }
-      } else {
-        cv.wait(lock, pred);
-      }
-      if (aborted) throw Error(AbortMessage());
-    }
-  }
-
-  void Abort() {
-    std::lock_guard lock(mu);
-    aborted = true;
-    cv.notify_all();
-  }
-
-  // Fail-stop for `rank`: remove it from the barrier membership. If the
-  // current barrier round was only waiting on the dying rank, complete the
-  // round so the survivors unblock. arrived can only reach alive_count when
-  // every survivor has arrived, so a round never completes early.
-  void MarkDead(int rank) {
-    std::lock_guard lock(mu);
-    auto& a = alive[static_cast<size_t>(rank)];
-    if (a == 0) return;
-    a = 0;
-    --alive_count;
-    crashed.push_back(rank);
-    contract.SetDead(rank);
-    if (alive_count > 0 && arrived >= alive_count) {
-      arrived = 0;
-      sense = !sense;
-    }
-    cv.notify_all();
-  }
-
-  // Fingerprint rendezvous run at every collective entry in checked mode:
-  //   deposit -> barrier -> validate -> barrier.
-  // On divergence every rank computes the same per-rank diff and throws, so
-  // the group unwinds in lockstep instead of deadlocking in the collective
-  // body or silently mis-reducing.
-  void CheckedRendezvous(int rank, const CollectiveFingerprint& fp) {
-    if (!contract_enabled) return;
-    contract.Deposit(rank, fp);
-    Barrier();
-    if (auto diff = contract.Validate()) throw Error(*diff);
-    Barrier();
-  }
-};
-
-}  // namespace detail
-
 namespace {
 
 // Bounded retry budget for one exchange step. Exhausting it means the fault
@@ -185,12 +21,14 @@ constexpr int kMaxDeliveryAttempts = 8;
 
 int Mod(int x, int p) { return ((x % p) + p) % p; }
 
-// FNV-1a over the payload, seeded with the sequence number so a stale
-// message whose bytes happen to match still fails validation if its seq was
-// forged.
-uint32_t EnvelopeChecksum(std::span<const std::byte> bytes,
-                          uint64_t seq) noexcept {
-  uint32_t h = 2166136261u ^ static_cast<uint32_t>(seq * 2654435761ULL);
+// FNV-1a over the payload, seeded with the sequence number and the owning
+// session's envelope salt: a stale message whose bytes happen to match still
+// fails validation if its seq was forged, and a chunk sealed under another
+// session never validates here. salt == 0 (the anonymous legacy session)
+// reproduces the pre-session checksum bit for bit.
+uint32_t EnvelopeChecksum(std::span<const std::byte> bytes, uint64_t seq,
+                          uint64_t salt) noexcept {
+  uint32_t h = 2166136261u ^ static_cast<uint32_t>((seq ^ salt) * 2654435761ULL);
   for (const std::byte b : bytes) {
     h ^= static_cast<uint32_t>(b);
     h *= 16777619u;
@@ -224,7 +62,7 @@ std::span<const float> AsFloats(std::span<const std::byte> v) {
 
 // RAII wrapper around one collective call: registers the rank as "inside
 // `fp`" for the watchdog, runs the contract rendezvous (no-op unless the
-// group has contract checking enabled), and clears the watchdog status on
+// session has contract checking enabled), and clears the watchdog status on
 // exit. If the rendezvous throws (contract violation / abort) the status
 // intentionally stays set — the group is dead and the stale entry only
 // feeds post-mortem reports; the next Run resets the checker.
@@ -259,11 +97,26 @@ ChunkRange GetChunkRange(int64_t n, int p, int chunk) {
   return ChunkRange{begin, begin + size};
 }
 
-Communicator::Communicator(detail::GroupState* state, int rank, int world_size,
-                           obs::Tracer* tracer, obs::MetricsRegistry* metrics)
-    : state_(state), rank_(rank), world_size_(world_size), tracer_(tracer),
-      metrics_(metrics) {
+Communicator::Communicator(detail::GroupState* state, int rank, int world_size)
+    : state_(state), rank_(rank), world_size_(world_size),
+      tracer_(state->tracer), metrics_(state->metrics) {
+  if (metrics_ != nullptr) {
+    // Resolve the session-namespaced fault counters once; the prefix is ""
+    // for the anonymous legacy session, so the historical flat names
+    // (`fault.crash.ranks`, ...) are preserved there.
+    const std::string& pre = state_->metric_prefix;
+    ctr_crash_ranks_ = &metrics_->counter(pre + "fault.crash.ranks");
+    ctr_straggler_events_ = &metrics_->counter(pre + "fault.straggler.events");
+    ctr_straggler_ticks_ = &metrics_->counter(pre + "fault.straggler.ticks");
+    ctr_retry_attempts_ = &metrics_->counter(pre + "fault.retry.attempts");
+    ctr_detected_ = &metrics_->counter(pre + "fault.detected");
+  }
   RefreshView();
+}
+
+fault::FaultInjector* Communicator::ActiveInjector() const noexcept {
+  fault::FaultInjector* inj = state_->injector;
+  return inj != nullptr ? inj : fault::InstalledFaultInjector();
 }
 
 void Communicator::RefreshView() {
@@ -295,7 +148,8 @@ void Communicator::EnterCollective() {
   // Collectives are rendezvous-synchronous, so every rank's counter stays in
   // lockstep and StepSeq values agree group-wide without communication.
   ++collective_seq_;
-  if (fault::InstalledFaultInjector() == nullptr) return;
+  fault::FaultInjector* inj = ActiveInjector();
+  if (inj == nullptr) return;
 
   // Injected runs only: entry fault site, then a membership-stabilization
   // barrier so every survivor samples the same alive view for this
@@ -303,9 +157,9 @@ void Communicator::EnterCollective() {
   // cannot complete until every survivor arrives, so the view is identical
   // (and thus view-derived scales are deterministic) across ranks.
   const fault::EntryDecision decision =
-      fault::OnCollectiveEntry(rank_, collective_seq_);
+      inj->OnCollectiveEntry(rank_, collective_seq_);
   if (decision.kind == fault::FaultKind::kCrash) {
-    if (metrics_ != nullptr) metrics_->counter("fault.crash.ranks").Add();
+    if (ctr_crash_ranks_ != nullptr) ctr_crash_ranks_->Add();
     if (tracer_ != nullptr && tracer_->enabled()) {
       const int64_t now = tracer_->NowUs();
       tracer_->Record(obs::SpanEvent{"fault_crash", obs::kCatFault, rank_, now,
@@ -316,10 +170,9 @@ void Communicator::EnterCollective() {
     throw fault::RankCrashed{rank_, collective_seq_};
   }
   if (decision.kind == fault::FaultKind::kStraggler) {
-    if (metrics_ != nullptr) {
-      metrics_->counter("fault.straggler.events").Add();
-      metrics_->counter("fault.straggler.ticks")
-          .Add(static_cast<uint64_t>(decision.ticks));
+    if (ctr_straggler_events_ != nullptr) {
+      ctr_straggler_events_->Add();
+      ctr_straggler_ticks_->Add(static_cast<uint64_t>(decision.ticks));
     }
     if (tracer_ != nullptr && tracer_->enabled()) {
       const int64_t now = tracer_->NowUs();
@@ -344,10 +197,14 @@ void Communicator::ReliableStep(uint64_t seq, bool publish,
                                 const ConsumeFn& consume) {
   ACPS_CHECK_MSG(read_from.size() <= 64,
                  "reliable step supports at most 64 sources");
+  fault::FaultInjector* inj = ActiveInjector();
+  const uint64_t salt = state_->envelope_salt;
   uint64_t consumed = 0;  // bit i: read_from[i] validated and consumed
   for (int attempt = 0;; ++attempt) {
     if (publish) {
-      const fault::FaultKind fk = fault::OnPublish(rank_, seq, attempt);
+      const fault::FaultKind fk =
+          inj != nullptr ? inj->OnPublish(rank_, seq, attempt)
+                         : fault::FaultKind::kNone;
       // Wire cost is charged even for dropped or retried publishes — the
       // bytes were put on the wire either way. Fault-free this is exactly
       // one message of |payload| bytes (times `fanout` for one-to-many
@@ -382,7 +239,7 @@ void Communicator::ReliableStep(uint64_t seq, bool publish,
         }
         box.cur.seq = seq;
         box.cur.checksum = EnvelopeChecksum(
-            {box.cur.bytes.data(), box.cur.bytes.size()}, seq);
+            {box.cur.bytes.data(), box.cur.bytes.size()}, seq, salt);
         if (fk == fault::FaultKind::kDuplicate) {
           // Replay: the previous message overwrites this publish.
           box.cur = box.prev;
@@ -405,15 +262,17 @@ void Communicator::ReliableStep(uint64_t seq, bool publish,
     for (size_t i = 0; i < read_from.size(); ++i) {
       if ((consumed & (uint64_t{1} << i)) != 0) continue;
       const int from = read_from[i];
-      const fault::FaultKind fk = fault::OnRead(rank_, seq, attempt);
+      const fault::FaultKind fk =
+          inj != nullptr ? inj->OnRead(rank_, seq, attempt)
+                         : fault::FaultKind::kNone;
       const auto& box = state_->mailbox[static_cast<size_t>(from)];
       const detail::Message& m =
           fk == fault::FaultKind::kStaleRead ? box.prev : box.cur;
       const char* fail = nullptr;
       if (m.seq != seq)
         fail = "sequence mismatch (lost, replayed or stale chunk)";
-      else if (EnvelopeChecksum({m.bytes.data(), m.bytes.size()}, m.seq) !=
-               m.checksum)
+      else if (EnvelopeChecksum({m.bytes.data(), m.bytes.size()}, m.seq,
+                                salt) != m.checksum)
         fail = "checksum mismatch (corrupted chunk)";
       if (fail == nullptr) {
         consume(from, std::span<const std::byte>(m.bytes.data(),
@@ -437,14 +296,14 @@ void Communicator::ReliableStep(uint64_t seq, bool publish,
       again = again || state_->retry_flag[static_cast<size_t>(r)] != 0;
     if (!again) return;
 
-    if (metrics_ != nullptr) metrics_->counter("fault.retry.attempts").Add();
+    if (ctr_retry_attempts_ != nullptr) ctr_retry_attempts_->Add();
     if (tracer_ != nullptr && tracer_->enabled()) {
       const int64_t now = tracer_->NowUs();
       tracer_->Record(obs::SpanEvent{"fault_retry", obs::kCatFault, rank_, now,
                                      now, payload.size(), attempt});
     }
     if (attempt + 1 >= kMaxDeliveryAttempts) {
-      if (metrics_ != nullptr) metrics_->counter("fault.detected").Add();
+      if (ctr_detected_ != nullptr) ctr_detected_->Add();
       std::ostringstream os;
       os << "fault detected: chunk delivery failed after "
          << kMaxDeliveryAttempts << " attempts (rank " << rank_
@@ -454,8 +313,7 @@ void Communicator::ReliableStep(uint64_t seq, bool publish,
         os << ": " << why << " reading from rank " << why_from;
       else
         os << ": a peer reported undeliverable chunks";
-      if (fault::FaultInjector* inj = fault::InstalledFaultInjector())
-        os << "; replay with " << inj->Describe();
+      if (inj != nullptr) os << "; replay with " << inj->Describe();
       throw fault::DetectedError(os.str());
     }
     fault::ConsumeBackoff(attempt);
@@ -472,6 +330,10 @@ void Communicator::barrier() {
 
 void Communicator::all_reduce(std::span<float> data, ReduceOp op,
                               AllReduceAlgo algo) {
+  // The per-call default defers to the session's configured algorithm; the
+  // resolved value feeds the contract fingerprint, so mixed-session
+  // cross-checks (one session ring, one naive) stay well-defined.
+  if (algo == AllReduceAlgo::kSessionDefault) algo = state_->default_algo;
   obs::ScopedSpan span(tracer_,
                        algo == AllReduceAlgo::kRing ? "all_reduce"
                                                     : "all_reduce_naive",
@@ -740,12 +602,12 @@ void Communicator::broadcast(std::span<float> data, int root) {
   if (!is_alive(root)) {
     // The only publisher is dead: unsatisfiable, but *detected* — every
     // surviving rank computed the same view, so all throw in lockstep.
-    if (metrics_ != nullptr) metrics_->counter("fault.detected").Add();
+    if (ctr_detected_ != nullptr) ctr_detected_->Add();
     std::ostringstream os;
     os << "fault detected: broadcast root rank " << root
        << " has crashed (fail-stop); collective #" << collective_seq_
        << " cannot be satisfied";
-    if (fault::FaultInjector* inj = fault::InstalledFaultInjector())
+    if (fault::FaultInjector* inj = ActiveInjector())
       os << "; replay with " << inj->Describe();
     throw fault::DetectedError(os.str());
   }
@@ -762,108 +624,49 @@ void Communicator::broadcast(std::span<float> data, int root) {
                });
 }
 
-namespace {
-
-// ACPS_COLLECTIVE_TIMEOUT_MS resolution for the kCollectiveTimeoutFromEnv
-// default: unset/unparsable -> 60000, <= 0 -> watchdog disabled.
-int64_t ResolveBarrierTimeout(int64_t requested) {
-  if (requested != kCollectiveTimeoutFromEnv) return requested;
-  if (const char* env = std::getenv("ACPS_COLLECTIVE_TIMEOUT_MS")) {
-    char* end = nullptr;
-    const long long v = std::strtoll(env, &end, 10);
-    if (end != env && *end == '\0') return static_cast<int64_t>(v);
-  }
-  return 60000;
-}
-
-// Contract checking defaults on in sanitizer builds (the cmake presets
-// define ACPS_SANITIZE_BUILD) and off otherwise; ACPS_COLLECTIVE_CONTRACT
-// (0/1) overrides either way.
-bool ResolveContractDefault() {
-  if (const char* env = std::getenv("ACPS_COLLECTIVE_CONTRACT"))
-    return env[0] != '\0' && env[0] != '0';
-#ifdef ACPS_SANITIZE_BUILD
-  return true;
-#else
-  return false;
-#endif
-}
-
-}  // namespace
-
 ThreadGroup::ThreadGroup(int world_size, int64_t barrier_timeout_ms)
-    : world_size_(world_size),
-      state_(std::make_unique<detail::GroupState>(
-          world_size, ResolveBarrierTimeout(barrier_timeout_ms))) {
-  ACPS_CHECK_MSG(world_size >= 1, "world_size must be >= 1");
-  state_->contract_enabled = ResolveContractDefault();
-}
+    : transport_(TransportOptions{.barrier_timeout_ms = barrier_timeout_ms}),
+      session_(std::make_unique<Session>(transport_, /*job_id=*/"",
+                                         world_size)) {}
 
 ThreadGroup::~ThreadGroup() = default;
 
+int ThreadGroup::world_size() const noexcept { return session_->world_size(); }
+
 void ThreadGroup::set_contract_checking(bool on) noexcept {
-  state_->contract_enabled = on;
+  session_->set_contract_checking(on);
 }
 
 bool ThreadGroup::contract_checking() const noexcept {
-  return state_->contract_enabled;
+  return session_->contract_checking();
+}
+
+void ThreadGroup::set_tracer(obs::Tracer* tracer) noexcept {
+  transport_.set_tracer(tracer);
+}
+
+obs::Tracer* ThreadGroup::tracer() const noexcept {
+  return transport_.tracer();
+}
+
+void ThreadGroup::set_metrics(obs::MetricsRegistry* metrics) noexcept {
+  transport_.set_metrics(metrics);
+}
+
+obs::MetricsRegistry* ThreadGroup::metrics() const noexcept {
+  return transport_.metrics();
 }
 
 void ThreadGroup::Run(const std::function<void(Communicator&)>& fn) {
-  last_run_stats_.assign(static_cast<size_t>(world_size_), TrafficStats{});
-  // Reset barrier, error, membership, mailbox, and contract state: an
-  // aborted or degraded previous Run may have left the sense-reversing
-  // barrier mid-flip, ranks marked dead, and mailboxes holding old
-  // envelopes.
-  state_->aborted = false;
-  state_->arrived = 0;
-  state_->sense = false;
-  state_->first_error = nullptr;
-  state_->abort_reason.clear();
-  state_->contract.Reset(world_size_);
-  state_->mailbox.assign(static_cast<size_t>(world_size_), detail::Mailbox{});
-  state_->retry_flag.assign(static_cast<size_t>(world_size_), 0);
-  state_->alive.assign(static_cast<size_t>(world_size_), 1);
-  state_->alive_count = world_size_;
-  state_->crashed.clear();
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(world_size_));
-  for (int r = 0; r < world_size_; ++r) {
-    threads.emplace_back([this, r, &fn] {
-      Communicator comm(state_.get(), r, world_size_, tracer_, metrics_);
-      try {
-        fn(comm);
-      } catch (const fault::RankCrashed&) {
-        // Fail-stop: the rank already marked itself dead at its collective
-        // entry; the surviving ranks reconfigure and finish the run.
-      } catch (...) {
-        {
-          std::lock_guard lock(state_->err_mu);
-          if (!state_->first_error)
-            state_->first_error = std::current_exception();
-        }
-        state_->Abort();
-      }
-      last_run_stats_[static_cast<size_t>(r)] = comm.stats();
-    });
-  }
-  for (auto& t : threads) t.join();
-  if (state_->first_error) std::rethrow_exception(state_->first_error);
+  session_->Run(fn);
 }
 
 const std::vector<int>& ThreadGroup::crashed_ranks() const noexcept {
-  return state_->crashed;
+  return session_->crashed_ranks();
 }
 
 TrafficStats ThreadGroup::total_stats() const {
-  TrafficStats total;
-  for (const auto& s : last_run_stats_) {
-    total.bytes_sent += s.bytes_sent;
-    total.messages_sent += s.messages_sent;
-    total.collectives += s.collectives;
-  }
-  return total;
+  return session_->total_stats();
 }
 
 }  // namespace acps::comm

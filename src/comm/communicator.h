@@ -1,25 +1,29 @@
 // In-process multi-worker communicator with real ring collectives.
 //
-// This is the NCCL stand-in (DESIGN.md §2): a ThreadGroup hosts `p` workers
-// (one std::thread each); every collective moves data through per-worker
-// mailboxes with a barrier per ring step, so the *algorithm* — chunking,
-// neighbor exchange, reduction order, and per-worker traffic — matches the
-// ring implementations used on real clusters. Per-worker traffic counters
-// let tests assert the Table II communication-volume formulas exactly.
+// This is the NCCL stand-in (DESIGN.md §2): a comm::Session hosts `p`
+// workers (one std::thread each) on a shared comm::Transport; every
+// collective moves data through per-worker mailboxes with a barrier per
+// ring step, so the *algorithm* — chunking, neighbor exchange, reduction
+// order, and per-worker traffic — matches the ring implementations used on
+// real clusters. Per-worker traffic counters let tests assert the Table II
+// communication-volume formulas exactly.
 //
 // Concurrency model: collectives are rendezvous-synchronous. Every worker of
-// the group must call the same sequence of collectives with matching sizes
-// (mismatch throws). This mirrors NCCL's usage contract.
+// the session must call the same sequence of collectives with matching sizes
+// (mismatch throws). This mirrors NCCL's usage contract. Workers of
+// *different* sessions share nothing but the transport substrate and never
+// rendezvous with each other.
 //
 // Resilience (DESIGN.md §6f): every mailbox publish carries a sequence
-// number + checksum envelope. Readers validate both; a failed validation
-// (dropped, replayed, stale, or corrupted chunk — injectable via
-// fault/injector.h) triggers a bounded, deterministic group retry with
-// virtual-time backoff, so recoverable wire faults are absorbed with
-// bitwise-identical results. A rank that fail-stops at a collective entry is
-// removed from the membership view: subsequent collectives run over the
-// surviving ranks (ring reconfigured, chunking over the alive count, dead
-// all-gather blocks zeroed) and callers rescale by alive_world_size().
+// number + checksum envelope sealed under the session's salt. Readers
+// validate both; a failed validation (dropped, replayed, stale, or corrupted
+// chunk — injectable via fault/injector.h, process-wide or per session)
+// triggers a bounded, deterministic group retry with virtual-time backoff,
+// so recoverable wire faults are absorbed with bitwise-identical results. A
+// rank that fail-stops at a collective entry is removed from the membership
+// view: subsequent collectives run over the surviving ranks (ring
+// reconfigured, chunking over the alive count, dead all-gather blocks
+// zeroed) and callers rescale by alive_world_size().
 #pragma once
 
 #include <cstddef>
@@ -31,41 +35,18 @@
 
 #include "check/sched_point.h"
 #include "comm/contract.h"
-#include "obs/metrics_registry.h"
-#include "obs/tracer.h"
+#include "comm/session.h"
+#include "comm/transport.h"
 #include "tensor/check.h"
+
+namespace acps::obs {
+class Counter;
+}  // namespace acps::obs
 
 namespace acps::comm {
 
-// Reduction operator for all_reduce / reduce_scatter.
-enum class ReduceOp { kSum, kMax };
-
-// All-reduce algorithm selection. kRing is the bandwidth-optimal default
-// (reduce-scatter + all-gather, 2*(p-1)/p * N per worker); kNaive is the
-// flat reduce-to-root + broadcast reference (O(p*N)) used by the "naive"
-// configurations and as a cross-check in tests.
-enum class AllReduceAlgo { kRing, kNaive };
-
-// Per-worker traffic statistics, in "wire" units. One mailbox write of B
-// bytes counts as one message of B bytes sent (the shared-memory analogue of
-// one point-to-point send on the ring). Retransmissions during fault
-// recovery are charged like first sends — the wire cost was paid.
-struct TrafficStats {
-  uint64_t bytes_sent = 0;
-  uint64_t messages_sent = 0;
-  uint64_t collectives = 0;
-
-  void reset() { *this = TrafficStats{}; }
-};
-
-namespace detail {
-struct GroupState;  // defined in communicator.cc
-}
-
-class ThreadGroup;
-
-// Per-worker handle. Obtained inside ThreadGroup::Run; not movable across
-// workers.
+// Per-worker handle. Obtained inside Session::Run (or the deprecated
+// ThreadGroup::Run shim); not movable across workers.
 class Communicator {
  public:
   [[nodiscard]] int rank() const noexcept { return rank_; }
@@ -91,13 +72,16 @@ class Communicator {
   // Blocks until every (alive) worker reaches the barrier.
   void barrier();
 
-  // All-reduce in place over `data` with the chosen algorithm (kRing:
-  // reduce-scatter + all-gather, 2*(p-1)/p * N elements per worker; kNaive:
-  // flat reduce-to-root + broadcast, the O(p*N) reference). After a rank
-  // crash the reduction covers the surviving ranks only — divide by
-  // alive_world_size() for a mean.
+  // All-reduce in place over `data`. The algorithm defaults to the
+  // session's configured one (SessionOptions::algo; kRing for the legacy
+  // shim); passing kRing/kNaive explicitly overrides per call (kept for the
+  // reference cross-checks in tests — new code should configure the session
+  // instead). kRing: reduce-scatter + all-gather, 2*(p-1)/p * N elements
+  // per worker; kNaive: flat reduce-to-root + broadcast, the O(p*N)
+  // reference. After a rank crash the reduction covers the surviving ranks
+  // only — divide by alive_world_size() for a mean.
   void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::kSum,
-                  AllReduceAlgo algo = AllReduceAlgo::kRing);
+                  AllReduceAlgo algo = AllReduceAlgo::kSessionDefault);
 
   // Ring all-gather: worker i contributes `send`; `recv` (size p*|send|)
   // receives all contributions in rank order. All workers must pass equal
@@ -129,19 +113,24 @@ class Communicator {
   // rank (in lockstep) if the root has crashed.
   void broadcast(std::span<float> data, int root);
 
-  // Traffic counters for this worker.
+  // Traffic counters for this worker (session-scoped: only this job's
+  // bytes).
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
 
-  // Tracer attached to the owning ThreadGroup (nullptr when tracing is
-  // off). Runtimes built on the communicator (GradReducer, trainer) emit
-  // their spans through the same tracer so all rows share a time base.
+  // Tracer attached to the owning Transport (nullptr when tracing is off).
+  // Runtimes built on the communicator (GradReducer, trainer) emit their
+  // spans through the same tracer so all rows share a time base.
   [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
 
  private:
-  friend class ThreadGroup;
-  Communicator(detail::GroupState* state, int rank, int world_size,
-               obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+  friend class Session;
+  Communicator(detail::GroupState* state, int rank, int world_size);
+
+  // The fault injector governing this worker's transport events: the
+  // session-scoped one when installed (tenant-isolated chaos), else the
+  // process-global fault::InstalledFaultInjector().
+  [[nodiscard]] fault::FaultInjector* ActiveInjector() const noexcept;
 
   // Per-collective entry hook: bumps the collective sequence number, runs
   // the fault-injection entry site (crash / straggler) when an injector is
@@ -155,11 +144,12 @@ class Communicator {
   // collective — identical on every rank (collectives are lockstep).
   [[nodiscard]] uint64_t StepSeq(int phase, int step) const;
 
-  // One reliable exchange step: optional publish (seq/checksum envelope)
-  // plus validated reads from `read_from`, with bounded deterministic group
-  // retry on validation failure. Exactly two barriers on the fault-free
-  // path — identical to the pre-envelope transport. `consume` is invoked at
-  // most once per source rank, only with a validated payload.
+  // One reliable exchange step: optional publish (seq/checksum envelope
+  // under the session salt) plus validated reads from `read_from`, with
+  // bounded deterministic group retry on validation failure. Exactly two
+  // barriers on the fault-free path — identical to the pre-envelope
+  // transport. `consume` is invoked at most once per source rank, only with
+  // a validated payload.
   using ConsumeFn = std::function<void(int from, std::span<const std::byte>)>;
   void ReliableStep(uint64_t seq, bool publish,
                     std::span<const std::byte> payload, check::PointKind kind,
@@ -180,18 +170,27 @@ class Communicator {
   int world_size_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // Session-namespaced fault counters (`<prefix>fault.*`), resolved once at
+  // construction so the recovery hot path never concatenates metric names.
+  // Null when no registry is attached.
+  obs::Counter* ctr_crash_ranks_ = nullptr;
+  obs::Counter* ctr_straggler_events_ = nullptr;
+  obs::Counter* ctr_straggler_ticks_ = nullptr;
+  obs::Counter* ctr_retry_attempts_ = nullptr;
+  obs::Counter* ctr_detected_ = nullptr;
   TrafficStats stats_;
   uint64_t collective_seq_ = 0;
-  std::vector<int> view_;           // alive ranks, ascending
-  std::vector<uint8_t> view_alive_; // indexed by rank
+  std::vector<int> view_;            // alive ranks, ascending
+  std::vector<uint8_t> view_alive_;  // indexed by rank
 };
 
-// Sentinel for ThreadGroup's `barrier_timeout_ms` parameter: resolve the
-// timeout from the ACPS_COLLECTIVE_TIMEOUT_MS environment variable
-// (milliseconds; <= 0 disables the watchdog), falling back to 60000.
-inline constexpr int64_t kCollectiveTimeoutFromEnv = INT64_MIN;
-
-// Owns the shared state for one group of workers and runs worker bodies.
+// DEPRECATED single-tenant shim (kept for one release): owns a private
+// Transport plus one anonymous Session and forwards to them, so code
+// written against the pre-service API (`ThreadGroup group(p);
+// group.Run(...)`) keeps compiling and behaving bitwise identically.
+// New code should open a comm::Session on a shared comm::Transport (or go
+// through core::TrainingService); tests/comm_test.cc exercises both paths
+// until the shim is removed.
 class ThreadGroup {
  public:
   // `barrier_timeout_ms` bounds how long any worker may wait at a barrier
@@ -207,36 +206,24 @@ class ThreadGroup {
   ThreadGroup(const ThreadGroup&) = delete;
   ThreadGroup& operator=(const ThreadGroup&) = delete;
 
-  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+  [[nodiscard]] int world_size() const noexcept;
 
-  // Toggles collective-contract fingerprint checking (contract.h): when on,
-  // every collective entry is an explicit rendezvous that fails fast with a
-  // per-rank diff if workers issue mismatched collectives. Defaults to on
-  // in sanitizer builds (ACPS_SANITIZE) and off otherwise; the
-  // ACPS_COLLECTIVE_CONTRACT environment variable (0/1) overrides the
-  // build-type default. Takes effect for subsequent Run calls.
+  // The anonymous session this shim wraps — the bridge for call sites
+  // migrating to the Session API incrementally.
+  [[nodiscard]] Session& session() noexcept { return *session_; }
+
   void set_contract_checking(bool on) noexcept;
   [[nodiscard]] bool contract_checking() const noexcept;
 
-  // Attaches a tracer: every Communicator handed out by subsequent Run
-  // calls emits spans (collectives tagged with bytes moved) into it. Pass
-  // nullptr to detach. The tracer must outlive the runs that use it.
-  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
-  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
-
-  // Attaches a metrics registry: transports record fault/retry/degradation
-  // counters (fault.*) into it. Same lifetime contract as the tracer.
-  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
-    metrics_ = metrics;
-  }
-  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
-    return metrics_;
-  }
+  // Tracer/metrics attach to the shim's private transport; see
+  // Transport::set_tracer / set_metrics for the lifetime contract.
+  void set_tracer(obs::Tracer* tracer) noexcept;
+  [[nodiscard]] obs::Tracer* tracer() const noexcept;
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept;
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept;
 
   // Spawns one thread per worker, each invoking fn(comm). Blocks until all
-  // return. Exceptions thrown by any worker are rethrown (first one wins)
-  // after all workers have been joined — except fault::RankCrashed, which
-  // marks the rank dead (see crashed_ranks) and lets the survivors finish.
+  // return; see Session::Run.
   void Run(const std::function<void(Communicator&)>& fn);
 
   // Ranks that fail-stopped (injected crash) during the most recent Run,
@@ -247,11 +234,8 @@ class ThreadGroup {
   [[nodiscard]] TrafficStats total_stats() const;
 
  private:
-  int world_size_;
-  std::unique_ptr<detail::GroupState> state_;
-  std::vector<TrafficStats> last_run_stats_;
-  obs::Tracer* tracer_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
+  Transport transport_;
+  std::unique_ptr<Session> session_;
 };
 
 // The contiguous range [begin, end) of chunk `chunk` when splitting `n`

@@ -1,0 +1,137 @@
+#include "comm/session.h"
+
+#include <thread>
+#include <utility>
+
+#include "comm/communicator.h"
+#include "fault/injector.h"
+#include "obs/metrics_registry.h"
+
+namespace acps::comm {
+
+std::string SessionOptions::Validate() const {
+  std::string err;
+  const auto add = [&err](const std::string& msg) {
+    if (!err.empty()) err += "; ";
+    err += msg;
+  };
+  if (algo == AllReduceAlgo::kSessionDefault)
+    add("algo must be concrete (kRing or kNaive), not kSessionDefault");
+  if (fusion_bytes < 0)
+    add("fusion_bytes must be >= 0 (0 = library default), got " +
+        std::to_string(fusion_bytes));
+  if (fusion_bytes > 0 && fusion_bytes < 1024)
+    add("fusion_bytes must be 0 or >= 1024, got " +
+        std::to_string(fusion_bytes));
+  if (compressor_spec.empty())
+    add("compressor_spec must be non-empty (e.g. \"ssgd\")");
+  return err;
+}
+
+Session::Session(Transport& transport, std::string job_id, int world_size,
+                 SessionOptions options)
+    : transport_(&transport), job_id_(std::move(job_id)),
+      world_size_(world_size), options_(std::move(options)) {
+  const std::string err = options_.Validate();
+  ACPS_CHECK_MSG(err.empty(), "invalid SessionOptions for job '"
+                                  << job_id_ << "': " << err);
+  state_ = transport_->OpenChannel(job_id_, world_size_, options_.algo);
+}
+
+Session::~Session() {
+  if (state_ != nullptr) transport_->CloseChannel(world_size_);
+}
+
+uint64_t Session::envelope_salt() const noexcept {
+  return state_->envelope_salt;
+}
+
+const std::string& Session::metric_prefix() const noexcept {
+  return state_->metric_prefix;
+}
+
+void Session::set_contract_checking(bool on) noexcept {
+  state_->contract_enabled = on;
+}
+
+bool Session::contract_checking() const noexcept {
+  return state_->contract_enabled;
+}
+
+void Session::set_fault_injector(fault::FaultInjector* injector) noexcept {
+  state_->injector = injector;
+}
+
+fault::FaultInjector* Session::fault_injector() const noexcept {
+  return state_->injector;
+}
+
+void Session::Run(const std::function<void(Communicator&)>& fn) {
+  last_run_stats_.assign(static_cast<size_t>(world_size_), TrafficStats{});
+  detail::GroupState* st = state_.get();
+  // Observability attachment is sampled per Run so set_tracer/set_metrics
+  // on the transport take effect for the next job step, like the old
+  // ThreadGroup contract.
+  st->tracer = transport_->tracer();
+  st->metrics = transport_->metrics();
+  // Reset barrier, error, membership, mailbox, and contract state: an
+  // aborted or degraded previous Run may have left the sense-reversing
+  // barrier mid-flip, ranks marked dead, and mailboxes holding old
+  // envelopes.
+  st->aborted = false;
+  st->arrived = 0;
+  st->sense = false;
+  st->first_error = nullptr;
+  st->abort_reason.clear();
+  st->contract.Reset(world_size_);
+  st->mailbox.assign(static_cast<size_t>(world_size_), detail::Mailbox{});
+  st->retry_flag.assign(static_cast<size_t>(world_size_), 0);
+  st->alive.assign(static_cast<size_t>(world_size_), 1);
+  st->alive_count = world_size_;
+  st->crashed.clear();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    threads.emplace_back([this, st, r, &fn] {
+      Communicator comm(st, r, world_size_);
+      try {
+        fn(comm);
+      } catch (const fault::RankCrashed&) {
+        // Fail-stop: the rank already marked itself dead at its collective
+        // entry; the surviving ranks reconfigure and finish the run.
+      } catch (...) {
+        {
+          std::lock_guard lock(st->err_mu);
+          if (!st->first_error) st->first_error = std::current_exception();
+        }
+        st->Abort();
+      }
+      last_run_stats_[static_cast<size_t>(r)] = comm.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (st->first_error) std::rethrow_exception(st->first_error);
+}
+
+const std::vector<int>& Session::crashed_ranks() const noexcept {
+  return state_->crashed;
+}
+
+TrafficStats Session::total_stats() const {
+  TrafficStats total;
+  for (const auto& s : last_run_stats_) {
+    total.bytes_sent += s.bytes_sent;
+    total.messages_sent += s.messages_sent;
+    total.collectives += s.collectives;
+  }
+  return total;
+}
+
+void Session::ObserveStepMs(double ms) {
+  obs::MetricsRegistry* metrics = transport_->metrics();
+  if (metrics == nullptr) return;
+  metrics->histogram(state_->metric_prefix + "step_ms").Observe(ms);
+}
+
+}  // namespace acps::comm

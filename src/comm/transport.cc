@@ -1,0 +1,245 @@
+#include "comm/transport.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace acps::comm {
+namespace detail {
+
+GroupState::GroupState(int p, int64_t timeout_ms)
+    : world_size(p), barrier_timeout_ms(timeout_ms),
+      mailbox(static_cast<size_t>(p)), sizes(static_cast<size_t>(p), 0),
+      retry_flag(static_cast<size_t>(p), 0),
+      alive(static_cast<size_t>(p), 1), alive_count(p) {
+  contract.Reset(p);
+}
+
+std::string GroupState::AbortMessage() const {
+  std::string msg = "communicator group aborted";
+  if (!abort_reason.empty()) msg += ": " + abort_reason;
+  return msg;
+}
+
+void GroupState::Barrier() {
+  // Barrier entry is rank-agnostic here (GroupState does not know which
+  // worker is calling), so the hook reports rank -1; the schedule
+  // controller treats it as a pure perturbation point.
+  check::SchedPoint(check::PointKind::kBarrierEnter, /*rank=*/-1);
+  std::unique_lock lock(mu);
+  if (aborted) throw Error(AbortMessage());
+  if (++arrived >= alive_count) {
+    arrived = 0;
+    sense = !sense;
+    cv.notify_all();
+  } else {
+    const bool my_sense = sense;
+    const auto pred = [&] { return sense != my_sense || aborted; };
+    if (barrier_timeout_ms > 0) {
+      if (!cv.wait_for(lock, std::chrono::milliseconds(barrier_timeout_ms),
+                       pred)) {
+        // Some worker never arrived: collective mismatch or a hung worker.
+        // Compose the watchdog report (who is blocked in which collective),
+        // abort the whole group so every waiter unblocks, and surface the
+        // report through every thrown error.
+        std::string report =
+            "collective watchdog: barrier timeout after " +
+            std::to_string(barrier_timeout_ms) +
+            " ms — a worker never reached the collective (mismatched "
+            "collective sequence or hung worker)\n" +
+            contract.BlockedReport();
+        aborted = true;
+        abort_reason = report;
+        cv.notify_all();
+        throw Error(report);
+      }
+    } else {
+      cv.wait(lock, pred);
+    }
+    if (aborted) throw Error(AbortMessage());
+  }
+}
+
+void GroupState::Abort() {
+  std::lock_guard lock(mu);
+  aborted = true;
+  cv.notify_all();
+}
+
+void GroupState::MarkDead(int rank) {
+  std::lock_guard lock(mu);
+  auto& a = alive[static_cast<size_t>(rank)];
+  if (a == 0) return;
+  a = 0;
+  --alive_count;
+  crashed.push_back(rank);
+  contract.SetDead(rank);
+  if (alive_count > 0 && arrived >= alive_count) {
+    arrived = 0;
+    sense = !sense;
+  }
+  cv.notify_all();
+}
+
+void GroupState::CheckedRendezvous(int rank, const CollectiveFingerprint& fp) {
+  if (!contract_enabled) return;
+  contract.Deposit(rank, fp);
+  Barrier();
+  if (auto diff = contract.Validate()) throw Error(*diff);
+  Barrier();
+}
+
+}  // namespace detail
+
+namespace {
+
+// ACPS_COLLECTIVE_TIMEOUT_MS resolution for the kCollectiveTimeoutFromEnv
+// default: unset/unparsable -> 60000, <= 0 -> watchdog disabled.
+int64_t ResolveBarrierTimeout(int64_t requested) {
+  if (requested != kCollectiveTimeoutFromEnv) return requested;
+  if (const char* env = std::getenv("ACPS_COLLECTIVE_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<int64_t>(v);
+  }
+  return 60000;
+}
+
+// Contract checking defaults on in sanitizer builds (the cmake presets
+// define ACPS_SANITIZE_BUILD) and off otherwise; ACPS_COLLECTIVE_CONTRACT
+// (0/1) overrides either way.
+bool ResolveContractDefault() {
+  if (const char* env = std::getenv("ACPS_COLLECTIVE_CONTRACT"))
+    return env[0] != '\0' && env[0] != '0';
+#ifdef ACPS_SANITIZE_BUILD
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+std::string TransportOptions::Validate() const {
+  std::string err;
+  const auto add = [&err](const std::string& msg) {
+    if (!err.empty()) err += "; ";
+    err += msg;
+  };
+  if (max_sessions < 0)
+    add("max_sessions must be >= 0 (0 = unlimited), got " +
+        std::to_string(max_sessions));
+  if (max_total_ranks < 0)
+    add("max_total_ranks must be >= 0 (0 = unlimited), got " +
+        std::to_string(max_total_ranks));
+  return err;
+}
+
+Transport::Transport(TransportOptions options) : options_(options) {
+  const std::string err = options_.Validate();
+  ACPS_CHECK_MSG(err.empty(), "invalid TransportOptions: " << err);
+  options_.barrier_timeout_ms =
+      ResolveBarrierTimeout(options_.barrier_timeout_ms);
+}
+
+Transport::~Transport() = default;
+
+void Transport::set_tracer(obs::Tracer* tracer) noexcept {
+  std::lock_guard lock(mu_);
+  tracer_ = tracer;
+}
+
+obs::Tracer* Transport::tracer() const noexcept {
+  std::lock_guard lock(mu_);
+  return tracer_;
+}
+
+void Transport::set_metrics(obs::MetricsRegistry* metrics) noexcept {
+  std::lock_guard lock(mu_);
+  metrics_ = metrics;
+}
+
+obs::MetricsRegistry* Transport::metrics() const noexcept {
+  std::lock_guard lock(mu_);
+  return metrics_;
+}
+
+int Transport::active_sessions() const {
+  std::lock_guard lock(mu_);
+  return active_sessions_;
+}
+
+int Transport::active_ranks() const {
+  std::lock_guard lock(mu_);
+  return active_ranks_;
+}
+
+uint64_t Transport::sessions_opened() const {
+  std::lock_guard lock(mu_);
+  return sessions_opened_;
+}
+
+uint64_t Transport::EnvelopeSalt(const std::string& job_id) {
+  if (job_id.empty()) return 0;
+  // FNV-1a over the id, then a SplitMix64-style finalizer: deterministic
+  // per job id (the solo-parity gate re-runs a job under the same id and
+  // must see identical behaviour), well-mixed across ids.
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : job_id) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  // A salt of 0 means "anonymous session"; never let a named job collide
+  // with it.
+  return h == 0 ? 1 : h;
+}
+
+std::unique_ptr<detail::GroupState> Transport::OpenChannel(
+    const std::string& job_id, int world_size, AllReduceAlgo default_algo) {
+  ACPS_CHECK_MSG(world_size >= 1, "world_size must be >= 1, got "
+                                      << world_size << " (job '" << job_id
+                                      << "')");
+  ACPS_CHECK_MSG(default_algo != AllReduceAlgo::kSessionDefault,
+                 "session default algo must be concrete (kRing or kNaive)");
+  {
+    std::lock_guard lock(mu_);
+    if (options_.max_sessions > 0 &&
+        active_sessions_ + 1 > options_.max_sessions) {
+      throw Error("transport at capacity: " + std::to_string(active_sessions_) +
+                  " open sessions of max " +
+                  std::to_string(options_.max_sessions) +
+                  " (rejecting job '" + job_id + "')");
+    }
+    if (options_.max_total_ranks > 0 &&
+        active_ranks_ + world_size > options_.max_total_ranks) {
+      throw Error("transport at capacity: " + std::to_string(active_ranks_) +
+                  " ranks in use of max " +
+                  std::to_string(options_.max_total_ranks) +
+                  " (rejecting job '" + job_id + "', world_size " +
+                  std::to_string(world_size) + ")");
+    }
+    ++active_sessions_;
+    active_ranks_ += world_size;
+    ++sessions_opened_;
+  }
+  auto state = std::make_unique<detail::GroupState>(
+      world_size, options_.barrier_timeout_ms);
+  state->contract_enabled = ResolveContractDefault();
+  state->envelope_salt = EnvelopeSalt(job_id);
+  state->job_id = job_id;
+  state->metric_prefix = job_id.empty() ? "" : "job/" + job_id + "/";
+  state->default_algo = default_algo;
+  return state;
+}
+
+void Transport::CloseChannel(int world_size) noexcept {
+  std::lock_guard lock(mu_);
+  --active_sessions_;
+  active_ranks_ -= world_size;
+}
+
+}  // namespace acps::comm

@@ -158,4 +158,13 @@ class AcpSgdAggregator final : public GradientAggregator {
                                                   bool error_feedback = true,
                                                   bool reuse = true);
 
+// Spec-string factory, the bridge from comm::SessionOptions::compressor_spec
+// to an AggregatorFactory. Grammar: "ssgd", "acpsgd[:rank]" (default 4),
+// "powersgd[:rank]" (default 4), "sign", "topk[:ratio]" (default 0.001),
+// "randomk[:ratio]" (default 0.01). `buffer_bytes` is the fusion budget for
+// the bucketed methods; 0 means fusion::kDefaultBufferBytes. Throws
+// acps::Error on an unknown name or an out-of-range parameter.
+[[nodiscard]] AggregatorFactory MakeAggregatorFactory(const std::string& spec,
+                                                      int64_t buffer_bytes = 0);
+
 }  // namespace acps::core

@@ -2,6 +2,7 @@
 
 #include "check/sched_point.h"
 #include "compress/powersgd.h"
+#include "obs/tracer.h"
 
 namespace acps::core {
 

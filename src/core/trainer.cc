@@ -8,6 +8,7 @@
 #include "dnn/loss.h"
 #include "dnn/mini_models.h"
 #include "metrics/csv.h"
+#include "obs/tracer.h"
 #include "par/thread_pool.h"
 
 namespace acps::core {
@@ -48,22 +49,20 @@ std::string TrainConfig::Validate(int world_size) const {
   return err;
 }
 
-TrainResult TrainDistributed(comm::ThreadGroup& group,
-                             const TrainConfig& config,
-                             const AggregatorFactory& factory) {
-  const std::string err = config.Validate(group.world_size());
-  ACPS_CHECK_MSG(err.empty(), "invalid TrainConfig: " << err);
+namespace {
 
-  // Size the kernel pool before any worker touches it: the ring workers all
-  // share the global pool (busy callers fall back to inline execution), so
-  // the budget is divided across them unless explicitly requested.
-  par::SetNumThreads(
-      par::WorkerThreadBudget(config.compute_threads, group.world_size()));
+// Shared training body. Validation and pool sizing happen in the public
+// overloads; this runs the replicas on whichever session it is handed.
+TrainResult TrainImpl(comm::Session& session, const TrainConfig& config,
+                      const AggregatorFactory& factory) {
+  // Per-job step latency goes to the session namespace only for named jobs;
+  // the anonymous legacy session keeps the historical train.* names alone.
+  const bool observe_session_steps = !session.job_id().empty();
 
   TrainResult result;
   std::mutex result_mu;
 
-  group.Run([&](comm::Communicator& comm) {
+  session.Run([&](comm::Communicator& comm) {
     const int rank = comm.rank();
     const int world = comm.world_size();
     obs::Tracer* tracer = comm.tracer();
@@ -140,12 +139,16 @@ TrainResult TrainDistributed(comm::ThreadGroup& group,
             epoch + static_cast<double>(it) / std::max<int64_t>(1, iters_per_epoch);
         opt.Step(frac_epoch);
 
-        if (metrics && rank == 0) {
-          metrics->counter("train.steps").Add();
-          metrics->histogram("train.step_us")
-              .Observe(std::chrono::duration<double, std::micro>(
-                           std::chrono::steady_clock::now() - step_t0)
-                           .count());
+        if (rank == 0) {
+          const double step_us =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - step_t0)
+                  .count();
+          if (metrics) {
+            metrics->counter("train.steps").Add();
+            metrics->histogram("train.step_us").Observe(step_us);
+          }
+          if (observe_session_steps) session.ObserveStepMs(step_us / 1000.0);
         }
       }
 
@@ -188,6 +191,35 @@ TrainResult TrainDistributed(comm::ThreadGroup& group,
                        << config.history_csv_path);
   }
   return result;
+}
+
+}  // namespace
+
+TrainResult TrainDistributed(comm::ThreadGroup& group,
+                             const TrainConfig& config,
+                             const AggregatorFactory& factory) {
+  const std::string err = config.Validate(group.world_size());
+  ACPS_CHECK_MSG(err.empty(), "invalid TrainConfig: " << err);
+
+  // Single-tenant path: size the kernel pool before any worker touches it.
+  // The ring workers all share the global pool (busy callers fall back to
+  // inline execution), so the budget is divided across them unless
+  // explicitly requested.
+  par::SetNumThreads(
+      par::WorkerThreadBudget(config.compute_threads, group.world_size()));
+
+  return TrainImpl(group.session(), config, factory);
+}
+
+TrainResult TrainDistributed(comm::Session& session, const TrainConfig& config,
+                             const AggregatorFactory& factory) {
+  const std::string err = config.Validate(session.world_size());
+  ACPS_CHECK_MSG(err.empty(), "invalid TrainConfig for job '"
+                                  << session.job_id() << "': " << err);
+  // Multi-tenant path: never resize the shared pool — tenants donate their
+  // own worker threads via the pool's inline fallback instead (DESIGN.md
+  // §7), which keeps results bitwise independent of the tenant count.
+  return TrainImpl(session, config, factory);
 }
 
 }  // namespace acps::core

@@ -65,7 +65,19 @@ struct TrainResult {
 
 // Runs the experiment on `group` (one worker per communicator rank).
 // The factory is called once per worker, inside that worker's thread.
+// DEPRECATED with comm::ThreadGroup: sizes the global kernel pool for this
+// group as the sole tenant, then delegates to the Session overload.
 [[nodiscard]] TrainResult TrainDistributed(comm::ThreadGroup& group,
+                                           const TrainConfig& config,
+                                           const AggregatorFactory& factory);
+
+// Session overload: runs the experiment as one tenant of a shared transport.
+// Does NOT resize the global kernel pool — concurrent jobs share it and
+// busy-pool callers fall back to inline execution (the thread-budget
+// donation rule, DESIGN.md §7), so results stay bitwise identical at any
+// tenant count. Rank 0 also records per-step latency into the session's
+// `job/<id>/step_ms` histogram for named jobs.
+[[nodiscard]] TrainResult TrainDistributed(comm::Session& session,
                                            const TrainConfig& config,
                                            const AggregatorFactory& factory);
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 
 namespace acps::comm {
 namespace {
@@ -338,6 +339,107 @@ TEST(ThreadGroup, TimeoutDoesNotFireOnHealthyRuns) {
     ++ok;
   });
   EXPECT_EQ(ok.load(), 4);
+}
+
+// --- Session path (the non-deprecated API) ---------------------------------
+// The same collectives exercised through Transport + Session directly, so
+// both entry points stay covered while ThreadGroup remains a shim.
+
+TEST(Session, RingAllReduceSumsAcrossWorkers) {
+  constexpr int kWorld = 4;
+  constexpr size_t kN = 64;
+  Transport transport;
+  Session session(transport, "comm-test", kWorld);
+  const auto expected = ExpectedSum(kWorld, kN);
+  session.Run([&](Communicator& comm) {
+    auto v = PatternFor(comm.rank(), kN);
+    comm.all_reduce(v);
+    for (size_t i = 0; i < kN; ++i) EXPECT_FLOAT_EQ(v[i], expected[i]);
+  });
+}
+
+TEST(Session, SequentialCollectivesStayConsistent) {
+  Transport transport;
+  Session session(transport, "comm-test", 3);
+  session.Run([&](Communicator& comm) {
+    for (int iter = 0; iter < 5; ++iter) {
+      auto v = PatternFor(comm.rank(), 32);
+      comm.all_reduce(v);
+      const auto expected = ExpectedSum(3, 32);
+      for (size_t i = 0; i < v.size(); ++i) EXPECT_FLOAT_EQ(v[i], expected[i]);
+
+      std::vector<float> b(16, comm.rank() == 1 ? 7.5f : 0.0f);
+      comm.broadcast(b, /*root=*/1);
+      for (const float x : b) EXPECT_FLOAT_EQ(x, 7.5f);
+    }
+  });
+}
+
+TEST(Session, ReusableAcrossRuns) {
+  Transport transport;
+  Session session(transport, "comm-test", 2);
+  for (int run = 0; run < 3; ++run) {
+    session.Run([&](Communicator& comm) {
+      std::vector<float> v(8, static_cast<float>(comm.rank() + run));
+      comm.all_reduce(v);
+      for (const float x : v)
+        EXPECT_FLOAT_EQ(x, static_cast<float>(2 * run + 1));
+    });
+    // Traffic is per-Run, not cumulative across Runs: ring all-reduce of 8
+    // floats at p=2 costs each worker 2*(p-1)*(n/p) = 8 floats on the wire.
+    EXPECT_EQ(session.total_stats().bytes_sent, 2u * 8u * sizeof(float));
+  }
+}
+
+TEST(Session, ConcurrentSessionsShareOneTransport) {
+  // Two independent jobs on one transport, driven from two plain threads
+  // (what TrainingService does with runner threads). Each must see only its
+  // own ranks' contributions.
+  Transport transport;
+  Session a(transport, "job-a", 2);
+  Session b(transport, "job-b", 3);
+  EXPECT_EQ(transport.active_sessions(), 2);
+  EXPECT_EQ(transport.active_ranks(), 5);
+
+  std::atomic<int> ok{0};
+  std::thread ta([&] {
+    a.Run([&](Communicator& comm) {
+      for (int i = 0; i < 20; ++i) {
+        std::vector<float> v(64, 1.0f);
+        comm.all_reduce(v);
+        for (const float x : v) ASSERT_FLOAT_EQ(x, 2.0f);
+      }
+      ++ok;
+    });
+  });
+  std::thread tb([&] {
+    b.Run([&](Communicator& comm) {
+      for (int i = 0; i < 20; ++i) {
+        std::vector<float> v(64, 1.0f);
+        comm.all_reduce(v);
+        for (const float x : v) ASSERT_FLOAT_EQ(x, 3.0f);
+      }
+      ++ok;
+    });
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(ok.load(), 5);
+}
+
+TEST(Session, ThreadGroupIsAThinShimOverSession) {
+  // The deprecated ThreadGroup exposes its backing Session: an anonymous
+  // tenant (salt 0, no metric prefix) with the ring default.
+  ThreadGroup group(2);
+  EXPECT_EQ(group.session().job_id(), "");
+  EXPECT_EQ(group.session().envelope_salt(), 0u);
+  EXPECT_EQ(group.session().world_size(), 2);
+  group.Run([](Communicator& comm) {
+    std::vector<float> v(8, 1.0f);
+    comm.all_reduce(v);
+  });
+  EXPECT_EQ(group.total_stats().bytes_sent,
+            group.session().total_stats().bytes_sent);
 }
 
 }  // namespace

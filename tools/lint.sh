@@ -90,6 +90,15 @@ ban libc-rand '(^|[^_[:alnum:]])s?rand(om)?\(' src tests bench examples
 # harnesses fail loudly but recoverably.
 ban abort-exit '(^|[^_[:alnum:]])(abort|exit)\([^)]*\)' src
 
+# detail::GroupState is the transport's private channel block. Sessions own
+# one, Communicators borrow one — nothing above src/comm may name it, or
+# tenants could bypass session-scoped salts/metrics/fault routing and reach
+# into another job's mailboxes.
+ban groupstate-outside-comm 'detail::GroupState' \
+    src/check src/compress src/core src/dnn src/fault src/fusion src/linalg \
+    src/metrics src/models src/obs src/par src/sim src/tensor \
+    tests bench examples
+
 if [ "$FAILURES" -eq 0 ]; then
   note "banned-pattern checks: clean"
 fi
@@ -149,6 +158,11 @@ layer_check fault-points-no-deps \
 layer_check par-no-deps \
     '^(check|comm|compress|core|dnn|fusion|linalg|metrics|models|obs|sim|tensor)/' \
     '' src/par
+# Within src/comm the shared Transport sits strictly below the per-job
+# Session and the Communicator: transport.{h,cc} including either would
+# invert the tenancy layering (the substrate must not know its tenants).
+layer_check transport-below-session '^comm/(session|communicator)\.h$' '' \
+    src/comm/transport.h src/comm/transport.cc
 if [ "$FAILURES" -eq 0 ]; then
   note "layering checks: clean"
 fi
