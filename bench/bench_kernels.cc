@@ -220,11 +220,11 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
-    } else if (arg.rfind("--out=", 0) == 0) {
+    } else if (arg.starts_with("--out=")) {
       out_path = arg.substr(6);
-    } else if (arg.rfind("--check=", 0) == 0) {
+    } else if (arg.starts_with("--check=")) {
       check_path = arg.substr(8);
-    } else if (arg.rfind("--threads=", 0) == 0) {
+    } else if (arg.starts_with("--threads=")) {
       threads = std::atoi(arg.c_str() + 10);
     } else {
       std::fprintf(stderr,

@@ -3,11 +3,18 @@
 # repo lint, the three-preset sanitizer build matrix, the schedule-
 # exploration model checker, and the coverage gate.
 #
-#   ./ci.sh                 # lint + release + tsan + asan-ubsan + modelcheck
-#                           #   + chaos + tenant + perf-smoke
-#   ./ci.sh lint tsan       # any subset of:
-#                           #   lint release tsan asan-ubsan modelcheck
+#   ./ci.sh                 # analyze + release + tsan + asan-ubsan
+#                           #   + modelcheck + chaos + tenant + perf-smoke
+#   ./ci.sh analyze tsan    # any subset of:
+#                           #   analyze release tsan asan-ubsan modelcheck
 #                           #   chaos tenant perf-smoke coverage
+#                           #   (`lint` is an alias for `analyze`)
+#
+# The `analyze` leg runs first, before any build preset: tools/lint.sh
+# dispatches to acps-analyze (tools/analyzer/ — layering, determinism,
+# lock-order, sched-point coverage, tsan.supp policy; self-proving via its
+# fixture mutation gate) and then clang-tidy when available. Static findings
+# surface in seconds, before the first compile.
 #
 # Presets come from CMakePresets.json; the sanitizer test presets exclude
 # the `sanitizer-slow` ctest label (long convergence runs) and load
@@ -37,7 +44,7 @@ ACPS_COV_MIN_FAULT=80.0
 JOBS="${JOBS:-$(nproc)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(lint release tsan asan-ubsan modelcheck chaos tenant perf-smoke)
+  LEGS=(analyze release tsan asan-ubsan modelcheck chaos tenant perf-smoke)
 fi
 
 run_preset() {
@@ -51,8 +58,8 @@ run_preset() {
 
 for leg in "${LEGS[@]}"; do
   case "$leg" in
-    lint)
-      echo "==================== lint ===================="
+    analyze|lint)
+      echo "==================== analyze ===================="
       tools/lint.sh
       ;;
     release|tsan|asan-ubsan)
@@ -108,7 +115,7 @@ for leg in "${LEGS[@]}"; do
           "$ACPS_COV_MIN_PAR" "$ACPS_COV_MIN_CORE" "$ACPS_COV_MIN_FAULT"
       ;;
     *)
-      echo "ci.sh: unknown leg '$leg' (expected: lint release tsan" \
+      echo "ci.sh: unknown leg '$leg' (expected: analyze release tsan" \
            "asan-ubsan modelcheck chaos tenant perf-smoke coverage)" >&2
       exit 2
       ;;

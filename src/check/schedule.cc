@@ -89,7 +89,7 @@ void ScheduleController::Perturb(PointKind kind, int rank) {
                     kind == PointKind::kHandoffPublished)) {
     uint64_t w;
     {
-      std::lock_guard lock(mu_);
+      std::lock_guard lock(replay_mu_);
       w = static_cast<uint64_t>(window_);
     }
     key = (w << 16) ^ (static_cast<uint64_t>(rank) << 8) ^
@@ -108,7 +108,7 @@ void ScheduleController::Perturb(PointKind kind, int rank) {
     case 3:
       std::this_thread::yield();
       {
-        std::lock_guard lock(mu_);
+        std::lock_guard lock(replay_mu_);
         ++stats_.yields;
       }
       break;
@@ -118,7 +118,7 @@ void ScheduleController::Perturb(PointKind kind, int rank) {
       std::this_thread::yield();
       std::this_thread::yield();
       {
-        std::lock_guard lock(mu_);
+        std::lock_guard lock(replay_mu_);
         ++stats_.yields;
       }
       break;
@@ -130,7 +130,7 @@ void ScheduleController::Perturb(PointKind kind, int rank) {
       const auto ticks = static_cast<int64_t>(1 + (h >> 13) % 40);
       fault::VirtualClock::Advance(ticks);
       fault::SpinYield(static_cast<int>(1 + (h >> 7) % 4));
-      std::lock_guard lock(mu_);
+      std::lock_guard lock(replay_mu_);
       ++stats_.sleeps;
       break;
     }
@@ -140,12 +140,12 @@ void ScheduleController::Perturb(PointKind kind, int rank) {
 void ScheduleController::OnSchedPoint(PointKind kind, int rank,
                                       std::span<std::byte> payload) {
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(replay_mu_);
     ++stats_.points;
   }
 
   if (kind == PointKind::kHandoffSend && config_.enforce_order) {
-    std::unique_lock lock(mu_);
+    std::unique_lock lock(replay_mu_);
     const int w = window_;
     const std::vector<int> perm = PermForWindow(w);
     const auto my_turn = [&] {
@@ -166,7 +166,7 @@ void ScheduleController::OnSchedPoint(PointKind kind, int rank,
   }
 
   if (kind == PointKind::kHandoffPublished) {
-    std::unique_lock lock(mu_);
+    std::unique_lock lock(replay_mu_);
     if (config_.fault && window_ == config_.fault->window &&
         rank == config_.fault->rank && payload.size() >= 2) {
       // "Reorder one hand-off": rotate the published chunk by one float
@@ -200,7 +200,7 @@ void ScheduleController::OnSchedPoint(PointKind kind, int rank,
 }
 
 void ScheduleController::ResetRunState() {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(replay_mu_);
   window_ = 0;
   published_in_window_ = 0;
   trace_.clear();
@@ -208,12 +208,12 @@ void ScheduleController::ResetRunState() {
 }
 
 ScheduleController::Stats ScheduleController::stats() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(replay_mu_);
   return stats_;
 }
 
 std::string ScheduleController::Trace() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(replay_mu_);
   std::ostringstream oss;
   const size_t n = trace_.size();
   for (size_t i = 0; i < n; ++i) {

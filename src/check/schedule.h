@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "check/sched_point.h"
+#include "par/lock_level.h"
 
 namespace acps::check {
 
@@ -104,8 +105,11 @@ class ScheduleController final : public SchedListener {
 
   ScheduleConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Level 50: the replay lock is only ever taken from SchedPoint hooks and
+  // harness accessors, never with a comm-layer lock held (hooks fire
+  // outside GroupState::group_mu by design — rule `sched-point-under-lock`).
+  mutable ACPS_LOCK_LEVEL(50) replay_mu_;
+  par::ConditionVariable cv_;
   int window_ = 0;                // current hand-off window
   int published_in_window_ = 0;   // publishes completed in current window
   Stats stats_;

@@ -120,7 +120,7 @@ fault::FaultInjector* Communicator::ActiveInjector() const noexcept {
 }
 
 void Communicator::RefreshView() {
-  std::lock_guard lock(state_->mu);
+  std::lock_guard lock(state_->group_mu);
   view_.clear();
   view_alive_.assign(static_cast<size_t>(world_size_), 0);
   for (int r = 0; r < world_size_; ++r) {

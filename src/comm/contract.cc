@@ -50,20 +50,20 @@ std::string CollectiveFingerprint::Describe() const {
 
 void ContractChecker::Reset(int world_size) {
   ACPS_CHECK_MSG(world_size >= 1, "world_size must be >= 1");
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(contract_mu_);
   deposits_.assign(static_cast<size_t>(world_size), CollectiveFingerprint{});
   status_.assign(static_cast<size_t>(world_size), RankStatus{});
 }
 
 void ContractChecker::Deposit(int rank, const CollectiveFingerprint& fp) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(contract_mu_);
   ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(deposits_.size()),
                  "rank out of range");
   deposits_[static_cast<size_t>(rank)] = fp;
 }
 
 std::optional<std::string> ContractChecker::Validate() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(contract_mu_);
   // Baseline = first alive rank; crashed ranks' deposits are stale by
   // definition and excluded from the comparison.
   int base = -1;
@@ -104,7 +104,7 @@ std::optional<std::string> ContractChecker::Validate() const {
 }
 
 void ContractChecker::SetDead(int rank) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(contract_mu_);
   ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
                  "rank out of range");
   auto& st = status_[static_cast<size_t>(rank)];
@@ -113,21 +113,21 @@ void ContractChecker::SetDead(int rank) {
 }
 
 void ContractChecker::NoteStraggler(int rank, int64_t ticks) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(contract_mu_);
   ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
                  "rank out of range");
   status_[static_cast<size_t>(rank)].straggler_ticks += ticks;
 }
 
 int64_t ContractChecker::straggler_ticks(int rank) const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(contract_mu_);
   ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
                  "rank out of range");
   return status_[static_cast<size_t>(rank)].straggler_ticks;
 }
 
 void ContractChecker::Enter(int rank, const CollectiveFingerprint& fp) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(contract_mu_);
   ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
                  "rank out of range");
   auto& st = status_[static_cast<size_t>(rank)];
@@ -137,14 +137,14 @@ void ContractChecker::Enter(int rank, const CollectiveFingerprint& fp) {
 }
 
 void ContractChecker::Exit(int rank) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(contract_mu_);
   ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
                  "rank out of range");
   status_[static_cast<size_t>(rank)].active = false;
 }
 
 std::string ContractChecker::BlockedReport() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(contract_mu_);
   std::ostringstream oss;
   oss << "per-rank collective status:\n";
   for (size_t r = 0; r < status_.size(); ++r) {

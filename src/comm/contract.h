@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "par/lock_level.h"
+
 namespace acps::comm {
 
 // Which collective a rank is issuing. kNone means "not in a collective".
@@ -110,7 +112,10 @@ class ContractChecker {
     int64_t straggler_ticks = 0;  // cumulative virtual delay charged
   };
 
-  mutable std::mutex mu_;
+  // Level 40: the watchdog composes BlockedReport and MarkDead calls
+  // SetDead while holding GroupState::group_mu (30), so the contract lock
+  // sits strictly below it in the hierarchy.
+  mutable ACPS_LOCK_LEVEL(40) contract_mu_;
   std::vector<CollectiveFingerprint> deposits_;
   std::vector<RankStatus> status_;
 };

@@ -25,7 +25,7 @@ void GroupState::Barrier() {
   // worker is calling), so the hook reports rank -1; the schedule
   // controller treats it as a pure perturbation point.
   check::SchedPoint(check::PointKind::kBarrierEnter, /*rank=*/-1);
-  std::unique_lock lock(mu);
+  std::unique_lock lock(group_mu);
   if (aborted) throw Error(AbortMessage());
   if (++arrived >= alive_count) {
     arrived = 0;
@@ -60,13 +60,13 @@ void GroupState::Barrier() {
 }
 
 void GroupState::Abort() {
-  std::lock_guard lock(mu);
+  std::lock_guard lock(group_mu);
   aborted = true;
   cv.notify_all();
 }
 
 void GroupState::MarkDead(int rank) {
-  std::lock_guard lock(mu);
+  std::lock_guard lock(group_mu);
   auto& a = alive[static_cast<size_t>(rank)];
   if (a == 0) return;
   a = 0;
@@ -144,37 +144,37 @@ Transport::Transport(TransportOptions options) : options_(options) {
 Transport::~Transport() = default;
 
 void Transport::set_tracer(obs::Tracer* tracer) noexcept {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(transport_mu_);
   tracer_ = tracer;
 }
 
 obs::Tracer* Transport::tracer() const noexcept {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(transport_mu_);
   return tracer_;
 }
 
 void Transport::set_metrics(obs::MetricsRegistry* metrics) noexcept {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(transport_mu_);
   metrics_ = metrics;
 }
 
 obs::MetricsRegistry* Transport::metrics() const noexcept {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(transport_mu_);
   return metrics_;
 }
 
 int Transport::active_sessions() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(transport_mu_);
   return active_sessions_;
 }
 
 int Transport::active_ranks() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(transport_mu_);
   return active_ranks_;
 }
 
 uint64_t Transport::sessions_opened() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(transport_mu_);
   return sessions_opened_;
 }
 
@@ -206,7 +206,7 @@ std::unique_ptr<detail::GroupState> Transport::OpenChannel(
   ACPS_CHECK_MSG(default_algo != AllReduceAlgo::kSessionDefault,
                  "session default algo must be concrete (kRing or kNaive)");
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(transport_mu_);
     if (options_.max_sessions > 0 &&
         active_sessions_ + 1 > options_.max_sessions) {
       throw Error("transport at capacity: " + std::to_string(active_sessions_) +
@@ -237,7 +237,7 @@ std::unique_ptr<detail::GroupState> Transport::OpenChannel(
 }
 
 void Transport::CloseChannel(int world_size) noexcept {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(transport_mu_);
   --active_sessions_;
   active_ranks_ -= world_size;
 }

@@ -29,6 +29,7 @@
 
 #include "check/sched_point.h"
 #include "comm/contract.h"
+#include "par/lock_level.h"
 #include "tensor/check.h"
 
 namespace acps::obs {
@@ -108,8 +109,8 @@ struct GroupState {
 
   int world_size;
   int64_t barrier_timeout_ms;
-  std::mutex mu;
-  std::condition_variable cv;
+  ACPS_LOCK_LEVEL(30) group_mu;
+  par::ConditionVariable cv;
   int arrived = 0;
   bool sense = false;
   bool aborted = false;
@@ -139,7 +140,7 @@ struct GroupState {
   std::vector<int> crashed;  // in crash order
 
   // First exception thrown by any worker during Run.
-  std::mutex err_mu;
+  ACPS_LOCK_LEVEL(32) err_mu;
   std::exception_ptr first_error;
 
   // --- Session scope (set once at channel open / before Run) --------------
@@ -164,7 +165,7 @@ struct GroupState {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 
-  // Must be called with `mu` held.
+  // Must be called with `group_mu` held.
   [[nodiscard]] std::string AbortMessage() const;
 
   void Barrier();
@@ -251,7 +252,7 @@ class Transport {
   void CloseChannel(int world_size) noexcept;
 
   TransportOptions options_;
-  mutable std::mutex mu_;
+  mutable ACPS_LOCK_LEVEL(20) transport_mu_;
   int active_sessions_ = 0;
   int active_ranks_ = 0;
   uint64_t sessions_opened_ = 0;

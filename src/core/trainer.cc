@@ -9,6 +9,7 @@
 #include "dnn/mini_models.h"
 #include "metrics/csv.h"
 #include "obs/tracer.h"
+#include "par/lock_level.h"
 #include "par/thread_pool.h"
 
 namespace acps::core {
@@ -60,7 +61,7 @@ TrainResult TrainImpl(comm::Session& session, const TrainConfig& config,
   const bool observe_session_steps = !session.job_id().empty();
 
   TrainResult result;
-  std::mutex result_mu;
+  ACPS_LOCK_LEVEL(95) result_mu;
 
   session.Run([&](comm::Communicator& comm) {
     const int rank = comm.rank();
@@ -98,6 +99,7 @@ TrainResult TrainImpl(comm::Session& session, const TrainConfig& config,
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
       obs::ScopedSpan epoch_span(tracer, "epoch", obs::kCatStep, rank,
                                  /*bytes=*/0, /*arg=*/epoch);
+      // lint:allow(wall-clock) epoch timing feeds metrics only, never control
       const auto epoch_t0 = std::chrono::steady_clock::now();
       // Epoch-local shuffle of this worker's shard (deterministic).
       Rng shuffle = Rng(config.shuffle_seed)
@@ -112,6 +114,7 @@ TrainResult TrainImpl(comm::Session& session, const TrainConfig& config,
       for (int64_t it = 0; it < iters_per_epoch; ++it) {
         obs::ScopedSpan step_span(tracer, "step", obs::kCatStep, rank,
                                   /*bytes=*/0, /*arg=*/it);
+        // lint:allow(wall-clock) step timing feeds metrics only, never control
         const auto step_t0 = std::chrono::steady_clock::now();
         // Assemble the batch from the shuffled shard.
         batch_x = Tensor({config.batch_per_worker, train.features});
@@ -142,7 +145,8 @@ TrainResult TrainImpl(comm::Session& session, const TrainConfig& config,
         if (rank == 0) {
           const double step_us =
               std::chrono::duration<double, std::micro>(
-                  std::chrono::steady_clock::now() - step_t0)
+                  std::chrono::steady_clock::now() -  // lint:allow(wall-clock)
+                  step_t0)
                   .count();
           if (metrics) {
             metrics->counter("train.steps").Add();
@@ -169,7 +173,8 @@ TrainResult TrainImpl(comm::Session& session, const TrainConfig& config,
       if (metrics && rank == 0) {
         metrics->histogram("train.epoch_us")
             .Observe(std::chrono::duration<double, std::micro>(
-                         std::chrono::steady_clock::now() - epoch_t0)
+                         std::chrono::steady_clock::now() -  // lint:allow(wall-clock)
+                         epoch_t0)
                          .count());
       }
     }

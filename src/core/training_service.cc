@@ -89,7 +89,7 @@ JobHandle TrainingService::Submit(const JobSpec& spec,
   ACPS_CHECK_MSG(opt_err.empty(), "invalid SessionOptions for job '"
                                       << spec.name << "': " << opt_err);
 
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(service_mu_);
   JobRecord record;
   record.id = records_.size() + 1;
   record.name = spec.name;
@@ -111,7 +111,7 @@ void TrainingService::RunnerLoop(uint64_t id, JobSpec spec,
   {
     // Admission: wait until both budgets have room. Capacity is re-checked
     // on every release, so queued jobs drain as running ones finish.
-    std::unique_lock lock(mu_);
+    std::unique_lock lock(service_mu_);
     admission_cv_.wait(lock, [&] {
       return active_jobs_ < config_.max_concurrent_jobs &&
              active_ranks_ + spec.world_size <= TotalRankCap();
@@ -153,7 +153,7 @@ void TrainingService::RunnerLoop(uint64_t id, JobSpec spec,
   }
 
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(service_mu_);
     JobRecord& record = records_[id - 1];
     record.state = error.empty() ? JobState::kSucceeded : JobState::kFailed;
     record.error = std::move(error);
@@ -168,7 +168,7 @@ void TrainingService::RunnerLoop(uint64_t id, JobSpec spec,
 }
 
 JobRecord TrainingService::Wait(JobHandle handle) {
-  std::unique_lock lock(mu_);
+  std::unique_lock lock(service_mu_);
   ACPS_CHECK_MSG(handle >= 1 && handle <= records_.size(),
                  "unknown job handle " << handle);
   done_cv_.wait(lock, [&] {
@@ -198,29 +198,29 @@ TrainResult TrainingService::Train(const JobSpec& spec,
 }
 
 JobRecord TrainingService::job(JobHandle handle) const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(service_mu_);
   ACPS_CHECK_MSG(handle >= 1 && handle <= records_.size(),
                  "unknown job handle " << handle);
   return records_[handle - 1];
 }
 
 std::vector<JobRecord> TrainingService::jobs() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(service_mu_);
   return records_;
 }
 
 int TrainingService::active_jobs() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(service_mu_);
   return active_jobs_;
 }
 
 uint64_t TrainingService::submitted() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(service_mu_);
   return records_.size();
 }
 
 uint64_t TrainingService::completed() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(service_mu_);
   return completed_;
 }
 

@@ -24,6 +24,7 @@
 #include "comm/session.h"
 #include "comm/transport.h"
 #include "core/trainer.h"
+#include "par/lock_level.h"
 
 namespace acps::core {
 
@@ -138,9 +139,11 @@ class TrainingService {
   ServiceConfig config_;
   comm::Transport transport_;
 
-  mutable std::mutex mu_;
-  std::condition_variable admission_cv_;  // capacity freed
-  std::condition_variable done_cv_;       // some job reached a terminal state
+  // Level 10: the outermost lock in the hierarchy — held across admission
+  // waits and registry reads, never while calling into the transport.
+  mutable ACPS_LOCK_LEVEL(10) service_mu_;
+  par::ConditionVariable admission_cv_;  // capacity freed
+  par::ConditionVariable done_cv_;       // some job reached a terminal state
   std::vector<JobRecord> records_;        // index = id - 1
   // One runner per job: jobs are long-lived, blocking tenants (each owns
   // worker threads of its own via Session::Run), not parallel-for work

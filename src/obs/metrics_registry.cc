@@ -5,28 +5,28 @@
 namespace acps::obs {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(registry_mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>(&enabled_);
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(registry_mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>(&enabled_);
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(registry_mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(&enabled_);
   return *slot;
 }
 
 std::string MetricsRegistry::DumpText() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(registry_mu_);
   std::ostringstream oss;
   for (const auto& [name, c] : counters_)
     oss << "counter   " << name << " = " << c->value() << "\n";

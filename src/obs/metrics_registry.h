@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "metrics/cdf.h"
+#include "par/lock_level.h"
 
 namespace acps::obs {
 
@@ -59,16 +60,16 @@ class Histogram {
 
   void Observe(double v) {
     if (!enabled_->load(std::memory_order_relaxed)) return;
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(hist_mu_);
     samples_.push_back(v);
   }
   [[nodiscard]] size_t count() const {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(hist_mu_);
     return samples_.size();
   }
   // Empirical CDF over the samples observed so far.
   [[nodiscard]] metrics::Cdf ToCdf() const {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(hist_mu_);
     metrics::Cdf cdf;
     cdf.AddAll(samples_);
     return cdf;
@@ -78,7 +79,9 @@ class Histogram {
 
  private:
   const std::atomic<bool>* enabled_;
-  mutable std::mutex mu_;
+  // Level 92: DumpText snapshots histograms while holding registry_mu_
+  // (90), so the per-instrument lock sits below the registry lock.
+  mutable ACPS_LOCK_LEVEL(92) hist_mu_;
   std::vector<double> samples_;
 };
 
@@ -106,7 +109,9 @@ class MetricsRegistry {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
+  // Level 91: distinct from Tracer::trace_mu_ (90) so every mutex in src/
+  // owns a unique level (acps-analyze `lock-level-unique`).
+  mutable ACPS_LOCK_LEVEL(91) registry_mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "par/lock_level.h"
+
 namespace acps::obs {
 
 // Span categories mirror the simulator's resource labels so the two trace
@@ -65,23 +67,23 @@ class Tracer {
 
   // Thread-safe append (workers record concurrently).
   void Record(SpanEvent event) {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(trace_mu_);
     events_.push_back(std::move(event));
   }
 
   [[nodiscard]] std::vector<SpanEvent> Snapshot() const {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(trace_mu_);
     return events_;
   }
 
   [[nodiscard]] size_t size() const {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(trace_mu_);
     return events_.size();
   }
 
   // Drops all events and restarts the clock origin.
   void Clear() {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(trace_mu_);
     events_.clear();
     origin_ = std::chrono::steady_clock::now();
   }
@@ -96,7 +98,7 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
+  mutable ACPS_LOCK_LEVEL(90) trace_mu_;
   std::vector<SpanEvent> events_;
   std::chrono::steady_clock::time_point origin_;
 };

@@ -6,11 +6,13 @@
 #include <map>
 #include <mutex>
 
+#include "par/lock_level.h"
+
 namespace acps::par {
 namespace {
 
 std::atomic<bool> g_enabled{false};
-std::mutex g_mu;
+ACPS_LOCK_LEVEL(80) g_stats_mu;
 std::map<std::string, KernelStat>& Table() {
   static std::map<std::string, KernelStat> table;
   return table;
@@ -35,7 +37,7 @@ bool KernelStatsEnabled() {
 
 void RecordKernel(const char* name, uint64_t ns, uint64_t flops) {
   if (!KernelStatsEnabled()) return;
-  std::lock_guard lock(g_mu);
+  std::lock_guard lock(g_stats_mu);
   KernelStat& s = Table()[name];
   ++s.calls;
   s.ns += ns;
@@ -43,12 +45,12 @@ void RecordKernel(const char* name, uint64_t ns, uint64_t flops) {
 }
 
 std::vector<std::pair<std::string, KernelStat>> KernelStatsSnapshot() {
-  std::lock_guard lock(g_mu);
+  std::lock_guard lock(g_stats_mu);
   return {Table().begin(), Table().end()};
 }
 
 void ResetKernelStats() {
-  std::lock_guard lock(g_mu);
+  std::lock_guard lock(g_stats_mu);
   Table().clear();
 }
 

@@ -1,0 +1,175 @@
+// Lock-hierarchy annotations and the runtime lockset validator
+// (DESIGN.md "Static analysis": rule family 3, lock-order).
+//
+// Every mutex in src/ declares its place in the repo-wide lock hierarchy:
+//
+//   ACPS_LOCK_LEVEL(40) contract_mu_;   // a mutex at level 40
+//
+// The macro IS the declaration's type. In normal builds it aliases
+// std::mutex, so the annotation costs nothing and the ABI is unchanged. In
+// lock-checked builds (ACPS_LOCK_CHECK, defined by the tsan preset) it
+// expands to LeveledMutex<40>, whose lock() asserts against a thread-local
+// lockset that every level already held is strictly lower — the dynamic
+// twin of the static analysis acps-analyze performs over the same
+// annotations. A violation throws std::logic_error naming both levels, so
+// an inversion fails the test that executed it instead of deadlocking some
+// later run.
+//
+// Hierarchy (acquire downward only; levels are unique per mutex so the
+// static acquisition graph stays a DAG by construction):
+//
+//   10  core::TrainingService::service_mu_   job registry + admission
+//   20  comm::Transport::transport_mu_       capacity accounting, obs hooks
+//   30  comm::detail::GroupState::group_mu   barrier + membership
+//   32  comm::detail::GroupState::err_mu     first-error slot
+//   40  comm::ContractChecker::contract_mu_  deposits + watchdog status
+//                                            (taken under group_mu: the
+//                                            watchdog composes BlockedReport
+//                                            while holding the barrier lock)
+//   50  check::ScheduleController::replay_mu_  model-checker replay state
+//   60  par::ThreadPool::region_mu_          one parallel region in flight
+//   70  par::ThreadPool::pool_mu_            job slot + generation counter
+//   75  par (anon)::g_budget_mu              thread-budget resolution
+//   80  par (anon)::g_stats_mu               kernel-stats table
+//   90  obs::Tracer::trace_mu_               span buffer
+//   91  obs::MetricsRegistry::registry_mu_   instrument table
+//   92  obs::Histogram::hist_mu_             (taken under registry_mu_ by
+//                                            DumpText)
+//   95  core (fn-local)::result_mu           trainer epoch-history slot
+//
+// Like the rest of src/par this header is standard-library-only: it is
+// included by every layer that owns a mutex, so an acps include here would
+// invert the layering (tools/analyzer `include-layering`).
+//
+// Condition variables: std::condition_variable only accepts
+// std::unique_lock<std::mutex>, which LeveledMutex is not under
+// ACPS_LOCK_CHECK. Declare cvs that wait on an annotated mutex as
+// acps::par::ConditionVariable — std::condition_variable in normal builds,
+// condition_variable_any in checked ones (where wait() routes unlock/lock
+// through the validator, keeping the lockset exact across waits).
+//
+// Naming note: the issue-level name for the checked build would be
+// ACPS_CHECK, but that identifier is the assertion macro in tensor/check.h,
+// so the build flag is ACPS_LOCK_CHECK.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>  // lint:allow(lock-annotation) wrapper's backing mutex lives here
+
+#ifdef ACPS_LOCK_CHECK
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#endif
+
+namespace acps::par {
+
+#ifdef ACPS_LOCK_CHECK
+
+namespace lockdetail {
+
+// Levels held by this thread, in acquisition order. The storage must be
+// trivially destructible: static-lifetime owners (the shim ThreadPool,
+// tracer singletons) lock their mutexes from atexit destructors, which on
+// glibc run AFTER the main thread's TLS destructors — a thread_local
+// std::vector here is a heap-use-after-free at exactly that moment. A POD
+// array has no TLS destructor, so the lockset stays valid for the whole
+// process lifetime. inline thread_local: one instance per thread, all TUs.
+inline constexpr std::size_t kMaxHeldLocks = 32;
+inline thread_local int t_held_levels[kMaxHeldLocks];
+inline thread_local std::size_t t_held_count = 0;
+
+inline void AssertAcquirable(int level) {
+  for (std::size_t i = 0; i < t_held_count; ++i) {
+    if (t_held_levels[i] >= level) {
+      throw std::logic_error(
+          "lock-order violation: acquiring lock level " +
+          std::to_string(level) + " while holding level " +
+          std::to_string(t_held_levels[i]) +
+          " (hierarchy in src/par/lock_level.h; acquisitions must strictly "
+          "descend it)");
+    }
+  }
+}
+
+inline void PushLevel(int level) {
+  if (t_held_count == kMaxHeldLocks) {
+    throw std::logic_error(
+        "lockset validator: thread holds more than " +
+        std::to_string(kMaxHeldLocks) +
+        " locks — raise kMaxHeldLocks in src/par/lock_level.h if this "
+        "nesting is intentional");
+  }
+  t_held_levels[t_held_count++] = level;
+}
+
+inline void PopLevel(int level) {
+  // Search from the back: condition-variable waits release the innermost
+  // (most recently pushed) occurrence.
+  for (std::size_t i = t_held_count; i > 0; --i) {
+    if (t_held_levels[i - 1] == level) {
+      for (std::size_t j = i - 1; j + 1 < t_held_count; ++j) {
+        t_held_levels[j] = t_held_levels[j + 1];
+      }
+      --t_held_count;
+      return;
+    }
+  }
+  throw std::logic_error("lockset validator: unlocking level " +
+                         std::to_string(level) + " that this thread holds "
+                         "no record of");
+}
+
+}  // namespace lockdetail
+
+// Validating mutex: Lockable, so lock_guard / unique_lock / scoped_lock and
+// condition_variable_any all work unchanged. try_lock() skips the order
+// assertion — a non-blocking acquisition cannot deadlock, and the pool's
+// nested-region try_to_lock legitimately targets its own level.
+template <int Level>
+class LeveledMutex {
+ public:
+  static constexpr int level = Level;
+
+  void lock() {
+    lockdetail::AssertAcquirable(Level);
+    m_.lock();
+    lockdetail::PushLevel(Level);
+  }
+
+  bool try_lock() {
+    if (!m_.try_lock()) return false;
+    lockdetail::PushLevel(Level);
+    return true;
+  }
+
+  void unlock() {
+    lockdetail::PopLevel(Level);
+    m_.unlock();
+  }
+
+ private:
+  std::mutex m_;  // lint:allow(lock-annotation) the wrapper's backing mutex
+};
+
+using ConditionVariable = std::condition_variable_any;
+
+#else  // !ACPS_LOCK_CHECK
+
+// Annotation-only build: the level lives in the type for acps-analyze to
+// read; the object is exactly a std::mutex.
+template <int Level>
+using LeveledMutex = std::mutex;  // lint:allow(lock-annotation) alias target
+
+using ConditionVariable = std::condition_variable;
+
+#endif  // ACPS_LOCK_CHECK
+
+}  // namespace acps::par
+
+// The annotation macro: use as the TYPE of the mutex declaration.
+//   ACPS_LOCK_LEVEL(30) group_mu;
+// acps-analyze parses these declarations into its level table and rejects
+// any std::mutex / std::shared_mutex in src/ declared without one
+// (rule `lock-annotation`).
+#define ACPS_LOCK_LEVEL(n) ::acps::par::LeveledMutex<(n)>

@@ -8,7 +8,7 @@ namespace acps::par {
 namespace {
 
 // 0 = auto (env / hardware); > 0 = fixed via SetNumThreads.
-std::mutex g_budget_mu;
+ACPS_LOCK_LEVEL(75) g_budget_mu;
 int g_fixed_threads = 0;
 int g_resolved_threads = 0;  // cache of the auto resolution
 
@@ -69,7 +69,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads > 1 ? threads : 1) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(pool_mu_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
@@ -81,14 +81,14 @@ void ThreadPool::Resize(int threads) {
   std::lock_guard region(region_mu_);  // no region may be in flight
   if (target == threads_) return;
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(pool_mu_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
   for (auto& t : workers_) t.join();
   workers_.clear();
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(pool_mu_);
     shutdown_ = false;
     threads_ = target;
     // Respawned workers start at seen_generation 0; the counter must start
@@ -120,7 +120,7 @@ void ThreadPool::WorkerLoop(int worker_index) {
     int64_t nblocks = 0;
     int participants = 0;
     {
-      std::unique_lock lock(mu_);
+      std::unique_lock lock(pool_mu_);
       cv_start_.wait(lock, [&] {
         return shutdown_ || generation_ != seen_generation;
       });
@@ -139,7 +139,7 @@ void ThreadPool::WorkerLoop(int worker_index) {
       error = std::current_exception();
     }
     {
-      std::lock_guard lock(mu_);
+      std::lock_guard lock(pool_mu_);
       if (error && !first_error_) first_error_ = error;
       ++workers_finished_;
     }
@@ -159,7 +159,7 @@ void ThreadPool::Run(int64_t nblocks, const std::function<void(int64_t)>& fn) {
   }
   const int participants = threads_;
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(pool_mu_);
     job_fn_ = &fn;
     job_nblocks_ = nblocks;
     job_participants_ = participants;
@@ -176,7 +176,7 @@ void ThreadPool::Run(int64_t nblocks, const std::function<void(int64_t)>& fn) {
     caller_error = std::current_exception();
   }
 
-  std::unique_lock lock(mu_);
+  std::unique_lock lock(pool_mu_);
   cv_done_.wait(lock, [&] { return workers_finished_ == participants - 1; });
   const std::exception_ptr worker_error = first_error_;
   first_error_ = nullptr;

@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "par/lock_level.h"
+
 namespace acps::par {
 
 // Hard cap on the thread budget; protects against absurd ACPS_NUM_THREADS
@@ -87,11 +89,15 @@ class ThreadPool {
 
   int threads_;
 
-  std::mutex region_mu_;  // held for the duration of one parallel region
+  // Levels 60/70: a region acquires region_mu_ first, then pool_mu_ for
+  // each job hand-off, so the region lock sits above the pool lock in the
+  // hierarchy. Nested regions re-enter region_mu_ via try_to_lock only
+  // (non-blocking, exempt from ordering).
+  ACPS_LOCK_LEVEL(60) region_mu_;  // held for the duration of one parallel region
 
-  std::mutex mu_;  // guards everything below
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
+  ACPS_LOCK_LEVEL(70) pool_mu_;  // guards everything below
+  ConditionVariable cv_start_;
+  ConditionVariable cv_done_;
   uint64_t generation_ = 0;
   int workers_finished_ = 0;
   bool shutdown_ = false;

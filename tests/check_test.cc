@@ -284,7 +284,7 @@ TEST(OracleTest, RegistryCoversThePaperCompressors) {
   const auto known = compress::KnownCompressors();
   const auto has = [&](const std::string& prefix) {
     return std::any_of(known.begin(), known.end(), [&](const std::string& s) {
-      return s.rfind(prefix, 0) == 0;
+      return s.starts_with(prefix);
     });
   };
   EXPECT_TRUE(has("fp16"));

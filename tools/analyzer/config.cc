@@ -1,0 +1,105 @@
+#include "config.h"
+
+#include <sstream>
+
+namespace acps::analyze {
+
+bool PrefixMatches(const std::string& prefix, const std::string& path) {
+  if (prefix.empty() || path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  if (path.size() == prefix.size()) return true;
+  const char last = prefix.back();
+  if (last == '/' || last == '.') return true;
+  return path[prefix.size()] == '/';
+}
+
+bool Config::Parse(const std::string& text, std::string& error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tok(line);
+    std::string kind;
+    if (!(tok >> kind)) continue;
+    std::vector<std::string> rest;
+    for (std::string w; tok >> w;) rest.push_back(w);
+
+    const auto need = [&](size_t n) {
+      if (rest.size() >= n) return true;
+      error = "layers.conf:" + std::to_string(lineno) + ": '" + kind +
+              "' needs at least " + std::to_string(n) + " arguments";
+      return false;
+    };
+
+    if (kind == "module") {
+      if (!need(2)) return false;
+      modules_.push_back(
+          {rest[0], std::vector<std::string>(rest.begin() + 1, rest.end())});
+    } else if (kind == "allow") {
+      if (!need(2)) return false;
+      for (size_t i = 1; i < rest.size(); ++i)
+        allowed_.insert({rest[0], rest[i]});
+    } else if (kind == "open") {
+      if (!need(1)) return false;
+      open_.insert(rest.begin(), rest.end());
+    } else if (kind == "scope") {
+      if (!need(2)) return false;
+      auto& v = scopes_[rest[0]];
+      v.insert(v.end(), rest.begin() + 1, rest.end());
+    } else if (kind == "exempt") {
+      if (!need(2)) return false;
+      auto& v = exempts_[rest[0]];
+      v.insert(v.end(), rest.begin() + 1, rest.end());
+    } else {
+      error = "layers.conf:" + std::to_string(lineno) +
+              ": unknown directive '" + kind + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Config::ModuleOf(const std::string& path) const {
+  for (const auto& m : modules_)
+    for (const auto& p : m.prefixes)
+      if (PrefixMatches(p, path)) return m.name;
+  return "";
+}
+
+std::string Config::ModuleOfIncludeTarget(const std::string& target) const {
+  return ModuleOf("src/" + target);
+}
+
+bool Config::EdgeAllowed(const std::string& from, const std::string& to) const {
+  return allowed_.count({from, to}) > 0;
+}
+
+bool Config::IsOpen(const std::string& module) const {
+  return open_.count(module) > 0;
+}
+
+bool Config::InScope(const std::string& check, const std::string& path) const {
+  const auto sit = scopes_.find(check);
+  if (sit == scopes_.end()) return false;
+  bool in = false;
+  for (const auto& p : sit->second)
+    if (PrefixMatches(p, path)) {
+      in = true;
+      break;
+    }
+  if (!in) return false;
+  const auto eit = exempts_.find(check);
+  if (eit != exempts_.end())
+    for (const auto& p : eit->second)
+      if (PrefixMatches(p, path)) return false;
+  return true;
+}
+
+bool Config::HasScope(const std::string& check) const {
+  return scopes_.count(check) > 0;
+}
+
+}  // namespace acps::analyze

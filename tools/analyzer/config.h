@@ -1,0 +1,71 @@
+// acps-analyze: machine-readable layer table and rule scoping
+// (tools/analyzer/layers.conf).
+//
+// The conf file is line-oriented; '#' starts a comment. Directives:
+//
+//   module <name> <path-prefix...>   declare a module; a file belongs to the
+//                                    FIRST module whose prefix matches, so
+//                                    fine-grained carve-outs (comm.transport,
+//                                    check.points) are listed before their
+//                                    parent directory module.
+//   allow <from> <to...>             <from> may include headers of each <to>.
+//                                    Same-module includes are always legal.
+//   open <module...>                 harness modules (tests/bench/examples):
+//                                    may include anything.
+//   scope <check> <path-prefix...>   files a check applies to.
+//   exempt <check> <path-prefix...>  carve-outs from a check's scope.
+//
+// A prefix matches a path when it is the whole path, names an enclosing
+// directory, or ends with '.' / '/' and is a string prefix — so
+// "src/comm/transport." covers both transport.h and transport.cc.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace acps::analyze {
+
+struct Module {
+  std::string name;
+  std::vector<std::string> prefixes;
+};
+
+class Config {
+ public:
+  // Parses conf text. Returns false and sets `error` on malformed input.
+  bool Parse(const std::string& text, std::string& error);
+
+  // Module owning `path`, "" when none.
+  [[nodiscard]] std::string ModuleOf(const std::string& path) const;
+
+  // Module owning the file an `#include "target"` resolves to (targets are
+  // rooted at src/), "" when the target maps to no module.
+  [[nodiscard]] std::string ModuleOfIncludeTarget(
+      const std::string& target) const;
+
+  [[nodiscard]] bool EdgeAllowed(const std::string& from,
+                                 const std::string& to) const;
+  [[nodiscard]] bool IsOpen(const std::string& module) const;
+
+  // True when `check` applies to `path`: inside the check's scope and not
+  // exempted. Checks with no scope directive apply nowhere (the conf is the
+  // single source of truth; a missing scope line is a dead rule, which the
+  // self-test's mutation gate then reports).
+  [[nodiscard]] bool InScope(const std::string& check,
+                             const std::string& path) const;
+  [[nodiscard]] bool HasScope(const std::string& check) const;
+
+ private:
+  std::vector<Module> modules_;
+  std::set<std::pair<std::string, std::string>> allowed_;
+  std::set<std::string> open_;
+  std::map<std::string, std::vector<std::string>> scopes_;
+  std::map<std::string, std::vector<std::string>> exempts_;
+};
+
+// True when `prefix` matches `path` per the rules above.
+bool PrefixMatches(const std::string& prefix, const std::string& path);
+
+}  // namespace acps::analyze

@@ -1,0 +1,27 @@
+// acps-fixture-path: src/dnn/fixture_banned.cc
+// acps-expect: naked-new naked-delete raw-thread raw-sleep libc-rand abort-exit groupstate-outside-comm
+//
+// Known-bad twin for the banned-idiom checks migrated from tools/lint.sh:
+// each statement below is one forbidden pattern, and the self-test requires
+// every listed check to fire on this file — and nothing else to.
+#include <thread>
+
+namespace acps::dnn {
+
+void AllTheForbiddenThings() {
+  int* leak = new int[4];
+  delete[] leak;
+
+  std::thread worker([] {});
+  worker.join();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  int r = rand();
+  if (r < 0) abort();
+
+  acps::comm::detail::GroupState* reached_across_layers = nullptr;
+  (void)reached_across_layers;
+}
+
+}  // namespace acps::dnn

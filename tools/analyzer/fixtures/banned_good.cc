@@ -1,0 +1,19 @@
+// acps-fixture-path: src/dnn/fixture_banned.cc
+// acps-expect-clean
+//
+// Known-good twin of banned_bad.cc: the same jobs done the sanctioned way.
+// Mentions of forbidden idioms in comments ("never call exit(1) here") and
+// strings must not fire either — the analyzer matches stripped code only.
+#include <memory>
+#include <vector>
+
+namespace acps::dnn {
+
+void AllTheSanctionedThings() {
+  auto owned = std::make_unique<std::vector<int>>(4);
+  owned->push_back(1);  // a naked new/delete pair would fail the lint
+  const char* msg = "on error we throw acps::Error, not abort() or exit(1)";
+  (void)msg;
+}
+
+}  // namespace acps::dnn

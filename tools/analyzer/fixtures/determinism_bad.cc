@@ -1,0 +1,26 @@
+// acps-fixture-path: src/dnn/fixture_determinism.cc
+// acps-expect: wall-clock thread-id random-device unordered-iter
+//
+// Known-bad twin for the determinism audit: every statement makes a run
+// depend on something other than its inputs (the clock, the scheduler's
+// thread placement, an entropy source, or hash-table iteration order).
+#include <chrono>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+namespace acps::dnn {
+
+std::unordered_map<int, double> scores_;
+
+double NondeterministicSoup() {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  (void)std::this_thread::get_id();
+  std::random_device entropy;
+  double sum = static_cast<double>(entropy());
+  for (const auto& kv : scores_) sum += kv.second;
+  return sum;
+}
+
+}  // namespace acps::dnn

@@ -1,0 +1,24 @@
+// acps-fixture-path: src/dnn/fixture_determinism.cc
+// acps-expect-clean
+//
+// Known-good twin of determinism_bad.cc: seeded streams, sorted iteration,
+// and time only as data (a duration parameter), never as an input read here.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace acps::dnn {
+
+std::map<int, double> ordered_scores_;
+
+double DeterministicSoup(uint64_t seed, int64_t virtual_ticks) {
+  double sum = static_cast<double>(seed ^ static_cast<uint64_t>(virtual_ticks));
+  for (const auto& kv : ordered_scores_) sum += kv.second;
+  std::vector<int> keys;
+  for (const auto& kv : ordered_scores_) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  return sum + static_cast<double>(keys.size());
+}
+
+}  // namespace acps::dnn

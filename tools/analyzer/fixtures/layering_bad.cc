@@ -1,0 +1,15 @@
+// acps-fixture-path: src/tensor/fixture_layering.cc
+// acps-expect: include-layering
+//
+// Known-bad twin for include-layering: the compute layer reaching up into
+// the communication and runtime layers — both edges are absent from
+// layers.conf (the old `compute-below-runtime` rule).
+#include "comm/transport.h"
+#include "core/trainer.h"
+#include "tensor/tensor.h"
+
+namespace acps {
+
+int FixtureUsesInvertedDeps() { return 0; }
+
+}  // namespace acps

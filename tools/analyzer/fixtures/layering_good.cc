@@ -1,0 +1,14 @@
+// acps-fixture-path: src/tensor/fixture_layering.cc
+// acps-expect-clean
+//
+// Known-good twin of layering_bad.cc: same-module includes and the one
+// downward edge tensor is allowed (par, for the kernel pool).
+#include "par/parallel.h"
+#include "tensor/check.h"
+#include "tensor/tensor.h"
+
+namespace acps {
+
+int FixtureUsesHonestDeps() { return 1; }
+
+}  // namespace acps

@@ -1,0 +1,23 @@
+// acps-fixture-path: src/obs/fixture_annotation.h
+// acps-expect: lock-annotation
+//
+// Known-bad twin for lock-annotation: a raw std::mutex declaration in src/
+// carries no hierarchy level, so neither the static analyzer nor the
+// runtime lockset validator can order it.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+namespace acps::obs {
+
+class FixtureUnordered {
+ public:
+  void Set(std::string v);
+
+ private:
+  std::mutex m_;
+  std::string value_;
+};
+
+}  // namespace acps::obs

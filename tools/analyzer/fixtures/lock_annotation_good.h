@@ -1,0 +1,23 @@
+// acps-fixture-path: src/obs/fixture_annotation.h
+// acps-expect-clean
+//
+// Known-good twin of lock_annotation_bad.h: the same mutex declared through
+// ACPS_LOCK_LEVEL, giving it a place in the repo-wide hierarchy.
+#pragma once
+
+#include <string>
+
+#include "par/lock_level.h"
+
+namespace acps::obs {
+
+class FixtureOrdered {
+ public:
+  void Set(std::string v);
+
+ private:
+  ACPS_LOCK_LEVEL(85) fixture_mu_;
+  std::string value_;
+};
+
+}  // namespace acps::obs

@@ -1,0 +1,26 @@
+// acps-fixture-path: src/core/fixture_call.cc
+// acps-expect: lock-order
+//
+// Known-bad twin for the call-edge leg of lock-order: the inversion hides
+// one call deep. Outer() holds level 47 and calls RefreshFixtureCache(),
+// whose body acquires level 45 — no single function shows both guards, but
+// the depth-1 call analysis still sees the descending edge.
+#include <mutex>
+
+#include "par/lock_level.h"
+
+namespace acps::core {
+
+ACPS_LOCK_LEVEL(45) cache_mu;
+ACPS_LOCK_LEVEL(47) outer_mu;
+
+void RefreshFixtureCache() {
+  std::lock_guard c(cache_mu);
+}
+
+void Outer() {
+  std::lock_guard o(outer_mu);
+  RefreshFixtureCache();
+}
+
+}  // namespace acps::core

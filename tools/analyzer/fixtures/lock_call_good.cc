@@ -1,0 +1,26 @@
+// acps-fixture-path: src/core/fixture_call.cc
+// acps-expect-clean
+//
+// Known-good twin of lock_call_bad.cc: the callee acquires a HIGHER level
+// than the caller holds, which is exactly how the real tree layers its
+// call-under-lock edges (group_mu -> contract_mu_, registry_mu_ ->
+// hist_mu_).
+#include <mutex>
+
+#include "par/lock_level.h"
+
+namespace acps::core {
+
+ACPS_LOCK_LEVEL(45) cache_mu;
+ACPS_LOCK_LEVEL(47) outer_mu;
+
+void RefreshFixtureCache() {
+  std::lock_guard c(outer_mu);
+}
+
+void Outer() {
+  std::lock_guard o(cache_mu);
+  RefreshFixtureCache();
+}
+
+}  // namespace acps::core

@@ -1,0 +1,28 @@
+// acps-fixture-path: src/core/fixture_order.cc
+// acps-expect: lock-order lock-graph-cycle
+//
+// Known-bad twin for lock-order and lock-graph-cycle: two call paths take
+// the same two mutexes in opposite orders. Backward() inverts the declared
+// hierarchy (a lock-order inversion), and together the two observed
+// nestings close a cycle in the acquisition graph — the classic ABBA
+// deadlock, caught from the text alone.
+#include <mutex>
+
+#include "par/lock_level.h"
+
+namespace acps::core {
+
+ACPS_LOCK_LEVEL(41) alpha_mu;
+ACPS_LOCK_LEVEL(43) beta_mu;
+
+void Forward() {
+  std::lock_guard a(alpha_mu);
+  std::lock_guard b(beta_mu);
+}
+
+void Backward() {
+  std::lock_guard b(beta_mu);
+  std::lock_guard a(alpha_mu);
+}
+
+}  // namespace acps::core

@@ -1,0 +1,26 @@
+// acps-fixture-path: src/core/fixture_order.cc
+// acps-expect-clean
+//
+// Known-good twin of lock_order_bad.cc: every path ascends the hierarchy,
+// and the nested try_to_lock acquisition is exempt (non-blocking
+// acquisitions cannot deadlock — the pool's nested-region pattern).
+#include <mutex>
+
+#include "par/lock_level.h"
+
+namespace acps::core {
+
+ACPS_LOCK_LEVEL(41) alpha_mu;
+ACPS_LOCK_LEVEL(43) beta_mu;
+
+void Forward() {
+  std::lock_guard a(alpha_mu);
+  std::lock_guard b(beta_mu);
+}
+
+void AlsoForward() {
+  std::lock_guard a(alpha_mu);
+  std::unique_lock maybe(beta_mu, std::try_to_lock);
+}
+
+}  // namespace acps::core

@@ -1,0 +1,23 @@
+// acps-fixture-path: src/core/fixture_unique.h
+// acps-expect: lock-level-unique
+//
+// Known-bad twin for lock-level-unique: a reused level and a reused name.
+// Shared levels make the hierarchy a partial order (equal-level nesting is
+// then indistinguishable from an inversion); shared names break the
+// analyzer's by-identifier resolution of acquisition sites.
+#pragma once
+
+#include "par/lock_level.h"
+
+namespace acps::core {
+
+struct FixtureDuplicateLevel {
+  ACPS_LOCK_LEVEL(44) first_mu;
+  ACPS_LOCK_LEVEL(44) second_mu;  // level 44 is already taken
+};
+
+struct FixtureDuplicateName {
+  ACPS_LOCK_LEVEL(46) first_mu;  // name first_mu is already taken
+};
+
+}  // namespace acps::core

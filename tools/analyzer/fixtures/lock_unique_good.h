@@ -1,0 +1,16 @@
+// acps-fixture-path: src/core/fixture_unique.h
+// acps-expect-clean
+//
+// Known-good twin of lock_unique_bad.h: distinct names, distinct levels.
+#pragma once
+
+#include "par/lock_level.h"
+
+namespace acps::core {
+
+struct FixtureDistinct {
+  ACPS_LOCK_LEVEL(44) lower_mu;
+  ACPS_LOCK_LEVEL(46) upper_mu;
+};
+
+}  // namespace acps::core

@@ -1,0 +1,25 @@
+// acps-fixture-path: src/check/sched_point.h
+// acps-expect: point-kind-live
+//
+// Known-bad twin for point-kind-live: a miniature PointKind enum where one
+// enumerator (kFixtureDead) appears in no SchedPoint call anywhere in the
+// corpus — instrumentation that was removed (or never wired up) while the
+// enum kept advertising it.
+#pragma once
+
+#include <cstdint>
+
+namespace acps::check {
+
+enum class PointKind : uint8_t {
+  kFixtureLive,
+  kFixtureDead,
+};
+
+inline void SchedPoint(PointKind, int, int, int) {}
+
+inline void FireTheLiveOne() {
+  SchedPoint(PointKind::kFixtureLive, 0, 0, 0);
+}
+
+}  // namespace acps::check

@@ -1,0 +1,25 @@
+// acps-fixture-path: src/check/sched_point.h
+// acps-expect-clean
+//
+// Known-good twin of point_kind_bad.h: every enumerator reaches at least
+// one SchedPoint call site, so the schedule language and the
+// instrumentation agree.
+#pragma once
+
+#include <cstdint>
+
+namespace acps::check {
+
+enum class PointKind : uint8_t {
+  kFixtureLive,
+  kFixtureAlsoLive,
+};
+
+inline void SchedPoint(PointKind, int, int, int) {}
+
+inline void FireBoth() {
+  SchedPoint(PointKind::kFixtureLive, 0, 0, 0);
+  SchedPoint(PointKind::kFixtureAlsoLive, 0, 0, 0);
+}
+
+}  // namespace acps::check

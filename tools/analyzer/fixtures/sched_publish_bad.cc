@@ -1,0 +1,17 @@
+// acps-fixture-path: src/comm/fixture_publish.cc
+// acps-expect: publish-needs-sched-point
+//
+// Known-bad twin for publish-needs-sched-point: a function writes a mailbox
+// slot but neither fires a check::SchedPoint nor crosses a Barrier — the
+// model checker can never schedule around this publish, so the explorer
+// would silently under-approximate the interleaving space.
+#include "comm/transport.h"
+
+namespace acps::comm {
+
+void FixtureUncoveredPublish(detail::GroupState* st) {
+  st->mailbox[0].cur.seq = 7;
+  st->sizes[0] = 16;
+}
+
+}  // namespace acps::comm

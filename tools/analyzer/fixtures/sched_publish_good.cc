@@ -1,0 +1,22 @@
+// acps-fixture-path: src/comm/fixture_publish.cc
+// acps-expect-clean
+//
+// Known-good twin of sched_publish_bad.cc: the same board writes, made
+// visible to the model checker — one function instruments with a
+// SchedPoint, the other synchronizes through the barrier.
+#include "check/sched_point.h"
+#include "comm/transport.h"
+
+namespace acps::comm {
+
+void FixtureInstrumentedPublish(detail::GroupState* st) {
+  st->mailbox[0].cur.seq = 7;
+  check::SchedPoint(check::PointKind::kHandoffPublished, 0, 0, 0);
+}
+
+void FixtureBarrierPublish(detail::GroupState* st) {
+  st->sizes[0] = 16;
+  st->Barrier();
+}
+
+}  // namespace acps::comm

@@ -1,0 +1,22 @@
+// acps-fixture-path: src/comm/fixture_under_lock.cc
+// acps-expect: sched-point-under-lock
+//
+// Known-bad twin for sched-point-under-lock: the hook fires while a mutex
+// is held. The replay controller may park the calling thread at any
+// SchedPoint; parked while holding a lock, every other thread that needs it
+// wedges — the controller would deadlock the group through the lock.
+#include <mutex>
+
+#include "check/sched_point.h"
+#include "par/lock_level.h"
+
+namespace acps::comm {
+
+ACPS_LOCK_LEVEL(35) fixture_gate_mu;
+
+void FixturePublishUnderLock() {
+  std::lock_guard gate(fixture_gate_mu);
+  check::SchedPoint(check::PointKind::kRootPublish, 0, 0, 0);
+}
+
+}  // namespace acps::comm

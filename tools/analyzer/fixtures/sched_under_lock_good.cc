@@ -1,0 +1,25 @@
+// acps-fixture-path: src/comm/fixture_under_lock.cc
+// acps-expect-clean
+//
+// Known-good twin of sched_under_lock_bad.cc: state mutation under the
+// lock, the SchedPoint after the guard's scope closes — the pattern
+// GroupState::Barrier uses (hook first, lock after).
+#include <mutex>
+
+#include "check/sched_point.h"
+#include "par/lock_level.h"
+
+namespace acps::comm {
+
+ACPS_LOCK_LEVEL(35) fixture_gate_mu;
+int fixture_guarded_value = 0;
+
+void FixturePublishOutsideLock() {
+  {
+    std::lock_guard gate(fixture_gate_mu);
+    fixture_guarded_value += 1;
+  }
+  check::SchedPoint(check::PointKind::kRootPublish, 0, 0, 0);
+}
+
+}  // namespace acps::comm

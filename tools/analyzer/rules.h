@@ -1,0 +1,67 @@
+// acps-analyze: rule passes.
+//
+// Four rule families (DESIGN.md "Static analysis"), each implemented as a
+// pass over the whole corpus so cross-file rules (include layering, lock
+// graphs, PointKind liveness) see everything at once:
+//
+//   1. include-layering          — module include graph vs. layers.conf
+//   2. determinism audit         — wall-clock, thread-id, unseeded RNG,
+//                                  unordered-container iteration, plus the
+//                                  banned idioms migrated from tools/lint.sh
+//   3. lock-order                — ACPS_LOCK_LEVEL coverage, level
+//                                  uniqueness, nesting/call-edge ordering,
+//                                  acquisition-graph cycles
+//   4. sched-point coverage      — shared-board accesses vs. SchedPoint
+//                                  hooks, PointKind liveness, no SchedPoint
+//                                  under a lock
+//
+// plus the tsan.supp justification audit. A diagnostic names its check; a
+// site opts out with `lint:allow(<check>)` on the same or preceding line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "source.h"
+
+namespace acps::analyze {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+struct Corpus {
+  std::vector<SourceFile> files;
+  std::vector<FileStructure> structure;  // parallel to files
+
+  void Add(SourceFile f) {
+    structure.push_back(ScanStructure(f));
+    files.push_back(std::move(f));
+  }
+};
+
+// Every check name the analyzer can emit, in report order. The self-test's
+// mutation gate fails unless each of these fires on at least one bad
+// fixture — a rule that silently stops matching cannot pass CI.
+const std::vector<std::string>& AllCheckNames();
+
+// Appends diagnostics; `lint:allow` filtering happens in RunAllPasses.
+void PatternPass(const Corpus& corpus, const Config& cfg,
+                 std::vector<Diagnostic>& out);
+void LayeringPass(const Corpus& corpus, const Config& cfg,
+                  std::vector<Diagnostic>& out);
+void LockPass(const Corpus& corpus, const Config& cfg,
+              std::vector<Diagnostic>& out);
+void SchedPointPass(const Corpus& corpus, const Config& cfg,
+                    std::vector<Diagnostic>& out);
+void SuppPass(const Corpus& corpus, const Config& cfg,
+              std::vector<Diagnostic>& out);
+
+// Runs every pass, drops lint:allow'ed findings, sorts by (file, line).
+std::vector<Diagnostic> RunAllPasses(const Corpus& corpus, const Config& cfg);
+
+}  // namespace acps::analyze

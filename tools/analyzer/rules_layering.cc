@@ -1,0 +1,42 @@
+// include-layering: the module include graph must stay inside the whitelist
+// in layers.conf. Replaces the old per-rule awk checks
+// (compute-below-runtime, sched-point-no-deps, fault-points-no-deps,
+// par-no-deps, transport-below-session) with one table: every edge those
+// rules forbade is simply absent from the table, and any NEW cross-module
+// edge fails closed until it is added deliberately.
+#include <regex>
+
+#include "rules.h"
+
+namespace acps::analyze {
+
+void LayeringPass(const Corpus& corpus, const Config& cfg,
+                  std::vector<Diagnostic>& out) {
+  static const std::regex include_re(
+      R"re(^[[:space:]]*#[[:space:]]*include[[:space:]]*"([^"]+)")re");
+
+  for (const auto& f : corpus.files) {
+    const std::string from = cfg.ModuleOf(f.path);
+    if (from.empty() || cfg.IsOpen(from)) continue;
+    for (size_t li = 0; li < f.code.size(); ++li) {
+      // The stripper blanks string contents, the include target among them:
+      // recognize the directive on stripped code (so commented-out includes
+      // stay dead) but read the target back from the raw line.
+      std::smatch m;
+      if (!std::regex_search(f.code[li], m, include_re)) continue;
+      if (!std::regex_search(f.raw[li], m, include_re)) continue;
+      const std::string target = m[1].str();
+      const std::string to = cfg.ModuleOfIncludeTarget(target);
+      if (to.empty() || to == from) continue;  // system/local/own-module
+      if (cfg.EdgeAllowed(from, to)) continue;
+      out.push_back(
+          {f.path, static_cast<int>(li + 1), "include-layering",
+           "module '" + from + "' must not include '" + target +
+               "' (module '" + to +
+               "'): edge absent from tools/analyzer/layers.conf — an "
+               "inverted or new dependency must be added there on purpose"});
+    }
+  }
+}
+
+}  // namespace acps::analyze

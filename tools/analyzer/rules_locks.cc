@@ -1,0 +1,233 @@
+// Lock-order analysis over the ACPS_LOCK_LEVEL annotations
+// (src/par/lock_level.h).
+//
+//   lock-annotation   every std::mutex-family declaration in src/ must be
+//                     written as ACPS_LOCK_LEVEL(n), so the level table is
+//                     total — the acceptance criterion "100% of mutex
+//                     declarations carry a level" is this check.
+//   lock-level-unique levels and mutex names are globally unique: the
+//                     analyzer resolves acquisition sites by terminal
+//                     identifier, and unique levels make the hierarchy a
+//                     strict order (equal-level nesting is indistinguishable
+//                     from an inversion).
+//   lock-order        a blocking acquisition while a level >= its own is
+//                     held — directly (nested guards) or one call deep
+//                     (holding A and calling a function whose body acquires
+//                     B <= A). try_to_lock acquisitions are exempt: they
+//                     cannot deadlock.
+//   lock-graph-cycle  the acquisition graph (mutex -> mutex acquired while
+//                     holding it) must be a DAG. With unique levels a cycle
+//                     always co-reports a lock-order inversion; the cycle
+//                     check stands on its own so the graph invariant is
+//                     explicit.
+//
+// The runtime twin of these checks is LeveledMutex under ACPS_LOCK_CHECK
+// (the tsan leg): what this pass proves about the text, the validator
+// asserts about actual interleavings.
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+
+#include "rules.h"
+
+namespace acps::analyze {
+
+namespace {
+
+struct MutexDecl {
+  std::string name;
+  int level = 0;
+  std::string file;
+  int line = 0;
+};
+
+// Method names too generic to resolve textually: accessors, container and
+// sync primitives. A call edge through one of these would be guesswork.
+bool IsGenericName(const std::string& n) {
+  static const std::set<std::string> generic = {
+      "size",      "count",      "empty",      "clear",     "begin",
+      "end",       "rbegin",     "rend",       "data",      "find",
+      "at",        "erase",      "insert",     "push_back", "pop_back",
+      "emplace",   "emplace_back", "front",    "back",      "str",
+      "c_str",     "length",     "substr",     "append",    "assign",
+      "resize",    "reserve",    "swap",       "get",       "value",
+      "reset",     "lock",       "unlock",     "try_lock",  "wait",
+      "wait_for",  "wait_until", "notify_one", "notify_all"};
+  return generic.count(n) > 0;
+}
+
+}  // namespace
+
+void LockPass(const Corpus& corpus, const Config& cfg,
+              std::vector<Diagnostic>& out) {
+  // --- 1. declaration tables ------------------------------------------------
+  static const std::regex level_decl_re(
+      R"(ACPS_LOCK_LEVEL[[:space:]]*\([[:space:]]*([0-9]+)[[:space:]]*\)[[:space:]]+([A-Za-z_][A-Za-z0-9_]*))");
+  static const std::regex raw_decl_re(
+      R"((^|[^_[:alnum:]:<])std::(mutex|shared_mutex|recursive_mutex|timed_mutex|shared_timed_mutex)[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[;={])");
+
+  std::map<std::string, MutexDecl> by_name;
+  std::map<int, MutexDecl> by_level;
+  for (const auto& f : corpus.files) {
+    if (!cfg.InScope("lock-annotation", f.path)) continue;
+    for (size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      const int lineno = static_cast<int>(li + 1);
+      if (std::regex_search(line, raw_decl_re)) {
+        out.push_back(
+            {f.path, lineno, "lock-annotation",
+             "raw std::mutex-family declaration: every mutex in src/ "
+             "declares its hierarchy level as ACPS_LOCK_LEVEL(n) "
+             "(src/par/lock_level.h)"});
+      }
+      for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                          level_decl_re);
+           it != std::sregex_iterator(); ++it) {
+        MutexDecl d{(*it)[2].str(), std::stoi((*it)[1].str()), f.path, lineno};
+        if (auto prev = by_name.find(d.name); prev != by_name.end()) {
+          out.push_back(
+              {f.path, lineno, "lock-level-unique",
+               "mutex name '" + d.name + "' already declared at " +
+                   prev->second.file + ":" + std::to_string(prev->second.line) +
+                   "; names must be globally unique so acquisition sites "
+                   "resolve unambiguously"});
+        } else if (auto plvl = by_level.find(d.level); plvl != by_level.end()) {
+          out.push_back(
+              {f.path, lineno, "lock-level-unique",
+               "level " + std::to_string(d.level) + " already taken by '" +
+                   plvl->second.name + "' (" + plvl->second.file + ":" +
+                   std::to_string(plvl->second.line) +
+                   "); one level per mutex keeps the hierarchy a strict "
+                   "order"});
+        } else {
+          by_level.emplace(d.level, d);
+          by_name.emplace(d.name, std::move(d));
+        }
+      }
+    }
+  }
+
+  // --- 2. direct acquisitions & per-function summary ------------------------
+  // callee name -> mutexes its body acquires directly (blocking only).
+  std::map<std::string, std::set<std::string>> func_acquires;
+  for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
+    const auto& f = corpus.files[fi];
+    if (!cfg.InScope("lock-order", f.path)) continue;
+    const auto& st = corpus.structure[fi];
+    for (const auto& g : st.guards) {
+      if (g.nonblocking || g.func < 0) continue;
+      if (!by_name.count(g.mutex_name)) continue;
+      const std::string& fname = st.funcs[static_cast<size_t>(g.func)].name;
+      if (!fname.empty()) func_acquires[fname].insert(g.mutex_name);
+    }
+  }
+
+  // --- 3. nesting + call edges ---------------------------------------------
+  // Acquisition graph: holder mutex -> mutex acquired while held.
+  std::map<std::string, std::set<std::string>> graph;
+  static const std::regex call_re(R"(([A-Za-z_][A-Za-z0-9_]*)[[:space:]]*\()");
+
+  for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
+    const auto& f = corpus.files[fi];
+    if (!cfg.InScope("lock-order", f.path)) continue;
+    const auto& st = corpus.structure[fi];
+
+    for (const auto& held : st.guards) {
+      const auto hit = by_name.find(held.mutex_name);
+      if (hit == by_name.end()) continue;
+      const int hlvl = hit->second.level;
+
+      // Direct nesting: guards declared inside this guard's extent.
+      for (const auto& inner : st.guards) {
+        if (&inner == &held) continue;
+        if (inner.decl_line <= held.decl_line ||
+            inner.decl_line > held.end_line)
+          continue;
+        const auto iit = by_name.find(inner.mutex_name);
+        if (iit == by_name.end()) continue;
+        if (inner.nonblocking) continue;
+        graph[held.mutex_name].insert(inner.mutex_name);
+        if (iit->second.level <= hlvl) {
+          out.push_back(
+              {f.path, inner.decl_line, "lock-order",
+               "acquires '" + inner.mutex_name + "' (level " +
+                   std::to_string(iit->second.level) + ") while holding '" +
+                   held.mutex_name + "' (level " + std::to_string(hlvl) +
+                   ", taken at line " + std::to_string(held.decl_line) +
+                   "); acquisitions must strictly ascend the hierarchy in "
+                   "src/par/lock_level.h"});
+        }
+      }
+
+      // Call edges, one level deep: holding `held` and calling a function
+      // whose body acquires a known mutex.
+      for (int ln = held.decl_line; ln <= held.end_line; ++ln) {
+        if (st.IsFuncHeaderLine(ln)) continue;
+        const std::string& line = f.code[static_cast<size_t>(ln - 1)];
+        for (auto it = std::sregex_iterator(line.begin(), line.end(), call_re);
+             it != std::sregex_iterator(); ++it) {
+          const std::string callee = (*it)[1].str();
+          if (IsGenericName(callee)) continue;
+          const auto cit = func_acquires.find(callee);
+          if (cit == func_acquires.end()) continue;
+          for (const auto& acquired : cit->second) {
+            const int alvl = by_name.at(acquired).level;
+            graph[held.mutex_name].insert(acquired);
+            if (alvl <= hlvl) {
+              out.push_back(
+                  {f.path, ln, "lock-order",
+                   "calls '" + callee + "' (which acquires '" + acquired +
+                       "', level " + std::to_string(alvl) +
+                       ") while holding '" + held.mutex_name + "' (level " +
+                       std::to_string(hlvl) +
+                       "); acquisitions must strictly ascend the hierarchy "
+                       "in src/par/lock_level.h"});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- 4. cycle detection ---------------------------------------------------
+  std::set<std::string> done, in_stack;
+  std::vector<std::string> path;
+  bool cycle_reported = false;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        if (cycle_reported || done.count(node)) return;
+        in_stack.insert(node);
+        path.push_back(node);
+        const auto it = graph.find(node);
+        if (it != graph.end()) {
+          for (const auto& next : it->second) {
+            if (in_stack.count(next)) {
+              std::string cyc;
+              bool started = false;
+              for (const auto& n : path) {
+                if (n == next) started = true;
+                if (started) cyc += n + " -> ";
+              }
+              cyc += next;
+              const auto& decl = by_name.at(next);
+              out.push_back(
+                  {decl.file, decl.line, "lock-graph-cycle",
+                   "lock-acquisition graph contains a cycle: " + cyc +
+                       "; two threads taking it from different entry points "
+                       "can deadlock"});
+              cycle_reported = true;
+              return;
+            }
+            dfs(next);
+          }
+        }
+        path.pop_back();
+        in_stack.erase(node);
+        done.insert(node);
+      };
+  for (const auto& [node, _] : graph) dfs(node);
+}
+
+}  // namespace acps::analyze

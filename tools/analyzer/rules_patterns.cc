@@ -1,0 +1,118 @@
+// Banned idioms (migrated verbatim from the old awk layer of tools/lint.sh)
+// and the determinism audit. All table-driven: one regex per check, scoped
+// by the conf file, matched against comment/string-stripped code.
+#include <regex>
+
+#include "rules.h"
+
+namespace acps::analyze {
+
+namespace {
+
+struct PatternCheck {
+  const char* name;
+  const char* why;  // one-line rationale echoed in the diagnostic
+  const char* pattern;
+};
+
+const PatternCheck kPatternChecks[] = {
+    // --- banned idioms (ex tools/lint.sh) ----------------------------------
+    {"naked-new",
+     "ownership goes through containers or make_unique/make_shared",
+     R"((^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:<])"},
+    {"naked-delete",
+     "ownership goes through containers or make_unique/make_shared",
+     R"((^|[^_[:alnum:]])delete(\[\])?[[:space:]]+[[:alnum:]_])"},
+    {"raw-thread",
+     "raw threads live in src/par and src/comm only; use "
+     "par::ParallelFor or ThreadGroup::Run",
+     R"(std::(thread|jthread))"},
+    {"raw-sleep",
+     "wall-clock sleeps reintroduce the timing nondeterminism the fault "
+     "layer eliminates; wait in virtual time (fault/clock.h)",
+     R"(std::this_thread::sleep_(for|until)|(^|[^_[:alnum:]])(u|nano)?sleep\()"},
+    {"libc-rand",
+     "all randomness flows through tensor/rng.h so runs stay reproducible",
+     R"((^|[^_[:alnum:]])s?rand(om)?\()"},
+    {"abort-exit",
+     "library code throws acps::Error (tensor/check.h) instead of "
+     "terminating the process",
+     R"((^|[^_[:alnum:]])(abort|exit)\([^)]*\))"},
+    {"groupstate-outside-comm",
+     "detail::GroupState is the transport's private channel block; "
+     "everything above src/comm goes through Session/Communicator",
+     R"(detail::GroupState)"},
+    // --- determinism audit -------------------------------------------------
+    {"wall-clock",
+     "wall-clock reads in library code make runs time-dependent; only the "
+     "observability layer may timestamp",
+     R"((system_clock|steady_clock|high_resolution_clock)::now[[:space:]]*\()"},
+    {"thread-id",
+     "branching on thread identity breaks schedule-independence; src/par "
+     "owns the only sanctioned thread-index mechanism",
+     R"(std::this_thread::get_id|(^|[^_[:alnum:]])gettid[[:space:]]*\()"},
+    {"random-device",
+     "std::random_device is an unseeded entropy source; derive streams from "
+     "tensor/rng.h seeds instead",
+     R"(std::random_device)"},
+};
+
+}  // namespace
+
+void PatternPass(const Corpus& corpus, const Config& cfg,
+                 std::vector<Diagnostic>& out) {
+  std::vector<std::regex> compiled;
+  compiled.reserve(std::size(kPatternChecks));
+  for (const auto& pc : kPatternChecks) compiled.emplace_back(pc.pattern);
+
+  for (const auto& f : corpus.files) {
+    for (size_t ci = 0; ci < std::size(kPatternChecks); ++ci) {
+      const auto& pc = kPatternChecks[ci];
+      if (!cfg.InScope(pc.name, f.path)) continue;
+      for (size_t li = 0; li < f.code.size(); ++li) {
+        if (!std::regex_search(f.code[li], compiled[ci])) continue;
+        out.push_back({f.path, static_cast<int>(li + 1), pc.name,
+                       std::string(pc.why)});
+      }
+    }
+
+    // unordered-iter: iterating an unordered container into anything
+    // ordered makes output depend on hash seeds and insertion history. The
+    // analyzer flags every range-for / .begin() walk over a container
+    // declared std::unordered_* in the same file; order-independent folds
+    // opt out with lint:allow(unordered-iter).
+    if (!cfg.InScope("unordered-iter", f.path)) continue;
+    static const std::regex decl_re(
+        R"(std::unordered_(map|set|multimap|multiset)<[^;]*>[[:space:]]+([A-Za-z_][A-Za-z0-9_]*))");
+    std::vector<std::string> containers;
+    for (const auto& line : f.code) {
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), decl_re);
+           it != std::sregex_iterator(); ++it)
+        containers.push_back((*it)[2].str());
+    }
+    if (containers.empty()) continue;
+    for (size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      for (const auto& name : containers) {
+        static const char* kIterSuffixes[] = {".begin()", ".cbegin()"};
+        bool hit = false;
+        for (const char* suf : kIterSuffixes)
+          if (line.find(name + suf) != std::string::npos) hit = true;
+        // Range-for over the container: `for (... : name)`.
+        const std::regex range_re(R"(for[[:space:]]*\([^;)]*:[[:space:]]*)" +
+                                  name + R"([[:space:]]*\))");
+        if (!hit && std::regex_search(line, range_re)) hit = true;
+        if (hit) {
+          out.push_back(
+              {f.path, static_cast<int>(li + 1), "unordered-iter",
+               "iteration over std::unordered_* container '" + name +
+                   "' — order depends on hashing; sort first or justify "
+                   "with lint:allow(unordered-iter)"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace acps::analyze

@@ -1,0 +1,54 @@
+#include <algorithm>
+
+#include "rules.h"
+
+namespace acps::analyze {
+
+const std::vector<std::string>& AllCheckNames() {
+  static const std::vector<std::string> names = {
+      // layering
+      "include-layering",
+      // banned idioms (ex tools/lint.sh)
+      "naked-new", "naked-delete", "raw-thread", "raw-sleep", "libc-rand",
+      "abort-exit", "groupstate-outside-comm",
+      // determinism audit
+      "wall-clock", "thread-id", "random-device", "unordered-iter",
+      // lock-order family
+      "lock-annotation", "lock-level-unique", "lock-order", "lock-graph-cycle",
+      // sched-point coverage
+      "publish-needs-sched-point", "point-kind-live", "sched-point-under-lock",
+      // suppression hygiene
+      "tsan-supp-justified"};
+  return names;
+}
+
+std::vector<Diagnostic> RunAllPasses(const Corpus& corpus, const Config& cfg) {
+  std::vector<Diagnostic> all;
+  PatternPass(corpus, cfg, all);
+  LayeringPass(corpus, cfg, all);
+  LockPass(corpus, cfg, all);
+  SchedPointPass(corpus, cfg, all);
+  SuppPass(corpus, cfg, all);
+
+  std::vector<Diagnostic> kept;
+  kept.reserve(all.size());
+  for (auto& d : all) {
+    const SourceFile* f = nullptr;
+    for (const auto& sf : corpus.files)
+      if (sf.path == d.file) {
+        f = &sf;
+        break;
+      }
+    if (f != nullptr && HasAllow(*f, d.line, d.check)) continue;
+    kept.push_back(std::move(d));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  return kept;
+}
+
+}  // namespace acps::analyze

@@ -1,0 +1,166 @@
+// Sched-point coverage: the model checker (src/check) can only explore and
+// replay interleavings it gets told about. These rules keep the
+// instrumentation honest as src/comm and src/core grow.
+//
+//   publish-needs-sched-point  every function touching the shared exchange
+//                              boards (mailbox[], sizes[], retry_flag[]) must
+//                              contain a check::SchedPoint(...) hook or a
+//                              Barrier() — otherwise a new publish/consume
+//                              path is invisible to the explorer.
+//   point-kind-live            every PointKind enumerator is referenced by at
+//                              least one SchedPoint call site; a kind nobody
+//                              fires means instrumentation was removed (or
+//                              added speculatively) without the schedule
+//                              language following.
+//   sched-point-under-lock     SchedPoint suspends the calling thread under
+//                              the replay controller; firing it while
+//                              holding a lock would let the controller
+//                              deadlock the group through that lock.
+#include <cctype>
+#include <regex>
+#include <set>
+
+#include "rules.h"
+
+namespace acps::analyze {
+
+namespace {
+
+// True when line `li` (0-based) of `f` starts a SchedPoint call, spanning
+// into `span`: the call text through its closing parenthesis (capped).
+bool SchedPointSpan(const SourceFile& f, size_t li, std::string& span) {
+  const std::string& line = f.code[li];
+  const size_t pos = line.find("SchedPoint");
+  if (pos == std::string::npos) return false;
+  // Word boundary: OnSchedPoint (the listener hook) is not a SchedPoint call.
+  if (pos > 0) {
+    const char prev = line[pos - 1];
+    if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_')
+      return false;
+  }
+  const size_t paren = line.find('(', pos);
+  if (paren == std::string::npos) return false;
+  // Require a call, not the inline definition in sched_point.h: definitions
+  // are "void SchedPoint(...)" / "inline void SchedPoint(...)".
+  const std::string before = line.substr(0, pos);
+  if (before.find("void") != std::string::npos) return false;
+  span.clear();
+  int depth = 0;
+  for (size_t l = li; l < f.code.size() && l < li + 8; ++l) {
+    const std::string& t = f.code[l];
+    for (size_t i = (l == li ? paren : 0); i < t.size(); ++i) {
+      span += t[i];
+      if (t[i] == '(') ++depth;
+      if (t[i] == ')' && --depth == 0) return true;
+    }
+    span += ' ';
+  }
+  return true;  // unterminated: keep what we saw
+}
+
+}  // namespace
+
+void SchedPointPass(const Corpus& corpus, const Config& cfg,
+                    std::vector<Diagnostic>& out) {
+  // --- publish-needs-sched-point -------------------------------------------
+  static const std::regex board_re(
+      R"((^|[^_[:alnum:]])(mailbox|sizes|retry_flag)[[:space:]]*\[)");
+  for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
+    const auto& f = corpus.files[fi];
+    if (!cfg.InScope("publish-needs-sched-point", f.path)) continue;
+    const auto& st = corpus.structure[fi];
+
+    // Which function regions contain a SchedPoint or Barrier call?
+    std::set<int> covered;
+    for (size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      if (line.find("SchedPoint") == std::string::npos &&
+          line.find("Barrier(") == std::string::npos)
+        continue;
+      const int func = st.FuncAt(static_cast<int>(li + 1));
+      if (func >= 0) covered.insert(func);
+    }
+    std::set<int> reported;
+    for (size_t li = 0; li < f.code.size(); ++li) {
+      if (!std::regex_search(f.code[li], board_re)) continue;
+      const int lineno = static_cast<int>(li + 1);
+      const int func = st.FuncAt(lineno);
+      if (func < 0 || covered.count(func) || reported.count(func)) continue;
+      reported.insert(func);
+      out.push_back(
+          {f.path, lineno, "publish-needs-sched-point",
+           "function '" + st.funcs[static_cast<size_t>(func)].name +
+               "' touches the shared exchange boards (mailbox/sizes/"
+               "retry_flag) but fires no check::SchedPoint and crosses no "
+               "Barrier — this communication step is invisible to the model "
+               "checker (src/check)"});
+    }
+  }
+
+  // --- point-kind-live ------------------------------------------------------
+  // Find the PointKind enum (wherever it lives in the corpus), then require
+  // each enumerator to appear inside at least one SchedPoint call span.
+  struct Kind {
+    std::string name;
+    std::string file;
+    int line;
+  };
+  std::vector<Kind> kinds;
+  for (const auto& f : corpus.files) {
+    for (size_t li = 0; li < f.code.size(); ++li) {
+      if (f.code[li].find("enum class PointKind") == std::string::npos)
+        continue;
+      static const std::regex enum_name_re(R"((k[A-Za-z0-9_]+))");
+      for (size_t l = li; l < f.code.size(); ++l) {
+        const std::string& t = f.code[l];
+        for (auto it = std::sregex_iterator(t.begin(), t.end(), enum_name_re);
+             it != std::sregex_iterator(); ++it)
+          kinds.push_back({(*it)[1].str(), f.path, static_cast<int>(l + 1)});
+        if (t.find('}') != std::string::npos) break;
+      }
+      break;
+    }
+    if (!kinds.empty()) break;
+  }
+  if (!kinds.empty()) {
+    std::set<std::string> fired;
+    for (const auto& f : corpus.files) {
+      for (size_t li = 0; li < f.code.size(); ++li) {
+        std::string span;
+        if (!SchedPointSpan(f, li, span)) continue;
+        for (const auto& k : kinds)
+          if (span.find(k.name) != std::string::npos) fired.insert(k.name);
+      }
+    }
+    for (const auto& k : kinds) {
+      if (fired.count(k.name)) continue;
+      out.push_back(
+          {k.file, k.line, "point-kind-live",
+           "PointKind::" + k.name +
+               " is never passed to a check::SchedPoint call — dead "
+               "instrumentation kinds hide coverage gaps; wire it up or "
+               "remove the enumerator"});
+    }
+  }
+
+  // --- sched-point-under-lock ----------------------------------------------
+  for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
+    const auto& f = corpus.files[fi];
+    if (!cfg.InScope("sched-point-under-lock", f.path)) continue;
+    const auto& st = corpus.structure[fi];
+    for (const auto& g : st.guards) {
+      for (int ln = g.decl_line; ln <= g.end_line; ++ln) {
+        std::string span;
+        if (!SchedPointSpan(f, static_cast<size_t>(ln - 1), span)) continue;
+        out.push_back(
+            {f.path, ln, "sched-point-under-lock",
+             "check::SchedPoint fired while holding '" + g.mutex_name +
+                 "' (guard at line " + std::to_string(g.decl_line) +
+                 "): the replay controller may park this thread "
+                 "indefinitely, turning the lock into a group-wide stall"});
+      }
+    }
+  }
+}
+
+}  // namespace acps::analyze

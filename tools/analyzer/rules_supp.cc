@@ -1,0 +1,48 @@
+// tsan-supp-justified: every suppression in tsan.supp must carry a comment
+// block immediately above it that names the suppressed file (a path-ish
+// token), so suppressions stay reviewable and stale entries are obvious.
+// An unexplained suppression is a race report someone chose to stop
+// reading; this rule makes that choice visible in review.
+#include <regex>
+
+#include "rules.h"
+
+namespace acps::analyze {
+
+void SuppPass(const Corpus& corpus, const Config& /*cfg*/,
+              std::vector<Diagnostic>& out) {
+  static const std::regex supp_re(
+      R"(^[[:space:]]*(race|race_top|thread|mutex|signal|deadlock|called_from_lib|external)[[:space:]]*:)");
+  static const std::regex pathish_re(
+      R"([A-Za-z0-9_./-]+\.(cc|h|cpp|hpp)|[A-Za-z0-9_-]+/[A-Za-z0-9_./-]+)");
+
+  for (const auto& f : corpus.files) {
+    if (f.path.size() < 5 ||
+        f.path.compare(f.path.size() - 5, 5, ".supp") != 0)
+      continue;
+    for (size_t li = 0; li < f.raw.size(); ++li) {
+      if (!std::regex_search(f.raw[li], supp_re)) continue;
+      // Walk the contiguous comment block directly above the entry.
+      bool justified = false;
+      for (size_t l = li; l-- > 0;) {
+        const std::string& above = f.raw[l];
+        const size_t first = above.find_first_not_of(" \t");
+        if (first == std::string::npos) break;          // blank line ends block
+        if (above[first] != '#') break;                 // non-comment ends it
+        if (std::regex_search(above, pathish_re)) {
+          justified = true;
+          break;
+        }
+      }
+      if (!justified) {
+        out.push_back(
+            {f.path, static_cast<int>(li + 1), "tsan-supp-justified",
+             "suppression has no preceding comment naming the suppressed "
+             "file; every tsan.supp entry documents what it hides and "
+             "where, or it rots"});
+      }
+    }
+  }
+}
+
+}  // namespace acps::analyze

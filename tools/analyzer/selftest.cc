@@ -1,0 +1,155 @@
+// Fixture self-test: every rule proves itself against known-bad /
+// known-good snippets in tools/analyzer/fixtures/ before the analyzer is
+// trusted on the real tree.
+//
+// Each fixture carries two directives (comment syntax of its language):
+//
+//   acps-fixture-path: <virtual repo path>   where the snippet pretends to
+//                                            live (drives module/scope
+//                                            resolution)
+//   acps-expect: <check...>                  exactly these checks must fire
+//   acps-expect-clean                        no check may fire (good twin)
+//
+// The runner analyzes each fixture as a one-file corpus and compares the
+// fired set exactly — an unexpected extra diagnostic fails the fixture just
+// like a missing one, so rules stay precise, not merely live. The mutation
+// gate then requires every registered check to appear in some bad fixture's
+// expectation: delete or break a rule and the self-test (and the `analyze`
+// CI leg) goes red.
+#include "selftest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "rules.h"
+
+namespace acps::analyze {
+
+namespace {
+
+struct Fixture {
+  std::string fs_path;      // on-disk path (for messages)
+  std::string virtual_path;
+  std::string text;
+  bool expect_clean = false;
+  std::set<std::string> expected;
+  bool valid = false;
+  std::string error;
+};
+
+Fixture LoadFixture(const std::filesystem::path& p) {
+  Fixture fx;
+  fx.fs_path = p.string();
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    fx.error = "unreadable";
+    return fx;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  fx.text = buf.str();
+
+  std::istringstream lines(fx.text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto after = [&](const char* directive) -> std::string {
+      const size_t pos = line.find(directive);
+      if (pos == std::string::npos) return "";
+      std::string rest = line.substr(pos + std::string(directive).size());
+      const size_t b = rest.find_first_not_of(" \t");
+      if (b == std::string::npos) return "";
+      size_t e = rest.find_last_not_of(" \t\r");
+      return rest.substr(b, e - b + 1);
+    };
+    if (const std::string v = after("acps-fixture-path:"); !v.empty())
+      fx.virtual_path = v;
+    if (line.find("acps-expect-clean") != std::string::npos) {
+      fx.expect_clean = true;
+    } else if (const std::string v = after("acps-expect:"); !v.empty()) {
+      std::istringstream tok(v);
+      for (std::string w; tok >> w;) fx.expected.insert(w);
+    }
+  }
+  if (fx.virtual_path.empty())
+    fx.error = "missing acps-fixture-path directive";
+  else if (!fx.expect_clean && fx.expected.empty())
+    fx.error = "missing acps-expect / acps-expect-clean directive";
+  else
+    fx.valid = true;
+  return fx;
+}
+
+std::string Join(const std::set<std::string>& s) {
+  std::string out;
+  for (const auto& x : s) {
+    if (!out.empty()) out += " ";
+    out += x;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace
+
+int RunSelfTest(const std::string& fixtures_dir, const Config& cfg) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(fixtures_dir)) {
+    std::cerr << "acps-analyze: fixtures directory not found: " << fixtures_dir
+              << "\n";
+    return 2;
+  }
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(fixtures_dir))
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  std::sort(paths.begin(), paths.end());
+
+  int failures = 0;
+  std::set<std::string> proven;
+  for (const auto& p : paths) {
+    Fixture fx = LoadFixture(p);
+    if (!fx.valid) {
+      std::cout << "FAIL " << fx.fs_path << ": " << fx.error << "\n";
+      ++failures;
+      continue;
+    }
+
+    Corpus corpus;
+    corpus.Add(SourceFromString(fx.text, fx.virtual_path));
+    std::set<std::string> fired;
+    for (const auto& d : RunAllPasses(corpus, cfg)) fired.insert(d.check);
+
+    const std::set<std::string>& want =
+        fx.expect_clean ? std::set<std::string>{} : fx.expected;
+    if (fired == want) {
+      std::cout << "PASS " << fx.fs_path << " (" << Join(want) << ")\n";
+      for (const auto& c : fx.expected) proven.insert(c);
+    } else {
+      std::cout << "FAIL " << fx.fs_path << ": expected {" << Join(want)
+                << "} but got {" << Join(fired) << "}\n";
+      ++failures;
+    }
+  }
+
+  // Mutation gate: a check no bad fixture triggers is a dead rule.
+  for (const auto& name : AllCheckNames()) {
+    if (proven.count(name)) continue;
+    std::cout << "FAIL mutation gate: check '" << name
+              << "' fired on no bad fixture — the rule is dead or the "
+                 "fixture set has a hole\n";
+    ++failures;
+  }
+
+  if (failures > 0) {
+    std::cout << "self-test: " << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "self-test: all fixtures pass, all " << AllCheckNames().size()
+            << " checks proven live\n";
+  return 0;
+}
+
+}  // namespace acps::analyze

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+#include "config.h"
+
+namespace acps::analyze {
+
+// Runs the fixture self-test (see selftest.cc). Returns a process exit
+// code: 0 all fixtures pass and every check is proven live, 1 failures,
+// 2 setup error.
+int RunSelfTest(const std::string& fixtures_dir, const Config& cfg);
+
+}  // namespace acps::analyze

@@ -1,0 +1,461 @@
+#include "source.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace acps::analyze {
+
+namespace {
+
+bool IsCxxPath(const std::string& path) {
+  for (const char* ext : {".cc", ".h", ".cpp", ".hpp"}) {
+    const std::string e(ext);
+    if (path.size() >= e.size() &&
+        path.compare(path.size() - e.size(), e.size(), e) == 0)
+      return true;
+  }
+  return false;
+}
+
+// Streaming comment/string stripper. State survives across lines (block
+// comments, raw strings); stripped characters become spaces so columns in
+// diagnostics keep lining up with the raw text.
+class Stripper {
+ public:
+  std::string Strip(const std::string& line) {
+    std::string out(line.size(), ' ');
+    size_t i = 0;
+    const size_t n = line.size();
+    while (i < n) {
+      const char c = line[i];
+      switch (state_) {
+        case State::kCode:
+          if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+            i = n;  // line comment: rest of the line is gone
+          } else if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+            state_ = State::kBlockComment;
+            i += 2;
+          } else if (c == 'R' && i + 1 < n && line[i + 1] == '"' &&
+                     !IsIdentChar(i > 0 ? line[i - 1] : ' ')) {
+            // Raw string R"delim( ... )delim"
+            size_t j = i + 2;
+            raw_delim_.clear();
+            while (j < n && line[j] != '(') raw_delim_ += line[j++];
+            out[i] = '"';  // keep a quote so "a string was here" is visible
+            state_ = State::kRawString;
+            i = (j < n) ? j + 1 : n;
+          } else if (c == '"') {
+            out[i] = '"';
+            state_ = State::kString;
+            ++i;
+          } else if (c == '\'') {
+            // Char literal (digit separators like 1'000'000 have an
+            // identifier char right before the quote and stay code).
+            if (i > 0 && IsIdentChar(line[i - 1]) && i + 1 < n &&
+                std::isalnum(static_cast<unsigned char>(line[i + 1]))) {
+              out[i] = c;
+              ++i;
+            } else {
+              out[i] = '\'';
+              state_ = State::kChar;
+              ++i;
+            }
+          } else {
+            out[i] = c;
+            ++i;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && i + 1 < n && line[i + 1] == '/') {
+            state_ = State::kCode;
+            i += 2;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            i += 2;
+          } else if (c == '"') {
+            out[i] = '"';
+            state_ = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            i += 2;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state_ = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kRawString: {
+          const std::string close = ")" + raw_delim_ + "\"";
+          const size_t pos = line.find(close, i);
+          if (pos == std::string::npos) {
+            i = n;
+          } else {
+            out[pos + close.size() - 1] = '"';
+            state_ = State::kCode;
+            i = pos + close.size();
+          }
+          break;
+        }
+      }
+    }
+    // A string or char literal never spans lines (raw strings do).
+    if (state_ == State::kString || state_ == State::kChar)
+      state_ = State::kCode;
+    return out;
+  }
+
+ private:
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  State state_ = State::kCode;
+  std::string raw_delim_;
+};
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+}  // namespace
+
+SourceFile SourceFromString(std::string text, std::string repo_path) {
+  SourceFile f;
+  f.path = std::move(repo_path);
+  f.raw = SplitLines(text);
+  if (IsCxxPath(f.path)) {
+    Stripper stripper;
+    f.code.reserve(f.raw.size());
+    for (const auto& line : f.raw) f.code.push_back(stripper.Strip(line));
+  } else {
+    f.code = f.raw;
+  }
+  return f;
+}
+
+bool LoadSource(const std::string& fs_path, std::string repo_path,
+                SourceFile& out) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = SourceFromString(buf.str(), std::move(repo_path));
+  return true;
+}
+
+bool HasAllow(const SourceFile& f, int line, const std::string& check) {
+  const std::string token = "lint:allow(" + check + ")";
+  const auto has = [&](int l) {
+    return l >= 1 && l <= static_cast<int>(f.raw.size()) &&
+           f.raw[static_cast<size_t>(l - 1)].find(token) != std::string::npos;
+  };
+  return has(line) || has(line - 1);
+}
+
+// --- structural scan --------------------------------------------------------
+
+int FileStructure::FuncAt(int line) const {
+  int best = -1;
+  for (size_t i = 0; i < funcs.size(); ++i) {
+    const auto& fr = funcs[i];
+    const int end = fr.end_line > 0 ? fr.end_line : 1 << 30;
+    if (fr.header_line <= line && line <= end) {
+      // Later regions open later; the innermost enclosing one wins.
+      if (best < 0 || funcs[static_cast<size_t>(best)].header_line <=
+                          fr.header_line)
+        best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+bool FileStructure::IsFuncHeaderLine(int line) const {
+  for (const auto& fr : funcs)
+    if (fr.header_line <= line && line <= fr.open_line) return true;
+  return false;
+}
+
+namespace {
+
+const char* const kControlKeywords[] = {"if",     "for",   "while", "switch",
+                                        "catch",  "return", "do",   "else",
+                                        "sizeof", "case",   "new",  "delete"};
+
+bool IsControlKeyword(const std::string& id) {
+  for (const char* k : kControlKeywords)
+    if (id == k) return true;
+  return false;
+}
+
+// Best-effort function name from the statement text preceding a '{'.
+// Returns "" when the header does not look like a function definition
+// (control flow, plain class/namespace/enum blocks, initializer lists,
+// unnamed lambdas).
+std::string FuncNameFromHeader(const std::string& header) {
+  // Qualified definitions (Outer::Name(...), including ctors) are the most
+  // reliable signal; take the last such occurrence so trailing ctor
+  // initializer-list entries do not shadow the real name.
+  static const std::regex qualified(
+      R"(([A-Za-z_]\w*)\s*::\s*(~?[A-Za-z_]\w*)\s*\()");
+  std::string name;
+  for (auto it = std::sregex_iterator(header.begin(), header.end(), qualified);
+       it != std::sregex_iterator(); ++it)
+    name = (*it)[2].str();
+  if (!name.empty()) return name;
+
+  static const std::regex plain(R"(([A-Za-z_~]\w*)\s*\()");
+  for (auto it = std::sregex_iterator(header.begin(), header.end(), plain);
+       it != std::sregex_iterator(); ++it) {
+    const std::string id = (*it)[1].str();
+    if (!IsControlKeyword(id)) name = id;
+  }
+  return name;
+}
+
+struct GuardDecl {
+  size_t pos;  // char offset of the match in the line
+  std::string kind;
+  std::string var;
+  std::string args;
+};
+
+// One std::lock_guard / unique_lock / scoped_lock / shared_lock declaration.
+const std::regex& GuardRegex() {
+  static const std::regex re(
+      R"(std::\s*(lock_guard|scoped_lock|unique_lock|shared_lock)\s*(?:<[^;()]*>)?\s+([A-Za-z_]\w*)\s*\(([^;]*)\))");
+  return re;
+}
+
+// Splits `args` on top-level commas ('<>' and '()' nesting respected).
+std::vector<std::string> SplitArgs(const std::string& args) {
+  std::vector<std::string> out;
+  std::string cur;
+  int paren = 0, angle = 0;
+  for (const char c : args) {
+    if (c == '(') ++paren;
+    if (c == ')') --paren;
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == ',' && paren == 0 && angle == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// Terminal identifier of a mutex expression: "st->group_mu" -> "group_mu".
+std::string TerminalName(std::string expr) {
+  while (!expr.empty() &&
+         (std::isspace(static_cast<unsigned char>(expr.back())) ||
+          expr.back() == ')' || expr.back() == '(')) {
+    expr.pop_back();
+  }
+  size_t i = expr.size();
+  while (i > 0) {
+    const char c = expr[i - 1];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+      --i;
+    else
+      break;
+  }
+  return expr.substr(i);
+}
+
+}  // namespace
+
+FileStructure ScanStructure(const SourceFile& f) {
+  FileStructure out;
+
+  struct OpenBlock {
+    int open_depth;   // depth before this block's '{'
+    int func_index;   // -1 for non-function blocks
+  };
+  std::vector<OpenBlock> blocks;
+  std::vector<size_t> open_guards;  // indices into out.guards
+  std::vector<int> guard_depth;     // parallel to out.guards: depth at decl
+
+  int depth = 0;
+  std::string stmt;        // current statement text (for headers)
+  int stmt_first_line = 1;
+
+  static const std::regex unlock_re(R"(([A-Za-z_]\w*)\s*\.\s*unlock\s*\(\s*\))");
+  static const std::regex relock_re(R"(([A-Za-z_]\w*)\s*\.\s*lock\s*\(\s*\))");
+
+  for (int lineno = 1; lineno <= static_cast<int>(f.code.size()); ++lineno) {
+    const std::string& line = f.code[static_cast<size_t>(lineno - 1)];
+
+    // Collect positional events on this line before walking the braces.
+    struct Event {
+      size_t pos;
+      enum Kind { kGuard, kUnlock, kRelock } kind;
+      size_t index;  // into decls / names below
+    };
+    std::vector<Event> events;
+    std::vector<GuardDecl> decls;
+    std::vector<std::string> names;
+
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), GuardRegex());
+         it != std::sregex_iterator(); ++it) {
+      decls.push_back({static_cast<size_t>(it->position(0)), (*it)[1].str(),
+                       (*it)[2].str(), (*it)[3].str()});
+      events.push_back(
+          {decls.back().pos, Event::kGuard, decls.size() - 1});
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), unlock_re);
+         it != std::sregex_iterator(); ++it) {
+      names.push_back((*it)[1].str());
+      events.push_back({static_cast<size_t>(it->position(0)), Event::kUnlock,
+                        names.size() - 1});
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), relock_re);
+         it != std::sregex_iterator(); ++it) {
+      names.push_back((*it)[1].str());
+      events.push_back({static_cast<size_t>(it->position(0)), Event::kRelock,
+                        names.size() - 1});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.pos < b.pos; });
+
+    size_t next_event = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      // Fire events positioned at or before this column.
+      while (next_event < events.size() && events[next_event].pos <= i) {
+        const Event& ev = events[next_event++];
+        if (ev.kind == Event::kGuard) {
+          const GuardDecl& d = decls[ev.index];
+          const bool scoped = d.kind == "scoped_lock";
+          bool nonblocking = false;
+          std::vector<std::string> mutexes;
+          for (const auto& raw_arg : SplitArgs(d.args)) {
+            const std::string name = TerminalName(raw_arg);
+            if (name == "try_to_lock" || name == "defer_lock" ||
+                name == "adopt_lock") {
+              nonblocking = true;
+              continue;
+            }
+            if (name.empty()) continue;
+            if (scoped || mutexes.empty()) mutexes.push_back(name);
+          }
+          int func = -1;
+          for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+            if (it->func_index >= 0) {
+              func = it->func_index;
+              break;
+            }
+          }
+          for (const auto& m : mutexes) {
+            out.guards.push_back(
+                {d.var, m, lineno, /*end_line=*/0, nonblocking, func});
+            guard_depth.push_back(depth);
+            open_guards.push_back(out.guards.size() - 1);
+          }
+        } else if (ev.kind == Event::kUnlock) {
+          const std::string& var = names[ev.index];
+          for (auto it = open_guards.rbegin(); it != open_guards.rend(); ++it) {
+            if (out.guards[*it].var == var) {
+              out.guards[*it].end_line = lineno;
+              open_guards.erase(std::next(it).base());
+              break;
+            }
+          }
+        } else {  // kRelock: reopen the most recent closed guard of this var
+          const std::string& var = names[ev.index];
+          for (size_t gi = out.guards.size(); gi-- > 0;) {
+            if (out.guards[gi].var == var && out.guards[gi].end_line > 0) {
+              const GuardScope reopened{out.guards[gi].var,
+                                        out.guards[gi].mutex_name, lineno,
+                                        /*end_line=*/0,
+                                        out.guards[gi].nonblocking,
+                                        out.guards[gi].func};
+              out.guards.push_back(reopened);
+              guard_depth.push_back(depth);
+              open_guards.push_back(out.guards.size() - 1);
+              break;
+            }
+          }
+        }
+      }
+      if (i == line.size()) break;
+
+      const char c = line[i];
+      if (c == '{') {
+        const std::string header = stmt;
+        const std::string name = FuncNameFromHeader(header);
+        int func_index = -1;
+        if (!name.empty()) {
+          out.funcs.push_back({name, stmt_first_line, lineno, 0});
+          func_index = static_cast<int>(out.funcs.size() - 1);
+        }
+        blocks.push_back({depth, func_index});
+        ++depth;
+        stmt.clear();
+        stmt_first_line = lineno;
+      } else if (c == '}') {
+        --depth;
+        if (!blocks.empty() && blocks.back().open_depth == depth) {
+          if (blocks.back().func_index >= 0)
+            out.funcs[static_cast<size_t>(blocks.back().func_index)].end_line =
+                lineno;
+          blocks.pop_back();
+        }
+        // A guard declared at depth d dies when depth drops below d.
+        for (auto it = open_guards.begin(); it != open_guards.end();) {
+          if (depth < guard_depth[*it]) {
+            out.guards[*it].end_line = lineno;
+            it = open_guards.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        stmt.clear();
+        stmt_first_line = lineno;
+      } else if (c == ';') {
+        stmt.clear();
+        stmt_first_line = lineno + 1;
+      } else {
+        stmt += c;
+      }
+    }
+    if (!stmt.empty()) stmt += ' ';
+  }
+
+  // Unterminated scopes extend to EOF.
+  const int last = static_cast<int>(f.code.size());
+  for (const size_t gi : open_guards) out.guards[gi].end_line = last;
+  for (auto& fr : out.funcs)
+    if (fr.end_line == 0) fr.end_line = last;
+  return out;
+}
+
+}  // namespace acps::analyze

@@ -1,0 +1,71 @@
+// acps-analyze: source model.
+//
+// The analyzer never parses C++ for real. Each file is loaded twice: `raw`
+// (the bytes, for lint:allow lookups and message echoes) and `code` — the
+// same lines with comments, string/char-literal contents and raw strings
+// blanked to spaces, column-for-column. Every rule matches against `code`,
+// so prose like "reuse with a new layout" or an exit() mentioned in a log
+// string can never trip a check. On top of that sits a structural scan
+// (ScanStructure) shared by the lock-order and sched-point rules: brace
+// depth, best-effort function regions, and lock-guard scopes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acps::analyze {
+
+struct SourceFile {
+  // Repo-relative path ('/'-separated) used for scoping and messages. For
+  // fixtures this is the virtual path from the acps-fixture-path directive.
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+// Builds a SourceFile from text. Comment/string stripping only applies to
+// C/C++ sources; .supp and .conf files keep code == raw.
+SourceFile SourceFromString(std::string text, std::string repo_path);
+
+// Loads `fs_path` from disk; returns false (and leaves `out` untouched) when
+// the file cannot be read.
+bool LoadSource(const std::string& fs_path, std::string repo_path,
+                SourceFile& out);
+
+// True when line `line` (1-based) opted out of `check` via a
+// `lint:allow(<check>)` comment on the same line or on the immediately
+// preceding line (for sites where the flagged expression leaves no room).
+bool HasAllow(const SourceFile& f, int line, const std::string& check);
+
+// --- structural scan --------------------------------------------------------
+
+struct FuncRegion {
+  std::string name;  // best-effort simple name; "" for unnamed blocks
+  int header_line;   // first line of the signature statement (1-based)
+  int open_line;     // line of the opening '{'
+  int end_line;      // line of the matching '}' (0 while unterminated)
+};
+
+struct GuardScope {
+  std::string var;         // guard variable name
+  std::string mutex_name;  // terminal identifier of the locked expression
+  int decl_line;
+  int end_line;      // last line the guard is held on (inclusive)
+  bool nonblocking;  // try_to_lock / defer_lock / adopt_lock acquisition
+  int func;          // index into FileStructure::funcs, -1 when outside any
+};
+
+struct FileStructure {
+  std::vector<FuncRegion> funcs;
+  std::vector<GuardScope> guards;
+
+  // Innermost function region covering `line`, -1 when none.
+  [[nodiscard]] int FuncAt(int line) const;
+  // True when `line` belongs to the signature of any function region
+  // (header_line..open_line) — used to keep definitions out of call scans.
+  [[nodiscard]] bool IsFuncHeaderLine(int line) const;
+};
+
+FileStructure ScanStructure(const SourceFile& f);
+
+}  // namespace acps::analyze

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Repo lint runner (DESIGN.md "Correctness tooling").
+# Repo lint runner (DESIGN.md "Correctness tooling" / "Static analysis").
 #
 #   tools/lint.sh [build-dir]
 #
-# Two layers:
-#   1. Banned-pattern greps — fast, zero-dependency checks for idioms this
-#      codebase forbids (see BANNED PATTERNS below). Always run.
+# Thin dispatcher over two layers:
+#   1. acps-analyze (tools/analyzer/) — the project-specific static
+#      analyzer: include-graph layering against tools/analyzer/layers.conf,
+#      banned-idiom and determinism audits, ACPS_LOCK_LEVEL lock-order
+#      analysis, sched-point coverage, and tsan.supp justification policy.
+#      Runs its fixture self-test first (every rule must fire on its bad
+#      fixture and stay silent on the good twin), then scans the repo.
+#      The banned-pattern and layering awk rules that used to live in this
+#      script migrated into the analyzer; `lint:allow(<check>)` comments
+#      still work and are honored per-line there.
 #   2. clang-tidy over the compilation database (.clang-tidy at the repo
 #      root) when clang-tidy is installed; skipped with a notice otherwise,
 #      so the script works in minimal containers.
@@ -22,156 +29,62 @@ FAILURES=0
 note() { printf '\n== %s\n' "$*"; }
 
 # ---------------------------------------------------------------------------
-# BANNED PATTERNS
+# Layer 1: acps-analyze
 #
-# Each check greps tracked sources only (src/, tests/, bench/, examples/),
-# and prints offending lines. A line may opt out with an explanatory
-# `lint:allow(<check>)` comment — grep-visible and reviewable.
+# Prefer a binary already produced by any configured build tree; otherwise
+# compile it directly — the analyzer is standard-library-only C++20, so a
+# one-shot compile works in containers that have a compiler but no
+# configured build.
 # ---------------------------------------------------------------------------
-
-# Pattern matcher: $1 = check name, $2 = pattern (ERE), rest = paths.
-# Line comments are stripped before matching so prose like "reuse with a
-# new layout" stays legal; `lint:allow(<check>)` anywhere on the line (i.e.
-# in a trailing comment) exempts it.
-ban() {
-  local check="$1" pattern="$2"
-  shift 2
-  local hits
-  hits=$(find "$@" -type f \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) \
-      -print0 2>/dev/null | sort -z | xargs -0 -r awk -v pat="$pattern" -v check="$check" '
-    {
-      code = $0
-      sub(/\/\/.*/, "", code)
-      if (code ~ pat && index($0, "lint:allow(" check ")") == 0)
-        printf "%s:%d: %s\n", FILENAME, FNR, $0
-    }')
-  if [ -n "$hits" ]; then
-    note "BANNED PATTERN: $check"
-    printf '%s\n' "$hits"
-    FAILURES=1
+ANALYZER=""
+for d in "$BUILD_DIR" build-release build build-tsan build-asan-ubsan \
+         build-coverage; do
+  [ -n "$d" ] && [ -x "$d/tools/analyzer/acps-analyze" ] || continue
+  ANALYZER="$d/tools/analyzer/acps-analyze"
+  break
+done
+if [ -z "$ANALYZER" ]; then
+  CACHE_DIR="${TMPDIR:-/tmp}/acps-lint-cache"
+  mkdir -p "$CACHE_DIR" || exit 2
+  ANALYZER="$CACHE_DIR/acps-analyze"
+  # Rebuild the cached binary whenever any analyzer source is newer.
+  needs_build=0
+  if [ ! -x "$ANALYZER" ]; then
+    needs_build=1
+  else
+    for f in tools/analyzer/*.cc tools/analyzer/*.h; do
+      [ "$f" -nt "$ANALYZER" ] && needs_build=1 && break
+    done
   fi
-}
+  if [ "$needs_build" -eq 1 ]; then
+    CXX_BIN="${CXX:-c++}"
+    if ! command -v "$CXX_BIN" >/dev/null 2>&1; then
+      note "no built acps-analyze and no C++ compiler ('$CXX_BIN') — cannot lint"
+      exit 2
+    fi
+    note "building acps-analyze ($CXX_BIN, one-shot)"
+    if ! "$CXX_BIN" -std=c++20 -O2 tools/analyzer/*.cc -o "$ANALYZER"; then
+      note "acps-analyze failed to compile"
+      exit 2
+    fi
+  fi
+fi
 
-# Naked new/delete: ownership must go through containers or
-# make_unique/make_shared (placement/operator-new overloads excluded by the
-# pattern requiring a following identifier or type).
-ban naked-new '(^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:<]' \
-    src tests bench examples
-ban naked-delete '(^|[^_[:alnum:]])delete(\[\])?[[:space:]]+[[:alnum:]_]' \
-    src tests bench examples
+note "acps-analyze self-test (fixture + mutation gate)"
+if ! "$ANALYZER" --root "$ROOT" --self-test; then
+  FAILURES=1
+fi
 
-# Raw threads live in exactly two places: the deterministic pool (src/par)
-# and the simulated ring workers (src/comm). Everything else expresses
-# concurrency through par::ParallelFor/ParallelReduce or ThreadGroup::Run,
-# so determinism and the thread budget stay centralized. Test code is
-# exempt (obs_test and par_test spawn raw threads precisely to hammer
-# thread safety from outside).
-ban raw-thread 'std::(thread|jthread)' \
-    src/tensor src/linalg src/metrics src/obs src/compress src/fusion \
-    src/models src/sim src/dnn src/core src/check bench examples
-
-# Raw sleeps: waiting is either deterministic virtual time (fault/clock.h
-# BackoffTicks/ConsumeBackoff) or the pool's own parking (src/par). A
-# wall-clock sleep anywhere else reintroduces timing nondeterminism the
-# fault layer exists to eliminate — and hides real ordering bugs behind
-# "long enough" delays. src/fault and src/par are exempt (they implement
-# the sanctioned waits); everything else needs a lint:allow(raw-sleep)
-# justification (e.g. benches that sleep on purpose to shape a trace).
-ban raw-sleep \
-    'std::this_thread::sleep_(for|until)|(^|[^_[:alnum:]])(u|nano)?sleep\(' \
-    src/check src/comm src/compress src/core src/dnn src/fusion src/linalg \
-    src/metrics src/models src/obs src/sim src/tensor tests bench examples
-
-# Unseeded libc RNG: all randomness must flow through tensor/rng.h so runs
-# stay reproducible worker-by-worker.
-ban libc-rand '(^|[^_[:alnum:]])s?rand(om)?\(' src tests bench examples
-
-# abort()/exit() in library code: invariants throw acps::Error (check.h) so
-# harnesses fail loudly but recoverably.
-ban abort-exit '(^|[^_[:alnum:]])(abort|exit)\([^)]*\)' src
-
-# detail::GroupState is the transport's private channel block. Sessions own
-# one, Communicators borrow one — nothing above src/comm may name it, or
-# tenants could bypass session-scoped salts/metrics/fault routing and reach
-# into another job's mailboxes.
-ban groupstate-outside-comm 'detail::GroupState' \
-    src/check src/compress src/core src/dnn src/fault src/fusion src/linalg \
-    src/metrics src/models src/obs src/par src/sim src/tensor \
-    tests bench examples
-
-if [ "$FAILURES" -eq 0 ]; then
-  note "banned-pattern checks: clean"
+note "acps-analyze: src tests bench examples + tsan.supp"
+if ! "$ANALYZER" --root "$ROOT"; then
+  FAILURES=1
 fi
 
 # ---------------------------------------------------------------------------
-# LAYERING
-#
-# Include-graph rules, checked from the raw `#include "..."` lines:
-#
-#   1. The compute layers — src/tensor, src/linalg, src/dnn — sit strictly
-#      below the communication/runtime layers. An include of comm/ or core/
-#      headers from them is an inverted dependency (it would, e.g., let a
-#      layer block on a collective), so it fails the lint.
-#   2. The model checker's instrumentation header (src/check/sched_point.*)
-#      must stay dependency-free: acps_comm/acps_core link it, so if it ever
-#      includes another module the dependency arrow flips into a cycle.
-#   3. The deterministic pool (src/par) sits below every compute layer and
-#      must stay standard-library-only for the same reason — all of tensor/
-#      linalg/compress link it.
-# ---------------------------------------------------------------------------
-
-# $1 = check name, $2 = ERE matched against the include target, $3 = exact
-# include target exempted (empty for none), rest = paths.
-layer_check() {
-  local check="$1" pattern="$2" exempt="$3"
-  shift 3
-  local hits
-  hits=$(find "$@" -type f \( -name '*.cc' -o -name '*.h' \) -print0 \
-      2>/dev/null | sort -z | xargs -0 -r awk \
-      -v pat="$pattern" -v check="$check" -v exempt="$exempt" '
-    /^[[:space:]]*#[[:space:]]*include[[:space:]]*"/ {
-      target = $0
-      sub(/^[[:space:]]*#[[:space:]]*include[[:space:]]*"/, "", target)
-      sub(/".*$/, "", target)
-      if (target ~ pat && target != exempt &&
-          index($0, "lint:allow(" check ")") == 0)
-        printf "%s:%d: %s\n", FILENAME, FNR, $0
-    }')
-  if [ -n "$hits" ]; then
-    note "LAYERING VIOLATION: $check"
-    printf '%s\n' "$hits"
-    FAILURES=1
-  fi
-}
-
-layer_check compute-below-runtime '^(comm|core)/' '' \
-    src/tensor src/linalg src/dnn
-layer_check sched-point-no-deps '\.h$' 'check/sched_point.h' \
-    src/check/sched_point.h src/check/sched_point.cc
-# The fault hook layer (acps_fault_points: injector, virtual clock) is
-# linked by acps_comm and acps_check, so like sched_point it may only
-# include fault/ headers and the standard library.
-layer_check fault-points-no-deps \
-    '^(check|comm|compress|core|dnn|fusion|linalg|metrics|models|obs|par|sim|tensor)/' \
-    '' src/fault/injector.h src/fault/injector.cc src/fault/clock.h \
-    src/fault/clock.cc
-layer_check par-no-deps \
-    '^(check|comm|compress|core|dnn|fusion|linalg|metrics|models|obs|sim|tensor)/' \
-    '' src/par
-# Within src/comm the shared Transport sits strictly below the per-job
-# Session and the Communicator: transport.{h,cc} including either would
-# invert the tenancy layering (the substrate must not know its tenants).
-layer_check transport-below-session '^comm/(session|communicator)\.h$' '' \
-    src/comm/transport.h src/comm/transport.cc
-if [ "$FAILURES" -eq 0 ]; then
-  note "layering checks: clean"
-fi
-
-# ---------------------------------------------------------------------------
-# clang-tidy layer
+# Layer 2: clang-tidy
 # ---------------------------------------------------------------------------
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  note "clang-tidy not installed — skipping static-analysis layer"
+  note "clang-tidy not installed — skipping clang-tidy layer"
 else
   if [ -z "$BUILD_DIR" ]; then
     for d in build-release build build-tsan build-asan-ubsan; do
