@@ -3,7 +3,7 @@
 // as an actual simulated task trace on a small model.
 //
 // With --trace-out=PATH the bench additionally runs a REAL 8-worker ACP-SGD
-// GradReducer step (obs::Tracer attached to the ThreadGroup) and writes the
+// GradReducer step (obs::Tracer attached to the Transport) and writes the
 // recorded spans as Chrome-trace JSON — open it in Perfetto to see a fast
 // worker's bucket all-reduce overlapping slower workers' later grad-ready
 // hooks, i.e. WFBP on actual threads rather than in the simulator.
@@ -51,8 +51,9 @@ void WriteRealTrace(const std::string& path) {
   const int p = 8;
   obs::Tracer tracer;
   tracer.Enable();
-  comm::ThreadGroup group(p);
-  group.set_tracer(&tracer);
+  comm::Transport transport;
+  transport.set_tracer(&tracer);
+  comm::Session group(transport, "", p);
 
   compress::AcpSgdConfig cfg;
   cfg.rank = 2;

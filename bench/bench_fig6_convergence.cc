@@ -7,6 +7,7 @@
 #include "bench_common.h"
 
 #include "core/trainer.h"
+#include "par/thread_pool.h"
 
 using namespace acps;
 
@@ -40,8 +41,10 @@ int main() {
         {"ACP-SGD", core::MakeAcpSgdFactory(4)},
     };
     for (const auto& [name, factory] : methods) {
-      comm::ThreadGroup group(4);
-      const core::TrainResult r = core::TrainDistributed(group, cfg, factory);
+      comm::Transport transport;
+      comm::Session session(transport, "", 4);
+      par::SetNumThreads(par::WorkerThreadBudget(cfg.compute_threads, 4));
+      const core::TrainResult r = core::TrainDistributed(session, cfg, factory);
       table.AddRow({name, metrics::Table::Num(r.final_test_acc, 3),
                     metrics::Table::Num(r.best_test_acc, 3),
                     metrics::Table::Num(r.history.back().train_loss, 3),

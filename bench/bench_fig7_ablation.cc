@@ -8,6 +8,7 @@
 #include "bench_common.h"
 
 #include "core/trainer.h"
+#include "par/thread_pool.h"
 
 using namespace acps;
 
@@ -34,9 +35,11 @@ int main() {
         {"ACP-SGD w/o reuse", true, false},
     };
     for (const auto& [name, ef, reuse] : variants) {
-      comm::ThreadGroup group(4);
+      comm::Transport transport;
+      comm::Session session(transport, "", 4);
+      par::SetNumThreads(par::WorkerThreadBudget(cfg.compute_threads, 4));
       const core::TrainResult r = core::TrainDistributed(
-          group, cfg, core::MakeAcpSgdFactory(4, ef, reuse));
+          session, cfg, core::MakeAcpSgdFactory(4, ef, reuse));
       table.AddRow({name, metrics::Table::Num(r.final_test_acc, 3),
                     metrics::Table::Num(r.best_test_acc, 3),
                     metrics::Table::Num(r.history.back().train_loss, 4)});

@@ -10,7 +10,8 @@ namespace {
 void BM_RingAllReduce(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const auto n = static_cast<size_t>(state.range(1));
-  comm::ThreadGroup group(p);
+  comm::Transport transport;
+  comm::Session group(transport, "", p);
   for (auto _ : state) {
     group.Run([&](comm::Communicator& c) {
       std::vector<float> v(n, static_cast<float>(c.rank()));
@@ -30,7 +31,8 @@ BENCHMARK(BM_RingAllReduce)
 void BM_NaiveAllReduce(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const auto n = static_cast<size_t>(state.range(1));
-  comm::ThreadGroup group(p);
+  comm::Transport transport;
+  comm::Session group(transport, "", p);
   for (auto _ : state) {
     group.Run([&](comm::Communicator& c) {
       std::vector<float> v(n, static_cast<float>(c.rank()));
@@ -44,7 +46,8 @@ BENCHMARK(BM_NaiveAllReduce)->Args({4, 1 << 12})->Args({4, 1 << 16});
 void BM_AllGather(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const auto n = static_cast<size_t>(state.range(1));
-  comm::ThreadGroup group(p);
+  comm::Transport transport;
+  comm::Session group(transport, "", p);
   for (auto _ : state) {
     group.Run([&](comm::Communicator& c) {
       std::vector<float> send(n, 1.0f), recv(n * static_cast<size_t>(p));
@@ -58,7 +61,8 @@ BENCHMARK(BM_AllGather)->Args({4, 1 << 12})->Args({8, 1 << 12});
 void BM_Broadcast(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const auto n = static_cast<size_t>(state.range(1));
-  comm::ThreadGroup group(p);
+  comm::Transport transport;
+  comm::Session group(transport, "", p);
   for (auto _ : state) {
     group.Run([&](comm::Communicator& c) {
       std::vector<float> v(n, static_cast<float>(c.rank()));

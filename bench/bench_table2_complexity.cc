@@ -25,7 +25,8 @@ int main() {
   // Verify the ring formulas against the real thread-cluster collectives.
   const int p = 8;
   const size_t n = 4096;
-  comm::ThreadGroup group(p);
+  comm::Transport transport;
+  comm::Session group(transport, "", p);
   group.Run([&](comm::Communicator& comm) {
     std::vector<float> v(n, 1.0f);
     comm.all_reduce(v);

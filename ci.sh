@@ -59,8 +59,16 @@ run_preset() {
 for leg in "${LEGS[@]}"; do
   case "$leg" in
     analyze|lint)
+      # Static findings surface in seconds, before the first compile. The
+      # leg leaves a machine-readable artifact (SARIF 2.1.0) for code-
+      # scanning upload and prints per-pass timings so a rule that turns
+      # quadratic is caught by eye; lint.sh gates the scan on the committed
+      # baseline and fails on baseline rot.
       echo "==================== analyze ===================="
-      tools/lint.sh
+      mkdir -p build-artifacts
+      ACPS_LINT_SARIF="build-artifacts/analyze.sarif" ACPS_LINT_TIMING=1 \
+          tools/lint.sh
+      echo "analyze: SARIF artifact at build-artifacts/analyze.sarif"
       ;;
     release|tsan|asan-ubsan)
       run_preset "$leg"

@@ -87,7 +87,8 @@ RunOutcome RunWorkload(Workload w, const ExploreOptions& opt,
   out.outputs.assign(static_cast<size_t>(p), {});
   out.traffic.assign(static_cast<size_t>(p), {});
 
-  comm::ThreadGroup group(p);
+  comm::Transport transport;
+  comm::Session group(transport, "", p);
   group.set_contract_checking(opt.contract_checking);
   ScopedSchedListener install(controller);
   // A reused controller must re-enforce / re-inject from window 0, not from

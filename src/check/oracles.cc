@@ -159,7 +159,8 @@ void CheckRankInvariance(const std::string& spec, int64_t numel,
     std::vector<std::vector<float>> results(static_cast<size_t>(p));
     std::string error;
     {
-      comm::ThreadGroup group(p);
+      comm::Transport transport;
+      comm::Session group(transport, "", p);
       group.set_contract_checking(true);
       ScopedSchedListener install(controller);
       try {

@@ -624,6 +624,11 @@ void Communicator::broadcast(std::span<float> data, int root) {
                });
 }
 
+// The shim's own member definitions must keep compiling after the class is
+// [[deprecated]]; callers elsewhere still get the warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 ThreadGroup::ThreadGroup(int world_size, int64_t barrier_timeout_ms)
     : transport_(TransportOptions{.barrier_timeout_ms = barrier_timeout_ms}),
       session_(std::make_unique<Session>(transport_, /*job_id=*/"",
@@ -668,5 +673,7 @@ const std::vector<int>& ThreadGroup::crashed_ranks() const noexcept {
 TrafficStats ThreadGroup::total_stats() const {
   return session_->total_stats();
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace acps::comm

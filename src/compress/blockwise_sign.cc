@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/accum_policy.h"
+
 namespace acps::compress {
 
 namespace {
@@ -27,7 +29,9 @@ void BlockwiseSignCompressor::EncodeInto(std::span<const float> grad,
   wire::Write(out, 0, static_cast<uint64_t>(n));
   wire::Write(out, sizeof(uint64_t), static_cast<uint64_t>(block_size_));
 
-  // Per-block mean magnitude scales.
+  // Per-block mean magnitude scales. The per-block sum runs over ascending
+  // element index on every rank, so encodings are bitwise reproducible.
+  ACPS_ACCUM_POLICY(serial_index_order);
   for (size_t b = 0; b < blocks; ++b) {
     const size_t begin = b * block_size_;
     const size_t end = std::min(n, begin + block_size_);

@@ -39,7 +39,7 @@ void ErrorFeedback::Update(int64_t tensor_id, const Tensor& compressed_input,
 
 int64_t ErrorFeedback::total_elements() const noexcept {
   int64_t total = 0;
-  // lint:allow(unordered-iter) order-independent sum over the residual table
+  // Order-independent sum over the residual table (integer adds commute).
   for (const auto& [id, t] : residuals_) total += t.numel();
   return total;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "par/accum_policy.h"
+
 namespace acps::compress {
 
 namespace {
@@ -18,6 +20,9 @@ void QsgdCompressor::EncodeInto(std::span<const float> grad,
                                 std::span<std::byte> out) {
   const size_t n = grad.size();
   ACPS_CHECK_MSG(out.size() == EncodedBytes(n), "QSGD encode size mismatch");
+  // Norm accumulates over ascending element index; quantization then visits
+  // elements in the same order, so encodings are bitwise reproducible.
+  ACPS_ACCUM_POLICY(serial_index_order);
   double norm_sq = 0.0;
   for (float v : grad) norm_sq += double(v) * v;
   const float norm = static_cast<float>(std::sqrt(norm_sq));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/accum_policy.h"
 #include "par/kernel_stats.h"
 #include "par/parallel.h"
 
@@ -85,6 +86,9 @@ void SignCompressor::MajorityVote(
   ACPS_CHECK_MSG(out.size() == n, "MajorityVote size mismatch");
   par::KernelTimer timer("sign_vote", n * blobs.size());
 
+  // Scales fold in ascending rank order (blobs arrive rank-indexed), the
+  // same order on every voter.
+  ACPS_ACCUM_POLICY(rank_order);
   double scale_sum = 0.0;
   for (const auto& b : blobs) {
     ACPS_CHECK_MSG(wire::Read<uint64_t>(b, sizeof(float)) == n,

@@ -200,22 +200,6 @@ TrainResult TrainImpl(comm::Session& session, const TrainConfig& config,
 
 }  // namespace
 
-TrainResult TrainDistributed(comm::ThreadGroup& group,
-                             const TrainConfig& config,
-                             const AggregatorFactory& factory) {
-  const std::string err = config.Validate(group.world_size());
-  ACPS_CHECK_MSG(err.empty(), "invalid TrainConfig: " << err);
-
-  // Single-tenant path: size the kernel pool before any worker touches it.
-  // The ring workers all share the global pool (busy callers fall back to
-  // inline execution), so the budget is divided across them unless
-  // explicitly requested.
-  par::SetNumThreads(
-      par::WorkerThreadBudget(config.compute_threads, group.world_size()));
-
-  return TrainImpl(group.session(), config, factory);
-}
-
 TrainResult TrainDistributed(comm::Session& session, const TrainConfig& config,
                              const AggregatorFactory& factory) {
   const std::string err = config.Validate(session.world_size());

@@ -31,18 +31,18 @@ struct TrainConfig {
   float weight_decay = 0.0f;
   uint64_t model_seed = 42;
   uint64_t shuffle_seed = 7;
-  // Compute-thread budget for the kernel pool (acps::par), applied at
-  // TrainDistributed entry via par::SetNumThreads. 0 = auto: the current
-  // par::NumThreads() budget divided across the simulated ring workers so
-  // pool + ThreadGroup never oversubscribe the machine (WorkerThreadBudget).
-  // Kernels are bitwise deterministic for any value (DESIGN.md §6e).
+  // Compute-thread budget for the kernel pool (acps::par). TrainDistributed
+  // itself never resizes the shared pool (DESIGN.md §7); single-tenant
+  // drivers apply this via par::SetNumThreads(par::WorkerThreadBudget(...))
+  // before running so pool + session workers never oversubscribe the
+  // machine. Kernels are bitwise deterministic for any value (§6e).
   int compute_threads = 0;
   // If non-empty, the per-epoch history (epoch, train_loss, test_acc) is
   // written there as CSV when training finishes.
   std::string history_csv_path;
   // Optional metrics sink (not owned; may be null). When set and enabled,
   // the trainer records step_us / epoch_us histograms and a steps counter.
-  // Span tracing is configured separately, on the ThreadGroup's Tracer.
+  // Span tracing is configured separately, on the Transport's Tracer.
   obs::MetricsRegistry* metrics = nullptr;
 
   // Returns "" when the config is trainable on `world_size` workers,
@@ -63,20 +63,16 @@ struct TrainResult {
   double best_test_acc = 0.0;
 };
 
-// Runs the experiment on `group` (one worker per communicator rank).
-// The factory is called once per worker, inside that worker's thread.
-// DEPRECATED with comm::ThreadGroup: sizes the global kernel pool for this
-// group as the sole tenant, then delegates to the Session overload.
-[[nodiscard]] TrainResult TrainDistributed(comm::ThreadGroup& group,
-                                           const TrainConfig& config,
-                                           const AggregatorFactory& factory);
-
-// Session overload: runs the experiment as one tenant of a shared transport.
+// Runs the experiment as one tenant of a shared transport (one worker per
+// communicator rank; the factory is called once per worker, inside that
+// worker's thread). Single-tenant callers open an anonymous Session on a
+// private Transport and, if they care about oversubscription, size the
+// kernel pool themselves via par::WorkerThreadBudget.
 // Does NOT resize the global kernel pool — concurrent jobs share it and
 // busy-pool callers fall back to inline execution (the thread-budget
 // donation rule, DESIGN.md §7), so results stay bitwise identical at any
-// tenant count. Rank 0 also records per-step latency into the session's
-// `job/<id>/step_ms` histogram for named jobs.
+// tenant count and any pool size. Rank 0 also records per-step latency
+// into the session's `job/<id>/step_ms` histogram for named jobs.
 [[nodiscard]] TrainResult TrainDistributed(comm::Session& session,
                                            const TrainConfig& config,
                                            const AggregatorFactory& factory);

@@ -97,9 +97,10 @@ JobHandle TrainingService::Submit(const JobSpec& spec,
                    std::to_string(record.id);
   record.world_size = spec.world_size;
   records_.push_back(record);
-  // lint:allow(raw-thread) one dedicated runner per job: a job is a
-  // long-lived blocking tenant (it spawns its own Session::Run workers), so
-  // running it on the shared deterministic pool would deadlock the pool.
+  // One dedicated runner per job: a job is a long-lived blocking tenant
+  // (it spawns its own Session::Run workers), so running it on the shared
+  // deterministic pool would deadlock the pool. The runners_ declaration
+  // carries the raw-thread exemption.
   runners_.emplace_back(&TrainingService::RunnerLoop, this, record.id, spec,
                         std::move(body));
   return record.id;

@@ -18,7 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>  // lint:allow(raw-thread) job runner threads, see Submit
+#include <thread>  // job runner threads, see Submit
 #include <vector>
 
 #include "comm/session.h"

@@ -103,7 +103,8 @@ ChaosRun RunGroup(int world_size,
   ChaosRun run;
   run.outputs.assign(static_cast<size_t>(world_size), {});
   if (with_ef_gap) run.ef_gap.assign(static_cast<size_t>(world_size), 0.0);
-  comm::ThreadGroup group(world_size);
+  comm::Transport transport;
+  comm::Session group(transport, "", world_size);
   try {
     group.Run([&](comm::Communicator& comm) { body(comm, run); });
   } catch (const DetectedError& e) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "par/accum_policy.h"
 #include "par/kernel_stats.h"
 #include "par/parallel.h"
 #include "tensor/matrix_ops.h"
@@ -31,6 +32,12 @@ QrResult ReducedQr(const Tensor& a) {
                  "ReducedQr needs n >= r >= 1, got " << n << "x" << r);
   par::KernelTimer timer(
       "qr", static_cast<uint64_t>(4 * n * r * r));  // ~2nr² factor + 2nr² Q
+
+  // Householder QR is inherently sequential in k; the column norms and
+  // reflector dot products inside each step run over ascending row index on
+  // every rank (the ParallelFor below partitions columns, never a single
+  // reduction), so the factorization is bitwise reproducible.
+  ACPS_ACCUM_POLICY(serial_index_order);
 
   // Work on a copy; accumulate Householder vectors in-place below the
   // diagonal, R above it, then form Q explicitly by back-accumulation.

@@ -1,0 +1,27 @@
+// Accumulation-policy annotation for floating-point reduction kernels.
+//
+// The determinism contract (DESIGN.md "Determinism") demands that every
+// floating-point reduction have a schedule-independent order: float addition
+// does not associate, so "sum these in whatever order the threads finish"
+// yields run-to-run drift. Most kernels get that order from
+// par::ParallelReduce's fixed combine tree. The few that legitimately sum
+// serially (per-column Householder dots, rank-ordered scale averaging)
+// declare their ordering contract by opening the function body with
+//
+//   ACPS_ACCUM_POLICY(serial_index_order);
+//
+// The annotation expands to nothing at runtime — it exists for the reader
+// and for acps-analyze's float-loop-accum rule, which flags any loop-carried
+// float/double accumulation in the numeric-kernel directories whose
+// enclosing function neither routes through ParallelReduce nor carries this
+// annotation. Recognized policies (a reviewer contract, not an enum):
+//
+//   serial_index_order   one thread walks indices 0..n-1; order is the
+//                        index order regardless of the pool size
+//   fixed_tree           pairwise combine over a shape fixed by n and the
+//                        chunk size (what ParallelReduce implements)
+//   rank_order           folds contributions in rank order 0..world-1
+#pragma once
+
+#define ACPS_ACCUM_POLICY(policy) \
+  static_assert(true, "accumulation order: " #policy)

@@ -54,7 +54,7 @@
 #pragma once
 
 #include <condition_variable>
-#include <mutex>  // lint:allow(lock-annotation) wrapper's backing mutex lives here
+#include <mutex>  // the wrapper's backing mutex lives here
 
 #ifdef ACPS_LOCK_CHECK
 #include <cstddef>
@@ -159,7 +159,7 @@ using ConditionVariable = std::condition_variable_any;
 // Annotation-only build: the level lives in the type for acps-analyze to
 // read; the object is exactly a std::mutex.
 template <int Level>
-using LeveledMutex = std::mutex;  // lint:allow(lock-annotation) alias target
+using LeveledMutex = std::mutex;  // alias target, not a declaration site
 
 using ConditionVariable = std::condition_variable;
 

@@ -56,7 +56,8 @@ TestParams MeanOf(int p) {
 
 TEST(AllReduceAggregator, ComputesExactMean) {
   const int p = 4;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   const TestParams expect = MeanOf(p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
@@ -73,7 +74,8 @@ TEST(AllReduceAggregator, ComputesExactMean) {
 
 TEST(AllReduceAggregator, SmallBucketsStillExact) {
   const int p = 3;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   const TestParams expect = MeanOf(p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
@@ -90,7 +92,8 @@ TEST(AllReduceAggregator, SmallBucketsStillExact) {
 // otherwise replicas diverge.
 template <typename MakeAgg>
 void CheckWorkersIdentical(int p, MakeAgg make) {
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::vector<Tensor> w1(static_cast<size_t>(p)), w2(static_cast<size_t>(p)),
       bias(static_cast<size_t>(p));
   group.Run([&](comm::Communicator& comm) {
@@ -133,7 +136,8 @@ TEST(Aggregators, AllWorkersEndIdentical) {
 
 TEST(SignAggregator, MatchesMajorityVoteReference) {
   const int p = 3;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::vector<Tensor> results(static_cast<size_t>(p));
   group.Run([&](comm::Communicator& comm) {
     TestParams tp(comm.rank());
@@ -156,7 +160,8 @@ TEST(SignAggregator, MatchesMajorityVoteReference) {
 
 TEST(TopkAggregator, KeepsOnlyUnionOfTopkCoordinates) {
   const int p = 2;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::vector<Tensor> results(static_cast<size_t>(p));
   group.Run([&](comm::Communicator& comm) {
     TestParams tp(comm.rank());
@@ -177,7 +182,8 @@ TEST(TopkAggregator, KeepsOnlyUnionOfTopkCoordinates) {
 TEST(PowerSgdAggregator, VectorParamsExact) {
   // Vector params bypass compression and must be exactly averaged.
   const int p = 4;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   const TestParams expect = MeanOf(p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
@@ -195,7 +201,8 @@ TEST(AcpSgdAggregator, ApproximatesMeanOverSteps) {
   // converges to the true mean gradient (each worker keeps the same local
   // gradient across steps).
   const int p = 4;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   const TestParams expect = MeanOf(p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
@@ -220,7 +227,8 @@ TEST(AcpSgdAggregator, ApproximatesMeanOverSteps) {
 
 TEST(AcpSgdAggregator, VectorParamsExact) {
   const int p = 4;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   const TestParams expect = MeanOf(p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {

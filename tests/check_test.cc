@@ -229,7 +229,7 @@ TEST(FaultInjectionTest, CleanRunStaysClean) {
 }
 
 TEST(FaultInjectionTest, ReusedControllerInjectsIdenticallyAcrossRuns) {
-  // Regression: window_ kept counting up across ThreadGroup runs, so a
+  // Regression: window_ kept counting up across Session runs, so a
   // FaultSpec aimed at window 0 only ever fired on the FIRST run through a
   // reused controller — later runs silently stopped injecting.
   // ResetRunState() (called by the explorer before every run) rearms it.
@@ -242,7 +242,8 @@ TEST(FaultInjectionTest, ReusedControllerInjectsIdenticallyAcrossRuns) {
 
   const auto run_once = [&controller] {
     std::vector<std::vector<float>> out(3);
-    comm::ThreadGroup group(3);
+    comm::Transport group_transport;
+    comm::Session group(group_transport, "", 3);
     ScopedSchedListener install(&controller);
     controller.ResetRunState();
     group.Run([&out](comm::Communicator& comm) {

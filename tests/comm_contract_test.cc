@@ -21,7 +21,7 @@ namespace {
 // Runs `fn` on `group`, expecting an Error whose message contains all of
 // `needles`; returns the message for extra assertions.
 template <typename Fn>
-std::string ExpectErrorContaining(ThreadGroup& group, Fn fn,
+std::string ExpectErrorContaining(Session& group, Fn fn,
                                   const std::vector<std::string>& needles) {
   std::string message;
   try {
@@ -71,7 +71,8 @@ TEST(CollectiveFingerprint, DescribeAndMatches) {
 }
 
 TEST(ContractChecker, HealthyCollectivesPassWithCheckingOn) {
-  ThreadGroup group(4);
+  Transport transport;
+  Session group(transport, "", 4);
   group.set_contract_checking(true);
   ASSERT_TRUE(group.contract_checking());
   std::atomic<int> ok{0};
@@ -97,7 +98,8 @@ TEST(ContractChecker, HealthyCollectivesPassWithCheckingOn) {
 // Scenario (a): a size-mismatched all_reduce must produce the per-rank
 // diagnostic, not a hang or a garbage reduction.
 TEST(ContractChecker, SizeMismatchedAllReduceDiagnosed) {
-  ThreadGroup group(3, /*barrier_timeout_ms=*/30000);
+  Transport transport({.barrier_timeout_ms = 30000});
+  Session group(transport, "", 3);
   group.set_contract_checking(true);
   const auto msg = ExpectErrorContaining(
       group,
@@ -117,7 +119,8 @@ TEST(ContractChecker, SizeMismatchedAllReduceDiagnosed) {
 // Scenario (b): a divergent collective *sequence* — one rank calls barrier
 // while the others call all_gather — is detected at the rendezvous.
 TEST(ContractChecker, DivergentSequenceDetected) {
-  ThreadGroup group(3, /*barrier_timeout_ms=*/30000);
+  Transport transport({.barrier_timeout_ms = 30000});
+  Session group(transport, "", 3);
   group.set_contract_checking(true);
   ExpectErrorContaining(
       group,
@@ -135,7 +138,8 @@ TEST(ContractChecker, DivergentSequenceDetected) {
 }
 
 TEST(ContractChecker, MismatchedReduceOpDetected) {
-  ThreadGroup group(2, /*barrier_timeout_ms=*/30000);
+  Transport transport({.barrier_timeout_ms = 30000});
+  Session group(transport, "", 2);
   group.set_contract_checking(true);
   ExpectErrorContaining(
       group,
@@ -147,7 +151,8 @@ TEST(ContractChecker, MismatchedReduceOpDetected) {
 }
 
 TEST(ContractChecker, MismatchedAlgoDetected) {
-  ThreadGroup group(2, /*barrier_timeout_ms=*/30000);
+  Transport transport({.barrier_timeout_ms = 30000});
+  Session group(transport, "", 2);
   group.set_contract_checking(true);
   ExpectErrorContaining(
       group,
@@ -163,7 +168,8 @@ TEST(ContractChecker, MismatchedAlgoDetected) {
 // Scenario (c): the watchdog fires on a rank that never shows up and the
 // error names which ranks are blocked in which collective.
 TEST(CollectiveWatchdog, FiresAndNamesBlockedRanks) {
-  ThreadGroup group(3, /*barrier_timeout_ms=*/300);
+  Transport transport({.barrier_timeout_ms = 300});
+  Session group(transport, "", 3);
   const auto start = std::chrono::steady_clock::now();
   const auto msg = ExpectErrorContaining(
       group,
@@ -185,7 +191,8 @@ TEST(CollectiveWatchdog, TimeoutConfigurableViaEnvironment) {
   // ACPS_COLLECTIVE_TIMEOUT_MS; the run would otherwise stall for the
   // 60-second fallback, so this test passing quickly is itself the check.
   ASSERT_EQ(setenv("ACPS_COLLECTIVE_TIMEOUT_MS", "300", /*overwrite=*/1), 0);
-  ThreadGroup group(2);
+  Transport transport;
+  Session group(transport, "", 2);
   unsetenv("ACPS_COLLECTIVE_TIMEOUT_MS");
   const auto start = std::chrono::steady_clock::now();
   ExpectErrorContaining(
@@ -199,7 +206,8 @@ TEST(CollectiveWatchdog, TimeoutConfigurableViaEnvironment) {
 }
 
 TEST(CollectiveWatchdog, GroupReusableAfterContractViolation) {
-  ThreadGroup group(2, /*barrier_timeout_ms=*/30000);
+  Transport transport({.barrier_timeout_ms = 30000});
+  Session group(transport, "", 2);
   group.set_contract_checking(true);
   ExpectErrorContaining(
       group,

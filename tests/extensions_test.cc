@@ -27,7 +27,8 @@ TEST_P(HierarchicalTest, MatchesFlatAllReduce) {
   const auto [nodes, gpn] = GetParam();
   const int p = nodes * gpn;
   const size_t n = 37;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
     std::vector<float> hier(n), flat(n);
@@ -52,7 +53,8 @@ INSTANTIATE_TEST_SUITE_P(Topologies, HierarchicalTest,
                                            std::tuple{4, 1}));
 
 TEST(Hierarchical, RejectsNonDividingGroupSize) {
-  comm::ThreadGroup group(4);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 4);
   EXPECT_THROW(group.Run([&](comm::Communicator& comm) {
     std::vector<float> v(4, 1.0f);
     comm::HierarchicalAllReduce(comm, v, 3);

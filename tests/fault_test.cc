@@ -188,9 +188,10 @@ TEST(FaultObservabilityTest, InjectedFaultsEmitCountersAndSpans) {
   tracer.Enable();
   obs::MetricsRegistry metrics;
   metrics.Enable();
-  comm::ThreadGroup group(kWorld);
-  group.set_tracer(&tracer);
-  group.set_metrics(&metrics);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", kWorld);
+  group_transport.set_tracer(&tracer);
+  group_transport.set_metrics(&metrics);
 
   const auto run_collectives = [](comm::Communicator& comm) {
     std::vector<float> data(6, 1.0f);
@@ -278,7 +279,8 @@ TEST(FaultObservabilityTest, ContractCheckingCoexistsWithRetries) {
 
   const auto run_once = [&](bool inject) {
     std::vector<std::vector<std::byte>> outs(kWorld);
-    comm::ThreadGroup group(kWorld);
+    comm::Transport group_transport;
+    comm::Session group(group_transport, "", kWorld);
     group.set_contract_checking(true);
     fault::FaultPlanConfig cfg;
     cfg.seed = 31;
@@ -328,7 +330,8 @@ TEST(ChaosDetectionTest, HealthyRanksReportPeerDeliveryFailure) {
   fault::ScopedFaultInjector install(&injector);
 
   std::vector<std::string> errors(3);
-  comm::ThreadGroup group(3);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 3);
   group.Run([&](comm::Communicator& comm) {
     std::vector<float> data(6, 1.0f);
     try {
@@ -361,7 +364,8 @@ TEST(CrashRecoveryTest, SoleSurvivorAllGatherV) {
 
   std::vector<std::byte> out;
   std::vector<size_t> offsets;
-  comm::ThreadGroup group(2);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 2);
   group.Run([&](comm::Communicator& comm) {
     std::vector<std::byte> send(4, std::byte{static_cast<uint8_t>(9)});
     std::vector<std::byte> recv;
@@ -392,7 +396,8 @@ TEST(CrashRecoveryTest, LaterCollectivesRunOverSurvivors) {
 
   std::vector<std::vector<float>> results(kWorld);
   std::vector<int> alive_seen(kWorld, -1);
-  comm::ThreadGroup group(kWorld);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", kWorld);
   group.Run([&](comm::Communicator& comm) {
     std::vector<float> data(8, static_cast<float>(comm.rank() + 1));
     comm.all_reduce(data);  // collective #1: all four ranks participate

@@ -50,7 +50,8 @@ TEST(GradReducer, MatchesAggregatorResults) {
 
   std::vector<Tensor> via_reducer(static_cast<size_t>(p));
   {
-    comm::ThreadGroup group(p);
+    comm::Transport group_transport;
+    comm::Session group(group_transport, "", p);
     group.Run([&](comm::Communicator& comm) {
       TestParams tp(comm.rank());
       GradReducer reducer(tp.list(), cfg, &comm);
@@ -72,7 +73,8 @@ TEST(GradReducer, MatchesAggregatorResults) {
 
   std::vector<Tensor> via_aggregator(static_cast<size_t>(p));
   {
-    comm::ThreadGroup group(p);
+    comm::Transport group_transport;
+    comm::Session group(group_transport, "", p);
     group.Run([&](comm::Communicator& comm) {
       TestParams tp(comm.rank());
       AcpSgdAggregator agg(cfg);
@@ -95,7 +97,8 @@ TEST(GradReducer, MatchesAggregatorResults) {
 }
 
 TEST(GradReducer, ContractViolationsThrow) {
-  comm::ThreadGroup group(1);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 1);
   group.Run([&](comm::Communicator& comm) {
     TestParams tp(0);
     GradReducer reducer(tp.list(), compress::AcpSgdConfig{}, &comm);
@@ -114,7 +117,8 @@ TEST(GradReducer, ContractViolationsThrow) {
 }
 
 TEST(GradReducer, AlternatesParityAcrossSteps) {
-  comm::ThreadGroup group(2);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 2);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
     TestParams tp(comm.rank());
@@ -162,7 +166,8 @@ TEST(NetworkHook, EndToEndTrainingStepThroughReducer) {
   // A complete data-parallel step: forward, backward with hooks streaming
   // into the reducer, optimizer update — replicas must remain identical.
   const int p = 2;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::vector<float> first_weight(static_cast<size_t>(p));
   group.Run([&](comm::Communicator& comm) {
     dnn::Network net = dnn::ResMini();

@@ -138,7 +138,8 @@ TEST(Integration, DistributedTrainingIsDeterministic) {
   cfg.lr = dnn::LrSchedule{0.05f, 1, {}, 1.0f};
 
   auto run = [&] {
-    comm::ThreadGroup group(2);
+    comm::Transport group_transport;
+    comm::Session group(group_transport, "", 2);
     return core::TrainDistributed(group, cfg, core::MakeAcpSgdFactory(2));
   };
   const core::TrainResult a = run();
@@ -165,9 +166,12 @@ TEST(Integration, SsgdMatchesSingleWorkerWithBigBatch) {
   core::TrainConfig one = two;
   one.batch_per_worker = 32;
 
-  comm::ThreadGroup g2(2);
+  comm::Transport g2_transport;
+
+  comm::Session g2(g2_transport, "", 2);
   const auto r2 = core::TrainDistributed(g2, two, core::MakeSsgdFactory());
-  comm::ThreadGroup g1(1);
+  comm::Transport g1_transport;
+  comm::Session g1(g1_transport, "", 1);
   const auto r1 = core::TrainDistributed(g1, one, core::MakeSsgdFactory());
   // Different batch composition (shuffling) => only statistical agreement.
   EXPECT_NEAR(r2.final_test_acc, r1.final_test_acc, 0.25);
@@ -179,7 +183,8 @@ TEST(Integration, AllReduceAggregatorMatchesManualMeanAnyShapes) {
   const int p = 3;
   // A mix of many small params to exercise bucket boundaries.
   const std::vector<Shape> shapes = {{3, 5}, {7}, {2, 2}, {1}, {11, 3}, {4}};
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
     std::vector<dnn::Param> params(shapes.size());

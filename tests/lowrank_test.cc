@@ -231,7 +231,8 @@ TEST(AcpSgd, WorkersStayConsistent) {
   // All workers must produce bit-identical aggregated gradients: identical
   // seeds for the factors, mean-all-reduce for the rest.
   const int p = 4;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::vector<Tensor> results(static_cast<size_t>(p));
   group.Run([&](comm::Communicator& comm) {
     AcpSgdConfig cfg;
@@ -276,7 +277,9 @@ TEST(AcpSgd, AggregatedEqualsCompressedMeanGradient) {
   Tensor expect = mean_grad.clone();
   ref.Step(0, expect, kIdentity);
 
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+
+  comm::Session group(group_transport, "", p);
   std::vector<Tensor> results(static_cast<size_t>(p));
   group.Run([&](comm::Communicator& comm) {
     AcpSgd acp(cfg);

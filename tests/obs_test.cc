@@ -366,8 +366,9 @@ TEST(GradReducerTrace, WfbpOverlapVisibleInParsedJson) {
   constexpr int kWorkers = 8;
   Tracer tracer;
   tracer.Enable();
-  comm::ThreadGroup group(kWorkers);
-  group.set_tracer(&tracer);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", kWorkers);
+  group_transport.set_tracer(&tracer);
 
   compress::AcpSgdConfig cfg;
   cfg.rank = 2;

@@ -94,7 +94,8 @@ TEST(Properties, RingAllReducePrecisionAtScale) {
   // from naive summation).
   const int p = 8;
   const size_t n = 40000;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
     Rng rng(3000 + static_cast<uint64_t>(comm.rank()));

@@ -23,7 +23,9 @@ TEST(Stress, RandomizedAllReduceSequences) {
     for (int i = 0; i < ops; ++i)
       sizes.push_back(1 + static_cast<size_t>(meta.next_below(3000)));
 
-    comm::ThreadGroup group(p);
+    comm::Transport group_transport;
+
+    comm::Session group(group_transport, "", p);
     std::atomic<int> failures{0};
     group.Run([&](comm::Communicator& comm) {
       for (int op = 0; op < ops; ++op) {
@@ -59,7 +61,8 @@ TEST(Stress, RandomizedAllReduceSequences) {
 
 TEST(Stress, MixedCollectivesInterleaved) {
   const int p = 4;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
     Rng rng(42);  // same on all workers: same op sequence
@@ -101,7 +104,8 @@ TEST(Stress, RandomkAggregatorAdditiveAllReducePath) {
   // The additive property end to end: workers hold different gradients,
   // the result must equal the mean restricted to the shared coordinates.
   const int p = 4;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
     dnn::Param w;
@@ -146,7 +150,8 @@ TEST(Stress, RandomkAggregatorWithErrorFeedbackConverges) {
   // With EF, repeated aggregation of the same gradients averages to the
   // true mean even though each step keeps only 20% of coordinates.
   const int p = 2;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
     core::RandomkAggregator agg(0.2, /*error_feedback=*/true);
@@ -184,7 +189,8 @@ TEST(Stress, RandomkAggregatorWithErrorFeedbackConverges) {
 TEST(Stress, AggregatorsSurviveManyTinyParams) {
   // 100 params of 1-5 elements each: exercises bucket edge cases hard.
   const int p = 3;
-  comm::ThreadGroup group(p);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", p);
   std::atomic<int> failures{0};
   group.Run([&](comm::Communicator& comm) {
     std::vector<dnn::Param> params(100);

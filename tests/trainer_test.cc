@@ -22,7 +22,8 @@ TrainConfig SmallConfig() {
 }
 
 TEST(Trainer, SsgdLossDecreases) {
-  comm::ThreadGroup group(4);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 4);
   const TrainResult r = TrainDistributed(group, SmallConfig(), MakeSsgdFactory());
   ASSERT_EQ(r.history.size(), 4u);
   EXPECT_LT(r.history.back().train_loss, 0.7 * r.history.front().train_loss);
@@ -30,7 +31,8 @@ TEST(Trainer, SsgdLossDecreases) {
 }
 
 TEST(Trainer, AcpSgdLearns) {
-  comm::ThreadGroup group(4);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 4);
   TrainConfig cfg = SmallConfig();
   cfg.epochs = 6;
   cfg.lr.decay_epochs = {4};
@@ -40,7 +42,8 @@ TEST(Trainer, AcpSgdLearns) {
 }
 
 TEST(Trainer, WorldSizeOneMatchesSingleProcess) {
-  comm::ThreadGroup group(1);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 1);
   TrainConfig cfg = SmallConfig();
   cfg.batch_per_worker = 64;
   const TrainResult r = TrainDistributed(group, cfg, MakeSsgdFactory());
@@ -48,20 +51,23 @@ TEST(Trainer, WorldSizeOneMatchesSingleProcess) {
 }
 
 TEST(Trainer, RejectsNonDivisibleSamples) {
-  comm::ThreadGroup group(3);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 3);
   TrainConfig cfg = SmallConfig();  // 512 not divisible by 3*32
   EXPECT_THROW((void)TrainDistributed(group, cfg, MakeSsgdFactory()), Error);
 }
 
 TEST(Trainer, HistoryIsOrdered) {
-  comm::ThreadGroup group(2);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 2);
   const TrainResult r = TrainDistributed(group, SmallConfig(), MakeSsgdFactory());
   for (size_t i = 0; i < r.history.size(); ++i)
     EXPECT_EQ(r.history[i].epoch, static_cast<int>(i));
 }
 
 TEST(DistributedOptimizer, StepAggregatesAndUpdates) {
-  comm::ThreadGroup group(2);
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 2);
   std::vector<float> first_weights(2);
   group.Run([&](comm::Communicator& comm) {
     dnn::Network net = dnn::VggMini();

@@ -1,0 +1,208 @@
+#include "callgraph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <map>
+#include <regex>
+
+namespace acps::analyze {
+
+namespace {
+
+bool IsKeyword(const std::string& id) {
+  static const std::set<std::string> kw = {
+      "if",     "for",      "while",  "switch",   "catch",    "return",
+      "do",     "else",     "sizeof", "case",     "new",      "delete",
+      "throw",  "co_await", "co_return", "co_yield", "alignof", "decltype",
+      "static_assert", "assert", "defined"};
+  return kw.count(id) > 0;
+}
+
+}  // namespace
+
+bool IsGenericCallName(const std::string& n) {
+  static const std::set<std::string> generic = {
+      "size",      "count",      "empty",      "clear",     "begin",
+      "end",       "rbegin",     "rend",       "data",      "find",
+      "at",        "erase",      "insert",     "push_back", "pop_back",
+      "emplace",   "emplace_back", "front",    "back",      "str",
+      "c_str",     "length",     "substr",     "append",    "assign",
+      "resize",    "reserve",    "swap",       "get",       "value",
+      "reset",     "lock",       "unlock",     "try_lock",  "wait",
+      "wait_for",  "wait_until", "notify_one", "notify_all", "move",
+      "forward",   "make_unique", "make_shared", "make_pair", "to_string",
+      "min",       "max",        "abs"};
+  return generic.count(n) > 0;
+}
+
+std::vector<int> ResolveCall(const SymbolIndex& index, const std::string& chain,
+                             int file) {
+  std::vector<int> out;
+  // Standard-library calls never resolve into repo symbols.
+  if (chain.compare(0, 5, "std::") == 0) return out;
+  const size_t sep = chain.rfind("::");
+  const std::string simple =
+      sep == std::string::npos ? chain : chain.substr(sep + 2);
+  if (IsKeyword(simple) || IsGenericCallName(simple)) return out;
+  const bool qualified = sep != std::string::npos;
+  for (const int cand : index.BySimple(simple)) {
+    const Symbol& sym = index.symbols()[static_cast<size_t>(cand)];
+    if (sym.anon_file >= 0 && sym.anon_file != file) continue;
+    if (qualified) {
+      // "A::b" binds only to symbols whose qualified name ends with the
+      // chain on a component boundary.
+      std::string q = sym.qualified;
+      if (const size_t at = q.find('@'); at != std::string::npos) q.resize(at);
+      if (q.size() < chain.size()) continue;
+      if (q.compare(q.size() - chain.size(), chain.size(), chain) != 0)
+        continue;
+      if (q.size() > chain.size() &&
+          q.compare(q.size() - chain.size() - 2, 2, "::") != 0)
+        continue;
+    }
+    out.push_back(cand);
+  }
+  return out;
+}
+
+CallGraph CallGraph::Build(const Corpus& corpus, const SymbolIndex& index) {
+  CallGraph out;
+  const size_t n = index.symbols().size();
+  out.callees_.resize(n);
+  out.callers_.resize(n);
+  out.sites_.resize(n);
+
+  static const std::regex call_re(
+      R"(((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*\()");
+
+  std::vector<std::set<int>> edge_sets(n);
+  for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
+    const auto& f = corpus.files[fi];
+    const auto& st = corpus.structure[fi];
+    for (size_t li = 0; li < f.code.size(); ++li) {
+      const int lineno = static_cast<int>(li + 1);
+      if (st.IsFuncHeaderLine(lineno)) continue;
+      const int from =
+          index.SymbolAt(corpus, static_cast<int>(fi), lineno);
+      if (from < 0) continue;
+      const std::string& line = f.code[li];
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), call_re);
+           it != std::sregex_iterator(); ++it) {
+        std::string chain;
+        for (const char c : (*it)[1].str())
+          if (!std::isspace(static_cast<unsigned char>(c))) chain += c;
+        for (const int cand : ResolveCall(index, chain, static_cast<int>(fi))) {
+          if (cand == from) continue;
+          if (edge_sets[static_cast<size_t>(from)].insert(cand).second) {
+            out.callees_[static_cast<size_t>(from)].push_back(cand);
+            out.callers_[static_cast<size_t>(cand)].push_back(from);
+            out.sites_[static_cast<size_t>(from)].push_back(
+                {cand, static_cast<int>(fi), lineno});
+          }
+        }
+      }
+    }
+  }
+  for (auto& v : out.callees_) std::sort(v.begin(), v.end());
+  for (auto& v : out.callers_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return out;
+}
+
+const std::vector<int>& CallGraph::Callees(int sym) const {
+  static const std::vector<int> empty;
+  if (sym < 0 || sym >= static_cast<int>(callees_.size())) return empty;
+  return callees_[static_cast<size_t>(sym)];
+}
+
+const std::vector<int>& CallGraph::Callers(int sym) const {
+  static const std::vector<int> empty;
+  if (sym < 0 || sym >= static_cast<int>(callers_.size())) return empty;
+  return callers_[static_cast<size_t>(sym)];
+}
+
+bool CallGraph::EdgeSite(int caller, int callee, int& file, int& line) const {
+  if (caller < 0 || caller >= static_cast<int>(sites_.size())) return false;
+  for (const auto& s : sites_[static_cast<size_t>(caller)]) {
+    if (s[0] == callee) {
+      file = s[1];
+      line = s[2];
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int> CallGraph::FindPath(int from,
+                                     const std::set<int>& targets) const {
+  if (from < 0 || targets.empty()) return {};
+  std::map<int, int> parent;
+  std::deque<int> queue;
+  parent[from] = from;
+  queue.push_back(from);
+  int found = -1;
+  if (targets.count(from)) found = from;
+  while (found < 0 && !queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    for (const int next : Callees(cur)) {
+      if (parent.count(next)) continue;
+      parent[next] = cur;
+      if (targets.count(next)) {
+        found = next;
+        break;
+      }
+      queue.push_back(next);
+    }
+  }
+  if (found < 0) return {};
+  std::vector<int> path;
+  for (int cur = found;; cur = parent[cur]) {
+    path.push_back(cur);
+    if (cur == parent[cur]) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::set<std::string>> PropagateFacts(
+    const CallGraph& graph, const std::vector<std::set<std::string>>& seeds) {
+  std::vector<std::set<std::string>> trans = seeds;
+  std::deque<int> work;
+  std::vector<char> queued(trans.size(), 0);
+  for (size_t i = 0; i < trans.size(); ++i) {
+    if (!trans[i].empty()) {
+      work.push_back(static_cast<int>(i));
+      queued[i] = 1;
+    }
+  }
+  while (!work.empty()) {
+    const int sym = work.front();
+    work.pop_front();
+    queued[static_cast<size_t>(sym)] = 0;
+    for (const int caller : graph.Callers(sym)) {
+      auto& dst = trans[static_cast<size_t>(caller)];
+      const size_t before = dst.size();
+      dst.insert(trans[static_cast<size_t>(sym)].begin(),
+                 trans[static_cast<size_t>(sym)].end());
+      if (dst.size() != before && !queued[static_cast<size_t>(caller)]) {
+        work.push_back(caller);
+        queued[static_cast<size_t>(caller)] = 1;
+      }
+    }
+  }
+  return trans;
+}
+
+Semantics BuildSemantics(const Corpus& corpus, bool enabled) {
+  Semantics sem;
+  sem.symbols = SymbolIndex::Build(corpus);
+  sem.enabled = enabled;
+  if (enabled) sem.graph = CallGraph::Build(corpus, sem.symbols);
+  return sem;
+}
+
+}  // namespace acps::analyze

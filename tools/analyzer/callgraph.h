@@ -1,0 +1,83 @@
+// acps-analyze phase 1: call graph over the symbol index.
+//
+// Call sites are matched textually (`name(` / `A::b(`), resolved through
+// SymbolIndex by simple name — qualified spellings additionally require the
+// qualifier chain to suffix-match the candidate's qualified name, and
+// unqualified names never bind to another file's anonymous-namespace
+// statics. Resolution over-approximates on purpose: an overloaded name adds
+// an edge to every overload, which is the sound direction for the lock and
+// sched-point rules built on top (a spurious edge can only make the
+// analysis stricter). Method names too generic to resolve textually
+// (size/get/lock/wait/...) contribute no edges at all.
+//
+// Rules consume the graph through transitive queries: Propagate() runs a
+// reverse-edge fixpoint to fold per-symbol facts (direct lock acquisitions,
+// "contains a SchedPoint") into their transitive versions, and FindPath()
+// reconstructs one witness call chain for diagnostics.
+#pragma once
+
+#include <array>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "symbols.h"
+
+namespace acps::analyze {
+
+class CallGraph {
+ public:
+  static CallGraph Build(const Corpus& corpus, const SymbolIndex& index);
+
+  // Direct callees of `sym`, sorted, deduplicated.
+  [[nodiscard]] const std::vector<int>& Callees(int sym) const;
+  // Direct callers of `sym`, sorted, deduplicated.
+  [[nodiscard]] const std::vector<int>& Callers(int sym) const;
+
+  // Representative call site for the edge caller->callee; returns false
+  // when no such edge exists.
+  [[nodiscard]] bool EdgeSite(int caller, int callee, int& file,
+                              int& line) const;
+
+  // Shortest call path from `from` to any symbol in `targets` (following
+  // callee edges, `from` itself counts). Empty when unreachable.
+  [[nodiscard]] std::vector<int> FindPath(int from,
+                                          const std::set<int>& targets) const;
+
+  [[nodiscard]] size_t size() const { return callees_.size(); }
+
+ private:
+  std::vector<std::vector<int>> callees_;
+  std::vector<std::vector<int>> callers_;
+  // (caller, callee) -> (file, line) of one representative site.
+  std::vector<std::vector<std::array<int, 3>>> sites_;  // callee,file,line
+};
+
+// True for method names too generic to resolve textually (accessors,
+// container/sync primitives). Shared with the lock rules.
+bool IsGenericCallName(const std::string& name);
+
+// Symbols a call spelled `chain` ("name" or "A::b", whitespace-free) from
+// inside `file` may bind to. Empty for keywords, generic names, and
+// unresolvable qualifiers. Over-approximates across overloads.
+std::vector<int> ResolveCall(const SymbolIndex& index,
+                             const std::string& chain, int file);
+
+// Reverse-propagation fixpoint: seeds[i] holds symbol i's direct facts;
+// returns per-symbol transitive facts (union over everything reachable
+// through callee edges, including the symbol itself).
+std::vector<std::set<std::string>> PropagateFacts(
+    const CallGraph& graph, const std::vector<std::set<std::string>>& seeds);
+
+// Everything phase 2 needs from phase 1. `enabled` is false under
+// --no-callgraph: rules must then fall back to purely local reasoning (the
+// degraded mode the interprocedural fixtures prove is weaker).
+struct Semantics {
+  SymbolIndex symbols;
+  CallGraph graph;
+  bool enabled = true;
+};
+
+Semantics BuildSemantics(const Corpus& corpus, bool enabled);
+
+}  // namespace acps::analyze

@@ -102,4 +102,54 @@ bool Config::HasScope(const std::string& check) const {
   return scopes_.count(check) > 0;
 }
 
+bool Config::ParseRegistry(const std::string& text, std::string& error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tok(line);
+    std::string kind, name;
+    if (!(tok >> kind)) continue;
+    if (!(tok >> name)) {
+      error = "metrics.conf:" + std::to_string(lineno) + ": '" + kind +
+              "' needs a name";
+      return false;
+    }
+    if (kind == "metric") {
+      metric_names_.insert(name);
+    } else if (kind == "span") {
+      span_names_.insert(name);
+    } else {
+      error = "metrics.conf:" + std::to_string(lineno) +
+              ": unknown directive '" + kind + "'";
+      return false;
+    }
+  }
+  has_registry_ = true;
+  return true;
+}
+
+void Config::ParseEnvDocs(const std::string& text) {
+  has_env_docs_ = true;
+  // Any ACPS_* token present anywhere in the README counts as documented;
+  // the reference table is where they are expected to live, but a mention
+  // in running text is documentation too.
+  for (size_t i = 0; i + 5 <= text.size();) {
+    if (text.compare(i, 5, "ACPS_") != 0) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 5;
+    while (j < text.size() &&
+           ((text[j] >= 'A' && text[j] <= 'Z') ||
+            (text[j] >= '0' && text[j] <= '9') || text[j] == '_'))
+      ++j;
+    if (j > i + 5) documented_env_.insert(text.substr(i, j - i));
+    i = j;
+  }
+}
+
 }  // namespace acps::analyze

@@ -18,6 +18,15 @@
 // A prefix matches a path when it is the whole path, names an enclosing
 // directory, or ends with '.' / '/' and is a string prefix — so
 // "src/comm/transport." covers both transport.h and transport.cc.
+//
+// Two auxiliary inputs ride along for the contract-audit rules:
+//
+//   tools/analyzer/metrics.conf  the generated metric/span name registry
+//                                (`metric <tail>` / `span <name>` lines,
+//                                regenerate with --gen-metric-registry)
+//   README.md                    the ACPS_* environment-variable reference
+//                                table; any ACPS_[A-Z0-9_]+ token in the
+//                                README counts as documented.
 #pragma once
 
 #include <map>
@@ -57,12 +66,40 @@ class Config {
                              const std::string& path) const;
   [[nodiscard]] bool HasScope(const std::string& check) const;
 
+  // Parses metrics.conf text (`metric <tail>` / `span <name>`, '#' comments).
+  bool ParseRegistry(const std::string& text, std::string& error);
+  // Drops any parsed registry (the self-test swaps in per-fixture ones).
+  void ResetRegistry() {
+    has_registry_ = false;
+    metric_names_.clear();
+    span_names_.clear();
+  }
+  // Harvests documented ACPS_* names from README text.
+  void ParseEnvDocs(const std::string& text);
+
+  [[nodiscard]] bool has_registry() const { return has_registry_; }
+  [[nodiscard]] const std::set<std::string>& MetricNames() const {
+    return metric_names_;
+  }
+  [[nodiscard]] const std::set<std::string>& SpanNames() const {
+    return span_names_;
+  }
+  [[nodiscard]] bool has_env_docs() const { return has_env_docs_; }
+  [[nodiscard]] const std::set<std::string>& DocumentedEnv() const {
+    return documented_env_;
+  }
+
  private:
   std::vector<Module> modules_;
   std::set<std::pair<std::string, std::string>> allowed_;
   std::set<std::string> open_;
   std::map<std::string, std::vector<std::string>> scopes_;
   std::map<std::string, std::vector<std::string>> exempts_;
+  bool has_registry_ = false;
+  std::set<std::string> metric_names_;
+  std::set<std::string> span_names_;
+  bool has_env_docs_ = false;
+  std::set<std::string> documented_env_;
 };
 
 // True when `prefix` matches `path` per the rules above.

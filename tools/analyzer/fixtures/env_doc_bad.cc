@@ -1,0 +1,16 @@
+// acps-fixture-path: src/core/fixture_env.cc
+// acps-expect: env-var-documented
+//
+// Known-bad twin for env-var-documented: the code grows a new ACPS_*
+// knob that the README reference table has never heard of — an
+// undocumented environment variable is configuration nobody can discover.
+#include <cstdlib>
+
+namespace acps {
+
+int FixtureKnob() {
+  const char* v = std::getenv("ACPS_FIXTURE_KNOB");
+  return v != nullptr ? 1 : 0;
+}
+
+}  // namespace acps

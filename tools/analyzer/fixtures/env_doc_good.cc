@@ -1,0 +1,16 @@
+// acps-fixture-path: src/core/fixture_env.cc
+// acps-expect-clean
+//
+// Known-good twin of env_doc_bad.cc: ACPS_NUM_THREADS is in the README
+// environment-variable reference table (the self-test runs with the real
+// repo's README docs), so reading it is fine.
+#include <cstdlib>
+
+namespace acps {
+
+int FixtureKnob() {
+  const char* v = std::getenv("ACPS_NUM_THREADS");
+  return v != nullptr ? 1 : 0;
+}
+
+}  // namespace acps

@@ -1,0 +1,16 @@
+// acps-fixture-path: src/core/fixture_validate.cc
+// acps-expect: error-return-checked
+//
+// Known-bad twin for error-return-checked: Validate() reports the problem
+// as its return value, so a bare call statement throws the error away and
+// the misconfiguration surfaces later as a hang or a wrong answer.
+#include <string>
+
+namespace acps {
+
+std::string FixtureStart(const comm::TransportOptions& opts) {
+  opts.Validate();
+  return "started";
+}
+
+}  // namespace acps

@@ -1,0 +1,16 @@
+// acps-fixture-path: src/core/fixture_validate.cc
+// acps-expect-clean
+//
+// Known-good twin of error_ret_bad.cc: the Validate() result is captured
+// and acted on before anything else runs.
+#include <string>
+
+namespace acps {
+
+std::string FixtureStart(const comm::TransportOptions& opts) {
+  const std::string err = opts.Validate();
+  if (!err.empty()) return err;
+  return "started";
+}
+
+}  // namespace acps

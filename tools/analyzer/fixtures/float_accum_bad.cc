@@ -1,0 +1,17 @@
+// acps-fixture-path: src/linalg/fixture_accum.cc
+// acps-expect: float-accumulate
+//
+// Known-bad twin for float-accumulate: std::accumulate folds floats in one
+// fixed left-to-right order that never shows up in the accumulation-policy
+// audit — the ban forces the reduction through par::ParallelReduce or an
+// ACPS_ACCUM_POLICY-annotated kernel where the order is a stated contract.
+#include <numeric>
+#include <vector>
+
+namespace acps {
+
+float FixtureNorm(const std::vector<float>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0f);
+}
+
+}  // namespace acps

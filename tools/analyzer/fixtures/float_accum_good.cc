@@ -1,0 +1,17 @@
+// acps-fixture-path: src/linalg/fixture_accum.cc
+// acps-expect-clean
+//
+// Known-good twin of float_accum_bad.cc: an integral fold is associative,
+// so std::accumulate over integers has no order-dependent result and the
+// ban does not apply.
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace acps {
+
+int64_t FixtureCount(const std::vector<int64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), int64_t{0});
+}
+
+}  // namespace acps

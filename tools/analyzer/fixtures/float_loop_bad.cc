@@ -1,0 +1,16 @@
+// acps-fixture-path: src/linalg/fixture_loop.cc
+// acps-expect: float-loop-accum
+//
+// Known-bad twin for float-loop-accum: a loop-carried double accumulation
+// in a numeric-kernel directory with no ordering contract. Nothing says
+// whether this sum is allowed to be re-partitioned — which is exactly how
+// a nondeterministic reduction sneaks past review.
+namespace acps {
+
+float FixtureSum(const float* v, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += v[i];
+  return static_cast<float>(acc);
+}
+
+}  // namespace acps

@@ -1,0 +1,19 @@
+// acps-fixture-path: src/linalg/fixture_loop.cc
+// acps-expect-clean
+//
+// Known-good twin of float_loop_bad.cc: the same serial accumulation, but
+// the kernel states its ordering contract with ACPS_ACCUM_POLICY — the
+// sum runs over ascending element index on every rank and thread count,
+// and the audit can hold the kernel to that claim.
+#include "par/accum_policy.h"
+
+namespace acps {
+
+float FixtureSum(const float* v, int n) {
+  ACPS_ACCUM_POLICY(serial_index_order);
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += v[i];
+  return static_cast<float>(acc);
+}
+
+}  // namespace acps

@@ -1,0 +1,41 @@
+// acps-fixture-path: src/core/fixture_xtu_entry.cc
+// acps-fixture-group: lock-xtu
+// acps-expect: lock-order lock-graph-cycle
+// acps-requires-callgraph: lock-order lock-graph-cycle
+//
+// Cross-TU half 1 of the lock-xtu group (see lock_xtu_leaf.cc). No single
+// file shows two guards, and no single call hop reaches a second mutex:
+// EntryHigh() holds level 61 and calls RelayLow() — defined in the OTHER
+// file — which calls DeepLow(), which finally takes level 59. That
+// descending 2-hop chain is a lock-order inversion, and together with the
+// opposite chain in the leaf file it closes a cycle in the acquisition
+// graph. Only the phase-1 symbol index + call graph can see either;
+// under --no-callgraph both checks must go quiet, which is the proof that
+// the interprocedural engine earns its keep.
+#include <mutex>
+
+#include "par/lock_level.h"
+
+namespace acps::core {
+
+ACPS_LOCK_LEVEL(61) xtu_hi_mu;
+
+// Final acquisition of the HIGH mutex, reached from the other file's
+// EntryLow() via RelayHigh().
+void DeepHigh() {
+  std::lock_guard g(xtu_hi_mu);
+}
+
+// Relay hop inside this TU: EntryLow (other file) -> RelayHigh -> DeepHigh.
+void RelayHigh() {
+  DeepHigh();
+}
+
+// Holds HIGH and calls across the TU boundary; the callee transitively
+// acquires LOW (59 <= 61) two hops and one file away.
+void EntryHigh() {
+  std::lock_guard g(xtu_hi_mu);
+  RelayLow();
+}
+
+}  // namespace acps::core

@@ -1,0 +1,38 @@
+// acps-fixture-path: src/core/fixture_xtu_leaf.cc
+// acps-fixture-group: lock-xtu
+// acps-expect-clean
+//
+// Cross-TU half 2 of the lock-xtu group: this file alone is clean (the
+// group's expectations live on lock_xtu_entry.cc; a group's expectation is
+// the union of its members'). EntryLow() holds level 59 and transitively
+// acquires level 61 through RelayHigh() in the other file — a legal
+// ascent, so no inversion is reported HERE — but the resulting
+// xtu_lo_mu -> xtu_hi_mu edge closes the cycle with the entry file's
+// xtu_hi_mu -> xtu_lo_mu edge: the classic ABBA deadlock, split across
+// two translation units and hidden two calls deep.
+#include <mutex>
+
+#include "par/lock_level.h"
+
+namespace acps::core {
+
+ACPS_LOCK_LEVEL(59) xtu_lo_mu;
+
+// Final acquisition of the LOW mutex, reached from the other file's
+// EntryHigh() via RelayLow().
+void DeepLow() {
+  std::lock_guard g(xtu_lo_mu);
+}
+
+// Relay hop inside this TU: EntryHigh (other file) -> RelayLow -> DeepLow.
+void RelayLow() {
+  DeepLow();
+}
+
+// Holds LOW and calls back across the TU boundary into the HIGH side.
+void EntryLow() {
+  std::lock_guard g(xtu_lo_mu);
+  RelayHigh();
+}
+
+}  // namespace acps::core

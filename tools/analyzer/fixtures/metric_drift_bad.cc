@@ -1,0 +1,16 @@
+// acps-fixture-path: src/obs/fixture_drift.cc
+// acps-fixture-registry: metric reducer.fixture_ok
+// acps-fixture-registry: span fixture_ghost
+// acps-expect: metric-registry-drift
+//
+// Known-bad twin for metric-registry-drift: the registry still lists span
+// 'fixture_ghost' but no code produces it any more — the dead entry keeps
+// describing a series the binary stopped emitting, so dashboards built on
+// the registry silently go dark.
+namespace acps::obs {
+
+void FixtureEmit(Registry& registry) {
+  registry.counter("reducer.fixture_ok").Add(1);
+}
+
+}  // namespace acps::obs

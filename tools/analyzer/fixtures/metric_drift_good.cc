@@ -1,0 +1,15 @@
+// acps-fixture-path: src/obs/fixture_drift.cc
+// acps-fixture-registry: metric reducer.fixture_ok
+// acps-fixture-registry: span fixture_step
+// acps-expect-clean
+//
+// Known-good twin of metric_drift_bad.cc: both registry entries — the
+// counter and the span — have a live consumer.
+namespace acps::obs {
+
+void FixtureEmit(Registry& registry, Tracer& tracer) {
+  registry.counter("reducer.fixture_ok").Add(1);
+  obs::ScopedSpan span("fixture_step");
+}
+
+}  // namespace acps::obs

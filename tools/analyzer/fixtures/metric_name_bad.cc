@@ -1,0 +1,16 @@
+// acps-fixture-path: src/obs/fixture_metric.cc
+// acps-fixture-registry: metric reducer.fixture_ok
+// acps-expect: metric-name-registry
+//
+// Known-bad twin for metric-name-registry: the second counter emits a
+// series name the committed registry has never heard of — a typo or an
+// unreviewed addition. The first counter keeps the registry fully
+// consumed so only the name check fires.
+namespace acps::obs {
+
+void FixtureEmit(Registry& registry) {
+  registry.counter("reducer.fixture_ok").Add(1);
+  registry.counter("reducer.fixture_typo").Add(1);
+}
+
+}  // namespace acps::obs

@@ -1,0 +1,13 @@
+// acps-fixture-path: src/obs/fixture_metric.cc
+// acps-fixture-registry: metric reducer.fixture_ok
+// acps-expect-clean
+//
+// Known-good twin of metric_name_bad.cc: every emitted series name is in
+// the registry, and every registry entry has a consumer.
+namespace acps::obs {
+
+void FixtureEmit(Registry& registry) {
+  registry.counter("reducer.fixture_ok").Add(1);
+}
+
+}  // namespace acps::obs

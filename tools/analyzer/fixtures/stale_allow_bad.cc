@@ -1,0 +1,12 @@
+// acps-fixture-path: src/core/fixture_allow.cc
+// acps-expect: stale-allow
+//
+// Known-bad twin for stale-allow: the exemption below suppresses nothing
+// (no finding fires on its line or the next), so it is dead weight that
+// would silently swallow a future regression at this site.
+namespace acps {
+
+// lint:allow(naked-new)
+int FixtureValue() { return 42; }
+
+}  // namespace acps

@@ -1,0 +1,13 @@
+// acps-fixture-path: src/core/fixture_allow.cc
+// acps-expect-clean
+//
+// Known-good twin of stale_allow_bad.cc: the exemption earns its keep —
+// it suppresses the naked-new finding on its own line, so neither that
+// check nor stale-allow fires.
+namespace acps {
+
+int* FixtureLeak() {
+  return new int(7);  // lint:allow(naked-new)
+}
+
+}  // namespace acps

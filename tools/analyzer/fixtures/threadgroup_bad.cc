@@ -1,0 +1,15 @@
+// acps-fixture-path: src/core/fixture_tg.cc
+// acps-expect: no-new-threadgroup
+//
+// Known-bad twin for no-new-threadgroup: fresh code reaching for the
+// deprecated single-tenant shim instead of opening a comm::Session on a
+// comm::Transport. Only the shim's own definition and its bitwise-identity
+// legacy suite are exempt.
+namespace acps {
+
+void FixtureSpin() {
+  comm::ThreadGroup group(4);
+  group.Run([](comm::Communicator&) {});
+}
+
+}  // namespace acps

@@ -1,0 +1,14 @@
+// acps-fixture-path: src/core/fixture_tg.cc
+// acps-expect-clean
+//
+// Known-good twin of threadgroup_bad.cc: the multi-tenant shape — a
+// Session opened on a Transport — which is what every in-repo caller uses.
+namespace acps {
+
+void FixtureSpin() {
+  comm::Transport transport;
+  comm::Session group(transport, "", 4);
+  group.Run([](comm::Communicator&) {});
+}
+
+}  // namespace acps

@@ -1,27 +1,41 @@
 // acps-analyze: project-specific static analyzer for the acps codebase.
 //
-//   acps-analyze --root <repo>              analyze src/tests/bench/examples
-//                                           and tsan.supp against
+//   acps-analyze --root <repo>              analyze src/tests/bench/examples,
+//                                           tools/analyzer (self-hosting) and
+//                                           tsan.supp against
 //                                           tools/analyzer/layers.conf
 //   acps-analyze --self-test --root <repo>  prove every rule against the
 //                                           fixtures (mutation gate)
 //   acps-analyze --list-checks              print all check names
+//   acps-analyze --gen-metric-registry      print the metric/span name
+//                                           registry for metrics.conf
 //
 // Options: --conf <file> (default <root>/tools/analyzer/layers.conf),
-//          --fixtures <dir> (default <root>/tools/analyzer/fixtures).
+//          --fixtures <dir> (default <root>/tools/analyzer/fixtures),
+//          --no-callgraph (disable phase 1; interprocedural rules degrade
+//                          to local reasoning — used by the self-test to
+//                          prove the call graph earns its keep),
+//          --sarif <file> (write findings as SARIF 2.1.0),
+//          --baseline <file> (suppress findings fingerprinted in the
+//                             baseline; fail on baseline rot),
+//          --timing (print per-pass wall time).
 // Exit status: 0 clean, 1 findings/self-test failures, 2 usage/setup error.
 //
 // Built with the standard library only (no libclang): sources are lexed
-// into comment/string-stripped lines plus a structural scan; the rules are
-// documented in rules.h and DESIGN.md "Static analysis".
+// into comment/string-stripped lines plus a structural scan, then a
+// two-phase engine (cross-TU symbol index + call graph, rule passes on
+// top); the rules are documented in rules.h and DESIGN.md §6g.
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "config.h"
 #include "rules.h"
+#include "sarif.h"
 #include "selftest.h"
 #include "source.h"
 
@@ -33,7 +47,10 @@ using namespace acps::analyze;
 int Usage() {
   std::cerr
       << "usage: acps-analyze [--root <repo>] [--conf <file>] [--self-test]\n"
-         "                    [--fixtures <dir>] [--list-checks]\n";
+         "                    [--fixtures <dir>] [--list-checks]\n"
+         "                    [--no-callgraph] [--sarif <file>]\n"
+         "                    [--baseline <file>] [--timing]\n"
+         "                    [--gen-metric-registry]\n";
   return 2;
 }
 
@@ -42,14 +59,27 @@ bool IsSourceExt(const fs::path& p) {
   return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
 }
 
+bool ReadFile(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string conf_path;
   std::string fixtures_dir;
+  std::string sarif_path;
+  std::string baseline_path;
   bool self_test = false;
   bool list_checks = false;
+  bool gen_registry = false;
+  bool timing = false;
+  RunOptions run_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -68,10 +98,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       fixtures_dir = v;
+    } else if (arg == "--sarif") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      sarif_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      baseline_path = v;
     } else if (arg == "--self-test") {
       self_test = true;
     } else if (arg == "--list-checks") {
       list_checks = true;
+    } else if (arg == "--gen-metric-registry") {
+      gen_registry = true;
+    } else if (arg == "--no-callgraph") {
+      run_opts.callgraph = false;
+    } else if (arg == "--timing") {
+      timing = true;
     } else {
       std::cerr << "acps-analyze: unknown argument '" << arg << "'\n";
       return Usage();
@@ -86,23 +130,33 @@ int main(int argc, char** argv) {
   if (conf_path.empty()) conf_path = root + "/tools/analyzer/layers.conf";
   if (fixtures_dir.empty()) fixtures_dir = root + "/tools/analyzer/fixtures";
 
-  SourceFile conf_file;
-  if (!LoadSource(conf_path, "layers.conf", conf_file)) {
+  std::string conf_text;
+  if (!ReadFile(conf_path, conf_text)) {
     std::cerr << "acps-analyze: cannot read conf: " << conf_path << "\n";
     return 2;
   }
-  std::string conf_text;
-  for (const auto& line : conf_file.raw) conf_text += line + "\n";
   Config cfg;
   std::string error;
   if (!cfg.Parse(conf_text, error)) {
     std::cerr << "acps-analyze: " << error << "\n";
     return 2;
   }
+  // Auxiliary contract inputs; both optional (the rules they feed switch
+  // off when the input is absent).
+  if (std::string reg_text;
+      ReadFile(fs::path(root) / "tools/analyzer/metrics.conf", reg_text)) {
+    if (!cfg.ParseRegistry(reg_text, error)) {
+      std::cerr << "acps-analyze: " << error << "\n";
+      return 2;
+    }
+  }
+  if (std::string readme_text;
+      ReadFile(fs::path(root) / "README.md", readme_text))
+    cfg.ParseEnvDocs(readme_text);
 
   if (self_test) return RunSelfTest(fixtures_dir, cfg);
 
-  // --- corpus: src tests bench examples + tsan.supp -------------------------
+  // --- corpus: src tests bench examples tools/analyzer + tsan.supp ----------
   Corpus corpus;
   std::vector<fs::path> files;
   for (const char* top : {"src", "tests", "bench", "examples"}) {
@@ -112,13 +166,20 @@ int main(int argc, char** argv) {
       if (entry.is_regular_file() && IsSourceExt(entry.path()))
         files.push_back(entry.path());
   }
+  // Self-hosting: the analyzer scans its own sources (fixtures are test
+  // inputs full of deliberate violations, not code).
+  const fs::path self_dir = fs::path(root) / "tools" / "analyzer";
+  if (fs::is_directory(self_dir)) {
+    for (const auto& entry : fs::directory_iterator(self_dir))
+      if (entry.is_regular_file() && IsSourceExt(entry.path()))
+        files.push_back(entry.path());
+  }
   if (fs::is_regular_file(fs::path(root) / "tsan.supp"))
     files.push_back(fs::path(root) / "tsan.supp");
   std::sort(files.begin(), files.end());
 
   for (const auto& p : files) {
-    const std::string repo_rel =
-        fs::relative(p, root).generic_string();
+    const std::string repo_rel = fs::relative(p, root).generic_string();
     SourceFile f;
     if (!LoadSource(p.string(), repo_rel, f)) {
       std::cerr << "acps-analyze: cannot read " << p << "\n";
@@ -127,16 +188,89 @@ int main(int argc, char** argv) {
     corpus.Add(std::move(f));
   }
 
-  const std::vector<Diagnostic> diags = RunAllPasses(corpus, cfg);
-  for (const auto& d : diags)
+  if (gen_registry) {
+    std::set<std::string> metrics, spans;
+    for (const auto& use : CollectMetricNames(corpus)) {
+      if (!cfg.InScope("metric-name-registry", use.file)) continue;
+      (use.is_span ? spans : metrics).insert(use.name);
+    }
+    std::cout << "# acps metric/span name registry — generated by\n"
+                 "#   acps-analyze --gen-metric-registry\n"
+                 "# Entries are the final string-literal tails of "
+                 "counter/gauge/histogram\n"
+                 "# names and the first literals of ScopedSpan/SpanEvent "
+                 "sites in src/.\n";
+    for (const auto& m : metrics) std::cout << "metric " << m << "\n";
+    for (const auto& s : spans) std::cout << "span " << s << "\n";
+    return 0;
+  }
+
+  std::vector<PassTiming> timings;
+  if (timing) run_opts.timings = &timings;
+  const std::vector<Diagnostic> diags = RunAllPasses(corpus, cfg, run_opts);
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "acps-analyze: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << ToSarif(diags, corpus);
+  }
+  if (timing) {
+    for (const auto& t : timings)
+      std::cerr << "timing " << t.pass << " "
+                << static_cast<int>(t.ms * 1000.0) / 1000.0 << "ms\n";
+  }
+
+  // Baseline: known findings are tolerated (exactly), rot is not.
+  std::set<std::string> baseline;
+  bool have_baseline = false;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(baseline_path, text)) {
+      std::cerr << "acps-analyze: cannot read baseline: " << baseline_path
+                << "\n";
+      return 2;
+    }
+    baseline = BaselineFingerprints(text);
+    have_baseline = true;
+  }
+
+  int new_findings = 0;
+  std::set<std::string> seen_fps;
+  for (const auto& d : diags) {
+    const std::string fp = SarifFingerprint(d, corpus);
+    seen_fps.insert(fp);
+    if (have_baseline && baseline.count(fp)) continue;
+    ++new_findings;
     std::cout << d.file << ":" << d.line << ": [" << d.check << "] "
               << d.message << "\n";
-  if (!diags.empty()) {
-    std::cout << "acps-analyze: " << diags.size() << " finding(s) across "
-              << corpus.files.size() << " files\n";
+  }
+  int rot = 0;
+  for (const auto& fp : baseline) {
+    if (seen_fps.count(fp)) continue;
+    ++rot;
+    std::cout << "baseline rot: fingerprint " << fp
+              << " is in the baseline but the scan no longer produces it; "
+                 "shrink the baseline to match\n";
+  }
+
+  if (new_findings > 0 || rot > 0) {
+    std::cout << "acps-analyze: " << new_findings << " finding(s)"
+              << (have_baseline
+                      ? " not in baseline, " + std::to_string(rot) +
+                            " rotted baseline entr(y/ies)"
+                      : "")
+              << " across " << corpus.files.size() << " files\n";
     return 1;
   }
   std::cout << "acps-analyze: clean (" << corpus.files.size() << " files, "
-            << AllCheckNames().size() << " checks)\n";
+            << AllCheckNames().size() << " checks"
+            << (have_baseline
+                    ? ", " + std::to_string(baseline.size()) +
+                          " baselined finding(s)"
+                    : "")
+            << ")\n";
   return 0;
 }

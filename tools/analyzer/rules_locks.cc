@@ -11,15 +11,21 @@
 //                     strict order (equal-level nesting is indistinguishable
 //                     from an inversion).
 //   lock-order        a blocking acquisition while a level >= its own is
-//                     held — directly (nested guards) or one call deep
-//                     (holding A and calling a function whose body acquires
-//                     B <= A). try_to_lock acquisitions are exempt: they
+//                     held — directly (nested guards) or through any call
+//                     chain: holding A and calling a function that
+//                     TRANSITIVELY acquires B <= A is an inversion even when
+//                     the acquisition is several TUs away. The transitive
+//                     sets come from a reverse fixpoint over the phase-1
+//                     call graph; each finding carries one witness chain.
+//                     Under --no-callgraph only direct nesting is checked
+//                     (the degraded mode the cross-TU fixtures prove is
+//                     weaker). try_to_lock acquisitions are exempt: they
 //                     cannot deadlock.
 //   lock-graph-cycle  the acquisition graph (mutex -> mutex acquired while
-//                     holding it) must be a DAG. With unique levels a cycle
-//                     always co-reports a lock-order inversion; the cycle
-//                     check stands on its own so the graph invariant is
-//                     explicit.
+//                     holding it, including through calls) must be a DAG.
+//                     With unique levels a cycle always co-reports a
+//                     lock-order inversion; the cycle check stands on its
+//                     own so the graph invariant is explicit.
 //
 // The runtime twin of these checks is LeveledMutex under ACPS_LOCK_CHECK
 // (the tsan leg): what this pass proves about the text, the validator
@@ -30,6 +36,7 @@
 #include <regex>
 #include <set>
 
+#include "callgraph.h"
 #include "rules.h"
 
 namespace acps::analyze {
@@ -43,24 +50,17 @@ struct MutexDecl {
   int line = 0;
 };
 
-// Method names too generic to resolve textually: accessors, container and
-// sync primitives. A call edge through one of these would be guesswork.
-bool IsGenericName(const std::string& n) {
-  static const std::set<std::string> generic = {
-      "size",      "count",      "empty",      "clear",     "begin",
-      "end",       "rbegin",     "rend",       "data",      "find",
-      "at",        "erase",      "insert",     "push_back", "pop_back",
-      "emplace",   "emplace_back", "front",    "back",      "str",
-      "c_str",     "length",     "substr",     "append",    "assign",
-      "resize",    "reserve",    "swap",       "get",       "value",
-      "reset",     "lock",       "unlock",     "try_lock",  "wait",
-      "wait_for",  "wait_until", "notify_one", "notify_all"};
-  return generic.count(n) > 0;
+// Qualified name of symbol `sym` with the anonymous-namespace file suffix
+// stripped, for diagnostics.
+std::string SymName(const SymbolIndex& index, int sym) {
+  std::string q = index.symbols()[static_cast<size_t>(sym)].qualified;
+  if (const size_t at = q.find('@'); at != std::string::npos) q.resize(at);
+  return q;
 }
 
 }  // namespace
 
-void LockPass(const Corpus& corpus, const Config& cfg,
+void LockPass(const Corpus& corpus, const Config& cfg, const Semantics& sem,
               std::vector<Diagnostic>& out) {
   // --- 1. declaration tables ------------------------------------------------
   static const std::regex level_decl_re(
@@ -109,9 +109,13 @@ void LockPass(const Corpus& corpus, const Config& cfg,
     }
   }
 
-  // --- 2. direct acquisitions & per-function summary ------------------------
-  // callee name -> mutexes its body acquires directly (blocking only).
-  std::map<std::string, std::set<std::string>> func_acquires;
+  // --- 2. per-symbol direct acquisitions, then the transitive fixpoint ------
+  // seeds[sym] = known mutexes the symbol's bodies acquire directly
+  // (blocking only); trans[sym] = everything any call chain out of it can
+  // acquire. direct_acquirers lets FindPath reconstruct a witness.
+  const size_t nsyms = sem.symbols.symbols().size();
+  std::vector<std::set<std::string>> seeds(nsyms);
+  std::map<std::string, std::set<int>> direct_acquirers;
   for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
     const auto& f = corpus.files[fi];
     if (!cfg.InScope("lock-order", f.path)) continue;
@@ -119,15 +123,20 @@ void LockPass(const Corpus& corpus, const Config& cfg,
     for (const auto& g : st.guards) {
       if (g.nonblocking || g.func < 0) continue;
       if (!by_name.count(g.mutex_name)) continue;
-      const std::string& fname = st.funcs[static_cast<size_t>(g.func)].name;
-      if (!fname.empty()) func_acquires[fname].insert(g.mutex_name);
+      const int sym = sem.symbols.SymbolOfRegion(static_cast<int>(fi), g.func);
+      if (sym < 0) continue;
+      seeds[static_cast<size_t>(sym)].insert(g.mutex_name);
+      direct_acquirers[g.mutex_name].insert(sym);
     }
   }
+  std::vector<std::set<std::string>> trans;
+  if (sem.enabled) trans = PropagateFacts(sem.graph, seeds);
 
-  // --- 3. nesting + call edges ---------------------------------------------
+  // --- 3. nesting + call chains ---------------------------------------------
   // Acquisition graph: holder mutex -> mutex acquired while held.
   std::map<std::string, std::set<std::string>> graph;
-  static const std::regex call_re(R"(([A-Za-z_][A-Za-z0-9_]*)[[:space:]]*\()");
+  static const std::regex call_re(
+      R"(((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*\()");
 
   for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
     const auto& f = corpus.files[fi];
@@ -139,7 +148,8 @@ void LockPass(const Corpus& corpus, const Config& cfg,
       if (hit == by_name.end()) continue;
       const int hlvl = hit->second.level;
 
-      // Direct nesting: guards declared inside this guard's extent.
+      // Direct nesting: guards declared inside this guard's extent. Checked
+      // in every mode — it needs no call graph.
       for (const auto& inner : st.guards) {
         if (&inner == &held) continue;
         if (inner.decl_line <= held.decl_line ||
@@ -160,30 +170,46 @@ void LockPass(const Corpus& corpus, const Config& cfg,
                    "src/par/lock_level.h"});
         }
       }
+      if (!sem.enabled) continue;
 
-      // Call edges, one level deep: holding `held` and calling a function
-      // whose body acquires a known mutex.
+      // Call chains: holding `held` and calling into anything whose
+      // transitive acquisition set is non-empty.
+      std::set<std::pair<int, std::string>> seen;  // (line, acquired) dedup
       for (int ln = held.decl_line; ln <= held.end_line; ++ln) {
         if (st.IsFuncHeaderLine(ln)) continue;
         const std::string& line = f.code[static_cast<size_t>(ln - 1)];
         for (auto it = std::sregex_iterator(line.begin(), line.end(), call_re);
              it != std::sregex_iterator(); ++it) {
-          const std::string callee = (*it)[1].str();
-          if (IsGenericName(callee)) continue;
-          const auto cit = func_acquires.find(callee);
-          if (cit == func_acquires.end()) continue;
-          for (const auto& acquired : cit->second) {
-            const int alvl = by_name.at(acquired).level;
-            graph[held.mutex_name].insert(acquired);
-            if (alvl <= hlvl) {
+          std::string chain;
+          for (const char c : (*it)[1].str())
+            if (!std::isspace(static_cast<unsigned char>(c))) chain += c;
+          for (const int cand :
+               ResolveCall(sem.symbols, chain, static_cast<int>(fi))) {
+            for (const auto& acquired : trans[static_cast<size_t>(cand)]) {
+              const int alvl = by_name.at(acquired).level;
+              graph[held.mutex_name].insert(acquired);
+              if (alvl > hlvl) continue;
+              if (!seen.insert({ln, acquired}).second) continue;
+              std::string witness = SymName(sem.symbols, cand);
+              const auto dit = direct_acquirers.find(acquired);
+              if (dit != direct_acquirers.end()) {
+                const auto path = sem.graph.FindPath(cand, dit->second);
+                if (path.size() > 1) {
+                  witness.clear();
+                  for (size_t pi = 0; pi < path.size(); ++pi) {
+                    if (pi) witness += " -> ";
+                    witness += SymName(sem.symbols, path[pi]);
+                  }
+                }
+              }
               out.push_back(
                   {f.path, ln, "lock-order",
-                   "calls '" + callee + "' (which acquires '" + acquired +
-                       "', level " + std::to_string(alvl) +
-                       ") while holding '" + held.mutex_name + "' (level " +
-                       std::to_string(hlvl) +
-                       "); acquisitions must strictly ascend the hierarchy "
-                       "in src/par/lock_level.h"});
+                   "calls '" + chain + "' while holding '" + held.mutex_name +
+                       "' (level " + std::to_string(hlvl) +
+                       "), and the callee transitively acquires '" + acquired +
+                       "' (level " + std::to_string(alvl) + ") via " + witness +
+                       "; acquisitions must strictly ascend the hierarchy in "
+                       "src/par/lock_level.h"});
             }
           }
         }

@@ -25,7 +25,7 @@ const PatternCheck kPatternChecks[] = {
      R"((^|[^_[:alnum:]])delete(\[\])?[[:space:]]+[[:alnum:]_])"},
     {"raw-thread",
      "raw threads live in src/par and src/comm only; use "
-     "par::ParallelFor or ThreadGroup::Run",
+     "par::ParallelFor or comm::Session::Run",
      R"(std::(thread|jthread))"},
     {"raw-sleep",
      "wall-clock sleeps reintroduce the timing nondeterminism the fault "
@@ -80,7 +80,7 @@ void PatternPass(const Corpus& corpus, const Config& cfg,
     // ordered makes output depend on hash seeds and insertion history. The
     // analyzer flags every range-for / .begin() walk over a container
     // declared std::unordered_* in the same file; order-independent folds
-    // opt out with lint:allow(unordered-iter).
+    // opt out with an allow comment naming unordered-iter.
     if (!cfg.InScope("unordered-iter", f.path)) continue;
     static const std::regex decl_re(
         R"(std::unordered_(map|set|multimap|multiset)<[^;]*>[[:space:]]+([A-Za-z_][A-Za-z0-9_]*))");

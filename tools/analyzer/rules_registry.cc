@@ -1,5 +1,7 @@
 #include <algorithm>
+#include <chrono>
 
+#include "callgraph.h"
 #include "rules.h"
 
 namespace acps::analyze {
@@ -17,18 +19,68 @@ const std::vector<std::string>& AllCheckNames() {
       "lock-annotation", "lock-level-unique", "lock-order", "lock-graph-cycle",
       // sched-point coverage
       "publish-needs-sched-point", "point-kind-live", "sched-point-under-lock",
-      // suppression hygiene
-      "tsan-supp-justified"};
+      // float determinism
+      "float-accumulate", "float-loop-accum",
+      // contract audit
+      "metric-name-registry", "metric-registry-drift", "env-var-documented",
+      "error-return-checked", "no-new-threadgroup",
+      // suppression / exemption hygiene
+      "tsan-supp-justified", "stale-allow"};
   return names;
 }
 
-std::vector<Diagnostic> RunAllPasses(const Corpus& corpus, const Config& cfg) {
+std::vector<Diagnostic> RunAllPasses(const Corpus& corpus, const Config& cfg,
+                                     const RunOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  const auto timed = [&](const char* name, const auto& fn) {
+    const auto t0 = Clock::now();
+    fn();
+    if (opts.timings != nullptr) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+      opts.timings->push_back({name, ms});
+    }
+  };
+
+  Semantics sem;
+  timed("phase1:symbols+callgraph",
+        [&] { sem = BuildSemantics(corpus, opts.callgraph); });
+
   std::vector<Diagnostic> all;
-  PatternPass(corpus, cfg, all);
-  LayeringPass(corpus, cfg, all);
-  LockPass(corpus, cfg, all);
-  SchedPointPass(corpus, cfg, all);
-  SuppPass(corpus, cfg, all);
+  timed("patterns", [&] { PatternPass(corpus, cfg, all); });
+  timed("layering", [&] { LayeringPass(corpus, cfg, all); });
+  timed("locks", [&] { LockPass(corpus, cfg, sem, all); });
+  timed("sched-points", [&] { SchedPointPass(corpus, cfg, sem, all); });
+  timed("float", [&] { FloatPass(corpus, cfg, all); });
+  timed("contract", [&] { ContractPass(corpus, cfg, all); });
+  timed("supp", [&] { SuppPass(corpus, cfg, all); });
+
+  // Exemption drift: a lint:allow comment earns its keep by suppressing a
+  // diagnostic this very run (same line or the one below, mirroring
+  // HasAllow). Computed against the PRE-filter findings so the allow it is
+  // about to silence still counts as used.
+  timed("stale-allow", [&] {
+    for (const auto& f : corpus.files) {
+      if (!cfg.InScope("stale-allow", f.path)) continue;
+      for (const AllowSite& site : AllowSites(f)) {
+        bool used = false;
+        for (const auto& d : all) {
+          if (d.file == f.path && d.check == site.check &&
+              (d.line == site.line || d.line == site.line + 1)) {
+            used = true;
+            break;
+          }
+        }
+        if (used) continue;
+        all.push_back(
+            {f.path, site.line, "stale-allow",
+             "lint:allow(" + site.check +
+                 ") suppresses nothing: the exemption is dead weight that "
+                 "would silently swallow a future regression at this site — "
+                 "delete it (or fix the check name)"});
+      }
+    }
+  });
 
   std::vector<Diagnostic> kept;
   kept.reserve(all.size());

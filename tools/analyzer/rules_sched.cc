@@ -5,8 +5,11 @@
 //   publish-needs-sched-point  every function touching the shared exchange
 //                              boards (mailbox[], sizes[], retry_flag[]) must
 //                              contain a check::SchedPoint(...) hook or a
-//                              Barrier() — otherwise a new publish/consume
-//                              path is invisible to the explorer.
+//                              Barrier() — or, with the phase-1 call graph,
+//                              reach one through some call chain — otherwise
+//                              a new publish/consume path is invisible to
+//                              the explorer. Under --no-callgraph only
+//                              lexical containment counts.
 //   point-kind-live            every PointKind enumerator is referenced by at
 //                              least one SchedPoint call site; a kind nobody
 //                              fires means instrumentation was removed (or
@@ -20,6 +23,7 @@
 #include <regex>
 #include <set>
 
+#include "callgraph.h"
 #include "rules.h"
 
 namespace acps::analyze {
@@ -61,8 +65,32 @@ bool SchedPointSpan(const SourceFile& f, size_t li, std::string& span) {
 }  // namespace
 
 void SchedPointPass(const Corpus& corpus, const Config& cfg,
-                    std::vector<Diagnostic>& out) {
+                    const Semantics& sem, std::vector<Diagnostic>& out) {
   // --- publish-needs-sched-point -------------------------------------------
+  // A symbol is covered when one of its bodies contains a SchedPoint/Barrier
+  // line; with the call graph, coverage propagates to every caller that can
+  // reach a covered symbol (the reverse fixpoint folds "contains a hook"
+  // into "reaches a hook").
+  std::vector<std::set<std::string>> reach;
+  if (sem.enabled) {
+    std::vector<std::set<std::string>> seeds(sem.symbols.symbols().size());
+    for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
+      const auto& f = corpus.files[fi];
+      const auto& st = corpus.structure[fi];
+      for (size_t li = 0; li < f.code.size(); ++li) {
+        const std::string& line = f.code[li];
+        if (line.find("SchedPoint") == std::string::npos &&
+            line.find("Barrier(") == std::string::npos)
+          continue;
+        const int func = st.FuncAt(static_cast<int>(li + 1));
+        if (func < 0) continue;
+        const int sym = sem.symbols.SymbolOfRegion(static_cast<int>(fi), func);
+        if (sym >= 0) seeds[static_cast<size_t>(sym)].insert("sched-point");
+      }
+    }
+    reach = PropagateFacts(sem.graph, seeds);
+  }
+
   static const std::regex board_re(
       R"((^|[^_[:alnum:]])(mailbox|sizes|retry_flag)[[:space:]]*\[)");
   for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
@@ -86,14 +114,19 @@ void SchedPointPass(const Corpus& corpus, const Config& cfg,
       const int lineno = static_cast<int>(li + 1);
       const int func = st.FuncAt(lineno);
       if (func < 0 || covered.count(func) || reported.count(func)) continue;
+      if (sem.enabled) {
+        const int sym = sem.symbols.SymbolOfRegion(static_cast<int>(fi), func);
+        if (sym >= 0 && !reach[static_cast<size_t>(sym)].empty()) continue;
+      }
       reported.insert(func);
       out.push_back(
           {f.path, lineno, "publish-needs-sched-point",
            "function '" + st.funcs[static_cast<size_t>(func)].name +
                "' touches the shared exchange boards (mailbox/sizes/"
-               "retry_flag) but fires no check::SchedPoint and crosses no "
-               "Barrier — this communication step is invisible to the model "
-               "checker (src/check)"});
+               "retry_flag) but neither fires a check::SchedPoint / crosses "
+               "a Barrier nor reaches one through any call chain — this "
+               "communication step is invisible to the model checker "
+               "(src/check)"});
     }
   }
 

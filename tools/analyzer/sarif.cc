@@ -1,0 +1,140 @@
+#include "sarif.h"
+
+#include <cstdint>
+#include <regex>
+
+namespace acps::analyze {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Fnv1aHex(const std::string& data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = hex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+// Whitespace runs collapse so reformatting alone cannot move a fingerprint.
+std::string NormalizedLine(const Corpus& corpus, const Diagnostic& d) {
+  for (const auto& f : corpus.files) {
+    if (f.path != d.file) continue;
+    if (d.line < 1 || d.line > static_cast<int>(f.code.size())) break;
+    const std::string& line = f.code[static_cast<size_t>(d.line - 1)];
+    std::string norm;
+    bool ws = false;
+    for (const char c : line) {
+      if (c == ' ' || c == '\t') {
+        ws = !norm.empty();
+      } else {
+        if (ws) norm += ' ';
+        ws = false;
+        norm += c;
+      }
+    }
+    return norm;
+  }
+  return d.message;  // file not in corpus: the message is the content
+}
+
+}  // namespace
+
+std::string SarifFingerprint(const Diagnostic& d, const Corpus& corpus) {
+  std::string key = d.file;
+  key += '\0';
+  key += d.check;
+  key += '\0';
+  key += NormalizedLine(corpus, d);
+  return Fnv1aHex(key);
+}
+
+std::string ToSarif(const std::vector<Diagnostic>& diags,
+                    const Corpus& corpus) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"acps-analyze\",\n"
+      "          \"rules\": [\n";
+  const auto& names = AllCheckNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    out += "            {\"id\": \"" + JsonEscape(names[i]) + "\"}";
+    out += (i + 1 < names.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + JsonEscape(d.check) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + JsonEscape(d.message) +
+           "\"},\n";
+    out += "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           JsonEscape(d.file) + "\"}, \"region\": {\"startLine\": " +
+           std::to_string(d.line < 1 ? 1 : d.line) + "}}}],\n";
+    out += "          \"partialFingerprints\": {\"acpsFingerprint/v1\": \"" +
+           SarifFingerprint(d, corpus) + "\"}\n";
+    out += "        }";
+    out += (i + 1 < diags.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+std::set<std::string> BaselineFingerprints(const std::string& sarif_text) {
+  std::set<std::string> out;
+  static const std::regex fp_re(
+      "\"acpsFingerprint/v1\"\\s*:\\s*\"([0-9a-f]+)\"");
+  for (auto it = std::sregex_iterator(sarif_text.begin(), sarif_text.end(),
+                                      fp_re);
+       it != std::sregex_iterator(); ++it)
+    out.insert((*it)[1].str());
+  return out;
+}
+
+}  // namespace acps::analyze

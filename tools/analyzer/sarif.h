@@ -1,0 +1,38 @@
+// SARIF 2.1.0 emission and baseline handling.
+//
+// Findings serialize as one SARIF run (tool acps-analyze, one reportingRule
+// per check, one result per diagnostic). Each result carries a
+// partialFingerprint "acpsFingerprint/v1": FNV-1a(64) over file path, check
+// name and the whitespace-normalized stripped text of the flagged line —
+// deliberately NOT the line number, so pure line drift (code added above a
+// finding) keeps the fingerprint stable while any edit to the flagged line
+// itself invalidates it.
+//
+// The committed baseline (tools/analyzer/baseline.sarif) is the set of
+// findings the repo is allowed to have. The scan fails on any result whose
+// fingerprint is not in the baseline (strict on new violations) and on
+// baseline rot: a baseline entry the scan no longer produces means the
+// finding was fixed and the baseline must shrink to match.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace acps::analyze {
+
+// Hex fingerprint for one diagnostic (see header comment). `corpus` supplies
+// the flagged line's stripped text; for files outside the corpus (e.g. the
+// metric registry) the message text stands in.
+std::string SarifFingerprint(const Diagnostic& d, const Corpus& corpus);
+
+// Full SARIF 2.1.0 document for the run.
+std::string ToSarif(const std::vector<Diagnostic>& diags, const Corpus& corpus);
+
+// Fingerprints recorded in a baseline SARIF document (we only ever read
+// files this tool wrote, so extraction is textual, not a JSON parser).
+std::set<std::string> BaselineFingerprints(const std::string& sarif_text);
+
+}  // namespace acps::analyze

@@ -2,26 +2,43 @@
 // known-good snippets in tools/analyzer/fixtures/ before the analyzer is
 // trusted on the real tree.
 //
-// Each fixture carries two directives (comment syntax of its language):
+// Each fixture carries directives (comment syntax of its language):
 //
 //   acps-fixture-path: <virtual repo path>   where the snippet pretends to
 //                                            live (drives module/scope
 //                                            resolution)
 //   acps-expect: <check...>                  exactly these checks must fire
 //   acps-expect-clean                        no check may fire (good twin)
+//   acps-fixture-group: <name>               files sharing a group name are
+//                                            analyzed as ONE corpus — the
+//                                            cross-TU fixtures; the group's
+//                                            expectation is the union of its
+//                                            members' directives
+//   acps-requires-callgraph: <check...>      after the normal run passes,
+//                                            re-run with the call-graph
+//                                            phase DISABLED; these checks
+//                                            must then NOT fire. This is the
+//                                            proof that the interprocedural
+//                                            engine catches what per-file
+//                                            analysis cannot.
+//   acps-fixture-registry: <kind> <name>     one metrics.conf entry
+//                                            ("metric x" / "span y") for
+//                                            this fixture's corpus; the
+//                                            repo registry never leaks into
+//                                            fixtures
 //
-// The runner analyzes each fixture as a one-file corpus and compares the
-// fired set exactly — an unexpected extra diagnostic fails the fixture just
-// like a missing one, so rules stay precise, not merely live. The mutation
-// gate then requires every registered check to appear in some bad fixture's
-// expectation: delete or break a rule and the self-test (and the `analyze`
-// CI leg) goes red.
+// The runner compares the fired set exactly — an unexpected extra
+// diagnostic fails the fixture just like a missing one, so rules stay
+// precise, not merely live. The mutation gate then requires every
+// registered check to appear in some bad fixture's expectation: delete or
+// break a rule and the self-test (and the `analyze` CI leg) goes red.
 #include "selftest.h"
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -32,11 +49,14 @@ namespace acps::analyze {
 namespace {
 
 struct Fixture {
-  std::string fs_path;      // on-disk path (for messages)
+  std::string fs_path;  // on-disk path (for messages)
   std::string virtual_path;
   std::string text;
+  std::string group;  // "" = standalone
   bool expect_clean = false;
   std::set<std::string> expected;
+  std::set<std::string> requires_callgraph;
+  std::vector<std::string> registry_lines;
   bool valid = false;
   std::string error;
 };
@@ -67,7 +87,14 @@ Fixture LoadFixture(const std::filesystem::path& p) {
     };
     if (const std::string v = after("acps-fixture-path:"); !v.empty())
       fx.virtual_path = v;
-    if (line.find("acps-expect-clean") != std::string::npos) {
+    if (const std::string v = after("acps-fixture-group:"); !v.empty())
+      fx.group = v;
+    if (const std::string v = after("acps-fixture-registry:"); !v.empty())
+      fx.registry_lines.push_back(v);
+    if (const std::string v = after("acps-requires-callgraph:"); !v.empty()) {
+      std::istringstream tok(v);
+      for (std::string w; tok >> w;) fx.requires_callgraph.insert(w);
+    } else if (line.find("acps-expect-clean") != std::string::npos) {
       fx.expect_clean = true;
     } else if (const std::string v = after("acps-expect:"); !v.empty()) {
       std::istringstream tok(v);
@@ -94,7 +121,7 @@ std::string Join(const std::set<std::string>& s) {
 
 }  // namespace
 
-int RunSelfTest(const std::string& fixtures_dir, const Config& cfg) {
+int RunSelfTest(const std::string& fixtures_dir, const Config& base_cfg) {
   namespace fs = std::filesystem;
   if (!fs::is_directory(fixtures_dir)) {
     std::cerr << "acps-analyze: fixtures directory not found: " << fixtures_dir
@@ -107,8 +134,10 @@ int RunSelfTest(const std::string& fixtures_dir, const Config& cfg) {
     if (entry.is_regular_file()) paths.push_back(entry.path());
   std::sort(paths.begin(), paths.end());
 
+  // Group fixtures into corpora: standalone files are their own group.
+  std::vector<std::vector<Fixture>> groups;
+  std::map<std::string, size_t> group_index;
   int failures = 0;
-  std::set<std::string> proven;
   for (const auto& p : paths) {
     Fixture fx = LoadFixture(p);
     if (!fx.valid) {
@@ -116,21 +145,73 @@ int RunSelfTest(const std::string& fixtures_dir, const Config& cfg) {
       ++failures;
       continue;
     }
+    if (fx.group.empty()) {
+      groups.push_back({std::move(fx)});
+    } else if (auto it = group_index.find(fx.group); it != group_index.end()) {
+      groups[it->second].push_back(std::move(fx));
+    } else {
+      group_index.emplace(fx.group, groups.size());
+      groups.push_back({std::move(fx)});
+    }
+  }
 
+  std::set<std::string> proven;
+  for (const auto& members : groups) {
     Corpus corpus;
-    corpus.Add(SourceFromString(fx.text, fx.virtual_path));
+    Config cfg = base_cfg;
+    cfg.ResetRegistry();
+    std::set<std::string> want, requires_cg;
+    std::string registry_text, label;
+    bool clean = true;
+    for (const auto& fx : members) {
+      corpus.Add(SourceFromString(fx.text, fx.virtual_path));
+      want.insert(fx.expected.begin(), fx.expected.end());
+      requires_cg.insert(fx.requires_callgraph.begin(),
+                         fx.requires_callgraph.end());
+      for (const auto& l : fx.registry_lines) registry_text += l + "\n";
+      if (!fx.expect_clean || !fx.expected.empty()) clean = false;
+      if (!label.empty()) label += "+";
+      label += fx.fs_path;
+    }
+    if (clean) want.clear();
+    if (!registry_text.empty()) {
+      std::string error;
+      if (!cfg.ParseRegistry(registry_text, error)) {
+        std::cout << "FAIL " << label << ": bad fixture registry: " << error
+                  << "\n";
+        ++failures;
+        continue;
+      }
+    }
+
     std::set<std::string> fired;
     for (const auto& d : RunAllPasses(corpus, cfg)) fired.insert(d.check);
-
-    const std::set<std::string>& want =
-        fx.expect_clean ? std::set<std::string>{} : fx.expected;
     if (fired == want) {
-      std::cout << "PASS " << fx.fs_path << " (" << Join(want) << ")\n";
-      for (const auto& c : fx.expected) proven.insert(c);
+      std::cout << "PASS " << label << " (" << Join(want) << ")\n";
+      proven.insert(want.begin(), want.end());
     } else {
-      std::cout << "FAIL " << fx.fs_path << ": expected {" << Join(want)
+      std::cout << "FAIL " << label << ": expected {" << Join(want)
                 << "} but got {" << Join(fired) << "}\n";
       ++failures;
+      continue;
+    }
+
+    // Degraded-mode proof: without the call graph these checks must go
+    // quiet — if they still fire, the fixture isn't exercising the
+    // interprocedural engine at all.
+    if (!requires_cg.empty()) {
+      RunOptions no_cg;
+      no_cg.callgraph = false;
+      std::set<std::string> fired_local;
+      for (const auto& d : RunAllPasses(corpus, cfg, no_cg))
+        fired_local.insert(d.check);
+      for (const auto& check : requires_cg) {
+        if (!fired_local.count(check)) continue;
+        std::cout << "FAIL " << label << ": check '" << check
+                  << "' still fires with --no-callgraph — the fixture does "
+                     "not require the interprocedural engine\n";
+        ++failures;
+      }
     }
   }
 

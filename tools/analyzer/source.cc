@@ -179,6 +179,29 @@ bool HasAllow(const SourceFile& f, int line, const std::string& check) {
   return has(line) || has(line - 1);
 }
 
+std::vector<AllowSite> AllowSites(const SourceFile& f) {
+  static const std::regex allow_re(R"(lint:allow\(([A-Za-z0-9_-]+)\))");
+  std::vector<AllowSite> out;
+  for (size_t li = 0; li < f.raw.size(); ++li) {
+    const std::string& raw = f.raw[li];
+    for (auto it = std::sregex_iterator(raw.begin(), raw.end(), allow_re);
+         it != std::sregex_iterator(); ++it) {
+      // Comment vs. string literal: the stripped text keeps string
+      // delimiters, so an odd number of '"' before the token means the
+      // token sits inside a literal (prose), not a comment.
+      const auto pos = static_cast<size_t>(it->position(0));
+      if (li < f.code.size() && f.code[li].size() >= pos) {
+        const auto quotes =
+            std::count(f.code[li].begin(),
+                       f.code[li].begin() + static_cast<long>(pos), '"');
+        if (quotes % 2 != 0) continue;
+      }
+      out.push_back({static_cast<int>(li + 1), (*it)[1].str()});
+    }
+  }
+  return out;
+}
+
 // --- structural scan --------------------------------------------------------
 
 int FileStructure::FuncAt(int line) const {
@@ -214,29 +237,113 @@ bool IsControlKeyword(const std::string& id) {
   return false;
 }
 
-// Best-effort function name from the statement text preceding a '{'.
-// Returns "" when the header does not look like a function definition
-// (control flow, plain class/namespace/enum blocks, initializer lists,
-// unnamed lambdas).
-std::string FuncNameFromHeader(const std::string& header) {
-  // Qualified definitions (Outer::Name(...), including ctors) are the most
-  // reliable signal; take the last such occurrence so trailing ctor
-  // initializer-list entries do not shadow the real name.
-  static const std::regex qualified(
-      R"(([A-Za-z_]\w*)\s*::\s*(~?[A-Za-z_]\w*)\s*\()");
-  std::string name;
-  for (auto it = std::sregex_iterator(header.begin(), header.end(), qualified);
-       it != std::sregex_iterator(); ++it)
-    name = (*it)[2].str();
-  if (!name.empty()) return name;
+// True when the statement opens with a control keyword — its '{' belongs to
+// an if/for/while/... block, so any `name(` inside is a call, not a
+// definition header.
+bool StmtIsControl(const std::string& header) {
+  size_t i = 0;
+  while (i < header.size() &&
+         (std::isspace(static_cast<unsigned char>(header[i])) ||
+          header[i] == '}'))
+    ++i;
+  size_t j = i;
+  while (j < header.size() &&
+         (std::isalnum(static_cast<unsigned char>(header[j])) ||
+          header[j] == '_'))
+    ++j;
+  const std::string first = header.substr(i, j - i);
+  return IsControlKeyword(first) || first == "try" || first == "return";
+}
 
-  static const std::regex plain(R"(([A-Za-z_~]\w*)\s*\()");
-  for (auto it = std::sregex_iterator(header.begin(), header.end(), plain);
-       it != std::sregex_iterator(); ++it) {
-    const std::string id = (*it)[1].str();
-    if (!IsControlKeyword(id)) name = id;
+// Lambda introducer anywhere in the header: the '{' opens a lambda body
+// passed as an argument (or bound to a variable), not a function definition.
+bool StmtHasLambda(const std::string& header) {
+  static const std::regex lambda_re(R"(\[[^\[\]]*\]\s*(\(|mutable|noexcept|->|\{|$))");
+  return std::regex_search(header, lambda_re);
+}
+
+// Tokens that look like `name(` in a header but never name the function
+// being defined: primitive types inside function-type parameters
+// (`std::function<void(int)>`), specifiers, and operators-on-types.
+bool IsNonDefiningHeaderToken(const std::string& id) {
+  static const char* const kTokens[] = {
+      "void",     "bool",   "char",     "int",       "float",
+      "double",   "long",   "short",    "unsigned",  "signed",
+      "auto",     "decltype", "alignas", "noexcept", "throw",
+      "static_assert", "alignof", "typeid", "requires"};
+  for (const char* k : kTokens)
+    if (id == k) return true;
+  return false;
+}
+
+// Full name as written in the header: the FIRST `A::B::name(` chain (or bare
+// `name(`) at paren depth 0 whose final identifier is neither a control
+// keyword nor a type/specifier token. Depth 0 excludes `void(` inside a
+// parameter's std::function type; taking the first chain excludes the
+// `member_(std::move(arg))` entries of a constructor's init list, which
+// follow the real `Class::Class(` chain.
+std::string QualFromHeader(const std::string& header) {
+  static const std::regex chain_re(
+      R"(((?:[A-Za-z_]\w*\s*::\s*)*~?[A-Za-z_]\w*)\s*\()");
+  // Paren depth at every char offset of the header.
+  std::vector<int> depth(header.size() + 1, 0);
+  int d = 0;
+  for (size_t i = 0; i < header.size(); ++i) {
+    depth[i] = d;
+    if (header[i] == '(') ++d;
+    if (header[i] == ')' && d > 0) --d;
   }
-  return name;
+  for (auto it = std::sregex_iterator(header.begin(), header.end(), chain_re);
+       it != std::sregex_iterator(); ++it) {
+    if (depth[static_cast<size_t>(it->position(0))] != 0) continue;
+    // `obj.Method(` / `ptr->Method(` is a call, never a definition header.
+    size_t before = static_cast<size_t>(it->position(0));
+    while (before > 0 &&
+           std::isspace(static_cast<unsigned char>(header[before - 1])))
+      --before;
+    if (before > 0 &&
+        (header[before - 1] == '.' ||
+         (header[before - 1] == '>' && before > 1 &&
+          header[before - 2] == '-')))
+      continue;
+    std::string cand = (*it)[1].str();
+    // Normalize "A :: B" spelling.
+    std::string norm;
+    for (const char c : cand)
+      if (!std::isspace(static_cast<unsigned char>(c))) norm += c;
+    const size_t sep = norm.rfind("::");
+    const std::string simple =
+        sep == std::string::npos ? norm : norm.substr(sep + 2);
+    if (IsControlKeyword(simple) || IsNonDefiningHeaderToken(simple)) continue;
+    if (norm.compare(0, 5, "std::") == 0) continue;  // never our definition
+    return norm;
+  }
+  return {};
+}
+
+// Namespace/class scope opened by a '{' with this header; returns true and
+// sets `name` ("" for anonymous namespaces / unnamed structs).
+bool StmtOpensScope(const std::string& header, std::string& name) {
+  static const std::regex ns_re(
+      R"((^|[^\w])namespace(\s+((?:[A-Za-z_]\w*)(?:\s*::\s*[A-Za-z_]\w*)*))?\s*$)");
+  static const std::regex enum_re(R"((^|[^\w])enum([^\w]|$))");
+  static const std::regex class_re(
+      R"((^|[^\w])(class|struct|union)\s+([A-Za-z_]\w*))");
+  std::smatch m;
+  if (std::regex_search(header, m, ns_re)) {
+    name.clear();
+    for (const char c : m[3].str())
+      if (!std::isspace(static_cast<unsigned char>(c))) name += c;
+    if (name.empty()) name = "(anon)";
+    return true;
+  }
+  if (std::regex_search(header, enum_re)) return false;
+  if (header.find('(') != std::string::npos) return false;  // function-ish
+  if (std::regex_search(header, m, class_re)) {
+    name = m[3].str();
+    return true;
+  }
+  return false;
 }
 
 struct GuardDecl {
@@ -300,14 +407,18 @@ FileStructure ScanStructure(const SourceFile& f) {
   struct OpenBlock {
     int open_depth;   // depth before this block's '{'
     int func_index;   // -1 for non-function blocks
+    bool is_scope = false;  // pushed a namespace/class scope component
   };
   std::vector<OpenBlock> blocks;
+  std::vector<std::string> scope_stack;  // namespace/class components
   std::vector<size_t> open_guards;  // indices into out.guards
   std::vector<int> guard_depth;     // parallel to out.guards: depth at decl
 
   int depth = 0;
   std::string stmt;        // current statement text (for headers)
   int stmt_first_line = 1;
+  int stmt_paren = 0;  // open '(' count: a '{' under it is an initializer /
+                       // argument brace, never a definition or scope
 
   static const std::regex unlock_re(R"(([A-Za-z_]\w*)\s*\.\s*unlock\s*\(\s*\))");
   static const std::regex relock_re(R"(([A-Za-z_]\w*)\s*\.\s*lock\s*\(\s*\))");
@@ -409,15 +520,37 @@ FileStructure ScanStructure(const SourceFile& f) {
       if (i == line.size()) break;
 
       const char c = line[i];
+      if (c == '(') ++stmt_paren;
+      if (c == ')' && stmt_paren > 0) --stmt_paren;
       if (c == '{') {
         const std::string header = stmt;
-        const std::string name = FuncNameFromHeader(header);
         int func_index = -1;
-        if (!name.empty()) {
-          out.funcs.push_back({name, stmt_first_line, lineno, 0});
-          func_index = static_cast<int>(out.funcs.size() - 1);
+        bool is_scope = false;
+        std::string scope_name;
+        if (stmt_paren > 0) {
+          // Braced init inside an unfinished call/declaration:
+          // `f(Widget{...})`. Plain block, and the statement continues.
+        } else if (StmtOpensScope(header, scope_name)) {
+          is_scope = true;
+          scope_stack.push_back(scope_name);
+        } else if (!StmtIsControl(header) && !StmtHasLambda(header)) {
+          const std::string qual = QualFromHeader(header);
+          if (!qual.empty()) {
+            const size_t sep = qual.rfind("::");
+            const std::string simple =
+                sep == std::string::npos ? qual : qual.substr(sep + 2);
+            std::string scope;
+            for (const auto& s : scope_stack) {
+              if (s.empty()) continue;
+              if (!scope.empty()) scope += "::";
+              scope += s;
+            }
+            out.funcs.push_back({simple, stmt_first_line, lineno, 0,
+                                 std::move(scope), qual, /*is_def=*/true});
+            func_index = static_cast<int>(out.funcs.size() - 1);
+          }
         }
-        blocks.push_back({depth, func_index});
+        blocks.push_back({depth, func_index, is_scope});
         ++depth;
         stmt.clear();
         stmt_first_line = lineno;
@@ -427,6 +560,8 @@ FileStructure ScanStructure(const SourceFile& f) {
           if (blocks.back().func_index >= 0)
             out.funcs[static_cast<size_t>(blocks.back().func_index)].end_line =
                 lineno;
+          if (blocks.back().is_scope && !scope_stack.empty())
+            scope_stack.pop_back();
           blocks.pop_back();
         }
         // A guard declared at depth d dies when depth drops below d.
@@ -443,6 +578,7 @@ FileStructure ScanStructure(const SourceFile& f) {
       } else if (c == ';') {
         stmt.clear();
         stmt_first_line = lineno + 1;
+        stmt_paren = 0;
       } else {
         stmt += c;
       }

@@ -37,6 +37,14 @@ bool LoadSource(const std::string& fs_path, std::string repo_path,
 // preceding line (for sites where the flagged expression leaves no room).
 bool HasAllow(const SourceFile& f, int line, const std::string& check);
 
+// Every lint:allow(<check>) comment in the file (exemption-drift audit).
+// A token inside a string literal is prose, not an allow, and is skipped.
+struct AllowSite {
+  int line = 0;  // 1-based
+  std::string check;
+};
+std::vector<AllowSite> AllowSites(const SourceFile& f);
+
 // --- structural scan --------------------------------------------------------
 
 struct FuncRegion {
@@ -44,6 +52,11 @@ struct FuncRegion {
   int header_line;   // first line of the signature statement (1-based)
   int open_line;     // line of the opening '{'
   int end_line;      // line of the matching '}' (0 while unterminated)
+  // Semantic enrichment for the symbol index (symbols.h):
+  std::string scope;  // enclosing namespace/class path, e.g. "acps::comm"
+  std::string qual;   // name as written in the header, e.g. "Session::Run"
+  bool is_def = false;  // looks like a real definition body (not a lambda
+                        // argument or a call inside a control statement)
 };
 
 struct GuardScope {

@@ -1,0 +1,63 @@
+// acps-analyze phase 1: cross-TU symbol index.
+//
+// The first pass of the two-phase engine (DESIGN.md §6g). From every
+// function region the structural scan classified as a real definition
+// (FuncRegion::is_def) it derives a qualified name — the enclosing
+// namespace/class scope joined with the name as written in the header, so
+// `void Session::Run(...)` inside `namespace acps::comm` indexes as
+// `acps::comm::Session::Run` whether it is defined inline or out of line.
+// Regions with the same qualified name (declaration + definition,
+// overloads) merge into one symbol whose body is the union of the regions;
+// interprocedural rules over-approximate through overload sets on purpose.
+//
+// File-static helpers (anonymous namespaces) stay file-local: their scope
+// carries an `(anon@<file-index>)` component and call resolution refuses to
+// bind an unqualified name to another file's statics.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace acps::analyze {
+
+struct SymbolDef {
+  int file = -1;  // index into Corpus::files
+  int func = -1;  // index into FileStructure::funcs of that file
+};
+
+struct Symbol {
+  std::string qualified;  // "acps::comm::Session::Run"
+  std::string simple;     // "Run"
+  int anon_file = -1;     // != -1: file-static, visible in that file only
+  std::vector<SymbolDef> defs;
+};
+
+class SymbolIndex {
+ public:
+  static SymbolIndex Build(const Corpus& corpus);
+
+  [[nodiscard]] const std::vector<Symbol>& symbols() const { return syms_; }
+
+  // Symbol ids sharing a simple name (empty vector when unknown).
+  [[nodiscard]] const std::vector<int>& BySimple(
+      const std::string& simple) const;
+
+  // Symbol id of the function region, -1 when the region is not a def.
+  [[nodiscard]] int SymbolOfRegion(int file, int func) const;
+
+  // Innermost definition symbol whose body covers `line` of `file`
+  // (1-based), walking past lambda/control blocks; -1 at file scope.
+  [[nodiscard]] int SymbolAt(const Corpus& corpus, int file, int line) const;
+
+ private:
+  std::vector<Symbol> syms_;
+  std::map<std::string, std::vector<int>> by_simple_;
+  // region_sym_[file][func] -> symbol id or -1, parallel to
+  // FileStructure::funcs.
+  std::vector<std::vector<int>> region_sym_;
+};
+
+}  // namespace acps::analyze

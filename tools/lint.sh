@@ -40,33 +40,44 @@ ANALYZER=""
 for d in "$BUILD_DIR" build-release build build-tsan build-asan-ubsan \
          build-coverage; do
   [ -n "$d" ] && [ -x "$d/tools/analyzer/acps-analyze" ] || continue
+  # A build-tree binary is only trusted when no analyzer source is newer:
+  # the analyze leg runs before the first compile, so a stale checkout's
+  # binary (old flags, missing rules) must lose to the hash-keyed cache.
+  stale=0
+  for f in tools/analyzer/*.cc tools/analyzer/*.h; do
+    [ "$f" -nt "$d/tools/analyzer/acps-analyze" ] && stale=1 && break
+  done
+  [ "$stale" -eq 1 ] && continue
   ANALYZER="$d/tools/analyzer/acps-analyze"
   break
 done
 if [ -z "$ANALYZER" ]; then
   CACHE_DIR="${TMPDIR:-/tmp}/acps-lint-cache"
   mkdir -p "$CACHE_DIR" || exit 2
-  ANALYZER="$CACHE_DIR/acps-analyze"
-  # Rebuild the cached binary whenever any analyzer source is newer.
-  needs_build=0
+  # Content-hash-keyed cache: the binary name carries a digest of every
+  # analyzer source, so a cache hit is exact (mtime games — checkouts,
+  # branch switches, touch — can neither stale it nor force a rebuild)
+  # and concurrent lints of different revisions never clobber each other.
+  SRC_HASH="$(cat tools/analyzer/*.cc tools/analyzer/*.h | sha256sum |
+              cut -c1-16)"
+  ANALYZER="$CACHE_DIR/acps-analyze-$SRC_HASH"
   if [ ! -x "$ANALYZER" ]; then
-    needs_build=1
-  else
-    for f in tools/analyzer/*.cc tools/analyzer/*.h; do
-      [ "$f" -nt "$ANALYZER" ] && needs_build=1 && break
-    done
-  fi
-  if [ "$needs_build" -eq 1 ]; then
     CXX_BIN="${CXX:-c++}"
     if ! command -v "$CXX_BIN" >/dev/null 2>&1; then
       note "no built acps-analyze and no C++ compiler ('$CXX_BIN') — cannot lint"
       exit 2
     fi
-    note "building acps-analyze ($CXX_BIN, one-shot)"
-    if ! "$CXX_BIN" -std=c++20 -O2 tools/analyzer/*.cc -o "$ANALYZER"; then
+    note "building acps-analyze ($CXX_BIN, one-shot, cache key $SRC_HASH)"
+    if ! "$CXX_BIN" -std=c++20 -O2 tools/analyzer/*.cc -o "$ANALYZER.tmp.$$" ||
+       ! mv "$ANALYZER.tmp.$$" "$ANALYZER"; then
+      rm -f "$ANALYZER.tmp.$$"
       note "acps-analyze failed to compile"
       exit 2
     fi
+    # Evict binaries of other revisions; the fresh one is the only key
+    # that can hit again.
+    find "$CACHE_DIR" -maxdepth 1 -name 'acps-analyze*' \
+         ! -name "acps-analyze-$SRC_HASH" -delete 2>/dev/null
   fi
 fi
 
@@ -75,8 +86,23 @@ if ! "$ANALYZER" --root "$ROOT" --self-test; then
   FAILURES=1
 fi
 
-note "acps-analyze: src tests bench examples + tsan.supp"
-if ! "$ANALYZER" --root "$ROOT"; then
+# Repo scan, always gated on the committed SARIF baseline: a finding not
+# fingerprinted there fails, and so does baseline rot (a baselined entry
+# that no longer reproduces — the debt was paid, the IOU must go).
+# Knobs for CI:
+#   ACPS_LINT_SARIF=<file>   also write the findings as a SARIF artifact
+#   ACPS_LINT_TIMING=1       print per-pass wall time to stderr
+SCAN_ARGS=(--root "$ROOT" --baseline "$ROOT/tools/analyzer/baseline.sarif")
+if [ -n "${ACPS_LINT_SARIF:-}" ]; then
+  mkdir -p "$(dirname "$ACPS_LINT_SARIF")" 2>/dev/null
+  SCAN_ARGS+=(--sarif "$ACPS_LINT_SARIF")
+fi
+if [ "${ACPS_LINT_TIMING:-0}" = "1" ]; then
+  SCAN_ARGS+=(--timing)
+fi
+
+note "acps-analyze: src tests bench examples + tsan.supp (vs baseline)"
+if ! "$ANALYZER" "${SCAN_ARGS[@]}"; then
   FAILURES=1
 fi
 
