@@ -8,7 +8,9 @@
 #include "dnn/loss.h"
 #include "dnn/mini_models.h"
 #include "metrics/csv.h"
+#include "obs/kernel_metrics.h"
 #include "obs/tracer.h"
+#include "par/kernel_stats.h"
 #include "par/lock_level.h"
 #include "par/thread_pool.h"
 
@@ -151,6 +153,10 @@ TrainResult TrainImpl(comm::Session& session, const TrainConfig& config,
           if (metrics) {
             metrics->counter("train.steps").Add();
             metrics->histogram("train.step_us").Observe(step_us);
+            // Per-iteration kernel breakdown (calls/ms/gflops plus the
+            // packed-panel traffic counters); the export is idempotent so
+            // re-running it each step only refreshes the cumulative gauges.
+            if (par::KernelStatsEnabled()) obs::ExportKernelStats(*metrics);
           }
           if (observe_session_steps) session.ObserveStepMs(step_us / 1000.0);
         }

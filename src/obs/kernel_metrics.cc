@@ -6,20 +6,35 @@
 namespace acps::obs {
 
 void ExportKernelStats(MetricsRegistry& registry) {
+  // Every instrument is a gauge set to the cumulative snapshot value, so
+  // the export is idempotent: the trainer calls this once per step and the
+  // registry always reads as "totals so far", never inflated by re-export.
   for (const auto& [name, stat] : par::KernelStatsSnapshot()) {
-    registry.counter("kernel." + name + ".calls").Add(stat.calls);
+    registry.gauge("kernel." + name + ".calls")
+        .Set(static_cast<double>(stat.calls));
     registry.gauge("kernel." + name + ".ms")
         .Set(static_cast<double>(stat.ns) / 1e6);
     registry.gauge("kernel." + name + ".gflops").Set(stat.gflops());
+    registry.gauge("kernel." + name + ".bytes")
+        .Set(static_cast<double>(stat.bytes));
+    registry.gauge("kernel." + name + ".pack_bytes")
+        .Set(static_cast<double>(stat.pack_bytes));
+    registry.gauge("kernel." + name + ".panel_reuses")
+        .Set(static_cast<double>(stat.panel_reuses));
   }
 }
 
 std::string KernelStatsTable() {
-  metrics::Table table({"kernel", "calls", "total ms", "GFLOP/s"});
+  metrics::Table table(
+      {"kernel", "calls", "total ms", "GFLOP/s", "GB/s", "pack MB", "reuses"});
   for (const auto& [name, stat] : par::KernelStatsSnapshot()) {
     table.AddRow({name, std::to_string(stat.calls),
                   metrics::Table::Num(static_cast<double>(stat.ns) / 1e6),
-                  metrics::Table::Num(stat.gflops())});
+                  metrics::Table::Num(stat.gflops()),
+                  metrics::Table::Num(stat.gbps()),
+                  metrics::Table::Num(static_cast<double>(stat.pack_bytes) /
+                                      1e6),
+                  std::to_string(stat.panel_reuses)});
   }
   return table.Render();
 }

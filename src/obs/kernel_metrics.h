@@ -11,15 +11,22 @@
 
 namespace acps::obs {
 
-// Writes each recorded kernel into `registry` as
-//   kernel.<name>.calls   (counter)  total invocations
-//   kernel.<name>.ms      (gauge)    accumulated wall milliseconds
-//   kernel.<name>.gflops  (gauge)    achieved GFLOP/s over that window
-// The registry must be enabled for the instruments to take values.
+// Writes each recorded kernel into `registry` as cumulative-total gauges
+//   kernel.<name>.calls         total invocations
+//   kernel.<name>.ms            accumulated wall milliseconds
+//   kernel.<name>.gflops        achieved GFLOP/s over that window
+//   kernel.<name>.bytes         logical operand/result bytes moved
+//   kernel.<name>.pack_bytes    bytes staged into packed panels (§6e)
+//   kernel.<name>.panel_reuses  micro-kernel sweeps served from a packed
+//                               panel
+// Idempotent: each instrument is Set to the snapshot total, so the trainer
+// may re-export every step without inflating anything. The registry must
+// be enabled for the instruments to take values.
 void ExportKernelStats(MetricsRegistry& registry);
 
-// ASCII table of the snapshot (kernel, calls, total ms, GFLOP/s), sorted by
-// name; empty-table render when nothing was recorded.
+// ASCII table of the snapshot (kernel, calls, total ms, GFLOP/s, GB/s,
+// packed MB, panel reuses), sorted by name; empty-table render when nothing
+// was recorded.
 [[nodiscard]] std::string KernelStatsTable();
 
 }  // namespace acps::obs

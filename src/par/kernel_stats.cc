@@ -35,13 +35,25 @@ bool KernelStatsEnabled() {
   return g_enabled.load(std::memory_order_relaxed);
 }
 
-void RecordKernel(const char* name, uint64_t ns, uint64_t flops) {
+void RecordKernel(const char* name, uint64_t ns, uint64_t flops,
+                  uint64_t bytes) {
   if (!KernelStatsEnabled()) return;
   std::lock_guard lock(g_stats_mu);
   KernelStat& s = Table()[name];
   ++s.calls;
   s.ns += ns;
   s.flops += flops;
+  s.bytes += bytes;
+}
+
+void RecordKernelPack(const char* name, uint64_t pack_bytes,
+                      uint64_t panel_reuses) {
+  if (!KernelStatsEnabled()) return;
+  if (pack_bytes == 0 && panel_reuses == 0) return;
+  std::lock_guard lock(g_stats_mu);
+  KernelStat& s = Table()[name];
+  s.pack_bytes += pack_bytes;
+  s.panel_reuses += panel_reuses;
 }
 
 std::vector<std::pair<std::string, KernelStat>> KernelStatsSnapshot() {
@@ -54,14 +66,17 @@ void ResetKernelStats() {
   Table().clear();
 }
 
-KernelTimer::KernelTimer(const char* name, uint64_t flops)
+KernelTimer::KernelTimer(const char* name, uint64_t flops, uint64_t bytes)
     : name_(KernelStatsEnabled() ? name : nullptr),
       flops_(flops),
+      bytes_(bytes),
       begin_ns_(name_ != nullptr ? NowNs() : 0) {}
 
 KernelTimer::~KernelTimer() {
   if (name_ == nullptr) return;
-  RecordKernel(name_, NowNs() - begin_ns_, flops_);
+  RecordKernel(name_, NowNs() - begin_ns_, flops_, bytes_);
+  RecordKernelPack(name_, pack_bytes_.load(std::memory_order_relaxed),
+                   panel_reuses_.load(std::memory_order_relaxed));
 }
 
 }  // namespace acps::par

@@ -1,7 +1,9 @@
 #include "tensor/matrix_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "par/kernel_stats.h"
@@ -9,6 +11,8 @@
 
 namespace acps {
 namespace {
+
+std::atomic<GemmPackMode> g_pack_mode{GemmPackMode::kAuto};
 
 // Micro-tile shape for the register-blocked GEMM family: kMr C rows × kNj C
 // columns of fp32 accumulators live in registers across the whole k loop, so
@@ -41,6 +45,21 @@ uint64_t GemmFlops(int64_t n, int64_t k, int64_t m) {
   return 2ull * static_cast<uint64_t>(n) * static_cast<uint64_t>(k) *
          static_cast<uint64_t>(m);
 }
+
+// Logical operand/result traffic of one GEMM call for the kernel-stats
+// table: A + B read once, C written once, and read once more when beta != 0.
+uint64_t GemmBytes(int64_t n, int64_t k, int64_t m, float beta) {
+  const uint64_t a = static_cast<uint64_t>(n) * static_cast<uint64_t>(k);
+  const uint64_t b = static_cast<uint64_t>(k) * static_cast<uint64_t>(m);
+  const uint64_t cc = static_cast<uint64_t>(n) * static_cast<uint64_t>(m);
+  return (a + b + cc * (beta == 0.0f ? 1 : 2)) * sizeof(float);
+}
+
+// Below this many flops a GEMM runs inline on the calling thread: the
+// pool's dispatch + join costs more than the math at the Power-SGD r=1/2
+// factor shapes (2·1024·1024·r < 2^23 for r <= 3). Partitioning never
+// changes an accumulation chain, so serial-vs-pool is bitwise neutral.
+constexpr uint64_t kSerialInlineFlops = 1ull << 23;
 
 // FMA-contraction barrier for the beta != 0 writeback. Under the default
 // -ffp-contract=fast, textually identical `alpha_term + beta * c` expressions
@@ -135,18 +154,214 @@ void GemmRows(const float* a, const float* b, float* c, int64_t i0_begin,
   }
 }
 
+// ---------------------------------------------------------------------------
+// L2-blocked packed-panel layer (DESIGN.md §6e). The (m,n,k) nest is tiled
+// into macro-panels sized for the 2 MiB L2; A panels are copied kMr-row
+// interleaved (alpha folded in — the same single `alpha * a_ik` multiply the
+// unpacked tile performs) and B panels kNj-column interleaved into
+// per-thread scratch, so the micro-kernel reads both operands as contiguous
+// streams and a packed B panel is reused by every row tile of the ic loop.
+// Edge tiles are zero-padded to full kMr×kNj inside the pack — the padded
+// lanes compute garbage accumulators that are simply never written back, so
+// every real element keeps the exact fmaf chain of the unpacked path.
+// k-splitting (the pc loop) spills the fp32 accumulators to a scratch C
+// block between panels; a float round-trips memory exactly, so the chain
+// value is untouched. Scratch is thread_local: workers never share panels.
+// ---------------------------------------------------------------------------
+constexpr int64_t kKc = 256;  // k macro-panel depth
+constexpr int64_t kMc = 96;   // rows per A pack (16 micro row tiles)
+constexpr int64_t kNc = 128;  // cols per B pack (4 micro col tiles, 128 KiB)
+constexpr int64_t kRc = 768;  // row chunk bounding the accumulator scratch
+
+// Packs rows [i0, i0+mb) of op(A)'s k-panel [pc, pc+kc) into `dst`,
+// kMr-interleaved per micro row tile: dst[t*kc*kMr + kk*kMr + r] =
+// alpha * op(A)[i0 + t*kMr + r][pc + kk], zero beyond mb. Pure data
+// movement plus the alpha fold — no accumulation (acps-analyze
+// pack-pure-move enforces this for every Pack* function).
+template <bool TransA>
+void PackAPanel(const float* a, int64_t n, int64_t k, int64_t i0, int64_t mb,
+                int64_t pc, int64_t kc, float alpha, float* dst) {
+  const int64_t mtiles = (mb + kMr - 1) / kMr;
+  for (int64_t t = 0; t < mtiles; ++t) {
+    float* __restrict__ tile = dst + t * kc * kMr;
+    const int64_t rb = std::min<int64_t>(kMr, mb - t * kMr);
+    if constexpr (TransA) {
+      // A is [k×n]: walk kk outer so source reads stay row-sequential.
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        const float* __restrict__ acol = a + (pc + kk) * n + i0 + t * kMr;
+        for (int64_t r = 0; r < rb; ++r) tile[kk * kMr + r] = alpha * acol[r];
+        for (int64_t r = rb; r < kMr; ++r) tile[kk * kMr + r] = 0.0f;
+      }
+    } else {
+      // A is [n×k]: walk each source row once, scattering into the tile.
+      for (int64_t r = 0; r < rb; ++r) {
+        const float* __restrict__ arow = a + (i0 + t * kMr + r) * k + pc;
+        for (int64_t kk = 0; kk < kc; ++kk)
+          tile[kk * kMr + r] = alpha * arow[kk];
+      }
+      for (int64_t r = rb; r < kMr; ++r)
+        for (int64_t kk = 0; kk < kc; ++kk) tile[kk * kMr + r] = 0.0f;
+    }
+  }
+}
+
+// Packs B's [pc, pc+kc) × [jc, jc+nb) panel kNj-interleaved per micro
+// column tile: dst[t*kc*kNj + kk*kNj + jj] = B[pc+kk][jc + t*kNj + jj],
+// zero beyond nb. Pure data movement.
+void PackBPanel(const float* b, int64_t m, int64_t pc, int64_t kc, int64_t jc,
+                int64_t nb, float* dst) {
+  const int64_t ntiles = (nb + kNj - 1) / kNj;
+  for (int64_t t = 0; t < ntiles; ++t) {
+    float* __restrict__ tile = dst + t * kc * kNj;
+    const int64_t jb = std::min<int64_t>(kNj, nb - t * kNj);
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const float* __restrict__ brow = b + (pc + kk) * m + jc + t * kNj;
+      for (int64_t jj = 0; jj < jb; ++jj) tile[kk * kNj + jj] = brow[jj];
+      for (int64_t jj = jb; jj < kNj; ++jj) tile[kk * kNj + jj] = 0.0f;
+    }
+  }
+}
+
+// One kMr×kNj register tile over a packed k-panel: load the running
+// accumulators (or start at 0 on the first panel), fold kc contributions in
+// ascending k with the same explicit std::fmaf as the unpacked tile, spill
+// back. acc_io round-trips fp32 exactly, so chaining panels reproduces the
+// full-k register chain bit for bit.
+void PackedMicroKernel(const float* __restrict__ ap,
+                       const float* __restrict__ bp, int64_t kc, bool first,
+                       float* __restrict__ acc_io) {
+  float acc[kMr][kNj];
+  for (int64_t r = 0; r < kMr; ++r)
+    for (int64_t jj = 0; jj < kNj; ++jj)
+      acc[r][jj] = first ? 0.0f : acc_io[r * kNj + jj];
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* __restrict__ av = ap + kk * kMr;
+    const float* __restrict__ bk = bp + kk * kNj;
+    for (int64_t r = 0; r < kMr; ++r) {
+      const float aik = av[r];
+      for (int64_t jj = 0; jj < kNj; ++jj)
+        acc[r][jj] = std::fmaf(aik, bk[jj], acc[r][jj]);
+    }
+  }
+  for (int64_t r = 0; r < kMr; ++r)
+    for (int64_t jj = 0; jj < kNj; ++jj) acc_io[r * kNj + jj] = acc[r][jj];
+}
+
+// Packed-path rows [rb_, re_) of C = alpha·op(A)·B + beta·C. Loop order
+// rc → jc → pc → ic: each packed B panel is reused by every row tile of its
+// rc chunk, each packed A panel by every column tile of its jc panel. beta
+// is applied exactly once per element at the final writeback from the
+// accumulator scratch, against the untouched original C.
+template <bool TransA>
+void PackedGemmRows(const float* a, const float* b, float* c, int64_t rb_,
+                    int64_t re_, int64_t n, int64_t k, int64_t m, float alpha,
+                    float beta, par::KernelTimer* timer) {
+  thread_local std::vector<float> apack, bpack, cacc;
+  uint64_t pack_bytes = 0;
+  uint64_t reuses = 0;
+  for (int64_t rc = rb_; rc < re_; rc += kRc) {
+    const int64_t rows = std::min<int64_t>(kRc, re_ - rc);
+    for (int64_t jc = 0; jc < m; jc += kNc) {
+      const int64_t nb = std::min<int64_t>(kNc, m - jc);
+      const int64_t ntiles = (nb + kNj - 1) / kNj;
+      const int64_t mtiles_all = (rows + kMr - 1) / kMr;
+      cacc.resize(static_cast<size_t>(mtiles_all * ntiles * kMr * kNj));
+      if (k == 0) std::fill(cacc.begin(), cacc.end(), 0.0f);
+      for (int64_t pc = 0; pc < k; pc += kKc) {
+        const int64_t kc = std::min<int64_t>(kKc, k - pc);
+        bpack.resize(static_cast<size_t>(ntiles * kc * kNj));
+        PackBPanel(b, m, pc, kc, jc, nb, bpack.data());
+        pack_bytes += static_cast<uint64_t>(ntiles * kc * kNj) * sizeof(float);
+        const bool first = pc == 0;
+        for (int64_t ic = rc; ic < rc + rows; ic += kMc) {
+          const int64_t mb = std::min<int64_t>(kMc, rc + rows - ic);
+          const int64_t mtiles = (mb + kMr - 1) / kMr;
+          apack.resize(static_cast<size_t>(mtiles * kc * kMr));
+          PackAPanel<TransA>(a, n, k, ic, mb, pc, kc, alpha, apack.data());
+          pack_bytes +=
+              static_cast<uint64_t>(mtiles * kc * kMr) * sizeof(float);
+          for (int64_t t = 0; t < mtiles; ++t) {
+            const int64_t it = (ic - rc) / kMr + t;
+            for (int64_t jt = 0; jt < ntiles; ++jt) {
+              PackedMicroKernel(
+                  apack.data() + t * kc * kMr, bpack.data() + jt * kc * kNj,
+                  kc, first, cacc.data() + (it * ntiles + jt) * kMr * kNj);
+              ++reuses;
+            }
+          }
+        }
+      }
+      for (int64_t i = rc; i < rc + rows; ++i) {
+        const int64_t it = (i - rc) / kMr;
+        const int64_t r = (i - rc) % kMr;
+        for (int64_t jt = 0; jt < ntiles; ++jt) {
+          const float* __restrict__ at =
+              cacc.data() + (it * ntiles + jt) * kMr * kNj + r * kNj;
+          const int64_t jb = std::min<int64_t>(kNj, nb - jt * kNj);
+          float* __restrict__ cj = c + i * m + jc + jt * kNj;
+          if (beta == 0.0f) {
+            for (int64_t jj = 0; jj < jb; ++jj) cj[jj] = at[jj];
+          } else {
+            for (int64_t jj = 0; jj < jb; ++jj)
+              cj[jj] = BetaBlend(at[jj], beta, cj[jj]);
+          }
+        }
+      }
+    }
+  }
+  if (timer != nullptr) timer->AddPanel(pack_bytes, reuses);
+}
+
+// Packed-path routing. kAuto takes the packed saxpy path only where the
+// panel reuse pays for the copies: enough columns for an A panel to serve
+// several column tiles, a deep enough k for the pc loop to matter, and a B
+// footprint that is actually straining L2. The acceptance dense shape
+// (4096×4096×32, B = 512 KiB, m = kNj) stays on the direct path, which
+// already runs at ~28× naive out of L2.
+bool UsePackedSaxpy(int64_t n, int64_t k, int64_t m) {
+  switch (g_pack_mode.load(std::memory_order_relaxed)) {
+    case GemmPackMode::kAlways:
+      return true;
+    case GemmPackMode::kNever:
+      return false;
+    case GemmPackMode::kAuto:
+      break;
+  }
+  return m >= 2 * kNj && k >= 128 && n >= kMr &&
+         static_cast<uint64_t>(k) * static_cast<uint64_t>(m) * sizeof(float) >=
+             (1u << 20);
+}
+
 template <bool TransA>
 void GemmImpl(std::span<const float> a, std::span<const float> b,
               std::span<float> c, int64_t n, int64_t k, int64_t m, float alpha,
               float beta, const char* stat_name) {
   CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
   if (n == 0 || m == 0) return;
-  par::KernelTimer timer(stat_name, GemmFlops(n, k, m));
-  par::ParallelForBlocks(GemmRowGrain(k, m), n, /*align=*/kMr,
-                         [&](int64_t, int64_t begin, int64_t end) {
-                           GemmRows<TransA>(a.data(), b.data(), c.data(),
-                                            begin, end, n, k, m, alpha, beta);
-                         });
+  const uint64_t flops = GemmFlops(n, k, m);
+  par::KernelTimer timer(stat_name, flops, GemmBytes(n, k, m, beta));
+  const bool packed = UsePackedSaxpy(n, k, m);
+  if (flops < kSerialInlineFlops) {
+    if (packed) {
+      PackedGemmRows<TransA>(a.data(), b.data(), c.data(), 0, n, n, k, m,
+                             alpha, beta, &timer);
+    } else {
+      GemmRows<TransA>(a.data(), b.data(), c.data(), 0, n, n, k, m, alpha,
+                       beta);
+    }
+    return;
+  }
+  par::ParallelForBlocks(
+      GemmRowGrain(k, m), n, /*align=*/kMr,
+      [&](int64_t, int64_t begin, int64_t end) {
+        if (packed) {
+          PackedGemmRows<TransA>(a.data(), b.data(), c.data(), begin, end, n,
+                                 k, m, alpha, beta, &timer);
+        } else {
+          GemmRows<TransA>(a.data(), b.data(), c.data(), begin, end, n, k, m,
+                           alpha, beta);
+        }
+      });
 }
 
 // Fixed 8-lane interleaved fp32 dot product (lane l takes k ≡ l mod 8),
@@ -167,12 +382,12 @@ float Dot8(const float* __restrict__ x, const float* __restrict__ y,
 }
 
 void GemmTransBRows(const float* a, const float* b, float* c, int64_t i_begin,
-                    int64_t i_end, int64_t k, int64_t m, float alpha,
-                    float beta) {
+                    int64_t i_end, int64_t j_begin, int64_t j_end, int64_t k,
+                    int64_t m, float alpha, float beta) {
   for (int64_t i = i_begin; i < i_end; ++i) {
     const float* ai = a + i * k;
     float* ci = c + i * m;
-    for (int64_t j = 0; j < m; ++j) {
+    for (int64_t j = j_begin; j < j_end; ++j) {
       const float dot = Dot8(ai, b + j * k, k);
       if (beta == 0.0f) {
         ci[j] = alpha * dot;
@@ -183,7 +398,121 @@ void GemmTransBRows(const float* a, const float* b, float* c, int64_t i_begin,
   }
 }
 
+// Columns per packed GemmTransB j-panel. Dot8's single 8-lane accumulator
+// is a serial fma dependency chain, so one dot at a time runs at fma
+// *latency*, not throughput; interleaving kTbJb independent output columns
+// gives the core kTbJb chains to overlap. Each column's own lane array
+// still receives the exact Dot8 update sequence (ascending 8-blocks, then
+// the k%8 tail, then the fixed pairwise tree), so outputs stay bitwise
+// identical to the unpacked path.
+constexpr int64_t kTbJb = 8;
+
+// Packs kTbJb rows of B (the j-panel's dot operands) 8-block-interleaved:
+// dst[(kb/8)*kTbJb*8 + jj*8 + l] = B[j0+jj][kb+l] for the vectorizable
+// prefix k8 = k - k%8. Pure data movement.
+void PackTransBPanel(const float* b, int64_t k, int64_t j0, int64_t k8,
+                     float* dst) {
+  for (int64_t jj = 0; jj < kTbJb; ++jj) {
+    const float* __restrict__ bj = b + (j0 + jj) * k;
+    for (int64_t kb = 0; kb < k8; kb += 8) {
+      float* __restrict__ blk = dst + kb * kTbJb + jj * 8;
+      for (int64_t l = 0; l < 8; ++l) blk[l] = bj[kb + l];
+    }
+  }
+}
+
+// Packed-path rows [i_begin, i_end) of C = alpha·A·Bᵀ + beta·C: j-panels
+// are packed in groups sized to stay L2-resident (~1 MiB), then every A row
+// sweeps the whole group — A streams through once per group, the packed
+// panels replay from L2, and each panel is processed with kTbJb interleaved
+// lane arrays. The k%8 tail and any m%kTbJb remainder columns take the
+// plain Dot8 path.
+void GemmTransBPackedRows(const float* a, const float* b, float* c,
+                          int64_t i_begin, int64_t i_end, int64_t k, int64_t m,
+                          float alpha, float beta, par::KernelTimer* timer) {
+  const int64_t k8 = k - k % 8;
+  const int64_t jp_end = m - m % kTbJb;
+  const int64_t panel_floats = kTbJb * k8;
+  const int64_t group_panels = std::max<int64_t>(
+      1, (1 << 20) / std::max<int64_t>(1, panel_floats *
+                                              static_cast<int64_t>(
+                                                  sizeof(float))));
+  thread_local std::vector<float> pack;
+  uint64_t pack_bytes = 0;
+  uint64_t reuses = 0;
+  for (int64_t g0 = 0; g0 < jp_end; g0 += group_panels * kTbJb) {
+    const int64_t gend = std::min<int64_t>(jp_end, g0 + group_panels * kTbJb);
+    const int64_t npanels = (gend - g0) / kTbJb;
+    pack.resize(static_cast<size_t>(npanels * panel_floats));
+    for (int64_t p = 0; p < npanels; ++p)
+      PackTransBPanel(b, k, g0 + p * kTbJb, k8,
+                      pack.data() + p * panel_floats);
+    pack_bytes += static_cast<uint64_t>(npanels * panel_floats) * sizeof(float);
+    for (int64_t i = i_begin; i < i_end; ++i) {
+      const float* __restrict__ ai = a + i * k;
+      float* ci = c + i * m;
+      for (int64_t p = 0; p < npanels; ++p) {
+        const int64_t j0 = g0 + p * kTbJb;
+        const float* __restrict__ panel = pack.data() + p * panel_floats;
+        float lane[kTbJb][8] = {};
+        for (int64_t kb = 0; kb < k8; kb += 8) {
+          const float* __restrict__ xv = ai + kb;
+          const float* __restrict__ pv = panel + kb * kTbJb;
+          for (int64_t jj = 0; jj < kTbJb; ++jj)
+            for (int64_t l = 0; l < 8; ++l)
+              lane[jj][l] += xv[l] * pv[jj * 8 + l];
+        }
+        for (int64_t kk = k8; kk < k; ++kk) {
+          const float av = ai[kk];
+          for (int64_t jj = 0; jj < kTbJb; ++jj)
+            lane[jj][kk % 8] += av * b[(j0 + jj) * k + kk];
+        }
+        for (int64_t jj = 0; jj < kTbJb; ++jj) {
+          const float s0 =
+              (lane[jj][0] + lane[jj][1]) + (lane[jj][2] + lane[jj][3]);
+          const float s1 =
+              (lane[jj][4] + lane[jj][5]) + (lane[jj][6] + lane[jj][7]);
+          const float dot = s0 + s1;
+          if (beta == 0.0f) {
+            ci[j0 + jj] = alpha * dot;
+          } else {
+            ci[j0 + jj] = BetaBlend(alpha * dot, beta, ci[j0 + jj]);
+          }
+        }
+      }
+      reuses += static_cast<uint64_t>(npanels);
+    }
+  }
+  if (jp_end < m) {
+    GemmTransBRows(a, b, c, i_begin, i_end, jp_end, m, k, m, alpha, beta);
+  }
+  if (timer != nullptr) timer->AddPanel(pack_bytes, reuses);
+}
+
+// kAuto takes the packed TransB path when k is deep enough for the
+// interleaved 8-blocks to dominate the tail and there are enough rows to
+// amortize the panel copy.
+bool UsePackedTransB(int64_t n, int64_t k, int64_t m) {
+  switch (g_pack_mode.load(std::memory_order_relaxed)) {
+    case GemmPackMode::kAlways:
+      return true;
+    case GemmPackMode::kNever:
+      return false;
+    case GemmPackMode::kAuto:
+      break;
+  }
+  return k >= 64 && n >= 8 && m >= kTbJb;
+}
+
 }  // namespace
+
+void SetGemmPackMode(GemmPackMode mode) {
+  g_pack_mode.store(mode, std::memory_order_relaxed);
+}
+
+GemmPackMode GetGemmPackMode() {
+  return g_pack_mode.load(std::memory_order_relaxed);
+}
 
 void Gemm(std::span<const float> a, std::span<const float> b,
           std::span<float> c, int64_t n, int64_t k, int64_t m, float alpha,
@@ -202,10 +531,27 @@ void GemmTransB(std::span<const float> a, std::span<const float> b,
                 float alpha, float beta) {
   CheckGemmSizes(a.size(), b.size(), c.size(), n, k, m);
   if (n == 0 || m == 0) return;
-  par::KernelTimer timer("gemm_tb", GemmFlops(n, k, m));
+  const uint64_t flops = GemmFlops(n, k, m);
+  par::KernelTimer timer("gemm_tb", flops, GemmBytes(n, k, m, beta));
+  const bool packed = UsePackedTransB(n, k, m);
+  if (flops < kSerialInlineFlops) {
+    if (packed) {
+      GemmTransBPackedRows(a.data(), b.data(), c.data(), 0, n, k, m, alpha,
+                           beta, &timer);
+    } else {
+      GemmTransBRows(a.data(), b.data(), c.data(), 0, n, 0, m, k, m, alpha,
+                     beta);
+    }
+    return;
+  }
   par::ParallelFor(GemmRowGrain(k, m), n, [&](int64_t begin, int64_t end) {
-    GemmTransBRows(a.data(), b.data(), c.data(), begin, end, k, m, alpha,
-                   beta);
+    if (packed) {
+      GemmTransBPackedRows(a.data(), b.data(), c.data(), begin, end, k, m,
+                           alpha, beta, &timer);
+    } else {
+      GemmTransBRows(a.data(), b.data(), c.data(), begin, end, 0, m, k, m,
+                     alpha, beta);
+    }
   });
 }
 
@@ -243,7 +589,9 @@ Tensor Transpose(const Tensor& in) {
   ACPS_CHECK_MSG(in.ndim() == 2, "Transpose needs a matrix");
   const int64_t r = in.rows(), c = in.cols();
   Tensor out({c, r});
-  par::KernelTimer timer("transpose", 0);
+  par::KernelTimer timer("transpose", 0,
+                         2ull * static_cast<uint64_t>(r) *
+                             static_cast<uint64_t>(c) * sizeof(float));
   // 64×64 blocks: both the input rows and the output rows of a block stay
   // cache-resident. Pure data movement — any partition is exact.
   constexpr int64_t kBlk = 64;
@@ -270,8 +618,10 @@ void Gemv(std::span<const float> a, std::span<const float> x,
                      static_cast<int64_t>(x.size()) == m &&
                      static_cast<int64_t>(y.size()) == n,
                  "Gemv size mismatch");
-  par::KernelTimer timer("gemv", 2ull * static_cast<uint64_t>(n) *
-                                     static_cast<uint64_t>(m));
+  par::KernelTimer timer("gemv",
+                         2ull * static_cast<uint64_t>(n) *
+                             static_cast<uint64_t>(m),
+                         static_cast<uint64_t>(n * m + m + n) * sizeof(float));
   const int64_t grain =
       std::max<int64_t>(1, par::kDefaultGrain / std::max<int64_t>(1, m));
   par::ParallelFor(grain, n, [&](int64_t begin, int64_t end) {
@@ -283,7 +633,8 @@ void Gemv(std::span<const float> a, std::span<const float> x,
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
   ACPS_CHECK_MSG(x.size() == y.size(), "Axpy size mismatch");
   const int64_t n = static_cast<int64_t>(x.size());
-  par::KernelTimer timer("axpy", 2ull * static_cast<uint64_t>(n));
+  par::KernelTimer timer("axpy", 2ull * static_cast<uint64_t>(n),
+                         3ull * static_cast<uint64_t>(n) * sizeof(float));
   par::ParallelFor(par::kDefaultGrain, n, [&](int64_t begin, int64_t end) {
     const float* __restrict__ xs = x.data();
     float* __restrict__ ys = y.data();
@@ -293,7 +644,8 @@ void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
 
 void Scal(float alpha, std::span<float> x) {
   const int64_t n = static_cast<int64_t>(x.size());
-  par::KernelTimer timer("scal", static_cast<uint64_t>(n));
+  par::KernelTimer timer("scal", static_cast<uint64_t>(n),
+                         2ull * static_cast<uint64_t>(n) * sizeof(float));
   par::ParallelFor(par::kDefaultGrain, n, [&](int64_t begin, int64_t end) {
     float* __restrict__ xs = x.data();
     for (int64_t i = begin; i < end; ++i) xs[i] *= alpha;

@@ -50,6 +50,10 @@ struct ThreadGuard {
   ~ThreadGuard() { par::SetNumThreads(0); }
 };
 
+struct PackModeGuard {
+  ~PackModeGuard() { SetGemmPackMode(GemmPackMode::kAuto); }
+};
+
 // Shapes chosen to cover full 8×32 tiles, ragged edges in both dimensions,
 // and the tall-skinny factors of the Power-SGD family.
 struct Shape3 {
@@ -84,6 +88,104 @@ TEST(KernelParity, GemmFamilyMatchesNaiveBitwise) {
         EXPECT_TRUE(BitsEqual(got, want)) << "gemm_tb " << s.n << "x" << s.k;
       }
     }
+  }
+}
+
+// Packed-panel layer (DESIGN.md §6e): with the packed path forced on, every
+// GEMM must still match its naive reference bit-for-bit at shapes that
+// stress each packing boundary — dimensions that are not multiples of the
+// macro-panel sizes (kKc=256 / kMc=96 / kNc=128 / kRc=768 rows), k=1, a
+// single micro-tile, a panel exactly equal to the full matrix, and the
+// TransB j-panel width (8) straddled on both sides.
+TEST(KernelParity, PackedPathMatchesNaiveBitwise) {
+  ThreadGuard guard;
+  PackModeGuard pack_guard;
+  par::SetNumThreads(1);
+  const Shape3 boundary[] = {
+      {1, 1, 1},       // degenerate single element
+      {10, 1, 40},     // k = 1: the pc loop runs once with a 1-deep panel
+      {6, 8, 32},      // exactly one kMr×kNj micro-tile
+      {96, 256, 128},  // panel == full matrix (one kMc×kKc×kNc macro-panel)
+      {97, 257, 129},  // one past every macro-panel size
+      {769, 300, 65},  // crosses the kRc row-chunk boundary
+      {13, 300, 1},    // m = 1: packed tiles fully padded in j
+      {33, 100, 7},    // m < TransB j-panel width (remainder-only)
+      {33, 100, 9},    // one past the TransB j-panel width
+  };
+  for (const auto& s : boundary) {
+    const auto a = RandomVec(static_cast<size_t>(s.n * s.k), 51);
+    const auto b = RandomVec(static_cast<size_t>(s.k * s.m), 52);
+    const auto c0 = RandomVec(static_cast<size_t>(s.n * s.m), 53);
+    for (const float alpha : {1.0f, -0.5f}) {
+      for (const float beta : {0.0f, 1.0f, 0.25f}) {
+        SetGemmPackMode(GemmPackMode::kAlways);
+        std::vector<float> got = c0;
+        Gemm(a, b, got, s.n, s.k, s.m, alpha, beta);
+        std::vector<float> want = c0;
+        GemmNaive(a, b, want, s.n, s.k, s.m, alpha, beta);
+        EXPECT_TRUE(BitsEqual(got, want))
+            << "packed gemm " << s.n << "x" << s.k << "x" << s.m
+            << " alpha=" << alpha << " beta=" << beta;
+
+        got = c0, want = c0;
+        GemmTransA(a, b, got, s.n, s.k, s.m, alpha, beta);
+        GemmTransANaive(a, b, want, s.n, s.k, s.m, alpha, beta);
+        EXPECT_TRUE(BitsEqual(got, want))
+            << "packed gemm_ta " << s.n << "x" << s.k << "x" << s.m
+            << " alpha=" << alpha << " beta=" << beta;
+
+        got = c0, want = c0;
+        GemmTransB(a, b, got, s.n, s.k, s.m, alpha, beta);
+        GemmTransBNaive(a, b, want, s.n, s.k, s.m, alpha, beta);
+        EXPECT_TRUE(BitsEqual(got, want))
+            << "packed gemm_tb " << s.n << "x" << s.k << "x" << s.m
+            << " alpha=" << alpha << " beta=" << beta;
+
+        // Forced-packed and forced-direct must agree bitwise too — the mode
+        // knob moves data layout, never an accumulation chain.
+        got = c0, want = c0;
+        SetGemmPackMode(GemmPackMode::kAlways);
+        Gemm(a, b, got, s.n, s.k, s.m, alpha, beta);
+        SetGemmPackMode(GemmPackMode::kNever);
+        Gemm(a, b, want, s.n, s.k, s.m, alpha, beta);
+        EXPECT_TRUE(BitsEqual(got, want))
+            << "pack-mode divergence " << s.n << "x" << s.k << "x" << s.m;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, PackedPathThreadCountInvariant) {
+  ThreadGuard guard;
+  PackModeGuard pack_guard;
+  SetGemmPackMode(GemmPackMode::kAlways);
+  // n spans several row chunks (kRc = 768) so 2/4/8 threads split packed
+  // row ranges at chunk-interior boundaries.
+  const int64_t n = 4096, k = 173, m = 64;
+  const auto a = RandomVec(static_cast<size_t>(n * k), 61);
+  const auto b = RandomVec(static_cast<size_t>(k * m), 62);
+  const auto c0 = RandomVec(static_cast<size_t>(n * m), 63);
+
+  const auto run = [&] {
+    std::vector<float> out;
+    std::vector<float> c = c0;
+    Gemm(a, b, c, n, k, m, 1.0f, 0.5f);
+    out.insert(out.end(), c.begin(), c.end());
+    c = c0;
+    GemmTransA(a, b, c, n, k, m, -0.5f, 0.25f);
+    out.insert(out.end(), c.begin(), c.end());
+    c = c0;
+    GemmTransB(a, b, c, n, k, m, 2.0f, 0.0f);
+    out.insert(out.end(), c.begin(), c.end());
+    return out;
+  };
+
+  par::SetNumThreads(1);
+  const auto baseline = run();
+  for (const int threads : {2, 4, 8}) {
+    par::SetNumThreads(threads);
+    EXPECT_TRUE(BitsEqual(run(), baseline))
+        << "packed path @ " << threads << " threads";
   }
 }
 

@@ -5,6 +5,8 @@
 #include "core/trainer.h"
 #include "dnn/loss.h"
 #include "dnn/mini_models.h"
+#include "obs/kernel_metrics.h"
+#include "par/kernel_stats.h"
 
 namespace acps::core {
 namespace {
@@ -48,6 +50,48 @@ TEST(Trainer, WorldSizeOneMatchesSingleProcess) {
   cfg.batch_per_worker = 64;
   const TrainResult r = TrainDistributed(group, cfg, MakeSsgdFactory());
   EXPECT_GT(r.final_test_acc, 0.5);
+}
+
+TEST(Trainer, PerStepMetricsIncludeKernelStats) {
+  // With kernel accounting on, the rank-0 per-iteration metrics block must
+  // export the kernel table — including the packed-panel traffic gauges —
+  // and re-exporting every step must not inflate anything (the gauges carry
+  // cumulative snapshot totals, so the final value matches the snapshot).
+  par::ResetKernelStats();
+  par::SetKernelStatsEnabled(true);
+  obs::MetricsRegistry registry;
+  registry.Enable();
+  comm::Transport group_transport;
+  comm::Session group(group_transport, "", 2);
+  TrainConfig cfg = SmallConfig();
+  cfg.epochs = 2;
+  cfg.metrics = &registry;
+  (void)TrainDistributed(group, cfg, MakeSsgdFactory());
+  par::SetKernelStatsEnabled(false);
+
+  const std::string dump = registry.DumpText();
+  EXPECT_NE(dump.find("kernel.gemm.calls"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("kernel.gemm.pack_bytes"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("kernel.gemm.panel_reuses"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("kernel.gemm.bytes"), std::string::npos) << dump;
+
+  uint64_t gemm_calls = 0;
+  for (const auto& [name, stat] : par::KernelStatsSnapshot()) {
+    if (name == "gemm") gemm_calls = stat.calls;
+  }
+  ASSERT_GT(gemm_calls, 0u);
+  // The last per-step export happened before the final evaluation pass, so
+  // the gauge trails the snapshot; it must still be positive and bounded.
+  EXPECT_GT(registry.gauge("kernel.gemm.calls").value(), 0.0);
+  EXPECT_LE(registry.gauge("kernel.gemm.calls").value(),
+            static_cast<double>(gemm_calls));
+  // Idempotence: re-exporting twice lands on the snapshot total both times
+  // instead of accumulating.
+  obs::ExportKernelStats(registry);
+  obs::ExportKernelStats(registry);
+  EXPECT_EQ(registry.gauge("kernel.gemm.calls").value(),
+            static_cast<double>(gemm_calls));
+  par::ResetKernelStats();
 }
 
 TEST(Trainer, RejectsNonDivisibleSamples) {

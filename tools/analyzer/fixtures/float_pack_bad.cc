@@ -1,0 +1,17 @@
+// acps-fixture-path: src/tensor/fixture_pack.cc
+// acps-expect: pack-pure-move
+//
+// Known-bad twin for pack-pure-move: a packing helper that accumulates into
+// its destination panel instead of copying. The target is an array element,
+// so the float-loop-accum declaration tracker cannot attribute it to a
+// float variable — exactly the hole pack-pure-move closes. Panel packing in
+// the packed-panel GEMM layer (DESIGN.md §6e) must be pure data movement;
+// an accumulation here silently changes the value chain the bitwise
+// thread-invariance contract assumes is a copy.
+namespace acps {
+
+void PackPanelFixture(const float* src, float* dst, int kc) {
+  for (int kk = 0; kk < kc; ++kk) dst[kk] += src[kk];
+}
+
+}  // namespace acps

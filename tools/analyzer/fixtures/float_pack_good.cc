@@ -1,0 +1,14 @@
+// acps-fixture-path: src/tensor/fixture_pack.cc
+// acps-expect-clean
+//
+// Known-good twin of float_pack_bad.cc: the same packing helper shape, but
+// pure data movement — a plain store with at most a fold of the scalar
+// alpha, which is a single multiply per element and leaves the value chain
+// the bitwise thread-invariance contract (DESIGN.md §6e) expects.
+namespace acps {
+
+void PackPanelFixture(const float* src, float* dst, int kc, float alpha) {
+  for (int kk = 0; kk < kc; ++kk) dst[kk] = alpha * src[kk];
+}
+
+}  // namespace acps

@@ -16,6 +16,20 @@
 //                      (src/par/accum_policy.h). An unannotated stray
 //                      accumulation is exactly how a nondeterministic sum
 //                      sneaks past review.
+//   pack-pure-move     packing helpers (function name contains the
+//                      camel-case word "Pack": `PackAPanel`, `Pack`, but
+//                      not `PackedGemmRows` — "Packed" names a consumer) of
+//                      the packed-panel GEMM layer (§6e) stage operands
+//                      into per-thread scratch; they must be pure data
+//                      movement — plain stores, at most a fold of a scalar
+//                      constant like alpha. A compound assignment into
+//                      MEMORY (a subscripted or dereferenced target,
+//                      `dst[i] +=` / `*p *=`) is an accumulation hidden
+//                      where the bitwise contract assumes a copy, so it is
+//                      flagged unconditionally — exactly the targets the
+//                      float-loop-accum declaration tracker cannot see.
+//                      Scalar index arithmetic (`kb += 8`, `dst += kMr`)
+//                      is address math, not data, and stays legal.
 //
 // Loop detection is structural (brace tracking over the stripped text, with
 // paren-aware statement assembly so classic `for(;;)` headers and braceless
@@ -160,6 +174,45 @@ void FloatPass(const Corpus& corpus, const Config& cfg,
                    "(src/par/accum_policy.h)"});
           break;  // one finding per line is enough
         }
+      }
+    }
+  }
+
+  // --- pack-pure-move -------------------------------------------------------
+  // Matches compound assignment into memory: a subscripted target
+  // (`dst[i] += x`) or a statement-leading dereference (`*p *= y`) — the
+  // targets the declaration-tracking rule above cannot attribute to a
+  // float variable. Plain scalar updates (loop counters, pointer bumps)
+  // are address arithmetic and do not match.
+  static const std::regex compound_re(
+      R"(\]\s*(\+=|-=|\*=|/=)|(^|[;{])\s*\*[^=;]*(\+=|-=|\*=|/=))");
+  // Camel-case word match: "Pack" not followed by a lowercase letter, so
+  // PackAPanel / PackTransBPanel / Pack qualify but PackedGemmRows (the
+  // consumer kernel, whose word is "Packed") does not.
+  const auto is_pack_helper = [](const std::string& name) {
+    for (size_t p = name.find("Pack"); p != std::string::npos;
+         p = name.find("Pack", p + 1))
+      if (p + 4 >= name.size() ||
+          !std::islower(static_cast<unsigned char>(name[p + 4])))
+        return true;
+    return false;
+  };
+  for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
+    const auto& f = corpus.files[fi];
+    if (!cfg.InScope("pack-pure-move", f.path)) continue;
+    const auto& st = corpus.structure[fi];
+    for (const auto& fr : st.funcs) {
+      if (!fr.is_def || !is_pack_helper(fr.name)) continue;
+      for (int ln = fr.open_line; ln <= fr.end_line; ++ln) {
+        const std::string& line = f.code[static_cast<size_t>(ln - 1)];
+        if (!std::regex_search(line, compound_re)) continue;
+        out.push_back(
+            {f.path, ln, "pack-pure-move",
+             "compound assignment in packing helper '" + fr.name +
+                 "': panel packing must be pure data movement (plain "
+                 "stores, at most an alpha fold) — an accumulation here "
+                 "changes a value chain the bitwise thread-invariance "
+                 "contract (DESIGN.md §6e) assumes is a copy"});
       }
     }
   }

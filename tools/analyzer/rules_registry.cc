@@ -20,7 +20,7 @@ const std::vector<std::string>& AllCheckNames() {
       // sched-point coverage
       "publish-needs-sched-point", "point-kind-live", "sched-point-under-lock",
       // float determinism
-      "float-accumulate", "float-loop-accum",
+      "float-accumulate", "float-loop-accum", "pack-pure-move",
       // contract audit
       "metric-name-registry", "metric-registry-drift", "env-var-documented",
       "error-return-checked", "no-new-threadgroup",
