@@ -4,10 +4,11 @@
 # exploration model checker, and the coverage gate.
 #
 #   ./ci.sh                 # analyze + release + tsan + asan-ubsan
-#                           #   + modelcheck + chaos + tenant + perf-smoke
+#                           #   + modelcheck + chaos + churn + tenant
+#                           #   + perf-smoke
 #   ./ci.sh analyze tsan    # any subset of:
 #                           #   analyze release tsan asan-ubsan modelcheck
-#                           #   chaos tenant perf-smoke coverage
+#                           #   chaos churn tenant perf-smoke coverage
 #                           #   (`lint` is an alias for `analyze`)
 #
 # The `analyze` leg runs first, before any build preset: tools/lint.sh
@@ -44,7 +45,7 @@ ACPS_COV_MIN_FAULT=80.0
 JOBS="${JOBS:-$(nproc)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(analyze release tsan asan-ubsan modelcheck chaos tenant perf-smoke)
+  LEGS=(analyze release tsan asan-ubsan modelcheck chaos churn tenant perf-smoke)
 fi
 
 run_preset() {
@@ -90,6 +91,21 @@ for leg in "${LEGS[@]}"; do
       cmake --build --preset release -j "$JOBS"
       ctest --preset chaos -j "$JOBS"
       ;;
+    churn)
+      # Elastic-membership gates (DESIGN.md "Elastic membership"): the churn
+      # chaos matrix (crash→rejoin, fresh join, graceful leave, leader crash,
+      # soak) plus the exhaustive rejoin-handshake exploration, run twice —
+      # optimized (release) and race-checked (tsan), since the rejoin
+      # protocol is pure synchronization code.
+      echo
+      echo "==================== churn ===================="
+      cmake --preset release
+      cmake --build --preset release -j "$JOBS"
+      ctest --preset churn -j "$JOBS"
+      cmake --preset tsan
+      cmake --build --preset tsan -j "$JOBS"
+      ctest --preset churn-tsan -j "$JOBS"
+      ;;
     tenant)
       # Multi-tenant service gates (DESIGN.md §7): the >=64-job bitwise
       # solo-parity stress and the cross-tenant fault-isolation matrix, run
@@ -124,7 +140,7 @@ for leg in "${LEGS[@]}"; do
       ;;
     *)
       echo "ci.sh: unknown leg '$leg' (expected: analyze release tsan" \
-           "asan-ubsan modelcheck chaos tenant perf-smoke coverage)" >&2
+           "asan-ubsan modelcheck chaos churn tenant perf-smoke coverage)" >&2
       exit 2
       ;;
   esac

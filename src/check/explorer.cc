@@ -1,6 +1,8 @@
 #include "check/explorer.h"
 
+#include <algorithm>
 #include <cstring>
+#include <optional>
 #include <sstream>
 
 #include "comm/communicator.h"
@@ -8,6 +10,7 @@
 #include "core/distributed_optimizer.h"
 #include "core/grad_reducer.h"
 #include "dnn/layer.h"
+#include "fault/injector.h"
 #include "tensor/check.h"
 
 namespace acps::check {
@@ -79,6 +82,40 @@ struct WfbpFixture {
   std::vector<dnn::Param*> list() { return {&w1, &w2, &bias}; }
 };
 
+// Deterministic membership injector for Workload::kRejoin, built on the
+// fault.points interface alone (the check layer must not depend on seeded
+// fault plans): the victim fail-stops at its `crash_at`-th collective entry
+// and holds a standing readmission intent for the next commit.
+class RejoinInjector final : public fault::FaultInjector {
+ public:
+  RejoinInjector(int victim, uint64_t crash_at)
+      : victim_(victim), crash_at_(crash_at) {}
+
+  fault::FaultKind OnPublish(int, uint64_t, int) override {
+    return fault::FaultKind::kNone;
+  }
+  fault::FaultKind OnRead(int, uint64_t, int) override {
+    return fault::FaultKind::kNone;
+  }
+  fault::EntryDecision OnCollectiveEntry(int rank,
+                                         uint64_t collective_index) override {
+    if (rank == victim_ && collective_index == crash_at_)
+      return {fault::FaultKind::kCrash, 0};
+    return {};
+  }
+  std::vector<fault::AdmissionIntent> AdmissionSchedule() override {
+    return {{victim_, 1}};
+  }
+  [[nodiscard]] std::string Describe() const override {
+    return "rejoin-injector{victim=" + std::to_string(victim_) +
+           ", crash_at=" + std::to_string(crash_at_) + "}";
+  }
+
+ private:
+  int victim_;
+  uint64_t crash_at_;
+};
+
 RunOutcome RunWorkload(Workload w, const ExploreOptions& opt,
                        ScheduleController* controller) {
   const int p = opt.world_size;
@@ -86,6 +123,19 @@ RunOutcome RunWorkload(Workload w, const ExploreOptions& opt,
   RunOutcome out;
   out.outputs.assign(static_cast<size_t>(p), {});
   out.traffic.assign(static_cast<size_t>(p), {});
+
+  // kRejoin runs under its membership injector in every mode — baseline
+  // included, so the baseline is the unperturbed run of the SAME
+  // crash→rejoin history and the oracle isolates pure schedule effects.
+  std::optional<RejoinInjector> rejoin;
+  std::optional<fault::ScopedFaultInjector> install_rejoin;
+  if (w == Workload::kRejoin && p >= 2) {
+    // Entry 3 is the victim's step-2 all-reduce (2 entries per step:
+    // the all-reduce and the commit), so the crash lands mid-run and the
+    // readmission at commit 2 still leaves a step to run after resync.
+    rejoin.emplace(/*victim=*/p - 1, /*crash_at=*/3);
+    install_rejoin.emplace(&*rejoin);
+  }
 
   comm::Transport transport;
   comm::Session group(transport, "", p);
@@ -209,6 +259,46 @@ RunOutcome RunWorkload(Workload w, const ExploreOptions& opt,
           }
           break;
         }
+        case Workload::kRejoin: {
+          // Three all-reduce steps with a membership commit after each;
+          // the victim dies at its step-2 all-reduce and is readmitted at
+          // the next commit, where the lowest-ranked survivor broadcasts
+          // the running sums plus the step counter. Any explored schedule
+          // must reproduce the same final bits on every rank. Naive
+          // all-reduce keeps the workload at one hand-off window per step
+          // (the gather publish; the root re-publish is kRootPublish), so
+          // exhaustive mode can enumerate every publish order at p=3.
+          auto data = IntInputs(r, n);
+          int step = 0;
+          const auto resync = [&](const comm::detail::ViewTransition& t) {
+            if (t.joined.empty()) return;
+            int donor = -1;
+            for (const int a : comm.alive_ranks()) {
+              if (std::find(t.joined.begin(), t.joined.end(), a) ==
+                  t.joined.end()) {
+                donor = a;
+                break;
+              }
+            }
+            std::vector<float> wire(data.size() + 1);
+            wire[0] = static_cast<float>(step);
+            std::copy(data.begin(), data.end(), wire.begin() + 1);
+            comm.broadcast(wire, donor);
+            step = static_cast<int>(wire[0]);
+            std::copy(wire.begin() + 1, wire.end(), data.begin());
+          };
+          // A readmitted generation starts mid-commit: its first
+          // collective is the resync broadcast the survivors are issuing.
+          if (comm.join_generation() > 0) resync(comm.last_transition());
+          while (step < 3) {
+            comm.all_reduce(data, comm::ReduceOp::kSum,
+                            comm::AllReduceAlgo::kNaive);
+            ++step;
+            resync(comm.commit_view());
+          }
+          slot = FloatsToBytes(data);
+          break;
+        }
       }
       out.traffic[static_cast<size_t>(r)] = comm.stats();
     });
@@ -301,6 +391,7 @@ std::vector<std::vector<std::byte>> ReferenceOutputs(Workload w,
     }
     case Workload::kWfbpStep:
     case Workload::kOptimizerStep:
+    case Workload::kRejoin:
       ref.clear();  // no closed form; baseline comparison covers it
       break;
   }
@@ -434,6 +525,7 @@ const char* ToString(Workload w) noexcept {
     case Workload::kWfbpStep: return "wfbp_step";
     case Workload::kHierarchical: return "hierarchical";
     case Workload::kOptimizerStep: return "optimizer_step";
+    case Workload::kRejoin: return "rejoin";
   }
   return "unknown";
 }

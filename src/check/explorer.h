@@ -46,6 +46,9 @@ enum class Workload {
   // compose the collectives above and would double-count enumeration):
   kHierarchical,   // two-level node-aware all-reduce (kHierPhase points)
   kOptimizerStep,  // DistributedOptimizer::Step (kOptStep point + SGD)
+  kRejoin,         // elastic membership: crash mid-run, barrier-aligned
+                   // readmission at the next commit_view, donor resync
+                   // (kJoinIntent/kViewCommit/kRankDown/kRankUp points)
 };
 
 [[nodiscard]] const char* ToString(Workload w) noexcept;

@@ -20,6 +20,10 @@ const char* ToString(PointKind kind) noexcept {
     case PointKind::kBucketIssue: return "bucket_issue";
     case PointKind::kHierPhase: return "hier_phase";
     case PointKind::kOptStep: return "opt_step";
+    case PointKind::kJoinIntent: return "join_intent";
+    case PointKind::kViewCommit: return "view_commit";
+    case PointKind::kRankDown: return "rank_down";
+    case PointKind::kRankUp: return "rank_up";
   }
   return "unknown";
 }

@@ -52,6 +52,25 @@ enum class PointKind : uint8_t {
   // DistributedOptimizer: one training step (aggregate + SGD update) is
   // about to run. Perturb-only; fault site for step-granular injection.
   kOptStep,
+  // Elastic membership: an admission intent was just registered with the
+  // group (rejoin/fresh-join schedule entry). Perturb-only.
+  kJoinIntent,
+  // Elastic membership: this rank is about to enter the barrier-aligned
+  // membership-view commit (epoch bump, admissions, departures).
+  // Perturb-only — the commit itself is a pair of group barriers.
+  kViewCommit,
+  // Elastic membership: `rank` is leaving the live group (fail-stop crash
+  // or graceful departure). Fired in the leaving rank's thread strictly
+  // BEFORE the membership flip (MarkDead / MarkLeft), so a controller's
+  // alive-set is updated before any survivor can publish in a window that
+  // no longer includes the rank (the entry-stabilization barrier orders
+  // the flip before the survivors' publishes).
+  kRankDown,
+  // Elastic membership: `rank` was readmitted (or freshly admitted) by a
+  // view commit and is about to start its new communicator generation.
+  // Fired after the admitting commit's closing barrier, before the rank's
+  // first collective.
+  kRankUp,
 };
 
 [[nodiscard]] const char* ToString(PointKind kind) noexcept;

@@ -54,6 +54,19 @@ ScheduleController::ScheduleController(ScheduleConfig cfg)
   ACPS_CHECK_MSG(config_.world_size >= 1,
                  "ScheduleController needs the group's world_size");
   trace_.reserve(config_.trace_capacity);
+  alive_.assign(static_cast<size_t>(config_.world_size), 1);
+}
+
+void ScheduleController::MaybeCloseWindowLocked() {
+  if (published_in_window_ == 0) return;
+  int expected = 0;
+  for (const char a : alive_) expected += (a != 0) ? 1 : 0;
+  if (published_in_window_ >= expected) {
+    published_in_window_ = 0;
+    perm_pos_ = 0;
+    ++window_;
+    ++stats_.windows;
+  }
 }
 
 std::vector<int> ScheduleController::PermForWindow(int w) const {
@@ -144,13 +157,39 @@ void ScheduleController::OnSchedPoint(PointKind kind, int rank,
     ++stats_.points;
   }
 
+  if (kind == PointKind::kRankDown || kind == PointKind::kRankUp) {
+    // Membership flip. The caller fires kRankDown strictly before
+    // MarkDead/MarkLeft, so survivors cannot publish into a shrunken window
+    // before the controller's alive-set reflects the departure (the entry-
+    // stabilization barrier orders the flip ahead of their publishes).
+    {
+      std::lock_guard lock(replay_mu_);
+      if (rank >= 0 && rank < config_.world_size) {
+        alive_[static_cast<size_t>(rank)] =
+            (kind == PointKind::kRankUp) ? 1 : 0;
+      }
+      Record(kind, rank, kind == PointKind::kRankUp ? "UP" : "DOWN");
+      if (kind == PointKind::kRankDown) MaybeCloseWindowLocked();
+    }
+    cv_.notify_all();
+    Perturb(kind, rank);
+    return;
+  }
+
   if (kind == PointKind::kHandoffSend && config_.enforce_order) {
     std::unique_lock lock(replay_mu_);
     const int w = window_;
     const std::vector<int> perm = PermForWindow(w);
     const auto my_turn = [&] {
-      return window_ != w ||
-             perm[static_cast<size_t>(published_in_window_)] == rank;
+      if (window_ != w) return true;
+      // Skip ranks that died: their turn never comes, and waiting for it
+      // would turn every post-crash window into an order_wait_ms stall.
+      size_t pos = static_cast<size_t>(perm_pos_);
+      while (pos < perm.size() &&
+             alive_[static_cast<size_t>(perm[pos])] == 0) {
+        ++pos;
+      }
+      return pos < perm.size() && perm[pos] == rank;
     };
     if (!cv_.wait_for(lock, std::chrono::milliseconds(config_.order_wait_ms),
                       my_turn)) {
@@ -185,11 +224,17 @@ void ScheduleController::OnSchedPoint(PointKind kind, int rank,
     } else {
       Record(kind, rank, "");
     }
-    if (++published_in_window_ == config_.world_size) {
-      published_in_window_ = 0;
-      ++window_;
-      ++stats_.windows;
+    if (config_.enforce_order) {
+      // Advance past this rank's position (searching forward keeps the
+      // cursor sane even after an enforcement miss published out of turn).
+      const std::vector<int> perm = PermForWindow(window_);
+      size_t pos = static_cast<size_t>(perm_pos_);
+      while (pos < perm.size() && perm[pos] != rank) ++pos;
+      perm_pos_ = static_cast<int>(
+          pos < perm.size() ? pos + 1 : perm.size());
     }
+    ++published_in_window_;
+    MaybeCloseWindowLocked();
     lock.unlock();
     cv_.notify_all();
     Perturb(kind, rank);
@@ -203,6 +248,8 @@ void ScheduleController::ResetRunState() {
   std::lock_guard lock(replay_mu_);
   window_ = 0;
   published_in_window_ = 0;
+  perm_pos_ = 0;
+  alive_.assign(static_cast<size_t>(config_.world_size), 1);
   trace_.clear();
   trace_next_ = 0;
 }

@@ -102,6 +102,12 @@ class ScheduleController final : public SchedListener {
   void Record(PointKind kind, int rank, const char* note);
   // Permutation of [0, world_size) for window `w` from order_digits.
   [[nodiscard]] std::vector<int> PermForWindow(int w) const;
+  // Closes the in-progress hand-off window once every *live* rank has
+  // published. Called after each publish and after a kRankDown membership
+  // flip — a window whose remaining publisher just died must close, or
+  // order enforcement would stall every later window waiting on a rank
+  // that no longer exists (elastic-membership runs).
+  void MaybeCloseWindowLocked();
 
   ScheduleConfig config_;
 
@@ -112,6 +118,12 @@ class ScheduleController final : public SchedListener {
   par::ConditionVariable cv_;
   int window_ = 0;                // current hand-off window
   int published_in_window_ = 0;   // publishes completed in current window
+  int perm_pos_ = 0;              // next position in the window's permutation
+  // Live-membership view, updated by kRankDown / kRankUp points. Windows
+  // close when every live rank published, and enforcement skips dead ranks
+  // in the permutation — fixed-membership runs (alive_ all true) behave
+  // exactly as before.
+  std::vector<char> alive_;
   Stats stats_;
   std::vector<std::string> trace_;  // ring buffer
   size_t trace_next_ = 0;

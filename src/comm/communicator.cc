@@ -97,9 +97,11 @@ ChunkRange GetChunkRange(int64_t n, int p, int chunk) {
   return ChunkRange{begin, begin + size};
 }
 
-Communicator::Communicator(detail::GroupState* state, int rank, int world_size)
+Communicator::Communicator(detail::GroupState* state, int rank, int world_size,
+                           uint64_t resume_seq, int generation)
     : state_(state), rank_(rank), world_size_(world_size),
-      tracer_(state->tracer), metrics_(state->metrics) {
+      tracer_(state->tracer), metrics_(state->metrics),
+      collective_seq_(resume_seq), generation_(generation) {
   if (metrics_ != nullptr) {
     // Resolve the session-namespaced fault counters once; the prefix is ""
     // for the anonymous legacy session, so the historical flat names
@@ -110,6 +112,9 @@ Communicator::Communicator(detail::GroupState* state, int rank, int world_size)
     ctr_straggler_ticks_ = &metrics_->counter(pre + "fault.straggler.ticks");
     ctr_retry_attempts_ = &metrics_->counter(pre + "fault.retry.attempts");
     ctr_detected_ = &metrics_->counter(pre + "fault.detected");
+    ctr_rejoin_admitted_ = &metrics_->counter(pre + "fault.rejoin.admitted");
+    ctr_join_ranks_ = &metrics_->counter(pre + "fault.join.ranks");
+    ctr_leave_ranks_ = &metrics_->counter(pre + "fault.leave.ranks");
   }
   RefreshView();
 }
@@ -129,6 +134,10 @@ void Communicator::RefreshView() {
       view_alive_[static_cast<size_t>(r)] = 1;
     }
   }
+  epoch_ = state_->epoch;
+  // Noted under group_mu -> contract_mu, the same ascending order MarkDead
+  // uses; visible in watchdog reports so epoch skew is diagnosable.
+  state_->contract.NoteEpoch(rank_, epoch_);
 }
 
 int Communicator::ViewIndex() const {
@@ -166,6 +175,10 @@ void Communicator::EnterCollective() {
                                      now, 0,
                                      static_cast<int64_t>(collective_seq_)});
     }
+    // Fired before MarkDead so a schedule controller's alive-set reflects
+    // the crash before any survivor clears the entry-stabilization barrier
+    // (which MarkDead releases) and publishes into a shrunken window.
+    check::SchedPoint(check::PointKind::kRankDown, rank_);
     state_->MarkDead(rank_);
     throw fault::RankCrashed{rank_, collective_seq_};
   }
@@ -324,8 +337,86 @@ void Communicator::barrier() {
   obs::ScopedSpan span(tracer_, "barrier", obs::kCatComm, rank_);
   EnterCollective();
   ContractScope contract(
-      state_, rank_, CollectiveFingerprint{.kind = CollectiveKind::kBarrier});
+      state_, rank_, CollectiveFingerprint{.kind = CollectiveKind::kBarrier,
+                            .epoch = epoch_});
   state_->Barrier();
+}
+
+detail::ViewTransition Communicator::commit_view() {
+  obs::ScopedSpan span(tracer_, "commit_view", obs::kCatComm, rank_);
+  // Crashable entry, like every collective: a rank can die on its way into
+  // the commit, and the commit then runs over the survivors.
+  EnterCollective();
+
+  // Stable commit index: every rank passed the previous commit's closing
+  // barrier before any rank reached this collective's entry, so
+  // commit_count cannot move between these reads across ranks.
+  uint64_t commit_index;
+  {
+    std::lock_guard lock(state_->group_mu);
+    commit_index = state_->commit_count + 1;
+  }
+
+  // Graceful departures fire before the opening barrier: MarkLeft removes
+  // the leaver from the barrier membership, so the survivors' barrier
+  // completes over the shrunken view (same ordering argument as MarkDead
+  // at collective entry — the barrier cannot complete while the leaver is
+  // still counted alive).
+  fault::FaultInjector* inj = ActiveInjector();
+  if (inj != nullptr && inj->LeavesAtCommit(rank_, commit_index)) {
+    if (ctr_leave_ranks_ != nullptr) ctr_leave_ranks_->Add();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      const int64_t now = tracer_->NowUs();
+      tracer_->Record(obs::SpanEvent{"fault_leave", obs::kCatFault, rank_, now,
+                                     now, 0,
+                                     static_cast<int64_t>(commit_index)});
+    }
+    // Same ordering rule as the crash branch: the controller learns of the
+    // departure before MarkLeft lets the survivors' barrier complete.
+    check::SchedPoint(check::PointKind::kRankDown, rank_);
+    state_->MarkLeft(rank_);
+    throw fault::RankDeparted{rank_, commit_index};
+  }
+
+  check::SchedPoint(check::PointKind::kViewCommit, rank_);
+  ContractScope contract(
+      state_, rank_, CollectiveFingerprint{.kind = CollectiveKind::kViewCommit,
+                            .epoch = epoch_});
+
+  // Opening barrier: membership is now stable for this commit (crashes only
+  // fire at collective entries, leavers are already gone).
+  state_->Barrier();
+
+  // Every survivor calls the applier; the first to take the lock applies,
+  // the rest read the identical committed record.
+  const detail::ViewTransition t =
+      state_->ApplyViewCommit(commit_index, collective_seq_);
+
+  // The lowest-ranked survivor emits the membership metrics, outside
+  // group_mu and exactly once per commit. The pre-commit view is used on
+  // purpose: a newly admitted rank is not running commit_view and must not
+  // be eligible to emit.
+  if (ViewIndex() == 0 && metrics_ != nullptr) {
+    const auto rejoins = static_cast<uint64_t>(t.rejoined.size());
+    const auto fresh = static_cast<uint64_t>(t.joined.size()) - rejoins;
+    if (rejoins > 0 && ctr_rejoin_admitted_ != nullptr)
+      ctr_rejoin_admitted_->Add(rejoins);
+    if (fresh > 0 && ctr_join_ranks_ != nullptr) ctr_join_ranks_->Add(fresh);
+    metrics_->gauge(state_->metric_prefix + "comm.epoch")
+        .Set(static_cast<double>(t.epoch));
+  }
+
+  // Closing barrier: newly admitted ranks join it (their one Barrier()
+  // call after AwaitAdmission), so the whole group — survivors plus
+  // joiners — leaves the commit aligned.
+  state_->Barrier();
+  RefreshView();
+  return t;
+}
+
+detail::ViewTransition Communicator::last_transition() const {
+  std::lock_guard lock(state_->group_mu);
+  return state_->last_transition;
 }
 
 void Communicator::all_reduce(std::span<float> data, ReduceOp op,
@@ -344,7 +435,8 @@ void Communicator::all_reduce(std::span<float> data, ReduceOp op,
       CollectiveFingerprint{.kind = CollectiveKind::kAllReduce,
                             .bytes = data.size() * sizeof(float),
                             .op = static_cast<int>(op),
-                            .algo = static_cast<int>(algo)});
+                            .algo = static_cast<int>(algo),
+                            .epoch = epoch_});
   if (algo == AllReduceAlgo::kNaive) {
     AllReduceNaive(data, op);
     return;
@@ -433,7 +525,8 @@ void Communicator::all_gather(std::span<const float> send,
   ContractScope contract(
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kAllGather,
-                            .bytes = send.size() * sizeof(float)});
+                            .bytes = send.size() * sizeof(float),
+                            .epoch = epoch_});
   ACPS_CHECK_MSG(recv.size() == send.size() * static_cast<size_t>(world_size_),
                  "all_gather recv size must be p * send size");
   // Place own block, then run the byte-wise ring over the recv buffer.
@@ -453,7 +546,8 @@ void Communicator::all_gather_bytes(std::span<const std::byte> send,
   ContractScope contract(
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kAllGatherBytes,
-                            .bytes = send.size()});
+                            .bytes = send.size(),
+                            .epoch = epoch_});
   ACPS_CHECK_MSG(recv.size() == send.size() * static_cast<size_t>(world_size_),
                  "all_gather_bytes recv size must be p * send size");
   std::copy(send.begin(), send.end(),
@@ -506,6 +600,7 @@ void Communicator::all_gather_v(std::span<const std::byte> send,
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kAllGatherV,
                             .bytes = send.size(),
+                            .epoch = epoch_,
                             .variable_size = true});
   ++stats_.collectives;
   const int p = world_size_;
@@ -563,7 +658,8 @@ void Communicator::reduce_scatter(std::span<float> data, ReduceOp op) {
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kReduceScatter,
                             .bytes = data.size() * sizeof(float),
-                            .op = static_cast<int>(op)});
+                            .op = static_cast<int>(op),
+                            .epoch = epoch_});
   ++stats_.collectives;
   const int pa = alive_world_size();
   if (pa == 1 || data.empty()) return;
@@ -594,7 +690,8 @@ void Communicator::broadcast(std::span<float> data, int root) {
       state_, rank_,
       CollectiveFingerprint{.kind = CollectiveKind::kBroadcast,
                             .bytes = data.size() * sizeof(float),
-                            .root = root});
+                            .root = root,
+                            .epoch = epoch_});
   ++stats_.collectives;
   ACPS_CHECK_MSG(root >= 0 && root < world_size_,
                  "broadcast root out of range");

@@ -69,6 +69,32 @@ class Communicator {
     return view_;
   }
 
+  // --- Elastic membership (DESIGN.md "Elastic membership") -----------------
+  // The membership epoch this worker's view belongs to (0 until the first
+  // committed transition). Identical across ranks at every collective —
+  // checked by the contract fingerprints in epoch-aware sessions.
+  [[nodiscard]] uint64_t membership_epoch() const noexcept { return epoch_; }
+
+  // 0 for a rank's first admission (session start), bumped once per
+  // readmission — lets workloads tell a resumed generation from the first.
+  [[nodiscard]] int join_generation() const noexcept { return generation_; }
+
+  // Barrier-aligned membership-view commit: the only point where ranks may
+  // (re)join or gracefully leave. Every alive worker must call it at the
+  // same step boundary (it is a collective). Protocol: entry (crashable) →
+  // departure decisions → opening barrier → first claimer applies the
+  // commit (consume eligible join intents, bump the epoch, snapshot the
+  // collective seq for joiners) → closing barrier, which newly admitted
+  // ranks also join → view refresh. Returns the committed transition,
+  // identical on every rank; the epoch bumps at every commit, changed or
+  // not, so replay handles stay aligned. Throws fault::RankDeparted on a
+  // rank whose injector schedules a leave at this commit.
+  detail::ViewTransition commit_view();
+
+  // The most recent committed transition (copy; identical across ranks
+  // between commits).
+  [[nodiscard]] detail::ViewTransition last_transition() const;
+
   // Blocks until every (alive) worker reaches the barrier.
   void barrier();
 
@@ -125,7 +151,12 @@ class Communicator {
 
  private:
   friend class Session;
-  Communicator(detail::GroupState* state, int rank, int world_size);
+  // `resume_seq`/`generation` are nonzero only for a readmitted rank: the
+  // joiner adopts the group's collective sequence snapshot taken at the
+  // admitting commit, so its next collective entry lands in lockstep with
+  // the survivors.
+  Communicator(detail::GroupState* state, int rank, int world_size,
+               uint64_t resume_seq = 0, int generation = 0);
 
   // The fault injector governing this worker's transport events: the
   // session-scoped one when installed (tenant-isolated chaos), else the
@@ -178,8 +209,13 @@ class Communicator {
   obs::Counter* ctr_straggler_ticks_ = nullptr;
   obs::Counter* ctr_retry_attempts_ = nullptr;
   obs::Counter* ctr_detected_ = nullptr;
+  obs::Counter* ctr_rejoin_admitted_ = nullptr;
+  obs::Counter* ctr_join_ranks_ = nullptr;
+  obs::Counter* ctr_leave_ranks_ = nullptr;
   TrafficStats stats_;
   uint64_t collective_seq_ = 0;
+  uint64_t epoch_ = 0;  // membership epoch of view_
+  int generation_ = 0;  // readmission count for this rank
   std::vector<int> view_;            // alive ranks, ascending
   std::vector<uint8_t> view_alive_;  // indexed by rank
 };

@@ -16,11 +16,17 @@ const char* ToString(CollectiveKind kind) noexcept {
     case CollectiveKind::kAllGatherV: return "all_gather_v";
     case CollectiveKind::kReduceScatter: return "reduce_scatter";
     case CollectiveKind::kBroadcast: return "broadcast";
+    case CollectiveKind::kViewCommit: return "view_commit";
   }
   return "unknown";
 }
 
 bool CollectiveFingerprint::Matches(const CollectiveFingerprint& other) const {
+  return epoch == other.epoch && MatchesIgnoringEpoch(other);
+}
+
+bool CollectiveFingerprint::MatchesIgnoringEpoch(
+    const CollectiveFingerprint& other) const {
   if (kind != other.kind || op != other.op || algo != other.algo ||
       root != other.root)
     return false;
@@ -40,9 +46,11 @@ std::string CollectiveFingerprint::Describe() const {
   if (algo >= 0) sep() << (algo == 0 ? "ring" : "naive");
   if (op >= 0) sep() << (op == 0 ? "sum" : "max");
   if (root >= 0) sep() << "root=" << root;
+  if (epoch > 0) sep() << "epoch=" << epoch;
   if (variable_size)
     sep() << "variable size";
-  else if (kind != CollectiveKind::kBarrier)
+  else if (kind != CollectiveKind::kBarrier &&
+           kind != CollectiveKind::kViewCommit)
     sep() << bytes << " B";
   oss << ']';
   return oss.str();
@@ -64,33 +72,51 @@ void ContractChecker::Deposit(int rank, const CollectiveFingerprint& fp) {
 
 std::optional<std::string> ContractChecker::Validate() const {
   std::lock_guard lock(contract_mu_);
-  // Baseline = first alive rank; crashed ranks' deposits are stale by
-  // definition and excluded from the comparison.
+  // Baseline = first participating rank; crashed/latent/departed ranks'
+  // deposits are stale by definition and excluded from the comparison.
   int base = -1;
   for (size_t r = 0; r < deposits_.size(); ++r) {
-    if (!status_[r].dead) {
+    if (!Excluded(status_[r])) {
       base = static_cast<int>(r);
       break;
     }
   }
   if (base < 0) return std::nullopt;
   bool diverged = false;
+  bool epoch_only = true;
   for (size_t r = static_cast<size_t>(base) + 1; r < deposits_.size(); ++r) {
-    if (status_[r].dead) continue;
+    if (Excluded(status_[r])) continue;
     if (!deposits_[static_cast<size_t>(base)].Matches(deposits_[r])) {
       diverged = true;
-      break;
+      if (!deposits_[static_cast<size_t>(base)].MatchesIgnoringEpoch(
+              deposits_[r]))
+        epoch_only = false;
     }
   }
   if (!diverged) return std::nullopt;
 
   std::ostringstream oss;
-  oss << "collective contract violation: workers issued mismatched "
-         "collectives\n";
+  if (epoch_only) {
+    oss << "collective contract violation: membership view transition skew — "
+           "workers issued the same collective under different membership "
+           "epochs (a rank ran past a view commit its peers have not "
+           "reached)\n";
+  } else {
+    oss << "collective contract violation: workers issued mismatched "
+           "collectives\n";
+  }
   for (size_t r = 0; r < deposits_.size(); ++r) {
     oss << "  rank " << r << ": ";
     if (status_[r].dead) {
       oss << "CRASHED (fail-stop, excluded)\n";
+      continue;
+    }
+    if (status_[r].latent) {
+      oss << "not yet joined (latent capacity slot, excluded)\n";
+      continue;
+    }
+    if (status_[r].left) {
+      oss << "LEFT (graceful departure, excluded)\n";
       continue;
     }
     oss << deposits_[r].Describe();
@@ -98,8 +124,14 @@ std::optional<std::string> ContractChecker::Validate() const {
       oss << "   <-- differs from rank " << base;
     oss << '\n';
   }
-  oss << "every worker of a group must issue the same sequence of "
-         "collectives with matching sizes (DESIGN.md, NCCL usage contract)";
+  if (epoch_only) {
+    oss << "membership epochs must advance in lockstep: every rank passes "
+           "the same barrier-aligned view commit before issuing collectives "
+           "in the new epoch (DESIGN.md, elastic membership)";
+  } else {
+    oss << "every worker of a group must issue the same sequence of "
+           "collectives with matching sizes (DESIGN.md, NCCL usage contract)";
+  }
   return oss.str();
 }
 
@@ -110,6 +142,49 @@ void ContractChecker::SetDead(int rank) {
   auto& st = status_[static_cast<size_t>(rank)];
   st.dead = true;
   st.active = false;
+}
+
+void ContractChecker::SetAlive(int rank) {
+  std::lock_guard lock(contract_mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  auto& st = status_[static_cast<size_t>(rank)];
+  st.dead = false;
+  st.latent = false;
+  st.left = false;
+  st.join_waiting = false;
+}
+
+void ContractChecker::SetLatent(int rank) {
+  std::lock_guard lock(contract_mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  auto& st = status_[static_cast<size_t>(rank)];
+  st.latent = true;
+  st.active = false;
+}
+
+void ContractChecker::SetLeft(int rank) {
+  std::lock_guard lock(contract_mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  auto& st = status_[static_cast<size_t>(rank)];
+  st.left = true;
+  st.active = false;
+}
+
+void ContractChecker::NoteJoinWaiting(int rank, bool waiting) {
+  std::lock_guard lock(contract_mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  status_[static_cast<size_t>(rank)].join_waiting = waiting;
+}
+
+void ContractChecker::NoteEpoch(int rank, uint64_t epoch) {
+  std::lock_guard lock(contract_mu_);
+  ACPS_CHECK_MSG(rank >= 0 && rank < static_cast<int>(status_.size()),
+                 "rank out of range");
+  status_[static_cast<size_t>(rank)].epoch = epoch;
 }
 
 void ContractChecker::NoteStraggler(int rank, int64_t ticks) {
@@ -150,13 +225,21 @@ std::string ContractChecker::BlockedReport() const {
   for (size_t r = 0; r < status_.size(); ++r) {
     const auto& st = status_[r];
     oss << "  rank " << r << ": ";
-    if (st.dead)
+    if (st.join_waiting)
+      oss << "awaiting admission (rejoin/join parked at the next view "
+             "commit, not deadlocked)";
+    else if (st.dead)
       oss << "CRASHED (fail-stop after " << st.seq << " collectives)";
+    else if (st.latent)
+      oss << "not yet joined (latent capacity slot)";
+    else if (st.left)
+      oss << "LEFT (graceful departure after " << st.seq << " collectives)";
     else if (st.active)
       oss << "blocked in " << st.current.Describe() << " (collective #"
           << st.seq << ')';
     else
       oss << "idle (completed " << st.seq << " collectives)";
+    if (st.epoch > 0) oss << ", epoch " << st.epoch;
     if (st.straggler_ticks > 0)
       oss << ", straggler delay " << st.straggler_ticks << " ticks";
     oss << '\n';

@@ -37,6 +37,7 @@ enum class CollectiveKind {
   kAllGatherV,
   kReduceScatter,
   kBroadcast,
+  kViewCommit,  // barrier-aligned membership-view commit (elastic sessions)
 };
 
 [[nodiscard]] const char* ToString(CollectiveKind kind) noexcept;
@@ -48,13 +49,24 @@ struct CollectiveFingerprint {
   int op = -1;         // static_cast<int>(ReduceOp), -1 when not applicable
   int algo = -1;       // static_cast<int>(AllReduceAlgo), -1 when n/a
   int root = -1;       // broadcast root, -1 when n/a
+  // Membership epoch the issuing rank believes it is in (0 in non-elastic
+  // sessions, so legacy fingerprints compare exactly as before). An
+  // epoch-only divergence is a view-transition skew — one rank committed a
+  // membership change the other has not seen — and is reported as such,
+  // not as a generic shape mismatch.
+  uint64_t epoch = 0;
   // all_gather_v legitimately sends different byte counts per rank; its
   // fingerprint matches on kind alone.
   bool variable_size = false;
 
-  // Contract equality: kind/op/algo/root always compared, bytes only for
-  // fixed-size collectives.
+  // Contract equality: kind/op/algo/root/epoch always compared, bytes only
+  // for fixed-size collectives.
   [[nodiscard]] bool Matches(const CollectiveFingerprint& other) const;
+
+  // Like Matches but ignoring `epoch` — used to classify a divergence as
+  // "pure view-transition skew" versus a real shape mismatch.
+  [[nodiscard]] bool MatchesIgnoringEpoch(
+      const CollectiveFingerprint& other) const;
 
   // "all_reduce[ring, sum, 4096 B]" — the form used in diffs and reports.
   [[nodiscard]] std::string Describe() const;
@@ -86,6 +98,28 @@ class ContractChecker {
   // annotated CRASHED in watchdog reports. Cleared by Reset.
   void SetDead(int rank);
 
+  // --- Elastic-membership bookkeeping (DESIGN.md "Elastic membership") -----
+  // Marks `rank` alive again after a committed (re)admission: re-included
+  // in fingerprint validation, cleared of dead/left/latent/waiting flags.
+  void SetAlive(int rank);
+
+  // Marks `rank` latent: part of the channel's capacity but never yet
+  // admitted. Excluded from validation; rendered "not yet joined" so a
+  // watchdog report does not blame a rank that was never supposed to run.
+  void SetLatent(int rank);
+
+  // Marks `rank` as gracefully departed at a membership commit (vs crashed).
+  void SetLeft(int rank);
+
+  // Flags `rank` as parked in AwaitAdmission. A parked rank is rendered
+  // "awaiting admission", never "blocked in <collective>", so a rejoin in
+  // flight cannot masquerade as a deadlock.
+  void NoteJoinWaiting(int rank, bool waiting);
+
+  // Records the membership epoch `rank` last entered a collective under;
+  // rendered in reports so epoch skew is visible at a glance.
+  void NoteEpoch(int rank, uint64_t epoch);
+
   // Accumulates `ticks` of virtual straggler delay charged to `rank` at a
   // collective entry — the watchdog escalation path: a straggling rank shows
   // its accumulated delay in BlockedReport, so a timeout report
@@ -107,10 +141,19 @@ class ContractChecker {
   struct RankStatus {
     CollectiveFingerprint current;
     bool active = false;
-    bool dead = false;  // fail-stopped (SetDead)
-    uint64_t seq = 0;   // collectives entered so far
+    bool dead = false;    // fail-stopped (SetDead)
+    bool latent = false;  // capacity slot never admitted (SetLatent)
+    bool left = false;    // graceful departure at a commit (SetLeft)
+    bool join_waiting = false;    // parked in AwaitAdmission
+    uint64_t seq = 0;             // collectives entered so far
+    uint64_t epoch = 0;           // last membership epoch noted
     int64_t straggler_ticks = 0;  // cumulative virtual delay charged
   };
+
+  // True when `status_[r]` should be excluded from fingerprint validation.
+  [[nodiscard]] static bool Excluded(const RankStatus& st) {
+    return st.dead || st.latent || st.left;
+  }
 
   // Level 40: the watchdog composes BlockedReport and MarkDead calls
   // SetDead while holding GroupState::group_mu (30), so the contract lock

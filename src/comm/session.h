@@ -45,6 +45,17 @@ struct SessionOptions {
   // only emptiness is rejected.
   std::string compressor_spec = "ssgd";
 
+  // Elastic membership capacity: the maximum world size this session may
+  // ever grow to. 0 (the default) means "fixed membership" — capacity
+  // equals the constructor's world_size and the session behaves exactly as
+  // before. When > world_size, ranks [world_size, max_world_size) start
+  // latent and may be admitted at a membership commit
+  // (Communicator::commit_view) if the fault injector's AdmissionSchedule
+  // names them; crashed or departed ranks may likewise rejoin. Channel
+  // buffers (mailboxes, gather blocks) are capacity-sized, so
+  // Communicator::world_size() reports the capacity in elastic sessions.
+  int max_world_size = 0;
+
   // Returns "" when valid, otherwise one descriptive message naming every
   // violated constraint. Called at Session construction.
   [[nodiscard]] std::string Validate() const;
@@ -64,6 +75,9 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   [[nodiscard]] int world_size() const noexcept { return world_size_; }
+  // Channel capacity: equals world_size() for fixed-membership sessions,
+  // SessionOptions::max_world_size for elastic ones.
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
   [[nodiscard]] const std::string& job_id() const noexcept { return job_id_; }
   [[nodiscard]] const SessionOptions& options() const noexcept {
     return options_;
@@ -88,15 +102,34 @@ class Session {
   void set_fault_injector(fault::FaultInjector* injector) noexcept;
   [[nodiscard]] fault::FaultInjector* fault_injector() const noexcept;
 
-  // Spawns one thread per rank, each invoking fn(comm). Blocks until all
-  // return. Exceptions thrown by any worker are rethrown (first one wins)
-  // after all workers have been joined — except fault::RankCrashed, which
-  // marks the rank dead (see crashed_ranks) and lets the survivors finish.
+  // Spawns one thread per capacity slot, each invoking fn(comm). Blocks
+  // until all return. Exceptions thrown by any worker are rethrown (first
+  // one wins) after all workers have been joined — except
+  // fault::RankCrashed and fault::RankDeparted, which mark the rank down
+  // (see crashed_ranks / departed_ranks) and let the survivors finish.
+  //
+  // Elastic sessions (max_world_size > world_size, or an injector whose
+  // AdmissionSchedule is non-empty): a downed rank with a pending
+  // admission parks until a commit_view re-admits it, then runs fn again
+  // as a new generation (Communicator::join_generation() > 0) with its
+  // collective sequence resumed in lockstep. ACPS_FAULT_REJOIN=0 disables
+  // readmission entirely (legacy fail-stop-forever);
+  // ACPS_FAULT_REJOIN_TIMEOUT_MS bounds the park (default: the collective
+  // watchdog timeout).
   void Run(const std::function<void(Communicator&)>& fn);
 
   // Ranks that fail-stopped (injected crash) during the most recent Run,
-  // in crash order.
+  // in crash order. A rank that crashed, rejoined and crashed again
+  // appears once per crash.
   [[nodiscard]] const std::vector<int>& crashed_ranks() const noexcept;
+
+  // Ranks that departed gracefully at a membership commit during the most
+  // recent Run, in commit order.
+  [[nodiscard]] const std::vector<int>& departed_ranks() const noexcept;
+
+  // Membership epoch committed by the most recent Run (0 when no
+  // commit_view ran).
+  [[nodiscard]] uint64_t membership_epoch() const noexcept;
 
   // Aggregate traffic across this session's workers from the most recent
   // Run. Never includes another tenant's bytes.
@@ -112,6 +145,7 @@ class Session {
   Transport* transport_;
   std::string job_id_;
   int world_size_;
+  int capacity_;
   SessionOptions options_;
   std::unique_ptr<detail::GroupState> state_;
   std::vector<TrafficStats> last_run_stats_;

@@ -1,5 +1,6 @@
 #include "comm/transport.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 
@@ -10,7 +11,8 @@ GroupState::GroupState(int p, int64_t timeout_ms)
     : world_size(p), barrier_timeout_ms(timeout_ms),
       mailbox(static_cast<size_t>(p)), sizes(static_cast<size_t>(p), 0),
       retry_flag(static_cast<size_t>(p), 0),
-      alive(static_cast<size_t>(p), 1), alive_count(p) {
+      alive(static_cast<size_t>(p), 1), alive_count(p),
+      ever_ran(static_cast<size_t>(p), 1) {
   contract.Reset(p);
 }
 
@@ -78,6 +80,124 @@ void GroupState::MarkDead(int rank) {
     sense = !sense;
   }
   cv.notify_all();
+}
+
+void GroupState::MarkLeft(int rank) {
+  std::lock_guard lock(group_mu);
+  auto& a = alive[static_cast<size_t>(rank)];
+  if (a == 0) return;
+  a = 0;
+  --alive_count;
+  departed.push_back(rank);
+  contract.SetLeft(rank);
+  if (alive_count > 0 && arrived >= alive_count) {
+    arrived = 0;
+    sense = !sense;
+  }
+  cv.notify_all();
+}
+
+ViewTransition GroupState::ApplyViewCommit(uint64_t commit_index,
+                                           uint64_t applier_seq) {
+  std::lock_guard lock(group_mu);
+  if (commit_count >= commit_index) {
+    // Another rank of this commit already applied it; the guard makes the
+    // outcome independent of which rank reached the lock first (the next
+    // commit cannot start before this one's closing barrier, so
+    // last_transition is exactly this commit's record).
+    return last_transition;
+  }
+  commit_count = commit_index;
+  ViewTransition t;
+  t.commit_index = commit_index;
+  // This commit's graceful leavers: MarkLeft entries not yet reported.
+  for (size_t i = departed_reported; i < departed.size(); ++i)
+    t.left.push_back(departed[i]);
+  departed_reported = departed.size();
+  std::sort(t.left.begin(), t.left.end());
+  // Admissions: every unconsumed intent whose eligibility window opened
+  // (at_commit <= commit_index) and whose rank is currently down. A rank
+  // that has not crashed yet keeps its intent for a later commit.
+  for (JoinIntent& intent : join_intents) {
+    if (intent.consumed || intent.at_commit > commit_index) continue;
+    const auto r = static_cast<size_t>(intent.rank);
+    if (alive[r] != 0) continue;
+    intent.consumed = true;
+    alive[r] = 1;
+    ++alive_count;
+    contract.SetAlive(intent.rank);
+    t.joined.push_back(intent.rank);
+    if (ever_ran[r] != 0) t.rejoined.push_back(intent.rank);
+    ever_ran[r] = 1;
+  }
+  std::sort(t.joined.begin(), t.joined.end());
+  std::sort(t.rejoined.begin(), t.rejoined.end());
+  epoch += 1;
+  t.epoch = epoch;
+  commit_seq = applier_seq;
+  last_transition = t;
+  // Growing alive_count can never complete an in-flight barrier round
+  // (arrived only moved further from the target), so no round fix-up is
+  // needed — only parked joiners must be woken.
+  cv.notify_all();
+  return t;
+}
+
+void GroupState::RegisterAdmission(int rank, uint64_t at_commit) {
+  // Fired before the lock: sched-point-under-lock forbids controlled
+  // yields inside a guard, and the perturbation window is the registration
+  // order itself, not the mailbox write.
+  check::SchedPoint(check::PointKind::kJoinIntent, rank);
+  std::lock_guard lock(group_mu);
+  join_intents.push_back({rank, at_commit, /*consumed=*/false});
+}
+
+bool GroupState::HasPendingAdmission(int rank) {
+  std::lock_guard lock(group_mu);
+  // A commit may consume this rank's intent (flipping it alive) between the
+  // crash unwind and this check; the readmission is then already in flight
+  // and the worker must proceed to AwaitAdmission (which returns kAdmitted
+  // immediately) — exiting instead would strand the survivors' closing
+  // barrier waiting on a thread that is gone.
+  if (alive[static_cast<size_t>(rank)] != 0) return true;
+  for (const JoinIntent& intent : join_intents) {
+    if (intent.rank == rank && !intent.consumed) return true;
+  }
+  return false;
+}
+
+AdmissionStatus GroupState::AwaitAdmission(int rank, int64_t timeout_ms) {
+  std::unique_lock lock(group_mu);
+  contract.NoteJoinWaiting(rank, true);
+  const auto pred = [&] {
+    return alive[static_cast<size_t>(rank)] == 1 || aborted || working == 0;
+  };
+  bool woke = true;
+  if (timeout_ms > 0) {
+    woke = cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), pred);
+  } else {
+    cv.wait(lock, pred);
+  }
+  AdmissionStatus status;
+  if (woke && alive[static_cast<size_t>(rank)] == 1) {
+    // ApplyViewCommit already cleared the waiting flag via contract.SetAlive.
+    status = AdmissionStatus::kAdmitted;
+  } else if (woke && aborted) {
+    contract.NoteJoinWaiting(rank, false);
+    status = AdmissionStatus::kAborted;
+  } else {
+    // Group drained (no thread can commit a view again) or timed out.
+    // Consume the rank's remaining intents under the same lock the commit
+    // applier admits under, so a later commit cannot admit a joiner that
+    // already gave up (which would leave its closing barrier waiting on a
+    // thread that is gone).
+    for (JoinIntent& intent : join_intents) {
+      if (intent.rank == rank) intent.consumed = true;
+    }
+    contract.NoteJoinWaiting(rank, false);
+    status = AdmissionStatus::kAbandoned;
+  }
+  return status;
 }
 
 void GroupState::CheckedRendezvous(int rank, const CollectiveFingerprint& fp) {

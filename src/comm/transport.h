@@ -97,6 +97,35 @@ struct Mailbox {
   Message prev;
 };
 
+// One registered (re)admission intent, parked in the group's join-intent
+// mailbox until a membership commit consumes it. Registered up front (at
+// session setup, from the injector's AdmissionSchedule), so admission is a
+// pure function of (commit index, membership state) — never of when a
+// crashed thread happened to reach its wait loop.
+struct JoinIntent {
+  int rank = -1;
+  uint64_t at_commit = 1;  // first eligible commit index (1-based)
+  bool consumed = false;   // admitted at some commit
+};
+
+// Record of one committed membership transition (epoch bump). Returned by
+// Communicator::commit_view so workloads can react to churn (rescale
+// means, re-plan topology splits, run state resync for joiners).
+struct ViewTransition {
+  uint64_t epoch = 0;         // epoch now in force
+  uint64_t commit_index = 0;  // 1-based commit that produced it
+  std::vector<int> joined;    // ranks admitted at this commit (sorted)
+  std::vector<int> rejoined;  // subset of `joined` that ran before (sorted)
+  std::vector<int> left;      // graceful departures at this commit (sorted)
+};
+
+// AwaitAdmission outcome for a parked (crashed/latent) rank.
+enum class AdmissionStatus : uint8_t {
+  kAdmitted,   // a commit re-admitted the rank; it owns a barrier slot
+  kAbandoned,  // no commit can ever admit it (group drained or timeout)
+  kAborted,    // the group aborted while the rank was parked
+};
+
 // One session's channel block: a sense-reversing barrier over the *alive*
 // membership, one envelope mailbox per worker, a size-exchange board for
 // variable-size collectives, retry flags for the reliable-delivery
@@ -132,12 +161,41 @@ struct GroupState {
   // the writer's next first barrier, so the post-barrier scan is race-free.
   std::vector<uint8_t> retry_flag;
 
-  // Fail-stop membership. alive[r] flips to 0 exactly once, at the crashed
-  // rank's collective entry (before any survivor passes the entry barrier),
-  // so every surviving rank samples an identical view per collective.
+  // Fail-stop membership. alive[r] flips to 0 exactly once per generation,
+  // at the crashed rank's collective entry (before any survivor passes the
+  // entry barrier), so every surviving rank samples an identical view per
+  // collective. Elastic sessions may flip it back to 1 — only inside a
+  // barrier-aligned view commit (ApplyViewCommit), so the invariant holds.
   std::vector<uint8_t> alive;
   int alive_count;
-  std::vector<int> crashed;  // in crash order
+  std::vector<int> crashed;  // in crash order (a rank may appear twice)
+  std::vector<int> departed;  // graceful leaves, in commit order
+
+  // --- Elastic membership (DESIGN.md "Elastic membership") ----------------
+  // Epoch-numbered views: `epoch` bumps at every committed membership
+  // transition; `commit_count` counts commits (epoch == commit_count today,
+  // kept separate so a no-op commit could skip the bump without breaking
+  // the ledger). `commit_seq` snapshots the applier's per-rank collective
+  // sequence at the commit: a joiner adopts it so its next collective entry
+  // lands on commit_seq + 1, in lockstep with the survivors.
+  uint64_t epoch = 0;
+  uint64_t commit_count = 0;
+  uint64_t commit_seq = 0;
+  ViewTransition last_transition;
+  // How many entries of `departed` earlier commits already reported;
+  // entries past it are this commit's graceful leavers.
+  size_t departed_reported = 0;
+  // Ranks that have ever been admitted (ran at least one generation);
+  // distinguishes a rejoin from a fresh join in transition records.
+  std::vector<uint8_t> ever_ran;
+
+  // Join-intent mailbox (all intents registered before Run starts).
+  std::vector<JoinIntent> join_intents;
+
+  // Threads currently inside the session's worker function. When it drains
+  // to 0 no further commits can happen, so parked joiners give up
+  // (kAbandoned) instead of waiting forever.
+  int working = 0;
 
   // First exception thrown by any worker during Run.
   ACPS_LOCK_LEVEL(32) err_mu;
@@ -176,6 +234,41 @@ struct GroupState {
   // round so the survivors unblock. arrived can only reach alive_count when
   // every survivor has arrived, so a round never completes early.
   void MarkDead(int rank);
+
+  // Graceful departure for `rank` at a membership commit: same barrier
+  // mechanics as MarkDead, but recorded as a leave (contract renders LEFT,
+  // not CRASHED) so churn reports distinguish planned exits from failures.
+  void MarkLeft(int rank);
+
+  // Applies membership commit `commit_index` (1-based): consumes every
+  // eligible join intent (at_commit <= commit_index, rank currently down),
+  // flips the admitted ranks alive, records this commit's graceful
+  // departures, bumps the epoch and snapshots `applier_seq` as the
+  // collective sequence joiners resume from. Called by every rank of the
+  // commit after its opening barrier; the first caller applies, the rest
+  // observe — the guard on commit_count makes the application idempotent,
+  // so the outcome never depends on which rank got the lock first. Growing
+  // alive_count mid-round is safe: an in-flight barrier can only complete
+  // once the admitted joiner itself arrives. Returns the committed
+  // transition (identical for every caller of the same commit).
+  [[nodiscard]] ViewTransition ApplyViewCommit(uint64_t commit_index,
+                                               uint64_t applier_seq);
+
+  // Registers a (re)admission intent. Called before Run's workers start.
+  void RegisterAdmission(int rank, uint64_t at_commit);
+
+  // True while an unconsumed intent for `rank` exists — i.e. some future
+  // commit may still (re)admit it — or a commit already consumed one and
+  // flipped the rank alive, so its readmission is in flight and the worker
+  // must park in AwaitAdmission rather than exit.
+  [[nodiscard]] bool HasPendingAdmission(int rank);
+
+  // Parks a crashed/latent `rank` until a commit re-admits it (kAdmitted),
+  // the group drains or `timeout_ms` elapses (kAbandoned), or the group
+  // aborts (kAborted). timeout_ms <= 0 waits without a deadline. On
+  // kAdmitted the caller owns a barrier slot and must immediately call
+  // Barrier() once, joining the admitting commit's closing barrier.
+  [[nodiscard]] AdmissionStatus AwaitAdmission(int rank, int64_t timeout_ms);
 
   // Fingerprint rendezvous run at every collective entry in checked mode:
   //   deposit -> barrier -> validate -> barrier.

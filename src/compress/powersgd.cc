@@ -43,6 +43,18 @@ PowerSgd::State& PowerSgd::state_for(int64_t tensor_id, int64_t n, int64_t m,
   return it->second;
 }
 
+std::span<float> PowerSgd::factor_q(int64_t tensor_id, int64_t n, int64_t m) {
+  return state_for(tensor_id, n, m, EffectiveRank(n, m, config_.rank))
+      .q.data();
+}
+
+std::span<float> PowerSgd::residual_e(int64_t tensor_id, int64_t n, int64_t m) {
+  State& st = state_for(tensor_id, n, m, EffectiveRank(n, m, config_.rank));
+  ACPS_CHECK_MSG(config_.error_feedback,
+                 "residual_e requires error_feedback enabled");
+  return st.e.data();
+}
+
 void PowerSgd::Step(int64_t tensor_id, Tensor& m,
                     const AllReduceMeanFn& allreduce) {
   ACPS_CHECK_MSG(m.ndim() == 2, "PowerSgd::Step needs a matrix, got "

@@ -1,0 +1,41 @@
+#include "core/resync.h"
+
+#include <cstring>
+
+#include "tensor/check.h"
+
+namespace acps::core {
+
+void BroadcastFlat(comm::Communicator& comm,
+                   const std::vector<std::span<float>>& bufs, int root) {
+  size_t total = 0;
+  for (const auto& b : bufs) total += b.size();
+  std::vector<float> flat(total);
+  size_t off = 0;
+  for (const auto& b : bufs) {
+    std::memcpy(flat.data() + off, b.data(), b.size() * sizeof(float));
+    off += b.size();
+  }
+  comm.broadcast(flat, root);
+  off = 0;
+  for (const auto& b : bufs) {
+    std::memcpy(b.data(), flat.data() + off, b.size() * sizeof(float));
+    off += b.size();
+  }
+}
+
+uint64_t BroadcastScalar(comm::Communicator& comm, uint64_t value, int root) {
+  // Two floats hold the 64-bit value exactly (bit pattern, not rounding):
+  // the broadcast wire is float-typed, so split into two 32-bit halves.
+  static_assert(sizeof(float) == sizeof(uint32_t));
+  uint32_t halves[2] = {static_cast<uint32_t>(value & 0xFFFFFFFFull),
+                        static_cast<uint32_t>(value >> 32)};
+  float wire[2];
+  std::memcpy(wire, halves, sizeof(wire));
+  comm.broadcast(std::span<float>(wire, 2), root);
+  std::memcpy(halves, wire, sizeof(wire));
+  return static_cast<uint64_t>(halves[0]) |
+         (static_cast<uint64_t>(halves[1]) << 32);
+}
+
+}  // namespace acps::core

@@ -1,0 +1,35 @@
+// State resynchronization for elastic membership (DESIGN.md "Elastic
+// membership"): when a rank (re)joins at a membership commit, it holds no
+// model, optimizer, or compression state — a donor (by convention the
+// lowest-ranked survivor of the committed view) broadcasts its replicas so
+// the joiner resumes bitwise in lockstep with the group.
+//
+// Everything here is a plain collective over the committed view: every
+// alive rank — donors, bystanders, and joiners alike — must call the same
+// resync function at the same step boundary, exactly like any other
+// collective. The broadcast payload is one flat float buffer regardless of
+// tensor count, so the whole resync is a single fingerprint-checked
+// collective per call.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "tensor/tensor.h"
+
+namespace acps::core {
+
+// Broadcasts the concatenation of `bufs` from `root` and scatters it back
+// into each span. Sizes must match across ranks (same model, same
+// optimizer layout) — the collective contract checker enforces it in
+// checked builds. Collective: every alive rank must call it.
+void BroadcastFlat(comm::Communicator& comm,
+                   const std::vector<std::span<float>>& bufs, int root);
+
+// Broadcasts a single uint64 (step counter, epoch, sample index) from
+// `root`; returns the donor's value on every rank. Collective.
+[[nodiscard]] uint64_t BroadcastScalar(comm::Communicator& comm,
+                                       uint64_t value, int root);
+
+}  // namespace acps::core

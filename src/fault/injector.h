@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace acps::fault {
 
@@ -42,6 +43,16 @@ enum class FaultKind : uint8_t {
 struct EntryDecision {
   FaultKind kind = FaultKind::kNone;
   int64_t ticks = 0;
+};
+
+// One scheduled (re)admission: `rank` wants to (re)enter the group at the
+// first membership commit with index >= `at_commit` at which it is down
+// (crashed, departed, or latent — never yet joined). The session registers
+// every intent up front, so admission is a pure function of the commit
+// index and the membership state, never of thread arrival order.
+struct AdmissionIntent {
+  int rank = -1;
+  uint64_t at_commit = 1;  // 1-based commit index
 };
 
 // Receives every transport event while installed. Implementations must be
@@ -67,6 +78,26 @@ class FaultInjector {
   // kStraggler.
   virtual EntryDecision OnCollectiveEntry(int rank,
                                           uint64_t collective_index) = 0;
+
+  // Membership churn (elastic sessions, DESIGN.md "Elastic membership").
+  // Both hooks must be pure functions of their arguments plus immutable
+  // seed state, like the wire hooks above. Defaults keep every existing
+  // injector a pure fail-stop plan.
+  //
+  // True when `rank` departs gracefully at the `commit_index`-th membership
+  // commit (1-based): the rank announces the departure inside commit_view
+  // and unwinds via RankDeparted instead of running further steps.
+  [[nodiscard]] virtual bool LeavesAtCommit(int /*rank*/,
+                                            uint64_t /*commit_index*/) {
+    return false;
+  }
+
+  // The full (re)admission schedule for the run, known up front. The
+  // session registers each intent before any worker starts, so replay
+  // never depends on when a crashed thread reaches its wait loop.
+  [[nodiscard]] virtual std::vector<AdmissionIntent> AdmissionSchedule() {
+    return {};
+  }
 
   // Identity string folded into detected-fault reports so a failure is
   // replayable from the report alone (seed, kind, rate, ...).
@@ -127,6 +158,15 @@ inline EntryDecision OnCollectiveEntry(int rank, uint64_t collective_index) {
 struct RankCrashed {
   int rank = -1;
   uint64_t collective_index = 0;
+};
+
+// Thrown (same plain-struct rationale as RankCrashed) by commit_view when a
+// rank's scheduled graceful departure fires: the rank marks itself gone,
+// the survivors complete the commit over the shrunken view, and the
+// session worker either finishes the rank or parks it for readmission.
+struct RankDeparted {
+  int rank = -1;
+  uint64_t commit_index = 0;
 };
 
 // Unrecoverable-but-detected transport failure: bounded retry exhausted

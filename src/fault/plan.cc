@@ -1,6 +1,7 @@
 #include "fault/plan.h"
 
 #include <sstream>
+#include <utility>
 
 namespace acps::fault {
 
@@ -11,6 +12,28 @@ constexpr uint64_t kSitePublish = 0x9e3779b97f4a7c15ULL;
 constexpr uint64_t kSiteRead = 0xbf58476d1ce4e5b9ULL;
 constexpr uint64_t kSiteEntry = 0x94d049bb133111ebULL;
 }  // namespace
+
+const char* ToString(MembershipEvent::Kind kind) noexcept {
+  switch (kind) {
+    case MembershipEvent::Kind::kCrash: return "crash";
+    case MembershipEvent::Kind::kRejoin: return "rejoin";
+    case MembershipEvent::Kind::kJoin: return "join";
+    case MembershipEvent::Kind::kLeave: return "leave";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(std::move(config)) {
+  // Fold the legacy single-crash fields into the membership schedule so
+  // every downstream consumer sees one event stream. The optional is
+  // cleared to keep the fold idempotent if the config round-trips.
+  if (config_.crash_rank) {
+    config_.membership.push_back({MembershipEvent::Kind::kCrash,
+                                  *config_.crash_rank,
+                                  config_.crash_at_collective});
+    config_.crash_rank.reset();
+  }
+}
 
 uint64_t Mix64(uint64_t x) noexcept {
   x += 0x9e3779b97f4a7c15ULL;
@@ -56,10 +79,15 @@ FaultKind FaultPlan::OnRead(int rank, uint64_t seq, int attempt) {
 
 EntryDecision FaultPlan::OnCollectiveEntry(int rank,
                                            uint64_t collective_index) {
-  if (config_.crash_rank && rank == *config_.crash_rank &&
-      collective_index == config_.crash_at_collective) {
-    injected_.fetch_add(1, std::memory_order_relaxed);
-    return {FaultKind::kCrash, 0};
+  // The same rank may carry several kCrash events (crash, rejoin, crash
+  // again at a later entry index) — the per-rank collective index keeps
+  // counting across generations, so each event fires at most once.
+  for (const MembershipEvent& ev : config_.membership) {
+    if (ev.kind == MembershipEvent::Kind::kCrash && ev.rank == rank &&
+        ev.at == collective_index) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return {FaultKind::kCrash, 0};
+    }
   }
   if (config_.kind == FaultKind::kStraggler &&
       Fires(collective_index, rank, kSiteEntry)) {
@@ -69,13 +97,50 @@ EntryDecision FaultPlan::OnCollectiveEntry(int rank,
   return {};
 }
 
+bool FaultPlan::LeavesAtCommit(int rank, uint64_t commit_index) {
+  for (const MembershipEvent& ev : config_.membership) {
+    if (ev.kind == MembershipEvent::Kind::kLeave && ev.rank == rank &&
+        ev.at == commit_index) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<AdmissionIntent> FaultPlan::AdmissionSchedule() {
+  std::vector<AdmissionIntent> intents;
+  for (const MembershipEvent& ev : config_.membership) {
+    if (ev.kind == MembershipEvent::Kind::kRejoin ||
+        ev.kind == MembershipEvent::Kind::kJoin) {
+      intents.push_back({ev.rank, ev.at});
+    }
+  }
+  return intents;
+}
+
+bool HasAdmissions(const FaultPlanConfig& config) {
+  for (const MembershipEvent& ev : config.membership) {
+    if (ev.kind == MembershipEvent::Kind::kRejoin ||
+        ev.kind == MembershipEvent::Kind::kJoin) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string FaultPlan::Describe() const {
   std::ostringstream os;
   os << "FaultPlan{seed=" << config_.seed << ", kind="
      << ToString(config_.kind) << ", rate=" << config_.rate;
-  if (config_.crash_rank) {
-    os << ", crash_rank=" << *config_.crash_rank << "@collective "
-       << config_.crash_at_collective;
+  if (!config_.membership.empty()) {
+    os << ", membership=[";
+    for (size_t i = 0; i < config_.membership.size(); ++i) {
+      const MembershipEvent& ev = config_.membership[i];
+      if (i > 0) os << " ";
+      os << ToString(ev.kind) << ":r" << ev.rank << "@" << ev.at;
+    }
+    os << "]";
   }
   os << ", injected=" << injected() << "}";
   return os.str();

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "fault/injector.h"
 
@@ -22,13 +23,29 @@ namespace acps::fault {
 // Deterministic 64-bit mix (SplitMix64 finalizer). Exposed for tests.
 [[nodiscard]] uint64_t Mix64(uint64_t x) noexcept;
 
+// One membership-churn event in a plan's ordered schedule. `at` is 1-based:
+// for kCrash it is the victim's per-rank collective-entry index (matching
+// the legacy crash_at_collective); for kRejoin/kJoin/kLeave it is the
+// membership-commit index the event targets. kRejoin and kJoin share
+// admission semantics (first commit >= `at` at which the rank is down) and
+// differ only in intent: kRejoin re-admits a previously crashed/departed
+// rank, kJoin admits a latent rank that has never run.
+struct MembershipEvent {
+  enum class Kind : uint8_t { kCrash, kRejoin, kJoin, kLeave };
+  Kind kind = Kind::kCrash;
+  int rank = 0;
+  uint64_t at = 1;
+};
+
+[[nodiscard]] const char* ToString(MembershipEvent::Kind kind) noexcept;
+
 struct FaultPlanConfig {
   uint64_t seed = 1;
 
   // The wire/read fault kind this plan injects (kDrop, kDuplicate,
   // kStaleRead or kCorrupt), fired per matching event with probability
-  // `rate` (0..1). kStraggler and kCrash are driven by the entry fields
-  // below instead.
+  // `rate` (0..1). kStraggler and membership churn are driven by the
+  // fields below instead.
   FaultKind kind = FaultKind::kNone;
   double rate = 0.0;
 
@@ -36,19 +53,29 @@ struct FaultPlanConfig {
   // entering rank is charged `straggler_ticks` of virtual delay.
   int64_t straggler_ticks = 64;
 
-  // Fail-stop crash: `crash_rank` dies when it enters its
-  // `crash_at_collective`-th collective (1-based). Disabled when empty.
+  // Legacy single fail-stop crash: `crash_rank` dies when it enters its
+  // `crash_at_collective`-th collective (1-based). Folded into
+  // `membership` at FaultPlan construction; kept so existing configs and
+  // replay handles stay valid.
   std::optional<int> crash_rank;
   uint64_t crash_at_collective = 1;
+
+  // Ordered membership schedule: repeated crashes, rejoins, fresh joins
+  // and graceful leaves. Order in the vector is documentation only —
+  // every event is keyed by its own (rank, at) coordinates, so the
+  // schedule is replayable regardless of listing order.
+  std::vector<MembershipEvent> membership;
 };
 
 class FaultPlan final : public FaultInjector {
  public:
-  explicit FaultPlan(FaultPlanConfig config) : config_(config) {}
+  explicit FaultPlan(FaultPlanConfig config);
 
   FaultKind OnPublish(int rank, uint64_t seq, int attempt) override;
   FaultKind OnRead(int rank, uint64_t seq, int attempt) override;
   EntryDecision OnCollectiveEntry(int rank, uint64_t collective_index) override;
+  bool LeavesAtCommit(int rank, uint64_t commit_index) override;
+  std::vector<AdmissionIntent> AdmissionSchedule() override;
 
   // Total faults actually injected (all kinds). The chaos harness requires
   // this to be > 0 before it will claim a fault kind "recovered" — a plan
@@ -68,5 +95,9 @@ class FaultPlan final : public FaultInjector {
   FaultPlanConfig config_;
   std::atomic<int64_t> injected_{0};
 };
+
+// True when the plan's membership schedule admits or readmits at least one
+// rank (kRejoin/kJoin events). Sessions use this to size the worker pool.
+[[nodiscard]] bool HasAdmissions(const FaultPlanConfig& config);
 
 }  // namespace acps::fault

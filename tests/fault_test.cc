@@ -6,6 +6,7 @@
 // and so does a plan that never fired (it proves nothing).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <set>
 #include <span>
@@ -14,6 +15,7 @@
 #include "check/schedule.h"
 #include "comm/communicator.h"
 #include "fault/chaos.h"
+#include "fault/churn.h"
 #include "fault/clock.h"
 #include "fault/plan.h"
 #include "obs/metrics_registry.h"
@@ -413,6 +415,223 @@ TEST(CrashRecoveryTest, LaterCollectivesRunOverSurvivors) {
     EXPECT_EQ(alive_seen[static_cast<size_t>(r)], kWorld - 1);
     for (float v : results[static_cast<size_t>(r)]) EXPECT_EQ(v, 30.0f);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership: churn chaos gates (DESIGN.md "Elastic membership").
+// ---------------------------------------------------------------------------
+
+// Sanitizer builds run the protocol-shape subset; the remaining scenarios
+// re-drive the same commit/resync machinery with longer horizons, which
+// dominates tsan wall-clock without adding interleaving coverage.
+std::vector<fault::ChurnScenario> ChurnMatrixScenarios() {
+#ifdef ACPS_SANITIZE_BUILD
+  return {fault::ChurnScenario::kCrashRejoin, fault::ChurnScenario::kFreshJoin,
+          fault::ChurnScenario::kGracefulLeave};
+#else
+  return fault::AllChurnScenarios();
+#endif
+}
+
+TEST(ChurnMatrixTest, EveryScenarioRecoversOrDetects) {
+  fault::ChurnOptions opt;
+  for (const fault::ChurnScenario s : ChurnMatrixScenarios()) {
+    const fault::ChurnCaseResult res = fault::RunChurnScenario(s, opt);
+    EXPECT_TRUE(res.ok()) << res.Summary();
+    EXPECT_NE(res.outcome, fault::ChaosOutcome::kNoInjection) << res.Summary();
+  }
+}
+
+// ISSUE acceptance: a seeded crash→rejoin run is bitwise-deterministic
+// under replay. (RunChurnScenario re-checks this internally for every cell;
+// this test pins the raw-run contract directly.)
+TEST(ChurnReplayTest, SeededCrashRejoinRunsAreByteIdentical) {
+  fault::ChurnOptions opt;
+  const fault::ChurnRun a =
+      fault::RunChurnWorkload(fault::ChurnScenario::kCrashRejoin, opt);
+  const fault::ChurnRun b =
+      fault::RunChurnWorkload(fault::ChurnScenario::kCrashRejoin, opt);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.generation, b.generation);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.departed, b.departed);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.error, b.error);
+}
+
+// ISSUE acceptance: total EF mass is conserved across the crash→rejoin
+// handoff — each finishing rank's telescoping ledger gap
+// |sum(grad) - (sum(reconstruction) + residual)| stays at rounding noise,
+// with the victim's escrowed residual rolled back to its last commit.
+TEST(ChurnLedgerTest, ErrorFeedbackMassConservedAcrossRejoin) {
+  fault::ChurnOptions opt;
+  const fault::ChurnRun run =
+      fault::RunChurnWorkload(fault::ChurnScenario::kCrashRejoin, opt);
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  const int victim = opt.world_size - 1;
+  ASSERT_EQ(run.crashed, std::vector<int>{victim});
+  for (size_t r = 0; r < run.finished.size(); ++r) {
+    if (run.finished[r] == 0) continue;
+    EXPECT_LT(run.ef_gap[r], 1e-3)
+        << "rank " << r << " telescoping ledger gap " << run.ef_gap[r];
+  }
+  // The victim resumed as generation 1 and one commit ran per step.
+  EXPECT_EQ(run.generation[static_cast<size_t>(victim)], 1);
+  EXPECT_EQ(run.epoch, static_cast<uint64_t>(opt.steps));
+}
+
+TEST(FaultPlanTest, MembershipScheduleDrivesCrashRejoinAndLeave) {
+  fault::FaultPlanConfig cfg;
+  cfg.seed = 7;
+  cfg.membership = {
+      {fault::MembershipEvent::Kind::kCrash, /*rank=*/2, /*at=*/4},
+      {fault::MembershipEvent::Kind::kRejoin, /*rank=*/2, /*at=*/1},
+      {fault::MembershipEvent::Kind::kLeave, /*rank=*/1, /*at=*/3},
+  };
+  ASSERT_TRUE(fault::HasAdmissions(cfg));
+  fault::FaultPlan plan(cfg);
+  // The crash fires exactly at the victim's 4th collective entry.
+  EXPECT_EQ(plan.OnCollectiveEntry(2, 3).kind, fault::FaultKind::kNone);
+  EXPECT_EQ(plan.OnCollectiveEntry(2, 4).kind, fault::FaultKind::kCrash);
+  EXPECT_EQ(plan.OnCollectiveEntry(0, 4).kind, fault::FaultKind::kNone);
+  // The graceful leave targets its commit index and no other.
+  EXPECT_FALSE(plan.LeavesAtCommit(1, 2));
+  EXPECT_TRUE(plan.LeavesAtCommit(1, 3));
+  EXPECT_FALSE(plan.LeavesAtCommit(0, 3));
+  // The admission schedule carries exactly the rejoin intent.
+  const std::vector<fault::AdmissionIntent> intents = plan.AdmissionSchedule();
+  ASSERT_EQ(intents.size(), 1u);
+  EXPECT_EQ(intents[0].rank, 2);
+  EXPECT_EQ(intents[0].at_commit, 1u);
+}
+
+TEST(FaultPlanTest, LegacyCrashConfigFoldsIntoMembershipSchedule) {
+  fault::FaultPlanConfig cfg;
+  cfg.seed = 8;
+  cfg.crash_rank = 1;
+  cfg.crash_at_collective = 2;
+  fault::FaultPlan plan(cfg);
+  EXPECT_EQ(plan.OnCollectiveEntry(1, 2).kind, fault::FaultKind::kCrash);
+  ASSERT_EQ(plan.config().membership.size(), 1u);
+  EXPECT_EQ(plan.config().membership[0].kind,
+            fault::MembershipEvent::Kind::kCrash);
+  EXPECT_FALSE(fault::HasAdmissions(plan.config()));
+}
+
+// The elastic rejoin path is observable: the admitting commit emits the
+// fault.rejoin.admitted counter and the comm.epoch gauge, and the session
+// records the membership epoch and the victim's crash.
+TEST(ElasticSessionTest, RejoinEmitsAdmissionMetricsAndEpochGauge) {
+  obs::MetricsRegistry metrics;
+  metrics.Enable();
+  fault::FaultPlanConfig cfg;
+  cfg.seed = 51;
+  cfg.membership = {{fault::MembershipEvent::Kind::kCrash, /*rank=*/2,
+                     /*at=*/3},
+                    {fault::MembershipEvent::Kind::kRejoin, /*rank=*/2,
+                     /*at=*/1}};
+  fault::FaultPlan plan(cfg);
+  fault::ScopedFaultInjector install(&plan);
+
+  comm::Transport transport;
+  transport.set_metrics(&metrics);
+  comm::Session session(transport, "", 3);
+  session.Run([](comm::Communicator& comm) {
+    std::vector<float> data(6, static_cast<float>(comm.rank() + 1));
+    int step = 0;
+    const auto resync = [&](const comm::detail::ViewTransition& t) {
+      if (t.joined.empty()) return;
+      int donor = -1;
+      for (const int a : comm.alive_ranks()) {
+        if (std::find(t.joined.begin(), t.joined.end(), a) == t.joined.end()) {
+          donor = a;
+          break;
+        }
+      }
+      std::vector<float> wire(data.size() + 1);
+      wire[0] = static_cast<float>(step);
+      std::copy(data.begin(), data.end(), wire.begin() + 1);
+      comm.broadcast(wire, donor);
+      step = static_cast<int>(wire[0]);
+      std::copy(wire.begin() + 1, wire.end(), data.begin());
+    };
+    if (comm.join_generation() > 0) resync(comm.last_transition());
+    while (step < 3) {
+      comm.all_reduce(data);
+      ++step;
+      resync(comm.commit_view());
+    }
+  });
+
+  EXPECT_EQ(session.crashed_ranks(), std::vector<int>{2});
+  EXPECT_TRUE(session.departed_ranks().empty());
+  EXPECT_EQ(session.membership_epoch(), 3u);
+  EXPECT_EQ(metrics.counter("fault.rejoin.admitted").value(), 1u);
+  EXPECT_EQ(metrics.counter("fault.join.ranks").value(), 0u);
+  EXPECT_EQ(metrics.gauge("comm.epoch").value(), 3.0);
+}
+
+// A parked victim whose admission is never serviced (the workload stops
+// committing) must abandon when the survivors drain — never hang the Run.
+TEST(ElasticSessionTest, UnservicedAdmissionAbandonsWhenWorkersDrain) {
+  obs::MetricsRegistry metrics;
+  metrics.Enable();
+  fault::FaultPlanConfig cfg;
+  cfg.seed = 52;
+  cfg.membership = {{fault::MembershipEvent::Kind::kCrash, /*rank=*/1,
+                     /*at=*/2},
+                    {fault::MembershipEvent::Kind::kRejoin, /*rank=*/1,
+                     /*at=*/1}};
+  fault::FaultPlan plan(cfg);
+  fault::ScopedFaultInjector install(&plan);
+
+  comm::Transport transport;
+  transport.set_metrics(&metrics);
+  comm::Session session(transport, "", 2);
+  session.Run([](comm::Communicator& comm) {
+    std::vector<float> data(4, 1.0f);
+    comm.all_reduce(data);
+    comm.all_reduce(data);  // rank 1 dies here; no commit_view ever runs
+  });
+  EXPECT_EQ(session.crashed_ranks(), std::vector<int>{1});
+  EXPECT_EQ(session.membership_epoch(), 0u);
+  EXPECT_EQ(metrics.counter("fault.rejoin.abandoned").value(), 1u);
+}
+
+// ISSUE acceptance: the model checker explores the rejoin handshake —
+// crash at a collective entry, admission at the next commit, donor resync —
+// under random perturbation and exhaustively at p=3, with zero oracle
+// violations (completion, baseline bits, rank invariance).
+TEST(RejoinModelCheckTest, PerturbedSchedulesHoldOracles) {
+  check::ExploreOptions opt;
+  opt.world_size = 3;
+  opt.numel = 8;
+#ifdef ACPS_SANITIZE_BUILD
+  opt.runs = 12;
+#else
+  opt.runs = 60;
+#endif
+  const check::ExploreReport rep =
+      check::ExplorePerturbed(check::Workload::kRejoin, opt);
+  EXPECT_TRUE(rep.ok()) << rep.Summary();
+  EXPECT_EQ(rep.schedules_run, opt.runs);
+}
+
+TEST(RejoinModelCheckTest, ExhaustiveHandoffOrdersAtP3AreClean) {
+  check::ExploreOptions opt;
+  opt.world_size = 3;
+  opt.numel = 8;
+  const check::ExploreReport rep =
+      check::ExploreExhaustive(check::Workload::kRejoin, opt, 4096);
+  EXPECT_TRUE(rep.ok()) << rep.Summary();
+  EXPECT_TRUE(rep.exhaustive_complete) << rep.Summary();
+  EXPECT_EQ(rep.enforcement_misses, 0) << rep.Summary();
+  // One hand-off window per naive all-reduce step; membership-aware window
+  // accounting keeps the count at 3 even though the middle window has only
+  // two live publishers. 3 windows x 3! orders each = 216 schedules.
+  EXPECT_EQ(rep.windows, 3) << rep.Summary();
+  EXPECT_EQ(rep.schedules_run, 216) << rep.Summary();
 }
 
 }  // namespace

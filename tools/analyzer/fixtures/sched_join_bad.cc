@@ -1,0 +1,17 @@
+// acps-fixture-path: src/comm/fixture_join.cc
+// acps-expect: publish-needs-sched-point
+//
+// Known-bad twin for publish-needs-sched-point on the elastic-membership
+// board: a function registers a join intent (the rejoin mailbox consumed by
+// commit_view) without firing a check::SchedPoint or crossing a Barrier —
+// the model checker could never schedule around the admission hand-off, so
+// the rejoin-handshake exploration would silently miss this publish.
+#include "comm/transport.h"
+
+namespace acps::comm {
+
+void FixtureUncoveredJoinIntent(detail::GroupState* st) {
+  st->join_intents.push_back({3, 1, /*consumed=*/false});
+}
+
+}  // namespace acps::comm

@@ -1,0 +1,18 @@
+// acps-fixture-path: src/comm/fixture_join.cc
+// acps-expect-clean
+//
+// Known-good twin of sched_join_bad.cc: the same intent registration, made
+// visible to the model checker with the kJoinIntent point (mirrors
+// GroupState::RegisterAdmission, which fires the point before taking
+// group_mu per the sched-point-under-lock rule).
+#include "check/sched_point.h"
+#include "comm/transport.h"
+
+namespace acps::comm {
+
+void FixtureRegisteredJoinIntent(detail::GroupState* st) {
+  check::SchedPoint(check::PointKind::kJoinIntent, 3);
+  st->join_intents.push_back({3, 1, /*consumed=*/false});
+}
+
+}  // namespace acps::comm

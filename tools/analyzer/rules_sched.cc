@@ -91,8 +91,11 @@ void SchedPointPass(const Corpus& corpus, const Config& cfg,
     reach = PropagateFacts(sem.graph, seeds);
   }
 
+  // The exchange boards are indexed per-rank (subscript); the join-intent
+  // mailbox is an append/consume list, so any member access on it counts
+  // as touching the board.
   static const std::regex board_re(
-      R"((^|[^_[:alnum:]])(mailbox|sizes|retry_flag)[[:space:]]*\[)");
+      R"((^|[^_[:alnum:]])((mailbox|sizes|retry_flag)[[:space:]]*\[|join_intents[[:space:]]*[\[.]))");
   for (size_t fi = 0; fi < corpus.files.size(); ++fi) {
     const auto& f = corpus.files[fi];
     if (!cfg.InScope("publish-needs-sched-point", f.path)) continue;
@@ -123,7 +126,8 @@ void SchedPointPass(const Corpus& corpus, const Config& cfg,
           {f.path, lineno, "publish-needs-sched-point",
            "function '" + st.funcs[static_cast<size_t>(func)].name +
                "' touches the shared exchange boards (mailbox/sizes/"
-               "retry_flag) but neither fires a check::SchedPoint / crosses "
+               "retry_flag/join_intents) but neither fires a "
+               "check::SchedPoint / crosses "
                "a Barrier nor reaches one through any call chain — this "
                "communication step is invisible to the model checker "
                "(src/check)"});
